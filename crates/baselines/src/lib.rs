@@ -1,0 +1,33 @@
+//! # dcrd-baselines — the paper's comparison strategies
+//!
+//! The DCRD evaluation (§IV-B) compares against four baselines, all built
+//! here on a shared hop-by-hop ACK engine ([`common`]):
+//!
+//! * **R-Tree** ([`tree::RTreeStrategy`]) — "most reliable tree": routes
+//!   every `(publisher, subscriber)` pair along the minimum-**hop** path.
+//!   Fewer links ⇒ fewer failure opportunities.
+//! * **D-Tree** ([`tree::DTreeStrategy`]) — "shortest-delay tree": routes
+//!   along the minimum-**delay** path.
+//! * **ORACLE** ([`oracle::OracleStrategy`]) — knows the instantaneous
+//!   failure state of the whole network and always forwards along the
+//!   shortest-delay path that avoids failed links; the performance upper
+//!   bound.
+//! * **Multipath** ([`multipath::MultipathStrategy`]) — sends every message
+//!   to every subscriber twice: once along the shortest-delay path and once
+//!   along the top-5 shortest-delay path sharing the fewest links with it
+//!   ([`dcrd_net::paths::multipath_pair`]).
+//!
+//! None of the baselines reroutes around a failure it discovers — that is
+//! exactly the gap DCRD fills.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod multipath;
+pub mod oracle;
+pub mod tree;
+
+pub use multipath::MultipathStrategy;
+pub use oracle::OracleStrategy;
+pub use tree::{DTreeStrategy, RTreeStrategy};

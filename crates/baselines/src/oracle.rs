@@ -1,0 +1,210 @@
+//! The ORACLE baseline: the performance upper bound.
+//!
+//! §IV-B: "routing tree with the shortest-delay path avoiding any failures
+//! since the condition of entire network is known". At every hop the oracle
+//! recomputes the shortest-delay path to each destination over the links
+//! that are up *right now* — something no real broker can do, which is why
+//! it upper-bounds every implementable strategy. Random packet loss (`Pl`)
+//! is the only thing it cannot foresee; a lost transmission is retried with
+//! a fresh path after the ACK timeout.
+
+use std::collections::HashMap;
+
+use dcrd_net::failure::FailureModel;
+use dcrd_net::paths::{dijkstra_filtered, Metric, ShortestPaths};
+use dcrd_net::{NodeId, Topology};
+use dcrd_pubsub::packet::Packet;
+use dcrd_pubsub::strategy::SetupContext;
+use dcrd_sim::SimTime;
+
+use crate::common::{FailureResponse, HopByHopStrategy, NextHopPolicy};
+
+/// Oracle next-hop policy: per-hop shortest-delay routing over currently
+/// healthy links, with global knowledge of the failure schedule.
+#[derive(Debug)]
+pub struct OraclePolicy {
+    topology: Option<Topology>,
+    failure: Option<FailureModel>,
+    /// Cache of shortest-path trees for the current failure epoch.
+    cache: HashMap<NodeId, ShortestPaths>,
+    cache_epoch: u64,
+    retry_budget: u32,
+}
+
+impl OraclePolicy {
+    /// Creates the oracle policy with the default retry budget.
+    #[must_use]
+    pub fn new() -> Self {
+        OraclePolicy {
+            topology: None,
+            failure: None,
+            cache: HashMap::new(),
+            cache_epoch: u64::MAX,
+            retry_budget: 16,
+        }
+    }
+
+    fn paths_from(&mut self, node: NodeId, now: SimTime) -> &ShortestPaths {
+        let topo = self.topology.as_ref().expect("setup ran");
+        let failure = self.failure.as_ref().expect("setup ran");
+        let epoch = failure.link_model().epoch_index(now);
+        if epoch != self.cache_epoch {
+            self.cache.clear();
+            self.cache_epoch = epoch;
+        }
+        self.cache.entry(node).or_insert_with(|| {
+            dijkstra_filtered(topo, node, Metric::Delay, |e| {
+                !failure.edge_blocked(topo, e, now)
+            })
+        })
+    }
+}
+
+impl Default for OraclePolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NextHopPolicy for OraclePolicy {
+    fn name(&self) -> &'static str {
+        "ORACLE"
+    }
+
+    fn setup(&mut self, ctx: &SetupContext<'_>) {
+        self.topology = Some(ctx.topology.clone());
+        self.failure = Some(*ctx.failure_oracle);
+        self.cache.clear();
+        self.cache_epoch = u64::MAX;
+    }
+
+    fn next_hop(
+        &mut self,
+        node: NodeId,
+        _packet: &Packet,
+        dest: NodeId,
+        now: SimTime,
+    ) -> Option<NodeId> {
+        let sp = self.paths_from(node, now);
+        sp.path_to(dest).map(|p| p.nodes()[1])
+    }
+
+    fn on_failure(&self) -> FailureResponse {
+        FailureResponse::Retry {
+            budget: self.retry_budget,
+        }
+    }
+}
+
+/// The paper's ORACLE baseline strategy.
+pub type OracleStrategy = HopByHopStrategy<OraclePolicy>;
+
+/// Creates the ORACLE baseline.
+#[must_use]
+pub fn oracle() -> OracleStrategy {
+    HopByHopStrategy::new(OraclePolicy::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcrd_net::failure::LinkFailureModel;
+    use dcrd_net::loss::LossModel;
+    use dcrd_net::topology::{full_mesh, ring, DelayRange};
+    use dcrd_pubsub::runtime::{OverlayRuntime, RuntimeConfig};
+    use dcrd_pubsub::topic::{Subscription, TopicId};
+    use dcrd_pubsub::workload::{TopicSpec, Workload, WorkloadConfig};
+    use dcrd_sim::rng::rng_for;
+    use dcrd_sim::SimDuration;
+
+    #[test]
+    fn oracle_delivers_everything_in_failed_mesh() {
+        let mut rng = rng_for(1, "oracle");
+        let topo = full_mesh(12, DelayRange::PAPER, &mut rng);
+        let wl = Workload::generate(&topo, &WorkloadConfig::PAPER, &mut rng);
+        let failure = FailureModel::links_only(LinkFailureModel::new(0.1, 13));
+        let rt = OverlayRuntime::new(
+            &topo,
+            &wl,
+            failure,
+            LossModel::new(1e-4),
+            RuntimeConfig::paper(SimDuration::from_secs(60), 1),
+        );
+        let log = rt.run(&mut oracle());
+        // A 12-node mesh at pf=0.1 essentially never partitions.
+        assert!(
+            log.delivery_ratio() > 0.999,
+            "oracle delivery {}",
+            log.delivery_ratio()
+        );
+        assert!(
+            log.qos_delivery_ratio() > 0.99,
+            "oracle QoS {}",
+            log.qos_delivery_ratio()
+        );
+        // Knowing the failures, the oracle never transmits into a failed
+        // link; only the 1e-4 random loss can block it.
+        assert_eq!(log.sends_blocked, 0, "oracle must never hit a failed link");
+    }
+
+    #[test]
+    fn oracle_routes_around_the_ring() {
+        // Ring of 5 with pf=0.3: the oracle finds the surviving direction
+        // whenever one exists.
+        let topo = ring(5, SimDuration::from_millis(10));
+        let wl = Workload::from_topics(vec![TopicSpec {
+            topic: TopicId::new(0),
+            publisher: topo.node(0),
+            interval: SimDuration::from_secs(1),
+            offset: SimDuration::ZERO,
+            subscriptions: vec![Subscription::new(topo.node(2), SimDuration::from_secs(1))],
+        }]);
+        let failure = FailureModel::links_only(LinkFailureModel::new(0.3, 5));
+        let rt = OverlayRuntime::new(
+            &topo,
+            &wl,
+            failure,
+            LossModel::new(0.0),
+            RuntimeConfig::paper(SimDuration::from_secs(200), 2),
+        );
+        let log = rt.run(&mut oracle());
+        // P(clockwise up) = 0.49, P(counter up) = 0.343;
+        // P(either) ≈ 0.665. The oracle must hit that ceiling exactly.
+        let ratio = log.delivery_ratio();
+        assert!(
+            (0.55..=0.8).contains(&ratio),
+            "oracle on ring delivered {ratio}, expected ≈0.665"
+        );
+        assert_eq!(log.sends_blocked, 0);
+    }
+
+    #[test]
+    fn oracle_gives_up_when_partitioned() {
+        let topo = ring(3, SimDuration::from_millis(10));
+        let wl = Workload::from_topics(vec![TopicSpec {
+            topic: TopicId::new(0),
+            publisher: topo.node(0),
+            interval: SimDuration::from_secs(1),
+            offset: SimDuration::ZERO,
+            subscriptions: vec![Subscription::new(topo.node(1), SimDuration::from_secs(1))],
+        }]);
+        let failure = FailureModel::links_only(LinkFailureModel::new(1.0, 1));
+        let rt = OverlayRuntime::new(
+            &topo,
+            &wl,
+            failure,
+            LossModel::new(0.0),
+            RuntimeConfig::paper(SimDuration::from_secs(10), 3),
+        );
+        let log = rt.run(&mut oracle());
+        assert_eq!(log.delivery_ratio(), 0.0);
+        assert_eq!(log.data_sends, 0, "no path ⇒ oracle sends nothing");
+    }
+
+    #[test]
+    fn policy_accessors() {
+        let p = OraclePolicy::default();
+        assert_eq!(p.name(), "ORACLE");
+        assert!(matches!(p.on_failure(), FailureResponse::Retry { .. }));
+    }
+}

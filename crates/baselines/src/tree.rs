@@ -1,0 +1,225 @@
+//! The tree baselines: R-Tree (minimum hops) and D-Tree (minimum delay).
+//!
+//! §IV-B of the paper: both build, per publisher, a routing tree that is the
+//! union of single-source shortest paths to every subscriber — by hop count
+//! for R-Tree ("most reliable": fewer links, fewer failure chances) and by
+//! delay for D-Tree. Packets follow the tree with hop-by-hop ACKs and up to
+//! `m` transmissions, and are **dropped** when a link fails — trees never
+//! reroute, which is precisely their weakness under churn.
+
+use std::collections::HashMap;
+
+use dcrd_net::paths::{dijkstra, Metric};
+use dcrd_net::NodeId;
+use dcrd_pubsub::packet::Packet;
+use dcrd_pubsub::strategy::SetupContext;
+use dcrd_pubsub::topic::TopicId;
+use dcrd_sim::SimTime;
+
+use crate::common::{FailureResponse, HopByHopStrategy, NextHopPolicy};
+
+/// Tree-based next-hop policy; the metric decides R-Tree vs D-Tree.
+#[derive(Debug)]
+pub struct TreePolicy {
+    metric: Metric,
+    name: &'static str,
+    /// `(topic, publisher, destination, node) → next hop` along the tree —
+    /// publisher-qualified so several publishers may share a topic.
+    next: HashMap<(TopicId, NodeId, NodeId, NodeId), NodeId>,
+}
+
+impl TreePolicy {
+    /// Creates a policy for `metric`.
+    #[must_use]
+    pub fn new(metric: Metric) -> Self {
+        TreePolicy {
+            metric,
+            name: match metric {
+                Metric::Hops => "R-Tree",
+                Metric::Delay => "D-Tree",
+            },
+            next: HashMap::new(),
+        }
+    }
+
+    /// The shortest-path metric the tree is built with.
+    #[must_use]
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Number of precomputed `(topic, dest, node)` forwarding entries.
+    #[must_use]
+    pub fn num_entries(&self) -> usize {
+        self.next.len()
+    }
+}
+
+impl NextHopPolicy for TreePolicy {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn setup(&mut self, ctx: &SetupContext<'_>) {
+        self.next.clear();
+        for spec in ctx.workload.topics() {
+            let sp = dijkstra(ctx.topology, spec.publisher, self.metric);
+            for sub in &spec.subscriptions {
+                let Some(path) = sp.path_to(sub.subscriber) else {
+                    continue; // unreachable: packets to it are given up
+                };
+                let nodes = path.nodes();
+                for w in nodes.windows(2) {
+                    self.next
+                        .insert((spec.topic, spec.publisher, sub.subscriber, w[0]), w[1]);
+                }
+            }
+        }
+    }
+
+    fn next_hop(
+        &mut self,
+        node: NodeId,
+        packet: &Packet,
+        dest: NodeId,
+        _now: SimTime,
+    ) -> Option<NodeId> {
+        self.next
+            .get(&(packet.topic, packet.publisher, dest, node))
+            .copied()
+    }
+
+    fn on_failure(&self) -> FailureResponse {
+        FailureResponse::GiveUp
+    }
+}
+
+/// The paper's R-Tree baseline: minimum-hop routing tree per publisher.
+pub type RTreeStrategy = HopByHopStrategy<TreePolicy>;
+
+/// The paper's D-Tree baseline: shortest-delay routing tree per publisher.
+pub type DTreeStrategy = HopByHopStrategy<TreePolicy>;
+
+/// Creates the R-Tree baseline.
+#[must_use]
+pub fn r_tree() -> RTreeStrategy {
+    HopByHopStrategy::new(TreePolicy::new(Metric::Hops))
+}
+
+/// Creates the D-Tree baseline.
+#[must_use]
+pub fn d_tree() -> DTreeStrategy {
+    HopByHopStrategy::new(TreePolicy::new(Metric::Delay))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcrd_net::failure::{FailureModel, LinkFailureModel};
+    use dcrd_net::loss::LossModel;
+    use dcrd_net::topology::{full_mesh, DelayRange};
+    use dcrd_net::Topology;
+    use dcrd_pubsub::runtime::{OverlayRuntime, RuntimeConfig};
+    
+    use dcrd_pubsub::workload::{Workload, WorkloadConfig};
+    use dcrd_sim::rng::rng_for;
+    use dcrd_sim::SimDuration;
+
+    fn mesh_and_workload(seed: u64) -> (Topology, Workload) {
+        let mut rng = rng_for(seed, "tree-test");
+        let topo = full_mesh(12, DelayRange::PAPER, &mut rng);
+        let wl = Workload::generate(&topo, &WorkloadConfig::PAPER, &mut rng);
+        (topo, wl)
+    }
+
+    #[test]
+    fn rtree_uses_direct_links_in_mesh() {
+        let (topo, wl) = mesh_and_workload(1);
+        let failure = FailureModel::links_only(LinkFailureModel::new(0.0, 1));
+        let rt = OverlayRuntime::new(
+            &topo,
+            &wl,
+            failure,
+            LossModel::new(0.0),
+            RuntimeConfig::paper(SimDuration::from_secs(30), 1),
+        );
+        let log = rt.run(&mut r_tree());
+        assert!((log.delivery_ratio() - 1.0).abs() < 1e-12);
+        // Min-hop in a full mesh = the direct link: exactly 1 packet/sub.
+        assert!(
+            (log.packets_per_subscriber() - 1.0).abs() < 1e-9,
+            "R-Tree in a mesh must use direct links, got {}",
+            log.packets_per_subscriber()
+        );
+    }
+
+    #[test]
+    fn dtree_uses_shortest_delay_and_meets_deadlines() {
+        let (topo, wl) = mesh_and_workload(2);
+        let failure = FailureModel::links_only(LinkFailureModel::new(0.0, 1));
+        let rt = OverlayRuntime::new(
+            &topo,
+            &wl,
+            failure,
+            LossModel::new(0.0),
+            RuntimeConfig::paper(SimDuration::from_secs(30), 2),
+        );
+        let log = rt.run(&mut d_tree());
+        assert!((log.delivery_ratio() - 1.0).abs() < 1e-12);
+        // Deadline = 3× shortest delay and D-Tree rides the shortest path:
+        // everything is on time in a failure-free network.
+        assert!((log.qos_delivery_ratio() - 1.0).abs() < 1e-12);
+        // Shortest-delay paths in a mesh are sometimes multi-hop.
+        assert!(log.packets_per_subscriber() >= 1.0);
+    }
+
+    #[test]
+    fn trees_degrade_linearly_with_failures() {
+        let (topo, wl) = mesh_and_workload(3);
+        for (pf, floor, ceil) in [(0.02, 0.93, 1.0), (0.08, 0.80, 0.97)] {
+            let failure = FailureModel::links_only(LinkFailureModel::new(pf, 7));
+            let rt = OverlayRuntime::new(
+                &topo,
+                &wl,
+                failure,
+                LossModel::new(1e-4),
+                RuntimeConfig::paper(SimDuration::from_secs(60), 3),
+            );
+            let log = rt.run(&mut r_tree());
+            let ratio = log.delivery_ratio();
+            assert!(
+                (floor..=ceil).contains(&ratio),
+                "pf={pf}: R-Tree delivery {ratio} outside [{floor}, {ceil}]"
+            );
+        }
+    }
+
+    #[test]
+    fn rtree_beats_dtree_under_failures_in_mesh() {
+        // R-Tree always uses 1 hop in a mesh; D-Tree often 2+ hops, each an
+        // independent failure opportunity (the paper's Fig. 2a ordering).
+        let (topo, wl) = mesh_and_workload(4);
+        let failure = FailureModel::links_only(LinkFailureModel::new(0.08, 11));
+        let cfg = RuntimeConfig::paper(SimDuration::from_secs(120), 4);
+        let r = OverlayRuntime::new(&topo, &wl, failure, LossModel::new(1e-4), cfg)
+            .run(&mut r_tree());
+        let d = OverlayRuntime::new(&topo, &wl, failure, LossModel::new(1e-4), cfg)
+            .run(&mut d_tree());
+        assert!(
+            r.delivery_ratio() >= d.delivery_ratio(),
+            "R-Tree {} should not lose to D-Tree {} in a mesh",
+            r.delivery_ratio(),
+            d.delivery_ratio()
+        );
+    }
+
+    #[test]
+    fn policy_accessors() {
+        let p = TreePolicy::new(Metric::Hops);
+        assert_eq!(p.metric(), Metric::Hops);
+        assert_eq!(p.name(), "R-Tree");
+        assert_eq!(p.num_entries(), 0);
+        assert_eq!(TreePolicy::new(Metric::Delay).name(), "D-Tree");
+        assert_eq!(p.on_failure(), FailureResponse::GiveUp);
+    }
+}

@@ -1,0 +1,45 @@
+//! Ablation benchmarks: the design-choice sweeps called out in DESIGN.md §5
+//! (ordering policy, upstream rerouting, ACK timeout, monitoring source),
+//! plus end-to-end strategy cost on a common scenario.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcrd_bench::bench_scenario;
+use dcrd_experiments::figures;
+use dcrd_experiments::runner::{run_once, StrategyKind};
+use dcrd_experiments::scenario::Quality;
+use std::hint::black_box;
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("ordering_policies", |b| {
+        b.iter(|| black_box(figures::ablation_ordering(Quality::Smoke)))
+    });
+    group.bench_function("upstream_reroute", |b| {
+        b.iter(|| black_box(figures::ablation_reroute(Quality::Smoke)))
+    });
+    group.bench_function("ack_timeout", |b| {
+        b.iter(|| black_box(figures::ablation_timeout(Quality::Smoke)))
+    });
+    group.bench_function("monitoring_source", |b| {
+        b.iter(|| black_box(figures::ablation_monitor(Quality::Smoke)))
+    });
+    group.finish();
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    // Wall-clock cost of simulating each strategy on an identical scenario:
+    // how expensive is each routing brain, per simulated run?
+    let mut group = c.benchmark_group("strategy_run_cost");
+    group.sample_size(10);
+    let scenario = bench_scenario(0.06);
+    for kind in StrategyKind::ALL {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| black_box(run_once(&scenario, kind, 0)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations, bench_strategies);
+criterion_main!(benches);

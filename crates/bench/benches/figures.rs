@@ -1,0 +1,38 @@
+//! One Criterion benchmark per paper figure: each runs the experiment
+//! driver that regenerates that figure's series, at smoke quality (the
+//! `dcrd-experiments` binary produces the full-quality tables).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcrd_experiments::figures;
+use dcrd_experiments::scenario::Quality;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    group.bench_function("fig2_mesh_pf_sweep", |b| {
+        b.iter(|| std::hint::black_box(figures::fig2(Quality::Smoke)))
+    });
+    group.bench_function("fig3_degree5_pf_sweep", |b| {
+        b.iter(|| std::hint::black_box(figures::fig3(Quality::Smoke)))
+    });
+    group.bench_function("fig4_degree_sweep", |b| {
+        b.iter(|| std::hint::black_box(figures::fig4(Quality::Smoke)))
+    });
+    group.bench_function("fig5_size_sweep", |b| {
+        b.iter(|| std::hint::black_box(figures::fig5(Quality::Smoke)))
+    });
+    group.bench_function("fig6_deadline_sweep", |b| {
+        b.iter(|| std::hint::black_box(figures::fig6(Quality::Smoke)))
+    });
+    group.bench_function("fig7_lateness_cdf", |b| {
+        b.iter(|| std::hint::black_box(figures::fig7(Quality::Smoke)))
+    });
+    group.bench_function("fig8_loss_and_m_sweep", |b| {
+        b.iter(|| std::hint::black_box(figures::fig8(Quality::Smoke)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,162 @@
+//! Micro-benchmarks of the computational kernels underneath DCRD.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcrd_core::ordering::optimal_order;
+use dcrd_core::params::{combine, Candidate};
+use dcrd_core::propagation::compute_tables;
+use dcrd_core::reliability::m_transmission_stats;
+use dcrd_core::DcrdConfig;
+use dcrd_net::estimate::analytic_estimates;
+use dcrd_net::paths::{dijkstra, k_shortest_paths, Metric};
+use dcrd_net::topology::{full_mesh, random_connected, DelayRange};
+use dcrd_net::NodeId;
+use dcrd_sim::rng::rng_for;
+use dcrd_sim::{EventQueue, SimTime};
+use std::hint::black_box;
+
+fn bench_equations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("equations");
+    group.bench_function("eq1_m_transmission_stats_m4", |b| {
+        b.iter(|| black_box(m_transmission_stats(black_box(30_000.0), black_box(0.9), 4)))
+    });
+
+    let candidates: Vec<Candidate> = (0..16)
+        .map(|i| Candidate {
+            neighbor: NodeId::new(i),
+            d: 10_000.0 + f64::from(i) * 997.0,
+            r: 0.5 + f64::from(i % 7) * 0.07,
+        })
+        .collect();
+    group.bench_function("eq3_combine_16_candidates", |b| {
+        b.iter(|| black_box(combine(black_box(&candidates))))
+    });
+    group.bench_function("theorem1_sort_16_candidates", |b| {
+        b.iter_batched(
+            || candidates.clone(),
+            |mut cs| {
+                optimal_order(&mut cs);
+                black_box(cs)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph");
+    for n in [20usize, 80] {
+        let topo = random_connected(n, 8, DelayRange::PAPER, &mut rng_for(1, "bench"));
+        group.bench_with_input(BenchmarkId::new("dijkstra", n), &topo, |b, t| {
+            b.iter(|| black_box(dijkstra(t, t.node(0), Metric::Delay)))
+        });
+        group.bench_with_input(BenchmarkId::new("yen_k5", n), &topo, |b, t| {
+            b.iter(|| black_box(k_shortest_paths(t, t.node(0), t.node(n / 2), 5, Metric::Delay)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_propagation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("propagation");
+    group.sample_size(20);
+    for (name, topo) in [
+        (
+            "mesh20",
+            full_mesh(20, DelayRange::PAPER, &mut rng_for(2, "bench")),
+        ),
+        (
+            "deg8_80",
+            random_connected(80, 8, DelayRange::PAPER, &mut rng_for(3, "bench")),
+        ),
+    ] {
+        let estimates = analytic_estimates(&topo, 0.06, 1e-4);
+        let config = DcrdConfig::default();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(compute_tables(
+                    &topo,
+                    &estimates,
+                    1,
+                    topo.node(0),
+                    topo.node(topo.num_nodes() - 1),
+                    500_000.0,
+                    &config,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    use bytes::Bytes;
+    use dcrd_pubsub::codec::{decode_packet, encode_packet};
+    use dcrd_pubsub::packet::{Packet, PacketId};
+    use dcrd_pubsub::topic::TopicId;
+    use dcrd_sim::SimTime;
+
+    let packet = Packet {
+        id: PacketId::new(7),
+        topic: TopicId::new(2),
+        publisher: NodeId::new(0),
+        published_at: SimTime::from_millis(1234),
+        destinations: (1..9).map(NodeId::new).collect(),
+        path: (0..12).map(NodeId::new).collect(),
+        route: None,
+        tag: 42,
+        payload: Bytes::from(vec![0xAB; 256]),
+    };
+    let encoded = encode_packet(&packet);
+    let mut group = c.benchmark_group("codec");
+    group.bench_function("encode_8dest_12hop_256B", |b| {
+        b.iter(|| black_box(encode_packet(black_box(&packet))))
+    });
+    group.bench_function("decode_8dest_12hop_256B", |b| {
+        b.iter(|| black_box(decode_packet(black_box(&encoded)).expect("valid")))
+    });
+    group.finish();
+}
+
+fn bench_disjoint(c: &mut Criterion) {
+    use dcrd_net::disjoint::edge_disjoint_pair;
+    let mut group = c.benchmark_group("disjoint_pairs");
+    for n in [20usize, 80] {
+        let topo = random_connected(n, 8, DelayRange::PAPER, &mut rng_for(4, "bench"));
+        group.bench_with_input(BenchmarkId::new("bhandari", n), &topo, |b, t| {
+            b.iter(|| black_box(edge_disjoint_pair(t, t.node(0), t.node(n / 2), Metric::Delay)))
+        });
+        group.bench_with_input(BenchmarkId::new("paper_top5", n), &topo, |b, t| {
+            b.iter(|| black_box(dcrd_net::paths::multipath_pair(t, t.node(0), t.node(n / 2))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::with_capacity(10_000);
+            for i in 0..10_000u64 {
+                // Pseudo-shuffled timestamps.
+                q.schedule(SimTime::from_micros(i.wrapping_mul(2_654_435_761) % 1_000_000_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_equations,
+    bench_graph,
+    bench_propagation,
+    bench_codec,
+    bench_disjoint,
+    bench_event_queue
+);
+criterion_main!(benches);

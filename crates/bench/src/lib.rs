@@ -1,0 +1,45 @@
+//! # dcrd-bench — benchmark support
+//!
+//! The actual benchmarks live in `benches/`:
+//!
+//! * `figures` — one Criterion group per paper figure (Figs. 2–8), each
+//!   running the corresponding experiment driver at smoke quality. These
+//!   regenerate the paper's series; `dcrd-experiments` produces the full
+//!   tables.
+//! * `kernels` — micro-benchmarks of the computational kernels: Eq. 1/2/3,
+//!   Theorem-1 sorting, sending-list propagation, Dijkstra/Yen, and the
+//!   event queue.
+//! * `ablations` — the DESIGN.md ablation sweeps at smoke quality.
+//!
+//! This library crate only hosts small helpers shared by the benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dcrd_experiments::scenario::{Scenario, ScenarioBuilder};
+
+/// A small scenario suitable for repeated benchmark iterations.
+#[must_use]
+pub fn bench_scenario(pf: f64) -> Scenario {
+    ScenarioBuilder::new()
+        .nodes(12)
+        .full_mesh()
+        .failure_probability(pf)
+        .topics(4)
+        .duration_secs(10)
+        .repetitions(1)
+        .seed(42)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_scenario_is_small() {
+        let s = bench_scenario(0.05);
+        assert_eq!(s.nodes, 12);
+        assert_eq!(s.repetitions, 1);
+    }
+}

@@ -1,0 +1,206 @@
+//! Analytic predictions from the routing tables.
+//!
+//! The `⟨d, r⟩` parameters DCRD computes are not just routing state — they
+//! are *predictions*: `d_P` is the expected delivery delay of one full
+//! downstream exploration starting at the publisher, and `r_P` its success
+//! probability. This module exposes them per subscription so deployments
+//! can answer "will this subscription's requirement be met?" **before**
+//! sending a single packet, and so tests can pin the math to the simulator:
+//!
+//! * with no failures and no loss, `d_P` equals the shortest-path delay
+//!   exactly (the greedy `d/r` order degenerates to shortest-path routing);
+//! * the simulated delivery ratio dominates `r_P` (upstream rerouting and
+//!   cross-epoch retries only add delivery chances on top of the one
+//!   exploration Eq. 3 models).
+
+use dcrd_net::estimate::LinkEstimates;
+use dcrd_net::paths::{dijkstra, Metric};
+use dcrd_net::{NodeId, Topology};
+use dcrd_pubsub::topic::TopicId;
+use dcrd_pubsub::workload::Workload;
+use dcrd_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::config::DcrdConfig;
+use crate::propagation::compute_tables_with_distances;
+
+/// The analytic outlook of one subscription.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SubscriptionPrediction {
+    /// The topic.
+    pub topic: TopicId,
+    /// The publishing broker.
+    pub publisher: NodeId,
+    /// The subscribing broker.
+    pub subscriber: NodeId,
+    /// The subscription's delay requirement.
+    pub requirement: SimDuration,
+    /// Expected delivery delay of one exploration (`d_P`), if deliverable.
+    pub expected_delay: Option<SimDuration>,
+    /// Probability that one exploration delivers (`r_P`).
+    pub expected_delivery_ratio: f64,
+    /// Whether the expected delay fits the requirement.
+    pub expected_on_time: bool,
+}
+
+/// Computes the analytic outlook of every subscription in `workload`.
+#[must_use]
+pub fn predict_workload(
+    topo: &Topology,
+    estimates: &LinkEstimates,
+    m: u32,
+    workload: &Workload,
+    config: &DcrdConfig,
+) -> Vec<SubscriptionPrediction> {
+    let mut out = Vec::new();
+    for spec in workload.topics() {
+        let dist = dijkstra(topo, spec.publisher, Metric::Delay);
+        for sub in &spec.subscriptions {
+            let tables = compute_tables_with_distances(
+                topo,
+                estimates,
+                m,
+                spec.publisher,
+                &dist,
+                sub.subscriber,
+                sub.deadline.as_micros() as f64,
+                config,
+            );
+            let p = tables.params(spec.publisher);
+            let expected_delay = p
+                .reachable()
+                .then(|| SimDuration::from_micros(p.d.round() as u64));
+            out.push(SubscriptionPrediction {
+                topic: spec.topic,
+                publisher: spec.publisher,
+                subscriber: sub.subscriber,
+                requirement: sub.deadline,
+                expected_delay,
+                expected_delivery_ratio: p.r,
+                expected_on_time: expected_delay.is_some_and(|d| d <= sub.deadline),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcrd_net::estimate::analytic_estimates;
+    use dcrd_net::paths::shortest_path;
+    use dcrd_net::topology::{full_mesh, random_connected, DelayRange};
+    use dcrd_pubsub::workload::WorkloadConfig;
+    use dcrd_sim::rng::rng_for;
+
+    #[test]
+    fn lossless_prediction_equals_shortest_path() {
+        let mut rng = rng_for(1, "analysis");
+        let topo = random_connected(15, 5, DelayRange::PAPER, &mut rng);
+        let workload = Workload::generate(&topo, &WorkloadConfig::PAPER, &mut rng);
+        let estimates = analytic_estimates(&topo, 0.0, 0.0);
+        let predictions =
+            predict_workload(&topo, &estimates, 1, &workload, &DcrdConfig::default());
+        assert_eq!(predictions.len(), workload.num_subscriptions());
+        for p in &predictions {
+            let best = shortest_path(&topo, p.publisher, p.subscriber, Metric::Delay)
+                .expect("connected");
+            let expected = p.expected_delay.expect("reachable");
+            assert_eq!(
+                expected.as_micros(),
+                best.cost(),
+                "lossless d_P must equal the shortest-path delay for {}→{}",
+                p.publisher,
+                p.subscriber
+            );
+            assert!((p.expected_delivery_ratio - 1.0).abs() < 1e-9);
+            assert!(p.expected_on_time, "3× requirement always fits lossless");
+        }
+    }
+
+    #[test]
+    fn failures_lower_r_and_raise_d() {
+        let mut rng = rng_for(2, "analysis");
+        let topo = full_mesh(12, DelayRange::PAPER, &mut rng);
+        let workload = Workload::generate(&topo, &WorkloadConfig::PAPER, &mut rng);
+        let clean = predict_workload(
+            &topo,
+            &analytic_estimates(&topo, 0.0, 0.0),
+            1,
+            &workload,
+            &DcrdConfig::default(),
+        );
+        let faulty = predict_workload(
+            &topo,
+            &analytic_estimates(&topo, 0.1, 1e-4),
+            1,
+            &workload,
+            &DcrdConfig::default(),
+        );
+        for (c, f) in clean.iter().zip(&faulty) {
+            assert!(f.expected_delivery_ratio <= c.expected_delivery_ratio + 1e-12);
+            assert!(
+                f.expected_delay.expect("mesh reachable")
+                    >= c.expected_delay.expect("mesh reachable"),
+                "failures must not shorten the expected delay"
+            );
+            // A 12-node mesh still delivers with near certainty.
+            assert!(f.expected_delivery_ratio > 0.99);
+        }
+    }
+
+    #[test]
+    fn simulation_dominates_the_single_exploration_prediction() {
+        use dcrd_net::failure::{FailureModel, LinkFailureModel};
+        use dcrd_net::loss::LossModel;
+        use dcrd_pubsub::runtime::{OverlayRuntime, RuntimeConfig};
+
+        let mut rng = rng_for(3, "analysis");
+        let topo = random_connected(15, 5, DelayRange::PAPER, &mut rng);
+        let workload = Workload::generate(&topo, &WorkloadConfig::PAPER, &mut rng);
+        let estimates = analytic_estimates(&topo, 0.08, 1e-4);
+        let predictions =
+            predict_workload(&topo, &estimates, 1, &workload, &DcrdConfig::default());
+        let mean_r: f64 = predictions
+            .iter()
+            .map(|p| p.expected_delivery_ratio)
+            .sum::<f64>()
+            / predictions.len() as f64;
+
+        let failure = FailureModel::links_only(LinkFailureModel::new(0.08, 99));
+        let config = RuntimeConfig::paper(dcrd_sim::SimDuration::from_secs(60), 3);
+        let log = OverlayRuntime::new(&topo, &workload, failure, LossModel::new(1e-4), config)
+            .run(&mut crate::DcrdStrategy::new(DcrdConfig::default()));
+        assert!(
+            log.delivery_ratio() >= mean_r - 0.02,
+            "simulated delivery {} fell below the analytic single-exploration bound {mean_r}",
+            log.delivery_ratio()
+        );
+    }
+
+    #[test]
+    fn disconnected_subscription_is_flagged() {
+        use dcrd_net::graph::TopologyBuilder;
+        use dcrd_pubsub::topic::Subscription;
+        use dcrd_pubsub::workload::TopicSpec;
+
+        let mut b = TopologyBuilder::new(3);
+        let n = b.nodes();
+        b.link(n[0], n[1], SimDuration::from_millis(10));
+        let topo = b.build(); // node 2 isolated
+        let workload = Workload::from_topics(vec![TopicSpec {
+            topic: TopicId::new(0),
+            publisher: topo.node(0),
+            interval: SimDuration::from_secs(1),
+            offset: SimDuration::ZERO,
+            subscriptions: vec![Subscription::new(topo.node(2), SimDuration::from_secs(1))],
+        }]);
+        let estimates = analytic_estimates(&topo, 0.0, 0.0);
+        let predictions =
+            predict_workload(&topo, &estimates, 1, &workload, &DcrdConfig::default());
+        let p = &predictions[0];
+        assert_eq!(p.expected_delay, None);
+        assert_eq!(p.expected_delivery_ratio, 0.0);
+        assert!(!p.expected_on_time);
+    }
+}

@@ -1,0 +1,117 @@
+//! DCRD tuning knobs.
+
+use serde::{Deserialize, Serialize};
+
+pub use crate::ordering::OrderingPolicy;
+
+/// What a publisher does when the whole recursive exploration fails (every
+/// neighbor tried, packet returned to the publisher, publisher exhausted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PersistenceMode {
+    /// Drop the packet (the paper's evaluated, non-persistent mode).
+    #[default]
+    Disabled,
+    /// Park the packet and retry the full exploration when the failure
+    /// epoch changes — the paper's sketched persistency mode (§III), which
+    /// guarantees delivery under transient partitions at the cost of
+    /// storage and extra traffic.
+    Retry {
+        /// Maximum number of parked retries per packet.
+        max_retries: u32,
+        /// Delay before each retry, in milliseconds (the paper's failures
+        /// last one second, so ≈1000 ms is natural).
+        retry_after_ms: u64,
+    },
+}
+
+/// Convergence parameters for the distributed `⟨d, r⟩` computation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PropagationConfig {
+    /// Maximum synchronous gossip rounds.
+    pub max_rounds: u32,
+    /// Convergence tolerance on `d` (µs).
+    pub tolerance_d: f64,
+    /// Convergence tolerance on `r`.
+    pub tolerance_r: f64,
+}
+
+impl Default for PropagationConfig {
+    fn default() -> Self {
+        PropagationConfig {
+            max_rounds: 100,
+            tolerance_d: 1.0,
+            tolerance_r: 1e-9,
+        }
+    }
+}
+
+/// Full DCRD configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DcrdConfig {
+    /// Sending-list ordering (Theorem 1 by default; others for ablation).
+    pub ordering: OrderingPolicy,
+    /// Whether a broker that exhausts its sending list reroutes the packet
+    /// to its upstream node (§III-D). Disabling this (ablation) makes DCRD
+    /// a "try my neighbors then drop" scheme.
+    pub reroute_upstream: bool,
+    /// Safety cap on transmissions one broker spends on one packet; beyond
+    /// it the broker gives up on the remaining destinations. Prevents
+    /// livelock when the overlay is partitioned for a long time.
+    pub max_attempts_per_node: u32,
+    /// Cap on a packet's routing-path length as a multiple of the overlay
+    /// size. Per-broker state is deleted on every downstream ACK (the
+    /// paper's aggressive cleanup), so a packet whose destination is
+    /// unreachable can otherwise bounce between brokers indefinitely —
+    /// the path record is the one budget that travels with the packet.
+    pub max_path_factor: u32,
+    /// Publisher-side persistence (paper extension).
+    pub persistence: PersistenceMode,
+    /// Convergence parameters for the routing-table computation.
+    pub propagation: PropagationConfig,
+}
+
+impl Default for DcrdConfig {
+    fn default() -> Self {
+        DcrdConfig {
+            ordering: OrderingPolicy::RatioOptimal,
+            reroute_upstream: true,
+            max_attempts_per_node: 64,
+            max_path_factor: 4,
+            persistence: PersistenceMode::Disabled,
+            propagation: PropagationConfig::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = DcrdConfig::default();
+        assert_eq!(c.ordering, OrderingPolicy::RatioOptimal);
+        assert!(c.reroute_upstream);
+        assert_eq!(c.persistence, PersistenceMode::Disabled);
+        assert!(c.max_attempts_per_node >= 16);
+        assert!(c.propagation.max_rounds >= 10);
+    }
+
+    #[test]
+    fn persistence_mode_carries_parameters() {
+        let p = PersistenceMode::Retry {
+            max_retries: 5,
+            retry_after_ms: 1000,
+        };
+        match p {
+            PersistenceMode::Retry {
+                max_retries,
+                retry_after_ms,
+            } => {
+                assert_eq!(max_retries, 5);
+                assert_eq!(retry_after_ms, 1000);
+            }
+            PersistenceMode::Disabled => panic!("wrong variant"),
+        }
+    }
+}

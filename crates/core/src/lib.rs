@@ -1,0 +1,63 @@
+//! # dcrd-core — Delay-Cognizant Reliable Delivery
+//!
+//! The primary contribution of Guo et al., *Delay-Cognizant Reliable
+//! Delivery for Publish/Subscribe Overlay Networks* (ICDCS 2011): a dynamic,
+//! per-hop routing algorithm that abandons fixed multicast trees. Every
+//! broker keeps, per subscriber, a **sending list** of neighbors sorted so
+//! that trying them in order minimizes the expected delivery delay
+//! (Theorem 1), and forwarding falls back from neighbor to neighbor — and
+//! finally back **upstream** — until the packet gets through.
+//!
+//! Module map (paper section in parentheses):
+//!
+//! * [`reliability`] — Eq. 1: expected delay `α⁽ᵐ⁾` and delivery ratio
+//!   `γ⁽ᵐ⁾` of an `m`-transmission link attempt (§III-A).
+//! * [`params`] — the `⟨d, r⟩` node parameters and Eq. 2/Eq. 3 used to
+//!   aggregate candidate next hops (§III-B).
+//! * [`ordering`] — Theorem 1: sorting candidates by `d/r` minimizes the
+//!   expected delay; plus naive orderings for ablation (§III-C).
+//! * [`sending_list`] — sending-list construction: the `dᵢ < D_XS` deadline
+//!   filter plus the optimal sort (Algorithm 1, §III-C).
+//! * [`propagation`] — the distributed recursive computation of `⟨d, r⟩`
+//!   across the overlay, run as synchronous gossip rounds to a fixed point
+//!   (§III-B).
+//! * [`router`] — [`DcrdStrategy`]: the dynamic routing scheme
+//!   (Algorithm 2, §III-D) with hop-by-hop ACK timers, `m`-transmission
+//!   retries, destination merging, loop avoidance via the packet's routing
+//!   path, upstream rerouting, and the optional persistence extension.
+//! * [`config`] — tuning knobs, including the ablation switches called out
+//!   in `DESIGN.md`.
+//!
+//! # Example
+//!
+//! ```
+//! use dcrd_core::ordering::optimal_order;
+//! use dcrd_core::params::{combine, Candidate};
+//! use dcrd_net::NodeId;
+//!
+//! // Two candidate next hops: fast-but-flaky vs slow-but-reliable.
+//! let mut candidates = vec![
+//!     Candidate { neighbor: NodeId::new(1), d: 10_000.0, r: 0.5 },
+//!     Candidate { neighbor: NodeId::new(2), d: 15_000.0, r: 0.99 },
+//! ];
+//! optimal_order(&mut candidates);
+//! // d/r: 20_000 vs ~15_151 → the reliable one goes first.
+//! assert_eq!(candidates[0].neighbor, NodeId::new(2));
+//! let combined = combine(&candidates);
+//! assert!(combined.r > 0.99);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod config;
+pub mod ordering;
+pub mod params;
+pub mod propagation;
+pub mod reliability;
+pub mod router;
+pub mod sending_list;
+
+pub use config::{DcrdConfig, OrderingPolicy, PersistenceMode};
+pub use router::DcrdStrategy;

@@ -1,0 +1,209 @@
+//! Theorem 1: the optimal sending-list order.
+//!
+//! The ordering of candidates does not change `r_X` (Eq. 3's product is
+//! commutative) but it changes `d_X`. Theorem 1 proves that sorting
+//! ascending by `d_X^i / r_X^i` is both necessary and sufficient to
+//! minimize `d_X`. The alternative policies here exist for the ablation
+//! experiments in `DESIGN.md` §5.
+
+use serde::{Deserialize, Serialize};
+
+use crate::params::Candidate;
+
+/// Sending-list ordering policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum OrderingPolicy {
+    /// Theorem 1: ascending `d/r` (optimal; the paper's DCRD).
+    #[default]
+    RatioOptimal,
+    /// Ablation: ascending expected delay `d` (greedy "fastest first").
+    ByDelay,
+    /// Ablation: descending delivery ratio `r` ("most reliable first").
+    ByReliability,
+    /// Ablation: whatever order the candidates were produced in
+    /// (deterministic but uninformed).
+    Unsorted,
+}
+
+impl OrderingPolicy {
+    /// Sorts `candidates` in place according to the policy. All policies
+    /// break ties by neighbor id so runs are deterministic.
+    pub fn sort(self, candidates: &mut [Candidate]) {
+        match self {
+            OrderingPolicy::RatioOptimal => candidates.sort_by(|a, b| {
+                a.ratio()
+                    .partial_cmp(&b.ratio())
+                    .expect("ratios are never NaN")
+                    .then_with(|| a.neighbor.cmp(&b.neighbor))
+            }),
+            OrderingPolicy::ByDelay => candidates.sort_by(|a, b| {
+                a.d.partial_cmp(&b.d)
+                    .expect("delays are never NaN")
+                    .then_with(|| a.neighbor.cmp(&b.neighbor))
+            }),
+            OrderingPolicy::ByReliability => candidates.sort_by(|a, b| {
+                b.r.partial_cmp(&a.r)
+                    .expect("ratios are never NaN")
+                    .then_with(|| a.neighbor.cmp(&b.neighbor))
+            }),
+            OrderingPolicy::Unsorted => {}
+        }
+    }
+}
+
+/// Sorts candidates by Theorem 1 (ascending `d/r`).
+pub fn optimal_order(candidates: &mut [Candidate]) {
+    OrderingPolicy::RatioOptimal.sort(candidates);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::combine;
+    use dcrd_net::NodeId;
+    use proptest::prelude::*;
+
+    fn cand(id: u32, d: f64, r: f64) -> Candidate {
+        Candidate {
+            neighbor: NodeId::new(id),
+            d,
+            r,
+        }
+    }
+
+    #[test]
+    fn sorts_by_ratio() {
+        let mut cs = vec![cand(0, 100.0, 0.5), cand(1, 90.0, 0.9), cand(2, 30.0, 0.2)];
+        // ratios: 200, 100, 150 → order 1, 2, 0
+        optimal_order(&mut cs);
+        let ids: Vec<u32> = cs.iter().map(|c| c.neighbor.index() as u32).collect();
+        assert_eq!(ids, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn dead_candidates_sort_last() {
+        let mut cs = vec![cand(0, 10.0, 0.0), cand(1, 1000.0, 0.1)];
+        optimal_order(&mut cs);
+        assert_eq!(cs[0].neighbor, NodeId::new(1));
+    }
+
+    #[test]
+    fn ties_break_by_neighbor_id() {
+        let mut cs = vec![cand(5, 10.0, 0.5), cand(2, 10.0, 0.5), cand(9, 10.0, 0.5)];
+        optimal_order(&mut cs);
+        let ids: Vec<u32> = cs.iter().map(|c| c.neighbor.index() as u32).collect();
+        assert_eq!(ids, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn policy_by_delay() {
+        let mut cs = vec![cand(0, 50.0, 0.9), cand(1, 10.0, 0.1)];
+        OrderingPolicy::ByDelay.sort(&mut cs);
+        assert_eq!(cs[0].neighbor, NodeId::new(1));
+    }
+
+    #[test]
+    fn policy_by_reliability() {
+        let mut cs = vec![cand(0, 50.0, 0.5), cand(1, 10.0, 0.9)];
+        OrderingPolicy::ByReliability.sort(&mut cs);
+        assert_eq!(cs[0].neighbor, NodeId::new(1));
+    }
+
+    #[test]
+    fn policy_unsorted_preserves_order() {
+        let cs0 = vec![cand(3, 50.0, 0.5), cand(1, 10.0, 0.9)];
+        let mut cs = cs0.clone();
+        OrderingPolicy::Unsorted.sort(&mut cs);
+        assert_eq!(cs, cs0);
+    }
+
+    #[test]
+    fn default_policy_is_optimal() {
+        assert_eq!(OrderingPolicy::default(), OrderingPolicy::RatioOptimal);
+    }
+
+    /// Exhaustive check of Theorem 1: on every permutation of a small
+    /// candidate set, the ratio-sorted order yields the minimal Eq. 3 `d`.
+    fn assert_theorem1(cs: &[Candidate]) {
+        let mut sorted = cs.to_vec();
+        optimal_order(&mut sorted);
+        let best = combine(&sorted);
+        // Enumerate permutations (Heap's algorithm over indices).
+        let mut indices: Vec<usize> = (0..cs.len()).collect();
+        let mut stack = vec![0usize; cs.len()];
+        let check = |idx: &[usize]| {
+            let perm: Vec<Candidate> = idx.iter().map(|&i| cs[i]).collect();
+            let out = combine(&perm);
+            assert!(
+                best.d <= out.d + 1e-6 * out.d.abs().max(1.0),
+                "theorem 1 violated: sorted d={} > permuted d={} (perm {idx:?})",
+                best.d,
+                out.d
+            );
+            assert!((best.r - out.r).abs() < 1e-9, "r must be order-invariant");
+        };
+        check(&indices);
+        let n = cs.len();
+        let mut i = 1;
+        while i < n {
+            if stack[i] < i {
+                if i % 2 == 0 {
+                    indices.swap(0, i);
+                } else {
+                    indices.swap(stack[i], i);
+                }
+                check(&indices);
+                stack[i] += 1;
+                i = 1;
+            } else {
+                stack[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn theorem1_on_fixed_sets() {
+        assert_theorem1(&[cand(0, 100.0, 0.5), cand(1, 90.0, 0.9), cand(2, 30.0, 0.2)]);
+        assert_theorem1(&[
+            cand(0, 10.0, 0.99),
+            cand(1, 10.0, 0.01),
+            cand(2, 500.0, 0.8),
+            cand(3, 50.0, 0.5),
+        ]);
+    }
+
+    proptest! {
+        /// Theorem 1, property-based: over random candidate sets of size ≤ 6,
+        /// no permutation beats the d/r sort.
+        #[test]
+        fn theorem1_holds(
+            ds in proptest::collection::vec(1.0f64..1e5, 2..6),
+            rs in proptest::collection::vec(0.05f64..1.0, 2..6),
+        ) {
+            let n = ds.len().min(rs.len());
+            let cs: Vec<Candidate> = (0..n).map(|i| cand(i as u32, ds[i], rs[i])).collect();
+            assert_theorem1(&cs);
+        }
+
+        /// The optimal order never does worse than the ablation policies.
+        #[test]
+        fn optimal_beats_ablations(
+            ds in proptest::collection::vec(1.0f64..1e5, 2..7),
+            rs in proptest::collection::vec(0.05f64..1.0, 2..7),
+        ) {
+            let n = ds.len().min(rs.len());
+            let cs: Vec<Candidate> = (0..n).map(|i| cand(i as u32, ds[i], rs[i])).collect();
+            let mut opt = cs.clone();
+            optimal_order(&mut opt);
+            let d_opt = combine(&opt).d;
+            for policy in [OrderingPolicy::ByDelay, OrderingPolicy::ByReliability, OrderingPolicy::Unsorted] {
+                let mut other = cs.clone();
+                policy.sort(&mut other);
+                let d_other = combine(&other).d;
+                prop_assert!(d_opt <= d_other + 1e-6 * d_other.abs().max(1.0),
+                    "{policy:?} beat the optimal order: {d_other} < {d_opt}");
+            }
+        }
+    }
+}

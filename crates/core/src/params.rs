@@ -1,0 +1,261 @@
+//! The `⟨d, r⟩` node parameters and the aggregation equations (Eq. 2/Eq. 3).
+//!
+//! For a subscriber `S`, every broker `X` carries two values:
+//!
+//! * `d_X` — the expected delay from the moment `X` receives a packet until
+//!   it arrives at `S`, *conditional on eventual delivery*;
+//! * `r_X` — the probability that `X` delivers the packet to `S` at all
+//!   (through at least one of its sending-list neighbors).
+//!
+//! Given a neighbor `i` with parameters `⟨dᵢ, rᵢ⟩` over a link with
+//! `m`-transmission statistics `⟨α_Xi, γ_Xi⟩`, the **per-candidate** values
+//! are (Eq. 2):
+//!
+//! ```text
+//! d_X^i = α_Xi + dᵢ        r_X^i = γ_Xi · rᵢ
+//! ```
+//!
+//! and sequentially trying an ordered candidate list `1..n` yields (Eq. 3):
+//!
+//! ```text
+//! d_X = Σᵢ (Σ_{j≤i} d_X^j) · (r_X^i · Π_{j<i}(1−r_X^j))  /  r_X
+//! r_X = 1 − Πᵢ (1−r_X^i)
+//! ```
+//!
+//! Delays are carried in **microseconds** as `f64`.
+
+use dcrd_net::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A node's `⟨d, r⟩` parameters toward one subscriber. `d` is in µs and is
+/// `f64::INFINITY` when `r == 0` (undeliverable).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DrPair {
+    /// Expected delivery delay in µs, conditional on delivery.
+    pub d: f64,
+    /// Expected delivery ratio in `[0, 1]`.
+    pub r: f64,
+}
+
+impl DrPair {
+    /// The subscriber's own parameters: zero delay, certain delivery.
+    pub const SUBSCRIBER: DrPair = DrPair { d: 0.0, r: 1.0 };
+
+    /// The parameters of a node with no route: infinite delay, zero ratio.
+    pub const UNREACHABLE: DrPair = DrPair {
+        d: f64::INFINITY,
+        r: 0.0,
+    };
+
+    /// Whether this node can deliver at all.
+    #[must_use]
+    pub fn reachable(&self) -> bool {
+        self.r > 0.0
+    }
+}
+
+/// One sending-list candidate: neighbor `i` with its Eq. 2 values
+/// `⟨d_X^i, r_X^i⟩`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Candidate {
+    /// The neighboring broker.
+    pub neighbor: NodeId,
+    /// `d_X^i = α_Xi + dᵢ` in µs.
+    pub d: f64,
+    /// `r_X^i = γ_Xi · rᵢ`.
+    pub r: f64,
+}
+
+impl Candidate {
+    /// Eq. 2: combines a link's `m`-transmission stats with the neighbor's
+    /// own parameters.
+    #[must_use]
+    pub fn from_link(neighbor: NodeId, alpha: f64, gamma: f64, neighbor_params: DrPair) -> Self {
+        Candidate {
+            neighbor,
+            d: alpha + neighbor_params.d,
+            r: gamma * neighbor_params.r,
+        }
+    }
+
+    /// The Theorem 1 sort key `d/r` (`∞` for `r = 0`).
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        if self.r <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.d / self.r
+        }
+    }
+}
+
+/// Eq. 3: the `⟨d_X, r_X⟩` of a node that tries `candidates` **in the given
+/// order**. Returns [`DrPair::UNREACHABLE`] for an empty list or one whose
+/// candidates all have `r = 0`.
+#[must_use]
+pub fn combine(candidates: &[Candidate]) -> DrPair {
+    let mut numerator = 0.0; // Σᵢ (prefix delay)·P(first success at i)
+    let mut prefix_delay = 0.0; // Σ_{j≤i} d_X^j
+    let mut fail_all = 1.0; // Π_{j<i} (1−r_X^j)
+    for c in candidates {
+        if c.d.is_infinite() {
+            // A dead candidate (r=0, d=∞) can never be the first success;
+            // in the paper's model it also adds no finite delay term. Skip
+            // to keep the numerator well-defined.
+            debug_assert!(c.r <= 0.0, "finite-r candidate with infinite d");
+            continue;
+        }
+        prefix_delay += c.d;
+        numerator += prefix_delay * (c.r * fail_all);
+        fail_all *= 1.0 - c.r;
+    }
+    let r = 1.0 - fail_all;
+    if r <= 0.0 {
+        DrPair::UNREACHABLE
+    } else {
+        DrPair {
+            d: numerator / r,
+            r,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cand(d: f64, r: f64) -> Candidate {
+        Candidate {
+            neighbor: NodeId::new(0),
+            d,
+            r,
+        }
+    }
+
+    #[test]
+    fn single_candidate_passthrough() {
+        let out = combine(&[cand(100.0, 0.8)]);
+        assert!((out.d - 100.0).abs() < 1e-9);
+        assert!((out.r - 0.8).abs() < 1e-12);
+        assert!(out.reachable());
+    }
+
+    #[test]
+    fn empty_list_unreachable() {
+        let out = combine(&[]);
+        assert_eq!(out, DrPair::UNREACHABLE);
+        assert!(!out.reachable());
+    }
+
+    #[test]
+    fn two_candidates_hand_computed() {
+        // d1=10,r1=0.5 ; d2=20,r2=0.5
+        // r = 1−0.25 = 0.75
+        // num = 10·0.5 + (10+20)·0.5·0.5 = 5 + 7.5 = 12.5 → d = 12.5/0.75
+        let out = combine(&[cand(10.0, 0.5), cand(20.0, 0.5)]);
+        assert!((out.r - 0.75).abs() < 1e-12);
+        assert!((out.d - 12.5 / 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfect_first_candidate_masks_rest() {
+        let out = combine(&[cand(10.0, 1.0), cand(5.0, 1.0)]);
+        assert!((out.d - 10.0).abs() < 1e-9);
+        assert!((out.r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dead_candidates_are_ignored() {
+        let dead = Candidate {
+            neighbor: NodeId::new(1),
+            d: f64::INFINITY,
+            r: 0.0,
+        };
+        let out = combine(&[dead, cand(10.0, 0.9)]);
+        assert!((out.d - 10.0).abs() < 1e-9);
+        assert!((out.r - 0.9).abs() < 1e-12);
+        let all_dead = combine(&[dead]);
+        assert_eq!(all_dead, DrPair::UNREACHABLE);
+    }
+
+    #[test]
+    fn eq2_from_link() {
+        let c = Candidate::from_link(
+            NodeId::new(3),
+            30_000.0,
+            0.95,
+            DrPair { d: 10_000.0, r: 0.9 },
+        );
+        assert_eq!(c.neighbor, NodeId::new(3));
+        assert!((c.d - 40_000.0).abs() < 1e-9);
+        assert!((c.r - 0.855).abs() < 1e-12);
+        assert!((c.ratio() - 40_000.0 / 0.855).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ratio_of_dead_candidate_is_infinite() {
+        assert!(cand(10.0, 0.0).ratio().is_infinite());
+    }
+
+    #[test]
+    fn failed_attempts_add_delay() {
+        // The Eq. 3 model charges the delay of failed attempts to later
+        // successes: putting a slow unreliable candidate first must raise d.
+        let fast_first = combine(&[cand(10.0, 0.9), cand(1000.0, 0.9)]);
+        let slow_first = combine(&[cand(1000.0, 0.9), cand(10.0, 0.9)]);
+        assert!(slow_first.d > fast_first.d);
+        assert!((slow_first.r - fast_first.r).abs() < 1e-12, "r is order-independent");
+    }
+
+    proptest! {
+        #[test]
+        fn combine_invariants(
+            ds in proptest::collection::vec(1.0f64..1e6, 1..8),
+            rs in proptest::collection::vec(0.01f64..1.0, 1..8),
+        ) {
+            let n = ds.len().min(rs.len());
+            let candidates: Vec<Candidate> =
+                (0..n).map(|i| cand(ds[i], rs[i])).collect();
+            let out = combine(&candidates);
+            // r equals 1 − Π(1−rᵢ) regardless of order.
+            let expected_r: f64 = 1.0 - candidates.iter().map(|c| 1.0 - c.r).product::<f64>();
+            prop_assert!((out.r - expected_r).abs() < 1e-9);
+            // d is at least the first candidate's d and at most Σ dᵢ.
+            let sum: f64 = ds[..n].iter().sum();
+            prop_assert!(out.d >= candidates[0].d - 1e-6);
+            prop_assert!(out.d <= sum + 1e-6);
+        }
+
+        #[test]
+        fn combine_matches_monte_carlo(
+            seed in 0u64..50,
+        ) {
+            use rand::Rng;
+            let mut rng = dcrd_sim::rng::rng_for(seed, "combine-mc");
+            let n = rng.gen_range(1..5);
+            let candidates: Vec<Candidate> = (0..n)
+                .map(|_| cand(rng.gen_range(10.0..1000.0), rng.gen_range(0.2..0.95)))
+                .collect();
+            let out = combine(&candidates);
+            let trials = 30_000;
+            let mut delivered = 0u64;
+            let mut total = 0.0;
+            for _ in 0..trials {
+                let mut elapsed = 0.0;
+                for c in &candidates {
+                    elapsed += c.d;
+                    if rng.gen::<f64>() < c.r {
+                        delivered += 1;
+                        total += elapsed;
+                        break;
+                    }
+                }
+            }
+            let emp_r = delivered as f64 / trials as f64;
+            let emp_d = total / delivered as f64;
+            prop_assert!((emp_r - out.r).abs() < 0.02, "r {} vs {}", out.r, emp_r);
+            prop_assert!((emp_d - out.d).abs() / out.d < 0.05, "d {} vs {}", out.d, emp_d);
+        }
+    }
+}

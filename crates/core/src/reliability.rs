@@ -1,0 +1,189 @@
+//! Eq. 1 of the paper: link statistics under `m` transmissions.
+//!
+//! Given a link's single-transmission expected delay `α⁽¹⁾` and delivery
+//! ratio `γ⁽¹⁾`, a broker that retransmits up to `m` times sees
+//!
+//! ```text
+//! α⁽ᵐ⁾ = Σ_{k=1..m} (k·α⁽¹⁾)·γ⁽¹⁾·(1−γ⁽¹⁾)^{k−1} / (1 − (1−γ⁽¹⁾)^m)
+//! γ⁽ᵐ⁾ = 1 − (1−γ⁽¹⁾)^m
+//! ```
+//!
+//! `α⁽ᵐ⁾` is *conditional* on the packet getting through within the `m`
+//! attempts — otherwise the delay is infinite and the expectation is
+//! undefined, which the paper (and this module) represent by pairing every
+//! `α` with its `γ`.
+
+use serde::{Deserialize, Serialize};
+
+/// Link statistics under `m` transmissions: conditional expected delay (µs)
+/// and delivery ratio.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// Expected delay in microseconds of a *successful* `m`-attempt
+    /// delivery (`α⁽ᵐ⁾`); `f64::INFINITY` when `γ⁽¹⁾ = 0`.
+    pub alpha: f64,
+    /// Probability that at least one of the `m` transmissions succeeds
+    /// (`γ⁽ᵐ⁾`).
+    pub gamma: f64,
+}
+
+/// Computes Eq. 1 for a link with single-transmission delay `alpha1` (µs)
+/// and delivery ratio `gamma1`, under `m` transmissions.
+///
+/// # Panics
+///
+/// Panics if `m == 0`, `alpha1` is negative or non-finite, or `gamma1` is
+/// outside `[0, 1]`.
+#[must_use]
+pub fn m_transmission_stats(alpha1: f64, gamma1: f64, m: u32) -> LinkStats {
+    assert!(m >= 1, "m must be at least 1");
+    assert!(
+        alpha1.is_finite() && alpha1 >= 0.0,
+        "alpha must be finite and non-negative, got {alpha1}"
+    );
+    assert!(
+        (0.0..=1.0).contains(&gamma1),
+        "gamma must be in [0, 1], got {gamma1}"
+    );
+    if gamma1 == 0.0 {
+        return LinkStats {
+            alpha: f64::INFINITY,
+            gamma: 0.0,
+        };
+    }
+    let q = 1.0 - gamma1;
+    let gamma_m = 1.0 - q.powi(m as i32);
+    let mut numerator = 0.0;
+    let mut q_pow = 1.0; // q^{k-1}
+    for k in 1..=m {
+        numerator += (k as f64) * alpha1 * gamma1 * q_pow;
+        q_pow *= q;
+    }
+    LinkStats {
+        alpha: numerator / gamma_m,
+        gamma: gamma_m,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_transmission_is_identity() {
+        let s = m_transmission_stats(30_000.0, 0.9, 1);
+        assert!((s.alpha - 30_000.0).abs() < 1e-9);
+        assert!((s.gamma - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_link_never_retransmits() {
+        for m in 1..=5 {
+            let s = m_transmission_stats(20_000.0, 1.0, m);
+            assert!((s.alpha - 20_000.0).abs() < 1e-9, "m={m}");
+            assert!((s.gamma - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dead_link_is_infinite() {
+        let s = m_transmission_stats(20_000.0, 0.0, 3);
+        assert!(s.alpha.is_infinite());
+        assert_eq!(s.gamma, 0.0);
+    }
+
+    #[test]
+    fn two_transmissions_hand_computed() {
+        // γ=0.5, α=10. γ² = 1-0.25 = 0.75.
+        // numerator = 1·10·0.5 + 2·10·0.5·0.5 = 5 + 5 = 10. α² = 10/0.75.
+        let s = m_transmission_stats(10.0, 0.5, 2);
+        assert!((s.gamma - 0.75).abs() < 1e-12);
+        assert!((s.alpha - 10.0 / 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gamma_increases_with_m() {
+        let mut prev = 0.0;
+        for m in 1..=8 {
+            let s = m_transmission_stats(10.0, 0.3, m);
+            assert!(s.gamma > prev, "gamma must increase with m");
+            prev = s.gamma;
+        }
+    }
+
+    #[test]
+    fn alpha_increases_with_m_for_lossy_links() {
+        // More allowed retries → successful deliveries include slower
+        // multi-attempt ones → conditional expected delay grows.
+        let mut prev = 0.0;
+        for m in 1..=8 {
+            let s = m_transmission_stats(10.0, 0.3, m);
+            assert!(s.alpha > prev, "alpha must increase with m");
+            prev = s.alpha;
+        }
+    }
+
+    #[test]
+    fn gamma_limit_is_one() {
+        let s = m_transmission_stats(10.0, 0.5, 30);
+        assert!((s.gamma - 1.0).abs() < 1e-8);
+        // As m→∞ with γ=0.5, α⁽ᵐ⁾ → α/γ = 2α (mean of geometric).
+        assert!((s.alpha - 20.0).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "m must be at least 1")]
+    fn zero_m_rejected() {
+        let _ = m_transmission_stats(10.0, 0.5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma must be in")]
+    fn bad_gamma_rejected() {
+        let _ = m_transmission_stats(10.0, 1.5, 1);
+    }
+
+    proptest! {
+        #[test]
+        fn props_hold_for_all_inputs(
+            alpha in 1.0f64..1e8,
+            gamma in 0.01f64..1.0,
+            m in 1u32..10,
+        ) {
+            let s = m_transmission_stats(alpha, gamma, m);
+            // γ⁽ᵐ⁾ ∈ [γ, 1]
+            prop_assert!(s.gamma >= gamma - 1e-12);
+            prop_assert!(s.gamma <= 1.0 + 1e-12);
+            // α⁽ᵐ⁾ ∈ [α, m·α] — conditional mean over 1..m attempts.
+            prop_assert!(s.alpha >= alpha - 1e-6);
+            prop_assert!(s.alpha <= m as f64 * alpha + 1e-6);
+        }
+
+        #[test]
+        fn matches_monte_carlo(gamma in 0.2f64..0.95, m in 1u32..5) {
+            use rand::Rng;
+            let alpha = 1000.0;
+            let s = m_transmission_stats(alpha, gamma, m);
+            let mut rng = dcrd_sim::rng::rng_for(42, "mc");
+            let trials = 40_000;
+            let mut successes = 0u64;
+            let mut total_delay = 0.0;
+            for _ in 0..trials {
+                for k in 1..=m {
+                    if rng.gen::<f64>() < gamma {
+                        successes += 1;
+                        total_delay += k as f64 * alpha;
+                        break;
+                    }
+                }
+            }
+            let emp_gamma = successes as f64 / trials as f64;
+            let emp_alpha = total_delay / successes as f64;
+            prop_assert!((emp_gamma - s.gamma).abs() < 0.02,
+                "gamma: analytic {} vs empirical {}", s.gamma, emp_gamma);
+            prop_assert!((emp_alpha - s.alpha).abs() / s.alpha < 0.05,
+                "alpha: analytic {} vs empirical {}", s.alpha, emp_alpha);
+        }
+    }
+}

@@ -1,0 +1,759 @@
+//! The DCRD dynamic routing scheme (Algorithm 2 of the paper).
+//!
+//! Every broker forwards each packet toward each of its destinations by
+//! trying the destination's sending list in order:
+//!
+//! 1. send to the first listed neighbor that has not been on the packet's
+//!    routing path and has not already been tried for this destination;
+//! 2. wait `ack_timeout_factor × α` for the hop-by-hop ACK; retransmit up
+//!    to `m` times;
+//! 3. on failure, move to the next listed neighbor;
+//! 4. when the list is exhausted, reroute the packet **upstream** (read
+//!    from the packet's routing path — no per-packet state is needed at
+//!    other brokers);
+//! 5. the publisher with an exhausted list drops the packet (or parks and
+//!    retries it with the persistence extension enabled).
+//!
+//! Destinations whose current next hop coincides are merged into a single
+//! transmission (Algorithm 2 lines 13–19).
+
+use std::collections::{HashMap, HashSet};
+
+use dcrd_net::estimate::LinkEstimates;
+use dcrd_net::{NodeId, Topology};
+use dcrd_pubsub::packet::{Packet, PacketId};
+use dcrd_pubsub::strategy::{
+    ack_timeout, Actions, RoutingStrategy, RunParams, SetupContext, TimerKey,
+};
+use dcrd_pubsub::topic::TopicId;
+use dcrd_pubsub::workload::Workload;
+use dcrd_sim::{SimDuration, SimTime};
+
+use crate::config::{DcrdConfig, PersistenceMode};
+use crate::propagation::{compute_tables_with_distances, SubscriberTables};
+
+/// Tag space reserved for persistence-retry timers (top bit set).
+const PERSIST_TAG_BASE: u64 = 1 << 63;
+
+/// One outstanding transmission awaiting its hop-by-hop ACK.
+#[derive(Debug, Clone)]
+struct Pending {
+    to: NodeId,
+    /// The exact copy on the wire (resent verbatim on retransmission).
+    packet: Packet,
+    /// Transmissions already made (1 after the first send).
+    sends: u32,
+    /// True when this send reroutes to the upstream node rather than down a
+    /// sending list.
+    is_upstream: bool,
+}
+
+/// Per-(message, broker) forwarding state. Created when a broker takes
+/// responsibility for a packet, deleted as soon as every destination is
+/// acknowledged downstream (the paper's "aggressively deletes a copy ...
+/// once it receives an ACK").
+#[derive(Debug)]
+struct NodeState {
+    packet: Packet,
+    /// The neighbor this broker first received the packet from (`None` at
+    /// the publisher) — the paper's upstream node ("the upstream node from
+    /// which it received this packet", §III).
+    upstream: Option<NodeId>,
+    /// Destinations fully handled at this broker (acked downstream,
+    /// delivered locally, or given up).
+    done: HashSet<NodeId>,
+    /// Per-destination neighbors already tried and failed from here.
+    tried: HashMap<NodeId, HashSet<NodeId>>,
+    /// Outstanding sends keyed by tag.
+    pending: HashMap<u64, Pending>,
+    /// Transmissions spent by this broker on this packet.
+    attempts: u32,
+    /// Persistence retries consumed (publisher only).
+    persist_retries: u32,
+    /// Destinations parked for a persistence retry.
+    parked: Vec<NodeId>,
+}
+
+impl NodeState {
+    fn new(packet: Packet, upstream: Option<NodeId>) -> Self {
+        NodeState {
+            packet,
+            upstream,
+            done: HashSet::new(),
+            tried: HashMap::new(),
+            pending: HashMap::new(),
+            attempts: 0,
+            persist_retries: 0,
+            parked: Vec::new(),
+        }
+    }
+
+    fn covered_by_pending(&self, dest: NodeId) -> bool {
+        self.pending
+            .values()
+            .any(|p| p.packet.destinations.contains(&dest))
+    }
+
+    fn finished(&self) -> bool {
+        self.pending.is_empty()
+            && self.parked.is_empty()
+            && self
+                .packet
+                .destinations
+                .iter()
+                .all(|d| self.done.contains(d))
+    }
+}
+
+/// The DCRD routing strategy (the paper's contribution), implementing
+/// [`RoutingStrategy`] for the overlay runtime.
+///
+/// # Example
+///
+/// ```
+/// use dcrd_core::{DcrdConfig, DcrdStrategy};
+///
+/// let strategy = DcrdStrategy::new(DcrdConfig::default());
+/// assert_eq!(strategy.config().max_attempts_per_node, 64);
+/// ```
+#[derive(Debug)]
+pub struct DcrdStrategy {
+    config: DcrdConfig,
+    params: RunParams,
+    topology: Option<Topology>,
+    estimates: Option<LinkEstimates>,
+    workload: Option<Workload>,
+    /// Routing tables per subscription `(topic, publisher, subscriber)` —
+    /// publisher-qualified so one topic may have several publishers
+    /// (many-to-many pub/sub), each with its own deadline geometry.
+    tables: HashMap<(TopicId, NodeId, NodeId), SubscriberTables>,
+    inflight: HashMap<(PacketId, NodeId), NodeState>,
+    next_tag: u64,
+    next_persist_tag: u64,
+}
+
+impl DcrdStrategy {
+    /// Creates a DCRD strategy with the given configuration. `setup` (run
+    /// by the runtime) computes the routing tables.
+    #[must_use]
+    pub fn new(config: DcrdConfig) -> Self {
+        DcrdStrategy {
+            config,
+            params: RunParams::default(),
+            topology: None,
+            estimates: None,
+            workload: None,
+            tables: HashMap::new(),
+            inflight: HashMap::new(),
+            next_tag: 0,
+            next_persist_tag: PERSIST_TAG_BASE,
+        }
+    }
+
+    /// The configuration this strategy runs with.
+    #[must_use]
+    pub fn config(&self) -> &DcrdConfig {
+        &self.config
+    }
+
+    /// The routing tables of one subscription, once `setup` has run.
+    #[must_use]
+    pub fn tables_for(
+        &self,
+        topic: TopicId,
+        publisher: NodeId,
+        subscriber: NodeId,
+    ) -> Option<&SubscriberTables> {
+        self.tables.get(&(topic, publisher, subscriber))
+    }
+
+    /// Number of in-flight per-broker packet states (diagnostic).
+    #[must_use]
+    pub fn inflight_states(&self) -> usize {
+        self.inflight.len()
+    }
+
+    fn rebuild_tables(&mut self, estimates: &LinkEstimates) {
+        let topo = self.topology.as_ref().expect("setup ran");
+        let workload = self.workload.as_ref().expect("setup ran");
+        self.tables.clear();
+        for spec in workload.topics() {
+            let dist = dcrd_net::paths::dijkstra(topo, spec.publisher, dcrd_net::paths::Metric::Delay);
+            for sub in &spec.subscriptions {
+                let tables = compute_tables_with_distances(
+                    topo,
+                    estimates,
+                    self.params.m,
+                    spec.publisher,
+                    &dist,
+                    sub.subscriber,
+                    sub.deadline.as_micros() as f64,
+                    &self.config,
+                );
+                self.tables
+                    .insert((spec.topic, spec.publisher, sub.subscriber), tables);
+            }
+        }
+    }
+
+    fn alpha(&self, a: NodeId, b: NodeId) -> SimDuration {
+        let topo = self.topology.as_ref().expect("setup ran");
+        let est = self.estimates.as_ref().expect("setup ran");
+        let edge = topo
+            .edge_between(a, b)
+            .unwrap_or_else(|| panic!("no link {a}-{b}"));
+        est.get(edge).alpha
+    }
+
+    /// Picks the next hop for `dest` at `node`, honoring the sending list,
+    /// the packet's routing path, the per-destination tried set, and the
+    /// upstream fallback. `None` means "give up / park".
+    fn choose_next_hop(&self, node: NodeId, state: &NodeState, dest: NodeId) -> Option<(NodeId, bool)> {
+        let tables =
+            self.tables
+                .get(&(state.packet.topic, state.packet.publisher, dest))?;
+        let tried = state.tried.get(&dest);
+        let candidate = tables.sending_list(node).iter().find(|c| {
+            c.neighbor != node
+                && !state.packet.visited(c.neighbor)
+                && !tried.is_some_and(|t| t.contains(&c.neighbor))
+        });
+        if let Some(c) = candidate {
+            return Some((c.neighbor, false));
+        }
+        if !self.config.reroute_upstream {
+            return None;
+        }
+        state.upstream.map(|up| (up, true))
+    }
+
+    /// Algorithm 2's main loop: assign every unhandled destination a next
+    /// hop, merging destinations that share one.
+    fn process(&mut self, node: NodeId, id: PacketId, now: SimTime, out: &mut Actions) {
+        // Collect assignments first (immutable pass), then mutate.
+        let Some(state) = self.inflight.get(&(id, node)) else {
+            return;
+        };
+        let mut assignments: Vec<(NodeId, Vec<NodeId>, bool)> = Vec::new(); // (next hop, dests, is_upstream)
+        let mut give_ups: Vec<NodeId> = Vec::new();
+        let mut park: Vec<NodeId> = Vec::new();
+        let num_nodes = self.topology.as_ref().expect("setup ran").num_nodes();
+        let path_budget = self.config.max_path_factor as usize * num_nodes;
+        let over_cap = state.attempts >= self.config.max_attempts_per_node
+            || state.packet.path.len() >= path_budget;
+
+        for &dest in &state.packet.destinations {
+            if state.done.contains(&dest) || state.covered_by_pending(dest) || state.parked.contains(&dest) {
+                continue;
+            }
+            // Park instead of giving up when the persistence extension has
+            // retries left — both for an exhausted publisher and for any
+            // broker that burned through its attempts cap.
+            let can_park = matches!(
+                self.config.persistence,
+                PersistenceMode::Retry { max_retries, .. }
+                    if state.persist_retries < max_retries
+            );
+            if over_cap {
+                if can_park {
+                    park.push(dest);
+                } else {
+                    give_ups.push(dest);
+                }
+                continue;
+            }
+            match self.choose_next_hop(node, state, dest) {
+                Some((hop, is_upstream)) => {
+                    if let Some(entry) = assignments
+                        .iter_mut()
+                        .find(|(h, _, up)| *h == hop && *up == is_upstream)
+                    {
+                        entry.1.push(dest);
+                    } else {
+                        assignments.push((hop, vec![dest], is_upstream));
+                    }
+                }
+                None => {
+                    if can_park {
+                        park.push(dest);
+                    } else {
+                        give_ups.push(dest);
+                    }
+                }
+            }
+        }
+
+        // Mutate phase.
+        let mut new_pendings: Vec<(u64, Pending, SimTime)> = Vec::new();
+        for (hop, dests, is_upstream) in assignments {
+            let tag = self.next_tag;
+            self.next_tag += 1;
+            let state = self.inflight.get_mut(&(id, node)).expect("state exists");
+            let forwarded = state.packet.forward(node, dests, tag);
+            let timeout = ack_timeout(self.alpha(node, hop), &self.params);
+            let state = self.inflight.get_mut(&(id, node)).expect("state exists");
+            state.attempts += 1;
+            new_pendings.push((
+                tag,
+                Pending {
+                    to: hop,
+                    packet: forwarded,
+                    sends: 1,
+                    is_upstream,
+                },
+                now + timeout,
+            ));
+        }
+        let state = self.inflight.get_mut(&(id, node)).expect("state exists");
+        for (tag, pending, deadline) in new_pendings {
+            out.send(pending.to, pending.packet.clone());
+            out.set_timer(deadline, TimerKey { packet: id, tag });
+            state.pending.insert(tag, pending);
+        }
+        for dest in give_ups {
+            state.done.insert(dest);
+            out.give_up(id, dest);
+        }
+        if !park.is_empty() {
+            state.parked.extend(park);
+            state.persist_retries += 1;
+            if let PersistenceMode::Retry { retry_after_ms, .. } = self.config.persistence {
+                let tag = self.next_persist_tag;
+                self.next_persist_tag += 1;
+                out.set_timer(
+                    now + SimDuration::from_millis(retry_after_ms),
+                    TimerKey { packet: id, tag },
+                );
+            }
+        }
+        if state.finished() {
+            self.inflight.remove(&(id, node));
+        }
+    }
+
+    /// Handles local delivery and returns the destinations still needing
+    /// routing.
+    fn deliver_locally(node: NodeId, packet: &mut Packet, out: &mut Actions) {
+        if let Some(pos) = packet.destinations.iter().position(|&d| d == node) {
+            out.deliver(packet.id);
+            packet.destinations.swap_remove(pos);
+        }
+    }
+
+    /// Re-derives the upstream hop of a broker whose per-packet state was
+    /// already reclaimed (the packet returned after we ACKed it away).
+    ///
+    /// The natural answer is the paper's "node before my first occurrence
+    /// on the routing path", but when duplicate copies converged somewhere
+    /// the recorded path is a merge of several physical paths and that
+    /// entry may not be a neighbor. Fall back along progressively weaker
+    /// candidates, requiring each to be an actual neighbor; the sender of
+    /// the returning copy always is.
+    fn derive_upstream(&self, node: NodeId, packet: &Packet, from: NodeId) -> Option<NodeId> {
+        let topo = self.topology.as_ref().expect("setup ran");
+        let first = packet.path.iter().position(|&n| n == node);
+        let last = packet.path.iter().rposition(|&n| n == node);
+        let candidates = [
+            first.and_then(|i| i.checked_sub(1)).map(|i| packet.path[i]),
+            last.and_then(|i| i.checked_sub(1)).map(|i| packet.path[i]),
+            Some(from),
+        ];
+        candidates
+            .into_iter()
+            .flatten()
+            .find(|&c| c != node && topo.edge_between(node, c).is_some())
+    }
+
+    fn merge_path(into: &mut Vec<NodeId>, from: &[NodeId]) {
+        for &n in from {
+            if !into.contains(&n) {
+                into.push(n);
+            }
+        }
+    }
+}
+
+impl RoutingStrategy for DcrdStrategy {
+    fn name(&self) -> &'static str {
+        "DCRD"
+    }
+
+    fn setup(&mut self, ctx: &SetupContext<'_>) {
+        self.params = ctx.params;
+        self.topology = Some(ctx.topology.clone());
+        self.estimates = Some(ctx.estimates.clone());
+        self.workload = Some(ctx.workload.clone());
+        let estimates = ctx.estimates.clone();
+        self.rebuild_tables(&estimates);
+    }
+
+    fn on_publish(&mut self, node: NodeId, mut packet: Packet, now: SimTime, out: &mut Actions) {
+        Self::deliver_locally(node, &mut packet, out);
+        if packet.destinations.is_empty() {
+            return;
+        }
+        let id = packet.id;
+        self.inflight.insert((id, node), NodeState::new(packet, None));
+        self.process(node, id, now, out);
+    }
+
+    fn on_packet(
+        &mut self,
+        node: NodeId,
+        from: NodeId,
+        mut packet: Packet,
+        now: SimTime,
+        out: &mut Actions,
+    ) {
+        Self::deliver_locally(node, &mut packet, out);
+        if packet.destinations.is_empty() {
+            return;
+        }
+        let id = packet.id;
+        match self.inflight.get_mut(&(id, node)) {
+            Some(state) => {
+                // A second copy: either a RETURNED packet (we are on its
+                // path — a downstream broker failed and sent it back) or a
+                // converging DUPLICATE (born upstream when an ACK was lost
+                // and both the timeout path and the original copy went on).
+                let returned = packet.visited(node);
+                let path = packet.path.clone();
+                Self::merge_path(&mut state.packet.path, &path);
+                for dest in packet.destinations {
+                    if !state.packet.destinations.contains(&dest) {
+                        state.packet.destinations.push(dest);
+                    }
+                    // Only a returned packet invalidates earlier handling:
+                    // its destinations genuinely failed downstream. A mere
+                    // duplicate must NOT resurrect destinations we already
+                    // forwarded — that would amplify every duplicate.
+                    if returned {
+                        state.done.remove(&dest);
+                    }
+                }
+            }
+            None => {
+                // The upstream is only meaningful when the packet came from
+                // a broker that has NOT seen it bounce through us before —
+                // a returning packet (we are on its path) must not be sent
+                // back to the downstream neighbor that returned it.
+                let upstream = if packet.visited(node) {
+                    self.derive_upstream(node, &packet, from)
+                } else {
+                    Some(from)
+                };
+                self.inflight
+                    .insert((id, node), NodeState::new(packet, upstream));
+            }
+        }
+        self.process(node, id, now, out);
+    }
+
+    fn on_ack(
+        &mut self,
+        node: NodeId,
+        _to: NodeId,
+        packet: &Packet,
+        _now: SimTime,
+        out: &mut Actions,
+    ) {
+        let _ = out;
+        let Some(state) = self.inflight.get_mut(&(packet.id, node)) else {
+            return;
+        };
+        if let Some(p) = state.pending.remove(&packet.tag) {
+            for dest in &p.packet.destinations {
+                state.done.insert(*dest);
+            }
+            if state.finished() {
+                self.inflight.remove(&(packet.id, node));
+            }
+        }
+    }
+
+    fn on_timer(&mut self, node: NodeId, key: TimerKey, now: SimTime, out: &mut Actions) {
+        let id = key.packet;
+        if key.tag >= PERSIST_TAG_BASE {
+            // Persistence retry: unpark every parked destination and restart
+            // the exploration with cleared per-destination history. The
+            // retry is semantically a fresh send, so the routing-path record
+            // (loop avoidance + path budget) starts over too.
+            if let Some(state) = self.inflight.get_mut(&(id, node)) {
+                let parked = std::mem::take(&mut state.parked);
+                for dest in &parked {
+                    state.tried.remove(dest);
+                }
+                state.attempts = 0;
+                state.packet.path.clear();
+            }
+            self.process(node, id, now, out);
+            return;
+        }
+        let Some(state) = self.inflight.get_mut(&(id, node)) else {
+            return;
+        };
+        let Some(p) = state.pending.get_mut(&key.tag) else {
+            return; // ACK already arrived; stale timer.
+        };
+        if p.sends < self.params.m {
+            // Retransmit on the same link (Eq. 1's m).
+            p.sends += 1;
+            let packet = p.packet.clone();
+            let to = p.to;
+            let timeout = ack_timeout(self.alpha(node, to), &self.params);
+            out.send(to, packet);
+            out.set_timer(now + timeout, key);
+            let state = self.inflight.get_mut(&(id, node)).expect("state exists");
+            state.attempts += 1;
+            return;
+        }
+        // Neighbor failed after m transmissions: mark tried and move on.
+        // Upstream hops are exempt from the tried set — the upstream link is
+        // the only way back, so it is retried (bounded by the attempts cap)
+        // rather than written off.
+        let p = state.pending.remove(&key.tag).expect("pending checked above");
+        if !p.is_upstream {
+            for dest in &p.packet.destinations {
+                state.tried.entry(*dest).or_default().insert(p.to);
+            }
+        }
+        self.process(node, id, now, out);
+    }
+
+    fn on_monitor(&mut self, estimates: &LinkEstimates, _now: SimTime) {
+        self.estimates = Some(estimates.clone());
+        let estimates = estimates.clone();
+        self.rebuild_tables(&estimates);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcrd_net::failure::{FailureModel, LinkFailureModel};
+    use dcrd_net::loss::LossModel;
+    use dcrd_net::topology::{full_mesh, line, ring, DelayRange};
+    use dcrd_pubsub::runtime::{OverlayRuntime, RuntimeConfig};
+    use dcrd_pubsub::topic::Subscription;
+    use dcrd_pubsub::workload::{TopicSpec, Workload, WorkloadConfig};
+    use dcrd_sim::rng::rng_for;
+
+    fn one_topic_workload(
+        topo: &Topology,
+        publisher: usize,
+        subscribers: &[usize],
+        deadline: SimDuration,
+    ) -> Workload {
+        Workload::from_topics(vec![TopicSpec {
+            topic: TopicId::new(0),
+            publisher: topo.node(publisher),
+            interval: SimDuration::from_secs(1),
+            offset: SimDuration::ZERO,
+            subscriptions: subscribers
+                .iter()
+                .map(|&s| Subscription::new(topo.node(s), deadline))
+                .collect(),
+        }])
+    }
+
+    fn run(
+        topo: &Topology,
+        wl: &Workload,
+        pf: f64,
+        pl: f64,
+        secs: u64,
+        seed: u64,
+        config: DcrdConfig,
+    ) -> dcrd_pubsub::runtime::DeliveryLog {
+        let failure = FailureModel::links_only(LinkFailureModel::new(pf, seed ^ 0xFA11));
+        let rt_config = RuntimeConfig::paper(SimDuration::from_secs(secs), seed);
+        let rt = OverlayRuntime::new(topo, wl, failure, LossModel::new(pl), rt_config);
+        rt.run(&mut DcrdStrategy::new(config))
+    }
+
+    #[test]
+    fn lossless_line_delivers_on_time() {
+        let topo = line(4, SimDuration::from_millis(10));
+        let wl = one_topic_workload(&topo, 0, &[3], SimDuration::from_millis(90));
+        let log = run(&topo, &wl, 0.0, 0.0, 20, 1, DcrdConfig::default());
+        assert!((log.delivery_ratio() - 1.0).abs() < 1e-12);
+        assert!((log.qos_delivery_ratio() - 1.0).abs() < 1e-12);
+        // Exactly 3 hops per message, no retries.
+        assert!((log.packets_per_subscriber() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiple_subscribers_are_merged_where_paths_share_hops() {
+        // Line 0-1-2-3: subscribers 2 and 3. Hop 0→1→2 is shared, so the
+        // merged packet costs 2 sends up to node 2 plus 1 send to 3.
+        let topo = line(4, SimDuration::from_millis(10));
+        let wl = one_topic_workload(&topo, 0, &[2, 3], SimDuration::from_millis(200));
+        let log = run(&topo, &wl, 0.0, 0.0, 10, 2, DcrdConfig::default());
+        assert!((log.delivery_ratio() - 1.0).abs() < 1e-12);
+        // 3 transmissions per message for 2 (msg, sub) pairs → 1.5.
+        assert!(
+            (log.packets_per_subscriber() - 1.5).abs() < 1e-9,
+            "merging broken: {}",
+            log.packets_per_subscriber()
+        );
+    }
+
+    #[test]
+    fn reroutes_around_permanently_failed_link() {
+        // Ring of 4: direct route 0→1, detour 0→3→2→1. Kill link 0-1 by
+        // giving it pf=1? Per-link failure control isn't exposed, so use a
+        // custom topology where the "direct" link is dead via node pair
+        // distance: instead simulate pf high and rely on rerouting to lift
+        // delivery above the single-path baseline.
+        let topo = ring(4, SimDuration::from_millis(10));
+        let wl = one_topic_workload(&topo, 0, &[1], SimDuration::from_millis(400));
+        let log = run(&topo, &wl, 0.3, 0.0, 120, 3, DcrdConfig::default());
+        // A fixed single path delivers ≈70% (direct link up). The oracle
+        // ceiling is P(any path up) = 1−0.3·(1−0.7³) ≈ 80%. DCRD must land
+        // well above the fixed path and near the ceiling.
+        assert!(
+            log.delivery_ratio() > 0.75,
+            "delivery ratio {} too low for DCRD",
+            log.delivery_ratio()
+        );
+        assert!(log.delivery_ratio() <= 0.85);
+    }
+
+    #[test]
+    fn mesh_under_paper_conditions_is_near_perfect() {
+        let mut rng = rng_for(4, "router");
+        let topo = full_mesh(10, DelayRange::PAPER, &mut rng);
+        let wl = Workload::generate(&topo, &WorkloadConfig::PAPER, &mut rng);
+        let log = run(&topo, &wl, 0.04, 1e-4, 60, 4, DcrdConfig::default());
+        assert!(
+            log.delivery_ratio() > 0.995,
+            "delivery ratio {}",
+            log.delivery_ratio()
+        );
+        assert!(
+            log.qos_delivery_ratio() > 0.97,
+            "QoS ratio {}",
+            log.qos_delivery_ratio()
+        );
+    }
+
+    #[test]
+    fn no_reroute_ablation_gives_up_earlier() {
+        let topo = ring(4, SimDuration::from_millis(10));
+        let wl = one_topic_workload(&topo, 0, &[2], SimDuration::from_millis(400));
+        let with = run(&topo, &wl, 0.25, 0.0, 120, 5, DcrdConfig::default());
+        let without = run(
+            &topo,
+            &wl,
+            0.25,
+            0.0,
+            120,
+            5,
+            DcrdConfig {
+                reroute_upstream: false,
+                ..DcrdConfig::default()
+            },
+        );
+        assert!(
+            with.delivery_ratio() >= without.delivery_ratio(),
+            "reroute {} < no-reroute {}",
+            with.delivery_ratio(),
+            without.delivery_ratio()
+        );
+    }
+
+    #[test]
+    fn persistence_mode_recovers_parked_packets() {
+        // Two nodes, one link: when the link's epoch fails, the publisher
+        // has no alternative and (without persistence) gives up; with
+        // persistence it retries next epoch and delivers late.
+        let topo = line(2, SimDuration::from_millis(10));
+        let wl = one_topic_workload(&topo, 0, &[1], SimDuration::from_millis(100));
+        let base = run(&topo, &wl, 0.4, 0.0, 120, 6, DcrdConfig::default());
+        let persist = run(
+            &topo,
+            &wl,
+            0.4,
+            0.0,
+            120,
+            6,
+            DcrdConfig {
+                persistence: PersistenceMode::Retry {
+                    max_retries: 10,
+                    retry_after_ms: 1000,
+                },
+                ..DcrdConfig::default()
+            },
+        );
+        assert!(
+            persist.delivery_ratio() > base.delivery_ratio() + 0.1,
+            "persistence {} vs base {}",
+            persist.delivery_ratio(),
+            base.delivery_ratio()
+        );
+        // Late deliveries don't help QoS much, but delivery must be ~1.
+        assert!(persist.delivery_ratio() > 0.95);
+    }
+
+    #[test]
+    fn retransmission_m2_sends_more() {
+        let topo = line(2, SimDuration::from_millis(10));
+        let wl = one_topic_workload(&topo, 0, &[1], SimDuration::from_millis(100));
+        let mut m2 = DcrdConfig::default();
+        let _ = &mut m2;
+        // m comes from RunParams; craft runtimes directly.
+        let failure = FailureModel::links_only(LinkFailureModel::new(0.0, 77));
+        let mut cfg1 = RuntimeConfig::paper(SimDuration::from_secs(60), 7);
+        cfg1.params.m = 1;
+        let mut cfg2 = cfg1;
+        cfg2.params.m = 2;
+        // Heavy random loss so retransmissions matter.
+        let log1 = OverlayRuntime::new(&topo, &wl, failure, LossModel::new(0.3), cfg1)
+            .run(&mut DcrdStrategy::new(DcrdConfig::default()));
+        let log2 = OverlayRuntime::new(&topo, &wl, failure, LossModel::new(0.3), cfg2)
+            .run(&mut DcrdStrategy::new(DcrdConfig::default()));
+        assert!(
+            log2.delivery_ratio() > log1.delivery_ratio(),
+            "m=2 {} should beat m=1 {} under pure loss on a single path",
+            log2.delivery_ratio(),
+            log1.delivery_ratio()
+        );
+    }
+
+    #[test]
+    fn inflight_state_is_cleaned_up() {
+        let topo = line(3, SimDuration::from_millis(10));
+        let wl = one_topic_workload(&topo, 0, &[2], SimDuration::from_millis(100));
+        let failure = FailureModel::links_only(LinkFailureModel::new(0.0, 1));
+        let rt_config = RuntimeConfig::paper(SimDuration::from_secs(10), 1);
+        let rt = OverlayRuntime::new(&topo, &wl, failure, LossModel::new(0.0), rt_config);
+        let mut strategy = DcrdStrategy::new(DcrdConfig::default());
+        let log = rt.run(&mut strategy);
+        assert!((log.delivery_ratio() - 1.0).abs() < 1e-12);
+        assert_eq!(
+            strategy.inflight_states(),
+            0,
+            "all per-packet state must be reclaimed after ACKs"
+        );
+    }
+
+    #[test]
+    fn tables_are_exposed_after_setup() {
+        let topo = line(3, SimDuration::from_millis(10));
+        let wl = one_topic_workload(&topo, 0, &[2], SimDuration::from_millis(100));
+        let failure = FailureModel::links_only(LinkFailureModel::new(0.0, 1));
+        let rt_config = RuntimeConfig::paper(SimDuration::from_secs(1), 1);
+        let rt = OverlayRuntime::new(&topo, &wl, failure, LossModel::new(0.0), rt_config);
+        let mut strategy = DcrdStrategy::new(DcrdConfig::default());
+        let _ = rt.run(&mut strategy);
+        let tables = strategy
+            .tables_for(TopicId::new(0), topo.node(0), topo.node(2))
+            .expect("tables computed in setup");
+        assert!(tables.converged());
+        assert_eq!(tables.subscriber(), topo.node(2));
+        assert!(strategy
+            .tables_for(TopicId::new(9), topo.node(0), topo.node(2))
+            .is_none());
+        assert_eq!(strategy.name(), "DCRD");
+    }
+}

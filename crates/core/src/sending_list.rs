@@ -1,0 +1,123 @@
+//! Sending-list construction (Algorithm 1 of the paper).
+//!
+//! For broker `X` and subscriber `S` with per-node delay requirement
+//! `D_XS`, the sending list contains every neighbor `i` whose own expected
+//! delay satisfies `dᵢ < D_XS` (Algorithm 1 line 4), with Eq. 2 applied to
+//! fold in the link statistics, sorted by the configured ordering policy
+//! (Theorem 1 by default).
+
+use dcrd_net::NodeId;
+
+use crate::ordering::OrderingPolicy;
+use crate::params::{combine, Candidate, DrPair};
+use crate::reliability::LinkStats;
+
+/// One neighbor as seen from `X`: the connecting link's `m`-transmission
+/// statistics plus the neighbor's advertised `⟨d, r⟩`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NeighborInfo {
+    /// The neighboring broker.
+    pub neighbor: NodeId,
+    /// `⟨α_Xi, γ_Xi⟩` of the link `X → i` under `m` transmissions.
+    pub link: LinkStats,
+    /// The neighbor's advertised `⟨dᵢ, rᵢ⟩` toward the subscriber.
+    pub params: DrPair,
+}
+
+/// Builds the sending list of a broker toward one subscriber
+/// (Algorithm 1 lines 1–9): filter by `dᵢ < requirement` (µs), apply Eq. 2,
+/// sort by `policy`.
+#[must_use]
+pub fn build_sending_list(
+    neighbors: &[NeighborInfo],
+    requirement: f64,
+    policy: OrderingPolicy,
+) -> Vec<Candidate> {
+    let mut list: Vec<Candidate> = neighbors
+        .iter()
+        .filter(|n| n.params.d < requirement)
+        .map(|n| Candidate::from_link(n.neighbor, n.link.alpha, n.link.gamma, n.params))
+        .collect();
+    policy.sort(&mut list);
+    list
+}
+
+/// Algorithm 1 lines 10–11: the broker's own `⟨d_X, r_X⟩` from its sorted
+/// sending list (Eq. 3).
+#[must_use]
+pub fn node_params(sending_list: &[Candidate]) -> DrPair {
+    combine(sending_list)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(id: u32, alpha: f64, gamma: f64, d: f64, r: f64) -> NeighborInfo {
+        NeighborInfo {
+            neighbor: NodeId::new(id),
+            link: LinkStats { alpha, gamma },
+            params: DrPair { d, r },
+        }
+    }
+
+    #[test]
+    fn filters_by_requirement() {
+        let neighbors = vec![
+            info(0, 10.0, 1.0, 50.0, 1.0),   // d=50 < 100 → kept
+            info(1, 10.0, 1.0, 100.0, 1.0),  // d=100 not < 100 → dropped
+            info(2, 10.0, 1.0, 150.0, 1.0),  // dropped
+        ];
+        let list = build_sending_list(&neighbors, 100.0, OrderingPolicy::RatioOptimal);
+        assert_eq!(list.len(), 1);
+        assert_eq!(list[0].neighbor, NodeId::new(0));
+        // Eq. 2 applied: d = α + dᵢ.
+        assert!((list[0].d - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unreachable_neighbors_filtered_by_infinite_d() {
+        let neighbors = vec![
+            info(0, 10.0, 0.9, f64::INFINITY, 0.0),
+            info(1, 10.0, 0.9, 20.0, 0.8),
+        ];
+        let list = build_sending_list(&neighbors, 1000.0, OrderingPolicy::RatioOptimal);
+        assert_eq!(list.len(), 1);
+        assert_eq!(list[0].neighbor, NodeId::new(1));
+    }
+
+    #[test]
+    fn sorted_by_theorem1() {
+        let neighbors = vec![
+            info(0, 50.0, 0.5, 0.0, 1.0), // d/r = 100
+            info(1, 40.0, 0.8, 0.0, 1.0), // d/r = 50
+        ];
+        let list = build_sending_list(&neighbors, 1000.0, OrderingPolicy::RatioOptimal);
+        assert_eq!(list[0].neighbor, NodeId::new(1));
+        assert_eq!(list[1].neighbor, NodeId::new(0));
+    }
+
+    #[test]
+    fn node_params_from_list() {
+        let neighbors = vec![info(0, 10.0, 0.5, 0.0, 1.0), info(1, 20.0, 0.5, 0.0, 1.0)];
+        let list = build_sending_list(&neighbors, 1000.0, OrderingPolicy::RatioOptimal);
+        let p = node_params(&list);
+        assert!((p.r - 0.75).abs() < 1e-12);
+        assert!((p.d - 12.5 / 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_everything() {
+        let list = build_sending_list(&[], 100.0, OrderingPolicy::RatioOptimal);
+        assert!(list.is_empty());
+        assert_eq!(node_params(&list), DrPair::UNREACHABLE);
+    }
+
+    #[test]
+    fn zero_requirement_blocks_all() {
+        let neighbors = vec![info(0, 10.0, 1.0, 0.0, 1.0)];
+        // Even the subscriber itself (d=0) fails `d < 0`.
+        let list = build_sending_list(&neighbors, 0.0, OrderingPolicy::RatioOptimal);
+        assert!(list.is_empty());
+    }
+}

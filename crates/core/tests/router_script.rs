@@ -1,0 +1,327 @@
+//! Scripted white-box tests of the DCRD router: drive the strategy's
+//! callbacks directly (no simulator) and inspect the exact actions it
+//! emits, pinning Algorithm 2's per-step behavior.
+
+use dcrd_core::{DcrdConfig, DcrdStrategy};
+use dcrd_net::estimate::analytic_estimates;
+use dcrd_net::failure::{FailureModel, LinkFailureModel};
+use dcrd_net::graph::TopologyBuilder;
+use dcrd_net::{NodeId, Topology};
+use dcrd_pubsub::packet::{Packet, PacketId};
+use dcrd_pubsub::strategy::{Action, Actions, RoutingStrategy, RunParams, SetupContext, TimerKey};
+use dcrd_pubsub::topic::{Subscription, TopicId};
+use dcrd_pubsub::workload::{TopicSpec, Workload};
+use dcrd_sim::{SimDuration, SimTime};
+
+/// Line 0—1—2—3 with 10 ms links; topic 0 published by node 0, subscribers
+/// per test.
+fn line4() -> Topology {
+    let mut b = TopologyBuilder::new(4);
+    let n = b.nodes();
+    b.link(n[0], n[1], SimDuration::from_millis(10));
+    b.link(n[1], n[2], SimDuration::from_millis(10));
+    b.link(n[2], n[3], SimDuration::from_millis(10));
+    b.build()
+}
+
+/// Diamond: 0 connects to 1 and 2; both connect to 3.
+fn diamond() -> Topology {
+    let mut b = TopologyBuilder::new(4);
+    let n = b.nodes();
+    b.link(n[0], n[1], SimDuration::from_millis(10));
+    b.link(n[0], n[2], SimDuration::from_millis(20));
+    b.link(n[1], n[3], SimDuration::from_millis(10));
+    b.link(n[2], n[3], SimDuration::from_millis(10));
+    b.build()
+}
+
+struct Harness {
+    topo: Topology,
+    workload: Workload,
+    strategy: DcrdStrategy,
+}
+
+impl Harness {
+    fn new(topo: Topology, subscribers: &[usize], config: DcrdConfig) -> Self {
+        let workload = Workload::from_topics(vec![TopicSpec {
+            topic: TopicId::new(0),
+            publisher: topo.node(0),
+            interval: SimDuration::from_secs(1),
+            offset: SimDuration::ZERO,
+            subscriptions: subscribers
+                .iter()
+                .map(|&s| Subscription::new(topo.node(s), SimDuration::from_millis(500)))
+                .collect(),
+        }]);
+        let mut harness = Harness {
+            topo,
+            workload,
+            strategy: DcrdStrategy::new(config),
+        };
+        let estimates = analytic_estimates(&harness.topo, 0.05, 0.0);
+        let failure = FailureModel::links_only(LinkFailureModel::new(0.05, 1));
+        let ctx = SetupContext {
+            topology: &harness.topo,
+            estimates: &estimates,
+            workload: &harness.workload,
+            failure_oracle: &failure,
+            params: RunParams::default(),
+        };
+        harness.strategy.setup(&ctx);
+        harness
+    }
+
+    fn publish(&mut self, subscribers: &[usize]) -> (Packet, Vec<Action>) {
+        let packet = Packet::new(
+            PacketId::new(1),
+            TopicId::new(0),
+            self.topo.node(0),
+            SimTime::ZERO,
+            subscribers.iter().map(|&s| self.topo.node(s)).collect(),
+        );
+        let mut out = Actions::new();
+        self.strategy
+            .on_publish(self.topo.node(0), packet.clone(), SimTime::ZERO, &mut out);
+        (packet, out.drain().collect())
+    }
+}
+
+fn sends(actions: &[Action]) -> Vec<(&Packet, NodeId)> {
+    actions
+        .iter()
+        .filter_map(|a| match a {
+            Action::Send { to, packet } => Some((packet, *to)),
+            _ => None,
+        })
+        .collect()
+}
+
+fn timers(actions: &[Action]) -> Vec<TimerKey> {
+    actions
+        .iter()
+        .filter_map(|a| match a {
+            Action::SetTimer { key, .. } => Some(*key),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn publish_sends_one_merged_packet_down_the_line() {
+    let topo = line4();
+    let mut h = Harness::new(topo, &[2, 3], DcrdConfig::default());
+    let (_, actions) = h.publish(&[2, 3]);
+    let s = sends(&actions);
+    // Both subscribers share next hop 1 → a single transmission.
+    assert_eq!(s.len(), 1, "destinations sharing a hop must merge");
+    let (pkt, to) = s[0];
+    assert_eq!(to, NodeId::new(1));
+    assert_eq!(pkt.destinations.len(), 2);
+    assert_eq!(pkt.path, vec![NodeId::new(0)], "sender appends itself");
+    // Exactly one ACK timer armed, tagged like the sent packet.
+    let t = timers(&actions);
+    assert_eq!(t.len(), 1);
+    assert_eq!(t[0].packet, pkt.id);
+    assert_eq!(t[0].tag, pkt.tag);
+}
+
+#[test]
+fn timeout_moves_to_next_neighbor_and_records_giveup_at_source_exhaustion() {
+    let topo = line4();
+    let mut h = Harness::new(topo, &[3], DcrdConfig::default());
+    let (_, actions) = h.publish(&[3]);
+    let s = sends(&actions);
+    assert_eq!(s.len(), 1);
+    assert_eq!(s[0].1, NodeId::new(1), "line: only neighbor is 1");
+    let key = timers(&actions)[0];
+
+    // Timer fires with no ACK → node 0 has no other neighbor and no
+    // upstream → give up (non-persistent mode).
+    let mut out = Actions::new();
+    h.strategy
+        .on_timer(NodeId::new(0), key, SimTime::from_millis(30), &mut out);
+    let actions: Vec<Action> = out.drain().collect();
+    assert!(sends(&actions).is_empty(), "nothing left to try");
+    assert!(
+        actions
+            .iter()
+            .any(|a| matches!(a, Action::GiveUp { destination, .. } if *destination == NodeId::new(3))),
+        "publisher exhaustion must emit GiveUp"
+    );
+    assert_eq!(h.strategy.inflight_states(), 0, "state reclaimed after give-up");
+}
+
+#[test]
+fn ack_clears_pending_and_reclaims_state() {
+    let topo = line4();
+    let mut h = Harness::new(topo, &[3], DcrdConfig::default());
+    let (_, actions) = h.publish(&[3]);
+    let (sent, to) = sends(&actions)[0];
+    let sent = sent.clone();
+    assert_eq!(h.strategy.inflight_states(), 1);
+
+    let mut out = Actions::new();
+    h.strategy
+        .on_ack(NodeId::new(0), to, &sent, SimTime::from_millis(20), &mut out);
+    assert!(out.is_empty(), "ACK handling emits no actions");
+    assert_eq!(h.strategy.inflight_states(), 0, "ACK deletes the copy (§III)");
+
+    // The stale timer that was armed for this send must now be a no-op.
+    let key = TimerKey {
+        packet: sent.id,
+        tag: sent.tag,
+    };
+    let mut out = Actions::new();
+    h.strategy
+        .on_timer(NodeId::new(0), key, SimTime::from_millis(30), &mut out);
+    assert!(out.is_empty(), "stale timer after ACK must do nothing");
+}
+
+#[test]
+fn diamond_timeout_fails_over_to_second_neighbor() {
+    let topo = diamond();
+    let mut h = Harness::new(topo, &[3], DcrdConfig::default());
+    let (_, actions) = h.publish(&[3]);
+    let first = sends(&actions)[0].1;
+    // Theorem 1 puts the 10ms+10ms route via node 1 first.
+    assert_eq!(first, NodeId::new(1));
+    let key = timers(&actions)[0];
+
+    let mut out = Actions::new();
+    h.strategy
+        .on_timer(NodeId::new(0), key, SimTime::from_millis(25), &mut out);
+    let actions: Vec<Action> = out.drain().collect();
+    let s = sends(&actions);
+    assert_eq!(s.len(), 1, "failover transmission expected");
+    assert_eq!(s[0].1, NodeId::new(2), "second-best neighbor tried next");
+    // The failed neighbor is NOT on the packet's path (it never handled the
+    // packet) — exclusion comes from the tried set, which this proves.
+    assert!(!s[0].0.path.contains(&NodeId::new(1)));
+}
+
+#[test]
+fn returned_packet_is_retried_via_alternative() {
+    let topo = diamond();
+    let mut h = Harness::new(topo, &[3], DcrdConfig::default());
+    let (_, actions) = h.publish(&[3]);
+    let (sent, to) = sends(&actions)[0];
+    let sent = sent.clone();
+    assert_eq!(to, NodeId::new(1));
+
+    // Node 1 ACKs, node 0 forgets the packet.
+    let mut out = Actions::new();
+    h.strategy
+        .on_ack(NodeId::new(0), to, &sent, SimTime::from_millis(20), &mut out);
+    assert_eq!(h.strategy.inflight_states(), 0);
+
+    // Node 1 fails downstream and returns the packet: path [0, 1].
+    let returned = sent.forward(NodeId::new(1), vec![NodeId::new(3)], 999);
+    let mut out = Actions::new();
+    h.strategy.on_packet(
+        NodeId::new(0),
+        NodeId::new(1),
+        returned,
+        SimTime::from_millis(60),
+        &mut out,
+    );
+    let actions: Vec<Action> = out.drain().collect();
+    let s = sends(&actions);
+    assert_eq!(s.len(), 1);
+    assert_eq!(
+        s[0].1,
+        NodeId::new(2),
+        "the returned packet must take the untried alternative"
+    );
+    assert!(s[0].0.path.contains(&NodeId::new(1)), "path history kept");
+}
+
+#[test]
+fn m2_retransmits_once_before_failover() {
+    let topo = diamond();
+    let mut h = Harness::new(topo, &[3], DcrdConfig::default());
+    // Override m via a fresh setup with m = 2.
+    let estimates = analytic_estimates(&h.topo, 0.05, 0.0);
+    let failure = FailureModel::links_only(LinkFailureModel::new(0.05, 1));
+    let ctx = SetupContext {
+        topology: &h.topo,
+        estimates: &estimates,
+        workload: &h.workload,
+        failure_oracle: &failure,
+        params: RunParams {
+            m: 2,
+            ack_timeout_factor: 1.0,
+        },
+    };
+    h.strategy.setup(&ctx);
+
+    let (_, actions) = h.publish(&[3]);
+    let key = timers(&actions)[0];
+    assert_eq!(sends(&actions)[0].1, NodeId::new(1));
+
+    // First timeout: retransmission to the SAME neighbor, same tag.
+    let mut out = Actions::new();
+    h.strategy
+        .on_timer(NodeId::new(0), key, SimTime::from_millis(25), &mut out);
+    let retry: Vec<Action> = out.drain().collect();
+    assert_eq!(sends(&retry)[0].1, NodeId::new(1), "m=2 retransmits first");
+    assert_eq!(timers(&retry)[0], key, "retransmission keeps the tag");
+
+    // Second timeout: switch to the alternative.
+    let mut out = Actions::new();
+    h.strategy
+        .on_timer(NodeId::new(0), key, SimTime::from_millis(50), &mut out);
+    let failover: Vec<Action> = out.drain().collect();
+    assert_eq!(sends(&failover)[0].1, NodeId::new(2));
+}
+
+#[test]
+fn intermediate_subscriber_takes_delivery_and_forwards_rest() {
+    let topo = line4();
+    let mut h = Harness::new(topo, &[1, 3], DcrdConfig::default());
+    let (published, actions) = h.publish(&[1, 3]);
+    let (sent, _) = sends(&actions)[0];
+    let sent = sent.clone();
+
+    // The packet arrives at node 1 (itself a subscriber).
+    let mut out = Actions::new();
+    h.strategy.on_packet(
+        NodeId::new(1),
+        NodeId::new(0),
+        sent,
+        SimTime::from_millis(10),
+        &mut out,
+    );
+    let actions: Vec<Action> = out.drain().collect();
+    assert!(
+        actions
+            .iter()
+            .any(|a| matches!(a, Action::Deliver { packet } if *packet == published.id)),
+        "node 1 must deliver locally"
+    );
+    let s = sends(&actions);
+    assert_eq!(s.len(), 1);
+    assert_eq!(s[0].1, NodeId::new(2));
+    assert_eq!(s[0].0.destinations, vec![NodeId::new(3)], "local dest removed");
+}
+
+#[test]
+fn unknown_destination_tables_cause_giveup_not_panic() {
+    let topo = line4();
+    let mut h = Harness::new(topo, &[3], DcrdConfig::default());
+    // A packet for a subscriber with no tables (not in the workload).
+    let rogue = Packet::new(
+        PacketId::new(9),
+        TopicId::new(0),
+        h.topo.node(0),
+        SimTime::ZERO,
+        vec![h.topo.node(2)], // node 2 never subscribed
+    );
+    let mut out = Actions::new();
+    h.strategy
+        .on_publish(NodeId::new(0), rogue, SimTime::ZERO, &mut out);
+    let actions: Vec<Action> = out.drain().collect();
+    assert!(sends(&actions).is_empty());
+    assert!(actions
+        .iter()
+        .any(|a| matches!(a, Action::GiveUp { destination, .. } if *destination == NodeId::new(2))));
+}

@@ -1,0 +1,442 @@
+//! Command-line driver regenerating every figure of the DCRD paper.
+//!
+//! ```text
+//! dcrd-experiments <figure> [--quality smoke|quick|standard|full] [--out DIR]
+//!
+//! figures: fig2 fig3 fig4 fig5 fig6 fig7 fig8
+//!          ablation-ordering ablation-reroute ablation-timeout
+//!          ablation-monitor all
+//! ```
+//!
+//! Without `--out`, tables print to stdout; with it, each figure also writes
+//! `<DIR>/<figure>.txt`, `<DIR>/<figure>.csv` and (where applicable)
+//! `<DIR>/<figure>.json`.
+//!
+//! A second mode checks a deployment analytically, without simulating:
+//!
+//! ```text
+//! dcrd-experiments predict --nodes 20 --degree 5 --pf 0.06 [--factor 3.0] [--seed N]
+//! ```
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use dcrd_experiments::figures;
+use dcrd_experiments::scenario::Quality;
+use dcrd_metrics::plot::{figure_svg, render_svg, PlotConfig, PlotSeries};
+use dcrd_metrics::report::{render_cdf, FigureSeries, MetricKind};
+
+const FIGURES: [&str; 15] = [
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "ext-node-failures",
+    "ext-burst-failures",
+    "ext-control-overhead",
+    "ablation-multipath",
+    "ablation-ordering",
+    "ablation-reroute",
+    "ablation-timeout",
+    "ablation-monitor",
+];
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: dcrd-experiments <figure|all> [--quality smoke|quick|standard|full] [--out DIR]\n\
+                dcrd-experiments run [--nodes N] [--degree D | --mesh] [--pf X] [--burst EPOCHS] ...\n\
+                dcrd-experiments predict --nodes N (--degree D | --mesh) --pf X [--pl Y] [--factor F] [--seed S]\n\
+         figures: {}",
+        FIGURES.join(" ")
+    );
+    ExitCode::FAILURE
+}
+
+/// One-off custom scenario: simulate all strategies on user-chosen
+/// parameters and print the comparison table.
+fn run_custom(args: &[String]) -> ExitCode {
+    use dcrd_experiments::runner::run_comparison;
+    use dcrd_experiments::scenario::ScenarioBuilder;
+    use dcrd_experiments::StrategyKind;
+
+    let mut nodes = 20usize;
+    let mut degree: Option<usize> = Some(5);
+    let mut pf = 0.06f64;
+    let mut pn = 0.0f64;
+    let mut pl = 1e-4f64;
+    let mut m = 1u32;
+    let mut factor = 3.0f64;
+    let mut duration = 120u64;
+    let mut reps = 3u32;
+    let mut seed = 0x0DC2Du64;
+    let mut burst: Option<f64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |target: &mut dyn FnMut(&str) -> bool| -> bool {
+            it.next().map(|v| target(v)).unwrap_or(false)
+        };
+        let ok = match arg.as_str() {
+            "--nodes" => take(&mut |v| v.parse().map(|x| nodes = x).is_ok()),
+            "--degree" => take(&mut |v| v.parse().map(|x| degree = Some(x)).is_ok()),
+            "--mesh" => {
+                degree = None;
+                true
+            }
+            "--pf" => take(&mut |v| v.parse().map(|x| pf = x).is_ok()),
+            "--pn" => take(&mut |v| v.parse().map(|x| pn = x).is_ok()),
+            "--pl" => take(&mut |v| v.parse().map(|x| pl = x).is_ok()),
+            "--m" => take(&mut |v| v.parse().map(|x| m = x).is_ok()),
+            "--factor" => take(&mut |v| v.parse().map(|x| factor = x).is_ok()),
+            "--duration" => take(&mut |v| v.parse().map(|x| duration = x).is_ok()),
+            "--reps" => take(&mut |v| v.parse().map(|x| reps = x).is_ok()),
+            "--seed" => take(&mut |v| v.parse().map(|x| seed = x).is_ok()),
+            "--burst" => take(&mut |v| v.parse().map(|x| burst = Some(x)).is_ok()),
+            _ => false,
+        };
+        if !ok {
+            eprintln!(
+                "usage: dcrd-experiments run [--nodes N] [--degree D | --mesh] [--pf X] [--pn X]                  [--pl X] [--m M] [--factor F] [--duration SECS] [--reps R] [--seed S] [--burst EPOCHS]"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    let mut builder = ScenarioBuilder::new()
+        .nodes(nodes)
+        .failure_probability(pf)
+        .node_failure_probability(pn)
+        .loss_rate(pl)
+        .transmissions(m)
+        .deadline_factor(factor)
+        .duration_secs(duration)
+        .repetitions(reps)
+        .seed(seed);
+    builder = match degree {
+        Some(d) => builder.degree(d),
+        None => builder.full_mesh(),
+    };
+    if let Some(b) = burst {
+        builder = builder.bursty_failures(b);
+    }
+    let scenario = builder.build();
+    eprintln!(
+        "simulating {reps} × {duration}s: {nodes} brokers, {}, Pf={pf}, Pn={pn}, Pl={pl}, m={m}, factor={factor}...",
+        degree.map_or("full mesh".to_string(), |d| format!("degree {d}"))
+    );
+    let results = run_comparison(&scenario, &StrategyKind::ALL);
+    println!(
+        "{:<12}{:>12}{:>12}{:>12}{:>14}{:>10}",
+        "strategy", "delivery", "QoS", "pkts/sub", "mean delay", "±QoS"
+    );
+    for agg in &results {
+        println!(
+            "{:<12}{:>12.4}{:>12.4}{:>12.3}{:>12.1}ms{:>10.4}",
+            agg.name(),
+            agg.delivery_ratio(),
+            agg.qos_delivery_ratio(),
+            agg.packets_per_subscriber(),
+            agg.delay_stats().mean(),
+            agg.qos_std_dev()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// Analytic deployment check: per-subscription expected delay and delivery
+/// probability from the routing tables, no simulation.
+fn predict(args: &[String]) -> ExitCode {
+    let mut nodes = 20usize;
+    let mut degree: Option<usize> = None;
+    let mut pf = 0.06f64;
+    let mut pl = 1e-4f64;
+    let mut factor = 3.0f64;
+    let mut seed = 0x0DC2Du64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |target: &mut dyn FnMut(&str) -> bool| -> bool {
+            it.next().map(|v| target(v)).unwrap_or(false)
+        };
+        let ok = match arg.as_str() {
+            "--nodes" => take(&mut |v| v.parse().map(|x| nodes = x).is_ok()),
+            "--degree" => take(&mut |v| v.parse().map(|x| degree = Some(x)).is_ok()),
+            "--mesh" => {
+                degree = None;
+                true
+            }
+            "--pf" => take(&mut |v| v.parse().map(|x| pf = x).is_ok()),
+            "--pl" => take(&mut |v| v.parse().map(|x| pl = x).is_ok()),
+            "--factor" => take(&mut |v| v.parse().map(|x| factor = x).is_ok()),
+            "--seed" => take(&mut |v| v.parse().map(|x| seed = x).is_ok()),
+            _ => false,
+        };
+        if !ok {
+            return usage();
+        }
+    }
+
+    use dcrd_core::analysis::predict_workload;
+    use dcrd_core::DcrdConfig;
+    use dcrd_experiments::runner::{build_topology, build_workload};
+    use dcrd_experiments::scenario::ScenarioBuilder;
+    use dcrd_net::estimate::analytic_estimates;
+
+    let mut builder = ScenarioBuilder::new()
+        .nodes(nodes)
+        .failure_probability(pf)
+        .loss_rate(pl)
+        .deadline_factor(factor)
+        .seed(seed);
+    builder = match degree {
+        Some(d) => builder.degree(d),
+        None => builder.full_mesh(),
+    };
+    let scenario = builder.build();
+    let topo = build_topology(&scenario, 0);
+    let workload = build_workload(&scenario, &topo, 0);
+    let estimates = analytic_estimates(&topo, pf, pl);
+    let predictions = predict_workload(&topo, &estimates, 1, &workload, &DcrdConfig::default());
+
+    println!(
+        "{:>8}{:>8}{:>8}{:>14}{:>16}{:>10}{:>10}",
+        "topic", "pub", "sub", "requirement", "expected delay", "r", "verdict"
+    );
+    let mut on_time = 0usize;
+    for p in &predictions {
+        if p.expected_on_time {
+            on_time += 1;
+        }
+        println!(
+            "{:>8}{:>8}{:>8}{:>14}{:>16}{:>10.4}{:>10}",
+            p.topic.to_string(),
+            p.publisher.to_string(),
+            p.subscriber.to_string(),
+            p.requirement.to_string(),
+            p.expected_delay
+                .map_or_else(|| "unreachable".to_string(), |d| d.to_string()),
+            p.expected_delivery_ratio,
+            if p.expected_on_time { "OK" } else { "AT RISK" }
+        );
+    }
+    println!(
+        "
+{on_time}/{} subscriptions expected on time at Pf={pf}, Pl={pl}, factor={factor}",
+        predictions.len()
+    );
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().is_some_and(|a| a == "predict") {
+        return predict(&args[1..]);
+    }
+    if args.first().is_some_and(|a| a == "run") {
+        return run_custom(&args[1..]);
+    }
+    let mut figure: Option<String> = None;
+    let mut quality = Quality::Quick;
+    let mut out_dir: Option<PathBuf> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quality" => {
+                let Some(q) = it.next().and_then(|s| Quality::parse(s)) else {
+                    return usage();
+                };
+                quality = q;
+            }
+            "--out" => {
+                let Some(dir) = it.next() else {
+                    return usage();
+                };
+                out_dir = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            name if !name.starts_with('-') && figure.is_none() => {
+                figure = Some(name.to_string());
+            }
+            _ => return usage(),
+        }
+    }
+    let Some(figure) = figure else {
+        return usage();
+    };
+
+    if let Some(dir) = &out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let selected: Vec<&str> = if figure == "all" {
+        FIGURES.to_vec()
+    } else if FIGURES.contains(&figure.as_str()) {
+        vec![figure.as_str()]
+    } else {
+        return usage();
+    };
+
+    for name in selected {
+        let start = Instant::now();
+        eprintln!("running {name} at {quality:?} quality...");
+        let output = run_figure(name, quality);
+        eprintln!("{name} done in {:.1}s", start.elapsed().as_secs_f64());
+        print!("{}", output.text);
+        if let Some(dir) = &out_dir {
+            if let Err(e) = write_outputs(dir, name, &output) {
+                eprintln!("failed writing outputs for {name}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+struct FigureOutput {
+    text: String,
+    csv: Option<String>,
+    json: Option<String>,
+    /// `(suffix, svg document)` pairs, e.g. `("delivery", "<svg...")`.
+    svgs: Vec<(&'static str, String)>,
+}
+
+fn series_output(series: &FigureSeries, metrics: &[MetricKind]) -> FigureOutput {
+    series_output_scaled(series, metrics, false)
+}
+
+fn series_output_scaled(
+    series: &FigureSeries,
+    metrics: &[MetricKind],
+    log_x: bool,
+) -> FigureOutput {
+    let mut text = String::new();
+    let mut svgs = Vec::new();
+    for &m in metrics {
+        text.push_str(&series.render_table(m));
+        text.push('\n');
+        let suffix = match m {
+            MetricKind::Delivery => "delivery",
+            MetricKind::Qos => "qos",
+            MetricKind::Traffic => "traffic",
+        };
+        svgs.push((suffix, figure_svg(series, m, log_x)));
+    }
+    FigureOutput {
+        text,
+        csv: Some(series.render_csv()),
+        json: serde_json::to_string_pretty(series).ok(),
+        svgs,
+    }
+}
+
+fn run_figure(name: &str, quality: Quality) -> FigureOutput {
+    let all = [MetricKind::Delivery, MetricKind::Qos, MetricKind::Traffic];
+    let qos = [MetricKind::Qos];
+    match name {
+        "fig2" => series_output(&figures::fig2(quality), &all),
+        "fig3" => series_output(&figures::fig3(quality), &all),
+        "fig4" => series_output(&figures::fig4(quality), &all),
+        "fig5" => series_output(&figures::fig5(quality), &all),
+        "fig6" => series_output(&figures::fig6(quality), &qos),
+        "fig7" => {
+            let mut text = String::new();
+            let mut csv = String::from("series,x,cdf\n");
+            let mut lines = Vec::new();
+            for (label, series) in figures::fig7(quality) {
+                text.push_str(&render_cdf(&label, &decimate(&series)));
+                text.push('\n');
+                for (x, y) in &series {
+                    csv.push_str(&format!("{label},{x:.4},{y:.6}\n"));
+                }
+                lines.push(PlotSeries {
+                    label,
+                    points: series,
+                });
+            }
+            let svg = render_svg(
+                &lines,
+                &PlotConfig {
+                    title: "fig7 — lateness CDF of deadline misses".into(),
+                    x_label: "actual delay / requirement".into(),
+                    y_label: "CDF".into(),
+                    y_range: Some((0.0, 1.0)),
+                    ..PlotConfig::default()
+                },
+            );
+            FigureOutput {
+                text,
+                csv: Some(csv),
+                json: None,
+                svgs: vec![("cdf", svg)],
+            }
+        }
+        "fig8" => series_output_scaled(&figures::fig8(quality), &qos, true),
+        "ext-node-failures" => series_output(&figures::ext_node_failures(quality), &all),
+        "ext-burst-failures" => series_output(&figures::ext_burst_failures(quality), &all),
+        "ext-control-overhead" => {
+            let points = figures::ext_control_overhead(quality);
+            let mut text = String::from(
+                "# ext-control-overhead — table computation cost\n",
+            );
+            text.push_str(&format!(
+                "{:>8}{:>14}{:>12}{:>18}\n",
+                "nodes", "mean rounds", "max rounds", "ctrl msgs/sub"
+            ));
+            let mut csv = String::from("nodes,mean_rounds,max_rounds,messages_per_subscription\n");
+            for p in &points {
+                text.push_str(&format!(
+                    "{:>8}{:>14.2}{:>12}{:>18.0}\n",
+                    p.nodes, p.mean_rounds, p.max_rounds, p.messages_per_subscription
+                ));
+                csv.push_str(&format!(
+                    "{},{:.3},{},{:.1}\n",
+                    p.nodes, p.mean_rounds, p.max_rounds, p.messages_per_subscription
+                ));
+            }
+            FigureOutput { text, csv: Some(csv), json: None, svgs: Vec::new() }
+        }
+        "ablation-multipath" => series_output(&figures::ablation_multipath(quality), &all),
+        "ablation-ordering" => series_output(&figures::ablation_ordering(quality), &qos),
+        "ablation-reroute" => series_output(&figures::ablation_reroute(quality), &all),
+        "ablation-timeout" => series_output(&figures::ablation_timeout(quality), &qos),
+        "ablation-monitor" => series_output(&figures::ablation_monitor(quality), &qos),
+        _ => unreachable!("validated above"),
+    }
+}
+
+/// Thins a dense CDF series for terminal display (keep every 8th point).
+fn decimate(series: &[(f64, f64)]) -> Vec<(f64, f64)> {
+    series
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % 8 == 0 || *i == series.len() - 1)
+        .map(|(_, &p)| p)
+        .collect()
+}
+
+fn write_outputs(dir: &Path, name: &str, output: &FigureOutput) -> std::io::Result<()> {
+    let mut txt = std::fs::File::create(dir.join(format!("{name}.txt")))?;
+    txt.write_all(output.text.as_bytes())?;
+    if let Some(csv) = &output.csv {
+        let mut f = std::fs::File::create(dir.join(format!("{name}.csv")))?;
+        f.write_all(csv.as_bytes())?;
+    }
+    if let Some(json) = &output.json {
+        let mut f = std::fs::File::create(dir.join(format!("{name}.json")))?;
+        f.write_all(json.as_bytes())?;
+    }
+    for (suffix, svg) in &output.svgs {
+        let mut f = std::fs::File::create(dir.join(format!("{name}-{suffix}.svg")))?;
+        f.write_all(svg.as_bytes())?;
+    }
+    Ok(())
+}

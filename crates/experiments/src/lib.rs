@@ -1,0 +1,29 @@
+//! # dcrd-experiments — the paper's evaluation, reproducible
+//!
+//! One module per concern:
+//!
+//! * [`scenario`] — a declarative description of one experimental setup
+//!   (topology family, `Pf`, `Pl`, `m`, deadline factor, duration,
+//!   repetitions) with the paper's defaults.
+//! * [`runner`] — deterministic execution: one scenario × strategy ×
+//!   repetition per run, repetitions pooled, strategies compared, sweeps
+//!   parallelized over a thread pool.
+//! * [`figures`] — the drivers reproducing **every figure of the paper**
+//!   (Figs. 2–8) plus the ablations listed in `DESIGN.md`.
+//!
+//! The `dcrd-experiments` binary exposes all of it on the command line:
+//!
+//! ```text
+//! dcrd-experiments fig2 --quality standard
+//! dcrd-experiments all --quality quick --out results/
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod runner;
+pub mod scenario;
+
+pub use runner::{run_comparison, run_scenario, StrategyKind};
+pub use scenario::{Quality, Scenario, ScenarioBuilder, TopologyKind};

@@ -1,0 +1,376 @@
+//! Deterministic scenario execution and parallel sweeps.
+//!
+//! Each `(scenario, strategy, repetition)` triple is one fully deterministic
+//! simulation: the repetition index derives independent seeds for the
+//! topology, the workload, the failure schedule and the runtime's random
+//! draws. Strategies being compared at the same repetition see the **same**
+//! topology, workload and failures — paired comparison, exactly how the
+//! paper plots its curves.
+
+use dcrd_baselines::multipath::multipath;
+use dcrd_baselines::oracle::oracle;
+use dcrd_baselines::tree::{d_tree, r_tree};
+use dcrd_core::{DcrdConfig, DcrdStrategy};
+use dcrd_metrics::{AggregateMetrics, RunMetrics};
+use dcrd_net::failure::{
+    BurstFailureModel, FailureModel, LinkFailureModel, LinkOutageModel, NodeFailureModel,
+};
+use dcrd_net::loss::LossModel;
+use dcrd_net::topology::{full_mesh, random_connected, DelayRange};
+use dcrd_net::Topology;
+use dcrd_pubsub::runtime::{OverlayRuntime, RuntimeConfig};
+use dcrd_pubsub::strategy::{RoutingStrategy, RunParams};
+use dcrd_pubsub::workload::{Workload, WorkloadConfig};
+use dcrd_sim::rng::{derive_seed_indexed, rng_for_indexed};
+use serde::{Deserialize, Serialize};
+
+use crate::scenario::{Scenario, TopologyKind};
+
+/// The strategies under comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StrategyKind {
+    /// The paper's contribution (configured by `Scenario::dcrd`).
+    Dcrd,
+    /// Minimum-hop tree.
+    RTree,
+    /// Shortest-delay tree.
+    DTree,
+    /// Failure-aware shortest-delay routing with global knowledge.
+    Oracle,
+    /// Two pinned paths per subscriber.
+    Multipath,
+    /// Multipath variant using Bhandari edge-disjoint pairs (ablation; not
+    /// part of the paper's legend).
+    MultipathDisjoint,
+}
+
+impl StrategyKind {
+    /// All five strategies in the paper's legend order.
+    pub const ALL: [StrategyKind; 5] = [
+        StrategyKind::Dcrd,
+        StrategyKind::RTree,
+        StrategyKind::DTree,
+        StrategyKind::Oracle,
+        StrategyKind::Multipath,
+    ];
+
+    /// The paper's legend label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            StrategyKind::Dcrd => "DCRD",
+            StrategyKind::RTree => "R-Tree",
+            StrategyKind::DTree => "D-Tree",
+            StrategyKind::Oracle => "ORACLE",
+            StrategyKind::Multipath => "Multipath",
+            StrategyKind::MultipathDisjoint => "Multipath-ED",
+        }
+    }
+
+    fn instantiate(self, config: &DcrdConfig) -> Box<dyn RoutingStrategy + Send> {
+        match self {
+            StrategyKind::Dcrd => Box::new(DcrdStrategy::new(*config)),
+            StrategyKind::RTree => Box::new(r_tree()),
+            StrategyKind::DTree => Box::new(d_tree()),
+            StrategyKind::Oracle => Box::new(oracle()),
+            StrategyKind::Multipath => Box::new(multipath()),
+            StrategyKind::MultipathDisjoint => {
+                Box::new(dcrd_baselines::multipath::multipath_disjoint())
+            }
+        }
+    }
+}
+
+/// Builds the deterministic topology of one repetition.
+#[must_use]
+pub fn build_topology(scenario: &Scenario, rep: u32) -> Topology {
+    let mut rng = rng_for_indexed(scenario.seed, "topology", u64::from(rep));
+    match scenario.topology {
+        TopologyKind::FullMesh => full_mesh(scenario.nodes, DelayRange::PAPER, &mut rng),
+        TopologyKind::RandomDegree(d) => {
+            random_connected(scenario.nodes, d, DelayRange::PAPER, &mut rng)
+        }
+    }
+}
+
+/// Builds the deterministic workload of one repetition over `topo`.
+#[must_use]
+pub fn build_workload(scenario: &Scenario, topo: &Topology, rep: u32) -> Workload {
+    let mut rng = rng_for_indexed(scenario.seed, "workload", u64::from(rep));
+    let config = WorkloadConfig {
+        num_topics: scenario.num_topics,
+        publish_interval: dcrd_sim::SimDuration::from_secs(1),
+        ps_range: (0.2, 0.6),
+        deadline_factor: scenario.deadline_factor,
+        churn: scenario.churn,
+    };
+    Workload::generate(topo, &config, &mut rng)
+}
+
+/// Runs one `(scenario, strategy, repetition)` triple.
+#[must_use]
+pub fn run_once(scenario: &Scenario, kind: StrategyKind, rep: u32) -> RunMetrics {
+    let topo = build_topology(scenario, rep);
+    let workload = build_workload(scenario, &topo, rep);
+    let link_seed = derive_seed_indexed(scenario.seed, "failures", u64::from(rep));
+    let links = match scenario.burst_mean_epochs {
+        None => LinkOutageModel::Epoch(LinkFailureModel::new(scenario.pf, link_seed)),
+        Some(mean) => {
+            LinkOutageModel::Burst(BurstFailureModel::new(scenario.pf, mean, link_seed))
+        }
+    };
+    let nodes = (scenario.pn > 0.0).then(|| {
+        NodeFailureModel::new(
+            scenario.pn,
+            derive_seed_indexed(scenario.seed, "node-failures", u64::from(rep)),
+        )
+    });
+    let failure = FailureModel::new(links, nodes);
+    let loss = LossModel::new(scenario.pl);
+    let config = RuntimeConfig {
+        duration: scenario.duration,
+        params: RunParams {
+            m: scenario.m,
+            ack_timeout_factor: scenario.ack_timeout_factor,
+        },
+        seed: derive_seed_indexed(scenario.seed, "runtime", u64::from(rep)),
+        monitoring: scenario.monitoring,
+        ack_transit: scenario.ack_transit,
+        ..RuntimeConfig::paper(scenario.duration, 0)
+    };
+    let runtime = OverlayRuntime::new(&topo, &workload, failure, loss, config);
+    let mut strategy = kind.instantiate(&scenario.dcrd);
+    let log = runtime.run(strategy.as_mut());
+    RunMetrics::from_log(&log)
+}
+
+/// Runs all repetitions of one strategy and pools them.
+#[must_use]
+pub fn run_scenario(scenario: &Scenario, kind: StrategyKind) -> AggregateMetrics {
+    run_labeled(scenario, kind, kind.label())
+}
+
+/// Like [`run_scenario`] but with a custom label (used when one strategy
+/// appears several times with different parameters, e.g. "DCRD (m=2)").
+#[must_use]
+pub fn run_labeled(scenario: &Scenario, kind: StrategyKind, label: &str) -> AggregateMetrics {
+    let mut agg = AggregateMetrics::new(label);
+    let runs: Vec<RunMetrics> = parallel_map(
+        (0..scenario.repetitions).collect(),
+        |rep| run_once(scenario, kind, rep),
+    );
+    for run in &runs {
+        agg.add(run);
+    }
+    agg
+}
+
+/// Runs several strategies on identical repetitions (paired comparison).
+#[must_use]
+pub fn run_comparison(scenario: &Scenario, kinds: &[StrategyKind]) -> Vec<AggregateMetrics> {
+    // Flatten (kind, rep) into one parallel batch for maximum utilization.
+    let jobs: Vec<(usize, u32)> = (0..kinds.len())
+        .flat_map(|k| (0..scenario.repetitions).map(move |r| (k, r)))
+        .collect();
+    let results: Vec<(usize, RunMetrics)> = parallel_map(jobs, |(k, rep)| {
+        (k, run_once(scenario, kinds[k], rep))
+    });
+    let mut aggs: Vec<AggregateMetrics> = kinds
+        .iter()
+        .map(|k| AggregateMetrics::new(k.label()))
+        .collect();
+    for (k, run) in &results {
+        aggs[*k].add(run);
+    }
+    aggs
+}
+
+/// Simple order-preserving parallel map over a work list using scoped
+/// threads (bounded by available parallelism).
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(items.len().max(1));
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let jobs: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    let queue = crossbeam::queue::SegQueue::new();
+    for job in jobs {
+        queue.push(job);
+    }
+    let mut results: Vec<(usize, R)> = Vec::new();
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let queue = &queue;
+                let f = &f;
+                scope.spawn(move |_| {
+                    let mut local = Vec::new();
+                    while let Some((i, item)) = queue.pop() {
+                        local.push((i, f(item)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            results.extend(h.join().expect("worker panicked"));
+        }
+    })
+    .expect("scope panicked");
+    results.sort_by_key(|(i, _)| *i);
+    results.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioBuilder;
+
+    fn tiny(pf: f64) -> Scenario {
+        ScenarioBuilder::new()
+            .nodes(10)
+            .full_mesh()
+            .failure_probability(pf)
+            .topics(4)
+            .duration_secs(20)
+            .repetitions(2)
+            .seed(7)
+            .build()
+    }
+
+    #[test]
+    fn run_once_is_deterministic() {
+        let s = tiny(0.05);
+        let a = run_once(&s, StrategyKind::Dcrd, 0);
+        let b = run_once(&s, StrategyKind::Dcrd, 0);
+        assert_eq!(a.delivery_ratio(), b.delivery_ratio());
+        assert_eq!(a.packets_per_subscriber(), b.packets_per_subscriber());
+        let c = run_once(&s, StrategyKind::Dcrd, 1);
+        // Different repetition → different topology → different traffic.
+        assert_ne!(a.pairs(), 0);
+        assert!(c.pairs() > 0);
+    }
+
+    #[test]
+    fn comparison_preserves_paper_ordering() {
+        let s = tiny(0.08);
+        let aggs = run_comparison(&s, &StrategyKind::ALL);
+        let by_name = |n: &str| {
+            aggs.iter()
+                .find(|a| a.name() == n)
+                .unwrap_or_else(|| panic!("{n} missing"))
+        };
+        let dcrd = by_name("DCRD");
+        let oracle = by_name("ORACLE");
+        let rtree = by_name("R-Tree");
+        let dtree = by_name("D-Tree");
+        let multipath = by_name("Multipath");
+        // The paper's Fig. 2 ordering at high Pf.
+        assert!(oracle.delivery_ratio() > 0.999, "oracle {}", oracle.delivery_ratio());
+        assert!(dcrd.delivery_ratio() > multipath.delivery_ratio());
+        assert!(multipath.delivery_ratio() > dtree.delivery_ratio());
+        assert!(rtree.delivery_ratio() > dtree.delivery_ratio());
+        // Multipath costs the most traffic; R-Tree the least (mesh).
+        assert!(multipath.packets_per_subscriber() > dcrd.packets_per_subscriber());
+        assert!((rtree.packets_per_subscriber() - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn run_scenario_pools_reps() {
+        let s = tiny(0.0);
+        let agg = run_scenario(&s, StrategyKind::RTree);
+        assert_eq!(agg.runs(), 2);
+        assert!(agg.pairs() > 0);
+        assert!((agg.delivery_ratio() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn labeled_runs_rename() {
+        let s = tiny(0.0);
+        let agg = run_labeled(&s, StrategyKind::DTree, "D-Tree (m=2)");
+        assert_eq!(agg.name(), "D-Tree (m=2)");
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..100).collect::<Vec<u32>>(), |x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<u32>>());
+        let empty: Vec<u32> = parallel_map(Vec::<u32>::new(), |x| x);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn strategy_labels() {
+        assert_eq!(StrategyKind::Dcrd.label(), "DCRD");
+        assert_eq!(StrategyKind::MultipathDisjoint.label(), "Multipath-ED");
+        assert_eq!(StrategyKind::ALL.len(), 5);
+    }
+
+    #[test]
+    fn burst_scenarios_run_and_differ_from_iid() {
+        let iid = ScenarioBuilder::new()
+            .nodes(10)
+            .degree(4)
+            .failure_probability(0.1)
+            .duration_secs(30)
+            .repetitions(1)
+            .seed(5)
+            .build();
+        let bursty = ScenarioBuilder::new()
+            .nodes(10)
+            .degree(4)
+            .failure_probability(0.1)
+            .bursty_failures(4.0)
+            .duration_secs(30)
+            .repetitions(1)
+            .seed(5)
+            .build();
+        let a = run_once(&iid, StrategyKind::DTree, 0);
+        let b = run_once(&bursty, StrategyKind::DTree, 0);
+        // Same marginal rate but a different outage process: the tree's
+        // delivery pattern must differ (identical values would mean the
+        // burst wiring is dead).
+        assert_ne!(a.delivery_ratio(), b.delivery_ratio());
+        assert!(b.pairs() > 0);
+    }
+
+    #[test]
+    fn node_failure_scenarios_hurt_delivery() {
+        let clean = ScenarioBuilder::new()
+            .nodes(12)
+            .degree(5)
+            .failure_probability(0.0)
+            .loss_rate(0.0)
+            .duration_secs(30)
+            .repetitions(1)
+            .seed(6)
+            .build();
+        let failing = ScenarioBuilder::new()
+            .nodes(12)
+            .degree(5)
+            .failure_probability(0.0)
+            .loss_rate(0.0)
+            .node_failure_probability(0.1)
+            .duration_secs(30)
+            .repetitions(1)
+            .seed(6)
+            .build();
+        let a = run_once(&clean, StrategyKind::Dcrd, 0);
+        let b = run_once(&failing, StrategyKind::Dcrd, 0);
+        assert!((a.delivery_ratio() - 1.0).abs() < 1e-12);
+        assert!(
+            b.delivery_ratio() < a.delivery_ratio(),
+            "node failures must cost something: {} vs {}",
+            b.delivery_ratio(),
+            a.delivery_ratio()
+        );
+    }
+}

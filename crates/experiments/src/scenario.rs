@@ -1,0 +1,397 @@
+//! Declarative experiment scenarios with the paper's defaults (§IV-A).
+
+use dcrd_core::DcrdConfig;
+use dcrd_pubsub::runtime::{AckTransit, Monitoring};
+use dcrd_pubsub::workload::ChurnConfig;
+use dcrd_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// The overlay topology family of a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TopologyKind {
+    /// Every pair of brokers directly linked (Fig. 2).
+    FullMesh,
+    /// Connected random overlay with the given target node degree
+    /// (Figs. 3–8).
+    RandomDegree(usize),
+}
+
+/// How much simulated time / how many repetitions to spend — trades
+/// precision for wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Quality {
+    /// Seconds of traffic, one topology: CI smoke tests and Criterion.
+    Smoke,
+    /// A few minutes of traffic, 3 topologies: quick looks.
+    Quick,
+    /// 10 minutes of traffic, 5 topologies: the committed EXPERIMENTS.md
+    /// numbers.
+    Standard,
+    /// The paper's full 2 hours × 10 topologies.
+    Full,
+}
+
+impl Quality {
+    /// Publishing duration per run.
+    #[must_use]
+    pub fn duration(self) -> SimDuration {
+        match self {
+            Quality::Smoke => SimDuration::from_secs(20),
+            Quality::Quick => SimDuration::from_secs(120),
+            Quality::Standard => SimDuration::from_secs(600),
+            Quality::Full => SimDuration::from_secs(7200),
+        }
+    }
+
+    /// Topologies (repetitions) pooled per data point.
+    #[must_use]
+    pub fn repetitions(self) -> u32 {
+        match self {
+            Quality::Smoke => 1,
+            Quality::Quick => 3,
+            Quality::Standard => 5,
+            Quality::Full => 10,
+        }
+    }
+
+    /// Parses a CLI name.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "smoke" => Some(Quality::Smoke),
+            "quick" => Some(Quality::Quick),
+            "standard" => Some(Quality::Standard),
+            "full" => Some(Quality::Full),
+            _ => None,
+        }
+    }
+}
+
+/// One fully specified experimental setup.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Number of broker nodes (paper default: 20).
+    pub nodes: usize,
+    /// Topology family.
+    pub topology: TopologyKind,
+    /// Per-link per-epoch failure probability `Pf`.
+    pub pf: f64,
+    /// Per-node per-epoch fail-stop probability (the paper's §V extension;
+    /// 0 disables node failures — the paper's evaluated setting).
+    pub pn: f64,
+    /// Mean link-outage burst length in epochs. `None` (the paper's
+    /// setting) re-rolls failures independently every epoch; `Some(b)`
+    /// makes outages persist ~`b` seconds at the same marginal rate `Pf`.
+    pub burst_mean_epochs: Option<f64>,
+    /// Subscriber churn (extension); `None` keeps the paper's permanent
+    /// subscriptions.
+    pub churn: Option<ChurnConfig>,
+    /// Per-transmission loss probability `Pl` (paper default `10⁻⁴`).
+    pub pl: f64,
+    /// Transmissions per link before switching (`m`, paper default 1).
+    pub m: u32,
+    /// ACK timeout as a multiple of `α`.
+    pub ack_timeout_factor: f64,
+    /// Number of topics / publishers (paper default 10).
+    pub num_topics: usize,
+    /// Deadline factor × shortest-path delay (paper default 3).
+    pub deadline_factor: f64,
+    /// Publishing duration.
+    #[serde(skip, default = "default_duration")]
+    pub duration: SimDuration,
+    /// Topologies pooled per point.
+    pub repetitions: u32,
+    /// Master seed; every repetition derives its own streams.
+    pub seed: u64,
+    /// DCRD configuration (ablation switches live here).
+    pub dcrd: DcrdConfig,
+    /// Whether strategies get analytic estimates or probe-driven ones.
+    #[serde(skip, default = "default_monitoring")]
+    pub monitoring: Monitoring,
+    /// ACK transit model.
+    #[serde(skip, default)]
+    pub ack_transit: AckTransit,
+}
+
+fn default_duration() -> SimDuration {
+    Quality::Quick.duration()
+}
+
+fn default_monitoring() -> Monitoring {
+    Monitoring::Analytic
+}
+
+/// Builder for [`Scenario`] starting from the paper's §IV-A defaults.
+///
+/// # Example
+///
+/// ```
+/// use dcrd_experiments::scenario::ScenarioBuilder;
+///
+/// let s = ScenarioBuilder::new()
+///     .nodes(20)
+///     .degree(5)
+///     .failure_probability(0.06)
+///     .build();
+/// assert_eq!(s.nodes, 20);
+/// assert!((s.pl - 1e-4).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    scenario: Scenario,
+}
+
+impl Default for ScenarioBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ScenarioBuilder {
+    /// Starts from the paper's defaults: 20-node full mesh, `Pf = 0`,
+    /// `Pl = 10⁻⁴`, `m = 1`, 10 topics, deadline factor 3, quick quality.
+    #[must_use]
+    pub fn new() -> Self {
+        ScenarioBuilder {
+            scenario: Scenario {
+                nodes: 20,
+                topology: TopologyKind::FullMesh,
+                pf: 0.0,
+                pn: 0.0,
+                burst_mean_epochs: None,
+                churn: None,
+                pl: 1e-4,
+                m: 1,
+                ack_timeout_factor: 1.0,
+                num_topics: 10,
+                deadline_factor: 3.0,
+                duration: Quality::Quick.duration(),
+                repetitions: Quality::Quick.repetitions(),
+                seed: 0x0DC2D,
+                dcrd: DcrdConfig::default(),
+                monitoring: Monitoring::Analytic,
+                ack_transit: AckTransit::Instant,
+            },
+        }
+    }
+
+    /// Sets the number of broker nodes.
+    #[must_use]
+    pub fn nodes(mut self, n: usize) -> Self {
+        self.scenario.nodes = n;
+        self
+    }
+
+    /// Uses a full-mesh overlay.
+    #[must_use]
+    pub fn full_mesh(mut self) -> Self {
+        self.scenario.topology = TopologyKind::FullMesh;
+        self
+    }
+
+    /// Uses a random connected overlay with the given node degree.
+    #[must_use]
+    pub fn degree(mut self, degree: usize) -> Self {
+        self.scenario.topology = TopologyKind::RandomDegree(degree);
+        self
+    }
+
+    /// Sets the link failure probability `Pf`.
+    #[must_use]
+    pub fn failure_probability(mut self, pf: f64) -> Self {
+        self.scenario.pf = pf;
+        self
+    }
+
+    /// Sets the node fail-stop probability (extension; 0 = paper setting).
+    #[must_use]
+    pub fn node_failure_probability(mut self, pn: f64) -> Self {
+        self.scenario.pn = pn;
+        self
+    }
+
+    /// Makes link outages persist for bursts of `mean_epochs` epochs on
+    /// average (extension; the paper re-rolls every epoch).
+    #[must_use]
+    pub fn bursty_failures(mut self, mean_epochs: f64) -> Self {
+        self.scenario.burst_mean_epochs = Some(mean_epochs);
+        self
+    }
+
+    /// Enables subscriber churn (extension; the paper's subscriptions are
+    /// permanent).
+    #[must_use]
+    pub fn churn(mut self, churn: ChurnConfig) -> Self {
+        self.scenario.churn = Some(churn);
+        self
+    }
+
+    /// Sets the packet loss rate `Pl`.
+    #[must_use]
+    pub fn loss_rate(mut self, pl: f64) -> Self {
+        self.scenario.pl = pl;
+        self
+    }
+
+    /// Sets the number of transmissions per link, `m`.
+    #[must_use]
+    pub fn transmissions(mut self, m: u32) -> Self {
+        self.scenario.m = m;
+        self
+    }
+
+    /// Sets the ACK timeout factor.
+    #[must_use]
+    pub fn ack_timeout_factor(mut self, factor: f64) -> Self {
+        self.scenario.ack_timeout_factor = factor;
+        self
+    }
+
+    /// Sets the ACK transit model.
+    #[must_use]
+    pub fn ack_transit(mut self, transit: AckTransit) -> Self {
+        self.scenario.ack_transit = transit;
+        self
+    }
+
+    /// Sets the number of topics (= publishers).
+    #[must_use]
+    pub fn topics(mut self, n: usize) -> Self {
+        self.scenario.num_topics = n;
+        self
+    }
+
+    /// Sets the deadline factor (Fig. 6's x-axis).
+    #[must_use]
+    pub fn deadline_factor(mut self, factor: f64) -> Self {
+        self.scenario.deadline_factor = factor;
+        self
+    }
+
+    /// Sets the publishing duration in seconds.
+    #[must_use]
+    pub fn duration_secs(mut self, secs: u64) -> Self {
+        self.scenario.duration = SimDuration::from_secs(secs);
+        self
+    }
+
+    /// Sets the number of repetitions (topologies per point).
+    #[must_use]
+    pub fn repetitions(mut self, n: u32) -> Self {
+        self.scenario.repetitions = n;
+        self
+    }
+
+    /// Applies a quality preset (duration + repetitions).
+    #[must_use]
+    pub fn quality(mut self, q: Quality) -> Self {
+        self.scenario.duration = q.duration();
+        self.scenario.repetitions = q.repetitions();
+        self
+    }
+
+    /// Sets the master seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.scenario.seed = seed;
+        self
+    }
+
+    /// Sets the DCRD configuration (ablations).
+    #[must_use]
+    pub fn dcrd(mut self, config: DcrdConfig) -> Self {
+        self.scenario.dcrd = config;
+        self
+    }
+
+    /// Sets the monitoring mode.
+    #[must_use]
+    pub fn monitoring(mut self, monitoring: Monitoring) -> Self {
+        self.scenario.monitoring = monitoring;
+        self
+    }
+
+    /// Finalizes the scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent combinations (degree ≥ nodes, zero topics,
+    /// zero repetitions).
+    #[must_use]
+    pub fn build(self) -> Scenario {
+        let s = self.scenario;
+        assert!(s.nodes >= 2, "need at least two brokers");
+        if let TopologyKind::RandomDegree(d) = s.topology {
+            assert!(d >= 2 && d < s.nodes, "degree {d} invalid for {} nodes", s.nodes);
+        }
+        assert!(s.num_topics > 0, "need at least one topic");
+        assert!(s.repetitions > 0, "need at least one repetition");
+        assert!(s.m >= 1, "m must be at least 1");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let s = ScenarioBuilder::new().build();
+        assert_eq!(s.nodes, 20);
+        assert_eq!(s.topology, TopologyKind::FullMesh);
+        assert!((s.pl - 1e-4).abs() < 1e-18);
+        assert_eq!(s.m, 1);
+        assert_eq!(s.num_topics, 10);
+        assert!((s.deadline_factor - 3.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn builder_setters() {
+        let s = ScenarioBuilder::new()
+            .nodes(40)
+            .degree(8)
+            .failure_probability(0.06)
+            .loss_rate(0.01)
+            .transmissions(2)
+            .topics(5)
+            .deadline_factor(1.5)
+            .duration_secs(30)
+            .repetitions(2)
+            .seed(99)
+            .build();
+        assert_eq!(s.nodes, 40);
+        assert_eq!(s.topology, TopologyKind::RandomDegree(8));
+        assert!((s.pf - 0.06).abs() < f64::EPSILON);
+        assert!((s.pl - 0.01).abs() < f64::EPSILON);
+        assert_eq!(s.m, 2);
+        assert_eq!(s.num_topics, 5);
+        assert!((s.deadline_factor - 1.5).abs() < f64::EPSILON);
+        assert_eq!(s.duration, SimDuration::from_secs(30));
+        assert_eq!(s.repetitions, 2);
+        assert_eq!(s.seed, 99);
+    }
+
+    #[test]
+    fn quality_presets() {
+        assert_eq!(Quality::Full.duration(), SimDuration::from_secs(7200));
+        assert_eq!(Quality::Full.repetitions(), 10);
+        assert!(Quality::Smoke.duration() < Quality::Quick.duration());
+        assert_eq!(Quality::parse("standard"), Some(Quality::Standard));
+        assert_eq!(Quality::parse("nope"), None);
+        let s = ScenarioBuilder::new().quality(Quality::Smoke).build();
+        assert_eq!(s.repetitions, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "degree")]
+    fn rejects_bad_degree() {
+        let _ = ScenarioBuilder::new().nodes(5).degree(5).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one repetition")]
+    fn rejects_zero_reps() {
+        let _ = ScenarioBuilder::new().repetitions(0).build();
+    }
+}

@@ -1,0 +1,105 @@
+//! Smoke tests of every figure driver: each runs end to end at the
+//! smallest quality and produces a structurally sound series. The *values*
+//! are pinned by `tests/paper_claims.rs` at the workspace root; these catch
+//! wiring mistakes (missing strategies, empty sweeps, NaNs).
+
+use dcrd_experiments::figures;
+use dcrd_experiments::scenario::Quality;
+use dcrd_metrics::report::FigureSeries;
+
+fn assert_sound(series: &FigureSeries, points: usize, strategies: usize) {
+    assert_eq!(series.points.len(), points, "{}: wrong point count", series.id);
+    for p in &series.points {
+        assert_eq!(
+            p.strategies.len(),
+            strategies,
+            "{}: wrong strategy count at x={}",
+            series.id,
+            p.x
+        );
+        for agg in &p.strategies {
+            assert!(agg.runs() >= 1, "{}: empty aggregate", series.id);
+            let (d, q, t) = (
+                agg.delivery_ratio(),
+                agg.qos_delivery_ratio(),
+                agg.packets_per_subscriber(),
+            );
+            assert!((0.0..=1.0).contains(&d), "{}: delivery {d}", series.id);
+            assert!((0.0..=1.0).contains(&q), "{}: QoS {q}", series.id);
+            assert!(q <= d + 1e-12, "{}: QoS above delivery", series.id);
+            assert!(t.is_finite() && t >= 0.0, "{}: traffic {t}", series.id);
+        }
+    }
+    // Points ascend in x.
+    for w in series.points.windows(2) {
+        assert!(w[0].x < w[1].x, "{}: x not ascending", series.id);
+    }
+}
+
+#[test]
+fn fig3_smoke() {
+    assert_sound(&figures::fig3(Quality::Smoke), 6, 5);
+}
+
+#[test]
+fn fig4_smoke() {
+    assert_sound(&figures::fig4(Quality::Smoke), 8, 5);
+}
+
+#[test]
+fn fig5_smoke() {
+    // Size sweep is the most expensive; trim via smoke quality only.
+    assert_sound(&figures::fig5(Quality::Smoke), 6, 5);
+}
+
+#[test]
+fn fig6_smoke() {
+    let series = figures::fig6(Quality::Smoke);
+    assert_sound(&series, 6, 5);
+    // QoS must be non-decreasing in the deadline factor for DCRD.
+    let dcrd_qos: Vec<f64> = series
+        .points
+        .iter()
+        .map(|p| {
+            p.strategies
+                .iter()
+                .find(|a| a.name() == "DCRD")
+                .expect("DCRD present")
+                .qos_delivery_ratio()
+        })
+        .collect();
+    assert!(
+        dcrd_qos.last().unwrap() >= dcrd_qos.first().unwrap(),
+        "looser deadlines cannot hurt: {dcrd_qos:?}"
+    );
+}
+
+#[test]
+fn fig7_smoke() {
+    let cdfs = figures::fig7(Quality::Smoke);
+    assert_eq!(cdfs.len(), 2);
+    for (label, series) in &cdfs {
+        assert!(label.contains("fig7"));
+        assert!(!series.is_empty());
+        for w in series.windows(2) {
+            assert!(w[1].1 >= w[0].1, "{label}: CDF must be monotone");
+        }
+    }
+}
+
+#[test]
+fn fig8_smoke() {
+    // 4 strategies × 2 values of m at every loss rate.
+    assert_sound(&figures::fig8(Quality::Smoke), 4, 8);
+}
+
+#[test]
+fn ext_and_ablation_smoke() {
+    assert_sound(&figures::ext_node_failures(Quality::Smoke), 4, 5);
+    assert_sound(&figures::ext_burst_failures(Quality::Smoke), 4, 3);
+    assert_sound(&figures::ablation_multipath(Quality::Smoke), 6, 2);
+    assert_sound(&figures::ablation_reroute(Quality::Smoke), 6, 2);
+    assert_sound(&figures::ablation_monitor(Quality::Smoke), 3, 2);
+    assert_sound(&figures::ablation_ordering(Quality::Smoke), 3, 4);
+    assert_sound(&figures::ablation_timeout(Quality::Smoke), 3, 1);
+}

@@ -1,0 +1,354 @@
+//! Minimal SVG line charts for figure series — no plotting dependency.
+//!
+//! Renders a [`FigureSeries`] metric (or any `(x, y)` line set) as a
+//! self-contained SVG with axes, ticks, grid, legend and per-series
+//! markers, so `dcrd-experiments --out` can regenerate the paper's figures
+//! as pictures, not just tables.
+
+use crate::report::{FigureSeries, MetricKind};
+
+/// One polyline to draw.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlotSeries {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points in ascending x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Chart configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlotConfig {
+    /// Chart title.
+    pub title: String,
+    /// x-axis label.
+    pub x_label: String,
+    /// y-axis label.
+    pub y_label: String,
+    /// Canvas width in pixels.
+    pub width: u32,
+    /// Canvas height in pixels.
+    pub height: u32,
+    /// Plot x on a log₁₀ scale (Fig. 8's loss-rate axis).
+    pub log_x: bool,
+    /// Fix the y range (e.g. `Some((0.7, 1.0))` to match the paper's axes);
+    /// `None` auto-scales with margin.
+    pub y_range: Option<(f64, f64)>,
+}
+
+impl Default for PlotConfig {
+    fn default() -> Self {
+        PlotConfig {
+            title: String::new(),
+            x_label: String::new(),
+            y_label: String::new(),
+            width: 640,
+            height: 440,
+            log_x: false,
+            y_range: None,
+        }
+    }
+}
+
+/// Color-blind-safe categorical palette (Okabe–Ito).
+const PALETTE: [&str; 8] = [
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9", "#F0E442", "#000000",
+];
+const MARKERS: [&str; 4] = ["circle", "square", "diamond", "triangle"];
+
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 16.0;
+const MARGIN_T: f64 = 36.0;
+const MARGIN_B: f64 = 48.0;
+
+fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    let a = v.abs();
+    if !(0.001..1000.0).contains(&a) {
+        format!("{v:.0e}")
+    } else if (v - v.round()).abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else {
+        let s = format!("{v:.3}");
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    }
+}
+
+fn marker_svg(kind: &str, x: f64, y: f64, color: &str) -> String {
+    match kind {
+        "square" => format!(
+            r#"<rect x="{:.1}" y="{:.1}" width="7" height="7" fill="{color}"/>"#,
+            x - 3.5,
+            y - 3.5
+        ),
+        "diamond" => format!(
+            r#"<polygon points="{:.1},{:.1} {:.1},{:.1} {:.1},{:.1} {:.1},{:.1}" fill="{color}"/>"#,
+            x, y - 4.5, x + 4.5, y, x, y + 4.5, x - 4.5, y
+        ),
+        "triangle" => format!(
+            r#"<polygon points="{:.1},{:.1} {:.1},{:.1} {:.1},{:.1}" fill="{color}"/>"#,
+            x, y - 4.5, x + 4.0, y + 3.5, x - 4.0, y + 3.5
+        ),
+        _ => format!(r#"<circle cx="{x:.1}" cy="{y:.1}" r="3.5" fill="{color}"/>"#),
+    }
+}
+
+/// Renders polylines as a complete SVG document.
+///
+/// # Panics
+///
+/// Panics if `series` is empty or contains an empty line.
+#[must_use]
+pub fn render_svg(series: &[PlotSeries], config: &PlotConfig) -> String {
+    assert!(!series.is_empty(), "need at least one series");
+    for s in series {
+        assert!(!s.points.is_empty(), "series {} has no points", s.label);
+    }
+    let tx = |x: f64| if config.log_x { x.log10() } else { x };
+
+    let xs: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|&(x, _)| tx(x)))
+        .collect();
+    let ys: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|&(_, y)| y))
+        .collect();
+    let (x_min, x_max) = (
+        xs.iter().copied().fold(f64::INFINITY, f64::min),
+        xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+    );
+    let (mut y_min, mut y_max) = match config.y_range {
+        Some((lo, hi)) => (lo, hi),
+        None => {
+            let lo = ys.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = ys.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let pad = ((hi - lo) * 0.08).max(1e-9);
+            (lo - pad, hi + pad)
+        }
+    };
+    if (y_max - y_min).abs() < 1e-12 {
+        y_min -= 0.5;
+        y_max += 0.5;
+    }
+    let x_span = (x_max - x_min).max(1e-12);
+
+    let w = f64::from(config.width);
+    let h = f64::from(config.height);
+    let plot_w = w - MARGIN_L - MARGIN_R;
+    let plot_h = h - MARGIN_T - MARGIN_B;
+    let px = |x: f64| MARGIN_L + (tx(x) - x_min) / x_span * plot_w;
+    let py = |y: f64| MARGIN_T + (1.0 - (y - y_min) / (y_max - y_min)) * plot_h;
+
+    let mut out = format!(
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="sans-serif" font-size="12">
+<rect width="{w}" height="{h}" fill="white"/>
+<text x="{:.1}" y="22" text-anchor="middle" font-size="15" font-weight="bold">{}</text>
+"#,
+        MARGIN_L + plot_w / 2.0,
+        xml_escape(&config.title)
+    );
+
+    // Grid + ticks.
+    let ticks = 5usize;
+    for i in 0..=ticks {
+        let f = i as f64 / ticks as f64;
+        let gx = MARGIN_L + f * plot_w;
+        let gy = MARGIN_T + f * plot_h;
+        let xv = x_min + f * x_span;
+        let yv = y_max - f * (y_max - y_min);
+        let x_label = if config.log_x {
+            fmt_tick(10f64.powf(xv))
+        } else {
+            fmt_tick(xv)
+        };
+        out.push_str(&format!(
+            r##"<line x1="{gx:.1}" y1="{MARGIN_T}" x2="{gx:.1}" y2="{:.1}" stroke="#e0e0e0"/>
+<text x="{gx:.1}" y="{:.1}" text-anchor="middle">{x_label}</text>
+<line x1="{MARGIN_L}" y1="{gy:.1}" x2="{:.1}" y2="{gy:.1}" stroke="#e0e0e0"/>
+<text x="{:.1}" y="{:.1}" text-anchor="end">{}</text>
+"##,
+            MARGIN_T + plot_h,
+            MARGIN_T + plot_h + 18.0,
+            MARGIN_L + plot_w,
+            MARGIN_L - 8.0,
+            gy + 4.0,
+            fmt_tick(yv)
+        ));
+    }
+    // Axes.
+    out.push_str(&format!(
+        r#"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{plot_w:.1}" height="{plot_h:.1}" fill="none" stroke="black"/>
+<text x="{:.1}" y="{:.1}" text-anchor="middle" font-size="13">{}</text>
+<text x="16" y="{:.1}" text-anchor="middle" font-size="13" transform="rotate(-90 16 {:.1})">{}</text>
+"#,
+        MARGIN_L + plot_w / 2.0,
+        h - 10.0,
+        xml_escape(&config.x_label),
+        MARGIN_T + plot_h / 2.0,
+        MARGIN_T + plot_h / 2.0,
+        xml_escape(&config.y_label)
+    ));
+
+    // Series.
+    for (i, s) in series.iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        let marker = MARKERS[i % MARKERS.len()];
+        let pts: String = s
+            .points
+            .iter()
+            .map(|&(x, y)| format!("{:.1},{:.1}", px(x), py(y).clamp(MARGIN_T, MARGIN_T + plot_h)))
+            .collect::<Vec<_>>()
+            .join(" ");
+        out.push_str(&format!(
+            r#"<polyline points="{pts}" fill="none" stroke="{color}" stroke-width="2"/>
+"#
+        ));
+        for &(x, y) in &s.points {
+            out.push_str(&marker_svg(
+                marker,
+                px(x),
+                py(y).clamp(MARGIN_T, MARGIN_T + plot_h),
+                color,
+            ));
+            out.push('\n');
+        }
+        // Legend entry.
+        let lx = MARGIN_L + 10.0;
+        let ly = MARGIN_T + 14.0 + i as f64 * 16.0;
+        out.push_str(&format!(
+            r#"<line x1="{lx}" y1="{ly:.1}" x2="{:.1}" y2="{ly:.1}" stroke="{color}" stroke-width="2"/>
+<text x="{:.1}" y="{:.1}">{}</text>
+"#,
+            lx + 22.0,
+            lx + 28.0,
+            ly + 4.0,
+            xml_escape(&s.label)
+        ));
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Renders one metric of a figure series as SVG (one line per strategy).
+#[must_use]
+pub fn figure_svg(series: &FigureSeries, metric: MetricKind, log_x: bool) -> String {
+    let names = series.strategy_names();
+    let lines: Vec<PlotSeries> = names
+        .iter()
+        .enumerate()
+        .map(|(i, name)| PlotSeries {
+            label: (*name).to_string(),
+            points: series
+                .points
+                .iter()
+                .map(|p| (p.x, metric.value(&p.strategies[i])))
+                .collect(),
+        })
+        .collect();
+    let config = PlotConfig {
+        title: format!("{} — {}", series.id, metric.title()),
+        x_label: series.x_label.clone(),
+        y_label: metric.title().to_string(),
+        log_x,
+        y_range: match metric {
+            MetricKind::Delivery | MetricKind::Qos => Some((0.55, 1.005)),
+            MetricKind::Traffic => None,
+        },
+        ..PlotConfig::default()
+    };
+    render_svg(&lines, &config)
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(label: &str, pts: &[(f64, f64)]) -> PlotSeries {
+        PlotSeries {
+            label: label.to_string(),
+            points: pts.to_vec(),
+        }
+    }
+
+    #[test]
+    fn svg_is_well_formed_and_complete() {
+        let svg = render_svg(
+            &[
+                line("DCRD", &[(0.0, 1.0), (0.05, 0.98), (0.1, 0.96)]),
+                line("D-Tree", &[(0.0, 1.0), (0.05, 0.9), (0.1, 0.85)]),
+            ],
+            &PlotConfig {
+                title: "test".into(),
+                x_label: "Pf".into(),
+                y_label: "ratio".into(),
+                ..PlotConfig::default()
+            },
+        );
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("DCRD"));
+        assert!(svg.contains("D-Tree"));
+        assert!(svg.contains("Pf"));
+        // Markers: 3 points per series.
+        assert!(svg.matches("<circle").count() >= 3);
+    }
+
+    #[test]
+    fn log_axis_ticks_show_raw_values() {
+        let svg = render_svg(
+            &[line("x", &[(1e-4, 0.9), (1e-3, 0.92), (1e-2, 0.94), (1e-1, 0.96)])],
+            &PlotConfig {
+                log_x: true,
+                ..PlotConfig::default()
+            },
+        );
+        assert!(svg.contains("1e-4") || svg.contains("1e-1"), "log ticks missing: expected exponent labels");
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let svg = render_svg(
+            &[line("flat", &[(0.0, 1.0), (1.0, 1.0)])],
+            &PlotConfig::default(),
+        );
+        assert!(svg.contains("<polyline"));
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    fn escapes_labels() {
+        let svg = render_svg(
+            &[line("a<b&c>", &[(0.0, 0.0), (1.0, 1.0)])],
+            &PlotConfig {
+                title: "x < y".into(),
+                ..PlotConfig::default()
+            },
+        );
+        assert!(svg.contains("a&lt;b&amp;c&gt;"));
+        assert!(svg.contains("x &lt; y"));
+        assert!(!svg.contains("a<b"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one series")]
+    fn empty_input_rejected() {
+        let _ = render_svg(&[], &PlotConfig::default());
+    }
+
+    #[test]
+    fn tick_formatting() {
+        assert_eq!(fmt_tick(0.0), "0");
+        assert_eq!(fmt_tick(3.0), "3");
+        assert_eq!(fmt_tick(0.02), "0.02");
+        assert_eq!(fmt_tick(12345.0), "1e4");
+        assert_eq!(fmt_tick(1e-4), "1e-4");
+    }
+}

@@ -1,0 +1,234 @@
+//! Report rendering: the series behind each paper figure, as aligned text
+//! tables and CSV.
+
+use serde::{Deserialize, Serialize};
+
+use crate::summary::AggregateMetrics;
+
+/// Which of the paper's metrics a column reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MetricKind {
+    /// Delivery ratio (Figs. 2a, 3a, 4a, 5a).
+    Delivery,
+    /// QoS delivery ratio (Figs. 2b, 3b, 4b, 5b, 6, 8).
+    Qos,
+    /// Packets sent per subscriber (Figs. 2c, 3c, 4c, 5c).
+    Traffic,
+}
+
+impl MetricKind {
+    /// Human-readable column title.
+    #[must_use]
+    pub fn title(self) -> &'static str {
+        match self {
+            MetricKind::Delivery => "Delivery Ratio",
+            MetricKind::Qos => "QoS Delivery Ratio",
+            MetricKind::Traffic => "Packets/Subscriber",
+        }
+    }
+
+    /// Extracts the metric from an aggregate.
+    #[must_use]
+    pub fn value(self, agg: &AggregateMetrics) -> f64 {
+        match self {
+            MetricKind::Delivery => agg.delivery_ratio(),
+            MetricKind::Qos => agg.qos_delivery_ratio(),
+            MetricKind::Traffic => agg.packets_per_subscriber(),
+        }
+    }
+}
+
+/// One x-position of a figure: the swept parameter value plus the pooled
+/// metrics of every strategy at that value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// The swept parameter value (e.g. `Pf`).
+    pub x: f64,
+    /// One aggregate per strategy, in a fixed strategy order.
+    pub strategies: Vec<AggregateMetrics>,
+}
+
+/// A complete figure series: the sweep axis plus all points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureSeries {
+    /// Figure identifier (e.g. "fig2").
+    pub id: String,
+    /// x-axis label (e.g. "Failure Probability").
+    pub x_label: String,
+    /// Points in ascending x order.
+    pub points: Vec<SeriesPoint>,
+}
+
+impl FigureSeries {
+    /// Creates an empty series.
+    #[must_use]
+    pub fn new(id: impl Into<String>, x_label: impl Into<String>) -> Self {
+        FigureSeries {
+            id: id.into(),
+            x_label: x_label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// The strategy names, taken from the first point.
+    #[must_use]
+    pub fn strategy_names(&self) -> Vec<&str> {
+        self.points
+            .first()
+            .map(|p| p.strategies.iter().map(AggregateMetrics::name).collect())
+            .unwrap_or_default()
+    }
+
+    /// Renders one metric as an aligned text table, one row per x value and
+    /// one column per strategy (the shape of each sub-figure in the paper).
+    #[must_use]
+    pub fn render_table(&self, metric: MetricKind) -> String {
+        let names = self.strategy_names();
+        let widths: Vec<usize> = names.iter().map(|n| n.len().max(10) + 2).collect();
+        let mut out = String::new();
+        out.push_str(&format!("# {} — {}\n", self.id, metric.title()));
+        out.push_str(&format!("{:>14}", self.x_label));
+        for (n, w) in names.iter().zip(&widths) {
+            out.push_str(&format!("{n:>w$}"));
+        }
+        out.push('\n');
+        for p in &self.points {
+            out.push_str(&format!("{:>14}", trim_float(p.x)));
+            for (agg, w) in p.strategies.iter().zip(&widths) {
+                out.push_str(&format!("{:>w$.4}", metric.value(agg)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders all three metrics (or just `metrics`) as CSV with columns
+    /// `x,strategy,delivery,qos,traffic,runs,pairs`.
+    #[must_use]
+    pub fn render_csv(&self) -> String {
+        let mut out = String::from("x,strategy,delivery_ratio,qos_delivery_ratio,packets_per_subscriber,runs,pairs\n");
+        for p in &self.points {
+            for agg in &p.strategies {
+                out.push_str(&format!(
+                    "{},{},{:.6},{:.6},{:.6},{},{}\n",
+                    trim_float(p.x),
+                    agg.name(),
+                    agg.delivery_ratio(),
+                    agg.qos_delivery_ratio(),
+                    agg.packets_per_subscriber(),
+                    agg.runs(),
+                    agg.pairs(),
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Renders a CDF series (Fig. 7) as an aligned text table.
+#[must_use]
+pub fn render_cdf(label: &str, series: &[(f64, f64)]) -> String {
+    let mut out = format!("# {label}\n{:>12}{:>12}\n", "x", "CDF");
+    for (x, y) in series {
+        out.push_str(&format!("{x:>12.3}{y:>12.4}\n"));
+    }
+    out
+}
+
+fn trim_float(x: f64) -> String {
+    if (x - x.round()).abs() < 1e-9 && x.abs() < 1e15 {
+        format!("{}", x.round() as i64)
+    } else {
+        let s = format!("{x}");
+        if s.len() > 10 {
+            format!("{x:.6}")
+        } else {
+            s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_point(x: f64) -> SeriesPoint {
+        let mut a = AggregateMetrics::new("DCRD");
+        let b = AggregateMetrics::new("R-Tree");
+        // Leave empty; values are zero but structure is exercised.
+        let _ = &mut a;
+        SeriesPoint {
+            x,
+            strategies: vec![a, b],
+        }
+    }
+
+    #[test]
+    fn table_contains_header_and_rows() {
+        let mut s = FigureSeries::new("fig2", "Failure Probability");
+        s.points.push(dummy_point(0.0));
+        s.points.push(dummy_point(0.02));
+        let t = s.render_table(MetricKind::Delivery);
+        assert!(t.contains("fig2"));
+        assert!(t.contains("Delivery Ratio"));
+        assert!(t.contains("DCRD"));
+        assert!(t.contains("R-Tree"));
+        assert_eq!(t.lines().count(), 4, "title + header + 2 rows");
+        assert_eq!(s.strategy_names(), vec!["DCRD", "R-Tree"]);
+    }
+
+    #[test]
+    fn csv_has_row_per_strategy_per_point() {
+        let mut s = FigureSeries::new("fig3", "Pf");
+        s.points.push(dummy_point(0.0));
+        s.points.push(dummy_point(0.1));
+        let csv = s.render_csv();
+        assert_eq!(csv.lines().count(), 1 + 4);
+        assert!(csv.starts_with("x,strategy,"));
+        assert!(csv.contains("0.1,R-Tree"));
+    }
+
+    #[test]
+    fn metric_kind_accessors() {
+        let agg = AggregateMetrics::new("x");
+        for kind in [MetricKind::Delivery, MetricKind::Qos, MetricKind::Traffic] {
+            assert_eq!(kind.value(&agg), 0.0);
+            assert!(!kind.title().is_empty());
+        }
+    }
+
+    #[test]
+    fn cdf_rendering() {
+        let out = render_cdf("fig7", &[(1.0, 0.0), (1.5, 0.7)]);
+        assert!(out.contains("fig7"));
+        assert_eq!(out.lines().count(), 4);
+        assert!(out.contains("0.7000"));
+    }
+
+    #[test]
+    fn float_trimming() {
+        assert_eq!(trim_float(3.0), "3");
+        assert_eq!(trim_float(0.02), "0.02");
+        assert_eq!(trim_float(1.0 / 3.0), "0.333333");
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut s = FigureSeries::new("fig9", "X");
+        s.points.push(dummy_point(1.0));
+        s.points.push(dummy_point(2.0));
+        let json = serde_json::to_string(&s).expect("serialize");
+        let back: FigureSeries = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, s);
+        assert!(json.contains("\"fig9\""));
+    }
+
+    #[test]
+    fn empty_series_is_harmless() {
+        let s = FigureSeries::new("empty", "x");
+        assert!(s.strategy_names().is_empty());
+        let t = s.render_table(MetricKind::Qos);
+        assert!(t.contains("empty"));
+        assert_eq!(s.render_csv().lines().count(), 1);
+    }
+}

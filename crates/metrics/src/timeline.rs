@@ -1,0 +1,215 @@
+//! Time-resolved metrics: delivery and QoS ratios bucketed by publish time.
+//!
+//! The paper reports whole-run averages; a timeline makes the *transients*
+//! visible — e.g. the dips when a burst of link failures hits, and how fast
+//! each strategy recovers. Messages are attributed to the window containing
+//! their publish instant.
+
+use dcrd_pubsub::runtime::DeliveryLog;
+use dcrd_sim::stats::Ratio;
+use dcrd_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One time window's delivery counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimeBucket {
+    delivered: Ratio,
+    on_time: Ratio,
+}
+
+impl TimeBucket {
+    /// Fraction of the window's pairs delivered at all.
+    #[must_use]
+    pub fn delivery_ratio(&self) -> f64 {
+        self.delivered.value()
+    }
+
+    /// Fraction of the window's pairs delivered on time.
+    #[must_use]
+    pub fn qos_delivery_ratio(&self) -> f64 {
+        self.on_time.value()
+    }
+
+    /// Number of `(message, subscriber)` pairs published in the window.
+    #[must_use]
+    pub fn pairs(&self) -> u64 {
+        self.delivered.total()
+    }
+}
+
+/// Delivery metrics bucketed by publish time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Timeline {
+    window: SimDuration,
+    buckets: Vec<TimeBucket>,
+}
+
+impl Timeline {
+    /// Buckets `log` by publish time into windows of length `window`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn from_log(log: &DeliveryLog, window: SimDuration) -> Self {
+        assert!(window > SimDuration::ZERO, "window must be positive");
+        let mut buckets: Vec<TimeBucket> = Vec::new();
+        for (_, exp) in log.expectations() {
+            let idx = (exp.published.as_micros() / window.as_micros()) as usize;
+            if idx >= buckets.len() {
+                buckets.resize(idx + 1, TimeBucket::default());
+            }
+            buckets[idx].delivered.record(exp.delivered.is_some());
+            buckets[idx].on_time.record(exp.on_time());
+        }
+        Timeline { window, buckets }
+    }
+
+    /// The window length.
+    #[must_use]
+    pub fn window(&self) -> SimDuration {
+        self.window
+    }
+
+    /// The buckets in time order.
+    #[must_use]
+    pub fn buckets(&self) -> &[TimeBucket] {
+        &self.buckets
+    }
+
+    /// `(window start, bucket)` pairs in time order.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, &TimeBucket)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (SimTime::from_micros(i as u64 * self.window.as_micros()), b))
+    }
+
+    /// The worst (lowest) per-window QoS ratio across non-empty windows,
+    /// with its window start — where the biggest transient hit.
+    #[must_use]
+    pub fn worst_window(&self) -> Option<(SimTime, f64)> {
+        self.iter()
+            .filter(|(_, b)| b.pairs() > 0)
+            .map(|(t, b)| (t, b.qos_delivery_ratio()))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("ratios are not NaN"))
+    }
+
+    /// Renders an aligned text table.
+    #[must_use]
+    pub fn render(&self, label: &str) -> String {
+        let mut out = format!(
+            "# timeline — {label} (window {})\n{:>10}{:>10}{:>12}{:>12}\n",
+            self.window, "t_start", "pairs", "delivery", "QoS"
+        );
+        for (t, b) in self.iter() {
+            out.push_str(&format!(
+                "{:>10.1}{:>10}{:>12.4}{:>12.4}\n",
+                t.as_secs_f64(),
+                b.pairs(),
+                b.delivery_ratio(),
+                b.qos_delivery_ratio()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcrd_net::failure::{FailureModel, LinkFailureModel};
+    use dcrd_net::loss::LossModel;
+    use dcrd_net::topology::line;
+    use dcrd_net::NodeId;
+    use dcrd_pubsub::packet::Packet;
+    use dcrd_pubsub::runtime::{OverlayRuntime, RuntimeConfig};
+    use dcrd_pubsub::strategy::{Actions, RoutingStrategy, SetupContext, TimerKey};
+    use dcrd_pubsub::topic::{Subscription, TopicId};
+    use dcrd_pubsub::workload::{TopicSpec, Workload};
+
+    /// One-hop forwarder used to produce a real DeliveryLog.
+    struct OneHop;
+    impl RoutingStrategy for OneHop {
+        fn name(&self) -> &'static str {
+            "one-hop"
+        }
+        fn setup(&mut self, _: &SetupContext<'_>) {}
+        fn on_publish(&mut self, node: NodeId, p: Packet, _t: SimTime, out: &mut Actions) {
+            let dest = p.destinations[0];
+            out.send(dest, p.forward(node, vec![dest], 0));
+        }
+        fn on_packet(&mut self, node: NodeId, _f: NodeId, p: Packet, _t: SimTime, out: &mut Actions) {
+            if p.destinations.contains(&node) {
+                out.deliver(p.id);
+            }
+        }
+        fn on_ack(&mut self, _: NodeId, _: NodeId, _: &Packet, _: SimTime, _: &mut Actions) {}
+        fn on_timer(&mut self, _: NodeId, _: TimerKey, _: SimTime, _: &mut Actions) {}
+    }
+
+    fn run_log(pf: f64, secs: u64) -> DeliveryLog {
+        let topo = line(2, SimDuration::from_millis(10));
+        let wl = Workload::from_topics(vec![TopicSpec {
+            topic: TopicId::new(0),
+            publisher: topo.node(0),
+            interval: SimDuration::from_secs(1),
+            offset: SimDuration::ZERO,
+            subscriptions: vec![Subscription::new(
+                topo.node(1),
+                SimDuration::from_millis(50),
+            )],
+        }]);
+        let failure = FailureModel::links_only(LinkFailureModel::new(pf, 13));
+        let config = RuntimeConfig::paper(SimDuration::from_secs(secs), 2);
+        OverlayRuntime::new(&topo, &wl, failure, LossModel::new(0.0), config).run(&mut OneHop)
+    }
+
+    #[test]
+    fn buckets_cover_the_whole_run() {
+        let log = run_log(0.0, 59);
+        let tl = Timeline::from_log(&log, SimDuration::from_secs(10));
+        assert_eq!(tl.buckets().len(), 6);
+        assert_eq!(tl.window(), SimDuration::from_secs(10));
+        let total: u64 = tl.buckets().iter().map(TimeBucket::pairs).sum();
+        assert_eq!(total, log.num_expectations() as u64);
+        for (_, b) in tl.iter() {
+            assert_eq!(b.pairs(), 10);
+            assert!((b.delivery_ratio() - 1.0).abs() < 1e-12);
+            assert!((b.qos_delivery_ratio() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn failures_show_up_in_their_windows() {
+        let log = run_log(0.5, 120);
+        let tl = Timeline::from_log(&log, SimDuration::from_secs(10));
+        let (worst_t, worst_q) = tl.worst_window().expect("non-empty");
+        assert!(worst_q < 0.5, "a pf=0.5 single-link run must have bad windows");
+        // There must also be variation: some window is better than the worst.
+        let best = tl
+            .iter()
+            .filter(|(_, b)| b.pairs() > 0)
+            .map(|(_, b)| b.qos_delivery_ratio())
+            .fold(0.0f64, f64::max);
+        assert!(best > worst_q);
+        assert!(worst_t.as_secs_f64() < 120.0);
+    }
+
+    #[test]
+    fn render_contains_every_window() {
+        let log = run_log(0.0, 29);
+        let tl = Timeline::from_log(&log, SimDuration::from_secs(10));
+        let text = tl.render("test");
+        assert!(text.contains("timeline — test"));
+        // Header + title + 3 windows.
+        assert_eq!(text.lines().count(), 2 + 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        let log = run_log(0.0, 5);
+        let _ = Timeline::from_log(&log, SimDuration::ZERO);
+    }
+}

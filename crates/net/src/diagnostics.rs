@@ -1,0 +1,178 @@
+//! Topology diagnostics: diameter, eccentricity and path-stretch summaries.
+//!
+//! Used to characterize generated overlays (the paper's Fig. 5 argues via
+//! network *diameter*: at fixed degree, more nodes ⇒ longer paths ⇒ more
+//! failure exposure) and to bound the propagation round count in tests.
+
+use crate::graph::{NodeId, Topology};
+use crate::paths::{all_pairs_costs, Metric};
+
+/// Summary of a topology's distance structure under one metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistanceSummary {
+    /// Largest finite shortest-path cost between any pair (the diameter);
+    /// `None` when the graph is disconnected or has a single node.
+    pub diameter: Option<u64>,
+    /// Mean finite shortest-path cost over all ordered pairs.
+    pub mean: f64,
+    /// Number of ordered pairs with no path at all.
+    pub disconnected_pairs: usize,
+}
+
+/// Computes the distance summary of `topo` under `metric`.
+#[must_use]
+pub fn distance_summary(topo: &Topology, metric: Metric) -> DistanceSummary {
+    let costs = all_pairs_costs(topo, metric);
+    let mut max: Option<u64> = None;
+    let mut sum = 0u128;
+    let mut finite = 0usize;
+    let mut disconnected = 0usize;
+    for (i, row) in costs.iter().enumerate() {
+        for (j, c) in row.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            match c {
+                Some(c) => {
+                    max = Some(max.map_or(*c, |m| m.max(*c)));
+                    sum += u128::from(*c);
+                    finite += 1;
+                }
+                None => disconnected += 1,
+            }
+        }
+    }
+    DistanceSummary {
+        diameter: max,
+        mean: if finite == 0 {
+            0.0
+        } else {
+            sum as f64 / finite as f64
+        },
+        disconnected_pairs: disconnected,
+    }
+}
+
+/// Renders the topology in Graphviz DOT format, labeling every link with
+/// its one-way delay in milliseconds.
+///
+/// ```
+/// use dcrd_net::diagnostics::to_dot;
+/// use dcrd_net::topology::ring;
+/// use dcrd_sim::SimDuration;
+///
+/// let dot = to_dot(&ring(3, SimDuration::from_millis(10)), "overlay");
+/// assert!(dot.starts_with("graph overlay {"));
+/// assert!(dot.contains("n0 -- n1"));
+/// ```
+#[must_use]
+pub fn to_dot(topo: &Topology, name: &str) -> String {
+    let mut out = format!("graph {name} {{\n");
+    for node in topo.nodes() {
+        out.push_str(&format!("  {node};\n"));
+    }
+    for e in topo.edge_ids() {
+        let edge = topo.edge(e);
+        out.push_str(&format!(
+            "  {} -- {} [label=\"{:.1}ms\"];\n",
+            edge.a(),
+            edge.b(),
+            topo.delay(e).as_millis_f64()
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// The eccentricity of `node` (its largest finite shortest-path cost to any
+/// other node), or `None` if some node is unreachable from it.
+#[must_use]
+pub fn eccentricity(topo: &Topology, node: NodeId, metric: Metric) -> Option<u64> {
+    let sp = crate::paths::dijkstra(topo, node, metric);
+    let mut max = 0u64;
+    for other in topo.nodes() {
+        if other == node {
+            continue;
+        }
+        max = max.max(sp.cost_to(other)?);
+    }
+    Some(max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{full_mesh, line, random_connected, ring, DelayRange};
+    use dcrd_sim::rng::rng_for;
+    use dcrd_sim::SimDuration;
+
+    #[test]
+    fn line_diameter_by_hops() {
+        let t = line(5, SimDuration::from_millis(10));
+        let s = distance_summary(&t, Metric::Hops);
+        assert_eq!(s.diameter, Some(4));
+        assert_eq!(s.disconnected_pairs, 0);
+        assert!(s.mean > 1.0 && s.mean < 4.0);
+    }
+
+    #[test]
+    fn ring_eccentricity_is_half() {
+        let t = ring(8, SimDuration::from_millis(10));
+        for node in t.nodes() {
+            assert_eq!(eccentricity(&t, node, Metric::Hops), Some(4));
+        }
+    }
+
+    #[test]
+    fn mesh_hop_diameter_is_one() {
+        let mut rng = rng_for(1, "diag");
+        let t = full_mesh(6, DelayRange::PAPER, &mut rng);
+        let s = distance_summary(&t, Metric::Hops);
+        assert_eq!(s.diameter, Some(1));
+        assert!((s.mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bigger_networks_have_bigger_diameters_at_fixed_degree() {
+        // The paper's Fig. 5 argument: fixed degree + more nodes ⇒ larger
+        // diameter ⇒ more hops per delivery.
+        let mut rng = rng_for(2, "diag");
+        let small = random_connected(20, 8, DelayRange::PAPER, &mut rng);
+        let large = random_connected(160, 8, DelayRange::PAPER, &mut rng);
+        let ds = distance_summary(&small, Metric::Hops);
+        let dl = distance_summary(&large, Metric::Hops);
+        assert!(
+            dl.mean > ds.mean,
+            "mean hops must grow with size: {} vs {}",
+            dl.mean,
+            ds.mean
+        );
+        assert!(dl.diameter.unwrap() >= ds.diameter.unwrap());
+    }
+
+    #[test]
+    fn dot_output_lists_every_node_and_edge() {
+        let t = line(3, SimDuration::from_millis(15));
+        let dot = to_dot(&t, "g");
+        assert!(dot.starts_with("graph g {"));
+        assert!(dot.ends_with("}\n"));
+        for node in t.nodes() {
+            assert!(dot.contains(&format!("{node};")));
+        }
+        assert_eq!(dot.matches(" -- ").count(), t.num_edges());
+        assert!(dot.contains("15.0ms"));
+    }
+
+    #[test]
+    fn disconnected_graphs_are_reported() {
+        use crate::graph::TopologyBuilder;
+        let mut b = TopologyBuilder::new(3);
+        let n = b.nodes();
+        b.link(n[0], n[1], SimDuration::from_millis(10));
+        let t = b.build();
+        let s = distance_summary(&t, Metric::Hops);
+        assert_eq!(s.disconnected_pairs, 4); // (0,2),(1,2),(2,0),(2,1)
+        assert_eq!(eccentricity(&t, t.node(0), Metric::Hops), None);
+        assert_eq!(s.diameter, Some(1));
+    }
+}

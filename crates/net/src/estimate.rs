@@ -1,0 +1,300 @@
+//! Per-link quality estimates `⟨α, γ⟩`.
+//!
+//! DCRD's routing state is computed from each link's expected one-way delay
+//! `α⁽¹⁾` and single-transmission delivery ratio `γ⁽¹⁾`, which the paper
+//! says "can be collected through either link monitoring or online
+//! measurements" (§III-A). Brokers re-read these estimates every monitoring
+//! interval (5 minutes in the paper) — much slower than the 1-second failure
+//! churn, which is exactly why DCRD needs to adapt at forwarding time.
+//!
+//! Two sources are provided:
+//!
+//! * [`analytic_estimates`] — the steady-state values a long-running monitor
+//!   would converge to: `α` is the configured link delay and
+//!   `γ = (1 − Pf)(1 − Pl)` (a transmission succeeds iff the link is not in
+//!   a failed epoch and the packet is not randomly lost).
+//! * [`EwmaMonitor`] — an online exponentially-weighted estimator fed by
+//!   probe outcomes, for runs that measure rather than assume link quality.
+
+use dcrd_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{EdgeId, Topology};
+
+/// A link quality estimate: expected one-way delay and single-transmission
+/// delivery ratio.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkEstimate {
+    /// Expected one-way delay `α⁽¹⁾` of a successful transmission.
+    pub alpha: SimDuration,
+    /// Probability `γ⁽¹⁾ ∈ [0, 1]` that a single transmission is delivered
+    /// (and acknowledged).
+    pub gamma: f64,
+}
+
+impl LinkEstimate {
+    /// Creates an estimate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(alpha: SimDuration, gamma: f64) -> Self {
+        assert!((0.0..=1.0).contains(&gamma), "gamma out of range: {gamma}");
+        LinkEstimate { alpha, gamma }
+    }
+}
+
+/// Per-edge estimates for a whole topology, indexed by [`EdgeId`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkEstimates {
+    estimates: Vec<LinkEstimate>,
+}
+
+impl LinkEstimates {
+    /// Builds from a dense per-edge vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `estimates` is empty.
+    #[must_use]
+    pub fn from_vec(estimates: Vec<LinkEstimate>) -> Self {
+        assert!(!estimates.is_empty(), "estimates must cover at least one edge");
+        LinkEstimates { estimates }
+    }
+
+    /// The estimate for `edge`.
+    #[must_use]
+    pub fn get(&self, edge: EdgeId) -> LinkEstimate {
+        self.estimates[edge.index()]
+    }
+
+    /// Number of edges covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.estimates.len()
+    }
+
+    /// Whether no edges are covered (never true for a built value).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.estimates.is_empty()
+    }
+}
+
+/// The steady-state estimates implied by the simulation parameters:
+/// `α = link delay`, `γ = (1 − pf)(1 − pl)`.
+///
+/// # Panics
+///
+/// Panics if `pf` or `pl` is outside `[0, 1]`.
+#[must_use]
+pub fn analytic_estimates(topo: &Topology, pf: f64, pl: f64) -> LinkEstimates {
+    assert!((0.0..=1.0).contains(&pf), "pf out of range: {pf}");
+    assert!((0.0..=1.0).contains(&pl), "pl out of range: {pl}");
+    let gamma = (1.0 - pf) * (1.0 - pl);
+    LinkEstimates {
+        estimates: topo
+            .edge_ids()
+            .map(|e| LinkEstimate {
+                alpha: topo.delay(e),
+                gamma,
+            })
+            .collect(),
+    }
+}
+
+/// Online per-link EWMA estimator fed by probe (or data-transmission)
+/// outcomes.
+///
+/// `γ` is the EWMA of success indicators; `α` is the EWMA of the measured
+/// one-way delay of successful probes. Until the first sample arrives a
+/// link reports its prior.
+///
+/// # Example
+///
+/// ```
+/// use dcrd_net::estimate::{EwmaMonitor, LinkEstimate};
+/// use dcrd_net::graph::EdgeId;
+/// use dcrd_sim::SimDuration;
+///
+/// let prior = LinkEstimate::new(SimDuration::from_millis(30), 1.0);
+/// let mut mon = EwmaMonitor::new(4, prior, 0.2);
+/// for _ in 0..100 {
+///     mon.observe(EdgeId::new(0), Some(SimDuration::from_millis(20)));
+///     mon.observe(EdgeId::new(1), None); // lost probe
+/// }
+/// assert!(mon.estimates().get(EdgeId::new(0)).gamma > 0.99);
+/// assert!(mon.estimates().get(EdgeId::new(1)).gamma < 0.01);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EwmaMonitor {
+    weight: f64,
+    prior: LinkEstimate,
+    gamma: Vec<f64>,
+    alpha_us: Vec<f64>,
+    samples: Vec<u64>,
+}
+
+impl EwmaMonitor {
+    /// Creates a monitor over `num_edges` links with smoothing `weight`
+    /// (the weight of each new sample, e.g. `0.1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is outside `(0, 1]` or `num_edges == 0`.
+    #[must_use]
+    pub fn new(num_edges: usize, prior: LinkEstimate, weight: f64) -> Self {
+        assert!(num_edges > 0, "monitor needs at least one edge");
+        assert!(weight > 0.0 && weight <= 1.0, "weight out of range: {weight}");
+        EwmaMonitor {
+            weight,
+            prior,
+            gamma: vec![prior.gamma; num_edges],
+            alpha_us: vec![prior.alpha.as_micros() as f64; num_edges],
+            samples: vec![0; num_edges],
+        }
+    }
+
+    /// Records the outcome of one probe over `edge`: `Some(delay)` for a
+    /// success with its measured one-way delay, `None` for a loss.
+    pub fn observe(&mut self, edge: EdgeId, outcome: Option<SimDuration>) {
+        let i = edge.index();
+        self.samples[i] += 1;
+        let w = self.weight;
+        match outcome {
+            Some(delay) => {
+                self.gamma[i] = (1.0 - w) * self.gamma[i] + w;
+                self.alpha_us[i] =
+                    (1.0 - w) * self.alpha_us[i] + w * delay.as_micros() as f64;
+            }
+            None => {
+                self.gamma[i] *= 1.0 - w;
+            }
+        }
+    }
+
+    /// Number of probes recorded for `edge`.
+    #[must_use]
+    pub fn samples(&self, edge: EdgeId) -> u64 {
+        self.samples[edge.index()]
+    }
+
+    /// The prior used before any samples arrive.
+    #[must_use]
+    pub fn prior(&self) -> LinkEstimate {
+        self.prior
+    }
+
+    /// A snapshot of the current estimates for all links.
+    #[must_use]
+    pub fn estimates(&self) -> LinkEstimates {
+        LinkEstimates {
+            estimates: self
+                .gamma
+                .iter()
+                .zip(&self.alpha_us)
+                .map(|(&g, &a)| LinkEstimate {
+                    alpha: SimDuration::from_micros(a.round() as u64),
+                    gamma: g.clamp(0.0, 1.0),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{full_mesh, DelayRange};
+    use dcrd_sim::rng::rng_for;
+    use rand::Rng;
+
+    #[test]
+    fn analytic_values() {
+        let mut rng = rng_for(0, "est");
+        let topo = full_mesh(5, DelayRange::PAPER, &mut rng);
+        let est = analytic_estimates(&topo, 0.06, 1e-4);
+        assert_eq!(est.len(), topo.num_edges());
+        assert!(!est.is_empty());
+        for e in topo.edge_ids() {
+            let le = est.get(e);
+            assert_eq!(le.alpha, topo.delay(e));
+            assert!((le.gamma - 0.94 * 0.9999).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn analytic_extremes() {
+        let mut rng = rng_for(1, "est");
+        let topo = full_mesh(3, DelayRange::PAPER, &mut rng);
+        assert!((analytic_estimates(&topo, 0.0, 0.0).get(EdgeId::new(0)).gamma - 1.0).abs() < 1e-12);
+        assert!(analytic_estimates(&topo, 1.0, 0.0).get(EdgeId::new(0)).gamma.abs() < 1e-12);
+    }
+
+    #[test]
+    fn ewma_converges_to_true_rate() {
+        let prior = LinkEstimate::new(SimDuration::from_millis(30), 1.0);
+        let mut mon = EwmaMonitor::new(1, prior, 0.05);
+        let mut rng = rng_for(5, "ewma");
+        let true_gamma = 0.8;
+        let true_delay = SimDuration::from_millis(22);
+        for _ in 0..2000 {
+            let outcome = if rng.gen::<f64>() < true_gamma {
+                Some(true_delay)
+            } else {
+                None
+            };
+            mon.observe(EdgeId::new(0), outcome);
+        }
+        let est = mon.estimates().get(EdgeId::new(0));
+        assert!((est.gamma - true_gamma).abs() < 0.1, "gamma={}", est.gamma);
+        assert!(
+            (est.alpha.as_millis_f64() - 22.0).abs() < 1.0,
+            "alpha={}",
+            est.alpha
+        );
+        assert_eq!(mon.samples(EdgeId::new(0)), 2000);
+    }
+
+    #[test]
+    fn ewma_prior_used_before_samples() {
+        let prior = LinkEstimate::new(SimDuration::from_millis(15), 0.9);
+        let mon = EwmaMonitor::new(3, prior, 0.1);
+        let est = mon.estimates().get(EdgeId::new(2));
+        assert_eq!(est.alpha, prior.alpha);
+        assert!((est.gamma - 0.9).abs() < 1e-12);
+        assert_eq!(mon.prior(), prior);
+        assert_eq!(mon.samples(EdgeId::new(2)), 0);
+    }
+
+    #[test]
+    fn ewma_matches_analytic_for_simulated_link() {
+        // A probe stream over a link with pf=0.1, pl=0.05 should converge to
+        // the analytic gamma = 0.9*0.95.
+        let prior = LinkEstimate::new(SimDuration::from_millis(30), 1.0);
+        let mut mon = EwmaMonitor::new(1, prior, 0.02);
+        let mut rng = rng_for(6, "ewma2");
+        for _ in 0..5000 {
+            let up = rng.gen::<f64>() >= 0.1;
+            let kept = rng.gen::<f64>() >= 0.05;
+            let outcome = (up && kept).then_some(SimDuration::from_millis(30));
+            mon.observe(EdgeId::new(0), outcome);
+        }
+        let est = mon.estimates().get(EdgeId::new(0));
+        assert!((est.gamma - 0.9 * 0.95).abs() < 0.05, "gamma={}", est.gamma);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma out of range")]
+    fn estimate_rejects_bad_gamma() {
+        let _ = LinkEstimate::new(SimDuration::ZERO, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight out of range")]
+    fn monitor_rejects_bad_weight() {
+        let prior = LinkEstimate::new(SimDuration::ZERO, 1.0);
+        let _ = EwmaMonitor::new(1, prior, 0.0);
+    }
+}

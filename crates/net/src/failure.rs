@@ -1,0 +1,617 @@
+//! Failure models.
+//!
+//! The paper injects failures by re-rolling the network condition **once per
+//! second**: in each 1-second epoch a randomly chosen set of links fails and
+//! drops every packet for that second. We model this exactly: per epoch,
+//! each link independently fails with probability `Pf`.
+//!
+//! The implementation is *stateless*: whether link `e` is failed during
+//! epoch `k` is a pure hash of `(seed, e, k)`, so any component can query
+//! the failure state at any time with O(1) work and no shared mutable state,
+//! and a run is reproducible from its seed alone.
+//!
+//! The paper's conclusion sketches **node failures** as future work; the
+//! [`NodeFailureModel`] extension implements fail-stop node outages the same
+//! way (a failed node silently drops everything addressed to it, which takes
+//! down all of its incident links at once — exactly the "simultaneous link
+//! failures" scenario the paper worries about).
+
+use dcrd_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{EdgeId, NodeId, Topology};
+
+/// The paper's epoch length: network conditions change once per second.
+pub const DEFAULT_EPOCH: SimDuration = SimDuration::from_secs(1);
+
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Converts a hash to a uniform f64 in [0, 1).
+#[inline]
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Epoch-based Bernoulli link failures (the paper's model).
+///
+/// # Example
+///
+/// ```
+/// use dcrd_net::failure::LinkFailureModel;
+/// use dcrd_net::graph::EdgeId;
+/// use dcrd_sim::SimTime;
+///
+/// let always_up = LinkFailureModel::new(0.0, 7);
+/// assert!(!always_up.is_failed(EdgeId::new(0), SimTime::from_secs(3)));
+/// let always_down = LinkFailureModel::new(1.0, 7);
+/// assert!(always_down.is_failed(EdgeId::new(0), SimTime::from_secs(3)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkFailureModel {
+    pf: f64,
+    seed: u64,
+    epoch: SimDuration,
+}
+
+impl LinkFailureModel {
+    /// Creates a model with failure probability `pf` per link per epoch,
+    /// using the paper's 1-second epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pf` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(pf: f64, seed: u64) -> Self {
+        Self::with_epoch(pf, seed, DEFAULT_EPOCH)
+    }
+
+    /// Creates a model with a custom epoch length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pf` is outside `[0, 1]` or the epoch is zero.
+    #[must_use]
+    pub fn with_epoch(pf: f64, seed: u64, epoch: SimDuration) -> Self {
+        assert!((0.0..=1.0).contains(&pf), "failure probability out of range: {pf}");
+        assert!(epoch > SimDuration::ZERO, "epoch must be positive");
+        LinkFailureModel { pf, seed, epoch }
+    }
+
+    /// The per-epoch failure probability.
+    #[must_use]
+    pub fn pf(&self) -> f64 {
+        self.pf
+    }
+
+    /// The epoch length.
+    #[must_use]
+    pub fn epoch(&self) -> SimDuration {
+        self.epoch
+    }
+
+    /// The epoch index containing instant `at`.
+    #[must_use]
+    pub fn epoch_index(&self, at: SimTime) -> u64 {
+        at.as_micros() / self.epoch.as_micros()
+    }
+
+    /// The start of the epoch following the one containing `at`.
+    #[must_use]
+    pub fn next_epoch_start(&self, at: SimTime) -> SimTime {
+        SimTime::from_micros((self.epoch_index(at) + 1) * self.epoch.as_micros())
+    }
+
+    /// Whether `edge` is failed during the epoch containing `at`.
+    #[must_use]
+    pub fn is_failed(&self, edge: EdgeId, at: SimTime) -> bool {
+        if self.pf <= 0.0 {
+            return false;
+        }
+        if self.pf >= 1.0 {
+            return true;
+        }
+        let h = mix(self.seed ^ mix(edge.index() as u64) ^ mix(self.epoch_index(at) ^ 0xA5A5));
+        unit(h) < self.pf
+    }
+}
+
+/// Bursty link outages (extension): failures that persist for several
+/// consecutive epochs.
+///
+/// The paper's model re-rolls every link each second, so outages last
+/// exactly one second; its §III discussion of **persistent failures** (the
+/// case motivating the persistency mode) never appears in its evaluation.
+/// This model adds it: each epoch a link *starts* a burst with a small
+/// probability, and burst lengths are geometric with a configurable mean.
+/// The model stays stateless — burst starts and lengths are pure hashes of
+/// `(seed, link, epoch)` — so queries remain O(max burst length) with no
+/// shared mutable state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BurstFailureModel {
+    start_prob: f64,
+    mean_len: f64,
+    max_len: u64,
+    seed: u64,
+    epoch: SimDuration,
+}
+
+impl BurstFailureModel {
+    /// Creates a burst model targeting a marginal per-epoch failure rate of
+    /// about `pf`, with bursts of `mean_burst_epochs` epochs on average.
+    ///
+    /// The burst-start probability is set to `pf / mean_burst_epochs`
+    /// (burst overlap makes the realized marginal rate slightly lower; the
+    /// tests pin it within ±20% of the target for the paper's regimes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pf` is outside `[0, 1]` or `mean_burst_epochs < 1`.
+    #[must_use]
+    pub fn new(pf: f64, mean_burst_epochs: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&pf), "failure probability out of range: {pf}");
+        assert!(mean_burst_epochs >= 1.0, "mean burst length must be ≥ 1 epoch");
+        BurstFailureModel {
+            start_prob: (pf / mean_burst_epochs).min(1.0),
+            mean_len: mean_burst_epochs,
+            max_len: (mean_burst_epochs * 8.0).ceil() as u64,
+            seed,
+            epoch: DEFAULT_EPOCH,
+        }
+    }
+
+    /// The mean burst length in epochs.
+    #[must_use]
+    pub fn mean_burst_epochs(&self) -> f64 {
+        self.mean_len
+    }
+
+    /// The per-epoch burst-start probability.
+    #[must_use]
+    pub fn start_prob(&self) -> f64 {
+        self.start_prob
+    }
+
+    /// The epoch index containing `at`.
+    #[must_use]
+    pub fn epoch_index(&self, at: SimTime) -> u64 {
+        at.as_micros() / self.epoch.as_micros()
+    }
+
+    /// Length in epochs of the burst starting at `(edge, epoch)`, if one
+    /// starts there.
+    fn burst_len(&self, edge: EdgeId, epoch: u64) -> Option<u64> {
+        if self.start_prob <= 0.0 {
+            return None;
+        }
+        let h = mix(self.seed ^ mix(edge.index() as u64 ^ 0xB0B0) ^ mix(epoch ^ 0x1D1D));
+        if unit(h) >= self.start_prob {
+            return None;
+        }
+        if self.mean_len <= 1.0 {
+            return Some(1);
+        }
+        // Geometric with mean `mean_len`: P(L > k) = (1 - 1/mean)^k.
+        let u = unit(mix(h ^ 0xC0FF_EE00));
+        let q = 1.0 - 1.0 / self.mean_len;
+        let len = 1 + (u.max(1e-12).ln() / q.ln()).floor() as u64;
+        Some(len.min(self.max_len))
+    }
+
+    /// Whether `edge` is inside a failure burst during the epoch
+    /// containing `at`.
+    #[must_use]
+    pub fn is_failed(&self, edge: EdgeId, at: SimTime) -> bool {
+        let now = self.epoch_index(at);
+        let lookback = now.min(self.max_len.saturating_sub(1));
+        (0..=lookback).any(|back| {
+            self.burst_len(edge, now - back)
+                .is_some_and(|len| len > back)
+        })
+    }
+}
+
+/// Fail-stop node failures (extension beyond the paper's evaluation).
+///
+/// A failed node drops every packet and ACK addressed to it for the whole
+/// epoch, which is equivalent to all of its incident links failing at once.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeFailureModel {
+    pn: f64,
+    seed: u64,
+    epoch: SimDuration,
+}
+
+impl NodeFailureModel {
+    /// Creates a model with failure probability `pn` per node per 1-second
+    /// epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pn` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(pn: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&pn), "failure probability out of range: {pn}");
+        NodeFailureModel {
+            pn,
+            seed,
+            epoch: DEFAULT_EPOCH,
+        }
+    }
+
+    /// The per-epoch node failure probability.
+    #[must_use]
+    pub fn pn(&self) -> f64 {
+        self.pn
+    }
+
+    /// Whether `node` is failed during the epoch containing `at`.
+    #[must_use]
+    pub fn is_failed(&self, node: NodeId, at: SimTime) -> bool {
+        if self.pn <= 0.0 {
+            return false;
+        }
+        if self.pn >= 1.0 {
+            return true;
+        }
+        let epoch = at.as_micros() / self.epoch.as_micros();
+        let h = mix(self.seed ^ mix(node.index() as u64 ^ 0x0DD0) ^ mix(epoch ^ 0x5A5A));
+        unit(h) < self.pn
+    }
+}
+
+/// Either link-outage process: the paper's independent per-epoch model or
+/// the bursty extension.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LinkOutageModel {
+    /// Independent per-epoch failures (the paper's evaluation model).
+    Epoch(LinkFailureModel),
+    /// Multi-epoch bursts (persistent failures).
+    Burst(BurstFailureModel),
+}
+
+impl LinkOutageModel {
+    /// Whether `edge` is failed during the epoch containing `at`.
+    #[must_use]
+    pub fn is_failed(&self, edge: EdgeId, at: SimTime) -> bool {
+        match self {
+            LinkOutageModel::Epoch(m) => m.is_failed(edge, at),
+            LinkOutageModel::Burst(m) => m.is_failed(edge, at),
+        }
+    }
+
+    /// The epoch index containing `at`.
+    #[must_use]
+    pub fn epoch_index(&self, at: SimTime) -> u64 {
+        match self {
+            LinkOutageModel::Epoch(m) => m.epoch_index(at),
+            LinkOutageModel::Burst(m) => m.epoch_index(at),
+        }
+    }
+
+    /// The long-run fraction of (link, epoch) pairs that are failed — what
+    /// monitoring converges to.
+    #[must_use]
+    pub fn marginal_rate(&self) -> f64 {
+        match self {
+            LinkOutageModel::Epoch(m) => m.pf(),
+            // Burst-start probability × mean length, ignoring the small
+            // overlap correction.
+            LinkOutageModel::Burst(m) => (m.start_prob() * m.mean_burst_epochs()).min(1.0),
+        }
+    }
+}
+
+/// Combined failure view over a topology: a link transmission succeeds only
+/// if the link itself is up *and* both endpoints are up.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailureModel {
+    links: LinkOutageModel,
+    nodes: Option<NodeFailureModel>,
+}
+
+impl FailureModel {
+    /// Link failures only (the paper's evaluation setup).
+    #[must_use]
+    pub fn links_only(links: LinkFailureModel) -> Self {
+        FailureModel {
+            links: LinkOutageModel::Epoch(links),
+            nodes: None,
+        }
+    }
+
+    /// Bursty link outages only (persistent-failure extension).
+    #[must_use]
+    pub fn bursty(links: BurstFailureModel) -> Self {
+        FailureModel {
+            links: LinkOutageModel::Burst(links),
+            nodes: None,
+        }
+    }
+
+    /// Link plus node failures (the paper's future-work extension).
+    #[must_use]
+    pub fn with_node_failures(links: LinkFailureModel, nodes: NodeFailureModel) -> Self {
+        FailureModel {
+            links: LinkOutageModel::Epoch(links),
+            nodes: Some(nodes),
+        }
+    }
+
+    /// Any link-outage process combined with optional node failures.
+    #[must_use]
+    pub fn new(links: LinkOutageModel, nodes: Option<NodeFailureModel>) -> Self {
+        FailureModel { links, nodes }
+    }
+
+    /// The link-outage component.
+    #[must_use]
+    pub fn link_model(&self) -> &LinkOutageModel {
+        &self.links
+    }
+
+    /// The node-failure component, if enabled.
+    #[must_use]
+    pub fn node_model(&self) -> Option<&NodeFailureModel> {
+        self.nodes.as_ref()
+    }
+
+    /// Whether a transmission over `edge` at `at` is blocked by a failure
+    /// (of the link or of either endpoint).
+    #[must_use]
+    pub fn edge_blocked(&self, topo: &Topology, edge: EdgeId, at: SimTime) -> bool {
+        if self.links.is_failed(edge, at) {
+            return true;
+        }
+        if let Some(nodes) = &self.nodes {
+            let e = topo.edge(edge);
+            if nodes.is_failed(e.a(), at) || nodes.is_failed(e.b(), at) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The start of the next failure-state change after `at`.
+    #[must_use]
+    pub fn next_change(&self, at: SimTime) -> SimTime {
+        let epoch_len = DEFAULT_EPOCH.as_micros();
+        SimTime::from_micros((self.links.epoch_index(at) + 1) * epoch_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{full_mesh, DelayRange};
+    use dcrd_sim::rng::rng_for;
+
+    #[test]
+    fn epoch_indexing() {
+        let m = LinkFailureModel::new(0.5, 1);
+        assert_eq!(m.epoch_index(SimTime::ZERO), 0);
+        assert_eq!(m.epoch_index(SimTime::from_millis(999)), 0);
+        assert_eq!(m.epoch_index(SimTime::from_secs(1)), 1);
+        assert_eq!(m.next_epoch_start(SimTime::from_millis(500)), SimTime::from_secs(1));
+        assert_eq!(m.next_epoch_start(SimTime::from_secs(1)), SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn failure_state_constant_within_epoch() {
+        let m = LinkFailureModel::new(0.5, 42);
+        let e = EdgeId::new(3);
+        let base = m.is_failed(e, SimTime::from_secs(5));
+        for ms in 0..1000u64 {
+            assert_eq!(
+                m.is_failed(e, SimTime::from_secs(5) + SimDuration::from_millis(ms)),
+                base
+            );
+        }
+    }
+
+    #[test]
+    fn marginal_failure_rate_approximates_pf() {
+        let m = LinkFailureModel::new(0.06, 7);
+        let mut failed = 0u64;
+        let total = 200 * 100;
+        for epoch in 0..200u64 {
+            for edge in 0..100u32 {
+                if m.is_failed(EdgeId::new(edge), SimTime::from_secs(epoch)) {
+                    failed += 1;
+                }
+            }
+        }
+        let rate = failed as f64 / total as f64;
+        assert!((rate - 0.06).abs() < 0.01, "empirical failure rate {rate}");
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let a = LinkFailureModel::new(0.5, 1);
+        let b = LinkFailureModel::new(0.5, 2);
+        let mut differs = false;
+        for epoch in 0..64u64 {
+            let t = SimTime::from_secs(epoch);
+            if a.is_failed(EdgeId::new(0), t) != b.is_failed(EdgeId::new(0), t) {
+                differs = true;
+                break;
+            }
+        }
+        assert!(differs);
+    }
+
+    #[test]
+    fn edges_fail_independently() {
+        let m = LinkFailureModel::new(0.5, 9);
+        let t = SimTime::from_secs(3);
+        let states: Vec<bool> = (0..64).map(|i| m.is_failed(EdgeId::new(i), t)).collect();
+        assert!(states.iter().any(|&s| s));
+        assert!(states.iter().any(|&s| !s));
+    }
+
+    #[test]
+    fn extreme_probabilities() {
+        let up = LinkFailureModel::new(0.0, 1);
+        let down = LinkFailureModel::new(1.0, 1);
+        for epoch in 0..10u64 {
+            let t = SimTime::from_secs(epoch);
+            assert!(!up.is_failed(EdgeId::new(0), t));
+            assert!(down.is_failed(EdgeId::new(0), t));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_probability() {
+        let _ = LinkFailureModel::new(1.5, 0);
+    }
+
+    #[test]
+    fn node_failures_block_incident_edges() {
+        let mut rng = rng_for(0, "nf");
+        let topo = full_mesh(4, DelayRange::PAPER, &mut rng);
+        let links = LinkFailureModel::new(0.0, 1);
+        let nodes = NodeFailureModel::new(1.0, 1); // every node always failed
+        let fm = FailureModel::with_node_failures(links, nodes);
+        for e in topo.edge_ids() {
+            assert!(fm.edge_blocked(&topo, e, SimTime::ZERO));
+        }
+        let fm2 = FailureModel::links_only(links);
+        for e in topo.edge_ids() {
+            assert!(!fm2.edge_blocked(&topo, e, SimTime::ZERO));
+        }
+    }
+
+    #[test]
+    fn node_marginal_rate() {
+        let m = NodeFailureModel::new(0.1, 11);
+        let mut failed = 0u64;
+        for epoch in 0..500u64 {
+            for node in 0..20u32 {
+                if m.is_failed(NodeId::new(node), SimTime::from_secs(epoch)) {
+                    failed += 1;
+                }
+            }
+        }
+        let rate = failed as f64 / (500.0 * 20.0);
+        assert!((rate - 0.1).abs() < 0.02, "empirical node failure rate {rate}");
+        assert!((m.pn() - 0.1).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn combined_next_change_follows_epoch() {
+        let fm = FailureModel::links_only(LinkFailureModel::new(0.1, 3));
+        assert_eq!(fm.next_change(SimTime::from_millis(1500)), SimTime::from_secs(2));
+        let bm = FailureModel::bursty(BurstFailureModel::new(0.06, 4.0, 3));
+        assert_eq!(bm.next_change(SimTime::from_millis(2500)), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn burst_marginal_rate_close_to_target() {
+        for (pf, mean) in [(0.06, 4.0), (0.1, 2.0), (0.04, 8.0)] {
+            let m = BurstFailureModel::new(pf, mean, 17);
+            let mut failed = 0u64;
+            let total = 2000u64 * 40;
+            for epoch in 0..2000u64 {
+                for edge in 0..40u32 {
+                    if m.is_failed(EdgeId::new(edge), SimTime::from_secs(epoch)) {
+                        failed += 1;
+                    }
+                }
+            }
+            let rate = failed as f64 / total as f64;
+            assert!(
+                (rate - pf).abs() < 0.25 * pf,
+                "target pf={pf} mean={mean}: empirical rate {rate}"
+            );
+        }
+    }
+
+    #[test]
+    fn bursts_are_temporally_correlated() {
+        // P(failed at t+1 | failed at t) must be far above the marginal
+        // rate — the whole point of bursts.
+        let m = BurstFailureModel::new(0.06, 6.0, 23);
+        let mut failed_now = 0u64;
+        let mut failed_both = 0u64;
+        for epoch in 0..5000u64 {
+            for edge in 0..20u32 {
+                let e = EdgeId::new(edge);
+                if m.is_failed(e, SimTime::from_secs(epoch)) {
+                    failed_now += 1;
+                    if m.is_failed(e, SimTime::from_secs(epoch + 1)) {
+                        failed_both += 1;
+                    }
+                }
+            }
+        }
+        let conditional = failed_both as f64 / failed_now as f64;
+        assert!(
+            conditional > 0.5,
+            "bursty conditional persistence {conditional} too low"
+        );
+
+        // The paper's per-epoch model has no such correlation.
+        let iid = LinkFailureModel::new(0.06, 23);
+        let mut now = 0u64;
+        let mut both = 0u64;
+        for epoch in 0..5000u64 {
+            for edge in 0..20u32 {
+                let e = EdgeId::new(edge);
+                if iid.is_failed(e, SimTime::from_secs(epoch)) {
+                    now += 1;
+                    if iid.is_failed(e, SimTime::from_secs(epoch + 1)) {
+                        both += 1;
+                    }
+                }
+            }
+        }
+        let iid_conditional = both as f64 / now as f64;
+        assert!(
+            iid_conditional < 0.15,
+            "iid model should not persist: {iid_conditional}"
+        );
+    }
+
+    #[test]
+    fn burst_state_constant_within_epoch() {
+        let m = BurstFailureModel::new(0.3, 3.0, 5);
+        let e = EdgeId::new(1);
+        for epoch in 0..50u64 {
+            let base = m.is_failed(e, SimTime::from_secs(epoch));
+            for ms in [1u64, 250, 999] {
+                assert_eq!(
+                    m.is_failed(e, SimTime::from_secs(epoch) + SimDuration::from_millis(ms)),
+                    base
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn burst_zero_rate_never_fails() {
+        let m = BurstFailureModel::new(0.0, 4.0, 1);
+        for epoch in 0..100 {
+            assert!(!m.is_failed(EdgeId::new(0), SimTime::from_secs(epoch)));
+        }
+        assert_eq!(
+            LinkOutageModel::Burst(m).marginal_rate(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn outage_model_dispatch() {
+        let epoch_model = LinkOutageModel::Epoch(LinkFailureModel::new(0.08, 2));
+        assert!((epoch_model.marginal_rate() - 0.08).abs() < 1e-12);
+        assert_eq!(epoch_model.epoch_index(SimTime::from_secs(3)), 3);
+        let burst = LinkOutageModel::Burst(BurstFailureModel::new(0.08, 4.0, 2));
+        assert!((burst.marginal_rate() - 0.08).abs() < 1e-12);
+        assert_eq!(burst.epoch_index(SimTime::from_secs(3)), 3);
+    }
+}

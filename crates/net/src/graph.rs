@@ -1,0 +1,419 @@
+//! The overlay topology graph.
+//!
+//! An overlay is an undirected graph of broker nodes. Every link carries a
+//! propagation delay (the paper draws them uniformly from 10–50 ms, modeled
+//! on AT&T backbone measurements). Links are symmetric: the same delay and
+//! failure state applies in both directions, matching the paper's model.
+
+use std::fmt;
+
+use dcrd_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a broker node within one [`Topology`] (dense, `0..n`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a dense index.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// The dense index of this node, usable to index per-node arrays.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of an undirected overlay link within one [`Topology`]
+/// (dense, `0..m`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct EdgeId(u32);
+
+impl EdgeId {
+    /// Creates an edge id from a dense index.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        EdgeId(index)
+    }
+
+    /// The dense index of this edge, usable to index per-edge arrays.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// One undirected overlay link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Edge {
+    a: NodeId,
+    b: NodeId,
+    delay: SimDuration,
+}
+
+impl Edge {
+    /// One endpoint.
+    #[must_use]
+    pub fn a(&self) -> NodeId {
+        self.a
+    }
+
+    /// The other endpoint.
+    #[must_use]
+    pub fn b(&self) -> NodeId {
+        self.b
+    }
+
+    /// One-way propagation delay of the link.
+    #[must_use]
+    pub fn delay(&self) -> SimDuration {
+        self.delay
+    }
+
+    /// Given one endpoint, returns the other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not an endpoint of this edge.
+    #[must_use]
+    pub fn other(&self, from: NodeId) -> NodeId {
+        if from == self.a {
+            self.b
+        } else if from == self.b {
+            self.a
+        } else {
+            panic!("{from} is not an endpoint of edge {self:?}")
+        }
+    }
+}
+
+/// An immutable overlay topology: broker nodes plus undirected delay-weighted
+/// links.
+///
+/// Built through [`TopologyBuilder`] or the generators in
+/// [`topology`](crate::topology). Node and edge ids are dense indices so
+/// per-node/per-edge state can live in plain vectors.
+///
+/// # Example
+///
+/// ```
+/// use dcrd_net::graph::TopologyBuilder;
+/// use dcrd_sim::SimDuration;
+///
+/// let mut b = TopologyBuilder::new(3);
+/// let n = b.nodes();
+/// b.link(n[0], n[1], SimDuration::from_millis(10));
+/// b.link(n[1], n[2], SimDuration::from_millis(20));
+/// let topo = b.build();
+/// assert_eq!(topo.num_nodes(), 3);
+/// assert_eq!(topo.num_edges(), 2);
+/// assert!(topo.is_connected());
+/// assert_eq!(topo.degree(n[1]), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    edges: Vec<Edge>,
+    /// adjacency[node] = (neighbor, edge) pairs, sorted by neighbor id.
+    adjacency: Vec<Vec<(NodeId, EdgeId)>>,
+}
+
+impl Topology {
+    /// Number of broker nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of undirected links.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The node with dense index `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= num_nodes()`.
+    #[must_use]
+    pub fn node(&self, index: usize) -> NodeId {
+        assert!(index < self.num_nodes(), "node index {index} out of range");
+        NodeId(index as u32)
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        (0..self.adjacency.len() as u32).map(NodeId)
+    }
+
+    /// Iterator over all edge ids.
+    pub fn edge_ids(&self) -> impl ExactSizeIterator<Item = EdgeId> + '_ {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// The edge with the given id.
+    #[must_use]
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.index()]
+    }
+
+    /// One-way propagation delay of the given link.
+    #[must_use]
+    pub fn delay(&self, id: EdgeId) -> SimDuration {
+        self.edges[id.index()].delay
+    }
+
+    /// Neighbors of `node` as `(neighbor, connecting edge)` pairs, sorted by
+    /// neighbor id.
+    #[must_use]
+    pub fn neighbors(&self, node: NodeId) -> &[(NodeId, EdgeId)] {
+        &self.adjacency[node.index()]
+    }
+
+    /// Number of links incident to `node`.
+    #[must_use]
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.adjacency[node.index()].len()
+    }
+
+    /// The edge connecting `a` and `b`, if one exists.
+    #[must_use]
+    pub fn edge_between(&self, a: NodeId, b: NodeId) -> Option<EdgeId> {
+        self.adjacency[a.index()]
+            .binary_search_by_key(&b, |&(n, _)| n)
+            .ok()
+            .map(|i| self.adjacency[a.index()][i].1)
+    }
+
+    /// Whether every node can reach every other node.
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        let n = self.num_nodes();
+        if n == 0 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![NodeId(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(node) = stack.pop() {
+            for &(next, _) in self.neighbors(node) {
+                if !seen[next.index()] {
+                    seen[next.index()] = true;
+                    count += 1;
+                    stack.push(next);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// Average node degree.
+    #[must_use]
+    pub fn average_degree(&self) -> f64 {
+        if self.num_nodes() == 0 {
+            return 0.0;
+        }
+        2.0 * self.num_edges() as f64 / self.num_nodes() as f64
+    }
+}
+
+/// Incremental builder for [`Topology`].
+#[derive(Debug, Clone)]
+pub struct TopologyBuilder {
+    num_nodes: usize,
+    edges: Vec<Edge>,
+}
+
+impl TopologyBuilder {
+    /// Starts a topology with `num_nodes` nodes and no links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes` is zero or exceeds `u32::MAX`.
+    #[must_use]
+    pub fn new(num_nodes: usize) -> Self {
+        assert!(num_nodes > 0, "topology needs at least one node");
+        assert!(num_nodes <= u32::MAX as usize, "too many nodes");
+        TopologyBuilder {
+            num_nodes,
+            edges: Vec::new(),
+        }
+    }
+
+    /// All node ids of the topology being built.
+    #[must_use]
+    pub fn nodes(&self) -> Vec<NodeId> {
+        (0..self.num_nodes as u32).map(NodeId).collect()
+    }
+
+    /// Whether a link between `a` and `b` has already been added.
+    #[must_use]
+    pub fn has_link(&self, a: NodeId, b: NodeId) -> bool {
+        self.edges
+            .iter()
+            .any(|e| (e.a == a && e.b == b) || (e.a == b && e.b == a))
+    }
+
+    /// Current number of links incident to `node`.
+    #[must_use]
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.edges
+            .iter()
+            .filter(|e| e.a == node || e.b == node)
+            .count()
+    }
+
+    /// Adds an undirected link between `a` and `b` with one-way delay
+    /// `delay`, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops, on duplicate links, or if either endpoint is
+    /// out of range.
+    pub fn link(&mut self, a: NodeId, b: NodeId, delay: SimDuration) -> EdgeId {
+        assert!(a != b, "self-loop on {a}");
+        assert!(
+            a.index() < self.num_nodes && b.index() < self.num_nodes,
+            "endpoint out of range"
+        );
+        assert!(!self.has_link(a, b), "duplicate link {a}-{b}");
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(Edge { a, b, delay });
+        id
+    }
+
+    /// Finalizes the topology.
+    #[must_use]
+    pub fn build(self) -> Topology {
+        let mut adjacency = vec![Vec::new(); self.num_nodes];
+        for (i, e) in self.edges.iter().enumerate() {
+            let id = EdgeId(i as u32);
+            adjacency[e.a.index()].push((e.b, id));
+            adjacency[e.b.index()].push((e.a, id));
+        }
+        for adj in &mut adjacency {
+            adj.sort_unstable_by_key(|&(n, _)| n);
+        }
+        Topology {
+            edges: self.edges,
+            adjacency,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Topology {
+        let mut b = TopologyBuilder::new(3);
+        let n = b.nodes();
+        b.link(n[0], n[1], SimDuration::from_millis(10));
+        b.link(n[1], n[2], SimDuration::from_millis(20));
+        b.link(n[0], n[2], SimDuration::from_millis(30));
+        b.build()
+    }
+
+    #[test]
+    fn builder_and_accessors() {
+        let t = triangle();
+        assert_eq!(t.num_nodes(), 3);
+        assert_eq!(t.num_edges(), 3);
+        assert_eq!(t.degree(t.node(0)), 2);
+        assert!((t.average_degree() - 2.0).abs() < 1e-12);
+        let e = t.edge_between(t.node(0), t.node(2)).unwrap();
+        assert_eq!(t.delay(e), SimDuration::from_millis(30));
+        assert_eq!(t.edge(e).other(t.node(0)), t.node(2));
+        assert_eq!(t.edge(e).other(t.node(2)), t.node(0));
+    }
+
+    #[test]
+    fn edge_between_is_symmetric() {
+        let t = triangle();
+        for a in t.nodes() {
+            for b in t.nodes() {
+                assert_eq!(t.edge_between(a, b), t.edge_between(b, a));
+            }
+        }
+        assert_eq!(t.edge_between(t.node(0), t.node(0)), None);
+    }
+
+    #[test]
+    fn neighbors_sorted_by_id() {
+        let t = triangle();
+        for node in t.nodes() {
+            let ns = t.neighbors(node);
+            for w in ns.windows(2) {
+                assert!(w[0].0 < w[1].0);
+            }
+        }
+    }
+
+    #[test]
+    fn connectivity_detection() {
+        let t = triangle();
+        assert!(t.is_connected());
+
+        let mut b = TopologyBuilder::new(4);
+        let n = b.nodes();
+        b.link(n[0], n[1], SimDuration::from_millis(1));
+        // node 2, 3 isolated except one link between them
+        b.link(n[2], n[3], SimDuration::from_millis(1));
+        assert!(!b.build().is_connected());
+
+        let single = TopologyBuilder::new(1).build();
+        assert!(single.is_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        let mut b = TopologyBuilder::new(2);
+        let n = b.nodes();
+        b.link(n[0], n[0], SimDuration::from_millis(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate link")]
+    fn duplicate_link_rejected() {
+        let mut b = TopologyBuilder::new(2);
+        let n = b.nodes();
+        b.link(n[0], n[1], SimDuration::from_millis(1));
+        b.link(n[1], n[0], SimDuration::from_millis(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn edge_other_rejects_non_endpoint() {
+        let t = triangle();
+        let e = t.edge_between(t.node(0), t.node(1)).unwrap();
+        let _ = t.edge(e).other(t.node(2));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NodeId::new(4).to_string(), "n4");
+        assert_eq!(EdgeId::new(2).to_string(), "e2");
+    }
+}

@@ -1,0 +1,101 @@
+//! Random per-transmission packet loss.
+//!
+//! Separately from epoch failures, every individual transmission over a
+//! healthy link is lost with probability `Pl` (the paper sweeps `Pl` from
+//! 10⁻⁴ — the default — up to 10⁻¹ in Fig. 8). ACKs traverse the same links
+//! and are subject to the same loss.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Bernoulli per-transmission loss model.
+///
+/// # Example
+///
+/// ```
+/// use dcrd_net::loss::LossModel;
+/// use dcrd_sim::rng::rng_for;
+///
+/// let mut rng = rng_for(1, "loss");
+/// let lossless = LossModel::new(0.0);
+/// assert!(!lossless.drops(&mut rng));
+/// let lossy = LossModel::new(1.0);
+/// assert!(lossy.drops(&mut rng));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LossModel {
+    pl: f64,
+}
+
+impl LossModel {
+    /// The paper's default loss rate (`10⁻⁴`).
+    pub const PAPER_DEFAULT: LossModel = LossModel { pl: 1e-4 };
+
+    /// Creates a loss model with per-transmission loss probability `pl`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pl` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(pl: f64) -> Self {
+        assert!((0.0..=1.0).contains(&pl), "loss probability out of range: {pl}");
+        LossModel { pl }
+    }
+
+    /// The loss probability.
+    #[must_use]
+    pub fn pl(&self) -> f64 {
+        self.pl
+    }
+
+    /// Draws whether one transmission is lost.
+    pub fn drops<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        if self.pl <= 0.0 {
+            false
+        } else if self.pl >= 1.0 {
+            true
+        } else {
+            rng.gen::<f64>() < self.pl
+        }
+    }
+}
+
+impl Default for LossModel {
+    fn default() -> Self {
+        LossModel::PAPER_DEFAULT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcrd_sim::rng::rng_for;
+
+    #[test]
+    fn empirical_rate_matches() {
+        let model = LossModel::new(0.05);
+        let mut rng = rng_for(3, "loss");
+        let n = 100_000;
+        let losses = (0..n).filter(|_| model.drops(&mut rng)).count();
+        let rate = losses as f64 / n as f64;
+        assert!((rate - 0.05).abs() < 0.005, "empirical loss rate {rate}");
+    }
+
+    #[test]
+    fn default_is_paper_value() {
+        assert!((LossModel::default().pl() - 1e-4).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn extremes() {
+        let mut rng = rng_for(4, "loss");
+        assert!(!LossModel::new(0.0).drops(&mut rng));
+        assert!(LossModel::new(1.0).drops(&mut rng));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_probability() {
+        let _ = LossModel::new(-0.1);
+    }
+}

@@ -1,0 +1,624 @@
+//! Shortest-path machinery: Dijkstra, all-pairs sweeps, Yen's k-shortest
+//! simple paths, and the paper's multipath pair selection.
+//!
+//! Two metrics are supported, matching the paper's baselines: **delay**
+//! (sum of link delays — D-Tree, ORACLE, Multipath) and **hops** (link
+//! count — R-Tree, "most reliable" because fewer links mean fewer failure
+//! opportunities).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use dcrd_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{EdgeId, NodeId, Topology};
+
+/// The edge-weight metric used by a shortest-path computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Metric {
+    /// Minimize total link delay.
+    Delay,
+    /// Minimize hop count.
+    Hops,
+}
+
+impl Metric {
+    /// The cost of traversing `edge` under this metric (µs for delay, 1 for
+    /// hops).
+    #[must_use]
+    pub fn cost(self, topo: &Topology, edge: EdgeId) -> u64 {
+        match self {
+            Metric::Delay => topo.delay(edge).as_micros(),
+            Metric::Hops => 1,
+        }
+    }
+}
+
+/// A simple (loop-free) path through the overlay.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Path {
+    nodes: Vec<NodeId>,
+    edges: Vec<EdgeId>,
+    cost: u64,
+}
+
+impl Path {
+    /// Assembles a path from its parts (used by sibling path algorithms
+    /// such as [`edge_disjoint_pair`](crate::disjoint::edge_disjoint_pair)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node and edge counts are inconsistent.
+    #[must_use]
+    pub fn from_parts(nodes: Vec<NodeId>, edges: Vec<EdgeId>, cost: u64) -> Self {
+        assert_eq!(
+            nodes.len(),
+            edges.len() + 1,
+            "a path over k edges visits k+1 nodes"
+        );
+        Path { nodes, edges, cost }
+    }
+
+    /// The sequence of nodes from source to destination (inclusive).
+    #[must_use]
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The sequence of edges traversed.
+    #[must_use]
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// Total cost under the metric the path was computed with.
+    #[must_use]
+    pub fn cost(&self) -> u64 {
+        self.cost
+    }
+
+    /// Number of hops (edges).
+    #[must_use]
+    pub fn hops(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Source node.
+    ///
+    /// # Panics
+    ///
+    /// Never: paths always contain at least the source node.
+    #[must_use]
+    pub fn source(&self) -> NodeId {
+        *self.nodes.first().expect("path has a source")
+    }
+
+    /// Destination node.
+    #[must_use]
+    pub fn destination(&self) -> NodeId {
+        *self.nodes.last().expect("path has a destination")
+    }
+
+    /// Total propagation delay along the path (independent of the metric the
+    /// path was found with).
+    #[must_use]
+    pub fn total_delay(&self, topo: &Topology) -> SimDuration {
+        self.edges
+            .iter()
+            .fold(SimDuration::ZERO, |acc, &e| acc + topo.delay(e))
+    }
+
+    /// Number of edges shared with `other`.
+    #[must_use]
+    pub fn overlap(&self, other: &Path) -> usize {
+        self.edges
+            .iter()
+            .filter(|e| other.edges.contains(e))
+            .count()
+    }
+}
+
+/// Result of a single-source shortest-path computation.
+#[derive(Debug, Clone)]
+pub struct ShortestPaths {
+    source: NodeId,
+    dist: Vec<Option<u64>>,
+    prev: Vec<Option<(NodeId, EdgeId)>>,
+}
+
+impl ShortestPaths {
+    /// The source node of the computation.
+    #[must_use]
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Cost from the source to `node`, or `None` if unreachable.
+    #[must_use]
+    pub fn cost_to(&self, node: NodeId) -> Option<u64> {
+        self.dist[node.index()]
+    }
+
+    /// The predecessor `(node, edge)` of `node` on its shortest path, or
+    /// `None` for the source and unreachable nodes.
+    #[must_use]
+    pub fn predecessor(&self, node: NodeId) -> Option<(NodeId, EdgeId)> {
+        self.prev[node.index()]
+    }
+
+    /// Reconstructs the full path from the source to `dst`, or `None` if
+    /// unreachable.
+    #[must_use]
+    pub fn path_to(&self, dst: NodeId) -> Option<Path> {
+        let cost = self.dist[dst.index()]?;
+        let mut nodes = vec![dst];
+        let mut edges = Vec::new();
+        let mut cur = dst;
+        while let Some((p, e)) = self.prev[cur.index()] {
+            nodes.push(p);
+            edges.push(e);
+            cur = p;
+        }
+        debug_assert_eq!(cur, self.source, "predecessor chain must end at source");
+        nodes.reverse();
+        edges.reverse();
+        Some(Path { nodes, edges, cost })
+    }
+}
+
+/// Single-source Dijkstra under `metric`.
+///
+/// Ties between equal-cost relaxations keep the first-found predecessor,
+/// which (with deterministic neighbor order) makes results reproducible.
+#[must_use]
+pub fn dijkstra(topo: &Topology, source: NodeId, metric: Metric) -> ShortestPaths {
+    dijkstra_filtered(topo, source, metric, |_| true)
+}
+
+/// Single-source Dijkstra that only traverses edges for which `edge_ok`
+/// returns `true`. Used by the ORACLE baseline to avoid currently-failed
+/// links and by Yen's algorithm for edge removal.
+#[must_use]
+pub fn dijkstra_filtered<F>(
+    topo: &Topology,
+    source: NodeId,
+    metric: Metric,
+    mut edge_ok: F,
+) -> ShortestPaths
+where
+    F: FnMut(EdgeId) -> bool,
+{
+    let n = topo.num_nodes();
+    let mut dist: Vec<Option<u64>> = vec![None; n];
+    let mut prev: Vec<Option<(NodeId, EdgeId)>> = vec![None; n];
+    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+    dist[source.index()] = Some(0);
+    heap.push(Reverse((0, source.index() as u32)));
+
+    while let Some(Reverse((d, idx))) = heap.pop() {
+        let node = NodeId::new(idx);
+        if dist[node.index()] != Some(d) {
+            continue; // stale entry
+        }
+        for &(next, edge) in topo.neighbors(node) {
+            if !edge_ok(edge) {
+                continue;
+            }
+            let nd = d + metric.cost(topo, edge);
+            if dist[next.index()].is_none_or(|old| nd < old) {
+                dist[next.index()] = Some(nd);
+                prev[next.index()] = Some((node, edge));
+                heap.push(Reverse((nd, next.index() as u32)));
+            }
+        }
+    }
+    ShortestPaths { source, dist, prev }
+}
+
+/// Shortest path between two nodes under `metric`, or `None` if
+/// disconnected.
+#[must_use]
+pub fn shortest_path(topo: &Topology, src: NodeId, dst: NodeId, metric: Metric) -> Option<Path> {
+    if src == dst {
+        return Some(Path {
+            nodes: vec![src],
+            edges: Vec::new(),
+            cost: 0,
+        });
+    }
+    dijkstra(topo, src, metric).path_to(dst)
+}
+
+/// All-pairs shortest-path costs under `metric` (repeated Dijkstra);
+/// `result[src][dst]`.
+#[must_use]
+pub fn all_pairs_costs(topo: &Topology, metric: Metric) -> Vec<Vec<Option<u64>>> {
+    topo.nodes()
+        .map(|src| {
+            let sp = dijkstra(topo, src, metric);
+            topo.nodes().map(|dst| sp.cost_to(dst)).collect()
+        })
+        .collect()
+}
+
+/// Yen's algorithm: the `k` shortest *simple* paths from `src` to `dst`
+/// under `metric`, in non-decreasing cost order. Returns fewer than `k`
+/// paths when the graph doesn't contain that many simple paths.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `src == dst`.
+#[must_use]
+pub fn k_shortest_paths(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    metric: Metric,
+) -> Vec<Path> {
+    assert!(k > 0, "k must be positive");
+    assert!(src != dst, "k-shortest-paths needs distinct endpoints");
+
+    let Some(first) = shortest_path(topo, src, dst, metric) else {
+        return Vec::new();
+    };
+    let mut found = vec![first];
+    // Candidate set: (cost, insertion order, path); insertion order breaks
+    // ties deterministically.
+    let mut candidates: Vec<Path> = Vec::new();
+
+    while found.len() < k {
+        let prev_path = found.last().expect("at least one found path").clone();
+        // For each node along the previous path, branch off ("spur").
+        for i in 0..prev_path.nodes.len() - 1 {
+            let spur_node = prev_path.nodes[i];
+            let root_nodes = &prev_path.nodes[..=i];
+            let root_edges = &prev_path.edges[..i];
+
+            // Edges to exclude: the next edge of every found/candidate path
+            // sharing this root.
+            let mut banned_edges: Vec<EdgeId> = Vec::new();
+            for p in found.iter().chain(candidates.iter()) {
+                if p.nodes.len() > i + 1 && p.nodes[..=i] == *root_nodes {
+                    banned_edges.push(p.edges[i]);
+                }
+            }
+            // Nodes of the root (except the spur node) must not be revisited.
+            let banned_nodes: Vec<NodeId> = root_nodes[..i].to_vec();
+
+            let sp = dijkstra_filtered(topo, spur_node, metric, |e| {
+                if banned_edges.contains(&e) {
+                    return false;
+                }
+                let edge = topo.edge(e);
+                !banned_nodes.contains(&edge.a()) && !banned_nodes.contains(&edge.b())
+            });
+            let Some(spur_path) = sp.path_to(dst) else {
+                continue;
+            };
+            // Guard against the filter approximation admitting a root node.
+            if spur_path.nodes[1..].iter().any(|n| banned_nodes.contains(n)) {
+                continue;
+            }
+
+            let mut nodes = root_nodes.to_vec();
+            nodes.extend_from_slice(&spur_path.nodes[1..]);
+            let mut edges = root_edges.to_vec();
+            edges.extend_from_slice(&spur_path.edges);
+            let cost = edges.iter().map(|&e| metric.cost(topo, e)).sum();
+            let total = Path { nodes, edges, cost };
+
+            if !found.contains(&total) && !candidates.contains(&total) {
+                candidates.push(total);
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        // Extract the cheapest candidate (stable under ties by keeping the
+        // earliest inserted).
+        let best = candidates
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, p)| (p.cost, *i))
+            .map(|(i, _)| i)
+            .expect("candidates nonempty");
+        found.push(candidates.swap_remove(best));
+        // swap_remove perturbs order; re-sort by (cost) to keep determinism
+        // of future tie-breaks stable regardless of removal order.
+        candidates.sort_by_key(|p| p.cost);
+    }
+    found
+}
+
+/// The paper's Multipath pair: the shortest-delay path plus, among the top-5
+/// shortest-delay paths, the one sharing the fewest links with it (ties
+/// broken toward lower delay). Returns `None` when `src` and `dst` are
+/// disconnected; returns a single-element pair `(p, None)` when only one
+/// simple path exists.
+#[must_use]
+pub fn multipath_pair(topo: &Topology, src: NodeId, dst: NodeId) -> Option<(Path, Option<Path>)> {
+    let top = k_shortest_paths(topo, src, dst, 5, Metric::Delay);
+    let mut it = top.into_iter();
+    let primary = it.next()?;
+    let secondary = it.min_by_key(|p| (p.overlap(&primary), p.cost));
+    Some((primary, secondary))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TopologyBuilder;
+    use crate::topology::{full_mesh, line, random_connected, ring, DelayRange};
+    use dcrd_sim::rng::rng_for;
+    use dcrd_sim::SimDuration;
+
+    /// Diamond: 0-1 (10), 0-2 (20), 1-3 (10), 2-3 (5), 1-2 (1).
+    fn diamond() -> Topology {
+        let mut b = TopologyBuilder::new(4);
+        let n = b.nodes();
+        b.link(n[0], n[1], SimDuration::from_millis(10));
+        b.link(n[0], n[2], SimDuration::from_millis(20));
+        b.link(n[1], n[3], SimDuration::from_millis(10));
+        b.link(n[2], n[3], SimDuration::from_millis(5));
+        b.link(n[1], n[2], SimDuration::from_millis(1));
+        b.build()
+    }
+
+    #[test]
+    fn dijkstra_delay_on_diamond() {
+        let t = diamond();
+        let p = shortest_path(&t, t.node(0), t.node(3), Metric::Delay).unwrap();
+        // 0-1 (10) + 1-2 (1) + 2-3 (5) = 16ms beats 0-1-3 (20ms).
+        assert_eq!(p.cost(), 16_000);
+        assert_eq!(
+            p.nodes(),
+            &[t.node(0), t.node(1), t.node(2), t.node(3)]
+        );
+        assert_eq!(p.total_delay(&t), SimDuration::from_millis(16));
+    }
+
+    #[test]
+    fn dijkstra_hops_on_diamond() {
+        let t = diamond();
+        let p = shortest_path(&t, t.node(0), t.node(3), Metric::Hops).unwrap();
+        assert_eq!(p.hops(), 2);
+        assert_eq!(p.cost(), 2);
+    }
+
+    #[test]
+    fn same_node_path_is_empty() {
+        let t = diamond();
+        let p = shortest_path(&t, t.node(2), t.node(2), Metric::Delay).unwrap();
+        assert_eq!(p.hops(), 0);
+        assert_eq!(p.cost(), 0);
+        assert_eq!(p.source(), p.destination());
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut b = TopologyBuilder::new(4);
+        let n = b.nodes();
+        b.link(n[0], n[1], SimDuration::from_millis(1));
+        b.link(n[2], n[3], SimDuration::from_millis(1));
+        let t = b.build();
+        assert!(shortest_path(&t, t.node(0), t.node(3), Metric::Delay).is_none());
+        let sp = dijkstra(&t, t.node(0), Metric::Delay);
+        assert_eq!(sp.cost_to(t.node(3)), None);
+        assert_eq!(sp.predecessor(t.node(3)), None);
+    }
+
+    #[test]
+    fn dijkstra_matches_bellman_ford_on_random_graphs() {
+        for seed in 0..5u64 {
+            let mut rng = rng_for(seed, "bf");
+            let t = random_connected(12, 4, DelayRange::PAPER, &mut rng);
+            let src = t.node(0);
+            let sp = dijkstra(&t, src, Metric::Delay);
+
+            // Bellman-Ford reference.
+            let n = t.num_nodes();
+            let mut dist = vec![u64::MAX; n];
+            dist[src.index()] = 0;
+            for _ in 0..n {
+                for e in t.edge_ids() {
+                    let edge = t.edge(e);
+                    let w = t.delay(e).as_micros();
+                    let (a, b) = (edge.a().index(), edge.b().index());
+                    if dist[a] != u64::MAX && dist[a] + w < dist[b] {
+                        dist[b] = dist[a] + w;
+                    }
+                    if dist[b] != u64::MAX && dist[b] + w < dist[a] {
+                        dist[a] = dist[b] + w;
+                    }
+                }
+            }
+            for node in t.nodes() {
+                assert_eq!(sp.cost_to(node), Some(dist[node.index()]), "seed {seed} {node}");
+            }
+        }
+    }
+
+    #[test]
+    fn filtered_dijkstra_avoids_edges() {
+        let t = diamond();
+        let banned = t.edge_between(t.node(1), t.node(2)).unwrap();
+        let sp = dijkstra_filtered(&t, t.node(0), Metric::Delay, |e| e != banned);
+        let p = sp.path_to(t.node(3)).unwrap();
+        assert!(!p.edges().contains(&banned));
+        assert_eq!(p.cost(), 20_000); // 0-1-3
+    }
+
+    #[test]
+    fn all_pairs_symmetry_and_triangle_inequality() {
+        let mut rng = rng_for(9, "ap");
+        let t = random_connected(10, 4, DelayRange::PAPER, &mut rng);
+        let costs = all_pairs_costs(&t, Metric::Delay);
+        for i in 0..10 {
+            assert_eq!(costs[i][i], Some(0));
+            for j in 0..10 {
+                assert_eq!(costs[i][j], costs[j][i], "undirected graph must be symmetric");
+                for k in 0..10 {
+                    let (Some(ij), Some(ik), Some(kj)) = (costs[i][j], costs[i][k], costs[k][j])
+                    else {
+                        continue;
+                    };
+                    assert!(ij <= ik + kj, "triangle inequality violated");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn yen_on_diamond_enumerates_all_simple_paths() {
+        let t = diamond();
+        let paths = k_shortest_paths(&t, t.node(0), t.node(3), 10, Metric::Delay);
+        // Simple paths 0→3: 0-1-2-3 (16), 0-1-3 (20), 0-2-3 (25),
+        // 0-2-1-3 (31). Exactly four.
+        let costs: Vec<u64> = paths.iter().map(Path::cost).collect();
+        assert_eq!(costs, vec![16_000, 20_000, 25_000, 31_000]);
+        // All simple.
+        for p in &paths {
+            let mut nodes = p.nodes().to_vec();
+            nodes.sort();
+            nodes.dedup();
+            assert_eq!(nodes.len(), p.nodes().len(), "path must be simple");
+        }
+    }
+
+    #[test]
+    fn yen_costs_nondecreasing_on_random_graphs() {
+        for seed in 0..5u64 {
+            let mut rng = rng_for(seed, "yen");
+            let t = random_connected(10, 4, DelayRange::PAPER, &mut rng);
+            let paths = k_shortest_paths(&t, t.node(0), t.node(7), 6, Metric::Delay);
+            assert!(!paths.is_empty());
+            for w in paths.windows(2) {
+                assert!(w[0].cost() <= w[1].cost());
+            }
+            // No duplicates.
+            for i in 0..paths.len() {
+                for j in i + 1..paths.len() {
+                    assert_ne!(paths[i], paths[j]);
+                }
+            }
+            // First equals Dijkstra.
+            let best = shortest_path(&t, t.node(0), t.node(7), Metric::Delay).unwrap();
+            assert_eq!(paths[0].cost(), best.cost());
+        }
+    }
+
+    #[test]
+    fn yen_on_line_finds_single_path() {
+        let t = line(5, SimDuration::from_millis(10));
+        let paths = k_shortest_paths(&t, t.node(0), t.node(4), 5, Metric::Delay);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].hops(), 4);
+    }
+
+    #[test]
+    fn yen_on_ring_finds_two_paths() {
+        let t = ring(6, SimDuration::from_millis(10));
+        let paths = k_shortest_paths(&t, t.node(0), t.node(2), 5, Metric::Delay);
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0].hops(), 2);
+        assert_eq!(paths[1].hops(), 4);
+        assert_eq!(paths[0].overlap(&paths[1]), 0);
+    }
+
+    #[test]
+    fn multipath_prefers_disjoint_secondary() {
+        let mut rng = rng_for(4, "mp");
+        let t = full_mesh(8, DelayRange::PAPER, &mut rng);
+        let (primary, secondary) = multipath_pair(&t, t.node(0), t.node(5)).unwrap();
+        let secondary = secondary.expect("mesh has many paths");
+        assert!(primary.cost() <= secondary.cost());
+        // In a full mesh there are plenty of edge-disjoint 2-hop paths.
+        assert_eq!(primary.overlap(&secondary), 0);
+    }
+
+    #[test]
+    fn multipath_on_line_has_no_secondary() {
+        let t = line(4, SimDuration::from_millis(10));
+        let (primary, secondary) = multipath_pair(&t, t.node(0), t.node(3)).unwrap();
+        assert_eq!(primary.hops(), 3);
+        assert!(secondary.is_none());
+    }
+
+    mod props {
+        use super::*;
+        use crate::topology::random_connected;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// Yen's paths are simple, sorted, distinct, and start with the
+            /// Dijkstra optimum on arbitrary random overlays.
+            #[test]
+            fn yen_invariants(seed in 0u64..500, degree in 3usize..6, k in 1usize..6) {
+                let mut rng = rng_for(seed, "yen-prop");
+                let t = random_connected(10, degree, DelayRange::PAPER, &mut rng);
+                let (src, dst) = (t.node(0), t.node(9));
+                let paths = k_shortest_paths(&t, src, dst, k, Metric::Delay);
+                prop_assert!(!paths.is_empty());
+                prop_assert!(paths.len() <= k);
+                let best = shortest_path(&t, src, dst, Metric::Delay).expect("connected");
+                prop_assert_eq!(paths[0].cost(), best.cost());
+                for w in paths.windows(2) {
+                    prop_assert!(w[0].cost() <= w[1].cost());
+                    prop_assert_ne!(&w[0], &w[1]);
+                }
+                for p in &paths {
+                    prop_assert_eq!(p.source(), src);
+                    prop_assert_eq!(p.destination(), dst);
+                    // Simple: no repeated nodes.
+                    let mut nodes = p.nodes().to_vec();
+                    nodes.sort();
+                    nodes.dedup();
+                    prop_assert_eq!(nodes.len(), p.nodes().len());
+                    // Edges consistent with nodes.
+                    prop_assert_eq!(p.edges().len() + 1, p.nodes().len());
+                    for (i, &e) in p.edges().iter().enumerate() {
+                        let edge = t.edge(e);
+                        let (a, b) = (p.nodes()[i], p.nodes()[i + 1]);
+                        prop_assert!(
+                            (edge.a() == a && edge.b() == b) || (edge.a() == b && edge.b() == a)
+                        );
+                    }
+                    // Cost equals the recomputed metric sum.
+                    let sum: u64 = p.edges().iter().map(|&e| Metric::Delay.cost(&t, e)).sum();
+                    prop_assert_eq!(p.cost(), sum);
+                }
+            }
+
+            /// Hop-metric shortest paths never have more hops than
+            /// delay-metric ones between the same endpoints.
+            #[test]
+            fn hop_paths_minimize_hops(seed in 0u64..500) {
+                let mut rng = rng_for(seed, "hops-prop");
+                let t = random_connected(12, 4, DelayRange::PAPER, &mut rng);
+                for dst in 1..12 {
+                    let hop = shortest_path(&t, t.node(0), t.node(dst), Metric::Hops).unwrap();
+                    let delay = shortest_path(&t, t.node(0), t.node(dst), Metric::Delay).unwrap();
+                    prop_assert!(hop.hops() <= delay.hops());
+                    prop_assert!(
+                        delay.total_delay(&t) <= hop.total_delay(&t),
+                        "delay metric must minimize delay"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn path_overlap_counts_shared_edges() {
+        let t = diamond();
+        let paths = k_shortest_paths(&t, t.node(0), t.node(3), 4, Metric::Delay);
+        // 0-1-2-3 vs 0-1-3 share edge 0-1.
+        assert_eq!(paths[0].overlap(&paths[1]), 1);
+        // 0-1-3 vs 0-2-3 share nothing.
+        assert_eq!(paths[1].overlap(&paths[2]), 0);
+    }
+}

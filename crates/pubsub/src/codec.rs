@@ -1,0 +1,285 @@
+//! Binary wire format for overlay packets.
+//!
+//! The simulator passes [`Packet`]s by value, but a deployment puts them on
+//! UDP sockets; this codec defines that wire format. The layout is a
+//! straightforward length-prefixed little-endian encoding:
+//!
+//! ```text
+//! magic  u8 = 0xDC   version u8 = 1
+//! id u64   topic u32   publisher u32   published_at_us u64   tag u64
+//! dest_count u16, dest u32 ×n
+//! path_len   u16, node u32 ×n
+//! route_flag u8 (0/1) [route_len u16, node u32 ×n]
+//! payload_len u32, payload bytes
+//! ```
+//!
+//! Decoding validates the header and every length, so a truncated or
+//! corrupted datagram produces a typed [`DecodePacketError`] instead of a
+//! garbage packet.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dcrd_net::NodeId;
+use dcrd_sim::SimTime;
+use std::fmt;
+
+use crate::packet::{Packet, PacketId};
+use crate::topic::TopicId;
+
+const MAGIC: u8 = 0xDC;
+const VERSION: u8 = 1;
+
+/// Why a datagram failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodePacketError {
+    /// The buffer ended before the advertised content.
+    Truncated {
+        /// Bytes still needed when the buffer ran out.
+        needed: usize,
+    },
+    /// The first byte was not the DCRD magic.
+    BadMagic(u8),
+    /// Unsupported format version.
+    BadVersion(u8),
+    /// Bytes remained after the advertised content.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for DecodePacketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodePacketError::Truncated { needed } => {
+                write!(f, "packet truncated: {needed} more bytes needed")
+            }
+            DecodePacketError::BadMagic(b) => write!(f, "bad magic byte {b:#04x}"),
+            DecodePacketError::BadVersion(v) => write!(f, "unsupported packet version {v}"),
+            DecodePacketError::TrailingBytes(n) => write!(f, "{n} trailing bytes after packet"),
+        }
+    }
+}
+
+impl std::error::Error for DecodePacketError {}
+
+/// Encodes `packet` into a fresh buffer.
+#[must_use]
+pub fn encode_packet(packet: &Packet) -> Bytes {
+    let mut buf = BytesMut::with_capacity(
+        40 + 4 * (packet.destinations.len() + packet.path.len())
+            + packet.route.as_ref().map_or(0, |r| 2 + 4 * r.len())
+            + packet.payload.len(),
+    );
+    buf.put_u8(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u64_le(packet.id.raw());
+    buf.put_u32_le(packet.topic.index() as u32);
+    buf.put_u32_le(packet.publisher.index() as u32);
+    buf.put_u64_le(packet.published_at.as_micros());
+    buf.put_u64_le(packet.tag);
+    buf.put_u16_le(packet.destinations.len() as u16);
+    for d in &packet.destinations {
+        buf.put_u32_le(d.index() as u32);
+    }
+    buf.put_u16_le(packet.path.len() as u16);
+    for n in &packet.path {
+        buf.put_u32_le(n.index() as u32);
+    }
+    match &packet.route {
+        Some(route) => {
+            buf.put_u8(1);
+            buf.put_u16_le(route.len() as u16);
+            for n in route {
+                buf.put_u32_le(n.index() as u32);
+            }
+        }
+        None => buf.put_u8(0),
+    }
+    buf.put_u32_le(packet.payload.len() as u32);
+    buf.put_slice(&packet.payload);
+    buf.freeze()
+}
+
+fn need(buf: &impl Buf, n: usize) -> Result<(), DecodePacketError> {
+    if buf.remaining() < n {
+        Err(DecodePacketError::Truncated {
+            needed: n - buf.remaining(),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+fn read_nodes(buf: &mut impl Buf, count: usize) -> Result<Vec<NodeId>, DecodePacketError> {
+    need(buf, 4 * count)?;
+    Ok((0..count).map(|_| NodeId::new(buf.get_u32_le())).collect())
+}
+
+/// Decodes one packet from `data`, requiring the buffer to contain exactly
+/// one packet.
+///
+/// # Errors
+///
+/// Returns a [`DecodePacketError`] on bad magic/version, truncation, or
+/// trailing bytes.
+pub fn decode_packet(data: &[u8]) -> Result<Packet, DecodePacketError> {
+    let mut buf = data;
+    need(&buf, 2)?;
+    let magic = buf.get_u8();
+    if magic != MAGIC {
+        return Err(DecodePacketError::BadMagic(magic));
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(DecodePacketError::BadVersion(version));
+    }
+    need(&buf, 8 + 4 + 4 + 8 + 8 + 2)?;
+    let id = PacketId::new(buf.get_u64_le());
+    let topic = TopicId::new(buf.get_u32_le());
+    let publisher = NodeId::new(buf.get_u32_le());
+    let published_at = SimTime::from_micros(buf.get_u64_le());
+    let tag = buf.get_u64_le();
+    let dest_count = buf.get_u16_le() as usize;
+    let destinations = read_nodes(&mut buf, dest_count)?;
+    need(&buf, 2)?;
+    let path_len = buf.get_u16_le() as usize;
+    let path = read_nodes(&mut buf, path_len)?;
+    need(&buf, 1)?;
+    let route = match buf.get_u8() {
+        0 => None,
+        _ => {
+            need(&buf, 2)?;
+            let len = buf.get_u16_le() as usize;
+            Some(read_nodes(&mut buf, len)?)
+        }
+    };
+    need(&buf, 4)?;
+    let payload_len = buf.get_u32_le() as usize;
+    need(&buf, payload_len)?;
+    let payload = Bytes::copy_from_slice(&buf[..payload_len]);
+    buf.advance(payload_len);
+    if buf.has_remaining() {
+        return Err(DecodePacketError::TrailingBytes(buf.remaining()));
+    }
+    Ok(Packet {
+        id,
+        topic,
+        publisher,
+        published_at,
+        destinations,
+        path,
+        route,
+        tag,
+        payload,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_packet() -> Packet {
+        Packet {
+            id: PacketId::new(42),
+            topic: TopicId::new(3),
+            publisher: NodeId::new(7),
+            published_at: SimTime::from_millis(1234),
+            destinations: vec![NodeId::new(1), NodeId::new(2)],
+            path: vec![NodeId::new(7), NodeId::new(5)],
+            route: Some(vec![NodeId::new(7), NodeId::new(5), NodeId::new(1)]),
+            tag: 99,
+            payload: Bytes::from_static(b"position report"),
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let p = sample_packet();
+        let encoded = encode_packet(&p);
+        let decoded = decode_packet(&encoded).expect("valid encoding");
+        assert_eq!(decoded, p);
+    }
+
+    #[test]
+    fn round_trip_minimal_packet() {
+        let p = Packet::new(
+            PacketId::new(0),
+            TopicId::new(0),
+            NodeId::new(0),
+            SimTime::ZERO,
+            vec![],
+        );
+        let decoded = decode_packet(&encode_packet(&p)).expect("valid");
+        assert_eq!(decoded, p);
+        assert!(decoded.route.is_none());
+        assert!(decoded.payload.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = encode_packet(&sample_packet()).to_vec();
+        bytes[0] = 0xAB;
+        assert_eq!(decode_packet(&bytes), Err(DecodePacketError::BadMagic(0xAB)));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = encode_packet(&sample_packet()).to_vec();
+        bytes[1] = 9;
+        assert_eq!(decode_packet(&bytes), Err(DecodePacketError::BadVersion(9)));
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let bytes = encode_packet(&sample_packet());
+        for cut in 0..bytes.len() {
+            let err = decode_packet(&bytes[..cut]).expect_err("truncated must fail");
+            assert!(
+                matches!(err, DecodePacketError::Truncated { .. }),
+                "cut at {cut} produced {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode_packet(&sample_packet()).to_vec();
+        bytes.push(0);
+        assert_eq!(decode_packet(&bytes), Err(DecodePacketError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        assert!(DecodePacketError::Truncated { needed: 4 }
+            .to_string()
+            .contains("4 more bytes"));
+        assert!(DecodePacketError::BadMagic(7).to_string().contains("0x07"));
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_arbitrary_packets(
+            id in 0u64..u64::MAX,
+            topic in 0u32..1000,
+            publisher in 0u32..1000,
+            at in 0u64..u64::MAX / 2,
+            tag in 0u64..u64::MAX,
+            dests in proptest::collection::vec(0u32..1000, 0..20),
+            path in proptest::collection::vec(0u32..1000, 0..40),
+            route in proptest::option::of(proptest::collection::vec(0u32..1000, 0..20)),
+            payload in proptest::collection::vec(any::<u8>(), 0..256),
+        ) {
+            let p = Packet {
+                id: PacketId::new(id),
+                topic: TopicId::new(topic),
+                publisher: NodeId::new(publisher),
+                published_at: SimTime::from_micros(at),
+                destinations: dests.into_iter().map(NodeId::new).collect(),
+                path: path.into_iter().map(NodeId::new).collect(),
+                route: route.map(|r| r.into_iter().map(NodeId::new).collect()),
+                tag,
+                payload: Bytes::from(payload),
+            };
+            let decoded = decode_packet(&encode_packet(&p)).expect("round trip");
+            prop_assert_eq!(decoded, p);
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! The overlay packet.
+//!
+//! Per the paper (§III-D), each packet carries **both** the set of
+//! destination subscribers it is currently responsible for and the record of
+//! brokers that have been on its routing path. The path record serves two
+//! purposes: loop avoidance (a broker never forwards to a broker already on
+//! the path) and upstream rerouting (a broker that exhausts its sending list
+//! reads its upstream hop out of the packet instead of keeping per-packet
+//! state).
+
+use bytes::Bytes;
+use dcrd_net::NodeId;
+use dcrd_sim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::topic::TopicId;
+
+/// Identifier of a published message. Every copy/retransmission of the same
+/// logical message shares one `PacketId`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct PacketId(u64);
+
+impl PacketId {
+    /// Creates a packet id from a raw counter value.
+    #[must_use]
+    pub const fn new(raw: u64) -> Self {
+        PacketId(raw)
+    }
+
+    /// The raw counter value.
+    #[must_use]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for PacketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pkt{}", self.0)
+    }
+}
+
+/// One in-flight copy of a published message.
+///
+/// The runtime treats most of this as opaque strategy state; it only uses
+/// `id` (for the delivery log) and the `tag` echoed back in ACKs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Packet {
+    /// The logical message this copy belongs to.
+    pub id: PacketId,
+    /// Topic the message was published on.
+    pub topic: TopicId,
+    /// The publishing broker.
+    pub publisher: NodeId,
+    /// When the message was published.
+    pub published_at: SimTime,
+    /// Subscribers this copy is responsible for reaching.
+    pub destinations: Vec<NodeId>,
+    /// Brokers that have been on this copy's routing path, in order.
+    pub path: Vec<NodeId>,
+    /// Optional pinned source route (used by Multipath and tree baselines);
+    /// `None` for strategies that pick hops dynamically.
+    pub route: Option<Vec<NodeId>>,
+    /// Strategy-private cookie echoed back in ACKs (e.g. a send sequence
+    /// number); opaque to the runtime.
+    pub tag: u64,
+    /// Application payload.
+    #[serde(skip)]
+    pub payload: Bytes,
+}
+
+impl Packet {
+    /// Creates a fresh packet for a newly published message.
+    #[must_use]
+    pub fn new(
+        id: PacketId,
+        topic: TopicId,
+        publisher: NodeId,
+        published_at: SimTime,
+        destinations: Vec<NodeId>,
+    ) -> Self {
+        Packet {
+            id,
+            topic,
+            publisher,
+            published_at,
+            destinations,
+            path: Vec::new(),
+            route: None,
+            tag: 0,
+            payload: Bytes::new(),
+        }
+    }
+
+    /// Whether `node` has already been on this copy's routing path.
+    #[must_use]
+    pub fn visited(&self, node: NodeId) -> bool {
+        self.path.contains(&node)
+    }
+
+    /// The upstream hop of `node` for this packet: the entry immediately
+    /// before `node`'s first occurrence on the path, or the last path entry
+    /// when `node` has not been on the path yet. `None` when the path is
+    /// empty (i.e. `node` is the publisher holding a fresh packet) or when
+    /// `node` opens the path.
+    #[must_use]
+    pub fn upstream_of(&self, node: NodeId) -> Option<NodeId> {
+        match self.path.iter().position(|&n| n == node) {
+            Some(0) => None,
+            Some(i) => Some(self.path[i - 1]),
+            None => self.path.last().copied(),
+        }
+    }
+
+    /// A derived copy responsible for `destinations`, with `node` appended
+    /// to the routing path — the packet a broker actually puts on the wire
+    /// (§III-D, Algorithm 2 lines 20–21).
+    ///
+    /// The node is appended even when it already appears earlier (a packet
+    /// rerouted back upstream revisits brokers): the *last* entry must
+    /// always be the broker that physically sent this copy, which is what
+    /// receivers read their upstream hop from, while loop avoidance only
+    /// needs set membership. Consecutive duplicates are collapsed.
+    #[must_use]
+    pub fn forward(&self, node: NodeId, destinations: Vec<NodeId>, tag: u64) -> Packet {
+        let mut path = self.path.clone();
+        if path.last() != Some(&node) {
+            path.push(node);
+        }
+        Packet {
+            id: self.id,
+            topic: self.topic,
+            publisher: self.publisher,
+            published_at: self.published_at,
+            destinations,
+            path,
+            route: self.route.clone(),
+            tag,
+            payload: self.payload.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Packet {
+        Packet::new(
+            PacketId::new(1),
+            TopicId::new(0),
+            NodeId::new(0),
+            SimTime::ZERO,
+            vec![NodeId::new(5), NodeId::new(6)],
+        )
+    }
+
+    #[test]
+    fn fresh_packet_has_no_history() {
+        let p = base();
+        assert!(p.path.is_empty());
+        assert_eq!(p.upstream_of(NodeId::new(0)), None);
+        assert!(!p.visited(NodeId::new(0)));
+        assert_eq!(p.id.raw(), 1);
+        assert_eq!(p.id.to_string(), "pkt1");
+    }
+
+    #[test]
+    fn forward_appends_to_path() {
+        let p = base();
+        let f = p.forward(NodeId::new(0), vec![NodeId::new(5)], 7);
+        assert_eq!(f.path, vec![NodeId::new(0)]);
+        assert_eq!(f.tag, 7);
+        assert_eq!(f.destinations, vec![NodeId::new(5)]);
+        // Forwarding twice in a row from the same node collapses the entry.
+        let f2 = f.forward(NodeId::new(0), vec![NodeId::new(6)], 8);
+        assert_eq!(f2.path, vec![NodeId::new(0)]);
+    }
+
+    #[test]
+    fn forward_reappends_on_revisit() {
+        // 0 → 1 → back to 0 → 3: after the detour, 0 re-appends itself so
+        // node 3 sees its physical sender (0) as the last path entry.
+        let p = base();
+        let at1 = p
+            .forward(NodeId::new(0), vec![NodeId::new(5)], 0)
+            .forward(NodeId::new(1), vec![NodeId::new(5)], 0);
+        let back_at0 = at1.forward(NodeId::new(0), vec![NodeId::new(5)], 0);
+        assert_eq!(
+            back_at0.path,
+            vec![NodeId::new(0), NodeId::new(1), NodeId::new(0)]
+        );
+        assert_eq!(back_at0.path.last(), Some(&NodeId::new(0)));
+        // upstream_of keeps using the FIRST occurrence: 0 is the publisher.
+        assert_eq!(back_at0.upstream_of(NodeId::new(0)), None);
+    }
+
+    #[test]
+    fn upstream_follows_first_occurrence() {
+        let mut p = base();
+        p.path = vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)];
+        // Node 2 first appears at index 2 → upstream is node 1.
+        assert_eq!(p.upstream_of(NodeId::new(2)), Some(NodeId::new(1)));
+        // Node 1 → node 0.
+        assert_eq!(p.upstream_of(NodeId::new(1)), Some(NodeId::new(0)));
+        // Node 0 opened the path → no upstream.
+        assert_eq!(p.upstream_of(NodeId::new(0)), None);
+        // A node not on the path was handed the packet by the last entry.
+        assert_eq!(p.upstream_of(NodeId::new(9)), Some(NodeId::new(2)));
+    }
+
+    #[test]
+    fn upstream_stable_after_return_trip() {
+        // 0 → 1 → 2, then 2 returns the packet to 1.
+        let mut p = base();
+        p.path = vec![NodeId::new(0), NodeId::new(1)];
+        let at2 = p.forward(NodeId::new(2), vec![NodeId::new(5)], 0);
+        assert_eq!(at2.path, vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
+        let back_at1 = at2.forward(NodeId::new(1), vec![NodeId::new(5)], 0);
+        assert_eq!(
+            back_at1.path,
+            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(1)]
+        );
+        // 1's upstream is still 0 even after the detour through 2.
+        assert_eq!(back_at1.upstream_of(NodeId::new(1)), Some(NodeId::new(0)));
+        // Loop avoidance still sees 2 on the path.
+        assert!(back_at1.visited(NodeId::new(2)));
+    }
+
+    #[test]
+    fn visited_checks_path_membership() {
+        let mut p = base();
+        p.path = vec![NodeId::new(3)];
+        assert!(p.visited(NodeId::new(3)));
+        assert!(!p.visited(NodeId::new(4)));
+    }
+}

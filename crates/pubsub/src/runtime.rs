@@ -1,0 +1,959 @@
+//! The overlay runtime: one deterministic discrete-event run of a routing
+//! strategy over a topology with failures and loss.
+//!
+//! The runtime models exactly the paper's transport (§III, §IV-A):
+//!
+//! * Every [`Action::Send`] is one link transmission. It vanishes if the
+//!   link is in a failed epoch at send time, or with probability `Pl`
+//!   (random loss); otherwise it arrives after the link's propagation delay.
+//! * On arrival the receiver immediately returns a **hop-by-hop ACK**
+//!   (Algorithm 2 line 2), which traverses the same link back and is subject
+//!   to the same failure/loss rules.
+//! * Strategies learn about losses only through their own timers — the
+//!   runtime never tells a sender that a transmission was dropped.
+//!
+//! The runtime records a complete [`DeliveryLog`]: one expectation per
+//! `(message, subscriber)` pair with its deadline and eventual delivery
+//! time, plus traffic counters. The metrics crate turns the log into the
+//! paper's three metrics.
+
+use std::collections::HashMap;
+
+use dcrd_net::estimate::{analytic_estimates, EwmaMonitor, LinkEstimate, LinkEstimates};
+use dcrd_net::failure::FailureModel;
+use dcrd_net::loss::LossModel;
+use dcrd_net::{NodeId, Topology};
+use dcrd_sim::rng::rng_for;
+use dcrd_sim::{EventQueue, SimDuration, SimTime};
+use rand::rngs::SmallRng;
+
+use crate::packet::{Packet, PacketId};
+use crate::strategy::{Action, Actions, RoutingStrategy, RunParams, SetupContext, TimerKey};
+use crate::trace::{Trace, TraceEvent, TxOutcome};
+use crate::workload::Workload;
+
+/// How the strategies' link estimates are produced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Monitoring {
+    /// Strategies get the analytic steady-state estimates
+    /// (`α = link delay`, `γ = (1−Pf)(1−Pl)`) once at setup.
+    Analytic,
+    /// The runtime probes every link periodically, feeds an EWMA monitor,
+    /// and pushes fresh estimates to the strategy every monitoring
+    /// interval (the paper's "link monitoring", 5-minute interval).
+    Probing {
+        /// Interval between probes of each link.
+        probe_interval: SimDuration,
+        /// EWMA weight of each new probe.
+        ewma_weight: f64,
+    },
+}
+
+/// How long a hop-by-hop ACK takes to reach the sender.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AckTransit {
+    /// The sender learns of the reception after one link delay `α` — the
+    /// paper's model (§III-D waits exactly `α_Xk` for the ACK, which only
+    /// works if the ACK itself takes no extra time). The ACK is still
+    /// subject to reverse-direction failure and loss.
+    #[default]
+    Instant,
+    /// The ACK physically traverses the link back: the sender learns after
+    /// `2α`. Use `ack_timeout_factor ≥ 2` with this model.
+    RoundTrip,
+}
+
+/// Runtime configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuntimeConfig {
+    /// How long publishers keep publishing.
+    pub duration: SimDuration,
+    /// Shared strategy parameters (`m`, ACK timeout factor).
+    pub params: RunParams,
+    /// Seed for the runtime's random draws (loss, probe outcomes).
+    pub seed: u64,
+    /// Estimate source for strategies.
+    pub monitoring: Monitoring,
+    /// ACK propagation model.
+    pub ack_transit: AckTransit,
+    /// Interval between [`RoutingStrategy::on_monitor`] pushes (paper: 5
+    /// minutes). Only used with [`Monitoring::Probing`].
+    pub monitor_interval: SimDuration,
+    /// Extra simulated time after the last publish during which in-flight
+    /// packets may still complete before the run is cut off.
+    pub drain_grace: SimDuration,
+    /// Hard cap on processed events (safety valve against livelock).
+    pub max_events: u64,
+    /// Record a full [`Trace`] of transmissions/deliveries/give-ups.
+    /// Costs memory proportional to traffic; off by default.
+    pub capture_trace: bool,
+    /// Per-broker packet processing time. Brokers serve arrivals serially,
+    /// so a busy broker queues packets — the congestion the paper mentions
+    /// but does not model. `None` (default, the paper's model) processes
+    /// instantly.
+    pub processing_time: Option<SimDuration>,
+}
+
+impl RuntimeConfig {
+    /// A configuration matching the paper's setup for the given publishing
+    /// duration and seed.
+    #[must_use]
+    pub fn paper(duration: SimDuration, seed: u64) -> Self {
+        RuntimeConfig {
+            duration,
+            params: RunParams::default(),
+            seed,
+            monitoring: Monitoring::Analytic,
+            ack_transit: AckTransit::Instant,
+            monitor_interval: SimDuration::from_secs(300),
+            drain_grace: SimDuration::from_secs(120),
+            max_events: 500_000_000,
+            capture_trace: false,
+            processing_time: None,
+        }
+    }
+}
+
+/// The fate of one `(message, subscriber)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Expectation {
+    /// When the message was published.
+    pub published: SimTime,
+    /// The subscription's delay requirement.
+    pub deadline: SimDuration,
+    /// When (if ever) the message reached this subscriber.
+    pub delivered: Option<SimTime>,
+    /// Whether the strategy explicitly gave up on this pair.
+    pub gave_up: bool,
+}
+
+impl Expectation {
+    /// Whether the message was delivered within its deadline.
+    #[must_use]
+    pub fn on_time(&self) -> bool {
+        self.delivered
+            .is_some_and(|at| at.saturating_since(self.published) <= self.deadline)
+    }
+
+    /// `actual delay ÷ deadline` for a delivered message (Fig. 7's x-axis),
+    /// or `None` if undelivered.
+    #[must_use]
+    pub fn lateness_ratio(&self) -> Option<f64> {
+        let at = self.delivered?;
+        let actual = at.saturating_since(self.published).as_micros() as f64;
+        let deadline = self.deadline.as_micros().max(1) as f64;
+        Some(actual / deadline)
+    }
+}
+
+/// The complete record of one run.
+#[derive(Debug, Clone, Default)]
+pub struct DeliveryLog {
+    expectations: HashMap<(PacketId, NodeId), Expectation>,
+    /// Number of published messages.
+    pub messages_published: u64,
+    /// Data-packet transmissions attempted (the paper's traffic metric
+    /// numerator).
+    pub data_sends: u64,
+    /// Data transmissions that hit a failed link epoch.
+    pub sends_blocked: u64,
+    /// Data transmissions randomly lost.
+    pub sends_lost: u64,
+    /// ACKs that made it back to the sender.
+    pub acks_delivered: u64,
+    /// Deliver actions for pairs already delivered (Multipath's second
+    /// copy, or duplicates born from lost ACKs) — deduplicated, so they
+    /// never inflate the ratios.
+    pub duplicate_deliveries: u64,
+    /// Whether the run hit the event cap and was truncated.
+    pub truncated: bool,
+    /// Full transmission trace (only with `capture_trace`).
+    pub trace: Option<Trace>,
+}
+
+impl DeliveryLog {
+    /// Iterates over all `(message, subscriber)` expectations.
+    pub fn expectations(&self) -> impl Iterator<Item = (&(PacketId, NodeId), &Expectation)> {
+        self.expectations.iter()
+    }
+
+    /// Number of `(message, subscriber)` pairs.
+    #[must_use]
+    pub fn num_expectations(&self) -> usize {
+        self.expectations.len()
+    }
+
+    /// The expectation for one `(message, subscriber)` pair.
+    #[must_use]
+    pub fn expectation(&self, id: PacketId, subscriber: NodeId) -> Option<&Expectation> {
+        self.expectations.get(&(id, subscriber))
+    }
+
+    /// Fraction of pairs delivered (late deliveries included).
+    #[must_use]
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.expectations.is_empty() {
+            return 0.0;
+        }
+        let hit = self
+            .expectations
+            .values()
+            .filter(|e| e.delivered.is_some())
+            .count();
+        hit as f64 / self.expectations.len() as f64
+    }
+
+    /// Fraction of pairs delivered within their deadline.
+    #[must_use]
+    pub fn qos_delivery_ratio(&self) -> f64 {
+        if self.expectations.is_empty() {
+            return 0.0;
+        }
+        let hit = self.expectations.values().filter(|e| e.on_time()).count();
+        hit as f64 / self.expectations.len() as f64
+    }
+
+    /// Data transmissions per `(message, subscriber)` pair — the paper's
+    /// "Packets Sent / Subscribers".
+    #[must_use]
+    pub fn packets_per_subscriber(&self) -> f64 {
+        if self.expectations.is_empty() {
+            return 0.0;
+        }
+        self.data_sends as f64 / self.expectations.len() as f64
+    }
+}
+
+enum Event {
+    Publish { topic_index: usize, round: u64 },
+    Arrival { to: NodeId, from: NodeId, packet: Packet },
+    Process { node: NodeId, from: NodeId, packet: Packet },
+    AckArrival { at: NodeId, to: NodeId, packet: Packet },
+    Timer { node: NodeId, key: TimerKey },
+    Probe,
+    Monitor,
+}
+
+/// Runs one strategy over one topology + workload and returns the delivery
+/// log.
+///
+/// # Example
+///
+/// A minimal single-hop strategy, wired through a two-broker overlay:
+///
+/// ```
+/// use dcrd_net::failure::{FailureModel, LinkFailureModel};
+/// use dcrd_net::loss::LossModel;
+/// use dcrd_net::topology::line;
+/// use dcrd_net::NodeId;
+/// use dcrd_pubsub::packet::Packet;
+/// use dcrd_pubsub::runtime::{OverlayRuntime, RuntimeConfig};
+/// use dcrd_pubsub::strategy::{Actions, RoutingStrategy, SetupContext, TimerKey};
+/// use dcrd_pubsub::topic::{Subscription, TopicId};
+/// use dcrd_pubsub::workload::{TopicSpec, Workload};
+/// use dcrd_sim::{SimDuration, SimTime};
+///
+/// struct Direct;
+/// impl RoutingStrategy for Direct {
+///     fn name(&self) -> &'static str { "direct" }
+///     fn setup(&mut self, _: &SetupContext<'_>) {}
+///     fn on_publish(&mut self, node: NodeId, p: Packet, _t: SimTime, out: &mut Actions) {
+///         let dest = p.destinations[0];
+///         out.send(dest, p.forward(node, vec![dest], 0));
+///     }
+///     fn on_packet(&mut self, node: NodeId, _f: NodeId, p: Packet, _t: SimTime, out: &mut Actions) {
+///         if p.destinations.contains(&node) { out.deliver(p.id); }
+///     }
+///     fn on_ack(&mut self, _: NodeId, _: NodeId, _: &Packet, _: SimTime, _: &mut Actions) {}
+///     fn on_timer(&mut self, _: NodeId, _: TimerKey, _: SimTime, _: &mut Actions) {}
+/// }
+///
+/// let topo = line(2, SimDuration::from_millis(10));
+/// let workload = Workload::from_topics(vec![TopicSpec {
+///     topic: TopicId::new(0),
+///     publisher: topo.node(0),
+///     interval: SimDuration::from_secs(1),
+///     offset: SimDuration::ZERO,
+///     subscriptions: vec![Subscription::new(topo.node(1), SimDuration::from_millis(50))],
+/// }]);
+/// let failure = FailureModel::links_only(LinkFailureModel::new(0.0, 1));
+/// let config = RuntimeConfig::paper(SimDuration::from_secs(5), 1);
+/// let log = OverlayRuntime::new(&topo, &workload, failure, LossModel::new(0.0), config)
+///     .run(&mut Direct);
+/// assert_eq!(log.delivery_ratio(), 1.0);
+/// ```
+#[derive(Debug)]
+pub struct OverlayRuntime<'a> {
+    topology: &'a Topology,
+    workload: &'a Workload,
+    failure: FailureModel,
+    loss: LossModel,
+    config: RuntimeConfig,
+}
+
+impl<'a> OverlayRuntime<'a> {
+    /// Creates a runtime for the given environment.
+    #[must_use]
+    pub fn new(
+        topology: &'a Topology,
+        workload: &'a Workload,
+        failure: FailureModel,
+        loss: LossModel,
+        config: RuntimeConfig,
+    ) -> Self {
+        OverlayRuntime {
+            topology,
+            workload,
+            failure,
+            loss,
+            config,
+        }
+    }
+
+    /// Runs `strategy` to completion and returns the delivery log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strategy emits a `Send` to a node that is not a
+    /// neighbor of the acting node, or a `Deliver` on a node that is not a
+    /// subscriber of the message — both indicate strategy bugs.
+    pub fn run<S: RoutingStrategy + ?Sized>(&self, strategy: &mut S) -> DeliveryLog {
+        let mut rng = rng_for(self.config.seed, "runtime");
+        let mut log = DeliveryLog {
+            trace: self.config.capture_trace.then(Trace::new),
+            ..DeliveryLog::default()
+        };
+        let mut queue: EventQueue<Event> = EventQueue::with_capacity(1024);
+        let mut next_packet_id: u64 = 0;
+
+        let initial_estimates = self.initial_estimates();
+        let mut monitor = match self.config.monitoring {
+            Monitoring::Analytic => None,
+            Monitoring::Probing { ewma_weight, .. } => {
+                // The prior assumes healthy links with their configured
+                // delay: what a broker knows before any measurement.
+                let prior_gamma = 1.0;
+                let mut mon = EwmaMonitor::new(
+                    self.topology.num_edges(),
+                    LinkEstimate::new(SimDuration::from_millis(30), prior_gamma),
+                    ewma_weight,
+                );
+                // Give each edge its true delay as the alpha prior (delays
+                // are measurable instantly from one successful probe).
+                for e in self.topology.edge_ids() {
+                    mon.observe(e, Some(self.topology.delay(e)));
+                }
+                Some(mon)
+            }
+        };
+
+        {
+            let ctx = SetupContext {
+                topology: self.topology,
+                estimates: &initial_estimates,
+                workload: self.workload,
+                failure_oracle: &self.failure,
+                params: self.config.params,
+            };
+            strategy.setup(&ctx);
+        }
+
+        // Seed the publish schedule and monitoring ticks.
+        for (i, t) in self.workload.topics().iter().enumerate() {
+            let first = t.publish_time(0);
+            if first.saturating_since(SimTime::ZERO) <= self.config.duration {
+                queue.schedule(first, Event::Publish { topic_index: i, round: 0 });
+            }
+        }
+        if let Monitoring::Probing { probe_interval, .. } = self.config.monitoring {
+            queue.schedule(SimTime::ZERO + probe_interval, Event::Probe);
+            queue.schedule(
+                SimTime::ZERO + self.config.monitor_interval,
+                Event::Monitor,
+            );
+        }
+
+        let hard_stop = SimTime::ZERO + self.config.duration + self.config.drain_grace;
+        let mut out = Actions::new();
+        let mut node_free: Vec<SimTime> = vec![SimTime::ZERO; self.topology.num_nodes()];
+
+        while let Some((now, event)) = queue.pop() {
+            if now > hard_stop {
+                break;
+            }
+            if queue.events_processed() > self.config.max_events {
+                log.truncated = true;
+                break;
+            }
+            match event {
+                Event::Publish { topic_index, round } => {
+                    let spec = &self.workload.topics()[topic_index];
+                    let id = PacketId::new(next_packet_id);
+                    next_packet_id += 1;
+                    log.messages_published += 1;
+                    // Churn extension: only subscriptions active at publish
+                    // time receive (and are accounted for) this message.
+                    let active = spec.active_subscriptions(now);
+                    for sub in &active {
+                        log.expectations.insert(
+                            (id, sub.subscriber),
+                            Expectation {
+                                published: now,
+                                deadline: sub.deadline,
+                                delivered: None,
+                                gave_up: false,
+                            },
+                        );
+                    }
+                    if !active.is_empty() {
+                        let packet = Packet::new(
+                            id,
+                            spec.topic,
+                            spec.publisher,
+                            now,
+                            active.iter().map(|s| s.subscriber).collect(),
+                        );
+                        strategy.on_publish(spec.publisher, packet, now, &mut out);
+                        self.execute(&mut out, spec.publisher, now, &mut queue, &mut rng, &mut log);
+                    }
+
+                    let next = spec.publish_time(round + 1);
+                    if next.saturating_since(SimTime::ZERO) <= self.config.duration {
+                        queue.schedule(
+                            next,
+                            Event::Publish {
+                                topic_index,
+                                round: round + 1,
+                            },
+                        );
+                    }
+                }
+                Event::Arrival { to, from, packet } => {
+                    // Hop-by-hop ACK, generated before processing
+                    // (Algorithm 2 line 2). Subject to the same link rules.
+                    let edge = self
+                        .topology
+                        .edge_between(to, from)
+                        .expect("arrival over a nonexistent link");
+                    let blocked = self.failure.edge_blocked(self.topology, edge, now);
+                    if !blocked && !self.loss.drops(&mut rng) {
+                        let ack_at = match self.config.ack_transit {
+                            AckTransit::Instant => now,
+                            AckTransit::RoundTrip => now + self.topology.delay(edge),
+                        };
+                        queue.schedule(
+                            ack_at,
+                            Event::AckArrival {
+                                at: from,
+                                to,
+                                packet: packet.clone(),
+                            },
+                        );
+                    }
+                    match self.config.processing_time {
+                        None => {
+                            strategy.on_packet(to, from, packet, now, &mut out);
+                            self.execute(&mut out, to, now, &mut queue, &mut rng, &mut log);
+                        }
+                        Some(service) => {
+                            // Serial per-broker service: the packet waits
+                            // for the broker to free up, then takes
+                            // `service` before the routing logic runs.
+                            let start = node_free[to.index()].max(now);
+                            let done = start + service;
+                            node_free[to.index()] = done;
+                            queue.schedule(done, Event::Process { node: to, from, packet });
+                        }
+                    }
+                }
+                Event::Process { node, from, packet } => {
+                    strategy.on_packet(node, from, packet, now, &mut out);
+                    self.execute(&mut out, node, now, &mut queue, &mut rng, &mut log);
+                }
+                Event::AckArrival { at, to, packet } => {
+                    log.acks_delivered += 1;
+                    strategy.on_ack(at, to, &packet, now, &mut out);
+                    self.execute(&mut out, at, now, &mut queue, &mut rng, &mut log);
+                }
+                Event::Timer { node, key } => {
+                    strategy.on_timer(node, key, now, &mut out);
+                    self.execute(&mut out, node, now, &mut queue, &mut rng, &mut log);
+                }
+                Event::Probe => {
+                    let Monitoring::Probing { probe_interval, .. } = self.config.monitoring
+                    else {
+                        unreachable!("probe event without probing mode")
+                    };
+                    let mon = monitor.as_mut().expect("monitor in probing mode");
+                    for e in self.topology.edge_ids() {
+                        let blocked = self.failure.edge_blocked(self.topology, e, now);
+                        let outcome = (!blocked && !self.loss.drops(&mut rng))
+                            .then(|| self.topology.delay(e));
+                        mon.observe(e, outcome);
+                    }
+                    if now.saturating_since(SimTime::ZERO) < self.config.duration {
+                        queue.schedule(now + probe_interval, Event::Probe);
+                    }
+                }
+                Event::Monitor => {
+                    let mon = monitor.as_ref().expect("monitor in probing mode");
+                    strategy.on_monitor(&mon.estimates(), now);
+                    if now.saturating_since(SimTime::ZERO) < self.config.duration {
+                        queue.schedule(now + self.config.monitor_interval, Event::Monitor);
+                    }
+                }
+            }
+        }
+        log
+    }
+
+    fn initial_estimates(&self) -> LinkEstimates {
+        match self.config.monitoring {
+            Monitoring::Analytic => analytic_estimates(
+                self.topology,
+                self.failure.link_model().marginal_rate(),
+                self.loss.pl(),
+            ),
+            // Probing runs start from optimistic priors; on_monitor refines.
+            Monitoring::Probing { .. } => analytic_estimates(self.topology, 0.0, 0.0),
+        }
+    }
+
+    fn execute(
+        &self,
+        out: &mut Actions,
+        node: NodeId,
+        now: SimTime,
+        queue: &mut EventQueue<Event>,
+        rng: &mut SmallRng,
+        log: &mut DeliveryLog,
+    ) {
+        // Actions may cascade only through scheduled events, so one pass
+        // over the sink is complete.
+        let actions: Vec<Action> = out.drain().collect();
+        for action in actions {
+            match action {
+                Action::Send { to, packet } => {
+                    let edge = self
+                        .topology
+                        .edge_between(node, to)
+                        .unwrap_or_else(|| panic!("{node} has no link to {to}"));
+                    log.data_sends += 1;
+                    let outcome = if self.failure.edge_blocked(self.topology, edge, now) {
+                        log.sends_blocked += 1;
+                        TxOutcome::Blocked
+                    } else if self.loss.drops(rng) {
+                        log.sends_lost += 1;
+                        TxOutcome::Lost
+                    } else {
+                        TxOutcome::Arrived
+                    };
+                    if let Some(trace) = &mut log.trace {
+                        trace.record(TraceEvent::Send {
+                            at: now,
+                            from: node,
+                            to,
+                            packet: packet.id,
+                            destinations: packet.destinations.len() as u32,
+                            outcome,
+                        });
+                    }
+                    if outcome == TxOutcome::Arrived {
+                        queue.schedule(
+                            now + self.topology.delay(edge),
+                            Event::Arrival {
+                                to,
+                                from: node,
+                                packet,
+                            },
+                        );
+                    }
+                }
+                Action::Deliver { packet } => {
+                    let exp = log
+                        .expectations
+                        .get_mut(&(packet, node))
+                        .unwrap_or_else(|| panic!("{node} is not a subscriber of {packet}"));
+                    if exp.delivered.is_none() {
+                        exp.delivered = Some(now);
+                    } else {
+                        log.duplicate_deliveries += 1;
+                    }
+                    if let Some(trace) = &mut log.trace {
+                        trace.record(TraceEvent::Deliver {
+                            at: now,
+                            node,
+                            packet,
+                        });
+                    }
+                }
+                Action::SetTimer { at, key } => {
+                    // Clamp timers that would land in the past (can happen
+                    // when a strategy computes `now + 0`).
+                    let at = at.max(now);
+                    queue.schedule(at, Event::Timer { node, key });
+                }
+                Action::GiveUp {
+                    packet,
+                    destination,
+                } => {
+                    if let Some(exp) = log.expectations.get_mut(&(packet, destination)) {
+                        exp.gave_up = true;
+                    }
+                    if let Some(trace) = &mut log.trace {
+                        trace.record(TraceEvent::GiveUp {
+                            at: now,
+                            node,
+                            packet,
+                            destination,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::ack_timeout;
+    use crate::topic::{Subscription, TopicId};
+    use crate::workload::TopicSpec;
+    use dcrd_net::failure::LinkFailureModel;
+    use dcrd_net::topology::line;
+
+    /// Minimal flooding strategy used to exercise the runtime: forwards
+    /// every packet to every neighbor not yet on the path, delivers
+    /// locally, no ACK handling.
+    struct Flood {
+        topology: Option<Topology>,
+    }
+
+    impl Flood {
+        fn new() -> Self {
+            Flood { topology: None }
+        }
+        fn flood(&self, node: NodeId, packet: &Packet, out: &mut Actions) {
+            let topo = self.topology.as_ref().expect("setup ran");
+            for &(next, _) in topo.neighbors(node) {
+                if !packet.visited(next) && packet.destinations.contains(&next) {
+                    out.send(next, packet.forward(node, packet.destinations.clone(), 0));
+                }
+            }
+        }
+    }
+
+    impl RoutingStrategy for Flood {
+        fn name(&self) -> &'static str {
+            "flood"
+        }
+        fn setup(&mut self, ctx: &SetupContext<'_>) {
+            self.topology = Some(ctx.topology.clone());
+        }
+        fn on_publish(&mut self, node: NodeId, packet: Packet, _now: SimTime, out: &mut Actions) {
+            self.flood(node, &packet, out);
+        }
+        fn on_packet(
+            &mut self,
+            node: NodeId,
+            _from: NodeId,
+            packet: Packet,
+            _now: SimTime,
+            out: &mut Actions,
+        ) {
+            if packet.destinations.contains(&node) {
+                out.deliver(packet.id);
+            }
+            self.flood(node, &packet, out);
+        }
+        fn on_ack(&mut self, _: NodeId, _: NodeId, _: &Packet, _: SimTime, _: &mut Actions) {}
+        fn on_timer(&mut self, _: NodeId, _: TimerKey, _: SimTime, _: &mut Actions) {}
+    }
+
+    fn two_node_workload() -> (Topology, Workload) {
+        let topo = line(2, SimDuration::from_millis(10));
+        let spec = TopicSpec {
+            topic: TopicId::new(0),
+            publisher: topo.node(0),
+            interval: SimDuration::from_secs(1),
+            offset: SimDuration::ZERO,
+            subscriptions: vec![Subscription::new(
+                topo.node(1),
+                SimDuration::from_millis(30),
+            )],
+        };
+        (topo, Workload::from_topics(vec![spec]))
+    }
+
+    #[test]
+    fn lossless_two_node_run_delivers_everything() {
+        let (topo, wl) = two_node_workload();
+        let failure = FailureModel::links_only(LinkFailureModel::new(0.0, 1));
+        let config = RuntimeConfig::paper(SimDuration::from_secs(10), 1);
+        let rt = OverlayRuntime::new(&topo, &wl, failure, LossModel::new(0.0), config);
+        let log = rt.run(&mut Flood::new());
+        // Publishes at t=0..=10 inclusive → 11 messages.
+        assert_eq!(log.messages_published, 11);
+        assert_eq!(log.num_expectations(), 11);
+        assert!((log.delivery_ratio() - 1.0).abs() < 1e-12);
+        assert!((log.qos_delivery_ratio() - 1.0).abs() < 1e-12);
+        assert_eq!(log.data_sends, 11);
+        assert!((log.packets_per_subscriber() - 1.0).abs() < 1e-12);
+        assert_eq!(log.acks_delivered, 11);
+        assert!(!log.truncated);
+    }
+
+    #[test]
+    fn delivery_time_is_link_delay() {
+        let (topo, wl) = two_node_workload();
+        let failure = FailureModel::links_only(LinkFailureModel::new(0.0, 1));
+        let config = RuntimeConfig::paper(SimDuration::from_secs(1), 1);
+        let rt = OverlayRuntime::new(&topo, &wl, failure, LossModel::new(0.0), config);
+        let log = rt.run(&mut Flood::new());
+        let exp = log
+            .expectation(PacketId::new(0), topo.node(1))
+            .expect("recorded");
+        assert_eq!(exp.delivered, Some(SimTime::from_millis(10)));
+        assert!(exp.on_time());
+        assert!((exp.lateness_ratio().unwrap() - 10.0 / 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_loss_delivers_nothing() {
+        let (topo, wl) = two_node_workload();
+        let failure = FailureModel::links_only(LinkFailureModel::new(0.0, 1));
+        let config = RuntimeConfig::paper(SimDuration::from_secs(5), 1);
+        let rt = OverlayRuntime::new(&topo, &wl, failure, LossModel::new(1.0), config);
+        let log = rt.run(&mut Flood::new());
+        assert_eq!(log.delivery_ratio(), 0.0);
+        assert_eq!(log.sends_lost, log.data_sends);
+    }
+
+    #[test]
+    fn failed_links_block_sends() {
+        let (topo, wl) = two_node_workload();
+        let failure = FailureModel::links_only(LinkFailureModel::new(1.0, 1));
+        let config = RuntimeConfig::paper(SimDuration::from_secs(5), 1);
+        let rt = OverlayRuntime::new(&topo, &wl, failure, LossModel::new(0.0), config);
+        let log = rt.run(&mut Flood::new());
+        assert_eq!(log.delivery_ratio(), 0.0);
+        assert_eq!(log.sends_blocked, log.data_sends);
+        assert_eq!(log.acks_delivered, 0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let (topo, wl) = two_node_workload();
+        let failure = FailureModel::links_only(LinkFailureModel::new(0.3, 7));
+        let config = RuntimeConfig::paper(SimDuration::from_secs(30), 9);
+        let rt = OverlayRuntime::new(&topo, &wl, failure, LossModel::new(0.05), config);
+        let a = rt.run(&mut Flood::new());
+        let b = rt.run(&mut Flood::new());
+        assert_eq!(a.delivery_ratio(), b.delivery_ratio());
+        assert_eq!(a.data_sends, b.data_sends);
+        assert_eq!(a.sends_blocked, b.sends_blocked);
+        assert_eq!(a.sends_lost, b.sends_lost);
+    }
+
+    #[test]
+    fn intermittent_failures_hurt_delivery_partially() {
+        let (topo, wl) = two_node_workload();
+        let failure = FailureModel::links_only(LinkFailureModel::new(0.5, 3));
+        let config = RuntimeConfig::paper(SimDuration::from_secs(120), 2);
+        let rt = OverlayRuntime::new(&topo, &wl, failure, LossModel::new(0.0), config);
+        let log = rt.run(&mut Flood::new());
+        let ratio = log.delivery_ratio();
+        assert!(ratio > 0.3 && ratio < 0.7, "delivery ratio {ratio}");
+    }
+
+    #[test]
+    fn expectation_accessors() {
+        let exp = Expectation {
+            published: SimTime::from_secs(1),
+            deadline: SimDuration::from_millis(100),
+            delivered: Some(SimTime::from_secs(1) + SimDuration::from_millis(150)),
+            gave_up: false,
+        };
+        assert!(!exp.on_time());
+        assert!((exp.lateness_ratio().unwrap() - 1.5).abs() < 1e-9);
+        let undelivered = Expectation {
+            delivered: None,
+            ..exp
+        };
+        assert!(!undelivered.on_time());
+        assert_eq!(undelivered.lateness_ratio(), None);
+    }
+
+    #[test]
+    fn ack_timeout_helper_matches_params() {
+        let params = RunParams::default();
+        assert_eq!(
+            ack_timeout(SimDuration::from_millis(40), &params),
+            SimDuration::from_millis(41)
+        );
+    }
+
+    #[test]
+    fn round_trip_acks_arrive_after_two_delays() {
+        // With the RoundTrip model and factor 1.0, every timer fires before
+        // its ACK (2α vs α + slack), so the flood sees no acks in time but
+        // the packets still deliver; with factor 2.0 acks win the race.
+        let (topo, wl) = two_node_workload();
+        let failure = FailureModel::links_only(LinkFailureModel::new(0.0, 1));
+        let mut config = RuntimeConfig::paper(SimDuration::from_secs(5), 1);
+        config.ack_transit = AckTransit::RoundTrip;
+        let rt = OverlayRuntime::new(&topo, &wl, failure, LossModel::new(0.0), config);
+        let log = rt.run(&mut Flood::new());
+        // ACKs still arrive (Flood ignores them), just later.
+        assert_eq!(log.acks_delivered, log.messages_published);
+        assert!((log.delivery_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probing_mode_pushes_monitor_updates() {
+        use dcrd_net::estimate::LinkEstimates;
+
+        /// Flood variant that counts monitor pushes and records gamma.
+        struct MonitorSpy {
+            inner: Flood,
+            updates: u32,
+            last_gamma: f64,
+        }
+        impl RoutingStrategy for MonitorSpy {
+            fn name(&self) -> &'static str {
+                "spy"
+            }
+            fn setup(&mut self, ctx: &SetupContext<'_>) {
+                self.inner.setup(ctx);
+            }
+            fn on_publish(&mut self, n: NodeId, p: Packet, t: SimTime, o: &mut Actions) {
+                self.inner.on_publish(n, p, t, o);
+            }
+            fn on_packet(&mut self, n: NodeId, f: NodeId, p: Packet, t: SimTime, o: &mut Actions) {
+                self.inner.on_packet(n, f, p, t, o);
+            }
+            fn on_ack(&mut self, _: NodeId, _: NodeId, _: &Packet, _: SimTime, _: &mut Actions) {}
+            fn on_timer(&mut self, _: NodeId, _: TimerKey, _: SimTime, _: &mut Actions) {}
+            fn on_monitor(&mut self, estimates: &LinkEstimates, _now: SimTime) {
+                self.updates += 1;
+                self.last_gamma = estimates.get(dcrd_net::EdgeId::new(0)).gamma;
+            }
+        }
+
+        let (topo, wl) = two_node_workload();
+        let failure = FailureModel::links_only(LinkFailureModel::new(0.3, 5));
+        let mut config = RuntimeConfig::paper(SimDuration::from_secs(120), 3);
+        config.monitoring = Monitoring::Probing {
+            probe_interval: SimDuration::from_secs(1),
+            ewma_weight: 0.1,
+        };
+        config.monitor_interval = SimDuration::from_secs(30);
+        let rt = OverlayRuntime::new(&topo, &wl, failure, LossModel::new(0.0), config);
+        let mut spy = MonitorSpy {
+            inner: Flood::new(),
+            updates: 0,
+            last_gamma: 1.0,
+        };
+        let _ = rt.run(&mut spy);
+        assert!(spy.updates >= 3, "expected several monitor pushes, got {}", spy.updates);
+        assert!(
+            (spy.last_gamma - 0.7).abs() < 0.15,
+            "EWMA gamma {} should approach 1 - Pf = 0.7",
+            spy.last_gamma
+        );
+    }
+
+    #[test]
+    fn drain_grace_cuts_off_stragglers() {
+        // A timer-delayed strategy that wants to deliver *after* the grace
+        // window never gets to: the run ends first.
+        struct Procrastinator;
+        impl RoutingStrategy for Procrastinator {
+            fn name(&self) -> &'static str {
+                "procrastinator"
+            }
+            fn setup(&mut self, _: &SetupContext<'_>) {}
+            fn on_publish(&mut self, _n: NodeId, p: Packet, now: SimTime, out: &mut Actions) {
+                out.set_timer(
+                    now + SimDuration::from_secs(3600),
+                    TimerKey { packet: p.id, tag: 0 },
+                );
+            }
+            fn on_packet(&mut self, _: NodeId, _: NodeId, _: Packet, _: SimTime, _: &mut Actions) {}
+            fn on_ack(&mut self, _: NodeId, _: NodeId, _: &Packet, _: SimTime, _: &mut Actions) {}
+            fn on_timer(&mut self, _n: NodeId, _k: TimerKey, _t: SimTime, _o: &mut Actions) {
+                panic!("timer beyond the grace window must never fire");
+            }
+        }
+        let (topo, wl) = two_node_workload();
+        let failure = FailureModel::links_only(LinkFailureModel::new(0.0, 1));
+        let config = RuntimeConfig::paper(SimDuration::from_secs(2), 1);
+        let rt = OverlayRuntime::new(&topo, &wl, failure, LossModel::new(0.0), config);
+        let log = rt.run(&mut Procrastinator);
+        assert_eq!(log.delivery_ratio(), 0.0);
+    }
+
+    #[test]
+    fn processing_time_delays_delivery() {
+        let (topo, wl) = two_node_workload();
+        let failure = FailureModel::links_only(LinkFailureModel::new(0.0, 1));
+        let mut config = RuntimeConfig::paper(SimDuration::from_secs(1), 1);
+        config.processing_time = Some(SimDuration::from_millis(25));
+        let rt = OverlayRuntime::new(&topo, &wl, failure, LossModel::new(0.0), config);
+        let log = rt.run(&mut Flood::new());
+        let exp = log
+            .expectation(PacketId::new(0), topo.node(1))
+            .expect("recorded");
+        // Link delay 10ms + 25ms of service before the strategy delivers.
+        assert_eq!(exp.delivered, Some(SimTime::from_millis(35)));
+        // Deadline is 30ms, so the processing delay costs the deadline.
+        assert!(!exp.on_time());
+    }
+
+    #[test]
+    fn serial_service_queues_concurrent_arrivals() {
+        use crate::topic::{Subscription, TopicId};
+        use crate::workload::TopicSpec;
+        use dcrd_net::topology::star;
+
+        // Star: hub node 0 subscribed to two topics published by leaves 1
+        // and 2, both publishing at t = 0. With 40ms service the second
+        // arrival queues behind the first.
+        let topo = star(3, SimDuration::from_millis(10));
+        let mk = |i: u32, publisher: usize| TopicSpec {
+            topic: TopicId::new(i),
+            publisher: topo.node(publisher),
+            interval: SimDuration::from_secs(10),
+            offset: SimDuration::ZERO,
+            subscriptions: vec![Subscription::new(
+                topo.node(0),
+                SimDuration::from_secs(1),
+            )],
+        };
+        let wl = Workload::from_topics(vec![mk(0, 1), mk(1, 2)]);
+        let failure = FailureModel::links_only(LinkFailureModel::new(0.0, 1));
+        let mut config = RuntimeConfig::paper(SimDuration::from_secs(1), 1);
+        config.processing_time = Some(SimDuration::from_millis(40));
+        let rt = OverlayRuntime::new(&topo, &wl, failure, LossModel::new(0.0), config);
+        let log = rt.run(&mut Flood::new());
+        let mut times: Vec<SimTime> = log
+            .expectations()
+            .filter_map(|(_, e)| e.delivered)
+            .collect();
+        times.sort();
+        assert_eq!(times.len(), 2);
+        // First: arrives 10ms, served 10–50ms. Second: arrives 10ms,
+        // queues, served 50–90ms.
+        assert_eq!(times[0], SimTime::from_millis(50));
+        assert_eq!(times[1], SimTime::from_millis(90));
+    }
+
+    #[test]
+    fn empty_log_ratios_are_zero() {
+        let log = DeliveryLog::default();
+        assert_eq!(log.delivery_ratio(), 0.0);
+        assert_eq!(log.qos_delivery_ratio(), 0.0);
+        assert_eq!(log.packets_per_subscriber(), 0.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Topics and subscriptions.
+
+use std::fmt;
+
+use dcrd_net::NodeId;
+use dcrd_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a pub/sub topic (dense, `0..num_topics`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct TopicId(u32);
+
+impl TopicId {
+    /// Creates a topic id from a dense index.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        TopicId(index)
+    }
+
+    /// The dense index of this topic.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TopicId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "topic{}", self.0)
+    }
+}
+
+/// One subscription: a broker node subscribed to a topic with a QoS delay
+/// requirement (the paper's `D_PS`) and an activity window (churn
+/// extension; the paper's subscriptions last the whole run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Subscription {
+    /// The subscribing broker node.
+    pub subscriber: NodeId,
+    /// Maximum acceptable publisher-to-subscriber delay.
+    pub deadline: SimDuration,
+    /// The subscription joins at this instant (inclusive).
+    pub active_from: SimTime,
+    /// The subscription leaves at this instant (exclusive).
+    pub active_until: SimTime,
+}
+
+impl Subscription {
+    /// Creates a subscription active for the whole run (the paper's model).
+    #[must_use]
+    pub fn new(subscriber: NodeId, deadline: SimDuration) -> Self {
+        Subscription {
+            subscriber,
+            deadline,
+            active_from: SimTime::ZERO,
+            active_until: SimTime::MAX,
+        }
+    }
+
+    /// Creates a subscription active in `[from, until)` — the churn
+    /// extension: a subscriber that joins and later leaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from >= until`.
+    #[must_use]
+    pub fn windowed(
+        subscriber: NodeId,
+        deadline: SimDuration,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        assert!(from < until, "subscription window must be non-empty");
+        Subscription {
+            subscriber,
+            deadline,
+            active_from: from,
+            active_until: until,
+        }
+    }
+
+    /// Whether the subscription is active when a message publishes at `at`.
+    #[must_use]
+    pub fn active_at(&self, at: SimTime) -> bool {
+        at >= self.active_from && at < self.active_until
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topic_id_round_trip() {
+        let t = TopicId::new(5);
+        assert_eq!(t.index(), 5);
+        assert_eq!(t.to_string(), "topic5");
+        assert!(TopicId::new(1) < TopicId::new(2));
+    }
+
+    #[test]
+    fn subscription_fields() {
+        let s = Subscription::new(NodeId::new(3), SimDuration::from_millis(90));
+        assert_eq!(s.subscriber, NodeId::new(3));
+        assert_eq!(s.deadline, SimDuration::from_millis(90));
+        assert!(s.active_at(SimTime::ZERO));
+        assert!(s.active_at(SimTime::from_secs(1_000_000)));
+    }
+
+    #[test]
+    fn windowed_subscription_activity() {
+        let s = Subscription::windowed(
+            NodeId::new(1),
+            SimDuration::from_millis(50),
+            SimTime::from_secs(10),
+            SimTime::from_secs(20),
+        );
+        assert!(!s.active_at(SimTime::from_secs(9)));
+        assert!(s.active_at(SimTime::from_secs(10)));
+        assert!(s.active_at(SimTime::from_millis(19_999)));
+        assert!(!s.active_at(SimTime::from_secs(20)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_window_rejected() {
+        let _ = Subscription::windowed(
+            NodeId::new(1),
+            SimDuration::from_millis(50),
+            SimTime::from_secs(5),
+            SimTime::from_secs(5),
+        );
+    }
+}

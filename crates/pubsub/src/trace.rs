@@ -1,0 +1,246 @@
+//! Per-transmission trace capture.
+//!
+//! When enabled ([`RuntimeConfig::capture_trace`]), the runtime records
+//! every link transmission with its outcome, every local delivery and every
+//! give-up. Traces make forwarding behavior inspectable: tests use them to
+//! assert loop bounds and path validity, and the examples use them to
+//! explain *why* a packet took the route it did.
+//!
+//! [`RuntimeConfig::capture_trace`]: crate::runtime::RuntimeConfig::capture_trace
+
+use dcrd_net::NodeId;
+use dcrd_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::packet::PacketId;
+
+/// What happened to one link transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TxOutcome {
+    /// Arrived at the receiver after the link delay.
+    Arrived,
+    /// Swallowed by a failed link epoch.
+    Blocked,
+    /// Randomly lost (`Pl`).
+    Lost,
+}
+
+/// One trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A data transmission over one link.
+    Send {
+        /// When the transmission started.
+        at: SimTime,
+        /// Sending broker.
+        from: NodeId,
+        /// Receiving broker.
+        to: NodeId,
+        /// The message.
+        packet: PacketId,
+        /// Number of destinations carried by this copy.
+        destinations: u32,
+        /// The transmission's fate.
+        outcome: TxOutcome,
+    },
+    /// A local delivery to a subscriber.
+    Deliver {
+        /// Delivery time.
+        at: SimTime,
+        /// The subscribing broker.
+        node: NodeId,
+        /// The message.
+        packet: PacketId,
+    },
+    /// A strategy gave up on one `(message, subscriber)` pair.
+    GiveUp {
+        /// When the strategy gave up.
+        at: SimTime,
+        /// The broker that gave up.
+        node: NodeId,
+        /// The message.
+        packet: PacketId,
+        /// The abandoned subscriber.
+        destination: NodeId,
+    },
+}
+
+impl TraceEvent {
+    /// The message this event concerns.
+    #[must_use]
+    pub fn packet(&self) -> PacketId {
+        match *self {
+            TraceEvent::Send { packet, .. }
+            | TraceEvent::Deliver { packet, .. }
+            | TraceEvent::GiveUp { packet, .. } => packet,
+        }
+    }
+
+    /// The event's timestamp.
+    #[must_use]
+    pub fn time(&self) -> SimTime {
+        match *self {
+            TraceEvent::Send { at, .. }
+            | TraceEvent::Deliver { at, .. }
+            | TraceEvent::GiveUp { at, .. } => at,
+        }
+    }
+}
+
+/// The complete trace of one run (only populated when capture is enabled).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends one event (runtime-side).
+    pub fn record(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// All events in chronological (recording) order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All `Send` events for one message, in order.
+    #[must_use]
+    pub fn sends_for(&self, packet: PacketId) -> Vec<&TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Send { .. }) && e.packet() == packet)
+            .collect()
+    }
+
+    /// The maximum number of times any single message traversed the same
+    /// directed link (a forwarding-loop indicator: retransmissions and
+    /// bounded rerouting keep it small, a livelock makes it explode).
+    #[must_use]
+    pub fn max_directed_edge_uses(&self) -> u32 {
+        use std::collections::HashMap;
+        let mut counts: HashMap<(PacketId, NodeId, NodeId), u32> = HashMap::new();
+        for e in &self.events {
+            if let TraceEvent::Send {
+                from, to, packet, ..
+            } = *e
+            {
+                *counts.entry((packet, from, to)).or_insert(0) += 1;
+            }
+        }
+        counts.values().copied().max().unwrap_or(0)
+    }
+
+    /// Counts transmissions per outcome: `(arrived, blocked, lost)`.
+    #[must_use]
+    pub fn outcome_counts(&self) -> (u64, u64, u64) {
+        let mut arrived = 0;
+        let mut blocked = 0;
+        let mut lost = 0;
+        for e in &self.events {
+            if let TraceEvent::Send { outcome, .. } = e {
+                match outcome {
+                    TxOutcome::Arrived => arrived += 1,
+                    TxOutcome::Blocked => blocked += 1,
+                    TxOutcome::Lost => lost += 1,
+                }
+            }
+        }
+        (arrived, blocked, lost)
+    }
+
+    /// Delivery times per message at one subscriber, if any.
+    #[must_use]
+    pub fn delivery_time(&self, packet: PacketId, node: NodeId) -> Option<SimTime> {
+        self.events.iter().find_map(|e| match *e {
+            TraceEvent::Deliver {
+                at,
+                node: n,
+                packet: p,
+            } if n == node && p == packet => Some(at),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn send(at_ms: u64, from: u32, to: u32, pkt: u64, outcome: TxOutcome) -> TraceEvent {
+        TraceEvent::Send {
+            at: SimTime::from_millis(at_ms),
+            from: NodeId::new(from),
+            to: NodeId::new(to),
+            packet: PacketId::new(pkt),
+            destinations: 1,
+            outcome,
+        }
+    }
+
+    #[test]
+    fn records_and_queries() {
+        let mut t = Trace::new();
+        assert!(t.is_empty());
+        t.record(send(0, 0, 1, 7, TxOutcome::Arrived));
+        t.record(send(5, 1, 2, 7, TxOutcome::Blocked));
+        t.record(send(9, 1, 2, 7, TxOutcome::Lost));
+        t.record(TraceEvent::Deliver {
+            at: SimTime::from_millis(20),
+            node: NodeId::new(2),
+            packet: PacketId::new(7),
+        });
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.sends_for(PacketId::new(7)).len(), 3);
+        assert_eq!(t.sends_for(PacketId::new(8)).len(), 0);
+        assert_eq!(t.outcome_counts(), (1, 1, 1));
+        assert_eq!(t.max_directed_edge_uses(), 2);
+        assert_eq!(
+            t.delivery_time(PacketId::new(7), NodeId::new(2)),
+            Some(SimTime::from_millis(20))
+        );
+        assert_eq!(t.delivery_time(PacketId::new(7), NodeId::new(1)), None);
+    }
+
+    #[test]
+    fn event_accessors() {
+        let e = send(3, 0, 1, 9, TxOutcome::Arrived);
+        assert_eq!(e.packet(), PacketId::new(9));
+        assert_eq!(e.time(), SimTime::from_millis(3));
+        let g = TraceEvent::GiveUp {
+            at: SimTime::from_millis(4),
+            node: NodeId::new(0),
+            packet: PacketId::new(9),
+            destination: NodeId::new(5),
+        };
+        assert_eq!(g.packet(), PacketId::new(9));
+        assert_eq!(g.time(), SimTime::from_millis(4));
+    }
+
+    #[test]
+    fn empty_trace_queries() {
+        let t = Trace::new();
+        assert_eq!(t.max_directed_edge_uses(), 0);
+        assert_eq!(t.outcome_counts(), (0, 0, 0));
+        assert!(t.events().is_empty());
+    }
+}

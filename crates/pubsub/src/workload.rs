@@ -1,0 +1,406 @@
+//! The paper's pub/sub workload generator.
+//!
+//! §IV-A of the paper: 10 topics; one publisher per topic on a randomly
+//! chosen broker; each publisher sends 1 packet/s (the ADS-B air
+//! surveillance rate); per topic a subscription probability `Ps` is drawn
+//! uniformly from `[0.2, 0.6]` and every *other* broker subscribes with
+//! probability `Ps`; each subscription's delay requirement is `factor ×` the
+//! shortest-path delay from publisher to subscriber (factor 3 by default,
+//! swept in Fig. 6).
+
+use dcrd_net::paths::{dijkstra, Metric};
+use dcrd_net::{NodeId, Topology};
+use dcrd_sim::{SimDuration, SimTime};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::topic::{Subscription, TopicId};
+
+/// Subscriber churn (extension): subscriptions join and leave during the
+/// run instead of lasting forever.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnConfig {
+    /// Join times are drawn uniformly from `[0, join_within)`.
+    pub join_within: SimDuration,
+    /// Active lifetimes are drawn uniformly from this range.
+    pub lifetime: (SimDuration, SimDuration),
+}
+
+/// Configuration of the workload generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Number of topics (= number of publishers).
+    pub num_topics: usize,
+    /// Publish interval per topic (paper: 1 s).
+    pub publish_interval: SimDuration,
+    /// Subscription probability range per topic (paper: `[0.2, 0.6]`).
+    pub ps_range: (f64, f64),
+    /// Deadline as a multiple of the shortest-path delay (paper: 3.0).
+    pub deadline_factor: f64,
+    /// Subscriber churn; `None` (the paper's model) keeps every
+    /// subscription active for the whole run.
+    pub churn: Option<ChurnConfig>,
+}
+
+impl WorkloadConfig {
+    /// The paper's configuration (§IV-A).
+    pub const PAPER: WorkloadConfig = WorkloadConfig {
+        num_topics: 10,
+        publish_interval: SimDuration::from_secs(1),
+        ps_range: (0.2, 0.6),
+        deadline_factor: 3.0,
+        churn: None,
+    };
+
+    /// Returns a copy with a different deadline factor (Fig. 6 sweep).
+    #[must_use]
+    pub fn with_deadline_factor(mut self, factor: f64) -> Self {
+        self.deadline_factor = factor;
+        self
+    }
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig::PAPER
+    }
+}
+
+/// One topic's static description: its publisher, publish schedule and
+/// subscriptions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopicSpec {
+    /// The topic id.
+    pub topic: TopicId,
+    /// The publishing broker.
+    pub publisher: NodeId,
+    /// Interval between publishes.
+    pub interval: SimDuration,
+    /// Phase offset of the first publish (de-synchronizes topics).
+    pub offset: SimDuration,
+    /// The topic's subscriptions.
+    pub subscriptions: Vec<Subscription>,
+}
+
+impl TopicSpec {
+    /// The subscriber nodes of this topic (active or not).
+    #[must_use]
+    pub fn subscribers(&self) -> Vec<NodeId> {
+        self.subscriptions.iter().map(|s| s.subscriber).collect()
+    }
+
+    /// The subscriptions active when a message publishes at `at` (churn
+    /// extension; equals all subscriptions in the paper's model).
+    #[must_use]
+    pub fn active_subscriptions(&self, at: SimTime) -> Vec<&Subscription> {
+        self.subscriptions
+            .iter()
+            .filter(|s| s.active_at(at))
+            .collect()
+    }
+
+    /// The deadline of `subscriber`'s subscription, if subscribed.
+    #[must_use]
+    pub fn deadline_of(&self, subscriber: NodeId) -> Option<SimDuration> {
+        self.subscriptions
+            .iter()
+            .find(|s| s.subscriber == subscriber)
+            .map(|s| s.deadline)
+    }
+
+    /// The time of the `k`-th publish (0-based).
+    #[must_use]
+    pub fn publish_time(&self, k: u64) -> SimTime {
+        SimTime::ZERO + self.offset + self.interval * k
+    }
+}
+
+/// A complete static workload: every topic with its publisher and
+/// subscriptions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    topics: Vec<TopicSpec>,
+}
+
+impl Workload {
+    /// Builds a workload from explicit topic specs (used by tests and
+    /// examples that need precise control).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topics` is empty or any topic has no subscriptions.
+    #[must_use]
+    pub fn from_topics(topics: Vec<TopicSpec>) -> Self {
+        assert!(!topics.is_empty(), "workload needs at least one topic");
+        for t in &topics {
+            assert!(
+                !t.subscriptions.is_empty(),
+                "{} has no subscriptions",
+                t.topic
+            );
+        }
+        Workload { topics }
+    }
+
+    /// Generates the paper's workload over `topo`.
+    ///
+    /// Publishers are placed by sampling broker nodes without replacement
+    /// (with replacement if there are more topics than brokers). Every
+    /// non-publisher broker subscribes to each topic with that topic's
+    /// `Ps`; topics that end up with no subscribers get one random
+    /// subscriber so every published message has a destination.
+    #[must_use]
+    pub fn generate<R: Rng + ?Sized>(
+        topo: &Topology,
+        config: &WorkloadConfig,
+        rng: &mut R,
+    ) -> Self {
+        let nodes: Vec<NodeId> = topo.nodes().collect();
+        let mut publishers: Vec<NodeId> = Vec::with_capacity(config.num_topics);
+        if config.num_topics <= nodes.len() {
+            let mut pool = nodes.clone();
+            pool.shuffle(rng);
+            publishers.extend(pool.into_iter().take(config.num_topics));
+        } else {
+            for _ in 0..config.num_topics {
+                publishers.push(*nodes.choose(rng).expect("nonempty topology"));
+            }
+        }
+
+        let topics = publishers
+            .iter()
+            .enumerate()
+            .map(|(i, &publisher)| {
+                let sp = dijkstra(topo, publisher, Metric::Delay);
+                let ps = rng.gen_range(config.ps_range.0..=config.ps_range.1);
+                let mut subscriptions: Vec<Subscription> = Vec::new();
+                for &n in nodes.iter().filter(|&&n| n != publisher) {
+                    if rng.gen::<f64>() >= ps {
+                        continue;
+                    }
+                    let deadline = deadline_for(&sp, n, config.deadline_factor);
+                    subscriptions.push(match config.churn {
+                        None => Subscription::new(n, deadline),
+                        Some(churn) => {
+                            let from = SimTime::from_micros(
+                                rng.gen_range(0..churn.join_within.as_micros().max(1)),
+                            );
+                            let life = SimDuration::from_micros(rng.gen_range(
+                                churn.lifetime.0.as_micros()..=churn.lifetime.1.as_micros(),
+                            ));
+                            Subscription::windowed(n, deadline, from, from + life)
+                        }
+                    });
+                }
+                if subscriptions.is_empty() {
+                    let candidates: Vec<NodeId> =
+                        nodes.iter().copied().filter(|&n| n != publisher).collect();
+                    let n = *candidates.choose(rng).expect("at least two brokers");
+                    subscriptions.push(Subscription::new(
+                        n,
+                        deadline_for(&sp, n, config.deadline_factor),
+                    ));
+                }
+                TopicSpec {
+                    topic: TopicId::new(i as u32),
+                    publisher,
+                    interval: config.publish_interval,
+                    offset: SimDuration::from_micros(
+                        rng.gen_range(0..config.publish_interval.as_micros().max(1)),
+                    ),
+                    subscriptions,
+                }
+            })
+            .collect();
+        Workload { topics }
+    }
+
+    /// The topics of the workload.
+    #[must_use]
+    pub fn topics(&self) -> &[TopicSpec] {
+        &self.topics
+    }
+
+    /// The spec of `topic`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topic is not part of this workload.
+    #[must_use]
+    pub fn topic(&self, topic: TopicId) -> &TopicSpec {
+        &self.topics[topic.index()]
+    }
+
+    /// Total number of subscriptions across all topics.
+    #[must_use]
+    pub fn num_subscriptions(&self) -> usize {
+        self.topics.iter().map(|t| t.subscriptions.len()).sum()
+    }
+}
+
+fn deadline_for(
+    sp: &dcrd_net::paths::ShortestPaths,
+    subscriber: NodeId,
+    factor: f64,
+) -> SimDuration {
+    let base = sp
+        .cost_to(subscriber)
+        .expect("workload requires a connected topology");
+    SimDuration::from_micros(base).mul_f64(factor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcrd_net::paths::shortest_path;
+    use dcrd_net::topology::{full_mesh, random_connected, DelayRange};
+    use dcrd_sim::rng::rng_for;
+
+    #[test]
+    fn paper_workload_shape() {
+        let mut rng = rng_for(1, "wl");
+        let topo = full_mesh(20, DelayRange::PAPER, &mut rng);
+        let wl = Workload::generate(&topo, &WorkloadConfig::PAPER, &mut rng);
+        assert_eq!(wl.topics().len(), 10);
+        for t in wl.topics() {
+            assert!(!t.subscriptions.is_empty());
+            assert!(t.subscriptions.iter().all(|s| s.subscriber != t.publisher));
+            assert_eq!(t.interval, SimDuration::from_secs(1));
+            assert!(t.offset < SimDuration::from_secs(1));
+        }
+        // Publishers are distinct when there are enough brokers.
+        let mut pubs: Vec<NodeId> = wl.topics().iter().map(|t| t.publisher).collect();
+        pubs.sort();
+        pubs.dedup();
+        assert_eq!(pubs.len(), 10);
+    }
+
+    #[test]
+    fn subscription_counts_respect_ps_range() {
+        // With Ps in [0.2, 0.6] over 19 candidate brokers, the long-run
+        // average per topic must be within [0.2*19, 0.6*19] ± noise.
+        let mut rng = rng_for(2, "wl");
+        let topo = full_mesh(20, DelayRange::PAPER, &mut rng);
+        let mut total = 0usize;
+        let reps = 50;
+        for _ in 0..reps {
+            let wl = Workload::generate(&topo, &WorkloadConfig::PAPER, &mut rng);
+            total += wl.num_subscriptions();
+        }
+        let avg_per_topic = total as f64 / (reps * 10) as f64;
+        assert!(
+            (2.5..=13.0).contains(&avg_per_topic),
+            "avg subscriptions per topic {avg_per_topic}"
+        );
+    }
+
+    #[test]
+    fn deadlines_are_factor_times_shortest_delay() {
+        let mut rng = rng_for(3, "wl");
+        let topo = random_connected(12, 4, DelayRange::PAPER, &mut rng);
+        let wl = Workload::generate(&topo, &WorkloadConfig::PAPER, &mut rng);
+        for t in wl.topics() {
+            for s in &t.subscriptions {
+                let best = shortest_path(&topo, t.publisher, s.subscriber, Metric::Delay)
+                    .expect("connected");
+                let expected = SimDuration::from_micros(best.cost()).mul_f64(3.0);
+                assert_eq!(s.deadline, expected);
+                assert_eq!(t.deadline_of(s.subscriber), Some(expected));
+            }
+            assert_eq!(t.deadline_of(t.publisher), None);
+        }
+    }
+
+    #[test]
+    fn publish_times_follow_schedule() {
+        let spec = TopicSpec {
+            topic: TopicId::new(0),
+            publisher: NodeId::new(0),
+            interval: SimDuration::from_secs(1),
+            offset: SimDuration::from_millis(250),
+            subscriptions: vec![Subscription::new(NodeId::new(1), SimDuration::from_secs(1))],
+        };
+        assert_eq!(spec.publish_time(0), SimTime::from_millis(250));
+        assert_eq!(spec.publish_time(2), SimTime::from_millis(2250));
+        assert_eq!(spec.subscribers(), vec![NodeId::new(1)]);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let topo = full_mesh(15, DelayRange::PAPER, &mut rng_for(4, "t"));
+        let a = Workload::generate(&topo, &WorkloadConfig::PAPER, &mut rng_for(5, "w"));
+        let b = Workload::generate(&topo, &WorkloadConfig::PAPER, &mut rng_for(5, "w"));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_topics_than_brokers_is_allowed() {
+        let mut rng = rng_for(6, "wl");
+        let topo = full_mesh(4, DelayRange::PAPER, &mut rng);
+        let cfg = WorkloadConfig {
+            num_topics: 9,
+            ..WorkloadConfig::PAPER
+        };
+        let wl = Workload::generate(&topo, &cfg, &mut rng);
+        assert_eq!(wl.topics().len(), 9);
+    }
+
+    #[test]
+    fn deadline_factor_override() {
+        let cfg = WorkloadConfig::PAPER.with_deadline_factor(1.5);
+        assert!((cfg.deadline_factor - 1.5).abs() < f64::EPSILON);
+        assert_eq!(cfg.num_topics, 10);
+    }
+
+    #[test]
+    fn churned_workload_has_finite_windows() {
+        let mut rng = rng_for(9, "churn");
+        let topo = full_mesh(15, DelayRange::PAPER, &mut rng);
+        let cfg = WorkloadConfig {
+            churn: Some(ChurnConfig {
+                join_within: SimDuration::from_secs(60),
+                lifetime: (SimDuration::from_secs(30), SimDuration::from_secs(90)),
+            }),
+            ..WorkloadConfig::PAPER
+        };
+        let wl = Workload::generate(&topo, &cfg, &mut rng);
+        for t in wl.topics() {
+            for s in &t.subscriptions {
+                assert!(s.active_from < SimTime::from_secs(60));
+                let life = s.active_until.saturating_since(s.active_from);
+                assert!(life >= SimDuration::from_secs(30));
+                assert!(life <= SimDuration::from_secs(90));
+            }
+            // At some instant not every subscription is active.
+            let active_at_zero = t.active_subscriptions(SimTime::ZERO).len();
+            assert!(active_at_zero <= t.subscriptions.len());
+        }
+    }
+
+    #[test]
+    fn paper_workload_subscriptions_are_always_active() {
+        let mut rng = rng_for(10, "churn");
+        let topo = full_mesh(10, DelayRange::PAPER, &mut rng);
+        let wl = Workload::generate(&topo, &WorkloadConfig::PAPER, &mut rng);
+        for t in wl.topics() {
+            assert_eq!(
+                t.active_subscriptions(SimTime::from_secs(100_000)).len(),
+                t.subscriptions.len()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no subscriptions")]
+    fn from_topics_rejects_empty_subscriptions() {
+        let spec = TopicSpec {
+            topic: TopicId::new(0),
+            publisher: NodeId::new(0),
+            interval: SimDuration::from_secs(1),
+            offset: SimDuration::ZERO,
+            subscriptions: vec![],
+        };
+        let _ = Workload::from_topics(vec![spec]);
+    }
+}

@@ -1,0 +1,588 @@
+//! Online statistics: Welford mean/variance, ratio counters, histograms and
+//! empirical CDFs.
+//!
+//! These are the primitives the metrics crate aggregates experiment results
+//! with. Everything is single-pass and allocation-light so statistics can be
+//! collected inline in the simulation hot path.
+
+use serde::{Deserialize, Serialize};
+
+/// Single-pass mean/variance accumulator (Welford's algorithm).
+///
+/// # Example
+///
+/// ```
+/// use dcrd_sim::stats::Welford;
+///
+/// let mut w = Welford::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     w.push(x);
+/// }
+/// assert_eq!(w.mean(), 5.0);
+/// assert!((w.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    /// `None` until the first sample (avoids non-JSON-serializable ±∞
+    /// sentinels).
+    min: Option<f64>,
+    max: Option<f64>,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Welford {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: None,
+            max: None,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = Some(self.min.map_or(x, |m| m.min(x)));
+        self.max = Some(self.max.map_or(x, |m| m.max(x)));
+    }
+
+    /// Merges another accumulator into this one (Chan et al. parallel merge).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; `0.0` when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (divides by `n`); `0.0` for fewer than 2 samples.
+    #[must_use]
+    pub fn population_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (divides by `n − 1`); `0.0` for fewer than 2 samples.
+    #[must_use]
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Smallest observation; `None` when empty.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        self.min
+    }
+
+    /// Largest observation; `None` when empty.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        self.max
+    }
+}
+
+/// A success/total ratio counter (e.g. delivered / published).
+///
+/// # Example
+///
+/// ```
+/// use dcrd_sim::stats::Ratio;
+///
+/// let mut r = Ratio::new();
+/// r.record(true);
+/// r.record(true);
+/// r.record(false);
+/// assert!((r.value() - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ratio {
+    hits: u64,
+    total: u64,
+}
+
+impl Ratio {
+    /// Creates an empty counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Ratio::default()
+    }
+
+    /// Records one trial; `hit` marks it a success.
+    pub fn record(&mut self, hit: bool) {
+        self.total += 1;
+        if hit {
+            self.hits += 1;
+        }
+    }
+
+    /// Adds `hits` successes out of `total` trials at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hits > total`.
+    pub fn record_many(&mut self, hits: u64, total: u64) {
+        assert!(hits <= total, "hits {hits} exceed total {total}");
+        self.hits += hits;
+        self.total += total;
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: &Ratio) {
+        self.hits += other.hits;
+        self.total += other.total;
+    }
+
+    /// Number of successes.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of trials.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The ratio in `[0, 1]`; `0.0` when no trials were recorded.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
+}
+
+/// Fixed-range linear-bucket histogram over `f64` samples, with an exact
+/// empirical-CDF query for the bucketed range.
+///
+/// Values below the range clamp into the first bucket; values above clamp
+/// into an overflow bucket. Intended for bounded quantities like
+/// "actual delay ÷ deadline".
+///
+/// # Example
+///
+/// ```
+/// use dcrd_sim::stats::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 10);
+/// for x in 0..10 {
+///     h.push(x as f64 + 0.5);
+/// }
+/// assert_eq!(h.count(), 10);
+/// assert!((h.cdf_at(5.0) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram covering `[lo, hi)` with `buckets` equal buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi <= lo`, either bound is non-finite, or `buckets == 0`.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && hi > lo, "invalid histogram range");
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        Histogram {
+            lo,
+            hi,
+            buckets: vec![0; buckets],
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Adds one sample. Non-finite samples count into the overflow bucket.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        if !x.is_finite() || x >= self.hi {
+            self.overflow += 1;
+            return;
+        }
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        let idx = ((x - self.lo) / width).floor().max(0.0) as usize;
+        let idx = idx.min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+    }
+
+    /// Merges another histogram with identical configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms have different ranges or bucket counts.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.lo, other.lo, "histogram range mismatch");
+        assert_eq!(self.hi, other.hi, "histogram range mismatch");
+        assert_eq!(self.buckets.len(), other.buckets.len(), "bucket count mismatch");
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+    }
+
+    /// Total samples, including overflow.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Samples that fell at or above the upper bound (or were non-finite).
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Empirical CDF evaluated at `x`: fraction of samples `< x`
+    /// (approximated at bucket granularity with linear interpolation inside
+    /// the containing bucket). Returns `0.0` when empty.
+    #[must_use]
+    pub fn cdf_at(&self, x: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if x <= self.lo {
+            return 0.0;
+        }
+        if x >= self.hi {
+            return (self.count - self.overflow) as f64 / self.count as f64;
+        }
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        let pos = (x - self.lo) / width;
+        let full = pos.floor() as usize;
+        let frac = pos - full as f64;
+        let mut below: f64 = self.buckets[..full].iter().map(|&c| c as f64).sum();
+        if full < self.buckets.len() {
+            below += self.buckets[full] as f64 * frac;
+        }
+        below / self.count as f64
+    }
+
+    /// The `(x, cdf)` series at every bucket boundary — ready for plotting.
+    #[must_use]
+    pub fn cdf_series(&self) -> Vec<(f64, f64)> {
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        let mut out = Vec::with_capacity(self.buckets.len() + 1);
+        let mut acc = 0u64;
+        out.push((self.lo, 0.0));
+        for (i, &c) in self.buckets.iter().enumerate() {
+            acc += c;
+            let x = self.lo + width * (i + 1) as f64;
+            let y = if self.count == 0 {
+                0.0
+            } else {
+                acc as f64 / self.count as f64
+            };
+            out.push((x, y));
+        }
+        out
+    }
+
+    /// Approximate `q`-quantile (`q` in `[0,1]`) using bucket interpolation.
+    /// Returns `None` when empty or when the quantile lands in overflow.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let target = q * self.count as f64;
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        let mut acc = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if (acc + c) as f64 >= target {
+                let within = if c == 0 {
+                    0.0
+                } else {
+                    (target - acc as f64) / c as f64
+                };
+                return Some(self.lo + width * (i as f64 + within));
+            }
+            acc += c;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs = [1.0, 2.5, -3.0, 7.0, 0.0, 4.25];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        assert!((w.mean() - mean).abs() < 1e-12);
+        assert!((w.population_variance() - var).abs() < 1e-12);
+        assert_eq!(w.min(), Some(-3.0));
+        assert_eq!(w.max(), Some(7.0));
+        assert_eq!(w.count(), 6);
+    }
+
+    #[test]
+    fn welford_empty_is_safe() {
+        let w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.population_variance(), 0.0);
+        assert_eq!(w.std_dev(), 0.0);
+        assert_eq!(w.min(), None);
+        assert_eq!(w.max(), None);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = Welford::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let (a_half, b_half) = xs.split_at(37);
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in a_half {
+            a.push(x);
+        }
+        for &x in b_half {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.sample_variance() - all.sample_variance()).abs() < 1e-9);
+
+        // Merging into empty adopts the other side.
+        let mut empty = Welford::new();
+        empty.merge(&all);
+        assert_eq!(empty.count(), all.count());
+    }
+
+    #[test]
+    fn ratio_basics() {
+        let mut r = Ratio::new();
+        assert_eq!(r.value(), 0.0);
+        r.record_many(3, 4);
+        r.record(false);
+        assert_eq!(r.hits(), 3);
+        assert_eq!(r.total(), 5);
+        assert!((r.value() - 0.6).abs() < 1e-12);
+        let mut r2 = Ratio::new();
+        r2.record_many(1, 5);
+        r.merge(&r2);
+        assert!((r.value() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed total")]
+    fn ratio_rejects_bad_batch() {
+        Ratio::new().record_many(5, 4);
+    }
+
+    #[test]
+    fn histogram_cdf_and_quantile() {
+        let mut h = Histogram::new(0.0, 1.0, 100);
+        for i in 0..1000 {
+            h.push(i as f64 / 1000.0);
+        }
+        assert!((h.cdf_at(0.5) - 0.5).abs() < 0.02);
+        assert!((h.quantile(0.9).unwrap() - 0.9).abs() < 0.02);
+        assert_eq!(h.overflow(), 0);
+        assert_eq!(h.cdf_at(-1.0), 0.0);
+        assert!((h.cdf_at(2.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_overflow_and_nan() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.push(5.0);
+        h.push(f64::NAN);
+        h.push(0.5);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.overflow(), 2);
+        // CDF at the top excludes overflow samples.
+        assert!((h.cdf_at(1.0) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new(0.0, 10.0, 10);
+        let mut b = Histogram::new(0.0, 10.0, 10);
+        a.push(1.0);
+        b.push(9.0);
+        b.push(20.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.overflow(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "range mismatch")]
+    fn histogram_merge_rejects_mismatch() {
+        let mut a = Histogram::new(0.0, 10.0, 10);
+        let b = Histogram::new(0.0, 5.0, 10);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn histogram_series_monotone() {
+        let mut h = Histogram::new(1.0, 3.0, 8);
+        for x in [1.1, 1.5, 2.0, 2.5, 2.9, 1.05] {
+            h.push(x);
+        }
+        let series = h.cdf_series();
+        assert_eq!(series.len(), 9);
+        assert_eq!(series.first().unwrap().1, 0.0);
+        assert!((series.last().unwrap().1 - 1.0).abs() < 1e-12);
+        for w in series.windows(2) {
+            assert!(w[1].1 >= w[0].1, "CDF must be monotone");
+            assert!(w[1].0 > w[0].0);
+        }
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Splitting a sample stream at any point and merging gives the
+            /// same moments as one pass.
+            #[test]
+            fn welford_merge_any_split(
+                xs in proptest::collection::vec(-1e6f64..1e6, 2..64),
+                split in 0usize..64,
+            ) {
+                let split = split % xs.len();
+                let mut whole = Welford::new();
+                for &x in &xs {
+                    whole.push(x);
+                }
+                let mut a = Welford::new();
+                let mut b = Welford::new();
+                for &x in &xs[..split] {
+                    a.push(x);
+                }
+                for &x in &xs[split..] {
+                    b.push(x);
+                }
+                a.merge(&b);
+                prop_assert_eq!(a.count(), whole.count());
+                prop_assert!((a.mean() - whole.mean()).abs() < 1e-6 * whole.mean().abs().max(1.0));
+                prop_assert!(
+                    (a.sample_variance() - whole.sample_variance()).abs()
+                        < 1e-6 * whole.sample_variance().abs().max(1.0)
+                );
+            }
+
+            /// The histogram CDF is monotone and normalized for any data.
+            #[test]
+            fn histogram_cdf_monotone(xs in proptest::collection::vec(-2.0f64..12.0, 1..100)) {
+                let mut h = Histogram::new(0.0, 10.0, 20);
+                for &x in &xs {
+                    h.push(x);
+                }
+                let mut prev = 0.0;
+                for i in 0..=40 {
+                    let q = h.cdf_at(i as f64 * 0.25);
+                    prop_assert!(q >= prev - 1e-12, "CDF decreased");
+                    prop_assert!((0.0..=1.0 + 1e-12).contains(&q));
+                    prev = q;
+                }
+                prop_assert_eq!(h.count(), xs.len() as u64);
+            }
+
+            /// Ratio pooling equals concatenation.
+            #[test]
+            fn ratio_merge_is_concat(
+                a_hits in 0u64..100, a_extra in 0u64..100,
+                b_hits in 0u64..100, b_extra in 0u64..100,
+            ) {
+                let mut a = Ratio::new();
+                a.record_many(a_hits, a_hits + a_extra);
+                let mut b = Ratio::new();
+                b.record_many(b_hits, b_hits + b_extra);
+                let mut merged = a;
+                merged.merge(&b);
+                prop_assert_eq!(merged.hits(), a_hits + b_hits);
+                prop_assert_eq!(merged.total(), a_hits + a_extra + b_hits + b_extra);
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert_eq!(h.quantile(0.5), None);
+        let mut h2 = Histogram::new(0.0, 1.0, 4);
+        h2.push(10.0); // only overflow
+        assert_eq!(h2.quantile(0.9), None);
+        assert_eq!(h2.quantile(2.0), None);
+    }
+}

@@ -1,0 +1,66 @@
+//! Failure storm: watch DCRD's dynamic rerouting pull away from a fixed
+//! tree as link failures intensify, and see what the persistence extension
+//! buys on top.
+//!
+//! ```text
+//! cargo run --release --example failure_storm
+//! ```
+
+use dcrd::baselines::tree::d_tree;
+use dcrd::core::{DcrdConfig, DcrdStrategy, PersistenceMode};
+use dcrd::experiments::runner::{build_topology, build_workload};
+use dcrd::experiments::scenario::ScenarioBuilder;
+use dcrd::net::failure::{FailureModel, LinkFailureModel};
+use dcrd::net::loss::LossModel;
+use dcrd::pubsub::runtime::{OverlayRuntime, RuntimeConfig};
+use dcrd::pubsub::strategy::RoutingStrategy;
+use dcrd::sim::SimDuration;
+
+fn run_with(
+    strategy: &mut (impl RoutingStrategy + ?Sized),
+    pf: f64,
+) -> (f64, f64) {
+    let scenario = ScenarioBuilder::new()
+        .nodes(20)
+        .degree(5)
+        .failure_probability(pf)
+        .duration_secs(120)
+        .seed(99)
+        .build();
+    let topo = build_topology(&scenario, 0);
+    let workload = build_workload(&scenario, &topo, 0);
+    let failure = FailureModel::links_only(LinkFailureModel::new(pf, 0xBEEF));
+    let config = RuntimeConfig::paper(SimDuration::from_secs(120), 31);
+    let runtime = OverlayRuntime::new(&topo, &workload, failure, LossModel::PAPER_DEFAULT, config);
+    let log = runtime.run(strategy);
+    (log.delivery_ratio(), log.qos_delivery_ratio())
+}
+
+fn main() {
+    println!(
+        "{:>6} | {:>22} | {:>22} | {:>22}",
+        "Pf", "D-Tree (del/QoS)", "DCRD (del/QoS)", "DCRD+persist (del/QoS)"
+    );
+    println!("{}", "-".repeat(84));
+    for pf in [0.0, 0.05, 0.10, 0.15, 0.20] {
+        let (td, tq) = run_with(&mut d_tree(), pf);
+        let (dd, dq) = run_with(&mut DcrdStrategy::new(DcrdConfig::default()), pf);
+        let persist = DcrdConfig {
+            persistence: PersistenceMode::Retry {
+                max_retries: 10,
+                retry_after_ms: 1000,
+            },
+            ..DcrdConfig::default()
+        };
+        let (pd, pq) = run_with(&mut DcrdStrategy::new(persist), pf);
+        println!(
+            "{pf:>6.2} | {:>10.4} {:>10.4} | {:>10.4} {:>10.4} | {:>10.4} {:>10.4}",
+            td, tq, dd, dq, pd, pq
+        );
+    }
+    println!(
+        "\nThe fixed tree loses whatever its links lose; DCRD reroutes around \
+         each failed epoch,\nand the persistence extension retries the rare \
+         fully-partitioned packets until the epoch turns."
+    );
+}

@@ -1,0 +1,55 @@
+//! Failure transients: watch per-10-second delivery quality while bursty
+//! link outages roll through the overlay, with the timeline metrics.
+//!
+//! ```text
+//! cargo run --release --example failure_timeline
+//! ```
+
+use dcrd::baselines::tree::d_tree;
+use dcrd::core::{DcrdConfig, DcrdStrategy};
+use dcrd::experiments::runner::{build_topology, build_workload};
+use dcrd::experiments::scenario::ScenarioBuilder;
+use dcrd::metrics::Timeline;
+use dcrd::net::failure::{BurstFailureModel, FailureModel};
+use dcrd::net::loss::LossModel;
+use dcrd::pubsub::runtime::{OverlayRuntime, RuntimeConfig};
+use dcrd::pubsub::strategy::RoutingStrategy;
+use dcrd::sim::SimDuration;
+
+fn main() {
+    let scenario = ScenarioBuilder::new()
+        .nodes(20)
+        .degree(4)
+        .failure_probability(0.08)
+        .duration_secs(120)
+        .seed(2024)
+        .build();
+    let topo = build_topology(&scenario, 0);
+    let workload = build_workload(&scenario, &topo, 0);
+    // Outages persist ~5 s: long enough to span several publishes.
+    let failure = FailureModel::bursty(BurstFailureModel::new(0.08, 5.0, 0x5EED));
+    let config = RuntimeConfig::paper(SimDuration::from_secs(120), 9);
+
+    println!("20 brokers, degree 4, bursty outages (Pf=0.08, ~5s bursts), 2 minutes\n");
+    for (label, strategy) in [
+        ("DCRD", &mut DcrdStrategy::new(DcrdConfig::default()) as &mut dyn RoutingStrategy),
+        ("D-Tree", &mut d_tree()),
+    ] {
+        let log = OverlayRuntime::new(&topo, &workload, failure, LossModel::PAPER_DEFAULT, config)
+            .run(strategy);
+        let timeline = Timeline::from_log(&log, SimDuration::from_secs(10));
+        println!("{}", timeline.render(label));
+        if let Some((t, q)) = timeline.worst_window() {
+            println!(
+                "{label}: worst window starts at {:.0}s with QoS {:.3}; whole-run QoS {:.3}\n",
+                t.as_secs_f64(),
+                q,
+                log.qos_delivery_ratio()
+            );
+        }
+    }
+    println!(
+        "The tree's dips last as long as the bursts; DCRD's dips are shallow because every \
+         packet\nimmediately detours around the failed epoch."
+    );
+}

@@ -1,0 +1,46 @@
+//! # DCRD — Delay-Cognizant Reliable Delivery for Pub/Sub Overlay Networks
+//!
+//! Facade crate for the reproduction of Guo et al., *Delay-Cognizant
+//! Reliable Delivery for Publish/Subscribe Overlay Networks* (ICDCS 2011).
+//! It re-exports the whole workspace under stable module names so that
+//! downstream users (and the examples in `examples/`) can depend on a single
+//! crate.
+//!
+//! * [`sim`] — deterministic discrete-event simulation engine.
+//! * [`net`] — overlay topologies, path algorithms, failure/loss models.
+//! * [`pubsub`] — topics, subscriptions, workloads, the routing-strategy
+//!   trait and the overlay runtime.
+//! * [`core`] — the DCRD algorithm itself (sending lists, optimal ordering,
+//!   the dynamic router).
+//! * [`baselines`] — R-Tree, D-Tree, ORACLE and Multipath baselines.
+//! * [`metrics`] — delivery/QoS/traffic metrics and report rendering.
+//! * [`experiments`] — ready-made configurations reproducing every figure
+//!   of the paper.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for an end-to-end run; in short:
+//!
+//! ```
+//! use dcrd::experiments::scenario::ScenarioBuilder;
+//! use dcrd::experiments::runner::run_scenario;
+//! use dcrd::experiments::StrategyKind;
+//!
+//! let scenario = ScenarioBuilder::new()
+//!     .nodes(10)
+//!     .degree(5)
+//!     .failure_probability(0.04)
+//!     .duration_secs(30)
+//!     .seed(7)
+//!     .build();
+//! let report = run_scenario(&scenario, StrategyKind::Dcrd);
+//! assert!(report.delivery_ratio() > 0.9);
+//! ```
+
+pub use dcrd_baselines as baselines;
+pub use dcrd_core as core;
+pub use dcrd_experiments as experiments;
+pub use dcrd_metrics as metrics;
+pub use dcrd_net as net;
+pub use dcrd_pubsub as pubsub;
+pub use dcrd_sim as sim;

@@ -1,0 +1,112 @@
+//! Many-to-many pub/sub: several publishers sharing one topic, each with
+//! its own deadline geometry — the decoupling the pub/sub paradigm
+//! promises. Strategies key their routing state by `(topic, publisher)`,
+//! so shared topics must route every publisher's messages independently.
+
+use dcrd::baselines::tree::d_tree;
+use dcrd::core::{DcrdConfig, DcrdStrategy};
+use dcrd::net::failure::{FailureModel, LinkFailureModel};
+use dcrd::net::loss::LossModel;
+use dcrd::net::paths::{dijkstra, Metric};
+use dcrd::net::topology::{random_connected, DelayRange};
+use dcrd::net::Topology;
+use dcrd::pubsub::runtime::{DeliveryLog, OverlayRuntime, RuntimeConfig};
+use dcrd::pubsub::strategy::RoutingStrategy;
+use dcrd::pubsub::topic::{Subscription, TopicId};
+use dcrd::pubsub::workload::{TopicSpec, Workload};
+use dcrd::sim::rng::rng_for;
+use dcrd::sim::SimDuration;
+
+/// One topic, three publishers at different corners of the overlay, two
+/// shared subscribers with per-publisher deadlines (3× each shortest path).
+fn shared_topic_workload(topo: &Topology) -> Workload {
+    let publishers = [0usize, 5, 10];
+    let subscribers = [14usize, 7];
+    let topics = publishers
+        .iter()
+        .enumerate()
+        .map(|(k, &p)| {
+            let publisher = topo.node(p);
+            let sp = dijkstra(topo, publisher, Metric::Delay);
+            TopicSpec {
+                topic: TopicId::new(0), // the SAME topic for every publisher
+                publisher,
+                interval: SimDuration::from_secs(1),
+                offset: SimDuration::from_millis(k as u64 * 137),
+                subscriptions: subscribers
+                    .iter()
+                    .map(|&s| {
+                        let node = topo.node(s);
+                        let base = sp.cost_to(node).expect("connected");
+                        Subscription::new(node, SimDuration::from_micros(base).mul_f64(3.0))
+                    })
+                    .collect(),
+            }
+        })
+        .collect();
+    Workload::from_topics(topics)
+}
+
+fn run(strategy: &mut (impl RoutingStrategy + ?Sized), pf: f64) -> DeliveryLog {
+    let topo = random_connected(15, 5, DelayRange::PAPER, &mut rng_for(3, "m2m"));
+    let workload = shared_topic_workload(&topo);
+    let failure = FailureModel::links_only(LinkFailureModel::new(pf, 0x22));
+    let config = RuntimeConfig::paper(SimDuration::from_secs(60), 4);
+    OverlayRuntime::new(&topo, &workload, failure, LossModel::PAPER_DEFAULT, config)
+        .run(strategy)
+}
+
+#[test]
+fn dcrd_routes_every_publisher_of_a_shared_topic() {
+    let log = run(&mut DcrdStrategy::new(DcrdConfig::default()), 0.04);
+    // Publisher offsets 0/137/274 ms in a 60 s run → 61 + 60 + 60 messages.
+    assert_eq!(log.messages_published, 181);
+    assert_eq!(log.num_expectations(), 181 * 2);
+    assert!(
+        log.delivery_ratio() > 0.999,
+        "shared-topic delivery {}",
+        log.delivery_ratio()
+    );
+    assert!(
+        log.qos_delivery_ratio() > 0.95,
+        "shared-topic QoS {}",
+        log.qos_delivery_ratio()
+    );
+}
+
+#[test]
+fn trees_keep_per_publisher_routes_distinct() {
+    let log = run(&mut d_tree(), 0.0);
+    // Lossless: if one publisher's tree overwrote another's (a key
+    // collision), its messages would systematically vanish.
+    assert!(
+        (log.delivery_ratio() - 1.0).abs() < 0.001,
+        "tree delivery {} — per-publisher trees must not collide",
+        log.delivery_ratio()
+    );
+}
+
+#[test]
+fn per_publisher_tables_are_distinct() {
+    let topo = random_connected(15, 5, DelayRange::PAPER, &mut rng_for(3, "m2m"));
+    let workload = shared_topic_workload(&topo);
+    let failure = FailureModel::links_only(LinkFailureModel::new(0.0, 1));
+    let config = RuntimeConfig::paper(SimDuration::from_secs(1), 1);
+    let mut strategy = DcrdStrategy::new(DcrdConfig::default());
+    let _ = OverlayRuntime::new(&topo, &workload, failure, LossModel::new(0.0), config)
+        .run(&mut strategy);
+    let topic = TopicId::new(0);
+    let sub = topo.node(14);
+    let a = strategy
+        .tables_for(topic, topo.node(0), sub)
+        .expect("publisher 0 tables");
+    let b = strategy
+        .tables_for(topic, topo.node(5), sub)
+        .expect("publisher 5 tables");
+    // Different publishers anchor different deadline budgets.
+    assert_ne!(
+        a.requirement(topo.node(14)),
+        b.requirement(topo.node(14)),
+        "per-publisher requirements must differ"
+    );
+}

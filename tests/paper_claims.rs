@@ -1,0 +1,250 @@
+//! Integration tests pinning the paper's headline claims (§IV, §V).
+//!
+//! These use shortened runs (the paper simulates 2 h × 10 topologies), so
+//! thresholds include a small noise margin — but every *ordering* claim is
+//! asserted strictly.
+
+use dcrd::experiments::runner::{run_comparison, run_scenario, StrategyKind};
+use dcrd::experiments::scenario::ScenarioBuilder;
+
+fn find<'a>(
+    aggs: &'a [dcrd::metrics::AggregateMetrics],
+    name: &str,
+) -> &'a dcrd::metrics::AggregateMetrics {
+    aggs.iter()
+        .find(|a| a.name() == name)
+        .unwrap_or_else(|| panic!("{name} missing"))
+}
+
+/// §V: "more than 98% QoS delivery ratio for link failure probabilities
+/// below 4%" (full mesh).
+#[test]
+fn dcrd_exceeds_98_percent_qos_at_low_failure_rates() {
+    for pf in [0.02, 0.04] {
+        let scenario = ScenarioBuilder::new()
+            .nodes(20)
+            .full_mesh()
+            .failure_probability(pf)
+            .duration_secs(60)
+            .repetitions(2)
+            .seed(11)
+            .build();
+        let agg = run_scenario(&scenario, StrategyKind::Dcrd);
+        assert!(
+            agg.qos_delivery_ratio() > 0.98,
+            "pf={pf}: QoS ratio {} below the paper's 98% claim",
+            agg.qos_delivery_ratio()
+        );
+        assert!(
+            agg.delivery_ratio() > 0.999,
+            "pf={pf}: delivery ratio {} should be ~100% in a mesh",
+            agg.delivery_ratio()
+        );
+    }
+}
+
+/// Fig. 2: the full-mesh ordering at high failure probability —
+/// ORACLE ≥ DCRD > Multipath > R-Tree > D-Tree on delivery.
+#[test]
+fn full_mesh_strategy_ordering_matches_fig2() {
+    let scenario = ScenarioBuilder::new()
+        .nodes(20)
+        .full_mesh()
+        .failure_probability(0.1)
+        .duration_secs(60)
+        .repetitions(2)
+        .seed(23)
+        .build();
+    let aggs = run_comparison(&scenario, &StrategyKind::ALL);
+    let dcrd = find(&aggs, "DCRD");
+    let oracle = find(&aggs, "ORACLE");
+    let rtree = find(&aggs, "R-Tree");
+    let dtree = find(&aggs, "D-Tree");
+    let multipath = find(&aggs, "Multipath");
+
+    assert!(oracle.delivery_ratio() >= dcrd.delivery_ratio() - 1e-9);
+    assert!(dcrd.delivery_ratio() > multipath.delivery_ratio());
+    assert!(multipath.delivery_ratio() > rtree.delivery_ratio());
+    assert!(rtree.delivery_ratio() > dtree.delivery_ratio());
+
+    // Traffic (Fig. 2c): R-Tree exactly 1 in a mesh; Multipath the most;
+    // DCRD modestly above D-Tree.
+    assert!((rtree.packets_per_subscriber() - 1.0).abs() < 0.01);
+    assert!(multipath.packets_per_subscriber() > 2.0 * dcrd.packets_per_subscriber());
+    assert!(dcrd.packets_per_subscriber() > dtree.packets_per_subscriber());
+    // "less than 50% of the traffic introduced by Multipath"
+    assert!(dcrd.packets_per_subscriber() < 0.5 * multipath.packets_per_subscriber());
+}
+
+/// Fig. 3: with degree 5 the tree baselines lose ~5% more while DCRD's
+/// delivery ratio stays near the mesh level.
+#[test]
+fn reduced_connectivity_hurts_trees_more_than_dcrd() {
+    let mesh = ScenarioBuilder::new()
+        .nodes(20)
+        .full_mesh()
+        .failure_probability(0.08)
+        .duration_secs(60)
+        .repetitions(2)
+        .seed(31)
+        .build();
+    let deg5 = ScenarioBuilder::new()
+        .nodes(20)
+        .degree(5)
+        .failure_probability(0.08)
+        .duration_secs(60)
+        .repetitions(2)
+        .seed(31)
+        .build();
+    let dcrd_mesh = run_scenario(&mesh, StrategyKind::Dcrd);
+    let dcrd_deg5 = run_scenario(&deg5, StrategyKind::Dcrd);
+    let dtree_mesh = run_scenario(&mesh, StrategyKind::DTree);
+    let dtree_deg5 = run_scenario(&deg5, StrategyKind::DTree);
+
+    let dcrd_drop = dcrd_mesh.delivery_ratio() - dcrd_deg5.delivery_ratio();
+    let dtree_drop = dtree_mesh.delivery_ratio() - dtree_deg5.delivery_ratio();
+    assert!(
+        dtree_drop > dcrd_drop,
+        "D-Tree should lose more from reduced connectivity: tree drop {dtree_drop:.4} vs DCRD drop {dcrd_drop:.4}"
+    );
+    assert!(dcrd_deg5.delivery_ratio() > 0.99);
+}
+
+/// Fig. 4 / §V: "results for an overlay with node degree of 5 or greater
+/// are not appreciably different from the full mesh results", while
+/// degree 3 collapses.
+#[test]
+fn degree_five_is_close_to_mesh_and_degree_three_collapses() {
+    let make = |degree: usize| {
+        ScenarioBuilder::new()
+            .nodes(20)
+            .degree(degree)
+            .failure_probability(0.06)
+            .duration_secs(60)
+            .repetitions(2)
+            .seed(41)
+            .build()
+    };
+    let deg3 = run_scenario(&make(3), StrategyKind::Dcrd);
+    let deg5 = run_scenario(&make(5), StrategyKind::Dcrd);
+    let deg8 = run_scenario(&make(8), StrategyKind::Dcrd);
+    assert!(
+        deg5.qos_delivery_ratio() > 0.93,
+        "degree 5 QoS {}",
+        deg5.qos_delivery_ratio()
+    );
+    assert!(deg8.qos_delivery_ratio() >= deg5.qos_delivery_ratio() - 0.02);
+    assert!(
+        deg3.qos_delivery_ratio() < deg5.qos_delivery_ratio(),
+        "degree 3 ({}) must be clearly worse than degree 5 ({})",
+        deg3.qos_delivery_ratio(),
+        deg5.qos_delivery_ratio()
+    );
+}
+
+/// Fig. 6: under a tight 1.5× requirement Multipath's duplicates win;
+/// with the paper's 3× requirement DCRD is at least as good.
+#[test]
+fn deadline_factor_crossover_matches_fig6() {
+    let make = |factor: f64| {
+        ScenarioBuilder::new()
+            .nodes(20)
+            .degree(8)
+            .failure_probability(0.06)
+            .deadline_factor(factor)
+            .duration_secs(60)
+            .repetitions(3)
+            .seed(53)
+            .build()
+    };
+    let tight = run_comparison(&make(1.5), &[StrategyKind::Dcrd, StrategyKind::Multipath]);
+    let loose = run_comparison(&make(3.0), &[StrategyKind::Dcrd, StrategyKind::Multipath]);
+    let (dcrd_tight, mp_tight) = (find(&tight, "DCRD"), find(&tight, "Multipath"));
+    let (dcrd_loose, mp_loose) = (find(&loose, "DCRD"), find(&loose, "Multipath"));
+
+    // Tight: duplicates help because there is no time to reroute.
+    assert!(
+        mp_tight.qos_delivery_ratio() > dcrd_tight.qos_delivery_ratio() - 0.02,
+        "tight requirement: Multipath {} should be competitive with DCRD {}",
+        mp_tight.qos_delivery_ratio(),
+        dcrd_tight.qos_delivery_ratio()
+    );
+    // Loose: DCRD catches up — the Multipath advantage must shrink to
+    // (at most) noise. (The exact crossing point depends on how disjoint
+    // the second path is; our Yen-based selection finds fully disjoint
+    // pairs more often than the paper's, see EXPERIMENTS.md.)
+    let gap_tight = mp_tight.qos_delivery_ratio() - dcrd_tight.qos_delivery_ratio();
+    let gap_loose = mp_loose.qos_delivery_ratio() - dcrd_loose.qos_delivery_ratio();
+    assert!(
+        gap_loose < gap_tight,
+        "DCRD must gain on Multipath as the requirement loosens: tight gap {gap_tight:.4}, loose gap {gap_loose:.4}"
+    );
+    assert!(
+        dcrd_loose.qos_delivery_ratio() > mp_loose.qos_delivery_ratio() - 0.01,
+        "loose requirement: DCRD {} should at least tie Multipath {}",
+        dcrd_loose.qos_delivery_ratio(),
+        mp_loose.qos_delivery_ratio()
+    );
+    // DCRD improves as the requirement loosens.
+    assert!(dcrd_loose.qos_delivery_ratio() > dcrd_tight.qos_delivery_ratio());
+}
+
+/// Fig. 7: most deadline-missing DCRD packets are only slightly late
+/// (paper: ≈50% within 1.25× and ≈70–80% within 1.5× of the requirement).
+#[test]
+fn missed_deadlines_are_mostly_near_misses() {
+    let scenario = ScenarioBuilder::new()
+        .nodes(20)
+        .degree(8)
+        .failure_probability(0.06)
+        .duration_secs(120)
+        .repetitions(3)
+        .seed(61)
+        .build();
+    let agg = run_scenario(&scenario, StrategyKind::Dcrd);
+    let lateness = agg.lateness();
+    assert!(lateness.count() > 10, "need enough misses to test the CDF");
+    let within_1_5 = lateness.cdf_at(1.5);
+    let within_2 = lateness.cdf_at(2.0);
+    assert!(
+        within_1_5 > 0.4,
+        "only {within_1_5:.2} of misses within 1.5× the deadline"
+    );
+    assert!(within_2 > within_1_5);
+}
+
+/// Fig. 8: with Pl ≪ Pf, switching immediately (m=1) beats retransmitting
+/// (m=2) for DCRD; at Pl = 10⁻¹ retransmission helps the trees.
+#[test]
+fn retransmission_tradeoff_matches_fig8() {
+    let make = |pl: f64, m: u32| {
+        ScenarioBuilder::new()
+            .nodes(20)
+            .degree(8)
+            .failure_probability(0.01)
+            .loss_rate(pl)
+            .transmissions(m)
+            .duration_secs(90)
+            .repetitions(3)
+            .seed(71)
+            .build()
+    };
+    // Low loss: m=1 at least as good for DCRD.
+    let d1 = run_scenario(&make(1e-4, 1), StrategyKind::Dcrd);
+    let d2 = run_scenario(&make(1e-4, 2), StrategyKind::Dcrd);
+    assert!(
+        d1.qos_delivery_ratio() >= d2.qos_delivery_ratio() - 0.01,
+        "at Pl=1e-4 DCRD m=1 ({}) should not lose to m=2 ({})",
+        d1.qos_delivery_ratio(),
+        d2.qos_delivery_ratio()
+    );
+    // High loss: m=2 helps the trees by 1–2%.
+    let t1 = run_scenario(&make(1e-1, 1), StrategyKind::RTree);
+    let t2 = run_scenario(&make(1e-1, 2), StrategyKind::RTree);
+    assert!(
+        t2.qos_delivery_ratio() > t1.qos_delivery_ratio() + 0.005,
+        "at Pl=0.1 R-Tree m=2 ({}) should beat m=1 ({})",
+        t2.qos_delivery_ratio(),
+        t1.qos_delivery_ratio()
+    );
+}

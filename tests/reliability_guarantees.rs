@@ -1,0 +1,165 @@
+//! Integration tests of DCRD's delivery guarantee (§III): "packets are
+//! delivered as long as there exists a path between the publisher and
+//! subscriber", plus the persistence and node-failure extensions.
+
+use dcrd::core::{DcrdConfig, DcrdStrategy, PersistenceMode};
+use dcrd::experiments::runner::{build_topology, build_workload, run_scenario, StrategyKind};
+use dcrd::experiments::scenario::ScenarioBuilder;
+use dcrd::net::failure::{FailureModel, LinkFailureModel, NodeFailureModel};
+use dcrd::net::loss::LossModel;
+use dcrd::pubsub::runtime::{OverlayRuntime, RuntimeConfig};
+use dcrd::sim::SimDuration;
+
+/// With no failures and only the paper's 1e-4 random loss, DCRD's
+/// ACK/retry machinery must deliver *everything* (switching to another
+/// neighbor recovers a lost transmission).
+#[test]
+fn zero_failure_delivery_is_complete() {
+    let scenario = ScenarioBuilder::new()
+        .nodes(20)
+        .full_mesh()
+        .failure_probability(0.0)
+        .duration_secs(120)
+        .repetitions(2)
+        .seed(5)
+        .build();
+    let agg = run_scenario(&scenario, StrategyKind::Dcrd);
+    assert!(
+        agg.delivery_ratio() >= 0.99999,
+        "lossless-epoch delivery {}",
+        agg.delivery_ratio()
+    );
+}
+
+/// In a well-connected mesh the failure epochs practically never partition
+/// the graph, so DCRD's delivery ratio must stay ≥ 99.9% even at Pf = 0.1.
+#[test]
+fn mesh_delivery_is_nearly_guaranteed_under_heavy_failures() {
+    let scenario = ScenarioBuilder::new()
+        .nodes(20)
+        .full_mesh()
+        .failure_probability(0.1)
+        .duration_secs(120)
+        .repetitions(2)
+        .seed(17)
+        .build();
+    let agg = run_scenario(&scenario, StrategyKind::Dcrd);
+    assert!(
+        agg.delivery_ratio() > 0.999,
+        "mesh delivery under pf=0.1: {}",
+        agg.delivery_ratio()
+    );
+}
+
+/// The persistence extension closes the gap in sparse overlays where whole
+/// epochs can cut the only path.
+#[test]
+fn persistence_recovers_partition_losses() {
+    let base = ScenarioBuilder::new()
+        .nodes(12)
+        .degree(3)
+        .failure_probability(0.15)
+        .duration_secs(120)
+        .repetitions(2)
+        .seed(29);
+    let plain = base.clone().build();
+    let persistent = base
+        .dcrd(DcrdConfig {
+            persistence: PersistenceMode::Retry {
+                max_retries: 20,
+                retry_after_ms: 1000,
+            },
+            ..DcrdConfig::default()
+        })
+        .build();
+    let plain_agg = run_scenario(&plain, StrategyKind::Dcrd);
+    let persist_agg = run_scenario(&persistent, StrategyKind::Dcrd);
+    assert!(
+        persist_agg.delivery_ratio() > plain_agg.delivery_ratio(),
+        "persistence {} must beat plain {}",
+        persist_agg.delivery_ratio(),
+        plain_agg.delivery_ratio()
+    );
+    assert!(
+        persist_agg.delivery_ratio() > 0.995,
+        "persistent delivery {}",
+        persist_agg.delivery_ratio()
+    );
+}
+
+/// Node-failure extension (§V future work): fail-stop broker outages take
+/// down all incident links at once; DCRD still reroutes around them far
+/// better than a fixed tree.
+#[test]
+fn node_failures_reroute_better_than_trees() {
+    let scenario = ScenarioBuilder::new()
+        .nodes(20)
+        .degree(6)
+        .failure_probability(0.02)
+        .duration_secs(90)
+        .seed(37)
+        .build();
+    let topo = build_topology(&scenario, 0);
+    let workload = build_workload(&scenario, &topo, 0);
+    let failure = FailureModel::with_node_failures(
+        LinkFailureModel::new(0.02, 0xAB),
+        NodeFailureModel::new(0.03, 0xCD),
+    );
+    let config = RuntimeConfig::paper(SimDuration::from_secs(90), 19);
+
+    let mut dcrd = DcrdStrategy::new(DcrdConfig::default());
+    let dcrd_log = OverlayRuntime::new(&topo, &workload, failure, LossModel::PAPER_DEFAULT, config)
+        .run(&mut dcrd);
+    let mut tree = dcrd::baselines::tree::d_tree();
+    let tree_log = OverlayRuntime::new(&topo, &workload, failure, LossModel::PAPER_DEFAULT, config)
+        .run(&mut tree);
+
+    assert!(
+        dcrd_log.delivery_ratio() > tree_log.delivery_ratio() + 0.03,
+        "with node failures DCRD {} must clearly beat D-Tree {}",
+        dcrd_log.delivery_ratio(),
+        tree_log.delivery_ratio()
+    );
+    // Subscribers on failed nodes are unreachable during their outages, so
+    // even DCRD cannot reach 100% — sanity-check the model actually bites.
+    assert!(dcrd_log.delivery_ratio() < 0.9999);
+}
+
+/// Give-up accounting: every undelivered pair in a mesh run should have an
+/// explicit `gave_up` mark or still have been delivered — nothing vanishes
+/// silently.
+#[test]
+fn undelivered_pairs_are_accounted_for() {
+    let scenario = ScenarioBuilder::new()
+        .nodes(12)
+        .degree(3)
+        .failure_probability(0.2)
+        .duration_secs(60)
+        .seed(43)
+        .build();
+    let topo = build_topology(&scenario, 0);
+    let workload = build_workload(&scenario, &topo, 0);
+    let failure = FailureModel::links_only(LinkFailureModel::new(0.2, 0x77));
+    let config = RuntimeConfig::paper(SimDuration::from_secs(60), 91);
+    let mut dcrd = DcrdStrategy::new(DcrdConfig::default());
+    let log = OverlayRuntime::new(&topo, &workload, failure, LossModel::PAPER_DEFAULT, config)
+        .run(&mut dcrd);
+
+    let mut undelivered = 0;
+    let mut unexplained = 0;
+    for (_, exp) in log.expectations() {
+        if exp.delivered.is_none() {
+            undelivered += 1;
+            if !exp.gave_up {
+                unexplained += 1;
+            }
+        }
+    }
+    assert!(undelivered > 0, "this harsh setup should drop something");
+    // A small number of pairs can be cut off by the end-of-run grace
+    // period while still in flight; everything else must carry a give-up.
+    assert!(
+        (unexplained as f64) < 0.1 * undelivered as f64 + 5.0,
+        "{unexplained}/{undelivered} undelivered pairs lack a give-up record"
+    );
+}

@@ -1,0 +1,73 @@
+//! Randomized whole-simulator properties: for arbitrary small scenarios,
+//! structural invariants must hold for every strategy.
+
+use dcrd::experiments::runner::{run_once, StrategyKind};
+use dcrd::experiments::scenario::ScenarioBuilder;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Metrics are well-formed for every strategy on arbitrary scenarios.
+    #[test]
+    fn metrics_are_well_formed(
+        seed in 0u64..1000,
+        pf_step in 0u8..6,
+        degree in 3usize..8,
+        m in 1u32..3,
+    ) {
+        let scenario = ScenarioBuilder::new()
+            .nodes(12)
+            .degree(degree)
+            .failure_probability(f64::from(pf_step) * 0.02)
+            .transmissions(m)
+            .topics(4)
+            .duration_secs(15)
+            .repetitions(1)
+            .seed(seed)
+            .build();
+        for kind in StrategyKind::ALL {
+            let run = run_once(&scenario, kind, 0);
+            let d = run.delivery_ratio();
+            let q = run.qos_delivery_ratio();
+            prop_assert!((0.0..=1.0).contains(&d), "{}: delivery {d}", kind.label());
+            prop_assert!((0.0..=1.0).contains(&q), "{}: QoS {q}", kind.label());
+            prop_assert!(q <= d + 1e-12, "{}: QoS {q} above delivery {d}", kind.label());
+            prop_assert!(run.pairs() > 0, "{}: no pairs recorded", kind.label());
+            prop_assert!(
+                run.packets_per_subscriber().is_finite(),
+                "{}: traffic not finite",
+                kind.label()
+            );
+            // Delay stats only cover delivered pairs and are non-negative.
+            if run.delay_stats().count() > 0 {
+                prop_assert!(run.delay_stats().min().expect("nonempty") >= 0.0);
+            }
+        }
+    }
+
+    /// With zero failures and zero loss, every strategy delivers every
+    /// single pair on arbitrary topologies.
+    #[test]
+    fn lossless_scenarios_deliver_everything(seed in 0u64..1000, degree in 3usize..8) {
+        let scenario = ScenarioBuilder::new()
+            .nodes(12)
+            .degree(degree)
+            .failure_probability(0.0)
+            .loss_rate(0.0)
+            .topics(4)
+            .duration_secs(15)
+            .repetitions(1)
+            .seed(seed)
+            .build();
+        for kind in StrategyKind::ALL {
+            let run = run_once(&scenario, kind, 0);
+            prop_assert!(
+                (run.delivery_ratio() - 1.0).abs() < 1e-12,
+                "{}: delivery {} in a lossless network",
+                kind.label(),
+                run.delivery_ratio()
+            );
+        }
+    }
+}

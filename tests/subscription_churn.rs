@@ -1,0 +1,80 @@
+//! Subscriber churn (extension): subscriptions that join and leave during
+//! the run only receive — and are only accounted for — messages published
+//! inside their activity window.
+
+use dcrd::core::{DcrdConfig, DcrdStrategy};
+use dcrd::experiments::runner::{run_scenario, StrategyKind};
+use dcrd::experiments::scenario::ScenarioBuilder;
+use dcrd::net::failure::{FailureModel, LinkFailureModel};
+use dcrd::net::loss::LossModel;
+use dcrd::net::topology::line;
+use dcrd::pubsub::runtime::{OverlayRuntime, RuntimeConfig};
+use dcrd::pubsub::topic::{Subscription, TopicId};
+use dcrd::pubsub::workload::{ChurnConfig, TopicSpec, Workload};
+use dcrd::sim::{SimDuration, SimTime};
+
+#[test]
+fn windowed_subscriber_receives_only_in_window_messages() {
+    let topo = line(2, SimDuration::from_millis(10));
+    // Publisher 0 publishes at t = 0, 1, ..., 29 s; subscriber active
+    // [10 s, 20 s).
+    let wl = Workload::from_topics(vec![TopicSpec {
+        topic: TopicId::new(0),
+        publisher: topo.node(0),
+        interval: SimDuration::from_secs(1),
+        offset: SimDuration::ZERO,
+        subscriptions: vec![Subscription::windowed(
+            topo.node(1),
+            SimDuration::from_millis(50),
+            SimTime::from_secs(10),
+            SimTime::from_secs(20),
+        )],
+    }]);
+    let failure = FailureModel::links_only(LinkFailureModel::new(0.0, 1));
+    let config = RuntimeConfig::paper(SimDuration::from_secs(29), 1);
+    let log = OverlayRuntime::new(&topo, &wl, failure, LossModel::new(0.0), config)
+        .run(&mut DcrdStrategy::new(DcrdConfig::default()));
+
+    // 30 messages published, but only those at t = 10..19 s count.
+    assert_eq!(log.messages_published, 30);
+    assert_eq!(log.num_expectations(), 10);
+    assert!((log.delivery_ratio() - 1.0).abs() < 1e-12);
+    for ((_, sub), exp) in log.expectations() {
+        assert_eq!(*sub, topo.node(1));
+        assert!(exp.published >= SimTime::from_secs(10));
+        assert!(exp.published < SimTime::from_secs(20));
+    }
+    // Out-of-window publishes produced zero traffic (no active dests).
+    assert_eq!(log.data_sends, 10);
+}
+
+#[test]
+fn churned_workload_delivers_like_the_static_one_per_message() {
+    let base = ScenarioBuilder::new()
+        .nodes(20)
+        .degree(5)
+        .failure_probability(0.04)
+        .duration_secs(120)
+        .repetitions(2)
+        .seed(77);
+    let static_scenario = base.clone().build();
+    let churned = base
+        .churn(ChurnConfig {
+            join_within: SimDuration::from_secs(60),
+            lifetime: (SimDuration::from_secs(30), SimDuration::from_secs(90)),
+        })
+        .build();
+    let s = run_scenario(&static_scenario, StrategyKind::Dcrd);
+    let c = run_scenario(&churned, StrategyKind::Dcrd);
+    // Churn shrinks the accounted pairs but must not hurt per-message
+    // delivery quality: tables exist for every potential subscription.
+    assert!(c.pairs() < s.pairs());
+    assert!(c.pairs() > 0);
+    assert!(
+        (c.qos_delivery_ratio() - s.qos_delivery_ratio()).abs() < 0.02,
+        "churned QoS {} vs static {}",
+        c.qos_delivery_ratio(),
+        s.qos_delivery_ratio()
+    );
+    assert!(c.delivery_ratio() > 0.995);
+}
