@@ -50,8 +50,13 @@ pub trait NextHopPolicy {
     /// The neighbor `node` should forward `packet` to in order to reach
     /// `dest`, or `None` if this policy has no route (the destination is
     /// then abandoned).
-    fn next_hop(&mut self, node: NodeId, packet: &Packet, dest: NodeId, now: SimTime)
-        -> Option<NodeId>;
+    fn next_hop(
+        &mut self,
+        node: NodeId,
+        packet: &Packet,
+        dest: NodeId,
+        now: SimTime,
+    ) -> Option<NodeId>;
 
     /// Reaction to `m` failed transmissions toward one neighbor.
     fn on_failure(&self) -> FailureResponse;

@@ -66,9 +66,7 @@ impl MultipathPolicy {
     /// The pinned routes for one `(publisher, subscriber)` pair.
     #[must_use]
     pub fn routes_for(&self, publisher: NodeId, subscriber: NodeId) -> Option<&[Vec<NodeId>]> {
-        self.routes
-            .get(&(publisher, subscriber))
-            .map(Vec::as_slice)
+        self.routes.get(&(publisher, subscriber)).map(Vec::as_slice)
     }
 }
 
@@ -89,15 +87,13 @@ impl NextHopPolicy for MultipathPolicy {
                     MultipathSelection::TopFiveOverlap => {
                         multipath_pair(ctx.topology, spec.publisher, sub.subscriber)
                     }
-                    MultipathSelection::EdgeDisjoint => {
-                        edge_disjoint_pair(
-                            ctx.topology,
-                            spec.publisher,
-                            sub.subscriber,
-                            Metric::Delay,
-                        )
-                        .map(|p| (p.primary, p.secondary))
-                    }
+                    MultipathSelection::EdgeDisjoint => edge_disjoint_pair(
+                        ctx.topology,
+                        spec.publisher,
+                        sub.subscriber,
+                        Metric::Delay,
+                    )
+                    .map(|p| (p.primary, p.secondary)),
                 };
                 let Some((primary, secondary)) = pair else {
                     continue;
@@ -189,8 +185,8 @@ mod tests {
         let cfg = RuntimeConfig::paper(SimDuration::from_secs(30), 1);
         let mp = OverlayRuntime::new(&topo, &wl, failure, LossModel::new(0.0), cfg)
             .run(&mut multipath());
-        let dt = OverlayRuntime::new(&topo, &wl, failure, LossModel::new(0.0), cfg)
-            .run(&mut d_tree());
+        let dt =
+            OverlayRuntime::new(&topo, &wl, failure, LossModel::new(0.0), cfg).run(&mut d_tree());
         assert!((mp.delivery_ratio() - 1.0).abs() < 1e-12);
         assert!(
             mp.packets_per_subscriber() > 1.7 * dt.packets_per_subscriber(),
@@ -207,8 +203,8 @@ mod tests {
         let cfg = RuntimeConfig::paper(SimDuration::from_secs(120), 2);
         let mp = OverlayRuntime::new(&topo, &wl, failure, LossModel::new(1e-4), cfg)
             .run(&mut multipath());
-        let dt = OverlayRuntime::new(&topo, &wl, failure, LossModel::new(1e-4), cfg)
-            .run(&mut d_tree());
+        let dt =
+            OverlayRuntime::new(&topo, &wl, failure, LossModel::new(1e-4), cfg).run(&mut d_tree());
         assert!(
             mp.delivery_ratio() > dt.delivery_ratio(),
             "multipath {} must beat D-Tree {} under failures",
@@ -244,11 +240,14 @@ mod tests {
         let cfg = RuntimeConfig::paper(SimDuration::from_secs(60), 5);
         let mut paper = multipath();
         let mut disjoint = multipath_disjoint();
-        assert_eq!(disjoint.policy().selection(), MultipathSelection::EdgeDisjoint);
-        let lp = OverlayRuntime::new(&topo, &wl, failure, LossModel::new(1e-4), cfg)
-            .run(&mut paper);
-        let ld = OverlayRuntime::new(&topo, &wl, failure, LossModel::new(1e-4), cfg)
-            .run(&mut disjoint);
+        assert_eq!(
+            disjoint.policy().selection(),
+            MultipathSelection::EdgeDisjoint
+        );
+        let lp =
+            OverlayRuntime::new(&topo, &wl, failure, LossModel::new(1e-4), cfg).run(&mut paper);
+        let ld =
+            OverlayRuntime::new(&topo, &wl, failure, LossModel::new(1e-4), cfg).run(&mut disjoint);
         // Every disjoint pair shares zero links, so its delivery ratio must
         // at least match the heuristic's (up to sampling noise).
         assert!(
@@ -260,8 +259,7 @@ mod tests {
         // Routes really are disjoint.
         for spec in wl.topics() {
             for sub in &spec.subscriptions {
-                if let Some(routes) = disjoint.policy().routes_for(spec.publisher, sub.subscriber)
-                {
+                if let Some(routes) = disjoint.policy().routes_for(spec.publisher, sub.subscriber) {
                     if routes.len() == 2 {
                         let shared: Vec<_> = routes[0]
                             .windows(2)

@@ -120,7 +120,7 @@ mod tests {
     use dcrd_net::topology::{full_mesh, DelayRange};
     use dcrd_net::Topology;
     use dcrd_pubsub::runtime::{OverlayRuntime, RuntimeConfig};
-    
+
     use dcrd_pubsub::workload::{Workload, WorkloadConfig};
     use dcrd_sim::rng::rng_for;
     use dcrd_sim::SimDuration;
@@ -201,10 +201,10 @@ mod tests {
         let (topo, wl) = mesh_and_workload(4);
         let failure = FailureModel::links_only(LinkFailureModel::new(0.08, 11));
         let cfg = RuntimeConfig::paper(SimDuration::from_secs(120), 4);
-        let r = OverlayRuntime::new(&topo, &wl, failure, LossModel::new(1e-4), cfg)
-            .run(&mut r_tree());
-        let d = OverlayRuntime::new(&topo, &wl, failure, LossModel::new(1e-4), cfg)
-            .run(&mut d_tree());
+        let r =
+            OverlayRuntime::new(&topo, &wl, failure, LossModel::new(1e-4), cfg).run(&mut r_tree());
+        let d =
+            OverlayRuntime::new(&topo, &wl, failure, LossModel::new(1e-4), cfg).run(&mut d_tree());
         assert!(
             r.delivery_ratio() >= d.delivery_ratio(),
             "R-Tree {} should not lose to D-Tree {} in a mesh",

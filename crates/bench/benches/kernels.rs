@@ -51,7 +51,15 @@ fn bench_graph(c: &mut Criterion) {
             b.iter(|| black_box(dijkstra(t, t.node(0), Metric::Delay)))
         });
         group.bench_with_input(BenchmarkId::new("yen_k5", n), &topo, |b, t| {
-            b.iter(|| black_box(k_shortest_paths(t, t.node(0), t.node(n / 2), 5, Metric::Delay)))
+            b.iter(|| {
+                black_box(k_shortest_paths(
+                    t,
+                    t.node(0),
+                    t.node(n / 2),
+                    5,
+                    Metric::Delay,
+                ))
+            })
         });
     }
     group.finish();
@@ -124,7 +132,14 @@ fn bench_disjoint(c: &mut Criterion) {
     for n in [20usize, 80] {
         let topo = random_connected(n, 8, DelayRange::PAPER, &mut rng_for(4, "bench"));
         group.bench_with_input(BenchmarkId::new("bhandari", n), &topo, |b, t| {
-            b.iter(|| black_box(edge_disjoint_pair(t, t.node(0), t.node(n / 2), Metric::Delay)))
+            b.iter(|| {
+                black_box(edge_disjoint_pair(
+                    t,
+                    t.node(0),
+                    t.node(n / 2),
+                    Metric::Delay,
+                ))
+            })
         });
         group.bench_with_input(BenchmarkId::new("paper_top5", n), &topo, |b, t| {
             b.iter(|| black_box(dcrd_net::paths::multipath_pair(t, t.node(0), t.node(n / 2))))
@@ -139,7 +154,10 @@ fn bench_event_queue(c: &mut Criterion) {
             let mut q: EventQueue<u64> = EventQueue::with_capacity(10_000);
             for i in 0..10_000u64 {
                 // Pseudo-shuffled timestamps.
-                q.schedule(SimTime::from_micros(i.wrapping_mul(2_654_435_761) % 1_000_000_000), i);
+                q.schedule(
+                    SimTime::from_micros(i.wrapping_mul(2_654_435_761) % 1_000_000_000),
+                    i,
+                );
             }
             let mut acc = 0u64;
             while let Some((_, e)) = q.pop() {

@@ -99,12 +99,11 @@ mod tests {
         let topo = random_connected(15, 5, DelayRange::PAPER, &mut rng);
         let workload = Workload::generate(&topo, &WorkloadConfig::PAPER, &mut rng);
         let estimates = analytic_estimates(&topo, 0.0, 0.0);
-        let predictions =
-            predict_workload(&topo, &estimates, 1, &workload, &DcrdConfig::default());
+        let predictions = predict_workload(&topo, &estimates, 1, &workload, &DcrdConfig::default());
         assert_eq!(predictions.len(), workload.num_subscriptions());
         for p in &predictions {
-            let best = shortest_path(&topo, p.publisher, p.subscriber, Metric::Delay)
-                .expect("connected");
+            let best =
+                shortest_path(&topo, p.publisher, p.subscriber, Metric::Delay).expect("connected");
             let expected = p.expected_delay.expect("reachable");
             assert_eq!(
                 expected.as_micros(),
@@ -159,8 +158,7 @@ mod tests {
         let topo = random_connected(15, 5, DelayRange::PAPER, &mut rng);
         let workload = Workload::generate(&topo, &WorkloadConfig::PAPER, &mut rng);
         let estimates = analytic_estimates(&topo, 0.08, 1e-4);
-        let predictions =
-            predict_workload(&topo, &estimates, 1, &workload, &DcrdConfig::default());
+        let predictions = predict_workload(&topo, &estimates, 1, &workload, &DcrdConfig::default());
         let mean_r: f64 = predictions
             .iter()
             .map(|p| p.expected_delivery_ratio)
@@ -196,8 +194,7 @@ mod tests {
             subscriptions: vec![Subscription::new(topo.node(2), SimDuration::from_secs(1))],
         }]);
         let estimates = analytic_estimates(&topo, 0.0, 0.0);
-        let predictions =
-            predict_workload(&topo, &estimates, 1, &workload, &DcrdConfig::default());
+        let predictions = predict_workload(&topo, &estimates, 1, &workload, &DcrdConfig::default());
         let p = &predictions[0];
         assert_eq!(p.expected_delay, None);
         assert_eq!(p.expected_delivery_ratio, 0.0);

@@ -24,6 +24,88 @@ pub enum PersistenceMode {
     },
 }
 
+impl PersistenceMode {
+    /// The `(max_retries, retry_after_ms)` parameters of the retry mode, or
+    /// `None` when persistence is disabled — a typed accessor instead of
+    /// pattern-matching (and panicking) at every use site.
+    #[must_use]
+    pub fn retry_params(&self) -> Option<(u32, u64)> {
+        match *self {
+            PersistenceMode::Disabled => None,
+            PersistenceMode::Retry {
+                max_retries,
+                retry_after_ms,
+            } => Some((max_retries, retry_after_ms)),
+        }
+    }
+}
+
+/// How a broker times out a hop-by-hop ACK.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum TimeoutPolicy {
+    /// The paper's timer: a fixed `ack_timeout_factor × α` plus slack,
+    /// identical for every transmission on a link.
+    #[default]
+    Fixed,
+    /// Jacobson-style SRTT/RTTVAR estimation per directed link with capped
+    /// exponential backoff on retransmission. Timers adapt to measured ACK
+    /// round trips instead of the monitored `α`, so a congested or gray
+    /// link stops being probed at a rate its real latency cannot sustain.
+    Adaptive(AdaptiveTimeoutConfig),
+}
+
+/// Parameters of the adaptive ACK-timeout estimator.
+///
+/// The retransmission timeout follows the classic TCP form: `RTO = SRTT +
+/// max(4 × RTTVAR, granularity)` plus the fixed ACK slack, with SRTT/RTTVAR
+/// updated by gains 1/8 and 1/4 from ACK samples. Samples are only taken
+/// from transmissions that were never retransmitted (Karn's rule); each
+/// retransmission doubles the pending timer up to `max_rto_ms`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveTimeoutConfig {
+    /// Lower clamp on the computed RTO, in milliseconds.
+    pub min_rto_ms: u64,
+    /// Upper clamp on the computed RTO and on the backoff doubling, in
+    /// milliseconds.
+    pub max_rto_ms: u64,
+}
+
+impl Default for AdaptiveTimeoutConfig {
+    fn default() -> Self {
+        AdaptiveTimeoutConfig {
+            min_rto_ms: 2,
+            max_rto_ms: 500,
+        }
+    }
+}
+
+/// Per-neighbor circuit breaker: a neighbor that keeps timing out is
+/// temporarily demoted from the sending lists so it stops consuming the
+/// `m`-retransmission budget, then probed back in after a cooldown.
+///
+/// Demotion never applies to the upstream hop (the only way back), so the
+/// breaker cannot strand a packet that rerouting could still save.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BreakerConfig {
+    /// Consecutive `m`-exhausted timeouts on one neighbor before demotion.
+    pub threshold: u32,
+    /// First demotion cooldown, in milliseconds (the paper's failure epochs
+    /// last one second, so ≈1000 ms is natural).
+    pub cooldown_ms: u64,
+    /// Cap on the cooldown as repeated demotions double it.
+    pub max_cooldown_ms: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            threshold: 3,
+            cooldown_ms: 1000,
+            max_cooldown_ms: 8000,
+        }
+    }
+}
+
 /// Convergence parameters for the distributed `⟨d, r⟩` computation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PropagationConfig {
@@ -68,6 +150,12 @@ pub struct DcrdConfig {
     pub persistence: PersistenceMode,
     /// Convergence parameters for the routing-table computation.
     pub propagation: PropagationConfig,
+    /// ACK-timeout policy (the paper's fixed timer by default; adaptive
+    /// SRTT/RTTVAR with backoff for chaos-hardened runs).
+    pub timeout_policy: TimeoutPolicy,
+    /// Per-neighbor circuit breaker (`None` disables it — the paper's
+    /// behavior).
+    pub breaker: Option<BreakerConfig>,
 }
 
 impl Default for DcrdConfig {
@@ -79,6 +167,22 @@ impl Default for DcrdConfig {
             max_path_factor: 4,
             persistence: PersistenceMode::Disabled,
             propagation: PropagationConfig::default(),
+            timeout_policy: TimeoutPolicy::Fixed,
+            breaker: None,
+        }
+    }
+}
+
+impl DcrdConfig {
+    /// The chaos-hardened variant: adaptive ACK timeouts plus the neighbor
+    /// circuit breaker. Use this under partitions, crash-restart brokers,
+    /// or gray links; the paper's defaults remain untouched otherwise.
+    #[must_use]
+    pub fn chaos_hardened() -> Self {
+        DcrdConfig {
+            timeout_policy: TimeoutPolicy::Adaptive(AdaptiveTimeoutConfig::default()),
+            breaker: Some(BreakerConfig::default()),
+            ..DcrdConfig::default()
         }
     }
 }
@@ -95,6 +199,8 @@ mod tests {
         assert_eq!(c.persistence, PersistenceMode::Disabled);
         assert!(c.max_attempts_per_node >= 16);
         assert!(c.propagation.max_rounds >= 10);
+        assert_eq!(c.timeout_policy, TimeoutPolicy::Fixed);
+        assert!(c.breaker.is_none());
     }
 
     #[test]
@@ -103,15 +209,23 @@ mod tests {
             max_retries: 5,
             retry_after_ms: 1000,
         };
-        match p {
-            PersistenceMode::Retry {
-                max_retries,
-                retry_after_ms,
-            } => {
-                assert_eq!(max_retries, 5);
-                assert_eq!(retry_after_ms, 1000);
-            }
-            PersistenceMode::Disabled => panic!("wrong variant"),
-        }
+        assert_eq!(p.retry_params(), Some((5, 1000)));
+        assert_eq!(PersistenceMode::Disabled.retry_params(), None);
+        assert_eq!(PersistenceMode::default().retry_params(), None);
+    }
+
+    #[test]
+    fn chaos_hardened_enables_adaptive_timers_and_breaker() {
+        let c = DcrdConfig::chaos_hardened();
+        let TimeoutPolicy::Adaptive(adaptive) = c.timeout_policy else {
+            panic!("chaos_hardened must use adaptive timeouts");
+        };
+        assert!(adaptive.min_rto_ms < adaptive.max_rto_ms);
+        let breaker = c.breaker.expect("chaos_hardened must enable the breaker");
+        assert!(breaker.threshold >= 1);
+        assert!(breaker.cooldown_ms <= breaker.max_cooldown_ms);
+        // Everything else stays at the paper's defaults.
+        assert_eq!(c.ordering, DcrdConfig::default().ordering);
+        assert_eq!(c.max_path_factor, DcrdConfig::default().max_path_factor);
     }
 }

@@ -59,5 +59,8 @@ pub mod reliability;
 pub mod router;
 pub mod sending_list;
 
-pub use config::{DcrdConfig, OrderingPolicy, PersistenceMode};
+pub use config::{
+    AdaptiveTimeoutConfig, BreakerConfig, DcrdConfig, OrderingPolicy, PersistenceMode,
+    TimeoutPolicy,
+};
 pub use router::DcrdStrategy;

@@ -185,7 +185,10 @@ mod tests {
             NodeId::new(3),
             30_000.0,
             0.95,
-            DrPair { d: 10_000.0, r: 0.9 },
+            DrPair {
+                d: 10_000.0,
+                r: 0.9,
+            },
         );
         assert_eq!(c.neighbor, NodeId::new(3));
         assert!((c.d - 40_000.0).abs() < 1e-9);
@@ -205,7 +208,10 @@ mod tests {
         let fast_first = combine(&[cand(10.0, 0.9), cand(1000.0, 0.9)]);
         let slow_first = combine(&[cand(1000.0, 0.9), cand(10.0, 0.9)]);
         assert!(slow_first.d > fast_first.d);
-        assert!((slow_first.r - fast_first.r).abs() < 1e-12, "r is order-independent");
+        assert!(
+            (slow_first.r - fast_first.r).abs() < 1e-12,
+            "r is order-independent"
+        );
     }
 
     proptest! {

@@ -164,10 +164,17 @@ pub fn compute_tables_with_distances(
                         if node == subscriber {
                             return Vec::new();
                         }
-                        node_list(topo, &link_stats, &params, node, requirements[i], config.ordering)
-                            .iter()
-                            .map(|c| c.neighbor)
-                            .collect()
+                        node_list(
+                            topo,
+                            &link_stats,
+                            &params,
+                            node,
+                            requirements[i],
+                            config.ordering,
+                        )
+                        .iter()
+                        .map(|c| c.neighbor)
+                        .collect()
                     })
                     .collect(),
             );
@@ -181,9 +188,14 @@ pub fn compute_tables_with_distances(
                 continue;
             }
             let list = match &frozen {
-                None => {
-                    node_list(topo, &link_stats, &params, node, requirements[i], config.ordering)
-                }
+                None => node_list(
+                    topo,
+                    &link_stats,
+                    &params,
+                    node,
+                    requirements[i],
+                    config.ordering,
+                ),
                 Some(orders) => frozen_list(topo, &link_stats, &params, node, &orders[i]),
             };
             let p = node_params(&list);
@@ -208,9 +220,14 @@ pub fn compute_tables_with_distances(
                 return Vec::new();
             }
             match &frozen {
-                None => {
-                    node_list(topo, &link_stats, &params, node, requirements[i], config.ordering)
-                }
+                None => node_list(
+                    topo,
+                    &link_stats,
+                    &params,
+                    node,
+                    requirements[i],
+                    config.ordering,
+                ),
                 Some(orders) => frozen_list(topo, &link_stats, &params, node, &orders[i]),
             }
         })
@@ -240,7 +257,14 @@ pub fn compute_tables(
 ) -> SubscriberTables {
     let dist = dijkstra(topo, publisher, Metric::Delay);
     compute_tables_with_distances(
-        topo, estimates, m, publisher, &dist, subscriber, deadline_us, config,
+        topo,
+        estimates,
+        m,
+        publisher,
+        &dist,
+        subscriber,
+        deadline_us,
+        config,
     )
 }
 
@@ -310,7 +334,15 @@ mod tests {
         // 0 -10ms- 1 -10ms- 2 ; subscriber 2, publisher 0, lossless.
         let topo = line(3, SimDuration::from_millis(10));
         let est = analytic_estimates(&topo, 0.0, 0.0);
-        let t = compute_tables(&topo, &est, 1, topo.node(0), topo.node(2), 100.0 * MS, &cfg());
+        let t = compute_tables(
+            &topo,
+            &est,
+            1,
+            topo.node(0),
+            topo.node(2),
+            100.0 * MS,
+            &cfg(),
+        );
         assert!(t.converged());
         assert_eq!(t.params(topo.node(2)), DrPair::SUBSCRIBER);
         let p1 = t.params(topo.node(1));
@@ -332,7 +364,15 @@ mod tests {
     fn lossy_links_reduce_r_and_grow_lists() {
         let topo = ring(4, SimDuration::from_millis(10));
         let est = analytic_estimates(&topo, 0.1, 0.0);
-        let t = compute_tables(&topo, &est, 1, topo.node(0), topo.node(2), 200.0 * MS, &cfg());
+        let t = compute_tables(
+            &topo,
+            &est,
+            1,
+            topo.node(0),
+            topo.node(2),
+            200.0 * MS,
+            &cfg(),
+        );
         assert!(t.converged());
         let p0 = t.params(topo.node(0));
         // Two disjoint 2-hop routes, each with per-link γ=0.9; with
@@ -351,7 +391,15 @@ mod tests {
         // subscriber = node 1 (10ms away clockwise, 50ms the other way).
         // Deadline 15ms: the counter-clockwise route (d=50ms) must be
         // filtered everywhere it would exceed the budget.
-        let t = compute_tables(&topo, &est, 1, topo.node(0), topo.node(1), 15.0 * MS, &cfg());
+        let t = compute_tables(
+            &topo,
+            &est,
+            1,
+            topo.node(0),
+            topo.node(1),
+            15.0 * MS,
+            &cfg(),
+        );
         let l0 = t.sending_list(topo.node(0));
         assert_eq!(l0.len(), 1, "only the direct neighbor meets 15ms");
         assert_eq!(l0[0].neighbor, topo.node(1));
@@ -362,7 +410,15 @@ mod tests {
         let mut rng = rng_for(1, "prop");
         let topo = full_mesh(6, DelayRange::PAPER, &mut rng);
         let est = analytic_estimates(&topo, 0.02, 1e-4);
-        let t = compute_tables(&topo, &est, 1, topo.node(0), topo.node(3), 500.0 * MS, &cfg());
+        let t = compute_tables(
+            &topo,
+            &est,
+            1,
+            topo.node(0),
+            topo.node(3),
+            500.0 * MS,
+            &cfg(),
+        );
         assert!(t.sending_list(topo.node(3)).is_empty());
         assert_eq!(t.params(topo.node(3)), DrPair::SUBSCRIBER);
         assert_eq!(t.subscriber(), topo.node(3));
@@ -374,7 +430,15 @@ mod tests {
         let mut rng = rng_for(2, "prop");
         let topo = full_mesh(8, DelayRange::PAPER, &mut rng);
         let est = analytic_estimates(&topo, 0.06, 1e-4);
-        let t = compute_tables(&topo, &est, 1, topo.node(0), topo.node(5), 400.0 * MS, &cfg());
+        let t = compute_tables(
+            &topo,
+            &est,
+            1,
+            topo.node(0),
+            topo.node(5),
+            400.0 * MS,
+            &cfg(),
+        );
         assert!(t.converged());
         for node in topo.nodes() {
             let list = t.sending_list(node);
@@ -402,7 +466,15 @@ mod tests {
         b.link(nodes[0], nodes[1], SimDuration::from_millis(10));
         let topo = b.build(); // node 2 isolated
         let est = analytic_estimates(&topo, 0.0, 0.0);
-        let t = compute_tables(&topo, &est, 1, topo.node(0), topo.node(2), 100.0 * MS, &cfg());
+        let t = compute_tables(
+            &topo,
+            &est,
+            1,
+            topo.node(0),
+            topo.node(2),
+            100.0 * MS,
+            &cfg(),
+        );
         assert!(!t.params(topo.node(0)).reachable());
         assert!(!t.params(topo.node(1)).reachable());
         assert!(t.sending_list(topo.node(0)).is_empty());
@@ -416,9 +488,21 @@ mod tests {
             let mut rng = rng_for(seed, "prop-rand");
             let topo = random_connected(20, 5, DelayRange::PAPER, &mut rng);
             let est = analytic_estimates(&topo, 0.04, 1e-4);
-            let t = compute_tables(&topo, &est, 1, topo.node(0), topo.node(10), 600.0 * MS, &cfg());
+            let t = compute_tables(
+                &topo,
+                &est,
+                1,
+                topo.node(0),
+                topo.node(10),
+                600.0 * MS,
+                &cfg(),
+            );
             assert!(t.converged(), "seed {seed} did not converge");
-            assert!(t.rounds_used() < 60, "seed {seed} used {} rounds", t.rounds_used());
+            assert!(
+                t.rounds_used() < 60,
+                "seed {seed} used {} rounds",
+                t.rounds_used()
+            );
             // Publisher must be able to reach the subscriber.
             assert!(t.params(topo.node(0)).reachable());
         }
@@ -471,8 +555,24 @@ mod tests {
         let mut rng = rng_for(3, "prop-det");
         let topo = random_connected(12, 4, DelayRange::PAPER, &mut rng);
         let est = analytic_estimates(&topo, 0.05, 1e-4);
-        let a = compute_tables(&topo, &est, 1, topo.node(1), topo.node(8), 500.0 * MS, &cfg());
-        let b = compute_tables(&topo, &est, 1, topo.node(1), topo.node(8), 500.0 * MS, &cfg());
+        let a = compute_tables(
+            &topo,
+            &est,
+            1,
+            topo.node(1),
+            topo.node(8),
+            500.0 * MS,
+            &cfg(),
+        );
+        let b = compute_tables(
+            &topo,
+            &est,
+            1,
+            topo.node(1),
+            topo.node(8),
+            500.0 * MS,
+            &cfg(),
+        );
         assert_eq!(a, b);
     }
 }

@@ -23,13 +23,13 @@ use dcrd_net::estimate::LinkEstimates;
 use dcrd_net::{NodeId, Topology};
 use dcrd_pubsub::packet::{Packet, PacketId};
 use dcrd_pubsub::strategy::{
-    ack_timeout, Actions, RoutingStrategy, RunParams, SetupContext, TimerKey,
+    ack_timeout, Actions, RoutingStrategy, RunParams, SetupContext, TimerKey, ACK_TIMEOUT_SLACK,
 };
 use dcrd_pubsub::topic::TopicId;
 use dcrd_pubsub::workload::Workload;
 use dcrd_sim::{SimDuration, SimTime};
 
-use crate::config::{DcrdConfig, PersistenceMode};
+use crate::config::{DcrdConfig, PersistenceMode, TimeoutPolicy};
 use crate::propagation::{compute_tables_with_distances, SubscriberTables};
 
 /// Tag space reserved for persistence-retry timers (top bit set).
@@ -46,6 +46,48 @@ struct Pending {
     /// True when this send reroutes to the upstream node rather than down a
     /// sending list.
     is_upstream: bool,
+    /// When the most recent transmission went out (RTT sampling).
+    sent_at: SimTime,
+    /// Whether any retransmission happened — Karn's rule: an ACK for a
+    /// retransmitted packet is ambiguous and must not feed the estimator.
+    retransmitted: bool,
+    /// The timeout armed for the most recent transmission (doubled by the
+    /// adaptive policy's backoff on each retransmission).
+    timeout: SimDuration,
+}
+
+/// Jacobson-style smoothed round-trip state for one directed link, in
+/// microseconds (gains 1/8 for SRTT, 1/4 for RTTVAR).
+#[derive(Debug, Clone, Copy)]
+struct RttEstimate {
+    srtt: f64,
+    rttvar: f64,
+}
+
+impl RttEstimate {
+    fn first(sample: f64) -> Self {
+        RttEstimate {
+            srtt: sample,
+            rttvar: sample / 2.0,
+        }
+    }
+
+    fn update(&mut self, sample: f64) {
+        self.rttvar = 0.75 * self.rttvar + 0.25 * (self.srtt - sample).abs();
+        self.srtt = 0.875 * self.srtt + 0.125 * sample;
+    }
+}
+
+/// Circuit-breaker bookkeeping for one directed `(node, neighbor)` pair.
+#[derive(Debug, Clone, Copy, Default)]
+struct Suspicion {
+    /// Consecutive `m`-exhausted timeouts without an intervening ACK.
+    consecutive: u32,
+    /// Demotions served so far (doubles the cooldown each time).
+    demotions: u32,
+    /// While set and in the future, the neighbor is skipped by
+    /// `choose_next_hop`.
+    demoted_until: Option<SimTime>,
 }
 
 /// Per-(message, broker) forwarding state. Created when a broker takes
@@ -128,6 +170,15 @@ pub struct DcrdStrategy {
     /// (many-to-many pub/sub), each with its own deadline geometry.
     tables: HashMap<(TopicId, NodeId, NodeId), SubscriberTables>,
     inflight: HashMap<(PacketId, NodeId), NodeState>,
+    /// Measured ACK round trips per directed link (adaptive timeouts only).
+    rtt: HashMap<(NodeId, NodeId), RttEstimate>,
+    /// Circuit-breaker state per directed link (breaker enabled only).
+    suspicion: HashMap<(NodeId, NodeId), Suspicion>,
+    /// `(message, subscriber)` pairs already handed to the application —
+    /// the durable subscriber-side delivery log that makes local delivery
+    /// idempotent even when duplicate copies converge (lost ACKs, crash
+    /// recovery).
+    delivered: HashSet<(PacketId, NodeId)>,
     next_tag: u64,
     next_persist_tag: u64,
 }
@@ -145,6 +196,9 @@ impl DcrdStrategy {
             workload: None,
             tables: HashMap::new(),
             inflight: HashMap::new(),
+            rtt: HashMap::new(),
+            suspicion: HashMap::new(),
+            delivered: HashSet::new(),
             next_tag: 0,
             next_persist_tag: PERSIST_TAG_BASE,
         }
@@ -178,7 +232,8 @@ impl DcrdStrategy {
         let workload = self.workload.as_ref().expect("setup ran");
         self.tables.clear();
         for spec in workload.topics() {
-            let dist = dcrd_net::paths::dijkstra(topo, spec.publisher, dcrd_net::paths::Metric::Delay);
+            let dist =
+                dcrd_net::paths::dijkstra(topo, spec.publisher, dcrd_net::paths::Metric::Delay);
             for sub in &spec.subscriptions {
                 let tables = compute_tables_with_distances(
                     topo,
@@ -205,18 +260,118 @@ impl DcrdStrategy {
         est.get(edge).alpha
     }
 
+    /// The ACK timeout for a fresh transmission `node → to`. Fixed policy:
+    /// the paper's `factor × α + slack`. Adaptive policy: `SRTT +
+    /// max(4 × RTTVAR, min_rto) + slack`, clamped to `[min_rto, max_rto]`,
+    /// falling back to the fixed formula until the first sample arrives.
+    fn rto(&self, node: NodeId, to: NodeId) -> SimDuration {
+        match self.config.timeout_policy {
+            TimeoutPolicy::Fixed => ack_timeout(self.alpha(node, to), &self.params),
+            TimeoutPolicy::Adaptive(cfg) => {
+                let min = SimDuration::from_millis(cfg.min_rto_ms);
+                let max = SimDuration::from_millis(cfg.max_rto_ms);
+                match self.rtt.get(&(node, to)) {
+                    Some(e) => {
+                        let var = SimDuration::from_micros((4.0 * e.rttvar).round() as u64);
+                        let rto = SimDuration::from_micros(e.srtt.round() as u64) + var.max(min);
+                        (rto + ACK_TIMEOUT_SLACK).clamp(min, max)
+                    }
+                    None => ack_timeout(self.alpha(node, to), &self.params).clamp(min, max),
+                }
+            }
+        }
+    }
+
+    /// The timeout for a retransmission whose previous timer was
+    /// `previous`: the adaptive policy doubles it (capped at `max_rto`),
+    /// the fixed policy re-arms the same fixed timer.
+    fn backoff_timeout(&self, node: NodeId, to: NodeId, previous: SimDuration) -> SimDuration {
+        match self.config.timeout_policy {
+            TimeoutPolicy::Fixed => ack_timeout(self.alpha(node, to), &self.params),
+            TimeoutPolicy::Adaptive(cfg) => {
+                (previous + previous).min(SimDuration::from_millis(cfg.max_rto_ms))
+            }
+        }
+    }
+
+    /// Feeds an ACK for a transmission `node → to` back into the RTT
+    /// estimator (Karn's rule: never from a retransmitted send) and clears
+    /// the neighbor's suspicion record.
+    fn record_ack_feedback(
+        &mut self,
+        node: NodeId,
+        to: NodeId,
+        sent_at: SimTime,
+        retransmitted: bool,
+        now: SimTime,
+    ) {
+        if matches!(self.config.timeout_policy, TimeoutPolicy::Adaptive(_)) && !retransmitted {
+            let sample = now.saturating_since(sent_at).as_micros() as f64;
+            match self.rtt.get_mut(&(node, to)) {
+                Some(e) => e.update(sample),
+                None => {
+                    self.rtt.insert((node, to), RttEstimate::first(sample));
+                }
+            }
+        }
+        if self.config.breaker.is_some() {
+            self.suspicion.remove(&(node, to));
+        }
+    }
+
+    /// Counts one `m`-exhausted timeout on `node → to` and demotes the
+    /// neighbor once the threshold of consecutive exhaustions is reached.
+    /// The cooldown doubles with every repeated demotion, capped.
+    fn record_exhaustion(&mut self, node: NodeId, to: NodeId, now: SimTime) {
+        let Some(cfg) = self.config.breaker else {
+            return;
+        };
+        let s = self.suspicion.entry((node, to)).or_default();
+        s.consecutive += 1;
+        if s.consecutive >= cfg.threshold {
+            let factor = 1u64 << s.demotions.min(16);
+            let cooldown = cfg
+                .cooldown_ms
+                .saturating_mul(factor)
+                .min(cfg.max_cooldown_ms);
+            s.demoted_until = Some(now + SimDuration::from_millis(cooldown));
+            s.demotions += 1;
+            s.consecutive = 0;
+        }
+    }
+
+    /// Whether the breaker currently holds `neighbor` out of `node`'s
+    /// sending lists.
+    fn is_demoted(&self, node: NodeId, neighbor: NodeId, now: SimTime) -> bool {
+        self.config.breaker.is_some()
+            && self
+                .suspicion
+                .get(&(node, neighbor))
+                .and_then(|s| s.demoted_until)
+                .is_some_and(|until| now < until)
+    }
+
     /// Picks the next hop for `dest` at `node`, honoring the sending list,
-    /// the packet's routing path, the per-destination tried set, and the
-    /// upstream fallback. `None` means "give up / park".
-    fn choose_next_hop(&self, node: NodeId, state: &NodeState, dest: NodeId) -> Option<(NodeId, bool)> {
-        let tables =
-            self.tables
-                .get(&(state.packet.topic, state.packet.publisher, dest))?;
+    /// the packet's routing path, the per-destination tried set, the
+    /// circuit breaker, and the upstream fallback. `None` means "give up /
+    /// park". The upstream hop is exempt from the breaker — it is the only
+    /// way back.
+    fn choose_next_hop(
+        &self,
+        node: NodeId,
+        state: &NodeState,
+        dest: NodeId,
+        now: SimTime,
+    ) -> Option<(NodeId, bool)> {
+        let tables = self
+            .tables
+            .get(&(state.packet.topic, state.packet.publisher, dest))?;
         let tried = state.tried.get(&dest);
         let candidate = tables.sending_list(node).iter().find(|c| {
             c.neighbor != node
                 && !state.packet.visited(c.neighbor)
                 && !tried.is_some_and(|t| t.contains(&c.neighbor))
+                && !self.is_demoted(node, c.neighbor, now)
         });
         if let Some(c) = candidate {
             return Some((c.neighbor, false));
@@ -243,7 +398,10 @@ impl DcrdStrategy {
             || state.packet.path.len() >= path_budget;
 
         for &dest in &state.packet.destinations {
-            if state.done.contains(&dest) || state.covered_by_pending(dest) || state.parked.contains(&dest) {
+            if state.done.contains(&dest)
+                || state.covered_by_pending(dest)
+                || state.parked.contains(&dest)
+            {
                 continue;
             }
             // Park instead of giving up when the persistence extension has
@@ -262,7 +420,7 @@ impl DcrdStrategy {
                 }
                 continue;
             }
-            match self.choose_next_hop(node, state, dest) {
+            match self.choose_next_hop(node, state, dest, now) {
                 Some((hop, is_upstream)) => {
                     if let Some(entry) = assignments
                         .iter_mut()
@@ -290,7 +448,7 @@ impl DcrdStrategy {
             self.next_tag += 1;
             let state = self.inflight.get_mut(&(id, node)).expect("state exists");
             let forwarded = state.packet.forward(node, dests, tag);
-            let timeout = ack_timeout(self.alpha(node, hop), &self.params);
+            let timeout = self.rto(node, hop);
             let state = self.inflight.get_mut(&(id, node)).expect("state exists");
             state.attempts += 1;
             new_pendings.push((
@@ -300,6 +458,9 @@ impl DcrdStrategy {
                     packet: forwarded,
                     sends: 1,
                     is_upstream,
+                    sent_at: now,
+                    retransmitted: false,
+                    timeout,
                 },
                 now + timeout,
             ));
@@ -331,11 +492,15 @@ impl DcrdStrategy {
         }
     }
 
-    /// Handles local delivery and returns the destinations still needing
-    /// routing.
-    fn deliver_locally(node: NodeId, packet: &mut Packet, out: &mut Actions) {
+    /// Handles local delivery (at most once per `(message, subscriber)`
+    /// pair — duplicate copies born from lost ACKs or crash recovery are
+    /// absorbed here) and strips this node from the destinations still
+    /// needing routing.
+    fn deliver_locally(&mut self, node: NodeId, packet: &mut Packet, out: &mut Actions) {
         if let Some(pos) = packet.destinations.iter().position(|&d| d == node) {
-            out.deliver(packet.id);
+            if self.delivered.insert((packet.id, node)) {
+                out.deliver(packet.id);
+            }
             packet.destinations.swap_remove(pos);
         }
     }
@@ -388,12 +553,13 @@ impl RoutingStrategy for DcrdStrategy {
     }
 
     fn on_publish(&mut self, node: NodeId, mut packet: Packet, now: SimTime, out: &mut Actions) {
-        Self::deliver_locally(node, &mut packet, out);
+        self.deliver_locally(node, &mut packet, out);
         if packet.destinations.is_empty() {
             return;
         }
         let id = packet.id;
-        self.inflight.insert((id, node), NodeState::new(packet, None));
+        self.inflight
+            .insert((id, node), NodeState::new(packet, None));
         self.process(node, id, now, out);
     }
 
@@ -405,7 +571,7 @@ impl RoutingStrategy for DcrdStrategy {
         now: SimTime,
         out: &mut Actions,
     ) {
-        Self::deliver_locally(node, &mut packet, out);
+        self.deliver_locally(node, &mut packet, out);
         if packet.destinations.is_empty() {
             return;
         }
@@ -454,7 +620,7 @@ impl RoutingStrategy for DcrdStrategy {
         node: NodeId,
         _to: NodeId,
         packet: &Packet,
-        _now: SimTime,
+        now: SimTime,
         out: &mut Actions,
     ) {
         let _ = out;
@@ -468,6 +634,7 @@ impl RoutingStrategy for DcrdStrategy {
             if state.finished() {
                 self.inflight.remove(&(packet.id, node));
             }
+            self.record_ack_feedback(node, p.to, p.sent_at, p.retransmitted, now);
         }
     }
 
@@ -496,26 +663,39 @@ impl RoutingStrategy for DcrdStrategy {
             return; // ACK already arrived; stale timer.
         };
         if p.sends < self.params.m {
-            // Retransmit on the same link (Eq. 1's m).
-            p.sends += 1;
+            // Retransmit on the same link (Eq. 1's m), backing the timer
+            // off under the adaptive policy.
             let packet = p.packet.clone();
             let to = p.to;
-            let timeout = ack_timeout(self.alpha(node, to), &self.params);
+            let previous = p.timeout;
+            let timeout = self.backoff_timeout(node, to, previous);
+            let state = self.inflight.get_mut(&(id, node)).expect("state exists");
+            let p = state
+                .pending
+                .get_mut(&key.tag)
+                .expect("pending checked above");
+            p.sends += 1;
+            p.retransmitted = true;
+            p.sent_at = now;
+            p.timeout = timeout;
+            state.attempts += 1;
             out.send(to, packet);
             out.set_timer(now + timeout, key);
-            let state = self.inflight.get_mut(&(id, node)).expect("state exists");
-            state.attempts += 1;
             return;
         }
         // Neighbor failed after m transmissions: mark tried and move on.
         // Upstream hops are exempt from the tried set — the upstream link is
         // the only way back, so it is retried (bounded by the attempts cap)
         // rather than written off.
-        let p = state.pending.remove(&key.tag).expect("pending checked above");
+        let p = state
+            .pending
+            .remove(&key.tag)
+            .expect("pending checked above");
         if !p.is_upstream {
             for dest in &p.packet.destinations {
                 state.tried.entry(*dest).or_default().insert(p.to);
             }
+            self.record_exhaustion(node, p.to, now);
         }
         self.process(node, id, now, out);
     }
@@ -524,6 +704,17 @@ impl RoutingStrategy for DcrdStrategy {
         self.estimates = Some(estimates.clone());
         let estimates = estimates.clone();
         self.rebuild_tables(&estimates);
+    }
+
+    fn on_restart(&mut self, node: NodeId, _now: SimTime, _out: &mut Actions) {
+        // A crash wipes the broker's volatile state: in-flight per-packet
+        // forwarding state, RTT estimates and breaker bookkeeping. Stale
+        // timers for the dropped state fire into the void (on_timer finds
+        // nothing and returns). The subscriber delivery log (`delivered`)
+        // and the routing tables are durable and survive.
+        self.inflight.retain(|&(_, holder), _| holder != node);
+        self.rtt.retain(|&(from, _), _| from != node);
+        self.suspicion.retain(|&(from, _), _| from != node);
     }
 }
 
@@ -735,6 +926,176 @@ mod tests {
             0,
             "all per-packet state must be reclaimed after ACKs"
         );
+    }
+
+    #[test]
+    fn chaos_hardened_matches_default_on_healthy_network() {
+        // With no chaos, no loss and no failures, the adaptive timers never
+        // fire and the breaker never trips: behavior is byte-identical to
+        // the paper's configuration.
+        let topo = line(4, SimDuration::from_millis(10));
+        let wl = one_topic_workload(&topo, 0, &[3], SimDuration::from_millis(90));
+        let log = run(&topo, &wl, 0.0, 0.0, 20, 1, DcrdConfig::chaos_hardened());
+        assert!((log.delivery_ratio() - 1.0).abs() < 1e-12);
+        assert!((log.qos_delivery_ratio() - 1.0).abs() < 1e-12);
+        assert!((log.packets_per_subscriber() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adaptive_timeouts_survive_paper_conditions() {
+        let mut rng = rng_for(4, "router");
+        let topo = full_mesh(10, DelayRange::PAPER, &mut rng);
+        let wl = Workload::generate(&topo, &WorkloadConfig::PAPER, &mut rng);
+        let log = run(&topo, &wl, 0.04, 1e-4, 60, 4, DcrdConfig::chaos_hardened());
+        assert!(
+            log.delivery_ratio() > 0.99,
+            "delivery ratio {}",
+            log.delivery_ratio()
+        );
+    }
+
+    #[test]
+    fn rtt_estimator_follows_samples_and_honors_karn() {
+        let mut s = DcrdStrategy::new(DcrdConfig::chaos_hardened());
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        // First sample: srtt = s, rttvar = s/2 →
+        // RTO = 30ms + max(4 × 15ms → capped…, min) — here 30 + 60 + slack,
+        // clamped to max_rto = 500ms.
+        s.record_ack_feedback(a, b, SimTime::ZERO, false, SimTime::from_millis(30));
+        let rto1 = s.rto(a, b);
+        assert_eq!(rto1, SimDuration::from_millis(91));
+        // A retransmitted send must not perturb the estimate (Karn).
+        s.record_ack_feedback(a, b, SimTime::ZERO, true, SimTime::from_secs(9));
+        assert_eq!(s.rto(a, b), rto1);
+        // Repeated identical samples shrink RTTVAR toward zero, so the RTO
+        // tightens toward srtt + min_rto + slack.
+        for _ in 0..200 {
+            s.record_ack_feedback(a, b, SimTime::ZERO, false, SimTime::from_millis(30));
+        }
+        let rto2 = s.rto(a, b);
+        assert!(rto2 < rto1);
+        assert_eq!(rto2, SimDuration::from_millis(33));
+        // Backoff doubles and caps at max_rto.
+        let doubled = s.backoff_timeout(a, b, rto2);
+        assert_eq!(doubled, SimDuration::from_millis(66));
+        let capped = s.backoff_timeout(a, b, SimDuration::from_millis(400));
+        assert_eq!(capped, SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn breaker_demotes_and_probes_back_in() {
+        let mut s = DcrdStrategy::new(DcrdConfig::chaos_hardened());
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        let t = SimTime::from_secs(10);
+        // Below the threshold: still usable.
+        s.record_exhaustion(a, b, t);
+        s.record_exhaustion(a, b, t);
+        assert!(!s.is_demoted(a, b, t));
+        // Third consecutive exhaustion trips the breaker for 1000ms.
+        s.record_exhaustion(a, b, t);
+        assert!(s.is_demoted(a, b, t));
+        assert!(s.is_demoted(a, b, t + SimDuration::from_millis(999)));
+        assert!(!s.is_demoted(a, b, t + SimDuration::from_millis(1000)));
+        // A second demotion doubles the cooldown.
+        let t2 = t + SimDuration::from_secs(5);
+        for _ in 0..3 {
+            s.record_exhaustion(a, b, t2);
+        }
+        assert!(s.is_demoted(a, b, t2 + SimDuration::from_millis(1999)));
+        assert!(!s.is_demoted(a, b, t2 + SimDuration::from_millis(2000)));
+        // An ACK clears everything, including the doubling history.
+        s.record_ack_feedback(a, b, SimTime::ZERO, false, t2);
+        assert!(!s.is_demoted(a, b, t2));
+        for _ in 0..3 {
+            s.record_exhaustion(a, b, t2);
+        }
+        assert!(!s.is_demoted(a, b, t2 + SimDuration::from_millis(1000)));
+    }
+
+    #[test]
+    fn breaker_disabled_never_demotes() {
+        let mut s = DcrdStrategy::new(DcrdConfig::default());
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        for _ in 0..10 {
+            s.record_exhaustion(a, b, SimTime::ZERO);
+        }
+        assert!(!s.is_demoted(a, b, SimTime::ZERO));
+    }
+
+    #[test]
+    fn local_delivery_is_idempotent() {
+        use dcrd_pubsub::strategy::Action;
+
+        let mut s = DcrdStrategy::new(DcrdConfig::default());
+        let node = NodeId::new(2);
+        let mut first = Packet::new(
+            PacketId::new(7),
+            TopicId::new(0),
+            NodeId::new(0),
+            SimTime::ZERO,
+            vec![node],
+        );
+        let mut dup = first.clone();
+        let mut out = Actions::new();
+        s.deliver_locally(node, &mut first, &mut out);
+        s.deliver_locally(node, &mut dup, &mut out);
+        let delivers = out
+            .drain()
+            .filter(|a| matches!(a, Action::Deliver { .. }))
+            .count();
+        assert_eq!(delivers, 1, "duplicate copy must not deliver twice");
+        assert!(first.destinations.is_empty());
+        assert!(dup.destinations.is_empty());
+    }
+
+    #[test]
+    fn restart_drops_volatile_state_keeps_delivery_log() {
+        let mut s = DcrdStrategy::new(DcrdConfig::chaos_hardened());
+        let crashed = NodeId::new(1);
+        let healthy = NodeId::new(2);
+        let mk = |n: u32| {
+            Packet::new(
+                PacketId::new(u64::from(n)),
+                TopicId::new(0),
+                NodeId::new(0),
+                SimTime::ZERO,
+                vec![NodeId::new(5)],
+            )
+        };
+        s.inflight
+            .insert((PacketId::new(1), crashed), NodeState::new(mk(1), None));
+        s.inflight
+            .insert((PacketId::new(2), healthy), NodeState::new(mk(2), None));
+        s.record_ack_feedback(
+            crashed,
+            healthy,
+            SimTime::ZERO,
+            false,
+            SimTime::from_millis(5),
+        );
+        s.record_ack_feedback(
+            healthy,
+            crashed,
+            SimTime::ZERO,
+            false,
+            SimTime::from_millis(5),
+        );
+        s.delivered.insert((PacketId::new(1), crashed));
+        let mut out = Actions::new();
+        s.on_restart(crashed, SimTime::from_secs(3), &mut out);
+        assert_eq!(
+            s.inflight_states(),
+            1,
+            "only the crashed broker's state goes"
+        );
+        assert!(s.inflight.contains_key(&(PacketId::new(2), healthy)));
+        assert!(!s.rtt.contains_key(&(crashed, healthy)));
+        assert!(s.rtt.contains_key(&(healthy, crashed)));
+        assert!(
+            s.delivered.contains(&(PacketId::new(1), crashed)),
+            "the subscriber delivery log is durable across restarts"
+        );
+        assert!(out.is_empty());
     }
 
     #[test]

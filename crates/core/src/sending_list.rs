@@ -64,9 +64,9 @@ mod tests {
     #[test]
     fn filters_by_requirement() {
         let neighbors = vec![
-            info(0, 10.0, 1.0, 50.0, 1.0),   // d=50 < 100 → kept
-            info(1, 10.0, 1.0, 100.0, 1.0),  // d=100 not < 100 → dropped
-            info(2, 10.0, 1.0, 150.0, 1.0),  // dropped
+            info(0, 10.0, 1.0, 50.0, 1.0),  // d=50 < 100 → kept
+            info(1, 10.0, 1.0, 100.0, 1.0), // d=100 not < 100 → dropped
+            info(2, 10.0, 1.0, 150.0, 1.0), // dropped
         ];
         let list = build_sending_list(&neighbors, 100.0, OrderingPolicy::RatioOptimal);
         assert_eq!(list.len(), 1);

@@ -143,12 +143,16 @@ fn timeout_moves_to_next_neighbor_and_records_giveup_at_source_exhaustion() {
     let actions: Vec<Action> = out.drain().collect();
     assert!(sends(&actions).is_empty(), "nothing left to try");
     assert!(
-        actions
-            .iter()
-            .any(|a| matches!(a, Action::GiveUp { destination, .. } if *destination == NodeId::new(3))),
+        actions.iter().any(
+            |a| matches!(a, Action::GiveUp { destination, .. } if *destination == NodeId::new(3))
+        ),
         "publisher exhaustion must emit GiveUp"
     );
-    assert_eq!(h.strategy.inflight_states(), 0, "state reclaimed after give-up");
+    assert_eq!(
+        h.strategy.inflight_states(),
+        0,
+        "state reclaimed after give-up"
+    );
 }
 
 #[test]
@@ -161,10 +165,19 @@ fn ack_clears_pending_and_reclaims_state() {
     assert_eq!(h.strategy.inflight_states(), 1);
 
     let mut out = Actions::new();
-    h.strategy
-        .on_ack(NodeId::new(0), to, &sent, SimTime::from_millis(20), &mut out);
+    h.strategy.on_ack(
+        NodeId::new(0),
+        to,
+        &sent,
+        SimTime::from_millis(20),
+        &mut out,
+    );
     assert!(out.is_empty(), "ACK handling emits no actions");
-    assert_eq!(h.strategy.inflight_states(), 0, "ACK deletes the copy (§III)");
+    assert_eq!(
+        h.strategy.inflight_states(),
+        0,
+        "ACK deletes the copy (§III)"
+    );
 
     // The stale timer that was armed for this send must now be a no-op.
     let key = TimerKey {
@@ -210,8 +223,13 @@ fn returned_packet_is_retried_via_alternative() {
 
     // Node 1 ACKs, node 0 forgets the packet.
     let mut out = Actions::new();
-    h.strategy
-        .on_ack(NodeId::new(0), to, &sent, SimTime::from_millis(20), &mut out);
+    h.strategy.on_ack(
+        NodeId::new(0),
+        to,
+        &sent,
+        SimTime::from_millis(20),
+        &mut out,
+    );
     assert_eq!(h.strategy.inflight_states(), 0);
 
     // Node 1 fails downstream and returns the packet: path [0, 1].
@@ -301,7 +319,11 @@ fn intermediate_subscriber_takes_delivery_and_forwards_rest() {
     let s = sends(&actions);
     assert_eq!(s.len(), 1);
     assert_eq!(s[0].1, NodeId::new(2));
-    assert_eq!(s[0].0.destinations, vec![NodeId::new(3)], "local dest removed");
+    assert_eq!(
+        s[0].0.destinations,
+        vec![NodeId::new(3)],
+        "local dest removed"
+    );
 }
 
 #[test]
@@ -321,7 +343,7 @@ fn unknown_destination_tables_cause_giveup_not_panic() {
         .on_publish(NodeId::new(0), rogue, SimTime::ZERO, &mut out);
     let actions: Vec<Action> = out.drain().collect();
     assert!(sends(&actions).is_empty());
-    assert!(actions
-        .iter()
-        .any(|a| matches!(a, Action::GiveUp { destination, .. } if *destination == NodeId::new(2))));
+    assert!(actions.iter().any(
+        |a| matches!(a, Action::GiveUp { destination, .. } if *destination == NodeId::new(2))
+    ));
 }

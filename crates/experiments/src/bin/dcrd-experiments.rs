@@ -5,7 +5,7 @@
 //!
 //! figures: fig2 fig3 fig4 fig5 fig6 fig7 fig8
 //!          ablation-ordering ablation-reroute ablation-timeout
-//!          ablation-monitor all
+//!          ablation-monitor chaos all
 //! ```
 //!
 //! Without `--out`, tables print to stdout; with it, each figure also writes
@@ -28,7 +28,7 @@ use dcrd_experiments::scenario::Quality;
 use dcrd_metrics::plot::{figure_svg, render_svg, PlotConfig, PlotSeries};
 use dcrd_metrics::report::{render_cdf, FigureSeries, MetricKind};
 
-const FIGURES: [&str; 15] = [
+const FIGURES: [&str; 16] = [
     "fig2",
     "fig3",
     "fig4",
@@ -44,6 +44,7 @@ const FIGURES: [&str; 15] = [
     "ablation-reroute",
     "ablation-timeout",
     "ablation-monitor",
+    "chaos",
 ];
 
 fn usage() -> ExitCode {
@@ -384,9 +385,7 @@ fn run_figure(name: &str, quality: Quality) -> FigureOutput {
         "ext-burst-failures" => series_output(&figures::ext_burst_failures(quality), &all),
         "ext-control-overhead" => {
             let points = figures::ext_control_overhead(quality);
-            let mut text = String::from(
-                "# ext-control-overhead — table computation cost\n",
-            );
+            let mut text = String::from("# ext-control-overhead — table computation cost\n");
             text.push_str(&format!(
                 "{:>8}{:>14}{:>12}{:>18}\n",
                 "nodes", "mean rounds", "max rounds", "ctrl msgs/sub"
@@ -402,7 +401,41 @@ fn run_figure(name: &str, quality: Quality) -> FigureOutput {
                     p.nodes, p.mean_rounds, p.max_rounds, p.messages_per_subscription
                 ));
             }
-            FigureOutput { text, csv: Some(csv), json: None, svgs: Vec::new() }
+            FigureOutput {
+                text,
+                csv: Some(csv),
+                json: None,
+                svgs: Vec::new(),
+            }
+        }
+        "chaos" => {
+            let report = dcrd_experiments::chaos::chaos_report(quality);
+            let mut text = String::new();
+            let mut csv = String::new();
+            let mut svgs = Vec::new();
+            for (series, suffix) in
+                report
+                    .series
+                    .iter()
+                    .zip(["partition-qos", "crashes-qos", "gray-qos"])
+            {
+                for m in [MetricKind::Delivery, MetricKind::Qos] {
+                    text.push_str(&series.render_table(m));
+                    text.push('\n');
+                }
+                csv.push_str(&series.render_csv());
+                svgs.push((suffix, figure_svg(series, MetricKind::Qos, false)));
+            }
+            text.push_str(&format!(
+                "invariant auditor: {} violation(s) across the chaos sweep\n",
+                report.total_audit_violations
+            ));
+            FigureOutput {
+                text,
+                csv: Some(csv),
+                json: serde_json::to_string_pretty(&report.series).ok(),
+                svgs,
+            }
         }
         "ablation-multipath" => series_output(&figures::ablation_multipath(quality), &all),
         "ablation-ordering" => series_output(&figures::ablation_ordering(quality), &qos),

@@ -36,13 +36,7 @@ fn base(quality: Quality) -> ScenarioBuilder {
     ScenarioBuilder::new().quality(quality)
 }
 
-fn sweep<I, F>(
-    id: &str,
-    x_label: &str,
-    xs: I,
-    make: F,
-    kinds: &[StrategyKind],
-) -> FigureSeries
+fn sweep<I, F>(id: &str, x_label: &str, xs: I, make: F, kinds: &[StrategyKind]) -> FigureSeries
 where
     I: IntoIterator<Item = f64>,
     F: Fn(f64) -> Scenario,
@@ -355,8 +349,7 @@ pub fn ext_control_overhead(quality: Quality) -> Vec<ControlOverheadPoint> {
                             &config,
                         );
                         rounds.push(tables.rounds_used());
-                        messages +=
-                            f64::from(tables.rounds_used()) * 2.0 * topo.num_edges() as f64;
+                        messages += f64::from(tables.rounds_used()) * 2.0 * topo.num_edges() as f64;
                         subs += 1;
                     }
                 }

@@ -10,6 +10,9 @@
 //!   parallelized over a thread pool.
 //! * [`figures`] — the drivers reproducing **every figure of the paper**
 //!   (Figs. 2–8) plus the ablations listed in `DESIGN.md`.
+//! * [`chaos`] — the chaos study: partition / crash-restart / gray-link
+//!   sweeps comparing the chaos-hardened DCRD router against the paper's
+//!   fixed-timeout router, with the invariant auditor on everywhere.
 //!
 //! The `dcrd-experiments` binary exposes all of it on the command line:
 //!
@@ -21,9 +24,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod figures;
 pub mod runner;
 pub mod scenario;
 
+pub use chaos::{chaos_report, ChaosReport};
 pub use runner::{run_comparison, run_scenario, StrategyKind};
 pub use scenario::{Quality, Scenario, ScenarioBuilder, TopologyKind};

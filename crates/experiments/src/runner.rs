@@ -12,6 +12,7 @@ use dcrd_baselines::oracle::oracle;
 use dcrd_baselines::tree::{d_tree, r_tree};
 use dcrd_core::{DcrdConfig, DcrdStrategy};
 use dcrd_metrics::{AggregateMetrics, RunMetrics};
+use dcrd_net::chaos::{ChaosModel, CrashRestartModel, GrayLinkModel, PartitionModel};
 use dcrd_net::failure::{
     BurstFailureModel, FailureModel, LinkFailureModel, LinkOutageModel, NodeFailureModel,
 };
@@ -21,6 +22,7 @@ use dcrd_net::Topology;
 use dcrd_pubsub::runtime::{OverlayRuntime, RuntimeConfig};
 use dcrd_pubsub::strategy::{RoutingStrategy, RunParams};
 use dcrd_pubsub::workload::{Workload, WorkloadConfig};
+use dcrd_pubsub::AuditConfig;
 use dcrd_sim::rng::{derive_seed_indexed, rng_for_indexed};
 use serde::{Deserialize, Serialize};
 
@@ -107,6 +109,38 @@ pub fn build_workload(scenario: &Scenario, topo: &Topology, rep: u32) -> Workloa
     Workload::generate(topo, &config, &mut rng)
 }
 
+/// Builds the deterministic chaos model of one repetition. Empty (and
+/// dropped by [`FailureModel::with_chaos`]) when the scenario sets no chaos
+/// knobs.
+#[must_use]
+pub fn build_chaos(scenario: &Scenario, rep: u32) -> ChaosModel {
+    let mut chaos = ChaosModel::none();
+    if let Some(p) = scenario.partition {
+        chaos = chaos.with_partition(PartitionModel::new(
+            p.fraction,
+            dcrd_sim::SimDuration::from_secs(p.window_secs),
+            dcrd_sim::SimDuration::from_secs(p.period_secs),
+            derive_seed_indexed(scenario.seed, "chaos-partition", u64::from(rep)),
+        ));
+    }
+    if let Some(c) = scenario.crashes {
+        chaos = chaos.with_crashes(CrashRestartModel::new(
+            c.rate,
+            c.mean_down_epochs,
+            derive_seed_indexed(scenario.seed, "chaos-crashes", u64::from(rep)),
+        ));
+    }
+    if let Some(g) = scenario.gray {
+        chaos = chaos.with_gray(GrayLinkModel::new(
+            g.fraction,
+            g.extra_loss,
+            g.delay_factor,
+            derive_seed_indexed(scenario.seed, "chaos-gray", u64::from(rep)),
+        ));
+    }
+    chaos
+}
+
 /// Runs one `(scenario, strategy, repetition)` triple.
 #[must_use]
 pub fn run_once(scenario: &Scenario, kind: StrategyKind, rep: u32) -> RunMetrics {
@@ -115,9 +149,7 @@ pub fn run_once(scenario: &Scenario, kind: StrategyKind, rep: u32) -> RunMetrics
     let link_seed = derive_seed_indexed(scenario.seed, "failures", u64::from(rep));
     let links = match scenario.burst_mean_epochs {
         None => LinkOutageModel::Epoch(LinkFailureModel::new(scenario.pf, link_seed)),
-        Some(mean) => {
-            LinkOutageModel::Burst(BurstFailureModel::new(scenario.pf, mean, link_seed))
-        }
+        Some(mean) => LinkOutageModel::Burst(BurstFailureModel::new(scenario.pf, mean, link_seed)),
     };
     let nodes = (scenario.pn > 0.0).then(|| {
         NodeFailureModel::new(
@@ -125,7 +157,7 @@ pub fn run_once(scenario: &Scenario, kind: StrategyKind, rep: u32) -> RunMetrics
             derive_seed_indexed(scenario.seed, "node-failures", u64::from(rep)),
         )
     });
-    let failure = FailureModel::new(links, nodes);
+    let failure = FailureModel::new(links, nodes).with_chaos(build_chaos(scenario, rep));
     let loss = LossModel::new(scenario.pl);
     let config = RuntimeConfig {
         duration: scenario.duration,
@@ -136,6 +168,9 @@ pub fn run_once(scenario: &Scenario, kind: StrategyKind, rep: u32) -> RunMetrics
         seed: derive_seed_indexed(scenario.seed, "runtime", u64::from(rep)),
         monitoring: scenario.monitoring,
         ack_transit: scenario.ack_transit,
+        audit: scenario
+            .audit
+            .then(|| AuditConfig::for_overlay(scenario.nodes, 64)),
         ..RuntimeConfig::paper(scenario.duration, 0)
     };
     let runtime = OverlayRuntime::new(&topo, &workload, failure, loss, config);
@@ -155,10 +190,9 @@ pub fn run_scenario(scenario: &Scenario, kind: StrategyKind) -> AggregateMetrics
 #[must_use]
 pub fn run_labeled(scenario: &Scenario, kind: StrategyKind, label: &str) -> AggregateMetrics {
     let mut agg = AggregateMetrics::new(label);
-    let runs: Vec<RunMetrics> = parallel_map(
-        (0..scenario.repetitions).collect(),
-        |rep| run_once(scenario, kind, rep),
-    );
+    let runs: Vec<RunMetrics> = parallel_map((0..scenario.repetitions).collect(), |rep| {
+        run_once(scenario, kind, rep)
+    });
     for run in &runs {
         agg.add(run);
     }
@@ -172,9 +206,8 @@ pub fn run_comparison(scenario: &Scenario, kinds: &[StrategyKind]) -> Vec<Aggreg
     let jobs: Vec<(usize, u32)> = (0..kinds.len())
         .flat_map(|k| (0..scenario.repetitions).map(move |r| (k, r)))
         .collect();
-    let results: Vec<(usize, RunMetrics)> = parallel_map(jobs, |(k, rep)| {
-        (k, run_once(scenario, kinds[k], rep))
-    });
+    let results: Vec<(usize, RunMetrics)> =
+        parallel_map(jobs, |(k, rep)| (k, run_once(scenario, kinds[k], rep)));
     let mut aggs: Vec<AggregateMetrics> = kinds
         .iter()
         .map(|k| AggregateMetrics::new(k.label()))
@@ -274,7 +307,11 @@ mod tests {
         let dtree = by_name("D-Tree");
         let multipath = by_name("Multipath");
         // The paper's Fig. 2 ordering at high Pf.
-        assert!(oracle.delivery_ratio() > 0.999, "oracle {}", oracle.delivery_ratio());
+        assert!(
+            oracle.delivery_ratio() > 0.999,
+            "oracle {}",
+            oracle.delivery_ratio()
+        );
         assert!(dcrd.delivery_ratio() > multipath.delivery_ratio());
         assert!(multipath.delivery_ratio() > dtree.delivery_ratio());
         assert!(rtree.delivery_ratio() > dtree.delivery_ratio());
@@ -340,6 +377,63 @@ mod tests {
         // burst wiring is dead).
         assert_ne!(a.delivery_ratio(), b.delivery_ratio());
         assert!(b.pairs() > 0);
+    }
+
+    #[test]
+    fn chaos_scenarios_degrade_delivery_with_a_clean_audit() {
+        use crate::scenario::{CrashSpec, GraySpec, PartitionSpec};
+        let clean = ScenarioBuilder::new()
+            .nodes(12)
+            .degree(4)
+            .failure_probability(0.0)
+            .loss_rate(0.0)
+            .audit(true)
+            .duration_secs(60)
+            .repetitions(1)
+            .seed(11)
+            .build();
+        let chaotic = ScenarioBuilder::new()
+            .nodes(12)
+            .degree(4)
+            .failure_probability(0.0)
+            .loss_rate(0.0)
+            .partition(PartitionSpec {
+                fraction: 0.25,
+                window_secs: 10,
+                period_secs: 20,
+            })
+            .crashes(CrashSpec {
+                rate: 0.01,
+                mean_down_epochs: 2.0,
+            })
+            .gray_links(GraySpec {
+                fraction: 0.2,
+                extra_loss: 0.2,
+                delay_factor: 2.0,
+            })
+            .audit(true)
+            .duration_secs(60)
+            .repetitions(1)
+            .seed(11)
+            .build();
+        let a = run_once(&clean, StrategyKind::Dcrd, 0);
+        let b = run_once(&chaotic, StrategyKind::Dcrd, 0);
+        assert!((a.delivery_ratio() - 1.0).abs() < 1e-12);
+        assert!(
+            b.delivery_ratio() < a.delivery_ratio(),
+            "chaos must cost something: {} vs {}",
+            b.delivery_ratio(),
+            a.delivery_ratio()
+        );
+        // The auditor ran on both and found no invariant breaches.
+        assert_eq!(a.audit_violations(), 0);
+        assert_eq!(b.audit_violations(), 0);
+    }
+
+    #[test]
+    fn empty_chaos_model_is_dropped() {
+        let s = tiny(0.0);
+        assert!(build_chaos(&s, 0).is_empty());
     }
 
     #[test]

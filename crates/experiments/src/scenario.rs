@@ -67,6 +67,41 @@ impl Quality {
     }
 }
 
+/// Chaos: a recurring network partition — a seeded graph cut isolating a
+/// fraction of the brokers for `window_secs` out of every `period_secs`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PartitionSpec {
+    /// Fraction of brokers isolated per cut (`0 < fraction < 1`; the cut
+    /// membership is re-drawn every period).
+    pub fraction: f64,
+    /// Seconds each partition lasts.
+    pub window_secs: u64,
+    /// Seconds between partition onsets (must be ≥ `window_secs`).
+    pub period_secs: u64,
+}
+
+/// Chaos: crash-restart brokers — fail-stop with a downtime, losing all
+/// volatile in-flight router state on restart.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrashSpec {
+    /// Per-broker per-epoch crash probability.
+    pub rate: f64,
+    /// Mean downtime in epochs (geometric, ≥ 1).
+    pub mean_down_epochs: f64,
+}
+
+/// Chaos: gray links — a static subset of links degraded in exactly one
+/// direction (extra loss and inflated delay that way only).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GraySpec {
+    /// Fraction of links that are gray.
+    pub fraction: f64,
+    /// Additional loss probability in the degraded direction.
+    pub extra_loss: f64,
+    /// Delay multiplier in the degraded direction (≥ 1).
+    pub delay_factor: f64,
+}
+
 /// One fully specified experimental setup.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
@@ -86,6 +121,19 @@ pub struct Scenario {
     /// Subscriber churn (extension); `None` keeps the paper's permanent
     /// subscriptions.
     pub churn: Option<ChurnConfig>,
+    /// Chaos: recurring network partitions (extension; `None` disables).
+    #[serde(default)]
+    pub partition: Option<PartitionSpec>,
+    /// Chaos: crash-restart brokers (extension; `None` disables).
+    #[serde(default)]
+    pub crashes: Option<CrashSpec>,
+    /// Chaos: gray links (extension; `None` disables).
+    #[serde(default)]
+    pub gray: Option<GraySpec>,
+    /// Run the online invariant auditor during every run and attach its
+    /// report to the metrics.
+    #[serde(default)]
+    pub audit: bool,
     /// Per-transmission loss probability `Pl` (paper default `10⁻⁴`).
     pub pl: f64,
     /// Transmissions per link before switching (`m`, paper default 1).
@@ -160,6 +208,10 @@ impl ScenarioBuilder {
                 pn: 0.0,
                 burst_mean_epochs: None,
                 churn: None,
+                partition: None,
+                crashes: None,
+                gray: None,
+                audit: false,
                 pl: 1e-4,
                 m: 1,
                 ack_timeout_factor: 1.0,
@@ -223,6 +275,35 @@ impl ScenarioBuilder {
     #[must_use]
     pub fn churn(mut self, churn: ChurnConfig) -> Self {
         self.scenario.churn = Some(churn);
+        self
+    }
+
+    /// Schedules recurring network partitions (chaos extension).
+    #[must_use]
+    pub fn partition(mut self, spec: PartitionSpec) -> Self {
+        self.scenario.partition = Some(spec);
+        self
+    }
+
+    /// Enables crash-restart broker failures (chaos extension).
+    #[must_use]
+    pub fn crashes(mut self, spec: CrashSpec) -> Self {
+        self.scenario.crashes = Some(spec);
+        self
+    }
+
+    /// Marks a fraction of links as gray — degraded in one direction only
+    /// (chaos extension).
+    #[must_use]
+    pub fn gray_links(mut self, spec: GraySpec) -> Self {
+        self.scenario.gray = Some(spec);
+        self
+    }
+
+    /// Runs the online invariant auditor during every simulation.
+    #[must_use]
+    pub fn audit(mut self, on: bool) -> Self {
+        self.scenario.audit = on;
         self
     }
 
@@ -322,11 +403,50 @@ impl ScenarioBuilder {
         let s = self.scenario;
         assert!(s.nodes >= 2, "need at least two brokers");
         if let TopologyKind::RandomDegree(d) = s.topology {
-            assert!(d >= 2 && d < s.nodes, "degree {d} invalid for {} nodes", s.nodes);
+            assert!(
+                d >= 2 && d < s.nodes,
+                "degree {d} invalid for {} nodes",
+                s.nodes
+            );
         }
         assert!(s.num_topics > 0, "need at least one topic");
         assert!(s.repetitions > 0, "need at least one repetition");
         assert!(s.m >= 1, "m must be at least 1");
+        if let Some(p) = s.partition {
+            assert!(
+                p.fraction > 0.0 && p.fraction < 1.0,
+                "partition fraction {} must be in (0, 1)",
+                p.fraction
+            );
+            assert!(p.window_secs >= 1, "partition window must be at least 1 s");
+            assert!(
+                p.period_secs >= p.window_secs,
+                "partition period {} shorter than window {}",
+                p.period_secs,
+                p.window_secs
+            );
+        }
+        if let Some(c) = s.crashes {
+            assert!(
+                (0.0..=1.0).contains(&c.rate),
+                "crash rate {} out of range",
+                c.rate
+            );
+            assert!(c.mean_down_epochs >= 1.0, "mean downtime must be ≥ 1 epoch");
+        }
+        if let Some(g) = s.gray {
+            assert!(
+                (0.0..=1.0).contains(&g.fraction),
+                "gray fraction {} out of range",
+                g.fraction
+            );
+            assert!(
+                (0.0..=1.0).contains(&g.extra_loss),
+                "gray extra loss {} out of range",
+                g.extra_loss
+            );
+            assert!(g.delay_factor >= 1.0, "gray delay factor must be ≥ 1");
+        }
         s
     }
 }
@@ -381,6 +501,46 @@ mod tests {
         assert_eq!(Quality::parse("nope"), None);
         let s = ScenarioBuilder::new().quality(Quality::Smoke).build();
         assert_eq!(s.repetitions, 1);
+    }
+
+    #[test]
+    fn chaos_builders_set_specs() {
+        let s = ScenarioBuilder::new()
+            .partition(PartitionSpec {
+                fraction: 0.3,
+                window_secs: 30,
+                period_secs: 60,
+            })
+            .crashes(CrashSpec {
+                rate: 0.01,
+                mean_down_epochs: 3.0,
+            })
+            .gray_links(GraySpec {
+                fraction: 0.2,
+                extra_loss: 0.3,
+                delay_factor: 2.0,
+            })
+            .audit(true)
+            .build();
+        assert_eq!(s.partition.unwrap().window_secs, 30);
+        assert!((s.crashes.unwrap().rate - 0.01).abs() < f64::EPSILON);
+        assert!((s.gray.unwrap().delay_factor - 2.0).abs() < f64::EPSILON);
+        assert!(s.audit);
+        let plain = ScenarioBuilder::new().build();
+        assert!(plain.partition.is_none() && plain.crashes.is_none() && plain.gray.is_none());
+        assert!(!plain.audit);
+    }
+
+    #[test]
+    #[should_panic(expected = "period")]
+    fn rejects_partition_window_longer_than_period() {
+        let _ = ScenarioBuilder::new()
+            .partition(PartitionSpec {
+                fraction: 0.3,
+                window_secs: 60,
+                period_secs: 30,
+            })
+            .build();
     }
 
     #[test]

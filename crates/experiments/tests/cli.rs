@@ -18,6 +18,23 @@ fn help_succeeds_and_lists_figures() {
 }
 
 #[test]
+fn chaos_smoke_reports_a_clean_audit() {
+    let out = bin()
+        .args(["chaos", "--quality", "smoke"])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("DCRD-hardened"));
+    assert!(stdout.contains("DCRD-fixed"));
+    assert!(stdout.contains("invariant auditor: 0 violation(s)"));
+}
+
+#[test]
 fn unknown_figure_fails() {
     let out = bin().arg("fig99").output().expect("spawn");
     assert!(!out.status.success());
@@ -46,7 +63,11 @@ fn fig2_smoke_writes_all_artifacts() {
         .arg(&dir)
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("Delivery Ratio"));
     assert!(stdout.contains("DCRD"));
@@ -81,12 +102,25 @@ fn predict_reports_verdicts() {
 fn run_subcommand_prints_comparison() {
     let out = bin()
         .args([
-            "run", "--nodes", "10", "--degree", "4", "--pf", "0.04", "--duration", "10",
-            "--reps", "1",
+            "run",
+            "--nodes",
+            "10",
+            "--degree",
+            "4",
+            "--pf",
+            "0.04",
+            "--duration",
+            "10",
+            "--reps",
+            "1",
         ])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     for name in ["DCRD", "R-Tree", "D-Tree", "ORACLE", "Multipath"] {
         assert!(stdout.contains(name), "missing {name} in output");

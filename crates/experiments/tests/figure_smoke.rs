@@ -8,7 +8,12 @@ use dcrd_experiments::scenario::Quality;
 use dcrd_metrics::report::FigureSeries;
 
 fn assert_sound(series: &FigureSeries, points: usize, strategies: usize) {
-    assert_eq!(series.points.len(), points, "{}: wrong point count", series.id);
+    assert_eq!(
+        series.points.len(),
+        points,
+        "{}: wrong point count",
+        series.id
+    );
     for p in &series.points {
         assert_eq!(
             p.strategies.len(),

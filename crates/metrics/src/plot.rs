@@ -85,11 +85,23 @@ fn marker_svg(kind: &str, x: f64, y: f64, color: &str) -> String {
         ),
         "diamond" => format!(
             r#"<polygon points="{:.1},{:.1} {:.1},{:.1} {:.1},{:.1} {:.1},{:.1}" fill="{color}"/>"#,
-            x, y - 4.5, x + 4.5, y, x, y + 4.5, x - 4.5, y
+            x,
+            y - 4.5,
+            x + 4.5,
+            y,
+            x,
+            y + 4.5,
+            x - 4.5,
+            y
         ),
         "triangle" => format!(
             r#"<polygon points="{:.1},{:.1} {:.1},{:.1} {:.1},{:.1}" fill="{color}"/>"#,
-            x, y - 4.5, x + 4.0, y + 3.5, x - 4.0, y + 3.5
+            x,
+            y - 4.5,
+            x + 4.0,
+            y + 3.5,
+            x - 4.0,
+            y + 3.5
         ),
         _ => format!(r#"<circle cx="{x:.1}" cy="{y:.1}" r="3.5" fill="{color}"/>"#),
     }
@@ -199,7 +211,13 @@ pub fn render_svg(series: &[PlotSeries], config: &PlotConfig) -> String {
         let pts: String = s
             .points
             .iter()
-            .map(|&(x, y)| format!("{:.1},{:.1}", px(x), py(y).clamp(MARGIN_T, MARGIN_T + plot_h)))
+            .map(|&(x, y)| {
+                format!(
+                    "{:.1},{:.1}",
+                    px(x),
+                    py(y).clamp(MARGIN_T, MARGIN_T + plot_h)
+                )
+            })
             .collect::<Vec<_>>()
             .join(" ");
         out.push_str(&format!(
@@ -263,7 +281,9 @@ pub fn figure_svg(series: &FigureSeries, metric: MetricKind, log_x: bool) -> Str
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -304,13 +324,19 @@ mod tests {
     #[test]
     fn log_axis_ticks_show_raw_values() {
         let svg = render_svg(
-            &[line("x", &[(1e-4, 0.9), (1e-3, 0.92), (1e-2, 0.94), (1e-1, 0.96)])],
+            &[line(
+                "x",
+                &[(1e-4, 0.9), (1e-3, 0.92), (1e-2, 0.94), (1e-1, 0.96)],
+            )],
             &PlotConfig {
                 log_x: true,
                 ..PlotConfig::default()
             },
         );
-        assert!(svg.contains("1e-4") || svg.contains("1e-1"), "log ticks missing: expected exponent labels");
+        assert!(
+            svg.contains("1e-4") || svg.contains("1e-1"),
+            "log ticks missing: expected exponent labels"
+        );
     }
 
     #[test]

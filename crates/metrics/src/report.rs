@@ -106,7 +106,9 @@ impl FigureSeries {
     /// `x,strategy,delivery,qos,traffic,runs,pairs`.
     #[must_use]
     pub fn render_csv(&self) -> String {
-        let mut out = String::from("x,strategy,delivery_ratio,qos_delivery_ratio,packets_per_subscriber,runs,pairs\n");
+        let mut out = String::from(
+            "x,strategy,delivery_ratio,qos_delivery_ratio,packets_per_subscriber,runs,pairs\n",
+        );
         for p in &self.points {
             for agg in &p.strategies {
                 out.push_str(&format!(

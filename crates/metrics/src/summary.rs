@@ -20,6 +20,8 @@ pub struct RunMetrics {
     gave_up: u64,
     lateness: Histogram,
     delay_ms: Welford,
+    #[serde(default)]
+    audit_violations: u64,
 }
 
 impl RunMetrics {
@@ -55,6 +57,7 @@ impl RunMetrics {
             gave_up,
             lateness,
             delay_ms,
+            audit_violations: log.audit.as_ref().map_or(0, |a| a.total_violations),
         }
     }
 
@@ -104,6 +107,13 @@ impl RunMetrics {
         self.gave_up
     }
 
+    /// Invariant violations the online auditor detected (0 when auditing
+    /// was off).
+    #[must_use]
+    pub fn audit_violations(&self) -> u64 {
+        self.audit_violations
+    }
+
     /// The Fig. 7 histogram: `delay ÷ requirement` over deadline-missing
     /// (but eventually delivered) pairs.
     #[must_use]
@@ -128,6 +138,8 @@ pub struct AggregateMetrics {
     delivery_spread: Welford,
     qos_spread: Welford,
     traffic_spread: Welford,
+    #[serde(default)]
+    audit_violations: u64,
 }
 
 impl AggregateMetrics {
@@ -146,6 +158,7 @@ impl AggregateMetrics {
             delivery_spread: Welford::new(),
             qos_spread: Welford::new(),
             traffic_spread: Welford::new(),
+            audit_violations: 0,
         }
     }
 
@@ -156,6 +169,7 @@ impl AggregateMetrics {
         self.on_time.merge(&run.on_time);
         self.data_sends += run.data_sends;
         self.gave_up += run.gave_up;
+        self.audit_violations += run.audit_violations;
         self.lateness.merge(&run.lateness);
         self.delay_ms.merge(&run.delay_ms);
         self.delivery_spread.push(run.delivery_ratio());
@@ -231,6 +245,12 @@ impl AggregateMetrics {
     pub fn pairs(&self) -> u64 {
         self.delivered.total()
     }
+
+    /// Total invariant violations across all audited runs.
+    #[must_use]
+    pub fn audit_violations(&self) -> u64 {
+        self.audit_violations
+    }
 }
 
 #[cfg(test)]
@@ -247,9 +267,7 @@ mod tests {
         use dcrd_net::loss::LossModel;
         use dcrd_net::topology::line;
         use dcrd_pubsub::runtime::{OverlayRuntime, RuntimeConfig};
-        use dcrd_pubsub::strategy::{
-            Actions, RoutingStrategy, SetupContext, TimerKey,
-        };
+        use dcrd_pubsub::strategy::{Actions, RoutingStrategy, SetupContext, TimerKey};
         use dcrd_pubsub::topic::{Subscription, TopicId};
         use dcrd_pubsub::workload::{TopicSpec, Workload};
         use dcrd_pubsub::Packet;
@@ -383,6 +401,9 @@ mod tests {
         assert!((agg.delivery_std_dev() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-3);
         assert!(agg.qos_std_dev() > 0.0);
         assert!(agg.traffic_std_dev() >= 0.0);
+        // No auditing was enabled, so no violations are counted.
+        assert_eq!(good.audit_violations(), 0);
+        assert_eq!(agg.audit_violations(), 0);
     }
 
     #[test]

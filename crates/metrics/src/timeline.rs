@@ -139,7 +139,14 @@ mod tests {
             let dest = p.destinations[0];
             out.send(dest, p.forward(node, vec![dest], 0));
         }
-        fn on_packet(&mut self, node: NodeId, _f: NodeId, p: Packet, _t: SimTime, out: &mut Actions) {
+        fn on_packet(
+            &mut self,
+            node: NodeId,
+            _f: NodeId,
+            p: Packet,
+            _t: SimTime,
+            out: &mut Actions,
+        ) {
             if p.destinations.contains(&node) {
                 out.deliver(p.id);
             }
@@ -185,7 +192,10 @@ mod tests {
         let log = run_log(0.5, 120);
         let tl = Timeline::from_log(&log, SimDuration::from_secs(10));
         let (worst_t, worst_q) = tl.worst_window().expect("non-empty");
-        assert!(worst_q < 0.5, "a pf=0.5 single-link run must have bad windows");
+        assert!(
+            worst_q < 0.5,
+            "a pf=0.5 single-link run must have bad windows"
+        );
         // There must also be variation: some window is better than the worst.
         let best = tl
             .iter()

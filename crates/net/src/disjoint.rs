@@ -234,8 +234,8 @@ mod tests {
 
             let p1 = shortest_path(&t, src, dst, Metric::Delay).unwrap();
             let banned: Vec<EdgeId> = p1.edges().to_vec();
-            let greedy2 = dijkstra_filtered(&t, src, Metric::Delay, |e| !banned.contains(&e))
-                .path_to(dst);
+            let greedy2 =
+                dijkstra_filtered(&t, src, Metric::Delay, |e| !banned.contains(&e)).path_to(dst);
             if let Some(g2) = greedy2 {
                 assert!(
                     total <= p1.cost() + g2.cost(),

@@ -59,7 +59,10 @@ impl LinkEstimates {
     /// Panics if `estimates` is empty.
     #[must_use]
     pub fn from_vec(estimates: Vec<LinkEstimate>) -> Self {
-        assert!(!estimates.is_empty(), "estimates must cover at least one edge");
+        assert!(
+            !estimates.is_empty(),
+            "estimates must cover at least one edge"
+        );
         LinkEstimates { estimates }
     }
 
@@ -146,7 +149,10 @@ impl EwmaMonitor {
     #[must_use]
     pub fn new(num_edges: usize, prior: LinkEstimate, weight: f64) -> Self {
         assert!(num_edges > 0, "monitor needs at least one edge");
-        assert!(weight > 0.0 && weight <= 1.0, "weight out of range: {weight}");
+        assert!(
+            weight > 0.0 && weight <= 1.0,
+            "weight out of range: {weight}"
+        );
         EwmaMonitor {
             weight,
             prior,
@@ -165,8 +171,7 @@ impl EwmaMonitor {
         match outcome {
             Some(delay) => {
                 self.gamma[i] = (1.0 - w) * self.gamma[i] + w;
-                self.alpha_us[i] =
-                    (1.0 - w) * self.alpha_us[i] + w * delay.as_micros() as f64;
+                self.alpha_us[i] = (1.0 - w) * self.alpha_us[i] + w * delay.as_micros() as f64;
             }
             None => {
                 self.gamma[i] *= 1.0 - w;
@@ -228,8 +233,21 @@ mod tests {
     fn analytic_extremes() {
         let mut rng = rng_for(1, "est");
         let topo = full_mesh(3, DelayRange::PAPER, &mut rng);
-        assert!((analytic_estimates(&topo, 0.0, 0.0).get(EdgeId::new(0)).gamma - 1.0).abs() < 1e-12);
-        assert!(analytic_estimates(&topo, 1.0, 0.0).get(EdgeId::new(0)).gamma.abs() < 1e-12);
+        assert!(
+            (analytic_estimates(&topo, 0.0, 0.0)
+                .get(EdgeId::new(0))
+                .gamma
+                - 1.0)
+                .abs()
+                < 1e-12
+        );
+        assert!(
+            analytic_estimates(&topo, 1.0, 0.0)
+                .get(EdgeId::new(0))
+                .gamma
+                .abs()
+                < 1e-12
+        );
     }
 
     #[test]

@@ -19,6 +19,7 @@
 use dcrd_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
+use crate::chaos::ChaosModel;
 use crate::graph::{EdgeId, NodeId, Topology};
 
 /// The paper's epoch length: network conditions change once per second.
@@ -78,7 +79,10 @@ impl LinkFailureModel {
     /// Panics if `pf` is outside `[0, 1]` or the epoch is zero.
     #[must_use]
     pub fn with_epoch(pf: f64, seed: u64, epoch: SimDuration) -> Self {
-        assert!((0.0..=1.0).contains(&pf), "failure probability out of range: {pf}");
+        assert!(
+            (0.0..=1.0).contains(&pf),
+            "failure probability out of range: {pf}"
+        );
         assert!(epoch > SimDuration::ZERO, "epoch must be positive");
         LinkFailureModel { pf, seed, epoch }
     }
@@ -154,8 +158,14 @@ impl BurstFailureModel {
     /// Panics if `pf` is outside `[0, 1]` or `mean_burst_epochs < 1`.
     #[must_use]
     pub fn new(pf: f64, mean_burst_epochs: f64, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&pf), "failure probability out of range: {pf}");
-        assert!(mean_burst_epochs >= 1.0, "mean burst length must be ≥ 1 epoch");
+        assert!(
+            (0.0..=1.0).contains(&pf),
+            "failure probability out of range: {pf}"
+        );
+        assert!(
+            mean_burst_epochs >= 1.0,
+            "mean burst length must be ≥ 1 epoch"
+        );
         BurstFailureModel {
             start_prob: (pf / mean_burst_epochs).min(1.0),
             mean_len: mean_burst_epochs,
@@ -236,7 +246,10 @@ impl NodeFailureModel {
     /// Panics if `pn` is outside `[0, 1]`.
     #[must_use]
     pub fn new(pn: f64, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&pn), "failure probability out of range: {pn}");
+        assert!(
+            (0.0..=1.0).contains(&pn),
+            "failure probability out of range: {pn}"
+        );
         NodeFailureModel {
             pn,
             seed,
@@ -308,11 +321,14 @@ impl LinkOutageModel {
 }
 
 /// Combined failure view over a topology: a link transmission succeeds only
-/// if the link itself is up *and* both endpoints are up.
+/// if the link itself is up *and* both endpoints are up, and no configured
+/// chaos injector (partition cut, crash-down endpoint) blocks it.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FailureModel {
     links: LinkOutageModel,
     nodes: Option<NodeFailureModel>,
+    #[serde(default)]
+    chaos: Option<ChaosModel>,
 }
 
 impl FailureModel {
@@ -322,6 +338,7 @@ impl FailureModel {
         FailureModel {
             links: LinkOutageModel::Epoch(links),
             nodes: None,
+            chaos: None,
         }
     }
 
@@ -331,6 +348,7 @@ impl FailureModel {
         FailureModel {
             links: LinkOutageModel::Burst(links),
             nodes: None,
+            chaos: None,
         }
     }
 
@@ -340,13 +358,27 @@ impl FailureModel {
         FailureModel {
             links: LinkOutageModel::Epoch(links),
             nodes: Some(nodes),
+            chaos: None,
         }
     }
 
     /// Any link-outage process combined with optional node failures.
     #[must_use]
     pub fn new(links: LinkOutageModel, nodes: Option<NodeFailureModel>) -> Self {
-        FailureModel { links, nodes }
+        FailureModel {
+            links,
+            nodes,
+            chaos: None,
+        }
+    }
+
+    /// Adds a chaos injector (partitions, crash-restart brokers, gray
+    /// links) on top of the base failure processes. An empty injector is
+    /// normalized away.
+    #[must_use]
+    pub fn with_chaos(mut self, chaos: ChaosModel) -> Self {
+        self.chaos = if chaos.is_empty() { None } else { Some(chaos) };
+        self
     }
 
     /// The link-outage component.
@@ -361,8 +393,25 @@ impl FailureModel {
         self.nodes.as_ref()
     }
 
+    /// The chaos injector, if enabled.
+    #[must_use]
+    pub fn chaos(&self) -> Option<&ChaosModel> {
+        self.chaos.as_ref()
+    }
+
+    /// Whether `node` is unable to process traffic at `at`: epoch-failed
+    /// (node model) or crash-down (chaos). A down node loses packets that
+    /// *arrive* during the outage, not just new transmissions.
+    #[must_use]
+    pub fn node_down(&self, node: NodeId, at: SimTime) -> bool {
+        if self.nodes.is_some_and(|m| m.is_failed(node, at)) {
+            return true;
+        }
+        self.chaos.is_some_and(|c| c.node_down(node, at))
+    }
+
     /// Whether a transmission over `edge` at `at` is blocked by a failure
-    /// (of the link or of either endpoint).
+    /// (of the link, of either endpoint, or by chaos).
     #[must_use]
     pub fn edge_blocked(&self, topo: &Topology, edge: EdgeId, at: SimTime) -> bool {
         if self.links.is_failed(edge, at) {
@@ -371,6 +420,11 @@ impl FailureModel {
         if let Some(nodes) = &self.nodes {
             let e = topo.edge(edge);
             if nodes.is_failed(e.a(), at) || nodes.is_failed(e.b(), at) {
+                return true;
+            }
+        }
+        if let Some(chaos) = &self.chaos {
+            if chaos.edge_blocked(topo, edge, at) {
                 return true;
             }
         }
@@ -397,8 +451,14 @@ mod tests {
         assert_eq!(m.epoch_index(SimTime::ZERO), 0);
         assert_eq!(m.epoch_index(SimTime::from_millis(999)), 0);
         assert_eq!(m.epoch_index(SimTime::from_secs(1)), 1);
-        assert_eq!(m.next_epoch_start(SimTime::from_millis(500)), SimTime::from_secs(1));
-        assert_eq!(m.next_epoch_start(SimTime::from_secs(1)), SimTime::from_secs(2));
+        assert_eq!(
+            m.next_epoch_start(SimTime::from_millis(500)),
+            SimTime::from_secs(1)
+        );
+        assert_eq!(
+            m.next_epoch_start(SimTime::from_secs(1)),
+            SimTime::from_secs(2)
+        );
     }
 
     #[test]
@@ -499,16 +559,25 @@ mod tests {
             }
         }
         let rate = failed as f64 / (500.0 * 20.0);
-        assert!((rate - 0.1).abs() < 0.02, "empirical node failure rate {rate}");
+        assert!(
+            (rate - 0.1).abs() < 0.02,
+            "empirical node failure rate {rate}"
+        );
         assert!((m.pn() - 0.1).abs() < f64::EPSILON);
     }
 
     #[test]
     fn combined_next_change_follows_epoch() {
         let fm = FailureModel::links_only(LinkFailureModel::new(0.1, 3));
-        assert_eq!(fm.next_change(SimTime::from_millis(1500)), SimTime::from_secs(2));
+        assert_eq!(
+            fm.next_change(SimTime::from_millis(1500)),
+            SimTime::from_secs(2)
+        );
         let bm = FailureModel::bursty(BurstFailureModel::new(0.06, 4.0, 3));
-        assert_eq!(bm.next_change(SimTime::from_millis(2500)), SimTime::from_secs(3));
+        assert_eq!(
+            bm.next_change(SimTime::from_millis(2500)),
+            SimTime::from_secs(3)
+        );
     }
 
     #[test]
@@ -599,10 +668,143 @@ mod tests {
         for epoch in 0..100 {
             assert!(!m.is_failed(EdgeId::new(0), SimTime::from_secs(epoch)));
         }
-        assert_eq!(
-            LinkOutageModel::Burst(m).marginal_rate(),
-            0.0
-        );
+        assert_eq!(LinkOutageModel::Burst(m).marginal_rate(), 0.0);
+    }
+
+    #[test]
+    fn node_outage_blocks_incident_links_both_directions_until_epoch_boundary() {
+        // A failed node takes down every incident link for the whole epoch
+        // — traffic *to* it and *from* it alike (edge_blocked is queried
+        // for both directions of a link) — and recovery is exactly at the
+        // next epoch boundary.
+        let mut rng = rng_for(1, "nf-recovery");
+        let topo = full_mesh(5, DelayRange::PAPER, &mut rng);
+        let links = LinkFailureModel::new(0.0, 1);
+        let nodes = NodeFailureModel::new(0.5, 77);
+        let fm = FailureModel::with_node_failures(links, nodes);
+        let victim = topo.node(2);
+        // Find an epoch where the victim is down and the next is up.
+        let (down_epoch, up_epoch) = (0..200u64)
+            .find_map(|e| {
+                let down = nodes.is_failed(victim, SimTime::from_secs(e));
+                let up = !nodes.is_failed(victim, SimTime::from_secs(e + 1));
+                (down && up).then_some((e, e + 1))
+            })
+            .expect("pn = 0.5 must yield a down→up transition");
+        for e in topo.edge_ids() {
+            let edge = topo.edge(e);
+            let incident = edge.a() == victim || edge.b() == victim;
+            if !incident {
+                continue;
+            }
+            // Blocked throughout the outage epoch, regardless of which
+            // endpoint is transmitting...
+            for ms in [0u64, 500, 999] {
+                let t = SimTime::from_secs(down_epoch) + SimDuration::from_millis(ms);
+                assert!(fm.edge_blocked(&topo, e, t), "outage must block {e:?}");
+            }
+            // ...and restored at the epoch boundary (unless the peer node
+            // happens to be failed itself in the recovery epoch).
+            let t = SimTime::from_secs(up_epoch);
+            let peer = if edge.a() == victim {
+                edge.b()
+            } else {
+                edge.a()
+            };
+            if !nodes.is_failed(peer, t) {
+                assert!(!fm.edge_blocked(&topo, e, t), "recovery must unblock {e:?}");
+            }
+        }
+        assert!(fm.node_down(victim, SimTime::from_secs(down_epoch)));
+        assert!(!fm.node_down(victim, SimTime::from_secs(up_epoch)));
+    }
+
+    #[test]
+    fn burst_with_unit_mean_degenerates_to_single_epochs() {
+        // mean = 1 epoch: every burst is exactly one epoch long, so the
+        // model reduces to the paper's per-epoch process with rate pf.
+        let m = BurstFailureModel::new(0.3, 1.0, 31);
+        assert!((m.start_prob() - 0.3).abs() < 1e-12);
+        let mut failed = 0u64;
+        let total = 2000u64 * 20;
+        for epoch in 0..2000u64 {
+            for edge in 0..20u32 {
+                if m.is_failed(EdgeId::new(edge), SimTime::from_secs(epoch)) {
+                    failed += 1;
+                }
+            }
+        }
+        let rate = failed as f64 / total as f64;
+        assert!((rate - 0.3).abs() < 0.03, "unit-mean burst rate {rate}");
+    }
+
+    #[test]
+    fn burst_with_certain_failure_is_always_down() {
+        // Pf = 1.0, mean = 1.0: a burst starts every epoch, so the link is
+        // permanently failed.
+        let m = BurstFailureModel::new(1.0, 1.0, 3);
+        for epoch in 0..100u64 {
+            assert!(m.is_failed(EdgeId::new(0), SimTime::from_secs(epoch)));
+        }
+    }
+
+    #[test]
+    fn burst_spanning_simulation_end_stays_queryable() {
+        // A burst that starts near the end of a run keeps answering
+        // consistently for queries past the horizon: the failure state is a
+        // pure function of the epoch, with no dependence on run length.
+        let m = BurstFailureModel::new(0.1, 6.0, 41);
+        let horizon = 100u64;
+        let e = EdgeId::new(2);
+        // Locate a burst in progress at the horizon.
+        let spanning = (0..horizon).rev().find(|&epoch| {
+            m.is_failed(e, SimTime::from_secs(epoch)) && m.is_failed(e, SimTime::from_secs(horizon))
+        });
+        // Whether or not one spans this particular horizon, queries beyond
+        // it are well-defined and epoch-constant.
+        for epoch in horizon..horizon + 20 {
+            let base = m.is_failed(e, SimTime::from_secs(epoch));
+            assert_eq!(
+                m.is_failed(e, SimTime::from_secs(epoch) + SimDuration::from_millis(999)),
+                base
+            );
+        }
+        // And the spanning burst (if found) agrees before and after.
+        if let Some(epoch) = spanning {
+            assert!(m.is_failed(e, SimTime::from_secs(epoch)));
+        }
+    }
+
+    #[test]
+    fn chaos_injector_composes_with_link_model() {
+        use crate::chaos::{ChaosModel, CrashRestartModel, PartitionModel};
+        let mut rng = rng_for(2, "chaos-fm");
+        let topo = full_mesh(8, DelayRange::PAPER, &mut rng);
+        let base = FailureModel::links_only(LinkFailureModel::new(0.0, 1));
+        let chaos = ChaosModel::none().with_partition(PartitionModel::new(
+            0.25,
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(20),
+            5,
+        ));
+        let fm = base.with_chaos(chaos);
+        assert!(fm.chaos().is_some());
+        let t = SimTime::from_secs(3);
+        let cut = topo
+            .edge_ids()
+            .filter(|&e| fm.edge_blocked(&topo, e, t))
+            .count();
+        // 2 isolated of 8 in a mesh → 2 × 6 crossing edges, all blocked.
+        assert_eq!(cut, 12);
+        // Outside the window the base (loss-free) model is back.
+        let healed = SimTime::from_secs(15);
+        assert!(topo.edge_ids().all(|e| !fm.edge_blocked(&topo, e, healed)));
+        // Crash-down nodes surface through node_down.
+        let crashing =
+            base.with_chaos(ChaosModel::none().with_crashes(CrashRestartModel::new(1.0, 1.0, 2)));
+        assert!(crashing.node_down(topo.node(0), SimTime::ZERO));
+        // Empty injectors normalize away.
+        assert!(base.with_chaos(ChaosModel::none()).chaos().is_none());
     }
 
     #[test]

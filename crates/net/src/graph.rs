@@ -11,9 +11,7 @@ use dcrd_sim::SimDuration;
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a broker node within one [`Topology`] (dense, `0..n`).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NodeId(u32);
 
 impl NodeId {
@@ -38,9 +36,7 @@ impl fmt::Display for NodeId {
 
 /// Identifier of an undirected overlay link within one [`Topology`]
 /// (dense, `0..m`).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct EdgeId(u32);
 
 impl EdgeId {

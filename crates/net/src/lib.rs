@@ -19,6 +19,9 @@
 //! * [`failure`] — the paper's failure model: once per 1-second epoch every
 //!   link independently fails with probability `Pf`; plus the node-failure
 //!   extension sketched in the paper's conclusion.
+//! * [`chaos`] — correlated fault injection beyond the paper: recurring
+//!   network partitions, crash-restart brokers (volatile state lost on
+//!   restart), and asymmetric gray links — all seed-reproducible.
 //! * [`loss`] — per-transmission Bernoulli packet loss (`Pl`).
 //! * [`estimate`] — per-link quality estimates `⟨α, γ⟩` (expected one-way
 //!   delay and single-transmission delivery ratio), both analytic and via an
@@ -40,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod diagnostics;
 pub mod disjoint;
 pub mod estimate;

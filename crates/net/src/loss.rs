@@ -38,7 +38,10 @@ impl LossModel {
     /// Panics if `pl` is outside `[0, 1]`.
     #[must_use]
     pub fn new(pl: f64) -> Self {
-        assert!((0.0..=1.0).contains(&pl), "loss probability out of range: {pl}");
+        assert!(
+            (0.0..=1.0).contains(&pl),
+            "loss probability out of range: {pl}"
+        );
         LossModel { pl }
     }
 

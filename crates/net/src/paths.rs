@@ -298,7 +298,10 @@ pub fn k_shortest_paths(
                 continue;
             };
             // Guard against the filter approximation admitting a root node.
-            if spur_path.nodes[1..].iter().any(|n| banned_nodes.contains(n)) {
+            if spur_path.nodes[1..]
+                .iter()
+                .any(|n| banned_nodes.contains(n))
+            {
                 continue;
             }
 
@@ -372,10 +375,7 @@ mod tests {
         let p = shortest_path(&t, t.node(0), t.node(3), Metric::Delay).unwrap();
         // 0-1 (10) + 1-2 (1) + 2-3 (5) = 16ms beats 0-1-3 (20ms).
         assert_eq!(p.cost(), 16_000);
-        assert_eq!(
-            p.nodes(),
-            &[t.node(0), t.node(1), t.node(2), t.node(3)]
-        );
+        assert_eq!(p.nodes(), &[t.node(0), t.node(1), t.node(2), t.node(3)]);
         assert_eq!(p.total_delay(&t), SimDuration::from_millis(16));
     }
 
@@ -435,7 +435,11 @@ mod tests {
                 }
             }
             for node in t.nodes() {
-                assert_eq!(sp.cost_to(node), Some(dist[node.index()]), "seed {seed} {node}");
+                assert_eq!(
+                    sp.cost_to(node),
+                    Some(dist[node.index()]),
+                    "seed {seed} {node}"
+                );
             }
         }
     }
@@ -458,7 +462,10 @@ mod tests {
         for i in 0..10 {
             assert_eq!(costs[i][i], Some(0));
             for j in 0..10 {
-                assert_eq!(costs[i][j], costs[j][i], "undirected graph must be symmetric");
+                assert_eq!(
+                    costs[i][j], costs[j][i],
+                    "undirected graph must be symmetric"
+                );
                 for k in 0..10 {
                     let (Some(ij), Some(ik), Some(kj)) = (costs[i][j], costs[i][k], costs[k][j])
                     else {

@@ -117,7 +117,9 @@ pub fn random_connected<R: Rng + ?Sized>(
     let mut attempts_left = 50 * n * degree;
     while attempts_left > 0 {
         attempts_left -= 1;
-        let below: Vec<u32> = (0..n as u32).filter(|&i| deg[i as usize] < degree).collect();
+        let below: Vec<u32> = (0..n as u32)
+            .filter(|&i| deg[i as usize] < degree)
+            .collect();
         if below.len() < 2 {
             break;
         }

@@ -1,0 +1,378 @@
+//! Online invariant auditing.
+//!
+//! When enabled ([`RuntimeConfig::audit`]), the runtime feeds every
+//! transmission-level event (the same stream [`Trace`] captures, plus ACK
+//! arrivals) through an [`InvariantAuditor`] *during* the run. The auditor
+//! checks protocol invariants that no amount of delivery-ratio averaging
+//! can: a chaos run that delivers 60% but loops packets forever, delivers
+//! duplicates to the application, or conjures ACKs out of thin air is
+//! broken even if its curves look plausible.
+//!
+//! Checked invariants:
+//!
+//! * **Loop bound** — no message crosses one directed link more than
+//!   [`AuditConfig::max_edge_uses`] times. Bounded re-probing of a failed
+//!   link is designed DCRD behavior; an unbounded loop is a livelock.
+//! * **Transmission budget** — total transmissions of one message stay
+//!   under [`AuditConfig::max_sends_per_packet`].
+//! * **No duplicate final deliveries** — each `(message, subscriber)` pair
+//!   is delivered to the application at most once.
+//! * **ACK discipline** — every ACK received over a directed link matches
+//!   an earlier data transmission that *arrived* in the opposite direction
+//!   (at most one ACK per arrival).
+//!
+//! The auditor is deliberately cheap (hash-map counters per active packet)
+//! so it can run inside every chaos sweep, and it reports violations as
+//! data ([`AuditReport`]) rather than panicking: an experiment survives a
+//! buggy strategy and the report tells you what broke.
+//!
+//! [`RuntimeConfig::audit`]: crate::runtime::RuntimeConfig::audit
+//! [`Trace`]: crate::trace::Trace
+
+use std::collections::HashMap;
+
+use dcrd_net::NodeId;
+use serde::{Deserialize, Serialize};
+
+use crate::packet::PacketId;
+use crate::trace::{TraceEvent, TxOutcome};
+
+/// Bounds the auditor enforces. These are livelock detectors, not tight
+/// performance bounds: set them comfortably above anything a correct
+/// strategy can produce (e.g. from the path budget and per-node attempt
+/// caps) so that a violation is always a real protocol failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AuditConfig {
+    /// Maximum times one message may cross one directed link.
+    pub max_edge_uses: u32,
+    /// Maximum total transmissions of one message.
+    pub max_sends_per_packet: u64,
+}
+
+impl AuditConfig {
+    /// Bounds derived from DCRD's own budgets for an `nodes`-broker
+    /// overlay: per-directed-link uses capped by the per-node attempts cap
+    /// (`max_attempts_per_node`, with 4× headroom), total sends by that cap
+    /// across every broker.
+    #[must_use]
+    pub fn for_overlay(nodes: usize, max_attempts_per_node: u32) -> Self {
+        AuditConfig {
+            max_edge_uses: max_attempts_per_node.saturating_mul(4),
+            max_sends_per_packet: u64::from(max_attempts_per_node)
+                .saturating_mul(nodes as u64)
+                .saturating_mul(4),
+        }
+    }
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        // The router's default attempts cap is 64; assume overlays of up to
+        // ~100 brokers when no topology-specific bound is supplied.
+        AuditConfig::for_overlay(100, 64)
+    }
+}
+
+/// One invariant violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Violation {
+    /// A message crossed one directed link beyond the loop bound.
+    LoopBound {
+        /// The offending message.
+        packet: PacketId,
+        /// Sending broker of the overused directed link.
+        from: NodeId,
+        /// Receiving broker of the overused directed link.
+        to: NodeId,
+        /// Observed crossings.
+        uses: u32,
+    },
+    /// A message exceeded its total transmission budget.
+    TransmissionBudget {
+        /// The offending message.
+        packet: PacketId,
+        /// Observed transmissions.
+        sends: u64,
+    },
+    /// A `(message, subscriber)` pair was delivered more than once.
+    DuplicateDelivery {
+        /// The message.
+        packet: PacketId,
+        /// The subscriber that received it again.
+        node: NodeId,
+    },
+    /// An ACK arrived without a matching data arrival (or a second ACK for
+    /// one arrival).
+    AckWithoutArrival {
+        /// The message.
+        packet: PacketId,
+        /// The broker that supposedly acknowledged.
+        from: NodeId,
+        /// The sender that received the ACK.
+        to: NodeId,
+    },
+}
+
+/// How many violations are kept verbatim; beyond this only the count grows.
+const MAX_RECORDED: usize = 64;
+
+/// The outcome of one audited run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AuditReport {
+    /// The first [`MAX_RECORDED`] violations, in detection order.
+    pub violations: Vec<Violation>,
+    /// Total violations detected (may exceed `violations.len()`).
+    pub total_violations: u64,
+    /// Events the auditor observed.
+    pub events_observed: u64,
+}
+
+impl AuditReport {
+    /// Whether the run upheld every invariant.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.total_violations == 0
+    }
+}
+
+/// The online auditor. Create one per run, feed it every trace-level event
+/// via [`observe`](InvariantAuditor::observe), then take the
+/// [`AuditReport`] with [`finish`](InvariantAuditor::finish).
+#[derive(Debug)]
+pub struct InvariantAuditor {
+    config: AuditConfig,
+    /// Transmissions per `(message, from, to)` directed link.
+    edge_uses: HashMap<(PacketId, NodeId, NodeId), u32>,
+    /// Total transmissions per message.
+    packet_sends: HashMap<PacketId, u64>,
+    /// Deliveries per `(message, subscriber)` pair.
+    delivered: HashMap<(PacketId, NodeId), u32>,
+    /// Data arrivals not yet consumed by an ACK, per `(message, sender,
+    /// receiver)`.
+    unacked_arrivals: HashMap<(PacketId, NodeId, NodeId), u32>,
+    report: AuditReport,
+}
+
+impl InvariantAuditor {
+    /// Creates an auditor with the given bounds.
+    #[must_use]
+    pub fn new(config: AuditConfig) -> Self {
+        InvariantAuditor {
+            config,
+            edge_uses: HashMap::new(),
+            packet_sends: HashMap::new(),
+            delivered: HashMap::new(),
+            unacked_arrivals: HashMap::new(),
+            report: AuditReport::default(),
+        }
+    }
+
+    fn violate(&mut self, v: Violation) {
+        self.report.total_violations += 1;
+        if self.report.violations.len() < MAX_RECORDED {
+            self.report.violations.push(v);
+        }
+    }
+
+    /// Feeds one event through the invariant checks.
+    pub fn observe(&mut self, event: &TraceEvent) {
+        self.report.events_observed += 1;
+        match *event {
+            TraceEvent::Send {
+                from,
+                to,
+                packet,
+                outcome,
+                ..
+            } => {
+                let uses = self.edge_uses.entry((packet, from, to)).or_insert(0);
+                *uses += 1;
+                let uses = *uses;
+                // Flag exactly at the boundary so one runaway packet yields
+                // one violation per extra crossing, not silence.
+                if uses == self.config.max_edge_uses + 1 {
+                    self.violate(Violation::LoopBound {
+                        packet,
+                        from,
+                        to,
+                        uses,
+                    });
+                }
+                let sends = self.packet_sends.entry(packet).or_insert(0);
+                *sends += 1;
+                let sends = *sends;
+                if sends == self.config.max_sends_per_packet + 1 {
+                    self.violate(Violation::TransmissionBudget { packet, sends });
+                }
+                if outcome == TxOutcome::Arrived {
+                    *self.unacked_arrivals.entry((packet, from, to)).or_insert(0) += 1;
+                }
+            }
+            TraceEvent::Deliver { node, packet, .. } => {
+                let count = self.delivered.entry((packet, node)).or_insert(0);
+                *count += 1;
+                if *count > 1 {
+                    self.violate(Violation::DuplicateDelivery { packet, node });
+                }
+            }
+            TraceEvent::Ack {
+                from, to, packet, ..
+            } => {
+                // The ACK from `from` back to `to` must consume one earlier
+                // arrival of a data send `to → from`.
+                match self.unacked_arrivals.get_mut(&(packet, to, from)) {
+                    Some(n) if *n > 0 => *n -= 1,
+                    _ => self.violate(Violation::AckWithoutArrival { packet, from, to }),
+                }
+            }
+            TraceEvent::GiveUp { .. } => {}
+        }
+    }
+
+    /// Finalizes the audit and returns the report.
+    #[must_use]
+    pub fn finish(self) -> AuditReport {
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcrd_sim::SimTime;
+
+    fn send(from: u32, to: u32, pkt: u64, outcome: TxOutcome) -> TraceEvent {
+        TraceEvent::Send {
+            at: SimTime::ZERO,
+            from: NodeId::new(from),
+            to: NodeId::new(to),
+            packet: PacketId::new(pkt),
+            destinations: 1,
+            outcome,
+        }
+    }
+
+    fn ack(from: u32, to: u32, pkt: u64) -> TraceEvent {
+        TraceEvent::Ack {
+            at: SimTime::ZERO,
+            from: NodeId::new(from),
+            to: NodeId::new(to),
+            packet: PacketId::new(pkt),
+        }
+    }
+
+    fn deliver(node: u32, pkt: u64) -> TraceEvent {
+        TraceEvent::Deliver {
+            at: SimTime::ZERO,
+            node: NodeId::new(node),
+            packet: PacketId::new(pkt),
+        }
+    }
+
+    fn tight() -> AuditConfig {
+        AuditConfig {
+            max_edge_uses: 2,
+            max_sends_per_packet: 4,
+        }
+    }
+
+    #[test]
+    fn clean_run_reports_clean() {
+        let mut a = InvariantAuditor::new(tight());
+        a.observe(&send(0, 1, 7, TxOutcome::Arrived));
+        a.observe(&ack(1, 0, 7));
+        a.observe(&deliver(1, 7));
+        let report = a.finish();
+        assert!(report.is_clean());
+        assert_eq!(report.events_observed, 3);
+        assert!(report.violations.is_empty());
+    }
+
+    #[test]
+    fn loop_bound_flags_excess_crossings() {
+        let mut a = InvariantAuditor::new(tight());
+        for _ in 0..3 {
+            a.observe(&send(0, 1, 7, TxOutcome::Blocked));
+        }
+        let report = a.finish();
+        assert_eq!(report.total_violations, 1);
+        assert!(matches!(
+            report.violations[0],
+            Violation::LoopBound { uses: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn transmission_budget_flags_total_sends() {
+        let mut a = InvariantAuditor::new(tight());
+        // 4 sends over distinct links: within the edge bound, over the
+        // packet budget on the fifth.
+        for to in 1..=4u32 {
+            a.observe(&send(0, to, 9, TxOutcome::Lost));
+        }
+        assert!(a.report.total_violations == 0);
+        a.observe(&send(0, 5, 9, TxOutcome::Lost));
+        let report = a.finish();
+        assert_eq!(report.total_violations, 1);
+        assert!(matches!(
+            report.violations[0],
+            Violation::TransmissionBudget { sends: 5, .. }
+        ));
+    }
+
+    #[test]
+    fn duplicate_delivery_is_flagged_once_per_extra() {
+        let mut a = InvariantAuditor::new(tight());
+        a.observe(&deliver(3, 1));
+        a.observe(&deliver(3, 1));
+        a.observe(&deliver(3, 1));
+        let report = a.finish();
+        assert_eq!(report.total_violations, 2);
+        assert!(matches!(
+            report.violations[0],
+            Violation::DuplicateDelivery { .. }
+        ));
+    }
+
+    #[test]
+    fn ack_discipline_requires_matching_arrival() {
+        let mut a = InvariantAuditor::new(tight());
+        // ACK with no arrival at all.
+        a.observe(&ack(1, 0, 2));
+        // Blocked send does not arm an ACK either.
+        a.observe(&send(0, 1, 3, TxOutcome::Blocked));
+        a.observe(&ack(1, 0, 3));
+        // One arrival allows exactly one ACK.
+        a.observe(&send(0, 1, 4, TxOutcome::Arrived));
+        a.observe(&ack(1, 0, 4));
+        a.observe(&ack(1, 0, 4));
+        let report = a.finish();
+        assert_eq!(report.total_violations, 3);
+        assert!(report
+            .violations
+            .iter()
+            .all(|v| matches!(v, Violation::AckWithoutArrival { .. })));
+    }
+
+    #[test]
+    fn recorded_violations_are_capped() {
+        let mut a = InvariantAuditor::new(tight());
+        for i in 0..200u64 {
+            a.observe(&deliver(0, i));
+            a.observe(&deliver(0, i));
+        }
+        let report = a.finish();
+        assert_eq!(report.total_violations, 200);
+        assert_eq!(report.violations.len(), MAX_RECORDED);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn overlay_bounds_scale_with_attempt_cap() {
+        let c = AuditConfig::for_overlay(20, 64);
+        assert_eq!(c.max_edge_uses, 256);
+        assert_eq!(c.max_sends_per_packet, 64 * 20 * 4);
+        let d = AuditConfig::default();
+        assert!(d.max_edge_uses >= 64);
+    }
+}

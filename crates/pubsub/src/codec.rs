@@ -217,7 +217,10 @@ mod tests {
     fn bad_magic_rejected() {
         let mut bytes = encode_packet(&sample_packet()).to_vec();
         bytes[0] = 0xAB;
-        assert_eq!(decode_packet(&bytes), Err(DecodePacketError::BadMagic(0xAB)));
+        assert_eq!(
+            decode_packet(&bytes),
+            Err(DecodePacketError::BadMagic(0xAB))
+        );
     }
 
     #[test]
@@ -243,7 +246,10 @@ mod tests {
     fn trailing_bytes_rejected() {
         let mut bytes = encode_packet(&sample_packet()).to_vec();
         bytes.push(0);
-        assert_eq!(decode_packet(&bytes), Err(DecodePacketError::TrailingBytes(1)));
+        assert_eq!(
+            decode_packet(&bytes),
+            Err(DecodePacketError::TrailingBytes(1))
+        );
     }
 
     #[test]

@@ -22,10 +22,14 @@
 //!   models and a strategy into one deterministic discrete-event run,
 //!   modeling per-hop transmissions and hop-by-hop ACKs, and recording a
 //!   complete [`DeliveryLog`].
+//! * [`audit`] — the online invariant auditor: consumes the transmission
+//!   stream during the run and flags forwarding loops, duplicate final
+//!   deliveries, ACK-discipline breaches and blown transmission budgets.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod codec;
 pub mod packet;
 pub mod runtime;
@@ -34,6 +38,7 @@ pub mod topic;
 pub mod trace;
 pub mod workload;
 
+pub use audit::{AuditConfig, AuditReport, InvariantAuditor, Violation};
 pub use packet::{Packet, PacketId};
 pub use runtime::{AckTransit, DeliveryLog, Monitoring, OverlayRuntime, RuntimeConfig};
 pub use strategy::{Action, Actions, RoutingStrategy, SetupContext};

@@ -18,9 +18,7 @@ use crate::topic::TopicId;
 
 /// Identifier of a published message. Every copy/retransmission of the same
 /// logical message shares one `PacketId`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct PacketId(u64);
 
 impl PacketId {
@@ -185,9 +183,11 @@ mod tests {
         // 0 → 1 → back to 0 → 3: after the detour, 0 re-appends itself so
         // node 3 sees its physical sender (0) as the last path entry.
         let p = base();
-        let at1 = p
-            .forward(NodeId::new(0), vec![NodeId::new(5)], 0)
-            .forward(NodeId::new(1), vec![NodeId::new(5)], 0);
+        let at1 = p.forward(NodeId::new(0), vec![NodeId::new(5)], 0).forward(
+            NodeId::new(1),
+            vec![NodeId::new(5)],
+            0,
+        );
         let back_at0 = at1.forward(NodeId::new(0), vec![NodeId::new(5)], 0);
         assert_eq!(
             back_at0.path,
@@ -218,11 +218,19 @@ mod tests {
         let mut p = base();
         p.path = vec![NodeId::new(0), NodeId::new(1)];
         let at2 = p.forward(NodeId::new(2), vec![NodeId::new(5)], 0);
-        assert_eq!(at2.path, vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(
+            at2.path,
+            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]
+        );
         let back_at1 = at2.forward(NodeId::new(1), vec![NodeId::new(5)], 0);
         assert_eq!(
             back_at1.path,
-            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(1)]
+            vec![
+                NodeId::new(0),
+                NodeId::new(1),
+                NodeId::new(2),
+                NodeId::new(1)
+            ]
         );
         // 1's upstream is still 0 even after the detour through 2.
         assert_eq!(back_at1.upstream_of(NodeId::new(1)), Some(NodeId::new(0)));

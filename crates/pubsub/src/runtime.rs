@@ -27,6 +27,7 @@ use dcrd_sim::rng::rng_for;
 use dcrd_sim::{EventQueue, SimDuration, SimTime};
 use rand::rngs::SmallRng;
 
+use crate::audit::{AuditConfig, AuditReport, InvariantAuditor};
 use crate::packet::{Packet, PacketId};
 use crate::strategy::{Action, Actions, RoutingStrategy, RunParams, SetupContext, TimerKey};
 use crate::trace::{Trace, TraceEvent, TxOutcome};
@@ -92,6 +93,9 @@ pub struct RuntimeConfig {
     /// but does not model. `None` (default, the paper's model) processes
     /// instantly.
     pub processing_time: Option<SimDuration>,
+    /// Run the online invariant auditor over the transmission stream and
+    /// attach its [`AuditReport`] to the log. Off by default.
+    pub audit: Option<AuditConfig>,
 }
 
 impl RuntimeConfig {
@@ -110,6 +114,7 @@ impl RuntimeConfig {
             max_events: 500_000_000,
             capture_trace: false,
             processing_time: None,
+            audit: None,
         }
     }
 }
@@ -165,10 +170,20 @@ pub struct DeliveryLog {
     /// copy, or duplicates born from lost ACKs) — deduplicated, so they
     /// never inflate the ratios.
     pub duplicate_deliveries: u64,
+    /// `Send` actions naming a node with no link to the sender. These are
+    /// strategy bugs; the runtime drops the send and counts it here instead
+    /// of aborting, so an injected fault that trips a latent bug surfaces
+    /// as a diagnostic, not a crashed experiment.
+    pub invalid_sends: u64,
+    /// `Deliver` actions on a node that is not a subscriber of the message
+    /// (same diagnostic treatment as `invalid_sends`).
+    pub invalid_delivers: u64,
     /// Whether the run hit the event cap and was truncated.
     pub truncated: bool,
     /// Full transmission trace (only with `capture_trace`).
     pub trace: Option<Trace>,
+    /// Invariant-audit outcome (only with [`RuntimeConfig::audit`]).
+    pub audit: Option<AuditReport>,
 }
 
 impl DeliveryLog {
@@ -225,13 +240,36 @@ impl DeliveryLog {
 }
 
 enum Event {
-    Publish { topic_index: usize, round: u64 },
-    Arrival { to: NodeId, from: NodeId, packet: Packet },
-    Process { node: NodeId, from: NodeId, packet: Packet },
-    AckArrival { at: NodeId, to: NodeId, packet: Packet },
-    Timer { node: NodeId, key: TimerKey },
+    Publish {
+        topic_index: usize,
+        round: u64,
+    },
+    Arrival {
+        to: NodeId,
+        from: NodeId,
+        packet: Packet,
+    },
+    Process {
+        node: NodeId,
+        from: NodeId,
+        packet: Packet,
+    },
+    AckArrival {
+        at: NodeId,
+        to: NodeId,
+        packet: Packet,
+    },
+    Timer {
+        node: NodeId,
+        key: TimerKey,
+    },
     Probe,
     Monitor,
+    /// Epoch-boundary sweep for chaos crash-restarts: brokers that came
+    /// back up this epoch get their `on_restart` notification.
+    ChaosTick {
+        epoch: u64,
+    },
 }
 
 /// Runs one strategy over one topology + workload and returns the delivery
@@ -312,17 +350,18 @@ impl<'a> OverlayRuntime<'a> {
 
     /// Runs `strategy` to completion and returns the delivery log.
     ///
-    /// # Panics
-    ///
-    /// Panics if the strategy emits a `Send` to a node that is not a
-    /// neighbor of the acting node, or a `Deliver` on a node that is not a
-    /// subscriber of the message — both indicate strategy bugs.
+    /// A `Send` to a node that is not a neighbor of the acting node, or a
+    /// `Deliver` on a node that is not a subscriber of the message, is a
+    /// strategy bug; the runtime drops the action and counts it in
+    /// [`DeliveryLog::invalid_sends`] / [`DeliveryLog::invalid_delivers`]
+    /// rather than aborting the run.
     pub fn run<S: RoutingStrategy + ?Sized>(&self, strategy: &mut S) -> DeliveryLog {
         let mut rng = rng_for(self.config.seed, "runtime");
         let mut log = DeliveryLog {
             trace: self.config.capture_trace.then(Trace::new),
             ..DeliveryLog::default()
         };
+        let mut auditor = self.config.audit.map(InvariantAuditor::new);
         let mut queue: EventQueue<Event> = EventQueue::with_capacity(1024);
         let mut next_packet_id: u64 = 0;
 
@@ -362,15 +401,24 @@ impl<'a> OverlayRuntime<'a> {
         for (i, t) in self.workload.topics().iter().enumerate() {
             let first = t.publish_time(0);
             if first.saturating_since(SimTime::ZERO) <= self.config.duration {
-                queue.schedule(first, Event::Publish { topic_index: i, round: 0 });
+                queue.schedule(
+                    first,
+                    Event::Publish {
+                        topic_index: i,
+                        round: 0,
+                    },
+                );
             }
         }
         if let Monitoring::Probing { probe_interval, .. } = self.config.monitoring {
             queue.schedule(SimTime::ZERO + probe_interval, Event::Probe);
-            queue.schedule(
-                SimTime::ZERO + self.config.monitor_interval,
-                Event::Monitor,
-            );
+            queue.schedule(SimTime::ZERO + self.config.monitor_interval, Event::Monitor);
+        }
+        // Crash-restart sweeps run at every epoch boundary (1 s, matching
+        // the chaos models' epoch) so restarted brokers lose their volatile
+        // router state at the moment they come back.
+        if self.failure.chaos().is_some_and(|c| c.crashes().is_some()) {
+            queue.schedule(SimTime::from_secs(1), Event::ChaosTick { epoch: 1 });
         }
 
         let hard_stop = SimTime::ZERO + self.config.duration + self.config.drain_grace;
@@ -414,7 +462,15 @@ impl<'a> OverlayRuntime<'a> {
                             active.iter().map(|s| s.subscriber).collect(),
                         );
                         strategy.on_publish(spec.publisher, packet, now, &mut out);
-                        self.execute(&mut out, spec.publisher, now, &mut queue, &mut rng, &mut log);
+                        self.execute(
+                            &mut out,
+                            spec.publisher,
+                            now,
+                            &mut queue,
+                            &mut rng,
+                            &mut log,
+                            &mut auditor,
+                        );
                     }
 
                     let next = spec.publish_time(round + 1);
@@ -429,6 +485,13 @@ impl<'a> OverlayRuntime<'a> {
                     }
                 }
                 Event::Arrival { to, from, packet } => {
+                    // A broker that crashed while the packet was in flight
+                    // loses it: no ACK, no processing. (The epoch-failure
+                    // node model only blocks transmissions at send time;
+                    // the crash model also eats arrivals.)
+                    if self.failure.chaos().is_some_and(|c| c.node_down(to, now)) {
+                        continue;
+                    }
                     // Hop-by-hop ACK, generated before processing
                     // (Algorithm 2 line 2). Subject to the same link rules.
                     let edge = self
@@ -436,10 +499,13 @@ impl<'a> OverlayRuntime<'a> {
                         .edge_between(to, from)
                         .expect("arrival over a nonexistent link");
                     let blocked = self.failure.edge_blocked(self.topology, edge, now);
-                    if !blocked && !self.loss.drops(&mut rng) {
+                    if !blocked
+                        && !self.loss.drops(&mut rng)
+                        && !self.gray_drops(edge, to, &mut rng)
+                    {
                         let ack_at = match self.config.ack_transit {
                             AckTransit::Instant => now,
-                            AckTransit::RoundTrip => now + self.topology.delay(edge),
+                            AckTransit::RoundTrip => now + self.gray_delay(edge, to),
                         };
                         queue.schedule(
                             ack_at,
@@ -453,7 +519,15 @@ impl<'a> OverlayRuntime<'a> {
                     match self.config.processing_time {
                         None => {
                             strategy.on_packet(to, from, packet, now, &mut out);
-                            self.execute(&mut out, to, now, &mut queue, &mut rng, &mut log);
+                            self.execute(
+                                &mut out,
+                                to,
+                                now,
+                                &mut queue,
+                                &mut rng,
+                                &mut log,
+                                &mut auditor,
+                            );
                         }
                         Some(service) => {
                             // Serial per-broker service: the packet waits
@@ -462,26 +536,73 @@ impl<'a> OverlayRuntime<'a> {
                             let start = node_free[to.index()].max(now);
                             let done = start + service;
                             node_free[to.index()] = done;
-                            queue.schedule(done, Event::Process { node: to, from, packet });
+                            queue.schedule(
+                                done,
+                                Event::Process {
+                                    node: to,
+                                    from,
+                                    packet,
+                                },
+                            );
                         }
                     }
                 }
                 Event::Process { node, from, packet } => {
                     strategy.on_packet(node, from, packet, now, &mut out);
-                    self.execute(&mut out, node, now, &mut queue, &mut rng, &mut log);
+                    self.execute(
+                        &mut out,
+                        node,
+                        now,
+                        &mut queue,
+                        &mut rng,
+                        &mut log,
+                        &mut auditor,
+                    );
                 }
                 Event::AckArrival { at, to, packet } => {
+                    // An ACK addressed to a crash-down sender dies with its
+                    // in-flight state.
+                    if self.failure.chaos().is_some_and(|c| c.node_down(at, now)) {
+                        continue;
+                    }
                     log.acks_delivered += 1;
+                    let ev = TraceEvent::Ack {
+                        at: now,
+                        from: to,
+                        to: at,
+                        packet: packet.id,
+                    };
+                    if let Some(trace) = &mut log.trace {
+                        trace.record(ev);
+                    }
+                    if let Some(aud) = &mut auditor {
+                        aud.observe(&ev);
+                    }
                     strategy.on_ack(at, to, &packet, now, &mut out);
-                    self.execute(&mut out, at, now, &mut queue, &mut rng, &mut log);
+                    self.execute(
+                        &mut out,
+                        at,
+                        now,
+                        &mut queue,
+                        &mut rng,
+                        &mut log,
+                        &mut auditor,
+                    );
                 }
                 Event::Timer { node, key } => {
                     strategy.on_timer(node, key, now, &mut out);
-                    self.execute(&mut out, node, now, &mut queue, &mut rng, &mut log);
+                    self.execute(
+                        &mut out,
+                        node,
+                        now,
+                        &mut queue,
+                        &mut rng,
+                        &mut log,
+                        &mut auditor,
+                    );
                 }
                 Event::Probe => {
-                    let Monitoring::Probing { probe_interval, .. } = self.config.monitoring
-                    else {
+                    let Monitoring::Probing { probe_interval, .. } = self.config.monitoring else {
                         unreachable!("probe event without probing mode")
                     };
                     let mon = monitor.as_mut().expect("monitor in probing mode");
@@ -502,8 +623,34 @@ impl<'a> OverlayRuntime<'a> {
                         queue.schedule(now + self.config.monitor_interval, Event::Monitor);
                     }
                 }
+                Event::ChaosTick { epoch } => {
+                    for i in 0..self.topology.num_nodes() {
+                        let node = self.topology.node(i);
+                        let restarted = self
+                            .failure
+                            .chaos()
+                            .is_some_and(|c| c.restarted_at_epoch(node, epoch));
+                        if restarted {
+                            strategy.on_restart(node, now, &mut out);
+                            self.execute(
+                                &mut out,
+                                node,
+                                now,
+                                &mut queue,
+                                &mut rng,
+                                &mut log,
+                                &mut auditor,
+                            );
+                        }
+                    }
+                    let next = SimTime::from_secs(epoch + 1);
+                    if next <= hard_stop {
+                        queue.schedule(next, Event::ChaosTick { epoch: epoch + 1 });
+                    }
+                }
             }
         }
+        log.audit = auditor.map(InvariantAuditor::finish);
         log
     }
 
@@ -519,6 +666,28 @@ impl<'a> OverlayRuntime<'a> {
         }
     }
 
+    /// Whether a transmission sent by `from` over `edge` is eaten by a gray
+    /// link's extra directional loss.
+    fn gray_drops(&self, edge: dcrd_net::EdgeId, from: NodeId, rng: &mut SmallRng) -> bool {
+        self.failure
+            .chaos()
+            .and_then(|c| c.gray())
+            .is_some_and(|g| {
+                g.degrades(self.topology, edge, from) && LossModel::new(g.extra_loss()).drops(rng)
+            })
+    }
+
+    /// The propagation delay for a transmission sent by `from` over `edge`,
+    /// inflated in a gray link's degraded direction.
+    fn gray_delay(&self, edge: dcrd_net::EdgeId, from: NodeId) -> SimDuration {
+        let base = self.topology.delay(edge);
+        match self.failure.chaos().and_then(|c| c.gray()) {
+            Some(g) if g.degrades(self.topology, edge, from) => base.mul_f64(g.delay_factor()),
+            _ => base,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn execute(
         &self,
         out: &mut Actions,
@@ -527,6 +696,7 @@ impl<'a> OverlayRuntime<'a> {
         queue: &mut EventQueue<Event>,
         rng: &mut SmallRng,
         log: &mut DeliveryLog,
+        auditor: &mut Option<InvariantAuditor>,
     ) {
         // Actions may cascade only through scheduled events, so one pass
         // over the sink is complete.
@@ -534,33 +704,37 @@ impl<'a> OverlayRuntime<'a> {
         for action in actions {
             match action {
                 Action::Send { to, packet } => {
-                    let edge = self
-                        .topology
-                        .edge_between(node, to)
-                        .unwrap_or_else(|| panic!("{node} has no link to {to}"));
+                    let Some(edge) = self.topology.edge_between(node, to) else {
+                        log.invalid_sends += 1;
+                        continue;
+                    };
                     log.data_sends += 1;
                     let outcome = if self.failure.edge_blocked(self.topology, edge, now) {
                         log.sends_blocked += 1;
                         TxOutcome::Blocked
-                    } else if self.loss.drops(rng) {
+                    } else if self.loss.drops(rng) || self.gray_drops(edge, node, rng) {
                         log.sends_lost += 1;
                         TxOutcome::Lost
                     } else {
                         TxOutcome::Arrived
                     };
+                    let ev = TraceEvent::Send {
+                        at: now,
+                        from: node,
+                        to,
+                        packet: packet.id,
+                        destinations: packet.destinations.len() as u32,
+                        outcome,
+                    };
                     if let Some(trace) = &mut log.trace {
-                        trace.record(TraceEvent::Send {
-                            at: now,
-                            from: node,
-                            to,
-                            packet: packet.id,
-                            destinations: packet.destinations.len() as u32,
-                            outcome,
-                        });
+                        trace.record(ev);
+                    }
+                    if let Some(aud) = auditor {
+                        aud.observe(&ev);
                     }
                     if outcome == TxOutcome::Arrived {
                         queue.schedule(
-                            now + self.topology.delay(edge),
+                            now + self.gray_delay(edge, node),
                             Event::Arrival {
                                 to,
                                 from: node,
@@ -570,21 +744,25 @@ impl<'a> OverlayRuntime<'a> {
                     }
                 }
                 Action::Deliver { packet } => {
-                    let exp = log
-                        .expectations
-                        .get_mut(&(packet, node))
-                        .unwrap_or_else(|| panic!("{node} is not a subscriber of {packet}"));
+                    let Some(exp) = log.expectations.get_mut(&(packet, node)) else {
+                        log.invalid_delivers += 1;
+                        continue;
+                    };
                     if exp.delivered.is_none() {
                         exp.delivered = Some(now);
                     } else {
                         log.duplicate_deliveries += 1;
                     }
+                    let ev = TraceEvent::Deliver {
+                        at: now,
+                        node,
+                        packet,
+                    };
                     if let Some(trace) = &mut log.trace {
-                        trace.record(TraceEvent::Deliver {
-                            at: now,
-                            node,
-                            packet,
-                        });
+                        trace.record(ev);
+                    }
+                    if let Some(aud) = auditor {
+                        aud.observe(&ev);
                     }
                 }
                 Action::SetTimer { at, key } => {
@@ -600,13 +778,17 @@ impl<'a> OverlayRuntime<'a> {
                     if let Some(exp) = log.expectations.get_mut(&(packet, destination)) {
                         exp.gave_up = true;
                     }
+                    let ev = TraceEvent::GiveUp {
+                        at: now,
+                        node,
+                        packet,
+                        destination,
+                    };
                     if let Some(trace) = &mut log.trace {
-                        trace.record(TraceEvent::GiveUp {
-                            at: now,
-                            node,
-                            packet,
-                            destination,
-                        });
+                        trace.record(ev);
+                    }
+                    if let Some(aud) = auditor {
+                        aud.observe(&ev);
                     }
                 }
             }
@@ -856,7 +1038,11 @@ mod tests {
             last_gamma: 1.0,
         };
         let _ = rt.run(&mut spy);
-        assert!(spy.updates >= 3, "expected several monitor pushes, got {}", spy.updates);
+        assert!(
+            spy.updates >= 3,
+            "expected several monitor pushes, got {}",
+            spy.updates
+        );
         assert!(
             (spy.last_gamma - 0.7).abs() < 0.15,
             "EWMA gamma {} should approach 1 - Pf = 0.7",
@@ -877,7 +1063,10 @@ mod tests {
             fn on_publish(&mut self, _n: NodeId, p: Packet, now: SimTime, out: &mut Actions) {
                 out.set_timer(
                     now + SimDuration::from_secs(3600),
-                    TimerKey { packet: p.id, tag: 0 },
+                    TimerKey {
+                        packet: p.id,
+                        tag: 0,
+                    },
                 );
             }
             fn on_packet(&mut self, _: NodeId, _: NodeId, _: Packet, _: SimTime, _: &mut Actions) {}
@@ -926,10 +1115,7 @@ mod tests {
             publisher: topo.node(publisher),
             interval: SimDuration::from_secs(10),
             offset: SimDuration::ZERO,
-            subscriptions: vec![Subscription::new(
-                topo.node(0),
-                SimDuration::from_secs(1),
-            )],
+            subscriptions: vec![Subscription::new(topo.node(0), SimDuration::from_secs(1))],
         };
         let wl = Workload::from_topics(vec![mk(0, 1), mk(1, 2)]);
         let failure = FailureModel::links_only(LinkFailureModel::new(0.0, 1));
@@ -955,5 +1141,149 @@ mod tests {
         assert_eq!(log.delivery_ratio(), 0.0);
         assert_eq!(log.qos_delivery_ratio(), 0.0);
         assert_eq!(log.packets_per_subscriber(), 0.0);
+    }
+
+    /// Misbehaving strategy: sends to a node with no shared link and
+    /// delivers on a non-subscriber.
+    struct Buggy;
+    impl RoutingStrategy for Buggy {
+        fn name(&self) -> &'static str {
+            "buggy"
+        }
+        fn setup(&mut self, _: &SetupContext<'_>) {}
+        fn on_publish(&mut self, node: NodeId, p: Packet, _t: SimTime, out: &mut Actions) {
+            // Line of 3: node 0 has no link to node 2.
+            out.send(NodeId::new(2), p.forward(node, vec![NodeId::new(2)], 0));
+            // The publisher is not a subscriber of its own topic here.
+            out.deliver(p.id);
+        }
+        fn on_packet(&mut self, _: NodeId, _: NodeId, _: Packet, _: SimTime, _: &mut Actions) {}
+        fn on_ack(&mut self, _: NodeId, _: NodeId, _: &Packet, _: SimTime, _: &mut Actions) {}
+        fn on_timer(&mut self, _: NodeId, _: TimerKey, _: SimTime, _: &mut Actions) {}
+    }
+
+    #[test]
+    fn invalid_actions_are_counted_not_fatal() {
+        let topo = line(3, SimDuration::from_millis(10));
+        let spec = TopicSpec {
+            topic: TopicId::new(0),
+            publisher: topo.node(0),
+            interval: SimDuration::from_secs(1),
+            offset: SimDuration::ZERO,
+            subscriptions: vec![Subscription::new(
+                topo.node(2),
+                SimDuration::from_millis(100),
+            )],
+        };
+        let wl = Workload::from_topics(vec![spec]);
+        let failure = FailureModel::links_only(LinkFailureModel::new(0.0, 1));
+        let config = RuntimeConfig::paper(SimDuration::from_secs(2), 1);
+        let rt = OverlayRuntime::new(&topo, &wl, failure, LossModel::new(0.0), config);
+        let log = rt.run(&mut Buggy);
+        assert_eq!(log.invalid_sends, 3);
+        assert_eq!(log.invalid_delivers, 3);
+        assert_eq!(log.data_sends, 0);
+        assert_eq!(log.delivery_ratio(), 0.0);
+    }
+
+    #[test]
+    fn crash_down_broker_eats_packets_and_acks() {
+        use dcrd_net::chaos::{ChaosModel, CrashRestartModel};
+
+        let (topo, wl) = two_node_workload();
+        // pc = 1 with mean 1: node 1 is down every epoch — all arrivals die.
+        let chaos = ChaosModel::none().with_crashes(CrashRestartModel::new(1.0, 1.0, 3));
+        let failure = FailureModel::links_only(LinkFailureModel::new(0.0, 1)).with_chaos(chaos);
+        let config = RuntimeConfig::paper(SimDuration::from_secs(5), 1);
+        let rt = OverlayRuntime::new(&topo, &wl, failure, LossModel::new(0.0), config);
+        let log = rt.run(&mut Flood::new());
+        assert_eq!(log.delivery_ratio(), 0.0);
+        assert_eq!(log.acks_delivered, 0);
+        // Sends are already blocked at the link because an endpoint is down.
+        assert_eq!(log.sends_blocked, log.data_sends);
+    }
+
+    #[test]
+    fn gray_link_degrades_exactly_one_direction() {
+        use dcrd_net::chaos::{ChaosModel, GrayLinkModel};
+
+        let (topo, wl) = two_node_workload();
+        let gray = GrayLinkModel::new(1.0, 1.0, 1.0, 4);
+        let edge = topo.edge_between(topo.node(0), topo.node(1)).unwrap();
+        let data_degraded = gray.degrades(&topo, edge, topo.node(0));
+        let chaos = ChaosModel::none().with_gray(gray);
+        let failure = FailureModel::links_only(LinkFailureModel::new(0.0, 1)).with_chaos(chaos);
+        let config = RuntimeConfig::paper(SimDuration::from_secs(5), 1);
+        let rt = OverlayRuntime::new(&topo, &wl, failure, LossModel::new(0.0), config);
+        let log = rt.run(&mut Flood::new());
+        if data_degraded {
+            // Publisher→subscriber is the bad way: nothing gets through.
+            assert_eq!(log.delivery_ratio(), 0.0);
+            assert_eq!(log.sends_lost, log.data_sends);
+        } else {
+            // Only the ACK direction is degraded: data flows, ACKs die.
+            assert!((log.delivery_ratio() - 1.0).abs() < 1e-12);
+            assert_eq!(log.acks_delivered, 0);
+        }
+    }
+
+    #[test]
+    fn audit_attaches_clean_report_on_healthy_run() {
+        let (topo, wl) = two_node_workload();
+        let failure = FailureModel::links_only(LinkFailureModel::new(0.0, 1));
+        let mut config = RuntimeConfig::paper(SimDuration::from_secs(5), 1);
+        config.audit = Some(AuditConfig::default());
+        let rt = OverlayRuntime::new(&topo, &wl, failure, LossModel::new(0.0), config);
+        let log = rt.run(&mut Flood::new());
+        let report = log.audit.expect("audit enabled");
+        assert!(report.is_clean());
+        // Every send, ACK and delivery was observed: 6 events per message.
+        assert!(report.events_observed >= 3 * log.messages_published);
+        assert!((log.delivery_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn restart_notification_fires_after_crash() {
+        use dcrd_net::chaos::{ChaosModel, CrashRestartModel};
+
+        /// Flood variant that counts on_restart callbacks.
+        struct RestartSpy {
+            inner: Flood,
+            restarts: u32,
+        }
+        impl RoutingStrategy for RestartSpy {
+            fn name(&self) -> &'static str {
+                "restart-spy"
+            }
+            fn setup(&mut self, ctx: &SetupContext<'_>) {
+                self.inner.setup(ctx);
+            }
+            fn on_publish(&mut self, n: NodeId, p: Packet, t: SimTime, o: &mut Actions) {
+                self.inner.on_publish(n, p, t, o);
+            }
+            fn on_packet(&mut self, n: NodeId, f: NodeId, p: Packet, t: SimTime, o: &mut Actions) {
+                self.inner.on_packet(n, f, p, t, o);
+            }
+            fn on_ack(&mut self, _: NodeId, _: NodeId, _: &Packet, _: SimTime, _: &mut Actions) {}
+            fn on_timer(&mut self, _: NodeId, _: TimerKey, _: SimTime, _: &mut Actions) {}
+            fn on_restart(&mut self, _node: NodeId, _now: SimTime, _out: &mut Actions) {
+                self.restarts += 1;
+            }
+        }
+
+        let (topo, wl) = two_node_workload();
+        let chaos = ChaosModel::none().with_crashes(CrashRestartModel::new(0.3, 2.0, 11));
+        let failure = FailureModel::links_only(LinkFailureModel::new(0.0, 1)).with_chaos(chaos);
+        let config = RuntimeConfig::paper(SimDuration::from_secs(60), 1);
+        let rt = OverlayRuntime::new(&topo, &wl, failure, LossModel::new(0.0), config);
+        let mut spy = RestartSpy {
+            inner: Flood::new(),
+            restarts: 0,
+        };
+        let _ = rt.run(&mut spy);
+        assert!(
+            spy.restarts > 0,
+            "a 30% crash rate over 60s must produce at least one restart"
+        );
     }
 }

@@ -11,7 +11,7 @@
 use dcrd_net::estimate::LinkEstimates;
 use dcrd_net::failure::FailureModel;
 use dcrd_net::{NodeId, Topology};
-use dcrd_sim::{SimTime, SimDuration};
+use dcrd_sim::{SimDuration, SimTime};
 
 use crate::packet::{Packet, PacketId};
 use crate::workload::Workload;
@@ -200,6 +200,15 @@ pub trait RoutingStrategy {
     /// 5 minutes in the paper). Default: ignore.
     fn on_monitor(&mut self, estimates: &LinkEstimates, now: SimTime) {
         let _ = (estimates, now);
+    }
+
+    /// Broker `node` restarted after a crash (chaos crash-restart model):
+    /// all of its volatile, in-flight router state is gone. Strategies
+    /// holding per-broker packet state must discard `node`'s share of it;
+    /// durable state (routing tables, subscriber delivery records) survives.
+    /// Default: ignore (stateless strategies have nothing to lose).
+    fn on_restart(&mut self, node: NodeId, now: SimTime, out: &mut Actions) {
+        let _ = (node, now, out);
     }
 }
 

@@ -7,9 +7,7 @@ use dcrd_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a pub/sub topic (dense, `0..num_topics`).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct TopicId(u32);
 
 impl TopicId {

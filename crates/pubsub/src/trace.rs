@@ -63,6 +63,17 @@ pub enum TraceEvent {
         /// The abandoned subscriber.
         destination: NodeId,
     },
+    /// A hop-by-hop ACK reached the original sender.
+    Ack {
+        /// When the ACK arrived.
+        at: SimTime,
+        /// The broker that acknowledged (the data receiver).
+        from: NodeId,
+        /// The broker the ACK reached (the data sender).
+        to: NodeId,
+        /// The message.
+        packet: PacketId,
+    },
 }
 
 impl TraceEvent {
@@ -72,7 +83,8 @@ impl TraceEvent {
         match *self {
             TraceEvent::Send { packet, .. }
             | TraceEvent::Deliver { packet, .. }
-            | TraceEvent::GiveUp { packet, .. } => packet,
+            | TraceEvent::GiveUp { packet, .. }
+            | TraceEvent::Ack { packet, .. } => packet,
         }
     }
 
@@ -82,7 +94,8 @@ impl TraceEvent {
         match *self {
             TraceEvent::Send { at, .. }
             | TraceEvent::Deliver { at, .. }
-            | TraceEvent::GiveUp { at, .. } => at,
+            | TraceEvent::GiveUp { at, .. }
+            | TraceEvent::Ack { at, .. } => at,
         }
     }
 }
@@ -234,6 +247,28 @@ mod tests {
         };
         assert_eq!(g.packet(), PacketId::new(9));
         assert_eq!(g.time(), SimTime::from_millis(4));
+        let a = TraceEvent::Ack {
+            at: SimTime::from_millis(6),
+            from: NodeId::new(1),
+            to: NodeId::new(0),
+            packet: PacketId::new(9),
+        };
+        assert_eq!(a.packet(), PacketId::new(9));
+        assert_eq!(a.time(), SimTime::from_millis(6));
+    }
+
+    #[test]
+    fn acks_do_not_count_as_edge_uses() {
+        let mut t = Trace::new();
+        t.record(send(0, 0, 1, 7, TxOutcome::Arrived));
+        t.record(TraceEvent::Ack {
+            at: SimTime::from_millis(1),
+            from: NodeId::new(1),
+            to: NodeId::new(0),
+            packet: PacketId::new(7),
+        });
+        assert_eq!(t.max_directed_edge_uses(), 1);
+        assert_eq!(t.outcome_counts(), (1, 0, 0));
     }
 
     #[test]

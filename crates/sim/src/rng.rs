@@ -84,7 +84,10 @@ mod tests {
         assert_ne!(derive_seed(7, "x"), derive_seed(7, "y"));
         assert_ne!(derive_seed(7, "x"), derive_seed(8, "x"));
         assert_ne!(derive_seed(7, "ab"), derive_seed(7, "ba"));
-        assert_ne!(derive_seed_indexed(7, "x", 0), derive_seed_indexed(7, "x", 1));
+        assert_ne!(
+            derive_seed_indexed(7, "x", 0),
+            derive_seed_indexed(7, "x", 1)
+        );
     }
 
     #[test]
@@ -122,6 +125,9 @@ mod tests {
         let x = derive_seed(0x1234_5678, "avalanche");
         let y = derive_seed(0x1234_5679, "avalanche");
         let flipped = (x ^ y).count_ones();
-        assert!((16..=48).contains(&flipped), "weak avalanche: {flipped} bits");
+        assert!(
+            (16..=48).contains(&flipped),
+            "weak avalanche: {flipped} bits"
+        );
     }
 }

@@ -67,8 +67,8 @@ impl Welford {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         self.mean += delta * other.count as f64 / total as f64;
-        self.m2 += other.m2
-            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.count = total;
         self.min = match (self.min, other.min) {
             (Some(a), Some(b)) => Some(a.min(b)),
@@ -245,7 +245,10 @@ impl Histogram {
     /// Panics if `hi <= lo`, either bound is non-finite, or `buckets == 0`.
     #[must_use]
     pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
-        assert!(lo.is_finite() && hi.is_finite() && hi > lo, "invalid histogram range");
+        assert!(
+            lo.is_finite() && hi.is_finite() && hi > lo,
+            "invalid histogram range"
+        );
         assert!(buckets > 0, "histogram needs at least one bucket");
         Histogram {
             lo,
@@ -277,7 +280,11 @@ impl Histogram {
     pub fn merge(&mut self, other: &Histogram) {
         assert_eq!(self.lo, other.lo, "histogram range mismatch");
         assert_eq!(self.hi, other.hi, "histogram range mismatch");
-        assert_eq!(self.buckets.len(), other.buckets.len(), "bucket count mismatch");
+        assert_eq!(
+            self.buckets.len(),
+            other.buckets.len(),
+            "bucket count mismatch"
+        );
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
             *a += b;
         }

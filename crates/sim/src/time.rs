@@ -245,10 +245,7 @@ mod tests {
         assert_eq!(SimTime::from_secs(2).as_micros(), 2_000_000);
         assert_eq!(SimTime::from_millis(3).as_micros(), 3_000);
         assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1000));
-        assert_eq!(
-            SimDuration::from_millis(1),
-            SimDuration::from_micros(1_000)
-        );
+        assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1_000));
     }
 
     #[test]
@@ -269,14 +266,20 @@ mod tests {
         assert_eq!(d.mul_f64(2.5), SimDuration::from_millis(25));
         assert_eq!(d * 3, SimDuration::from_millis(30));
         assert_eq!(d / 2, SimDuration::from_millis(5));
-        assert_eq!(SimDuration::from_secs_f64(0.0305), SimDuration::from_micros(30_500));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.0305),
+            SimDuration::from_micros(30_500)
+        );
     }
 
     #[test]
     fn from_secs_f64_clamps_bad_input() {
         assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
         assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_secs_f64(f64::NEG_INFINITY), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_secs_f64(f64::NEG_INFINITY),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

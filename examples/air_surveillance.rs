@@ -75,9 +75,18 @@ fn main() {
     println!("air surveillance over a 30-broker overlay, 12 sector feeds, 5 minutes:");
     println!("  position updates published : {}", log.messages_published);
     println!("  (update, consumer) pairs   : {}", log.num_expectations());
-    println!("  delivered                  : {:.2}%", log.delivery_ratio() * 100.0);
-    println!("  within latency budget      : {:.2}%", log.qos_delivery_ratio() * 100.0);
-    println!("  transmissions per consumer : {:.2}", log.packets_per_subscriber());
+    println!(
+        "  delivered                  : {:.2}%",
+        log.delivery_ratio() * 100.0
+    );
+    println!(
+        "  within latency budget      : {:.2}%",
+        log.qos_delivery_ratio() * 100.0
+    );
+    println!(
+        "  transmissions per consumer : {:.2}",
+        log.packets_per_subscriber()
+    );
     println!(
         "  link transmissions blocked by failed links: {} (rerouted around)",
         log.sends_blocked

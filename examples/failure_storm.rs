@@ -16,10 +16,7 @@ use dcrd::pubsub::runtime::{OverlayRuntime, RuntimeConfig};
 use dcrd::pubsub::strategy::RoutingStrategy;
 use dcrd::sim::SimDuration;
 
-fn run_with(
-    strategy: &mut (impl RoutingStrategy + ?Sized),
-    pf: f64,
-) -> (f64, f64) {
+fn run_with(strategy: &mut (impl RoutingStrategy + ?Sized), pf: f64) -> (f64, f64) {
     let scenario = ScenarioBuilder::new()
         .nodes(20)
         .degree(5)

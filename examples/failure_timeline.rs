@@ -32,7 +32,10 @@ fn main() {
 
     println!("20 brokers, degree 4, bursty outages (Pf=0.08, ~5s bursts), 2 minutes\n");
     for (label, strategy) in [
-        ("DCRD", &mut DcrdStrategy::new(DcrdConfig::default()) as &mut dyn RoutingStrategy),
+        (
+            "DCRD",
+            &mut DcrdStrategy::new(DcrdConfig::default()) as &mut dyn RoutingStrategy,
+        ),
         ("D-Tree", &mut d_tree()),
     ] {
         let log = OverlayRuntime::new(&topo, &workload, failure, LossModel::PAPER_DEFAULT, config)

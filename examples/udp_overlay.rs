@@ -27,9 +27,7 @@ use dcrd::net::topology::{random_connected, DelayRange};
 use dcrd::net::NodeId;
 use dcrd::pubsub::codec::{decode_packet, encode_packet};
 use dcrd::pubsub::packet::{Packet, PacketId};
-use dcrd::pubsub::strategy::{
-    Action, Actions, RoutingStrategy, RunParams, SetupContext, TimerKey,
-};
+use dcrd::pubsub::strategy::{Action, Actions, RoutingStrategy, RunParams, SetupContext, TimerKey};
 use dcrd::pubsub::topic::{Subscription, TopicId};
 use dcrd::pubsub::workload::{TopicSpec, Workload};
 use dcrd::sim::rng::rng_for;
@@ -84,7 +82,10 @@ fn main() {
             publisher: topo.node(1),
             interval: SimDuration::from_secs(1),
             offset: SimDuration::ZERO,
-            subscriptions: vec![Subscription::new(topo.node(n - 1), SimDuration::from_secs(1))],
+            subscriptions: vec![Subscription::new(
+                topo.node(n - 1),
+                SimDuration::from_secs(1),
+            )],
         },
     ]);
 
@@ -92,8 +93,10 @@ fn main() {
     let sockets: Vec<Arc<UdpSocket>> = (0..n)
         .map(|_| Arc::new(UdpSocket::bind("127.0.0.1:0").expect("bind")))
         .collect();
-    let addrs: Vec<std::net::SocketAddr> =
-        sockets.iter().map(|s| s.local_addr().expect("addr")).collect();
+    let addrs: Vec<std::net::SocketAddr> = sockets
+        .iter()
+        .map(|s| s.local_addr().expect("addr"))
+        .collect();
 
     let estimates = analytic_estimates(&topo, DROP_PROB, 0.0);
     let _failure = FailureModel::links_only(LinkFailureModel::new(0.0, 1));
@@ -130,9 +133,8 @@ fn main() {
             let mut rng = rng_for(42 + node_idx as u64, "udp-drop");
             let mut timers: BinaryHeap<PendingTimer> = BinaryHeap::new();
             let mut out = Actions::new();
-            let now_sim = |started: Instant| {
-                SimTime::from_micros(started.elapsed().as_micros() as u64)
-            };
+            let now_sim =
+                |started: Instant| SimTime::from_micros(started.elapsed().as_micros() as u64);
 
             // Publishers publish 5 messages, one per 200ms of wall time.
             let my_topics: Vec<&TopicSpec> = workload
@@ -152,16 +154,9 @@ fn main() {
                 // 1. Publish on schedule.
                 if published < 5 && Instant::now() >= next_publish && !my_topics.is_empty() {
                     for spec in &my_topics {
-                        let id = PacketId::new(
-                            (node_idx as u64) << 32 | u64::from(published),
-                        );
-                        let packet = Packet::new(
-                            id,
-                            spec.topic,
-                            me,
-                            now_sim(started),
-                            spec.subscribers(),
-                        );
+                        let id = PacketId::new((node_idx as u64) << 32 | u64::from(published));
+                        let packet =
+                            Packet::new(id, spec.topic, me, now_sim(started), spec.subscribers());
                         strategy.on_publish(me, packet, now_sim(started), &mut out);
                     }
                     published += 1;
@@ -223,7 +218,10 @@ fn main() {
                                 + Duration::from_millis(20);
                             timers.push(PendingTimer { due, key });
                         }
-                        Action::GiveUp { packet, destination } => {
+                        Action::GiveUp {
+                            packet,
+                            destination,
+                        } => {
                             println!("{me} gave up on {packet} → {destination}");
                         }
                     }

@@ -72,7 +72,11 @@ fn data_types_serialize_with_serde() {
     let back: Subscription = serde_json::from_str(&json).expect("deserialize");
     assert_eq!(back, sub);
 
-    let path = Path::from_parts(vec![NodeId::new(0), NodeId::new(1)], vec![EdgeId::new(0)], 5);
+    let path = Path::from_parts(
+        vec![NodeId::new(0), NodeId::new(1)],
+        vec![EdgeId::new(0)],
+        5,
+    );
     let json = serde_json::to_string(&path).expect("serialize");
     let back: Path = serde_json::from_str(&json).expect("deserialize");
     assert_eq!(back, path);

@@ -79,3 +79,64 @@ fn strategies_share_the_environment_at_equal_rep() {
         assert_eq!(w[0], w[1], "strategies must see identical workloads");
     }
 }
+
+#[test]
+fn chaos_models_are_deterministic() {
+    use dcrd::core::DcrdConfig;
+    use dcrd::experiments::scenario::{CrashSpec, GraySpec, PartitionSpec};
+    let chaos_scenario = |seed: u64| {
+        ScenarioBuilder::new()
+            .nodes(15)
+            .degree(5)
+            .failure_probability(0.02)
+            .partition(PartitionSpec {
+                fraction: 0.3,
+                window_secs: 10,
+                period_secs: 20,
+            })
+            .crashes(CrashSpec {
+                rate: 0.01,
+                mean_down_epochs: 2.0,
+            })
+            .gray_links(GraySpec {
+                fraction: 0.2,
+                extra_loss: 0.2,
+                delay_factor: 2.0,
+            })
+            .audit(true)
+            .dcrd(DcrdConfig::chaos_hardened())
+            .duration_secs(40)
+            .seed(seed)
+            .build()
+    };
+    for kind in [StrategyKind::Dcrd, StrategyKind::RTree] {
+        let a = run_once(&chaos_scenario(77), kind, 0);
+        let b = run_once(&chaos_scenario(77), kind, 0);
+        assert_eq!(
+            a.delivery_ratio(),
+            b.delivery_ratio(),
+            "{} delivery not reproducible under chaos",
+            kind.label()
+        );
+        assert_eq!(
+            a.qos_delivery_ratio(),
+            b.qos_delivery_ratio(),
+            "{} QoS not reproducible under chaos",
+            kind.label()
+        );
+        assert_eq!(
+            a.packets_per_subscriber(),
+            b.packets_per_subscriber(),
+            "{} traffic not reproducible under chaos",
+            kind.label()
+        );
+        assert_eq!(a.audit_violations(), b.audit_violations());
+    }
+    let a = run_once(&chaos_scenario(77), StrategyKind::Dcrd, 0);
+    let c = run_once(&chaos_scenario(78), StrategyKind::Dcrd, 0);
+    assert_ne!(
+        a.packets_per_subscriber(),
+        c.packets_per_subscriber(),
+        "distinct seeds must re-draw the chaos schedule"
+    );
+}

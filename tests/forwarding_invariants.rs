@@ -27,8 +27,7 @@ fn traced_run(strategy: &mut (impl RoutingStrategy + ?Sized), pf: f64, seed: u64
     let failure = FailureModel::links_only(LinkFailureModel::new(pf, seed ^ 0xF00));
     let mut config = RuntimeConfig::paper(SimDuration::from_secs(40), seed);
     config.capture_trace = true;
-    OverlayRuntime::new(&topo, &workload, failure, LossModel::PAPER_DEFAULT, config)
-        .run(strategy)
+    OverlayRuntime::new(&topo, &workload, failure, LossModel::PAPER_DEFAULT, config).run(strategy)
 }
 
 /// Every transmission recorded in the trace matches the traffic counter.
@@ -153,7 +152,10 @@ fn deliveries_are_causally_valid() {
             checked += 1;
         }
     }
-    assert!(checked > 100, "expected plenty of deliveries, saw {checked}");
+    assert!(
+        checked > 100,
+        "expected plenty of deliveries, saw {checked}"
+    );
 }
 
 /// Traces are off by default — no memory cost unless requested.

@@ -52,8 +52,7 @@ fn run(strategy: &mut (impl RoutingStrategy + ?Sized), pf: f64) -> DeliveryLog {
     let workload = shared_topic_workload(&topo);
     let failure = FailureModel::links_only(LinkFailureModel::new(pf, 0x22));
     let config = RuntimeConfig::paper(SimDuration::from_secs(60), 4);
-    OverlayRuntime::new(&topo, &workload, failure, LossModel::PAPER_DEFAULT, config)
-        .run(strategy)
+    OverlayRuntime::new(&topo, &workload, failure, LossModel::PAPER_DEFAULT, config).run(strategy)
 }
 
 #[test]
