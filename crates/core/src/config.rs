@@ -40,6 +40,65 @@ impl PersistenceMode {
     }
 }
 
+/// Whether a broker's in-flight custody state survives a crash-restart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum DurabilityMode {
+    /// In-flight state lives in RAM only (the paper's model): a
+    /// crash-restarted broker forgets every packet it had accepted.
+    #[default]
+    Volatile,
+    /// Write-ahead custody journaling: a broker records a packet on its
+    /// journal *before* taking custody, releases the entry as downstream
+    /// ACKs settle destinations, and replays surviving entries on restart.
+    Durable {
+        /// Simulated latency of the durable write, in milliseconds. The
+        /// broker ACKs and delivers immediately (the entry is already
+        /// journaled) but defers *forwarding* by this much — the price of
+        /// the fsync before the packet re-enters the sending lists. `0`
+        /// models journaling on battery-backed RAM.
+        write_cost_ms: u64,
+    },
+}
+
+impl DurabilityMode {
+    /// The journal write cost, or `None` when volatile.
+    #[must_use]
+    pub fn write_cost_ms(&self) -> Option<u64> {
+        match *self {
+            DurabilityMode::Volatile => None,
+            DurabilityMode::Durable { write_cost_ms } => Some(write_cost_ms),
+        }
+    }
+}
+
+/// Subscriber-side end-to-end recovery: gap detection over per-(topic,
+/// publisher) sequence numbers, NACKs routed toward the publisher, and a
+/// bounded dedup window absorbing replayed copies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryConfig {
+    /// Dedup-window capacity per (publisher, subscriber) stream. Size it to
+    /// cover `publish_rate × max_recovery_latency` sequence numbers.
+    pub dedup_window: u32,
+    /// How many times one missing sequence number may be NACKed before the
+    /// subscriber stops asking (bounds recovery traffic; keep comfortably
+    /// under the auditor's per-edge budget).
+    pub max_nacks_per_seq: u32,
+    /// Epochs a sequence number must be overdue before it is NACKed —
+    /// absorbs path-diversity reordering and in-flight copies so the sweep
+    /// does not NACK packets that are merely slow.
+    pub grace_epochs: u64,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            dedup_window: 1024,
+            max_nacks_per_seq: 50,
+            grace_epochs: 2,
+        }
+    }
+}
+
 /// How a broker times out a hop-by-hop ACK.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub enum TimeoutPolicy {
@@ -156,6 +215,15 @@ pub struct DcrdConfig {
     /// Per-neighbor circuit breaker (`None` disables it — the paper's
     /// behavior).
     pub breaker: Option<BreakerConfig>,
+    /// Custody durability: whether in-flight state is journaled and
+    /// replayed across crash-restarts (volatile by default — the paper's
+    /// model).
+    #[serde(default)]
+    pub durability: DurabilityMode,
+    /// Subscriber-side NACK recovery (`None` disables it — the paper's
+    /// behavior).
+    #[serde(default)]
+    pub recovery: Option<RecoveryConfig>,
 }
 
 impl Default for DcrdConfig {
@@ -169,6 +237,8 @@ impl Default for DcrdConfig {
             propagation: PropagationConfig::default(),
             timeout_policy: TimeoutPolicy::Fixed,
             breaker: None,
+            durability: DurabilityMode::default(),
+            recovery: None,
         }
     }
 }
@@ -183,6 +253,25 @@ impl DcrdConfig {
             timeout_policy: TimeoutPolicy::Adaptive(AdaptiveTimeoutConfig::default()),
             breaker: Some(BreakerConfig::default()),
             ..DcrdConfig::default()
+        }
+    }
+
+    /// The crash-survivable variant: everything in
+    /// [`chaos_hardened`](DcrdConfig::chaos_hardened) plus write-ahead
+    /// custody journaling with restart replay, aggressive publisher
+    /// persistence, and subscriber-side NACK recovery. This is the
+    /// configuration under which the end-to-end audit (no gaps, no
+    /// duplicates) is expected to hold under crash chaos.
+    #[must_use]
+    pub fn recovery_hardened() -> Self {
+        DcrdConfig {
+            durability: DurabilityMode::Durable { write_cost_ms: 1 },
+            recovery: Some(RecoveryConfig::default()),
+            persistence: PersistenceMode::Retry {
+                max_retries: 100,
+                retry_after_ms: 500,
+            },
+            ..DcrdConfig::chaos_hardened()
         }
     }
 }
@@ -212,6 +301,23 @@ mod tests {
         assert_eq!(p.retry_params(), Some((5, 1000)));
         assert_eq!(PersistenceMode::Disabled.retry_params(), None);
         assert_eq!(PersistenceMode::default().retry_params(), None);
+    }
+
+    #[test]
+    fn recovery_hardened_layers_on_chaos_hardened() {
+        let c = DcrdConfig::recovery_hardened();
+        assert!(matches!(c.timeout_policy, TimeoutPolicy::Adaptive(_)));
+        assert!(c.breaker.is_some());
+        assert_eq!(c.durability.write_cost_ms(), Some(1));
+        let r = c.recovery.expect("recovery enabled");
+        assert!(r.dedup_window >= 64);
+        assert!(r.max_nacks_per_seq >= 1);
+        assert!(c.persistence.retry_params().is_some());
+        // The paper's defaults stay untouched.
+        let d = DcrdConfig::default();
+        assert_eq!(d.durability, DurabilityMode::Volatile);
+        assert!(d.recovery.is_none());
+        assert_eq!(DurabilityMode::Volatile.write_cost_ms(), None);
     }
 
     #[test]

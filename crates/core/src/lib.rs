@@ -25,6 +25,9 @@
 //!   (Algorithm 2, §III-D) with hop-by-hop ACK timers, `m`-transmission
 //!   retries, destination merging, loop avoidance via the packet's routing
 //!   path, upstream rerouting, and the optional persistence extension.
+//! * [`journal`] — the write-ahead custody journal (robustness extension):
+//!   brokers journal packets before taking custody and replay surviving
+//!   entries after a crash-restart.
 //! * [`config`] — tuning knobs, including the ablation switches called out
 //!   in `DESIGN.md`.
 //!
@@ -52,6 +55,7 @@
 
 pub mod analysis;
 pub mod config;
+pub mod journal;
 pub mod ordering;
 pub mod params;
 pub mod propagation;
@@ -60,7 +64,8 @@ pub mod router;
 pub mod sending_list;
 
 pub use config::{
-    AdaptiveTimeoutConfig, BreakerConfig, DcrdConfig, OrderingPolicy, PersistenceMode,
-    TimeoutPolicy,
+    AdaptiveTimeoutConfig, BreakerConfig, DcrdConfig, DurabilityMode, OrderingPolicy,
+    PersistenceMode, RecoveryConfig, TimeoutPolicy,
 };
+pub use journal::{InFlightJournal, JournalEntry, JournalStats};
 pub use router::DcrdStrategy;

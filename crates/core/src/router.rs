@@ -21,7 +21,8 @@ use std::collections::{HashMap, HashSet};
 
 use dcrd_net::estimate::LinkEstimates;
 use dcrd_net::{NodeId, Topology};
-use dcrd_pubsub::packet::{Packet, PacketId};
+use dcrd_pubsub::packet::{Packet, PacketId, PacketKind};
+use dcrd_pubsub::recovery::SequenceTracker;
 use dcrd_pubsub::strategy::{
     ack_timeout, Actions, RoutingStrategy, RunParams, SetupContext, TimerKey, ACK_TIMEOUT_SLACK,
 };
@@ -29,11 +30,20 @@ use dcrd_pubsub::topic::TopicId;
 use dcrd_pubsub::workload::Workload;
 use dcrd_sim::{SimDuration, SimTime};
 
-use crate::config::{DcrdConfig, PersistenceMode, TimeoutPolicy};
+use crate::config::{DcrdConfig, DurabilityMode, PersistenceMode, TimeoutPolicy};
+use crate::journal::InFlightJournal;
 use crate::propagation::{compute_tables_with_distances, SubscriberTables};
 
 /// Tag space reserved for persistence-retry timers (top bit set).
 const PERSIST_TAG_BASE: u64 = 1 << 63;
+
+/// Tag space reserved for journal write-completion timers (below the
+/// persistence space, above every sequential send tag).
+const JOURNAL_TAG_BASE: u64 = 1 << 62;
+
+/// Packet-id space for NACKs, minted by subscribers. The runtime's data
+/// packet ids count up from zero, so the spaces never collide.
+const NACK_ID_BASE: u64 = 1 << 63;
 
 /// One outstanding transmission awaiting its hop-by-hop ACK.
 #[derive(Debug, Clone)]
@@ -179,8 +189,23 @@ pub struct DcrdStrategy {
     /// idempotent even when duplicate copies converge (lost ACKs, crash
     /// recovery).
     delivered: HashSet<(PacketId, NodeId)>,
+    /// Write-ahead custody journal ([`DurabilityMode::Durable`] only;
+    /// stays empty when volatile). Like `delivered`, it models per-broker
+    /// durable storage, so it survives `on_restart` wipes.
+    journal: InFlightJournal,
+    /// Per-(topic, publisher, subscriber) sequencing state: the bounded
+    /// dedup window plus gap bookkeeping (recovery mode only).
+    trackers: HashMap<(TopicId, NodeId, NodeId), SequenceTracker>,
+    /// NACKs already issued per (topic, publisher, subscriber, seq) —
+    /// bounds recovery traffic for genuinely unrecoverable gaps.
+    nack_counts: HashMap<(TopicId, NodeId, NodeId, u64), u32>,
+    /// Next hop from each node toward each publisher (shortest delay
+    /// path), rebuilt with the routing tables: how NACKs travel upstream.
+    toward_publisher: HashMap<(NodeId, NodeId), NodeId>,
     next_tag: u64,
     next_persist_tag: u64,
+    next_journal_tag: u64,
+    next_nack_id: u64,
 }
 
 impl DcrdStrategy {
@@ -199,8 +224,14 @@ impl DcrdStrategy {
             rtt: HashMap::new(),
             suspicion: HashMap::new(),
             delivered: HashSet::new(),
+            journal: InFlightJournal::new(),
+            trackers: HashMap::new(),
+            nack_counts: HashMap::new(),
+            toward_publisher: HashMap::new(),
             next_tag: 0,
             next_persist_tag: PERSIST_TAG_BASE,
+            next_journal_tag: JOURNAL_TAG_BASE,
+            next_nack_id: NACK_ID_BASE,
         }
     }
 
@@ -227,13 +258,45 @@ impl DcrdStrategy {
         self.inflight.len()
     }
 
+    /// The custody journal (populated in [`DurabilityMode::Durable`] only).
+    #[must_use]
+    pub fn journal(&self) -> &InFlightJournal {
+        &self.journal
+    }
+
+    /// One subscriber's sequencing state for a stream, if it exists yet
+    /// (recovery mode only).
+    #[must_use]
+    pub fn sequence_tracker(
+        &self,
+        topic: TopicId,
+        publisher: NodeId,
+        subscriber: NodeId,
+    ) -> Option<&SequenceTracker> {
+        self.trackers.get(&(topic, publisher, subscriber))
+    }
+
+    /// Whether brokers journal custody before it takes effect.
+    fn durable(&self) -> bool {
+        matches!(self.config.durability, DurabilityMode::Durable { .. })
+    }
+
     fn rebuild_tables(&mut self, estimates: &LinkEstimates) {
         let topo = self.topology.as_ref().expect("setup ran");
         let workload = self.workload.as_ref().expect("setup ran");
         self.tables.clear();
+        self.toward_publisher.clear();
         for spec in workload.topics() {
             let dist =
                 dcrd_net::paths::dijkstra(topo, spec.publisher, dcrd_net::paths::Metric::Delay);
+            // NACKs climb the shortest-delay tree rooted at the publisher:
+            // each node's predecessor is its next hop toward the root.
+            for i in 0..topo.num_nodes() {
+                let n = topo.node(i);
+                if let Some((parent, _)) = dist.predecessor(n) {
+                    self.toward_publisher.insert((spec.publisher, n), parent);
+                }
+            }
             for sub in &spec.subscriptions {
                 let tables = compute_tables_with_distances(
                     topo,
@@ -473,6 +536,7 @@ impl DcrdStrategy {
         }
         for dest in give_ups {
             state.done.insert(dest);
+            self.journal.note_done(node, id, dest);
             out.give_up(id, dest);
         }
         if !park.is_empty() {
@@ -488,18 +552,85 @@ impl DcrdStrategy {
             }
         }
         if state.finished() {
-            self.inflight.remove(&(id, node));
+            self.conclude(node, id);
         }
+    }
+
+    /// Drops a finished in-flight state and retires its custody entry —
+    /// unless the holder is the packet's publisher. The publisher keeps
+    /// custody for the whole run so a NACK climbing toward it is always
+    /// guaranteed a custodian at the top.
+    fn conclude(&mut self, node: NodeId, id: PacketId) {
+        let Some(state) = self.inflight.remove(&(id, node)) else {
+            return;
+        };
+        if node != state.packet.publisher {
+            self.journal.retire(node, id);
+        }
+    }
+
+    /// Journals `holder`'s custody of `packet` before it takes effect (the
+    /// write-ahead discipline). With a nonzero write cost the forwarding
+    /// work is deferred by that cost via a timer in the journal tag space;
+    /// returns whether such a timer was armed. No-op returning `false`
+    /// when volatile.
+    fn take_custody(
+        &mut self,
+        node: NodeId,
+        packet: &Packet,
+        upstream: Option<NodeId>,
+        now: SimTime,
+        out: &mut Actions,
+    ) -> bool {
+        let Some(cost) = self.config.durability.write_cost_ms() else {
+            return false;
+        };
+        self.journal.record(node, packet, upstream);
+        if cost == 0 {
+            return false;
+        }
+        let tag = self.next_journal_tag;
+        self.next_journal_tag += 1;
+        out.set_timer(
+            now + SimDuration::from_millis(cost),
+            TimerKey {
+                packet: packet.id,
+                tag,
+            },
+        );
+        true
     }
 
     /// Handles local delivery (at most once per `(message, subscriber)`
     /// pair — duplicate copies born from lost ACKs or crash recovery are
     /// absorbed here) and strips this node from the destinations still
     /// needing routing.
+    ///
+    /// In recovery mode the per-stream [`SequenceTracker`] sits in front:
+    /// its bounded dedup window replaces the silent drop with an explicit
+    /// [`Suppress`](dcrd_pubsub::strategy::Action::Suppress), so the
+    /// auditor can tell benign replay duplicates from protocol bugs.
     fn deliver_locally(&mut self, node: NodeId, packet: &mut Packet, out: &mut Actions) {
         if let Some(pos) = packet.destinations.iter().position(|&d| d == node) {
-            if self.delivered.insert((packet.id, node)) {
-                out.deliver(packet.id);
+            let fresh_id = self.delivered.insert((packet.id, node));
+            match self.config.recovery {
+                Some(rc) => {
+                    let tracker = self
+                        .trackers
+                        .entry((packet.topic, packet.publisher, node))
+                        .or_insert_with(|| SequenceTracker::new(rc.dedup_window as usize));
+                    let fresh_seq = tracker.observe(packet.seq);
+                    if fresh_id && fresh_seq {
+                        out.deliver(packet.id);
+                    } else {
+                        out.suppress(packet.id);
+                    }
+                }
+                None => {
+                    if fresh_id {
+                        out.deliver(packet.id);
+                    }
+                }
             }
             packet.destinations.swap_remove(pos);
         }
@@ -527,6 +658,78 @@ impl DcrdStrategy {
             .into_iter()
             .flatten()
             .find(|&c| c != node && topo.edge_between(node, c).is_some())
+    }
+
+    /// Handles an incoming NACK at this broker. Every missing sequence
+    /// number the broker has eligible custody for is re-served to the
+    /// requesting subscriber through the normal sending-list machinery;
+    /// the rest are relayed onward toward the publisher, whose permanent
+    /// custody makes it the guaranteed terminus. A NACK reaching the
+    /// publisher for something it never journalled simply dies.
+    fn handle_nack(&mut self, node: NodeId, packet: Packet, now: SimTime, out: &mut Actions) {
+        let PacketKind::Nack {
+            subscriber,
+            ref missing,
+        } = packet.kind
+        else {
+            return;
+        };
+        let mut unresolved: Vec<u64> = Vec::new();
+        let mut serve: Vec<(PacketId, Packet)> = Vec::new();
+        for &seq in missing {
+            match self
+                .journal
+                .find_custody(node, packet.topic, packet.publisher, seq)
+            {
+                // Serve only subscribers this custody ever covered —
+                // otherwise a NACK could conjure deliveries the protocol
+                // never owed (e.g. to a subscriber that joined late).
+                Some((id, entry))
+                    if entry.packet.destinations.contains(&subscriber)
+                        || entry.done.contains(&subscriber) =>
+                {
+                    let mut copy = entry.packet.clone();
+                    copy.destinations = vec![subscriber];
+                    copy.path.clear();
+                    copy.tag = 0;
+                    serve.push((id, copy));
+                }
+                _ => unresolved.push(seq),
+            }
+        }
+        for (id, copy) in serve {
+            self.journal.note_undone(node, id, subscriber);
+            match self.inflight.get_mut(&(id, node)) {
+                Some(state) => {
+                    if !state.packet.destinations.contains(&subscriber) {
+                        state.packet.destinations.push(subscriber);
+                    }
+                    state.done.remove(&subscriber);
+                    state.tried.remove(&subscriber);
+                    state.parked.retain(|&d| d != subscriber);
+                    // Re-open the send budget: a state worn down by earlier
+                    // speculative retries would otherwise give up on the
+                    // spot, wedging this pair forever. Demand-driven repair
+                    // is bounded by the NACK-per-seq budget instead.
+                    state.attempts = 0;
+                    state.persist_retries = 0;
+                }
+                None => {
+                    self.inflight.insert((id, node), NodeState::new(copy, None));
+                }
+            }
+            self.process(node, id, now, out);
+        }
+        if !unresolved.is_empty() && node != packet.publisher {
+            if let Some(&hop) = self.toward_publisher.get(&(packet.publisher, node)) {
+                let mut fwd = packet.forward(node, vec![packet.publisher], 0);
+                fwd.kind = PacketKind::Nack {
+                    subscriber,
+                    missing: unresolved,
+                };
+                out.send(hop, fwd);
+            }
+        }
     }
 
     fn merge_path(into: &mut Vec<NodeId>, from: &[NodeId]) {
@@ -558,9 +761,12 @@ impl RoutingStrategy for DcrdStrategy {
             return;
         }
         let id = packet.id;
+        let deferred = self.take_custody(node, &packet, None, now, out);
         self.inflight
             .insert((id, node), NodeState::new(packet, None));
-        self.process(node, id, now, out);
+        if !deferred {
+            self.process(node, id, now, out);
+        }
     }
 
     fn on_packet(
@@ -571,11 +777,17 @@ impl RoutingStrategy for DcrdStrategy {
         now: SimTime,
         out: &mut Actions,
     ) {
+        if packet.is_nack() {
+            self.handle_nack(node, packet, now, out);
+            return;
+        }
         self.deliver_locally(node, &mut packet, out);
         if packet.destinations.is_empty() {
             return;
         }
         let id = packet.id;
+        let durable = self.durable();
+        let mut deferred = false;
         match self.inflight.get_mut(&(id, node)) {
             Some(state) => {
                 // A second copy: either a RETURNED packet (we are on its
@@ -595,7 +807,16 @@ impl RoutingStrategy for DcrdStrategy {
                     // forwarded — that would amplify every duplicate.
                     if returned {
                         state.done.remove(&dest);
+                        self.journal.note_undone(node, id, dest);
                     }
+                }
+                // A widened destination set widens the custody too. The
+                // entry is already journalled, so the rewrite carries no
+                // second write cost.
+                if durable {
+                    let snapshot = state.packet.clone();
+                    let upstream = state.upstream;
+                    self.journal.record(node, &snapshot, upstream);
                 }
             }
             None => {
@@ -608,11 +829,14 @@ impl RoutingStrategy for DcrdStrategy {
                 } else {
                     Some(from)
                 };
+                deferred = self.take_custody(node, &packet, upstream, now, out);
                 self.inflight
                     .insert((id, node), NodeState::new(packet, upstream));
             }
         }
-        self.process(node, id, now, out);
+        if !deferred {
+            self.process(node, id, now, out);
+        }
     }
 
     fn on_ack(
@@ -630,9 +854,10 @@ impl RoutingStrategy for DcrdStrategy {
         if let Some(p) = state.pending.remove(&packet.tag) {
             for dest in &p.packet.destinations {
                 state.done.insert(*dest);
+                self.journal.note_done(node, packet.id, *dest);
             }
             if state.finished() {
-                self.inflight.remove(&(packet.id, node));
+                self.conclude(node, packet.id);
             }
             self.record_ack_feedback(node, p.to, p.sent_at, p.retransmitted, now);
         }
@@ -653,6 +878,14 @@ impl RoutingStrategy for DcrdStrategy {
                 state.attempts = 0;
                 state.packet.path.clear();
             }
+            self.process(node, id, now, out);
+            return;
+        }
+        if key.tag >= JOURNAL_TAG_BASE {
+            // The journal write completed; custody is effective and the
+            // packet may now be forwarded. If the broker crashed while the
+            // write was in flight, the state is gone and the entry waits
+            // for restart replay instead.
             self.process(node, id, now, out);
             return;
         }
@@ -706,7 +939,7 @@ impl RoutingStrategy for DcrdStrategy {
         self.rebuild_tables(&estimates);
     }
 
-    fn on_restart(&mut self, node: NodeId, _now: SimTime, _out: &mut Actions) {
+    fn on_restart(&mut self, node: NodeId, now: SimTime, out: &mut Actions) {
         // A crash wipes the broker's volatile state: in-flight per-packet
         // forwarding state, RTT estimates and breaker bookkeeping. Stale
         // timers for the dropped state fire into the void (on_timer finds
@@ -715,6 +948,106 @@ impl RoutingStrategy for DcrdStrategy {
         self.inflight.retain(|&(_, holder), _| holder != node);
         self.rtt.retain(|&(from, _), _| from != node);
         self.suspicion.retain(|&(from, _), _| from != node);
+        if !self.durable() {
+            return;
+        }
+        // Replay the surviving custody entries, delay-cognizantly: only
+        // destinations that are unsettled AND still inside their delay
+        // budget re-enter the sending-list machinery. Expired destinations
+        // are not replayed — completeness for them is the NACK path's job,
+        // which serves from the (kept) journal entry regardless of budget.
+        let workload = self.workload.clone().expect("setup ran");
+        for (id, entry) in self.journal.replay_for(node) {
+            let mut packet = entry.packet.clone();
+            packet.path.clear();
+            packet.tag = 0;
+            let spec = workload
+                .topics()
+                .iter()
+                .find(|s| s.topic == packet.topic && s.publisher == packet.publisher);
+            let live: Vec<NodeId> = packet
+                .destinations
+                .iter()
+                .copied()
+                .filter(|&dest| {
+                    !entry.done.contains(&dest)
+                        && spec
+                            .and_then(|s| s.deadline_of(dest))
+                            .is_some_and(|dl| now.saturating_since(packet.published_at) < dl)
+                })
+                .collect();
+            if live.is_empty() {
+                continue;
+            }
+            packet.destinations = live;
+            self.inflight
+                .insert((id, node), NodeState::new(packet, entry.upstream));
+            self.process(node, id, now, out);
+        }
+    }
+
+    fn on_tick(&mut self, node: NodeId, now: SimTime, out: &mut Actions) {
+        let Some(rc) = self.config.recovery else {
+            return;
+        };
+        let Some(workload) = self.workload.clone() else {
+            return;
+        };
+        let grace = SimDuration::from_secs(rc.grace_epochs);
+        let horizon = self.params.horizon;
+        for spec in workload.topics() {
+            if spec.publisher == node || !spec.subscriptions.iter().any(|s| s.subscriber == node) {
+                continue;
+            }
+            let tracker = self
+                .trackers
+                .entry((spec.topic, spec.publisher, node))
+                .or_insert_with(|| SequenceTracker::new(rc.dedup_window as usize));
+            // The newest sequence number that was actually published
+            // (inside the horizon) and has been overdue for at least the
+            // grace period — everything below it should have arrived.
+            let mut expected_hi: Option<u64> = None;
+            let mut k = tracker.low();
+            loop {
+                let t = spec.publish_time(k);
+                if t > now
+                    || t.saturating_since(SimTime::ZERO) > horizon
+                    || now.saturating_since(t) < grace
+                {
+                    break;
+                }
+                expected_hi = Some(k);
+                k += 1;
+            }
+            let Some(hi) = expected_hi else {
+                continue;
+            };
+            let missing = tracker.missing_through(hi);
+            let mut wanted: Vec<u64> = Vec::new();
+            for seq in missing {
+                let sent = self
+                    .nack_counts
+                    .entry((spec.topic, spec.publisher, node, seq))
+                    .or_insert(0);
+                if *sent < rc.max_nacks_per_seq {
+                    *sent += 1;
+                    wanted.push(seq);
+                }
+            }
+            if wanted.is_empty() {
+                continue;
+            }
+            let Some(&hop) = self.toward_publisher.get(&(spec.publisher, node)) else {
+                continue;
+            };
+            // Fresh id per sweep: the NACK is fire-and-forget (no ACK
+            // timer guards it), so a lost one is simply re-minted — and
+            // re-used ids would trip the auditor's edge-budget check.
+            let id = PacketId::new(self.next_nack_id);
+            self.next_nack_id += 1;
+            let nack = Packet::nack(id, spec.topic, spec.publisher, now, node, wanted);
+            out.send(hop, nack.forward(node, vec![spec.publisher], 0));
+        }
     }
 }
 

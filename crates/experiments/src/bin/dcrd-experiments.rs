@@ -5,7 +5,7 @@
 //!
 //! figures: fig2 fig3 fig4 fig5 fig6 fig7 fig8
 //!          ablation-ordering ablation-reroute ablation-timeout
-//!          ablation-monitor chaos all
+//!          ablation-monitor chaos recovery all
 //! ```
 //!
 //! Without `--out`, tables print to stdout; with it, each figure also writes
@@ -28,7 +28,7 @@ use dcrd_experiments::scenario::Quality;
 use dcrd_metrics::plot::{figure_svg, render_svg, PlotConfig, PlotSeries};
 use dcrd_metrics::report::{render_cdf, FigureSeries, MetricKind};
 
-const FIGURES: [&str; 16] = [
+const FIGURES: [&str; 17] = [
     "fig2",
     "fig3",
     "fig4",
@@ -45,6 +45,7 @@ const FIGURES: [&str; 16] = [
     "ablation-timeout",
     "ablation-monitor",
     "chaos",
+    "recovery",
 ];
 
 fn usage() -> ExitCode {
@@ -435,6 +436,26 @@ fn run_figure(name: &str, quality: Quality) -> FigureOutput {
                 csv: Some(csv),
                 json: serde_json::to_string_pretty(&report.series).ok(),
                 svgs,
+            }
+        }
+        "recovery" => {
+            let report = dcrd_experiments::recovery::recovery_report(quality);
+            let mut text = String::new();
+            for m in [MetricKind::Delivery, MetricKind::Qos] {
+                text.push_str(&report.series.render_table(m));
+                text.push('\n');
+            }
+            text.push_str(&format!(
+                "invariant auditor: {} violation(s) across the recovery sweep\n\
+                 (recovery arm audited end-to-end: every published pair must arrive exactly once)\n",
+                report.total_audit_violations
+            ));
+            let svg = figure_svg(&report.series, MetricKind::Delivery, false);
+            FigureOutput {
+                text,
+                csv: Some(report.series.render_csv()),
+                json: serde_json::to_string_pretty(&report.series).ok(),
+                svgs: vec![("crashes-delivery", svg)],
             }
         }
         "ablation-multipath" => series_output(&figures::ablation_multipath(quality), &all),

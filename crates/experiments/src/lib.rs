@@ -13,6 +13,9 @@
 //! * [`chaos`] — the chaos study: partition / crash-restart / gray-link
 //!   sweeps comparing the chaos-hardened DCRD router against the paper's
 //!   fixed-timeout router, with the invariant auditor on everywhere.
+//! * [`recovery`] — the recovery study: a harsh crash-rate sweep
+//!   comparing the durable custody journal + NACK recovery against the
+//!   volatile router, with the end-to-end sequence audit armed.
 //!
 //! The `dcrd-experiments` binary exposes all of it on the command line:
 //!
@@ -26,9 +29,11 @@
 
 pub mod chaos;
 pub mod figures;
+pub mod recovery;
 pub mod runner;
 pub mod scenario;
 
 pub use chaos::{chaos_report, ChaosReport};
+pub use recovery::{recovery_report, RecoveryReport};
 pub use runner::{run_comparison, run_scenario, StrategyKind};
 pub use scenario::{Quality, Scenario, ScenarioBuilder, TopologyKind};

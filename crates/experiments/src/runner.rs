@@ -164,13 +164,19 @@ pub fn run_once(scenario: &Scenario, kind: StrategyKind, rep: u32) -> RunMetrics
         params: RunParams {
             m: scenario.m,
             ack_timeout_factor: scenario.ack_timeout_factor,
+            ..RunParams::default()
         },
         seed: derive_seed_indexed(scenario.seed, "runtime", u64::from(rep)),
         monitoring: scenario.monitoring,
         ack_transit: scenario.ack_transit,
-        audit: scenario
-            .audit
-            .then(|| AuditConfig::for_overlay(scenario.nodes, 64)),
+        audit: scenario.audit.then(|| {
+            let cfg = AuditConfig::for_overlay(scenario.nodes, 64);
+            if scenario.audit_sequences {
+                cfg.with_sequence_check()
+            } else {
+                cfg
+            }
+        }),
         ..RuntimeConfig::paper(scenario.duration, 0)
     };
     let runtime = OverlayRuntime::new(&topo, &workload, failure, loss, config);

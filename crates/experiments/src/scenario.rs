@@ -134,6 +134,11 @@ pub struct Scenario {
     /// report to the metrics.
     #[serde(default)]
     pub audit: bool,
+    /// Additionally audit end-to-end completeness: every published
+    /// `(message, subscriber)` pair must be delivered (requires `audit`;
+    /// meaningful only for recovery-enabled strategies).
+    #[serde(default)]
+    pub audit_sequences: bool,
     /// Per-transmission loss probability `Pl` (paper default `10⁻⁴`).
     pub pl: f64,
     /// Transmissions per link before switching (`m`, paper default 1).
@@ -212,6 +217,7 @@ impl ScenarioBuilder {
                 crashes: None,
                 gray: None,
                 audit: false,
+                audit_sequences: false,
                 pl: 1e-4,
                 m: 1,
                 ack_timeout_factor: 1.0,
@@ -304,6 +310,18 @@ impl ScenarioBuilder {
     #[must_use]
     pub fn audit(mut self, on: bool) -> Self {
         self.scenario.audit = on;
+        self
+    }
+
+    /// Additionally audits end-to-end completeness (implies `audit`): the
+    /// report flags every published-but-undelivered `(message, subscriber)`
+    /// pair as a sequence gap.
+    #[must_use]
+    pub fn audit_sequences(mut self, on: bool) -> Self {
+        self.scenario.audit_sequences = on;
+        if on {
+            self.scenario.audit = true;
+        }
         self
     }
 

@@ -20,6 +20,18 @@
 //! * **ACK discipline** — every ACK received over a directed link matches
 //!   an earlier data transmission that *arrived* in the opposite direction
 //!   (at most one ACK per arrival).
+//! * **End-to-end completeness** (opt-in,
+//!   [`AuditConfig::sequence_check`]) — every `(message, subscriber)` pair
+//!   the publisher created an expectation for is eventually delivered.
+//!   Only meaningful with crash recovery enabled: without it, crashed
+//!   brokers legitimately lose packets.
+//!
+//! Recovery runs also produce *benign* duplicates: crash replay and NACK
+//! re-sends can race the original copy, and the subscriber's dedup window
+//! absorbs the extra copy ([`TraceEvent::Suppress`]). The auditor counts
+//! those separately ([`AuditReport::replay_suppressions`]) instead of
+//! flagging them — only a genuine double application delivery is a
+//! [`Violation::DuplicateDelivery`].
 //!
 //! The auditor is deliberately cheap (hash-map counters per active packet)
 //! so it can run inside every chaos sweep, and it reports violations as
@@ -34,7 +46,7 @@ use std::collections::HashMap;
 use dcrd_net::NodeId;
 use serde::{Deserialize, Serialize};
 
-use crate::packet::PacketId;
+use crate::packet::{Packet, PacketId};
 use crate::trace::{TraceEvent, TxOutcome};
 
 /// Bounds the auditor enforces. These are livelock detectors, not tight
@@ -47,6 +59,12 @@ pub struct AuditConfig {
     pub max_edge_uses: u32,
     /// Maximum total transmissions of one message.
     pub max_sends_per_packet: u64,
+    /// Enforce end-to-end completeness: every published `(message,
+    /// subscriber)` pair must be delivered by the end of the run. Enable
+    /// only when the strategy runs with crash recovery — otherwise crashes
+    /// legitimately lose packets and every loss trips a false positive.
+    #[serde(default)]
+    pub sequence_check: bool,
 }
 
 impl AuditConfig {
@@ -61,7 +79,15 @@ impl AuditConfig {
             max_sends_per_packet: u64::from(max_attempts_per_node)
                 .saturating_mul(nodes as u64)
                 .saturating_mul(4),
+            sequence_check: false,
         }
+    }
+
+    /// Enables the end-to-end completeness check (builder style).
+    #[must_use]
+    pub fn with_sequence_check(mut self) -> Self {
+        self.sequence_check = true;
+        self
     }
 }
 
@@ -111,6 +137,17 @@ pub enum Violation {
         /// The sender that received the ACK.
         to: NodeId,
     },
+    /// A published `(message, subscriber)` pair was never delivered — a gap
+    /// in the subscriber's sequence that recovery failed to close. Only
+    /// emitted when [`AuditConfig::sequence_check`] is on.
+    SequenceGap {
+        /// The undelivered message.
+        packet: PacketId,
+        /// The subscriber with the gap.
+        subscriber: NodeId,
+        /// The message's per-(topic, publisher) sequence number.
+        seq: u64,
+    },
 }
 
 /// How many violations are kept verbatim; beyond this only the count grows.
@@ -125,6 +162,11 @@ pub struct AuditReport {
     pub total_violations: u64,
     /// Events the auditor observed.
     pub events_observed: u64,
+    /// Benign duplicates absorbed by subscriber dedup windows (crash replay
+    /// or NACK re-sends racing the original copy). Informational, not a
+    /// violation.
+    #[serde(default)]
+    pub replay_suppressions: u64,
 }
 
 impl AuditReport {
@@ -150,6 +192,10 @@ pub struct InvariantAuditor {
     /// Data arrivals not yet consumed by an ACK, per `(message, sender,
     /// receiver)`.
     unacked_arrivals: HashMap<(PacketId, NodeId, NodeId), u32>,
+    /// Publish-time expectations, in publish order: `(message, sequence
+    /// number, expected subscribers)`. Only populated when the sequence
+    /// check is on.
+    published: Vec<(PacketId, u64, Vec<NodeId>)>,
     report: AuditReport,
 }
 
@@ -163,7 +209,18 @@ impl InvariantAuditor {
             packet_sends: HashMap::new(),
             delivered: HashMap::new(),
             unacked_arrivals: HashMap::new(),
+            published: Vec::new(),
             report: AuditReport::default(),
+        }
+    }
+
+    /// Records the expectation set of a freshly published message (called
+    /// by the runtime at publish time, data packets only). A no-op unless
+    /// [`AuditConfig::sequence_check`] is enabled.
+    pub fn observe_publish(&mut self, packet: &Packet) {
+        if self.config.sequence_check && !packet.is_nack() {
+            self.published
+                .push((packet.id, packet.seq, packet.destinations.clone()));
         }
     }
 
@@ -225,13 +282,32 @@ impl InvariantAuditor {
                     _ => self.violate(Violation::AckWithoutArrival { packet, from, to }),
                 }
             }
+            TraceEvent::Suppress { .. } => {
+                self.report.replay_suppressions += 1;
+            }
             TraceEvent::GiveUp { .. } => {}
         }
     }
 
-    /// Finalizes the audit and returns the report.
+    /// Finalizes the audit and returns the report. When the sequence check
+    /// is on, every published `(message, subscriber)` pair without a
+    /// delivery becomes a [`Violation::SequenceGap`].
     #[must_use]
-    pub fn finish(self) -> AuditReport {
+    pub fn finish(mut self) -> AuditReport {
+        if self.config.sequence_check {
+            let published = std::mem::take(&mut self.published);
+            for (packet, seq, subscribers) in published {
+                for subscriber in subscribers {
+                    if !self.delivered.contains_key(&(packet, subscriber)) {
+                        self.violate(Violation::SequenceGap {
+                            packet,
+                            subscriber,
+                            seq,
+                        });
+                    }
+                }
+            }
+        }
         self.report
     }
 }
@@ -273,6 +349,7 @@ mod tests {
         AuditConfig {
             max_edge_uses: 2,
             max_sends_per_packet: 4,
+            sequence_check: false,
         }
     }
 
@@ -365,6 +442,61 @@ mod tests {
         assert_eq!(report.total_violations, 200);
         assert_eq!(report.violations.len(), MAX_RECORDED);
         assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn sequence_check_flags_undelivered_pairs() {
+        use crate::topic::TopicId;
+        let mut a = InvariantAuditor::new(tight().with_sequence_check());
+        let p = Packet::new(
+            PacketId::new(7),
+            TopicId::new(0),
+            NodeId::new(0),
+            SimTime::ZERO,
+            vec![NodeId::new(1), NodeId::new(2)],
+        )
+        .with_seq(4);
+        a.observe_publish(&p);
+        a.observe(&deliver(1, 7));
+        let report = a.finish();
+        assert_eq!(report.total_violations, 1);
+        assert!(matches!(
+            report.violations[0],
+            Violation::SequenceGap {
+                subscriber,
+                seq: 4,
+                ..
+            } if subscriber == NodeId::new(2)
+        ));
+    }
+
+    #[test]
+    fn sequence_check_off_ignores_publishes() {
+        use crate::topic::TopicId;
+        let mut a = InvariantAuditor::new(tight());
+        let p = Packet::new(
+            PacketId::new(7),
+            TopicId::new(0),
+            NodeId::new(0),
+            SimTime::ZERO,
+            vec![NodeId::new(1)],
+        );
+        a.observe_publish(&p);
+        assert!(a.finish().is_clean());
+    }
+
+    #[test]
+    fn suppressions_are_benign() {
+        let mut a = InvariantAuditor::new(tight());
+        a.observe(&deliver(1, 7));
+        a.observe(&TraceEvent::Suppress {
+            at: SimTime::ZERO,
+            node: NodeId::new(1),
+            packet: PacketId::new(7),
+        });
+        let report = a.finish();
+        assert!(report.is_clean());
+        assert_eq!(report.replay_suppressions, 1);
     }
 
     #[test]

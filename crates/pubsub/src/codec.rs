@@ -5,8 +5,10 @@
 //! straightforward length-prefixed little-endian encoding:
 //!
 //! ```text
-//! magic  u8 = 0xDC   version u8 = 1
+//! magic  u8 = 0xDC   version u8 = 2
 //! id u64   topic u32   publisher u32   published_at_us u64   tag u64
+//! seq u64
+//! kind u8 (0 = data; 1 = nack: subscriber u32, missing_count u16, seq u64 ×n)
 //! dest_count u16, dest u32 ×n
 //! path_len   u16, node u32 ×n
 //! route_flag u8 (0/1) [route_len u16, node u32 ×n]
@@ -22,11 +24,11 @@ use dcrd_net::NodeId;
 use dcrd_sim::SimTime;
 use std::fmt;
 
-use crate::packet::{Packet, PacketId};
+use crate::packet::{Packet, PacketId, PacketKind};
 use crate::topic::TopicId;
 
 const MAGIC: u8 = 0xDC;
-const VERSION: u8 = 1;
+const VERSION: u8 = 2;
 
 /// Why a datagram failed to decode.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,6 +44,8 @@ pub enum DecodePacketError {
     BadVersion(u8),
     /// Bytes remained after the advertised content.
     TrailingBytes(usize),
+    /// Unknown packet-kind discriminant.
+    BadKind(u8),
 }
 
 impl fmt::Display for DecodePacketError {
@@ -53,6 +57,7 @@ impl fmt::Display for DecodePacketError {
             DecodePacketError::BadMagic(b) => write!(f, "bad magic byte {b:#04x}"),
             DecodePacketError::BadVersion(v) => write!(f, "unsupported packet version {v}"),
             DecodePacketError::TrailingBytes(n) => write!(f, "{n} trailing bytes after packet"),
+            DecodePacketError::BadKind(k) => write!(f, "unknown packet kind {k}"),
         }
     }
 }
@@ -62,8 +67,13 @@ impl std::error::Error for DecodePacketError {}
 /// Encodes `packet` into a fresh buffer.
 #[must_use]
 pub fn encode_packet(packet: &Packet) -> Bytes {
+    let kind_len = match &packet.kind {
+        PacketKind::Data => 0,
+        PacketKind::Nack { missing, .. } => 6 + 8 * missing.len(),
+    };
     let mut buf = BytesMut::with_capacity(
-        40 + 4 * (packet.destinations.len() + packet.path.len())
+        49 + kind_len
+            + 4 * (packet.destinations.len() + packet.path.len())
             + packet.route.as_ref().map_or(0, |r| 2 + 4 * r.len())
             + packet.payload.len(),
     );
@@ -74,6 +84,21 @@ pub fn encode_packet(packet: &Packet) -> Bytes {
     buf.put_u32_le(packet.publisher.index() as u32);
     buf.put_u64_le(packet.published_at.as_micros());
     buf.put_u64_le(packet.tag);
+    buf.put_u64_le(packet.seq);
+    match &packet.kind {
+        PacketKind::Data => buf.put_u8(0),
+        PacketKind::Nack {
+            subscriber,
+            missing,
+        } => {
+            buf.put_u8(1);
+            buf.put_u32_le(subscriber.index() as u32);
+            buf.put_u16_le(missing.len() as u16);
+            for &s in missing {
+                buf.put_u64_le(s);
+            }
+        }
+    }
     buf.put_u16_le(packet.destinations.len() as u16);
     for d in &packet.destinations {
         buf.put_u32_le(d.index() as u32);
@@ -130,12 +155,29 @@ pub fn decode_packet(data: &[u8]) -> Result<Packet, DecodePacketError> {
     if version != VERSION {
         return Err(DecodePacketError::BadVersion(version));
     }
-    need(&buf, 8 + 4 + 4 + 8 + 8 + 2)?;
+    need(&buf, 8 + 4 + 4 + 8 + 8 + 8 + 1)?;
     let id = PacketId::new(buf.get_u64_le());
     let topic = TopicId::new(buf.get_u32_le());
     let publisher = NodeId::new(buf.get_u32_le());
     let published_at = SimTime::from_micros(buf.get_u64_le());
     let tag = buf.get_u64_le();
+    let seq = buf.get_u64_le();
+    let kind = match buf.get_u8() {
+        0 => PacketKind::Data,
+        1 => {
+            need(&buf, 4 + 2)?;
+            let subscriber = NodeId::new(buf.get_u32_le());
+            let count = buf.get_u16_le() as usize;
+            need(&buf, 8 * count)?;
+            let missing = (0..count).map(|_| buf.get_u64_le()).collect();
+            PacketKind::Nack {
+                subscriber,
+                missing,
+            }
+        }
+        k => return Err(DecodePacketError::BadKind(k)),
+    };
+    need(&buf, 2)?;
     let dest_count = buf.get_u16_le() as usize;
     let destinations = read_nodes(&mut buf, dest_count)?;
     need(&buf, 2)?;
@@ -163,6 +205,8 @@ pub fn decode_packet(data: &[u8]) -> Result<Packet, DecodePacketError> {
         topic,
         publisher,
         published_at,
+        seq,
+        kind,
         destinations,
         path,
         route,
@@ -182,6 +226,8 @@ mod tests {
             topic: TopicId::new(3),
             publisher: NodeId::new(7),
             published_at: SimTime::from_millis(1234),
+            seq: 11,
+            kind: PacketKind::Data,
             destinations: vec![NodeId::new(1), NodeId::new(2)],
             path: vec![NodeId::new(7), NodeId::new(5)],
             route: Some(vec![NodeId::new(7), NodeId::new(5), NodeId::new(1)]),
@@ -211,6 +257,30 @@ mod tests {
         assert_eq!(decoded, p);
         assert!(decoded.route.is_none());
         assert!(decoded.payload.is_empty());
+    }
+
+    #[test]
+    fn round_trip_nack_packet() {
+        let n = Packet::nack(
+            PacketId::new(1 << 63),
+            TopicId::new(4),
+            NodeId::new(2),
+            SimTime::from_millis(77),
+            NodeId::new(9),
+            vec![0, 4, 1000],
+        );
+        let decoded = decode_packet(&encode_packet(&n)).expect("valid");
+        assert_eq!(decoded, n);
+        assert!(decoded.is_nack());
+    }
+
+    #[test]
+    fn bad_kind_rejected() {
+        let bytes = encode_packet(&sample_packet()).to_vec();
+        // The kind byte sits right after the fixed header (2 + 8+4+4+8+8+8).
+        let mut bad = bytes;
+        bad[42] = 7;
+        assert_eq!(decode_packet(&bad), Err(DecodePacketError::BadKind(7)));
     }
 
     #[test]
@@ -268,6 +338,8 @@ mod tests {
             publisher in 0u32..1000,
             at in 0u64..u64::MAX / 2,
             tag in 0u64..u64::MAX,
+            seq in 0u64..u64::MAX,
+            nack in proptest::option::of((0u32..1000, proptest::collection::vec(0u64..10_000, 0..32))),
             dests in proptest::collection::vec(0u32..1000, 0..20),
             path in proptest::collection::vec(0u32..1000, 0..40),
             route in proptest::option::of(proptest::collection::vec(0u32..1000, 0..20)),
@@ -278,6 +350,14 @@ mod tests {
                 topic: TopicId::new(topic),
                 publisher: NodeId::new(publisher),
                 published_at: SimTime::from_micros(at),
+                seq,
+                kind: match nack {
+                    None => PacketKind::Data,
+                    Some((sub, missing)) => PacketKind::Nack {
+                        subscriber: NodeId::new(sub),
+                        missing,
+                    },
+                },
                 destinations: dests.into_iter().map(NodeId::new).collect(),
                 path: path.into_iter().map(NodeId::new).collect(),
                 route: route.map(|r| r.into_iter().map(NodeId::new).collect()),

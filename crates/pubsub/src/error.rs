@@ -1,0 +1,92 @@
+//! Typed runtime diagnostics.
+//!
+//! The runtime never aborts a run on an internal inconsistency: like the
+//! [`invalid_sends`] / [`invalid_delivers`] counters for strategy bugs, an
+//! impossible runtime state (an arrival over a link that does not exist, a
+//! probe event without a monitor) is recorded as a [`RuntimeError`] in the
+//! [`DeliveryLog`] and the offending event is dropped. An injected fault
+//! that trips a latent bug then surfaces as a diagnostic in the log, not a
+//! crashed experiment sweep.
+//!
+//! [`invalid_sends`]: crate::runtime::DeliveryLog::invalid_sends
+//! [`invalid_delivers`]: crate::runtime::DeliveryLog::invalid_delivers
+//! [`DeliveryLog`]: crate::runtime::DeliveryLog
+
+use std::fmt;
+
+use dcrd_net::NodeId;
+use serde::{Deserialize, Serialize};
+
+use crate::packet::PacketId;
+
+/// How many runtime errors are kept verbatim in the log; beyond this only
+/// [`runtime_errors`](crate::runtime::DeliveryLog::runtime_errors) grows.
+pub const MAX_RUNTIME_ERRORS: usize = 16;
+
+/// An internal runtime inconsistency detected (and survived) during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RuntimeError {
+    /// A packet arrival was scheduled over a `(from, to)` pair that shares
+    /// no link in the topology. The arrival is dropped.
+    ArrivalWithoutLink {
+        /// The broker that supposedly sent the packet.
+        from: NodeId,
+        /// The broker the packet arrived at.
+        to: NodeId,
+        /// The message.
+        packet: PacketId,
+    },
+    /// A probe or monitor event fired but no link monitor exists (the run
+    /// is not in probing mode). The event is dropped.
+    MonitorMissing,
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            RuntimeError::ArrivalWithoutLink { from, to, packet } => {
+                write!(
+                    f,
+                    "{packet} arrived at n{} from n{} but no such link exists",
+                    to.index(),
+                    from.index()
+                )
+            }
+            RuntimeError::MonitorMissing => {
+                write!(f, "probe/monitor event fired without a link monitor")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_for_reports() {
+        let e = RuntimeError::ArrivalWithoutLink {
+            from: NodeId::new(1),
+            to: NodeId::new(2),
+            packet: PacketId::new(7),
+        };
+        assert!(e.to_string().contains("pkt7"));
+        assert!(e.to_string().contains("no such link"));
+        assert!(RuntimeError::MonitorMissing
+            .to_string()
+            .contains("without a link monitor"));
+    }
+
+    #[test]
+    fn errors_are_comparable_values() {
+        let a = RuntimeError::ArrivalWithoutLink {
+            from: NodeId::new(0),
+            to: NodeId::new(1),
+            packet: PacketId::new(3),
+        };
+        assert_eq!(a, a);
+        assert_ne!(a, RuntimeError::MonitorMissing);
+    }
+}

@@ -24,14 +24,22 @@
 //!   complete [`DeliveryLog`].
 //! * [`audit`] — the online invariant auditor: consumes the transmission
 //!   stream during the run and flags forwarding loops, duplicate final
-//!   deliveries, ACK-discipline breaches and blown transmission budgets.
+//!   deliveries, ACK-discipline breaches, blown transmission budgets and
+//!   (opt-in) end-to-end sequence gaps.
+//! * [`recovery`] — subscriber-side sequencing for crash recovery: the
+//!   bounded [`SequenceTracker`] that detects gaps (feeding NACK-driven
+//!   recovery) and deduplicates replayed copies.
+//! * [`error`] — typed [`RuntimeError`] diagnostics the runtime records
+//!   instead of panicking.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod audit;
 pub mod codec;
+pub mod error;
 pub mod packet;
+pub mod recovery;
 pub mod runtime;
 pub mod strategy;
 pub mod topic;
@@ -39,7 +47,9 @@ pub mod trace;
 pub mod workload;
 
 pub use audit::{AuditConfig, AuditReport, InvariantAuditor, Violation};
-pub use packet::{Packet, PacketId};
+pub use error::RuntimeError;
+pub use packet::{Packet, PacketId, PacketKind};
+pub use recovery::SequenceTracker;
 pub use runtime::{AckTransit, DeliveryLog, Monitoring, OverlayRuntime, RuntimeConfig};
 pub use strategy::{Action, Actions, RoutingStrategy, SetupContext};
 pub use topic::{Subscription, TopicId};

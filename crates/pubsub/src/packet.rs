@@ -41,6 +41,28 @@ impl fmt::Display for PacketId {
     }
 }
 
+/// What a packet is: application data or recovery control traffic.
+///
+/// NACKs travel through the same overlay links as data (they are packets
+/// too — subject to loss, blocking and hop-by-hop ACKs), but strategies
+/// route them toward the publisher instead of down the sending lists, and
+/// the runtime never creates delivery expectations for them.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PacketKind {
+    /// A copy of a published message.
+    #[default]
+    Data,
+    /// A subscriber-side negative acknowledgement: `subscriber` detected
+    /// that the listed per-(topic, publisher) sequence numbers never
+    /// arrived and asks the nearest upstream custodian to re-send them.
+    Nack {
+        /// The subscriber requesting recovery.
+        subscriber: NodeId,
+        /// The missing sequence numbers, ascending.
+        missing: Vec<u64>,
+    },
+}
+
 /// One in-flight copy of a published message.
 ///
 /// The runtime treats most of this as opaque strategy state; it only uses
@@ -55,6 +77,14 @@ pub struct Packet {
     pub publisher: NodeId,
     /// When the message was published.
     pub published_at: SimTime,
+    /// Per-(topic, publisher) publish sequence number (the publish round):
+    /// the k-th message a publisher emits on a topic carries `seq = k`.
+    /// Subscribers use it for gap detection and replay deduplication.
+    #[serde(default)]
+    pub seq: u64,
+    /// Data or recovery control (see [`PacketKind`]).
+    #[serde(default)]
+    pub kind: PacketKind,
     /// Subscribers this copy is responsible for reaching.
     pub destinations: Vec<NodeId>,
     /// Brokers that have been on this copy's routing path, in order.
@@ -85,12 +115,58 @@ impl Packet {
             topic,
             publisher,
             published_at,
+            seq: 0,
+            kind: PacketKind::Data,
             destinations,
             path: Vec::new(),
             route: None,
             tag: 0,
             payload: Bytes::new(),
         }
+    }
+
+    /// Sets the publish sequence number (builder style).
+    #[must_use]
+    pub fn with_seq(mut self, seq: u64) -> Self {
+        self.seq = seq;
+        self
+    }
+
+    /// Creates a NACK asking the custodians of `(topic, publisher)` to
+    /// re-send the `missing` sequence numbers to `subscriber`. The single
+    /// destination is the publisher (the NACK's ultimate terminus); brokers
+    /// relay it hop-by-hop toward that destination.
+    #[must_use]
+    pub fn nack(
+        id: PacketId,
+        topic: TopicId,
+        publisher: NodeId,
+        now: SimTime,
+        subscriber: NodeId,
+        missing: Vec<u64>,
+    ) -> Self {
+        Packet {
+            id,
+            topic,
+            publisher,
+            published_at: now,
+            seq: 0,
+            kind: PacketKind::Nack {
+                subscriber,
+                missing,
+            },
+            destinations: vec![publisher],
+            path: Vec::new(),
+            route: None,
+            tag: 0,
+            payload: Bytes::new(),
+        }
+    }
+
+    /// Whether this packet is recovery control traffic.
+    #[must_use]
+    pub fn is_nack(&self) -> bool {
+        matches!(self.kind, PacketKind::Nack { .. })
     }
 
     /// Whether `node` has already been on this copy's routing path.
@@ -133,6 +209,8 @@ impl Packet {
             topic: self.topic,
             publisher: self.publisher,
             published_at: self.published_at,
+            seq: self.seq,
+            kind: self.kind.clone(),
             destinations,
             path,
             route: self.route.clone(),
@@ -236,6 +314,43 @@ mod tests {
         assert_eq!(back_at1.upstream_of(NodeId::new(1)), Some(NodeId::new(0)));
         // Loop avoidance still sees 2 on the path.
         assert!(back_at1.visited(NodeId::new(2)));
+    }
+
+    #[test]
+    fn seq_and_kind_survive_forwarding() {
+        let p = base().with_seq(17);
+        assert_eq!(p.seq, 17);
+        assert_eq!(p.kind, PacketKind::Data);
+        assert!(!p.is_nack());
+        let f = p.forward(NodeId::new(0), vec![NodeId::new(5)], 3);
+        assert_eq!(f.seq, 17);
+        assert_eq!(f.kind, PacketKind::Data);
+    }
+
+    #[test]
+    fn nack_targets_the_publisher() {
+        let n = Packet::nack(
+            PacketId::new(9),
+            TopicId::new(2),
+            NodeId::new(4),
+            SimTime::from_millis(50),
+            NodeId::new(7),
+            vec![3, 5],
+        );
+        assert!(n.is_nack());
+        assert_eq!(n.destinations, vec![NodeId::new(4)]);
+        let PacketKind::Nack {
+            subscriber,
+            ref missing,
+        } = n.kind
+        else {
+            panic!("nack kind expected");
+        };
+        assert_eq!(subscriber, NodeId::new(7));
+        assert_eq!(missing, &vec![3, 5]);
+        // NACKs forward like any packet, keeping their kind.
+        let f = n.forward(NodeId::new(7), vec![NodeId::new(4)], 0);
+        assert!(f.is_nack());
     }
 
     #[test]

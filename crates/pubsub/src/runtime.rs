@@ -28,6 +28,7 @@ use dcrd_sim::{EventQueue, SimDuration, SimTime};
 use rand::rngs::SmallRng;
 
 use crate::audit::{AuditConfig, AuditReport, InvariantAuditor};
+use crate::error::{RuntimeError, MAX_RUNTIME_ERRORS};
 use crate::packet::{Packet, PacketId};
 use crate::strategy::{Action, Actions, RoutingStrategy, RunParams, SetupContext, TimerKey};
 use crate::trace::{Trace, TraceEvent, TxOutcome};
@@ -178,6 +179,15 @@ pub struct DeliveryLog {
     /// `Deliver` actions on a node that is not a subscriber of the message
     /// (same diagnostic treatment as `invalid_sends`).
     pub invalid_delivers: u64,
+    /// Duplicate copies absorbed by subscriber dedup windows (recovery
+    /// mode: crash replay or NACK re-sends racing the original delivery).
+    /// Benign by construction.
+    pub suppressed: u64,
+    /// Total internal runtime inconsistencies survived (see
+    /// [`RuntimeError`]); may exceed `errors.len()`.
+    pub runtime_errors: u64,
+    /// The first [`MAX_RUNTIME_ERRORS`] runtime errors, in detection order.
+    pub errors: Vec<RuntimeError>,
     /// Whether the run hit the event cap and was truncated.
     pub truncated: bool,
     /// Full transmission trace (only with `capture_trace`).
@@ -187,6 +197,14 @@ pub struct DeliveryLog {
 }
 
 impl DeliveryLog {
+    /// Records one survived runtime inconsistency.
+    fn note_error(&mut self, err: RuntimeError) {
+        self.runtime_errors += 1;
+        if self.errors.len() < MAX_RUNTIME_ERRORS {
+            self.errors.push(err);
+        }
+    }
+
     /// Iterates over all `(message, subscriber)` expectations.
     pub fn expectations(&self) -> impl Iterator<Item = (&(PacketId, NodeId), &Expectation)> {
         self.expectations.iter()
@@ -387,12 +405,19 @@ impl<'a> OverlayRuntime<'a> {
         };
 
         {
+            // The configured publish duration IS the workload's publish
+            // horizon; inject it so strategies (e.g. recovery sweeps) never
+            // expect sequence numbers that were never published.
+            let params = RunParams {
+                horizon: self.config.duration,
+                ..self.config.params
+            };
             let ctx = SetupContext {
                 topology: self.topology,
                 estimates: &initial_estimates,
                 workload: self.workload,
                 failure_oracle: &self.failure,
-                params: self.config.params,
+                params,
             };
             strategy.setup(&ctx);
         }
@@ -454,13 +479,20 @@ impl<'a> OverlayRuntime<'a> {
                         );
                     }
                     if !active.is_empty() {
+                        // The publish round doubles as the per-(topic,
+                        // publisher) sequence number subscribers use for gap
+                        // detection.
                         let packet = Packet::new(
                             id,
                             spec.topic,
                             spec.publisher,
                             now,
                             active.iter().map(|s| s.subscriber).collect(),
-                        );
+                        )
+                        .with_seq(round);
+                        if let Some(aud) = &mut auditor {
+                            aud.observe_publish(&packet);
+                        }
                         strategy.on_publish(spec.publisher, packet, now, &mut out);
                         self.execute(
                             &mut out,
@@ -494,10 +526,14 @@ impl<'a> OverlayRuntime<'a> {
                     }
                     // Hop-by-hop ACK, generated before processing
                     // (Algorithm 2 line 2). Subject to the same link rules.
-                    let edge = self
-                        .topology
-                        .edge_between(to, from)
-                        .expect("arrival over a nonexistent link");
+                    let Some(edge) = self.topology.edge_between(to, from) else {
+                        log.note_error(RuntimeError::ArrivalWithoutLink {
+                            from,
+                            to,
+                            packet: packet.id,
+                        });
+                        continue;
+                    };
                     let blocked = self.failure.edge_blocked(self.topology, edge, now);
                     if !blocked
                         && !self.loss.drops(&mut rng)
@@ -602,10 +638,12 @@ impl<'a> OverlayRuntime<'a> {
                     );
                 }
                 Event::Probe => {
-                    let Monitoring::Probing { probe_interval, .. } = self.config.monitoring else {
-                        unreachable!("probe event without probing mode")
+                    let (Monitoring::Probing { probe_interval, .. }, Some(mon)) =
+                        (self.config.monitoring, monitor.as_mut())
+                    else {
+                        log.note_error(RuntimeError::MonitorMissing);
+                        continue;
                     };
-                    let mon = monitor.as_mut().expect("monitor in probing mode");
                     for e in self.topology.edge_ids() {
                         let blocked = self.failure.edge_blocked(self.topology, e, now);
                         let outcome = (!blocked && !self.loss.drops(&mut rng))
@@ -617,13 +655,19 @@ impl<'a> OverlayRuntime<'a> {
                     }
                 }
                 Event::Monitor => {
-                    let mon = monitor.as_ref().expect("monitor in probing mode");
+                    let Some(mon) = monitor.as_ref() else {
+                        log.note_error(RuntimeError::MonitorMissing);
+                        continue;
+                    };
                     strategy.on_monitor(&mon.estimates(), now);
                     if now.saturating_since(SimTime::ZERO) < self.config.duration {
                         queue.schedule(now + self.config.monitor_interval, Event::Monitor);
                     }
                 }
                 Event::ChaosTick { epoch } => {
+                    // All restarts first: a broker that came back this epoch
+                    // replays its custody before any node's housekeeping
+                    // tick reacts to the new state.
                     for i in 0..self.topology.num_nodes() {
                         let node = self.topology.node(i);
                         let restarted = self
@@ -642,6 +686,25 @@ impl<'a> OverlayRuntime<'a> {
                                 &mut auditor,
                             );
                         }
+                    }
+                    // Then one housekeeping tick per live broker (recovery
+                    // strategies run their gap-detection sweep here). A
+                    // crashed broker cannot sweep.
+                    for i in 0..self.topology.num_nodes() {
+                        let node = self.topology.node(i);
+                        if self.failure.chaos().is_some_and(|c| c.node_down(node, now)) {
+                            continue;
+                        }
+                        strategy.on_tick(node, now, &mut out);
+                        self.execute(
+                            &mut out,
+                            node,
+                            now,
+                            &mut queue,
+                            &mut rng,
+                            &mut log,
+                            &mut auditor,
+                        );
                     }
                     let next = SimTime::from_secs(epoch + 1);
                     if next <= hard_stop {
@@ -770,6 +833,20 @@ impl<'a> OverlayRuntime<'a> {
                     // when a strategy computes `now + 0`).
                     let at = at.max(now);
                     queue.schedule(at, Event::Timer { node, key });
+                }
+                Action::Suppress { packet } => {
+                    log.suppressed += 1;
+                    let ev = TraceEvent::Suppress {
+                        at: now,
+                        node,
+                        packet,
+                    };
+                    if let Some(trace) = &mut log.trace {
+                        trace.record(ev);
+                    }
+                    if let Some(aud) = auditor {
+                        aud.observe(&ev);
+                    }
                 }
                 Action::GiveUp {
                     packet,
@@ -1235,7 +1312,7 @@ mod tests {
         config.audit = Some(AuditConfig::default());
         let rt = OverlayRuntime::new(&topo, &wl, failure, LossModel::new(0.0), config);
         let log = rt.run(&mut Flood::new());
-        let report = log.audit.expect("audit enabled");
+        let report = log.audit.as_ref().expect("audit enabled");
         assert!(report.is_clean());
         // Every send, ACK and delivery was observed: 6 events per message.
         assert!(report.events_observed >= 3 * log.messages_published);

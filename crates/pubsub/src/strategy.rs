@@ -26,6 +26,12 @@ pub struct RunParams {
     /// The paper waits "α" (§III-D), which matches the runtime's default
     /// instant-ACK transit model; use ≥ 2.0 with the round-trip ACK model.
     pub ack_timeout_factor: f64,
+    /// The publish horizon: no message is published at or after this time
+    /// (the runtime injects its configured duration here). Recovery sweeps
+    /// use it to avoid NACKing sequence numbers that were never published
+    /// because the run ended. Static workload knowledge, so strategies may
+    /// consult it without breaking honest locality.
+    pub horizon: SimDuration,
 }
 
 impl Default for RunParams {
@@ -33,6 +39,7 @@ impl Default for RunParams {
         RunParams {
             m: 1,
             ack_timeout_factor: 1.0,
+            horizon: SimDuration::MAX,
         }
     }
 }
@@ -99,6 +106,14 @@ pub enum Action {
         /// The subscriber that will not be reached.
         destination: NodeId,
     },
+    /// A duplicate copy reached the local subscriber and was absorbed by the
+    /// dedup window instead of being delivered again (recovery mode only:
+    /// crash replay and NACK re-sends legitimately produce extra copies).
+    /// Accounting only — the auditor counts these as benign.
+    Suppress {
+        /// The message whose duplicate copy was suppressed.
+        packet: PacketId,
+    },
 }
 
 /// Action sink handed to every callback; actions execute in push order.
@@ -135,6 +150,11 @@ impl Actions {
             packet,
             destination,
         });
+    }
+
+    /// Queues a duplicate-suppression notice.
+    pub fn suppress(&mut self, packet: PacketId) {
+        self.items.push(Action::Suppress { packet });
     }
 
     /// Drains the queued actions (runtime-side).
@@ -202,6 +222,14 @@ pub trait RoutingStrategy {
         let _ = (estimates, now);
     }
 
+    /// Periodic housekeeping tick for broker `node` (driven by the chaos
+    /// epoch clock, once per epoch per live node). Recovery-capable
+    /// strategies run their gap-detection sweep here; everyone else ignores
+    /// it. Default: ignore.
+    fn on_tick(&mut self, node: NodeId, now: SimTime, out: &mut Actions) {
+        let _ = (node, now, out);
+    }
+
     /// Broker `node` restarted after a crash (chaos crash-restart model):
     /// all of its volatile, in-flight router state is gone. Strategies
     /// holding per-broker packet state must discard `node`'s share of it;
@@ -250,7 +278,8 @@ mod tests {
             },
         );
         a.give_up(pkt.id, NodeId::new(1));
-        assert_eq!(a.len(), 4);
+        a.suppress(pkt.id);
+        assert_eq!(a.len(), 5);
         let kinds: Vec<&'static str> = a
             .drain()
             .map(|act| match act {
@@ -258,9 +287,13 @@ mod tests {
                 Action::Send { .. } => "send",
                 Action::SetTimer { .. } => "timer",
                 Action::GiveUp { .. } => "giveup",
+                Action::Suppress { .. } => "suppress",
             })
             .collect();
-        assert_eq!(kinds, vec!["deliver", "send", "timer", "giveup"]);
+        assert_eq!(
+            kinds,
+            vec!["deliver", "send", "timer", "giveup", "suppress"]
+        );
         assert!(a.is_empty());
     }
 
@@ -269,6 +302,7 @@ mod tests {
         let p = RunParams::default();
         assert_eq!(p.m, 1);
         assert!((p.ack_timeout_factor - 1.0).abs() < f64::EPSILON);
+        assert_eq!(p.horizon, SimDuration::MAX);
     }
 
     #[test]
@@ -276,6 +310,7 @@ mod tests {
         let p = RunParams {
             m: 1,
             ack_timeout_factor: 2.0,
+            horizon: SimDuration::MAX,
         };
         assert_eq!(
             ack_timeout(SimDuration::from_millis(30), &p),

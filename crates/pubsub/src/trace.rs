@@ -63,6 +63,18 @@ pub enum TraceEvent {
         /// The abandoned subscriber.
         destination: NodeId,
     },
+    /// A duplicate copy was absorbed by a subscriber's dedup window
+    /// (recovery mode: crash replay or a NACK re-send arrived after the
+    /// original delivery). Benign by construction — the auditor counts
+    /// these separately from genuine duplicate deliveries.
+    Suppress {
+        /// When the duplicate was absorbed.
+        at: SimTime,
+        /// The subscribing broker.
+        node: NodeId,
+        /// The message.
+        packet: PacketId,
+    },
     /// A hop-by-hop ACK reached the original sender.
     Ack {
         /// When the ACK arrived.
@@ -84,6 +96,7 @@ impl TraceEvent {
             TraceEvent::Send { packet, .. }
             | TraceEvent::Deliver { packet, .. }
             | TraceEvent::GiveUp { packet, .. }
+            | TraceEvent::Suppress { packet, .. }
             | TraceEvent::Ack { packet, .. } => packet,
         }
     }
@@ -95,6 +108,7 @@ impl TraceEvent {
             TraceEvent::Send { at, .. }
             | TraceEvent::Deliver { at, .. }
             | TraceEvent::GiveUp { at, .. }
+            | TraceEvent::Suppress { at, .. }
             | TraceEvent::Ack { at, .. } => at,
         }
     }

@@ -122,6 +122,7 @@ fn main() {
             let params = RunParams {
                 m: 1,
                 ack_timeout_factor: 1.0,
+                ..RunParams::default()
             };
             strategy.setup(&SetupContext {
                 topology: &topo,
@@ -224,6 +225,9 @@ fn main() {
                         } => {
                             println!("{me} gave up on {packet} → {destination}");
                         }
+                        // No recovery config in this demo, so no dedup
+                        // suppressions ever fire.
+                        Action::Suppress { .. } => {}
                     }
                 }
             }
