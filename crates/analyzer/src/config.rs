@@ -1,0 +1,163 @@
+//! `analyzer.toml`: the checked-in violation baseline.
+//!
+//! The file is a list of `[[allow]]` entries, each naming a rule, a file,
+//! a distinguishing substring of the offending line, and a reason. Entries
+//! are line-content based (not line-number based) so unrelated edits above
+//! a suppressed site do not invalidate the baseline.
+//!
+//! The parser is a deliberate TOML subset (array-of-tables of string
+//! key/values) so the analyzer stays dependency-free; `--write-baseline`
+//! emits exactly this subset.
+
+use crate::rules::Diagnostic;
+
+/// One suppressed legacy violation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// The rule id being suppressed (`DET001` …).
+    pub rule: String,
+    /// Workspace-relative path of the file.
+    pub path: String,
+    /// Substring of the offending (trimmed) source line.
+    pub contains: String,
+    /// Why the violation is allowed to stay.
+    pub reason: String,
+}
+
+impl AllowEntry {
+    /// Whether this entry suppresses `diag`.
+    #[must_use]
+    pub fn matches(&self, diag: &Diagnostic) -> bool {
+        self.rule == diag.rule && self.path == diag.path && diag.snippet.contains(&self.contains)
+    }
+}
+
+/// The parsed baseline.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// The `[[allow]]` entries, in file order.
+    pub allows: Vec<AllowEntry>,
+}
+
+impl Baseline {
+    /// Parses the `analyzer.toml` subset. Errors name the offending line.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut allows: Vec<AllowEntry> = Vec::new();
+        let mut in_allow = false;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                allows.push(AllowEntry::default());
+                in_allow = true;
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(format!("line {}: unknown section `{line}`", idx + 1));
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("line {}: expected `key = \"value\"`", idx + 1));
+            };
+            if !in_allow {
+                return Err(format!("line {}: key outside [[allow]]", idx + 1));
+            }
+            let value = value.trim();
+            let value = value
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .ok_or_else(|| format!("line {}: value must be a quoted string", idx + 1))?;
+            let entry = allows.last_mut().ok_or("no open [[allow]] entry")?;
+            match key.trim() {
+                "rule" => entry.rule = value.to_string(),
+                "path" => entry.path = value.to_string(),
+                "contains" => entry.contains = value.to_string(),
+                "reason" => entry.reason = value.to_string(),
+                other => {
+                    return Err(format!("line {}: unknown key `{other}`", idx + 1));
+                }
+            }
+        }
+        for (i, e) in allows.iter().enumerate() {
+            if e.rule.is_empty() || e.path.is_empty() || e.contains.is_empty() {
+                return Err(format!(
+                    "allow entry {} is missing rule/path/contains",
+                    i + 1
+                ));
+            }
+        }
+        Ok(Baseline { allows })
+    }
+
+    /// Renders diagnostics as `[[allow]]` entries (`--write-baseline`).
+    #[must_use]
+    pub fn render(diags: &[Diagnostic]) -> String {
+        let mut out = String::new();
+        for d in diags {
+            out.push_str("[[allow]]\n");
+            out.push_str(&format!("rule = \"{}\"\n", d.rule));
+            out.push_str(&format!("path = \"{}\"\n", d.path));
+            out.push_str(&format!("contains = \"{}\"\n", d.snippet.replace('"', "'")));
+            out.push_str("reason = \"TODO: justify or fix\"\n\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &'static str, path: &str, snippet: &str) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: path.to_string(),
+            line: 1,
+            col: 1,
+            snippet: snippet.to_string(),
+        }
+    }
+
+    #[test]
+    fn parses_allow_entries() {
+        let text = "# comment\n[[allow]]\nrule = \"DET001\"\npath = \"crates/core/src/x.rs\"\ncontains = \"HashMap\"\nreason = \"legacy\"\n";
+        let b = Baseline::parse(text).expect("parses");
+        assert_eq!(b.allows.len(), 1);
+        assert_eq!(b.allows[0].rule, "DET001");
+        assert!(b.allows[0].matches(&diag(
+            "DET001",
+            "crates/core/src/x.rs",
+            "let m: HashMap<u32, u32> = x;"
+        )));
+        assert!(!b.allows[0].matches(&diag(
+            "DET001",
+            "crates/core/src/y.rs",
+            "let m: HashMap<u32, u32> = x;"
+        )));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Baseline::parse("[weird]\n").is_err());
+        assert!(Baseline::parse("rule = \"X\"\n").is_err());
+        assert!(Baseline::parse("[[allow]]\nrule = unquoted\n").is_err());
+        assert!(Baseline::parse("[[allow]]\nrule = \"X\"\n").is_err()); // incomplete
+        assert!(Baseline::parse("[[allow]]\nnope = \"X\"\n").is_err());
+    }
+
+    #[test]
+    fn empty_baseline_is_fine() {
+        let b = Baseline::parse("# nothing suppressed\n").expect("parses");
+        assert!(b.allows.is_empty());
+    }
+
+    #[test]
+    fn render_round_trips_through_parse() {
+        let d = diag("SAFE001", "crates/core/src/x.rs", "x.unwrap();");
+        let text = Baseline::render(std::slice::from_ref(&d));
+        let b = Baseline::parse(&text).expect("rendered baseline parses");
+        assert_eq!(b.allows.len(), 1);
+        assert!(b.allows[0].matches(&d));
+    }
+}

@@ -1,0 +1,146 @@
+//! `dcrd-analyzer`: workspace-wide determinism & safety lints.
+//!
+//! DCRD's evaluation rests on a deterministic discrete-event simulator:
+//! identical seeds must yield identical traces, or the chaos/recovery
+//! acceptance tests and the paper's delay/reliability comparisons are
+//! unreproducible. This crate statically enforces the invariants the
+//! simulator's determinism (and the sweeps' crash-resistance) depend on:
+//!
+//! | rule | what it forbids |
+//! |------|-----------------|
+//! | `DET001` | `HashMap`/`HashSet` in sim-facing crates |
+//! | `DET002` | ambient clocks/RNGs outside `dcrd_sim::rng` |
+//! | `DET003` | `partial_cmp` inside sort comparators |
+//! | `SAFE001` | `unwrap()`/`expect()` in hot-path crates |
+//! | `SAFE002` | unchecked arithmetic in `SimTime` construction |
+//!
+//! Violations are reported as `file:line:col` diagnostics. Legacy debt is
+//! suppressed through the checked-in `analyzer.toml` baseline so new
+//! violations fail CI (`--deny-new`) while the debt stays visible.
+//!
+//! The scanner is a hand-rolled lexer rather than a `syn` walk so the
+//! crate has **zero dependencies** — it must build before anything else,
+//! including in offline bootstrap environments.
+
+pub mod config;
+pub mod mask;
+pub mod rules;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use config::{AllowEntry, Baseline};
+pub use rules::{Diagnostic, RuleInfo, RULES};
+
+/// Directory names never scanned: build output, scratch space, VCS, and
+/// test-only trees (rules target non-test code; fixtures are lint bait).
+const SKIP_DIRS: &[&str] = &[
+    ".git", ".scratch", "target", "results", "tests", "benches", "examples", "fixtures",
+];
+
+/// Scans one file's source as if it lived at workspace-relative `path`.
+/// This is the unit the fixture tests drive directly.
+#[must_use]
+pub fn analyze_source(path: &str, source: &str) -> Vec<Diagnostic> {
+    let masked = mask::strip_test_regions(&mask::mask_source(source));
+    rules::scan_file(path, source, &masked)
+}
+
+/// Walks the workspace under `root` and scans every non-test `.rs` file.
+/// Diagnostics come back sorted by `(path, line, col, rule)`.
+pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    collect_rs_files(root, &mut files)?;
+    files.sort();
+    let mut diags = Vec::new();
+    for file in files {
+        let Ok(source) = fs::read_to_string(&file) else {
+            continue; // Non-UTF-8 file: nothing lexical to scan.
+        };
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        diags.extend(analyze_source(&rel, &source));
+    }
+    diags.sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    Ok(diags)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Splits diagnostics into `(new, suppressed)` against the baseline and
+/// reports baseline entries that no longer match anything (stale debt
+/// that should be deleted).
+#[must_use]
+pub fn partition(
+    diags: Vec<Diagnostic>,
+    baseline: &Baseline,
+) -> (Vec<Diagnostic>, Vec<Diagnostic>, Vec<AllowEntry>) {
+    let mut fresh = Vec::new();
+    let mut suppressed = Vec::new();
+    let mut used = vec![false; baseline.allows.len()];
+    for d in diags {
+        match baseline.allows.iter().position(|a| a.matches(&d)) {
+            Some(i) => {
+                used[i] = true;
+                suppressed.push(d);
+            }
+            None => fresh.push(d),
+        }
+    }
+    let unused = baseline
+        .allows
+        .iter()
+        .zip(&used)
+        .filter(|(_, &u)| !u)
+        .map(|(a, _)| a.clone())
+        .collect();
+    (fresh, suppressed, unused)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analyze_source_ties_mask_and_rules_together() {
+        let src = "use std::collections::HashMap; // HashSet in a comment\n";
+        let diags = analyze_source("crates/pubsub/src/x.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "DET001");
+        assert_eq!(diags[0].path, "crates/pubsub/src/x.rs");
+    }
+
+    #[test]
+    fn partition_tracks_used_and_stale_allows() {
+        let diags = analyze_source("crates/core/src/x.rs", "let v = o.unwrap();\n");
+        let baseline = Baseline::parse(
+            "[[allow]]\nrule = \"SAFE001\"\npath = \"crates/core/src/x.rs\"\ncontains = \"o.unwrap()\"\nreason = \"r\"\n\n[[allow]]\nrule = \"DET001\"\npath = \"crates/core/src/gone.rs\"\ncontains = \"HashMap\"\nreason = \"r\"\n",
+        )
+        .expect("parses");
+        let (fresh, suppressed, unused) = partition(diags, &baseline);
+        assert!(fresh.is_empty());
+        assert_eq!(suppressed.len(), 1);
+        assert_eq!(unused.len(), 1);
+        assert_eq!(unused[0].path, "crates/core/src/gone.rs");
+    }
+}

@@ -1,0 +1,137 @@
+//! CLI for the DCRD workspace lints.
+//!
+//! ```text
+//! cargo run -p dcrd-analyzer --             # report everything
+//! cargo run -p dcrd-analyzer -- --deny-new  # CI gate: exit 1 on new hits
+//! cargo run -p dcrd-analyzer -- --write-baseline > analyzer.toml
+//! cargo run -p dcrd-analyzer -- --list-rules
+//! ```
+//!
+//! The workspace root defaults to the nearest ancestor of the current
+//! directory containing `analyzer.toml` (falling back to the current
+//! directory); override with `--root PATH`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dcrd_analyzer::{analyze_workspace, partition, Baseline, RULES};
+
+struct Options {
+    root: Option<PathBuf>,
+    deny_new: bool,
+    write_baseline: bool,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: None,
+        deny_new: false,
+        write_baseline: false,
+        list_rules: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny-new" => opts.deny_new = true,
+            "--write-baseline" => opts.write_baseline = true,
+            "--list-rules" => opts.list_rules = true,
+            "--root" => {
+                let path = args.next().ok_or("--root requires a path")?;
+                opts.root = Some(PathBuf::from(path));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "dcrd-analyzer [--root PATH] [--deny-new] [--write-baseline] [--list-rules]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// The nearest ancestor holding `analyzer.toml`, else the current dir.
+fn find_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir = cwd.clone();
+    loop {
+        if dir.join("analyzer.toml").is_file() {
+            return dir;
+        }
+        if !dir.pop() {
+            return cwd;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for r in RULES {
+            println!("{}  [{}]\n    {}", r.id, r.scope, r.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = opts.root.unwrap_or_else(find_root);
+    let diags = match analyze_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let baseline_path = root.join("analyzer.toml");
+    let baseline = if baseline_path.is_file() {
+        match std::fs::read_to_string(&baseline_path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| Baseline::parse(&text))
+        {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        Baseline::default()
+    };
+
+    let (fresh, suppressed, unused) = partition(diags, &baseline);
+
+    if opts.write_baseline {
+        print!("{}", Baseline::render(&fresh));
+        return ExitCode::SUCCESS;
+    }
+
+    for d in &fresh {
+        println!("{}:{}:{}: {}: {}", d.path, d.line, d.col, d.rule, d.snippet);
+    }
+    for a in &unused {
+        eprintln!(
+            "warning: stale baseline entry ({} in {} matching \"{}\") — delete it",
+            a.rule, a.path, a.contains
+        );
+    }
+    eprintln!(
+        "dcrd-analyzer: {} new violation(s), {} suppressed by baseline, {} stale baseline entr(y/ies)",
+        fresh.len(),
+        suppressed.len(),
+        unused.len()
+    );
+
+    if opts.deny_new && (!fresh.is_empty() || !unused.is_empty()) {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,369 @@
+//! The DCRD lint rules.
+//!
+//! Every rule is a lexical scan over masked, test-stripped source (see
+//! [`crate::mask`]): comments, literals and `#[cfg(test)]` modules can
+//! never trigger a diagnostic. Scopes are path prefixes relative to the
+//! workspace root; a rule only fires inside its scope.
+
+/// Crates whose code runs inside the deterministic simulation. Iteration
+/// order and ambient entropy here change same-seed traces.
+pub const SIM_FACING: &[&str] = &[
+    "crates/sim",
+    "crates/net",
+    "crates/core",
+    "crates/pubsub",
+    "crates/baselines",
+];
+
+/// Hot-path crates where a panic aborts a whole experiment sweep.
+pub const HOT_PATH: &[&str] = &["crates/core", "crates/pubsub"];
+
+/// The one module allowed to touch raw entropy: the seeded RNG factory.
+pub const DET002_EXEMPT: &[&str] = &["crates/sim/src/rng.rs"];
+
+/// One rule's identity and rationale (`--list-rules` output).
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable rule id (`DET001` …).
+    pub id: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+    /// Human-readable scope.
+    pub scope: &'static str,
+}
+
+/// The rule registry, in report order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "DET001",
+        summary: "no HashMap/HashSet in sim-facing crates (iteration order is \
+                  nondeterministic); use BTreeMap/BTreeSet",
+        scope: "crates/{sim,net,core,pubsub,baselines}, non-test code",
+    },
+    RuleInfo {
+        id: "DET002",
+        summary: "no ambient nondeterminism (Instant::now, SystemTime::now, \
+                  thread_rng, rand::random, from_entropy); derive all entropy \
+                  from the run seed via dcrd_sim::rng",
+        scope: "crates/{sim,net,core,pubsub,baselines} except sim/src/rng.rs",
+    },
+    RuleInfo {
+        id: "DET003",
+        summary: "no partial_cmp inside sort/min/max comparators (NaN makes \
+                  the comparator panic or lie); use f64::total_cmp",
+        scope: "whole workspace, non-test code",
+    },
+    RuleInfo {
+        id: "SAFE001",
+        summary: "no unwrap()/expect() in non-test hot-path code; degrade \
+                  gracefully or return a typed error",
+        scope: "crates/{core,pubsub}, non-test code",
+    },
+    RuleInfo {
+        id: "SAFE002",
+        summary: "no unchecked integer arithmetic inside SimTime/SimDuration \
+                  construction; use the saturating/checked API",
+        scope: "crates/sim, non-test code",
+    },
+];
+
+/// One finding: rule, location (1-based line/column) and the offending
+/// source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule id.
+    pub rule: &'static str,
+    /// Path relative to the workspace root, `/`-separated.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based byte column.
+    pub col: usize,
+    /// The trimmed original source line.
+    pub snippet: String,
+}
+
+fn in_scope(path: &str, scope: &[&str]) -> bool {
+    scope.iter().any(|p| path.starts_with(p))
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Word-boundary occurrences of `word` in `text`.
+fn word_positions(text: &str, word: &str) -> Vec<usize> {
+    let bytes = text.as_bytes();
+    let mut hits = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = text[from..].find(word) {
+        let pos = from + rel;
+        let before_ok = pos == 0 || !is_ident(bytes[pos - 1]);
+        let after = pos + word.len();
+        let after_ok = after >= bytes.len() || !is_ident(bytes[after]);
+        if before_ok && after_ok {
+            hits.push(pos);
+        }
+        from = pos + word.len().max(1);
+    }
+    hits
+}
+
+/// `(line, col)` of a byte offset, both 1-based.
+fn line_col(text: &str, offset: usize) -> (usize, usize) {
+    let before = &text.as_bytes()[..offset];
+    let line = before.iter().filter(|&&b| b == b'\n').count() + 1;
+    let col = offset
+        - before
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map_or(0, |p| p + 1)
+        + 1;
+    (line, col)
+}
+
+fn snippet_of(original: &str, line: usize) -> String {
+    original
+        .lines()
+        .nth(line - 1)
+        .unwrap_or_default()
+        .trim()
+        .to_string()
+}
+
+fn push(
+    out: &mut Vec<Diagnostic>,
+    rule: &'static str,
+    path: &str,
+    original: &str,
+    masked: &str,
+    offset: usize,
+) {
+    let (line, col) = line_col(masked, offset);
+    out.push(Diagnostic {
+        rule,
+        path: path.to_string(),
+        line,
+        col,
+        snippet: snippet_of(original, line),
+    });
+}
+
+/// Runs every rule over one file. `path` is workspace-relative and
+/// determines which scopes apply; `masked` must be the output of
+/// [`crate::mask::mask_source`] + [`crate::mask::strip_test_regions`].
+#[must_use]
+pub fn scan_file(path: &str, original: &str, masked: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    if in_scope(path, SIM_FACING) {
+        for word in ["HashMap", "HashSet"] {
+            for pos in word_positions(masked, word) {
+                push(&mut out, "DET001", path, original, masked, pos);
+            }
+        }
+        if !DET002_EXEMPT.contains(&path) {
+            for pat in [
+                "Instant::now",
+                "SystemTime::now",
+                "thread_rng",
+                "rand::random",
+                "from_entropy",
+            ] {
+                let word = pat.split("::").next().unwrap_or(pat);
+                for pos in word_positions(masked, word) {
+                    let end = pos + pat.len();
+                    let after_ok = end >= masked.len() || !is_ident(masked.as_bytes()[end]);
+                    if after_ok && masked[pos..].starts_with(pat) {
+                        push(&mut out, "DET002", path, original, masked, pos);
+                    }
+                }
+            }
+        }
+    }
+
+    for pos in det003_positions(masked) {
+        push(&mut out, "DET003", path, original, masked, pos);
+    }
+
+    if in_scope(path, HOT_PATH) {
+        for pos in word_positions(masked, "unwrap") {
+            if pos > 0
+                && masked.as_bytes()[pos - 1] == b'.'
+                && masked[pos..].starts_with("unwrap()")
+            {
+                push(&mut out, "SAFE001", path, original, masked, pos);
+            }
+        }
+        for pos in word_positions(masked, "expect") {
+            if pos > 0 && masked.as_bytes()[pos - 1] == b'.' && masked[pos..].starts_with("expect(")
+            {
+                push(&mut out, "SAFE001", path, original, masked, pos);
+            }
+        }
+    }
+
+    if path.starts_with("crates/sim") {
+        for pos in safe002_positions(masked) {
+            push(&mut out, "SAFE002", path, original, masked, pos);
+        }
+    }
+
+    out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    out
+}
+
+/// DET003: `partial_cmp` occurring inside the balanced-paren argument of a
+/// comparator-taking call (`sort_by`, `sort_unstable_by`, `min_by`,
+/// `max_by`, `binary_search_by`). A `PartialOrd` *impl* defining
+/// `partial_cmp` is not a sort and is not flagged.
+fn det003_positions(masked: &str) -> Vec<usize> {
+    let mut hits = Vec::new();
+    for call in [
+        "sort_by",
+        "sort_unstable_by",
+        "min_by",
+        "max_by",
+        "binary_search_by",
+    ] {
+        for pos in word_positions(masked, call) {
+            let open = pos + call.len();
+            if masked.as_bytes().get(open) != Some(&b'(') {
+                continue; // e.g. `sort_by_key` already excluded by boundary.
+            }
+            let close = match matching_paren(masked.as_bytes(), open) {
+                Some(c) => c,
+                None => masked.len(),
+            };
+            let span = &masked[open..close];
+            for rel in word_positions(span, "partial_cmp") {
+                hits.push(open + rel);
+            }
+        }
+    }
+    hits.sort_unstable();
+    hits.dedup();
+    hits
+}
+
+/// SAFE002: raw `+`/`-`/`*` inside the argument of a `SimTime(…)` /
+/// `SimDuration(…)` tuple construction. Spans that go through the
+/// saturating/checked API or the (saturating) float path are exempt.
+fn safe002_positions(masked: &str) -> Vec<usize> {
+    let mut hits = Vec::new();
+    for ctor in ["SimTime", "SimDuration"] {
+        for pos in word_positions(masked, ctor) {
+            let open = pos + ctor.len();
+            if masked.as_bytes().get(open) != Some(&b'(') {
+                continue;
+            }
+            let close = match matching_paren(masked.as_bytes(), open) {
+                Some(c) => c,
+                None => continue,
+            };
+            let span = &masked[open + 1..close];
+            if span.contains("saturating_")
+                || span.contains("checked_")
+                || span.contains("wrapping_")
+                || span.contains("as u64")
+            {
+                continue;
+            }
+            if let Some(rel) = span.bytes().position(|b| matches!(b, b'+' | b'-' | b'*')) {
+                hits.push(open + 1 + rel);
+            }
+        }
+    }
+    hits.sort_unstable();
+    hits.dedup();
+    hits
+}
+
+/// Index of the `)` matching the `(` at `open`.
+fn matching_paren(bytes: &[u8], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mask::{mask_source, strip_test_regions};
+
+    fn scan(path: &str, src: &str) -> Vec<Diagnostic> {
+        let masked = strip_test_regions(&mask_source(src));
+        scan_file(path, src, &masked)
+    }
+
+    #[test]
+    fn word_boundaries_are_respected() {
+        let hits = scan("crates/core/src/x.rs", "type MyHashMapLike = u32;");
+        assert!(hits.is_empty());
+        let hits = scan("crates/core/src/x.rs", "use std::collections::HashMap;");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "DET001");
+        assert_eq!(hits[0].line, 1);
+    }
+
+    #[test]
+    fn out_of_scope_paths_are_quiet() {
+        let hits = scan("crates/experiments/src/x.rs", "let m: HashMap<u32, u32>;");
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn det003_flags_only_comparator_spans() {
+        let src = "v.sort_by(|a, b| a.partial_cmp(b).unwrap());";
+        let hits = scan("crates/metrics/src/x.rs", src);
+        assert_eq!(hits.iter().filter(|d| d.rule == "DET003").count(), 1);
+        // A PartialOrd impl defines partial_cmp without sorting: clean.
+        let imp = "fn partial_cmp(&self, other: &Self) -> Option<Ordering> { None }";
+        assert!(scan("crates/metrics/src/x.rs", imp).is_empty());
+    }
+
+    #[test]
+    fn safe001_ignores_unwrap_or_family() {
+        let src =
+            "let a = x.unwrap_or(0); let b = y.unwrap_or_else(f); let c = z.unwrap_or_default();";
+        assert!(scan("crates/core/src/x.rs", src).is_empty());
+        let hits = scan("crates/core/src/x.rs", "let a = x.unwrap();");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "SAFE001");
+    }
+
+    #[test]
+    fn safe002_exempts_saturating_and_float_paths() {
+        let bad = "SimTime(millis * 1_000)";
+        let hits = scan("crates/sim/src/time.rs", bad);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "SAFE002");
+        for good in [
+            "SimTime(millis.saturating_mul(1_000))",
+            "SimDuration((secs * 1e6).round() as u64)",
+            "SimDuration(self.0.saturating_sub(rhs.0))",
+        ] {
+            assert!(scan("crates/sim/src/time.rs", good).is_empty(), "{good}");
+        }
+    }
+
+    #[test]
+    fn line_and_col_are_one_based_and_accurate() {
+        let src = "fn f() {}\nlet m = HashMap::new();\n";
+        let hits = scan("crates/net/src/x.rs", src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!((hits[0].line, hits[0].col), (2, 9));
+        assert_eq!(hits[0].snippet, "let m = HashMap::new();");
+    }
+}

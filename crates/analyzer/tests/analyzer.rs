@@ -1,0 +1,193 @@
+//! Fixture-driven rule tests plus a whole-workspace smoke test.
+//!
+//! Each rule gets a positive fixture (must fire) and a negative fixture
+//! (must stay quiet) under `tests/fixtures/`. Fixtures are fed through
+//! [`dcrd_analyzer::analyze_source`] with a synthetic workspace-relative
+//! path chosen to land inside the rule's scope; the fixtures directory
+//! itself is excluded from real workspace scans, so the bait never shows
+//! up in `--deny-new` runs.
+
+use std::path::{Path, PathBuf};
+
+use dcrd_analyzer::{analyze_source, analyze_workspace, partition, Baseline};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()))
+}
+
+/// Diagnostics for `name` scanned as if it lived at `scoped_path`.
+fn scan(name: &str, scoped_path: &str) -> Vec<String> {
+    analyze_source(scoped_path, &fixture(name))
+        .into_iter()
+        .map(|d| d.rule.to_string())
+        .collect()
+}
+
+fn assert_fires(rules: &[String], rule: &str, at_least: usize, fixture_name: &str) {
+    let hits = rules.iter().filter(|r| *r == rule).count();
+    assert!(
+        hits >= at_least,
+        "{fixture_name}: expected >= {at_least} {rule} hit(s), got {hits} (all: {rules:?})"
+    );
+}
+
+fn assert_quiet(rules: &[String], rule: &str, fixture_name: &str) {
+    assert!(
+        !rules.iter().any(|r| r == rule),
+        "{fixture_name}: expected no {rule} hits, got {rules:?}"
+    );
+}
+
+// ---------------------------------------------------------------- DET001
+
+#[test]
+fn det001_flags_hash_containers_in_sim_facing_code() {
+    let rules = scan("det001_pos.rs", "crates/core/src/fixture.rs");
+    // `use` line + two type annotations + two constructors, each naming
+    // HashMap or HashSet: at minimum the two container names must fire.
+    assert_fires(&rules, "DET001", 2, "det001_pos.rs");
+}
+
+#[test]
+fn det001_ignores_ordered_containers_comments_strings_and_tests() {
+    let rules = scan("det001_neg.rs", "crates/core/src/fixture.rs");
+    assert_quiet(&rules, "DET001", "det001_neg.rs");
+}
+
+#[test]
+fn det001_is_scoped_to_sim_facing_crates() {
+    // The same hash-container bait is fine in a non-sim-facing crate.
+    let rules = scan("det001_pos.rs", "crates/metrics/src/fixture.rs");
+    assert_quiet(&rules, "DET001", "det001_pos.rs (metrics scope)");
+}
+
+// ---------------------------------------------------------------- DET002
+
+#[test]
+fn det002_flags_ambient_clocks_and_rngs() {
+    let rules = scan("det002_pos.rs", "crates/pubsub/src/fixture.rs");
+    // Instant::now, thread_rng, rand::random.
+    assert_fires(&rules, "DET002", 3, "det002_pos.rs");
+}
+
+#[test]
+fn det002_ignores_seeded_rng_and_comments() {
+    let rules = scan("det002_neg.rs", "crates/pubsub/src/fixture.rs");
+    assert_quiet(&rules, "DET002", "det002_neg.rs");
+}
+
+#[test]
+fn det002_exempts_the_sim_rng_module() {
+    // crates/sim/src/rng.rs is the sanctioned wrapper; ambient entropy
+    // there is the whole point.
+    let rules = scan("det002_pos.rs", "crates/sim/src/rng.rs");
+    assert_quiet(&rules, "DET002", "det002_pos.rs (rng.rs exemption)");
+}
+
+// ---------------------------------------------------------------- DET003
+
+#[test]
+fn det003_flags_partial_cmp_sort_comparators() {
+    let rules = scan("det003_pos.rs", "crates/experiments/src/fixture.rs");
+    // One sort_by + one min_by (multi-line comparator).
+    assert_fires(&rules, "DET003", 2, "det003_pos.rs");
+}
+
+#[test]
+fn det003_ignores_total_cmp_and_partial_ord_impls() {
+    let rules = scan("det003_neg.rs", "crates/experiments/src/fixture.rs");
+    assert_quiet(&rules, "DET003", "det003_neg.rs");
+}
+
+// --------------------------------------------------------------- SAFE001
+
+#[test]
+fn safe001_flags_unwrap_and_expect_in_hot_path_code() {
+    let rules = scan("safe001_pos.rs", "crates/core/src/fixture.rs");
+    assert_fires(&rules, "SAFE001", 2, "safe001_pos.rs");
+}
+
+#[test]
+fn safe001_ignores_graceful_handling_and_test_code() {
+    let rules = scan("safe001_neg.rs", "crates/pubsub/src/fixture.rs");
+    assert_quiet(&rules, "SAFE001", "safe001_neg.rs");
+}
+
+#[test]
+fn safe001_is_scoped_to_hot_path_crates() {
+    // The simulator shell may unwrap; only core/pubsub are gated.
+    let rules = scan("safe001_pos.rs", "crates/sim/src/fixture.rs");
+    assert_quiet(&rules, "SAFE001", "safe001_pos.rs (sim scope)");
+}
+
+// --------------------------------------------------------------- SAFE002
+
+#[test]
+fn safe002_flags_unchecked_arithmetic_in_time_constructors() {
+    let rules = scan("safe002_pos.rs", "crates/sim/src/fixture.rs");
+    // `millis * 1_000` and `a + b` inside SimTime(..)/SimDuration(..).
+    assert_fires(&rules, "SAFE002", 2, "safe002_pos.rs");
+}
+
+#[test]
+fn safe002_ignores_saturating_and_checked_construction() {
+    let rules = scan("safe002_neg.rs", "crates/sim/src/fixture.rs");
+    assert_quiet(&rules, "SAFE002", "safe002_neg.rs");
+}
+
+// ---------------------------------------------------- workspace smoke test
+
+fn workspace_root() -> PathBuf {
+    // crates/analyzer -> crates -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root exists")
+        .to_path_buf()
+}
+
+/// The shipped baseline must describe reality: scanning the actual tree
+/// yields no violations beyond `analyzer.toml`, no stale allow entries,
+/// and the baseline itself stays near-empty (<= 3 entries).
+#[test]
+fn workspace_is_clean_under_the_shipped_baseline() {
+    let root = workspace_root();
+    assert!(
+        root.join("Cargo.toml").is_file(),
+        "workspace root not found at {}",
+        root.display()
+    );
+
+    let baseline_path = root.join("analyzer.toml");
+    let baseline_text = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("{} unreadable: {e}", baseline_path.display()));
+    let baseline = Baseline::parse(&baseline_text).expect("shipped baseline parses");
+    assert!(
+        baseline.allows.len() <= 3,
+        "baseline has grown to {} entries; fix violations instead of suppressing them",
+        baseline.allows.len()
+    );
+
+    let diags = analyze_workspace(&root).expect("workspace scan succeeds");
+    let (fresh, _suppressed, unused) = partition(diags, &baseline);
+    assert!(
+        fresh.is_empty(),
+        "unbaselined violations in the tree:\n{}",
+        fresh
+            .iter()
+            .map(|d| format!(
+                "  {}:{}:{}: {}: {}",
+                d.path, d.line, d.col, d.rule, d.snippet
+            ))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        unused.is_empty(),
+        "stale baseline entries (delete them): {unused:?}"
+    );
+}

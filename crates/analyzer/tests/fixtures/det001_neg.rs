@@ -1,0 +1,24 @@
+// Fixture: DET001 must stay quiet — ordered containers, plus HashMap
+// mentions in comments, strings and test modules only.
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn tally(xs: &[u32]) -> usize {
+    let mut seen: BTreeSet<u32> = BTreeSet::new(); // a HashSet would be wrong
+    let mut counts: BTreeMap<u32, u32> = BTreeMap::new();
+    let _doc = "HashMap is banned here";
+    for &x in xs {
+        seen.insert(x);
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    seen.len() + counts.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_code_may_hash() {
+        let _m: HashMap<u32, u32> = HashMap::new();
+    }
+}

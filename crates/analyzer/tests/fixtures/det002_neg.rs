@@ -1,0 +1,8 @@
+// Fixture: DET002 must stay quiet — entropy flows from the run seed.
+pub fn stamp(seed: u64) -> u64 {
+    // dcrd_sim::rng::rng_for is the sanctioned path; Instant::now is not
+    // (saying so in a comment is fine).
+    let rng = dcrd_sim::rng::rng_for(seed, "stamp");
+    let _ = rng;
+    seed
+}

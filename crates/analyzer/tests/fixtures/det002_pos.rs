@@ -1,0 +1,11 @@
+// Fixture: DET002 must fire — ambient clock and RNG inside the sim.
+use std::time::Instant;
+
+pub fn stamp() -> u128 {
+    let t = Instant::now();
+    let mut rng = rand::thread_rng();
+    let _ = rand::random::<u64>();
+    let _ = t;
+    let _ = &mut rng;
+    0
+}

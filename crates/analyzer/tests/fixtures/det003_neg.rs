@@ -1,0 +1,22 @@
+// Fixture: DET003 must stay quiet — total_cmp comparators, and a
+// PartialOrd impl that merely defines partial_cmp without sorting.
+use std::cmp::Ordering;
+
+pub struct Score(pub f64);
+
+impl PartialEq for Score {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl PartialOrd for Score {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.0.total_cmp(&other.0))
+    }
+}
+
+pub fn rank(xs: &mut [f64]) {
+    xs.sort_by(f64::total_cmp);
+    xs.sort_by(|a, b| a.total_cmp(b));
+}

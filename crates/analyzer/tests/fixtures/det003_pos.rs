@@ -1,0 +1,10 @@
+// Fixture: DET003 must fire — NaN-unsafe comparator in a sort.
+pub fn rank(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn worst(xs: &[f64]) -> Option<&f64> {
+    xs.iter().min_by(|a, b| {
+        a.partial_cmp(b).unwrap()
+    })
+}

@@ -1,0 +1,21 @@
+// Fixture: SAFE001 must stay quiet — graceful handling, the unwrap_or
+// family, and test-only unwraps.
+pub fn first(xs: &[u32]) -> u32 {
+    let Some(head) = xs.first() else {
+        return 0;
+    };
+    let tail = xs.last().copied().unwrap_or(0);
+    let pad = xs.get(1).copied().unwrap_or_else(|| 0);
+    let fill = xs.get(2).copied().unwrap_or_default();
+    head + tail + pad + fill
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v = vec![1u32];
+        assert_eq!(v.first().copied().unwrap(), 1);
+        let _ = v.last().expect("non-empty");
+    }
+}

@@ -1,0 +1,6 @@
+// Fixture: SAFE001 must fire — panicking extractors in hot-path code.
+pub fn first(xs: &[u32]) -> u32 {
+    let head = xs.first().unwrap();
+    let tail = xs.last().expect("non-empty");
+    head + tail
+}

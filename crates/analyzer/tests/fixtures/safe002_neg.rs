@@ -1,0 +1,16 @@
+// Fixture: SAFE002 must stay quiet — saturating/checked construction and
+// the (saturating) float path.
+pub struct SimTime(u64);
+pub struct SimDuration(u64);
+
+pub fn from_millis(millis: u64) -> SimTime {
+    SimTime(millis.saturating_mul(1_000))
+}
+
+pub fn from_secs_f64(secs: f64) -> SimDuration {
+    SimDuration((secs * 1e6).round() as u64)
+}
+
+pub fn checked(a: u64, b: u64) -> Option<SimDuration> {
+    a.checked_add(b).map(SimDuration)
+}

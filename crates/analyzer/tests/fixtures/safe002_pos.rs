@@ -1,0 +1,12 @@
+// Fixture: SAFE002 must fire — overflow-unchecked arithmetic feeding a
+// SimTime/SimDuration construction.
+pub struct SimTime(u64);
+pub struct SimDuration(u64);
+
+pub fn from_millis(millis: u64) -> SimTime {
+    SimTime(millis * 1_000)
+}
+
+pub fn total(a: u64, b: u64) -> SimDuration {
+    SimDuration(a + b)
+}

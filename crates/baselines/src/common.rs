@@ -6,7 +6,7 @@
 //! happens after `m` failed transmissions**. Those two choices are captured
 //! by [`NextHopPolicy`]; [`HopByHopStrategy`] supplies the rest.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dcrd_net::estimate::LinkEstimates;
 use dcrd_net::{NodeId, Topology};
@@ -81,7 +81,7 @@ pub struct HopByHopStrategy<P> {
     params: RunParams,
     topology: Option<Topology>,
     estimates: Option<LinkEstimates>,
-    pending: HashMap<u64, Pending>,
+    pending: BTreeMap<u64, Pending>,
     next_tag: u64,
 }
 
@@ -94,7 +94,7 @@ impl<P: NextHopPolicy> HopByHopStrategy<P> {
             params: RunParams::default(),
             topology: None,
             estimates: None,
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             next_tag: 0,
         }
     }

@@ -8,7 +8,7 @@
 //! but both paths are fixed — a failure on both (or on the single shared
 //! prefix) still loses the packet.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dcrd_net::disjoint::edge_disjoint_pair;
 use dcrd_net::paths::{multipath_pair, Metric};
@@ -37,7 +37,7 @@ pub enum MultipathSelection {
 pub struct MultipathPolicy {
     selection: MultipathSelection,
     /// `(publisher, subscriber) → up to two node routes`.
-    routes: HashMap<(NodeId, NodeId), Vec<Vec<NodeId>>>,
+    routes: BTreeMap<(NodeId, NodeId), Vec<Vec<NodeId>>>,
 }
 
 impl MultipathPolicy {
@@ -53,7 +53,7 @@ impl MultipathPolicy {
     pub fn with_selection(selection: MultipathSelection) -> Self {
         MultipathPolicy {
             selection,
-            routes: HashMap::new(),
+            routes: BTreeMap::new(),
         }
     }
 

@@ -8,7 +8,7 @@
 //! is the only thing it cannot foresee; a lost transmission is retried with
 //! a fresh path after the ACK timeout.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dcrd_net::failure::FailureModel;
 use dcrd_net::paths::{dijkstra_filtered, Metric, ShortestPaths};
@@ -26,7 +26,7 @@ pub struct OraclePolicy {
     topology: Option<Topology>,
     failure: Option<FailureModel>,
     /// Cache of shortest-path trees for the current failure epoch.
-    cache: HashMap<NodeId, ShortestPaths>,
+    cache: BTreeMap<NodeId, ShortestPaths>,
     cache_epoch: u64,
     retry_budget: u32,
 }
@@ -38,7 +38,7 @@ impl OraclePolicy {
         OraclePolicy {
             topology: None,
             failure: None,
-            cache: HashMap::new(),
+            cache: BTreeMap::new(),
             cache_epoch: u64::MAX,
             retry_budget: 16,
         }

@@ -7,7 +7,7 @@
 //! `m` transmissions, and are **dropped** when a link fails — trees never
 //! reroute, which is precisely their weakness under churn.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dcrd_net::paths::{dijkstra, Metric};
 use dcrd_net::NodeId;
@@ -25,7 +25,7 @@ pub struct TreePolicy {
     name: &'static str,
     /// `(topic, publisher, destination, node) → next hop` along the tree —
     /// publisher-qualified so several publishers may share a topic.
-    next: HashMap<(TopicId, NodeId, NodeId, NodeId), NodeId>,
+    next: BTreeMap<(TopicId, NodeId, NodeId, NodeId), NodeId>,
 }
 
 impl TreePolicy {
@@ -38,7 +38,7 @@ impl TreePolicy {
                 Metric::Hops => "R-Tree",
                 Metric::Delay => "D-Tree",
             },
-            next: HashMap::new(),
+            next: BTreeMap::new(),
         }
     }
 

@@ -100,7 +100,7 @@ fn bench_propagation(c: &mut Criterion) {
 fn bench_codec(c: &mut Criterion) {
     use bytes::Bytes;
     use dcrd_pubsub::codec::{decode_packet, encode_packet};
-    use dcrd_pubsub::packet::{Packet, PacketId};
+    use dcrd_pubsub::packet::{Packet, PacketId, PacketKind};
     use dcrd_pubsub::topic::TopicId;
     use dcrd_sim::SimTime;
 
@@ -113,6 +113,8 @@ fn bench_codec(c: &mut Criterion) {
         path: (0..12).map(NodeId::new).collect(),
         route: None,
         tag: 42,
+        seq: 0,
+        kind: PacketKind::Data,
         payload: Bytes::from(vec![0xAB; 256]),
     };
     let encoded = encode_packet(&packet);

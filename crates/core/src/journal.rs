@@ -22,7 +22,7 @@
 //!
 //! [`DurabilityMode::Durable`]: crate::config::DurabilityMode::Durable
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use dcrd_net::NodeId;
 use dcrd_pubsub::packet::{Packet, PacketId};
@@ -38,7 +38,7 @@ pub struct JournalEntry {
     pub upstream: Option<NodeId>,
     /// Destinations already settled (downstream-ACKed, delivered, or given
     /// up) — replay must not resurrect these.
-    pub done: HashSet<NodeId>,
+    pub done: BTreeSet<NodeId>,
 }
 
 /// Counters describing the journal's activity over one run.
@@ -60,7 +60,7 @@ pub struct JournalStats {
 /// in-flight map uses, so mirroring is one call per state transition.
 #[derive(Debug, Clone, Default)]
 pub struct InFlightJournal {
-    entries: HashMap<(PacketId, NodeId), JournalEntry>,
+    entries: BTreeMap<(PacketId, NodeId), JournalEntry>,
     stats: JournalStats,
 }
 
@@ -99,7 +99,7 @@ impl InFlightJournal {
                     JournalEntry {
                         packet: packet.clone(),
                         upstream,
-                        done: HashSet::new(),
+                        done: BTreeSet::new(),
                     },
                 );
             }
@@ -137,14 +137,14 @@ impl InFlightJournal {
     /// the replayed exploration retires them through the normal flow.
     #[must_use]
     pub fn replay_for(&mut self, holder: NodeId) -> Vec<(PacketId, JournalEntry)> {
-        let mut hits: Vec<(PacketId, JournalEntry)> = self
+        // The map is keyed `(packet, holder)` in a `BTreeMap`, so the
+        // filtered view is already in ascending packet-id order.
+        let hits: Vec<(PacketId, JournalEntry)> = self
             .entries
             .iter()
             .filter(|((_, h), _)| *h == holder)
             .map(|(&(id, _), entry)| (id, entry.clone()))
             .collect();
-        // Deterministic replay order regardless of hash-map iteration.
-        hits.sort_by_key(|(id, _)| *id);
         self.stats.replays += hits.len() as u64;
         hits
     }

@@ -27,23 +27,23 @@ pub enum OrderingPolicy {
 
 impl OrderingPolicy {
     /// Sorts `candidates` in place according to the policy. All policies
-    /// break ties by neighbor id so runs are deterministic.
+    /// break ties by neighbor id so runs are deterministic, and all
+    /// comparisons use [`f64::total_cmp`] so a NaN estimate (a link-model
+    /// bug) degrades to "sorts last" instead of a panic or an
+    /// inconsistent comparator.
     pub fn sort(self, candidates: &mut [Candidate]) {
         match self {
             OrderingPolicy::RatioOptimal => candidates.sort_by(|a, b| {
                 a.ratio()
-                    .partial_cmp(&b.ratio())
-                    .expect("ratios are never NaN")
+                    .total_cmp(&b.ratio())
                     .then_with(|| a.neighbor.cmp(&b.neighbor))
             }),
             OrderingPolicy::ByDelay => candidates.sort_by(|a, b| {
-                a.d.partial_cmp(&b.d)
-                    .expect("delays are never NaN")
+                a.d.total_cmp(&b.d)
                     .then_with(|| a.neighbor.cmp(&b.neighbor))
             }),
             OrderingPolicy::ByReliability => candidates.sort_by(|a, b| {
-                b.r.partial_cmp(&a.r)
-                    .expect("ratios are never NaN")
+                b.r.total_cmp(&a.r)
                     .then_with(|| a.neighbor.cmp(&b.neighbor))
             }),
             OrderingPolicy::Unsorted => {}
@@ -93,6 +93,44 @@ mod tests {
         optimal_order(&mut cs);
         let ids: Vec<u32> = cs.iter().map(|c| c.neighbor.index() as u32).collect();
         assert_eq!(ids, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn equal_ratios_with_different_components_break_by_neighbor_id() {
+        // 20/0.4 == 50/1.0 == 5/0.1 == 50: same d/r through different
+        // (d, r) pairs must still order by neighbor id.
+        let mut cs = vec![cand(7, 20.0, 0.4), cand(3, 50.0, 1.0), cand(5, 5.0, 0.1)];
+        optimal_order(&mut cs);
+        let ids: Vec<u32> = cs.iter().map(|c| c.neighbor.index() as u32).collect();
+        assert_eq!(ids, vec![3, 5, 7]);
+    }
+
+    #[test]
+    fn nan_estimates_sort_last_without_panicking() {
+        // A NaN delay (link-model bug) must not panic the sort and must
+        // lose to every finite candidate, under every policy.
+        let mut cs = vec![
+            cand(0, f64::NAN, 0.5),
+            cand(1, 10.0, 0.9),
+            cand(2, 20.0, f64::NAN),
+        ];
+        optimal_order(&mut cs);
+        assert_eq!(cs[0].neighbor, NodeId::new(1));
+        for policy in [OrderingPolicy::ByDelay, OrderingPolicy::ByReliability] {
+            let mut cs = vec![cand(0, f64::NAN, f64::NAN), cand(1, 10.0, 0.9)];
+            policy.sort(&mut cs);
+            assert_eq!(cs[0].neighbor, NodeId::new(1), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn zero_reliability_neighbors_sort_after_all_live_ones() {
+        // r = 0 makes the Theorem-1 ratio infinite: dead neighbors go
+        // last (deterministically, by id), never ahead of a live one.
+        let mut cs = vec![cand(9, 1.0, 0.0), cand(1, 9999.0, 0.01), cand(4, 2.0, 0.0)];
+        optimal_order(&mut cs);
+        let ids: Vec<u32> = cs.iter().map(|c| c.neighbor.index() as u32).collect();
+        assert_eq!(ids, vec![1, 4, 9]);
     }
 
     #[test]

@@ -279,12 +279,16 @@ fn frozen_list(
 ) -> Vec<Candidate> {
     order
         .iter()
-        .map(|&nb| {
-            let edge = topo
-                .edge_between(node, nb)
-                .expect("frozen list entries are neighbors");
-            let stats = link_stats[edge.index()];
-            Candidate::from_link(nb, stats.alpha, stats.gamma, params[nb.index()])
+        .filter_map(|&nb| {
+            let edge = topo.edge_between(node, nb);
+            debug_assert!(edge.is_some(), "frozen list entry n{nb:?} not a neighbor");
+            let stats = link_stats[edge?.index()];
+            Some(Candidate::from_link(
+                nb,
+                stats.alpha,
+                stats.gamma,
+                params[nb.index()],
+            ))
         })
         .collect()
 }

@@ -17,7 +17,7 @@
 //! Destinations whose current next hop coincides are merged into a single
 //! transmission (Algorithm 2 lines 13–19).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use dcrd_net::estimate::LinkEstimates;
 use dcrd_net::{NodeId, Topology};
@@ -44,6 +44,11 @@ const JOURNAL_TAG_BASE: u64 = 1 << 62;
 /// Packet-id space for NACKs, minted by subscribers. The runtime's data
 /// packet ids count up from zero, so the spaces never collide.
 const NACK_ID_BASE: u64 = 1 << 63;
+
+/// ACK-timeout α used if a timeout is computed for a link the strategy
+/// has no estimate for (a bug caught by debug assertions; release builds
+/// degrade to this conservative paper-regime upper bound instead).
+const FALLBACK_ALPHA: SimDuration = SimDuration::from_millis(50);
 
 /// One outstanding transmission awaiting its hop-by-hop ACK.
 #[derive(Debug, Clone)]
@@ -113,11 +118,11 @@ struct NodeState {
     upstream: Option<NodeId>,
     /// Destinations fully handled at this broker (acked downstream,
     /// delivered locally, or given up).
-    done: HashSet<NodeId>,
+    done: BTreeSet<NodeId>,
     /// Per-destination neighbors already tried and failed from here.
-    tried: HashMap<NodeId, HashSet<NodeId>>,
+    tried: BTreeMap<NodeId, BTreeSet<NodeId>>,
     /// Outstanding sends keyed by tag.
-    pending: HashMap<u64, Pending>,
+    pending: BTreeMap<u64, Pending>,
     /// Transmissions spent by this broker on this packet.
     attempts: u32,
     /// Persistence retries consumed (publisher only).
@@ -131,9 +136,9 @@ impl NodeState {
         NodeState {
             packet,
             upstream,
-            done: HashSet::new(),
-            tried: HashMap::new(),
-            pending: HashMap::new(),
+            done: BTreeSet::new(),
+            tried: BTreeMap::new(),
+            pending: BTreeMap::new(),
             attempts: 0,
             persist_retries: 0,
             parked: Vec::new(),
@@ -178,30 +183,30 @@ pub struct DcrdStrategy {
     /// Routing tables per subscription `(topic, publisher, subscriber)` —
     /// publisher-qualified so one topic may have several publishers
     /// (many-to-many pub/sub), each with its own deadline geometry.
-    tables: HashMap<(TopicId, NodeId, NodeId), SubscriberTables>,
-    inflight: HashMap<(PacketId, NodeId), NodeState>,
+    tables: BTreeMap<(TopicId, NodeId, NodeId), SubscriberTables>,
+    inflight: BTreeMap<(PacketId, NodeId), NodeState>,
     /// Measured ACK round trips per directed link (adaptive timeouts only).
-    rtt: HashMap<(NodeId, NodeId), RttEstimate>,
+    rtt: BTreeMap<(NodeId, NodeId), RttEstimate>,
     /// Circuit-breaker state per directed link (breaker enabled only).
-    suspicion: HashMap<(NodeId, NodeId), Suspicion>,
+    suspicion: BTreeMap<(NodeId, NodeId), Suspicion>,
     /// `(message, subscriber)` pairs already handed to the application —
     /// the durable subscriber-side delivery log that makes local delivery
     /// idempotent even when duplicate copies converge (lost ACKs, crash
     /// recovery).
-    delivered: HashSet<(PacketId, NodeId)>,
+    delivered: BTreeSet<(PacketId, NodeId)>,
     /// Write-ahead custody journal ([`DurabilityMode::Durable`] only;
     /// stays empty when volatile). Like `delivered`, it models per-broker
     /// durable storage, so it survives `on_restart` wipes.
     journal: InFlightJournal,
     /// Per-(topic, publisher, subscriber) sequencing state: the bounded
     /// dedup window plus gap bookkeeping (recovery mode only).
-    trackers: HashMap<(TopicId, NodeId, NodeId), SequenceTracker>,
+    trackers: BTreeMap<(TopicId, NodeId, NodeId), SequenceTracker>,
     /// NACKs already issued per (topic, publisher, subscriber, seq) —
     /// bounds recovery traffic for genuinely unrecoverable gaps.
-    nack_counts: HashMap<(TopicId, NodeId, NodeId, u64), u32>,
+    nack_counts: BTreeMap<(TopicId, NodeId, NodeId, u64), u32>,
     /// Next hop from each node toward each publisher (shortest delay
     /// path), rebuilt with the routing tables: how NACKs travel upstream.
-    toward_publisher: HashMap<(NodeId, NodeId), NodeId>,
+    toward_publisher: BTreeMap<(NodeId, NodeId), NodeId>,
     next_tag: u64,
     next_persist_tag: u64,
     next_journal_tag: u64,
@@ -219,15 +224,15 @@ impl DcrdStrategy {
             topology: None,
             estimates: None,
             workload: None,
-            tables: HashMap::new(),
-            inflight: HashMap::new(),
-            rtt: HashMap::new(),
-            suspicion: HashMap::new(),
-            delivered: HashSet::new(),
+            tables: BTreeMap::new(),
+            inflight: BTreeMap::new(),
+            rtt: BTreeMap::new(),
+            suspicion: BTreeMap::new(),
+            delivered: BTreeSet::new(),
             journal: InFlightJournal::new(),
-            trackers: HashMap::new(),
-            nack_counts: HashMap::new(),
-            toward_publisher: HashMap::new(),
+            trackers: BTreeMap::new(),
+            nack_counts: BTreeMap::new(),
+            toward_publisher: BTreeMap::new(),
             next_tag: 0,
             next_persist_tag: PERSIST_TAG_BASE,
             next_journal_tag: JOURNAL_TAG_BASE,
@@ -282,8 +287,13 @@ impl DcrdStrategy {
     }
 
     fn rebuild_tables(&mut self, estimates: &LinkEstimates) {
-        let topo = self.topology.as_ref().expect("setup ran");
-        let workload = self.workload.as_ref().expect("setup ran");
+        debug_assert!(
+            self.topology.is_some() && self.workload.is_some(),
+            "rebuild_tables before setup"
+        );
+        let (Some(topo), Some(workload)) = (self.topology.as_ref(), self.workload.as_ref()) else {
+            return;
+        };
         self.tables.clear();
         self.toward_publisher.clear();
         for spec in workload.topics() {
@@ -315,12 +325,17 @@ impl DcrdStrategy {
     }
 
     fn alpha(&self, a: NodeId, b: NodeId) -> SimDuration {
-        let topo = self.topology.as_ref().expect("setup ran");
-        let est = self.estimates.as_ref().expect("setup ran");
-        let edge = topo
-            .edge_between(a, b)
-            .unwrap_or_else(|| panic!("no link {a}-{b}"));
-        est.get(edge).alpha
+        let edge = self
+            .topology
+            .as_ref()
+            .and_then(|topo| topo.edge_between(a, b));
+        debug_assert!(edge.is_some(), "no link {a}-{b}");
+        match (edge, self.estimates.as_ref()) {
+            (Some(e), Some(est)) => est.get(e).alpha,
+            // Unreachable once setup ran and the caller picked a genuine
+            // neighbor; a conservative fallback keeps release builds alive.
+            _ => FALLBACK_ALPHA,
+        }
     }
 
     /// The ACK timeout for a fresh transmission `node → to`. Fixed policy:
@@ -455,7 +470,9 @@ impl DcrdStrategy {
         let mut assignments: Vec<(NodeId, Vec<NodeId>, bool)> = Vec::new(); // (next hop, dests, is_upstream)
         let mut give_ups: Vec<NodeId> = Vec::new();
         let mut park: Vec<NodeId> = Vec::new();
-        let num_nodes = self.topology.as_ref().expect("setup ran").num_nodes();
+        let Some(num_nodes) = self.topology.as_ref().map(Topology::num_nodes) else {
+            return;
+        };
         let path_budget = self.config.max_path_factor as usize * num_nodes;
         let over_cap = state.attempts >= self.config.max_attempts_per_node
             || state.packet.path.len() >= path_budget;
@@ -504,15 +521,17 @@ impl DcrdStrategy {
             }
         }
 
-        // Mutate phase.
+        // Mutate phase. The timeout needs `&self` while the state is
+        // borrowed mutably, so compute it before re-borrowing the state.
         let mut new_pendings: Vec<(u64, Pending, SimTime)> = Vec::new();
         for (hop, dests, is_upstream) in assignments {
             let tag = self.next_tag;
             self.next_tag += 1;
-            let state = self.inflight.get_mut(&(id, node)).expect("state exists");
-            let forwarded = state.packet.forward(node, dests, tag);
             let timeout = self.rto(node, hop);
-            let state = self.inflight.get_mut(&(id, node)).expect("state exists");
+            let Some(state) = self.inflight.get_mut(&(id, node)) else {
+                return;
+            };
+            let forwarded = state.packet.forward(node, dests, tag);
             state.attempts += 1;
             new_pendings.push((
                 tag,
@@ -528,7 +547,9 @@ impl DcrdStrategy {
                 now + timeout,
             ));
         }
-        let state = self.inflight.get_mut(&(id, node)).expect("state exists");
+        let Some(state) = self.inflight.get_mut(&(id, node)) else {
+            return;
+        };
         for (tag, pending, deadline) in new_pendings {
             out.send(pending.to, pending.packet.clone());
             out.set_timer(deadline, TimerKey { packet: id, tag });
@@ -646,7 +667,7 @@ impl DcrdStrategy {
     /// candidates, requiring each to be an actual neighbor; the sender of
     /// the returning copy always is.
     fn derive_upstream(&self, node: NodeId, packet: &Packet, from: NodeId) -> Option<NodeId> {
-        let topo = self.topology.as_ref().expect("setup ran");
+        let topo = self.topology.as_ref()?;
         let first = packet.path.iter().position(|&n| n == node);
         let last = packet.path.iter().rposition(|&n| n == node);
         let candidates = [
@@ -902,11 +923,12 @@ impl RoutingStrategy for DcrdStrategy {
             let to = p.to;
             let previous = p.timeout;
             let timeout = self.backoff_timeout(node, to, previous);
-            let state = self.inflight.get_mut(&(id, node)).expect("state exists");
-            let p = state
-                .pending
-                .get_mut(&key.tag)
-                .expect("pending checked above");
+            let Some(state) = self.inflight.get_mut(&(id, node)) else {
+                return;
+            };
+            let Some(p) = state.pending.get_mut(&key.tag) else {
+                return;
+            };
             p.sends += 1;
             p.retransmitted = true;
             p.sent_at = now;
@@ -920,10 +942,9 @@ impl RoutingStrategy for DcrdStrategy {
         // Upstream hops are exempt from the tried set — the upstream link is
         // the only way back, so it is retried (bounded by the attempts cap)
         // rather than written off.
-        let p = state
-            .pending
-            .remove(&key.tag)
-            .expect("pending checked above");
+        let Some(p) = state.pending.remove(&key.tag) else {
+            return;
+        };
         if !p.is_upstream {
             for dest in &p.packet.destinations {
                 state.tried.entry(*dest).or_default().insert(p.to);
@@ -956,7 +977,9 @@ impl RoutingStrategy for DcrdStrategy {
         // budget re-enter the sending-list machinery. Expired destinations
         // are not replayed — completeness for them is the NACK path's job,
         // which serves from the (kept) journal entry regardless of budget.
-        let workload = self.workload.clone().expect("setup ran");
+        let Some(workload) = self.workload.clone() else {
+            return;
+        };
         for (id, entry) in self.journal.replay_for(node) {
             let mut packet = entry.packet.clone();
             packet.path.clear();

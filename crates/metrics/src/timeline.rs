@@ -92,7 +92,7 @@ impl Timeline {
         self.iter()
             .filter(|(_, b)| b.pairs() > 0)
             .map(|(t, b)| (t, b.qos_delivery_ratio()))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("ratios are not NaN"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
     }
 
     /// Renders an aligned text table.

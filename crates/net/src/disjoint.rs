@@ -16,7 +16,7 @@
 //! Used by the `MultipathSelection::EdgeDisjoint` ablation to quantify how
 //! much the paper's heuristic leaves on the table.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use crate::graph::{EdgeId, NodeId, Topology};
 use crate::paths::{shortest_path, Metric, Path};
@@ -109,9 +109,9 @@ pub fn edge_disjoint_pair(
     }
 
     // Interlacing removal: edges on both paths cancel out.
-    let p1_set: HashSet<EdgeId> = p1.edges().iter().copied().collect();
-    let p2_set: HashSet<EdgeId> = p2_edges.iter().copied().collect();
-    let shared: HashSet<EdgeId> = p1_set.intersection(&p2_set).copied().collect();
+    let p1_set: BTreeSet<EdgeId> = p1.edges().iter().copied().collect();
+    let p2_set: BTreeSet<EdgeId> = p2_edges.iter().copied().collect();
+    let shared: BTreeSet<EdgeId> = p1_set.intersection(&p2_set).copied().collect();
     let mut remaining: Vec<EdgeId> = p1
         .edges()
         .iter()

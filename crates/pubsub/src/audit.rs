@@ -41,7 +41,7 @@
 //! [`RuntimeConfig::audit`]: crate::runtime::RuntimeConfig::audit
 //! [`Trace`]: crate::trace::Trace
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dcrd_net::NodeId;
 use serde::{Deserialize, Serialize};
@@ -184,14 +184,14 @@ impl AuditReport {
 pub struct InvariantAuditor {
     config: AuditConfig,
     /// Transmissions per `(message, from, to)` directed link.
-    edge_uses: HashMap<(PacketId, NodeId, NodeId), u32>,
+    edge_uses: BTreeMap<(PacketId, NodeId, NodeId), u32>,
     /// Total transmissions per message.
-    packet_sends: HashMap<PacketId, u64>,
+    packet_sends: BTreeMap<PacketId, u64>,
     /// Deliveries per `(message, subscriber)` pair.
-    delivered: HashMap<(PacketId, NodeId), u32>,
+    delivered: BTreeMap<(PacketId, NodeId), u32>,
     /// Data arrivals not yet consumed by an ACK, per `(message, sender,
     /// receiver)`.
-    unacked_arrivals: HashMap<(PacketId, NodeId, NodeId), u32>,
+    unacked_arrivals: BTreeMap<(PacketId, NodeId, NodeId), u32>,
     /// Publish-time expectations, in publish order: `(message, sequence
     /// number, expected subscribers)`. Only populated when the sequence
     /// check is on.
@@ -205,10 +205,10 @@ impl InvariantAuditor {
     pub fn new(config: AuditConfig) -> Self {
         InvariantAuditor {
             config,
-            edge_uses: HashMap::new(),
-            packet_sends: HashMap::new(),
-            delivered: HashMap::new(),
-            unacked_arrivals: HashMap::new(),
+            edge_uses: BTreeMap::new(),
+            packet_sends: BTreeMap::new(),
+            delivered: BTreeMap::new(),
+            unacked_arrivals: BTreeMap::new(),
             published: Vec::new(),
             report: AuditReport::default(),
         }

@@ -81,8 +81,10 @@ impl SequenceTracker {
         // abandoned range can no longer be deduplicated, which is why the
         // capacity must dwarf the realistic recovery horizon.
         while self.seen.len() > self.capacity {
+            let Some(next) = self.seen.iter().next().copied() else {
+                break; // Unreachable: len() > capacity ≥ 1 means non-empty.
+            };
             self.forced_advances += 1;
-            let next = *self.seen.iter().next().expect("non-empty over capacity");
             self.low = next;
             while self.seen.remove(&self.low) {
                 self.low += 1;

@@ -17,7 +17,7 @@
 //! time, plus traffic counters. The metrics crate turns the log into the
 //! paper's three metrics.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dcrd_net::estimate::{analytic_estimates, EwmaMonitor, LinkEstimate, LinkEstimates};
 use dcrd_net::failure::FailureModel;
@@ -155,7 +155,7 @@ impl Expectation {
 /// The complete record of one run.
 #[derive(Debug, Clone, Default)]
 pub struct DeliveryLog {
-    expectations: HashMap<(PacketId, NodeId), Expectation>,
+    expectations: BTreeMap<(PacketId, NodeId), Expectation>,
     /// Number of published messages.
     pub messages_published: u64,
     /// Data-packet transmissions attempted (the paper's traffic metric

@@ -164,8 +164,8 @@ impl Trace {
     /// bounded rerouting keep it small, a livelock makes it explode).
     #[must_use]
     pub fn max_directed_edge_uses(&self) -> u32 {
-        use std::collections::HashMap;
-        let mut counts: HashMap<(PacketId, NodeId, NodeId), u32> = HashMap::new();
+        use std::collections::BTreeMap;
+        let mut counts: BTreeMap<(PacketId, NodeId, NodeId), u32> = BTreeMap::new();
         for e in &self.events {
             if let TraceEvent::Send {
                 from, to, packet, ..
@@ -193,6 +193,84 @@ impl Trace {
             }
         }
         (arrived, blocked, lost)
+    }
+
+    /// A 64-bit FNV-1a digest over the canonical encoding of every event,
+    /// in recording order. Two runs of a deterministic simulation with the
+    /// same seed must produce equal digests — the determinism regression
+    /// tests compare this instead of diffing full traces.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        let mut mix = |word: u64| {
+            for byte in word.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+        };
+        for e in &self.events {
+            match *e {
+                TraceEvent::Send {
+                    at,
+                    from,
+                    to,
+                    packet,
+                    destinations,
+                    outcome,
+                } => {
+                    mix(1);
+                    mix(at.as_micros());
+                    mix(from.index() as u64);
+                    mix(to.index() as u64);
+                    mix(packet.raw());
+                    mix(u64::from(destinations));
+                    mix(match outcome {
+                        TxOutcome::Arrived => 0,
+                        TxOutcome::Blocked => 1,
+                        TxOutcome::Lost => 2,
+                    });
+                }
+                TraceEvent::Deliver { at, node, packet } => {
+                    mix(2);
+                    mix(at.as_micros());
+                    mix(node.index() as u64);
+                    mix(packet.raw());
+                }
+                TraceEvent::GiveUp {
+                    at,
+                    node,
+                    packet,
+                    destination,
+                } => {
+                    mix(3);
+                    mix(at.as_micros());
+                    mix(node.index() as u64);
+                    mix(packet.raw());
+                    mix(destination.index() as u64);
+                }
+                TraceEvent::Suppress { at, node, packet } => {
+                    mix(4);
+                    mix(at.as_micros());
+                    mix(node.index() as u64);
+                    mix(packet.raw());
+                }
+                TraceEvent::Ack {
+                    at,
+                    from,
+                    to,
+                    packet,
+                } => {
+                    mix(5);
+                    mix(at.as_micros());
+                    mix(from.index() as u64);
+                    mix(to.index() as u64);
+                    mix(packet.raw());
+                }
+            }
+        }
+        hash
     }
 
     /// Delivery times per message at one subscriber, if any.

@@ -157,6 +157,9 @@ impl Workload {
         rng: &mut R,
     ) -> Self {
         let nodes: Vec<NodeId> = topo.nodes().collect();
+        if nodes.is_empty() {
+            return Workload { topics: Vec::new() };
+        }
         let mut publishers: Vec<NodeId> = Vec::with_capacity(config.num_topics);
         if config.num_topics <= nodes.len() {
             let mut pool = nodes.clone();
@@ -164,7 +167,9 @@ impl Workload {
             publishers.extend(pool.into_iter().take(config.num_topics));
         } else {
             for _ in 0..config.num_topics {
-                publishers.push(*nodes.choose(rng).expect("nonempty topology"));
+                if let Some(&p) = nodes.choose(rng) {
+                    publishers.push(p);
+                }
             }
         }
 
@@ -194,13 +199,16 @@ impl Workload {
                     });
                 }
                 if subscriptions.is_empty() {
+                    // A single-broker topology has nobody left to force-
+                    // subscribe; the topic then simply stays empty.
                     let candidates: Vec<NodeId> =
                         nodes.iter().copied().filter(|&n| n != publisher).collect();
-                    let n = *candidates.choose(rng).expect("at least two brokers");
-                    subscriptions.push(Subscription::new(
-                        n,
-                        deadline_for(&sp, n, config.deadline_factor),
-                    ));
+                    if let Some(&n) = candidates.choose(rng) {
+                        subscriptions.push(Subscription::new(
+                            n,
+                            deadline_for(&sp, n, config.deadline_factor),
+                        ));
+                    }
                 }
                 TopicSpec {
                     topic: TopicId::new(i as u32),
@@ -244,9 +252,11 @@ fn deadline_for(
     subscriber: NodeId,
     factor: f64,
 ) -> SimDuration {
-    let base = sp
-        .cost_to(subscriber)
-        .expect("workload requires a connected topology");
+    // A subscriber the publisher cannot reach has no meaningful delay
+    // bound; give it an unbounded deadline rather than panicking.
+    let Some(base) = sp.cost_to(subscriber) else {
+        return SimDuration::MAX;
+    };
     SimDuration::from_micros(base).mul_f64(factor)
 }
 

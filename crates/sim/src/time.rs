@@ -52,16 +52,18 @@ impl SimTime {
         SimTime(micros)
     }
 
-    /// Creates an instant from milliseconds since the start of the run.
+    /// Creates an instant from milliseconds since the start of the run,
+    /// saturating at [`SimTime::MAX`].
     #[must_use]
     pub const fn from_millis(millis: u64) -> Self {
-        SimTime(millis * 1_000)
+        SimTime(millis.saturating_mul(1_000))
     }
 
-    /// Creates an instant from whole seconds since the start of the run.
+    /// Creates an instant from whole seconds since the start of the run,
+    /// saturating at [`SimTime::MAX`].
     #[must_use]
     pub const fn from_secs(secs: u64) -> Self {
-        SimTime(secs * 1_000_000)
+        SimTime(secs.saturating_mul(1_000_000))
     }
 
     /// Returns the instant as microseconds since the start of the run.
@@ -96,16 +98,18 @@ impl SimDuration {
         SimDuration(micros)
     }
 
-    /// Creates a duration from milliseconds.
+    /// Creates a duration from milliseconds, saturating at
+    /// [`SimDuration::MAX`].
     #[must_use]
     pub const fn from_millis(millis: u64) -> Self {
-        SimDuration(millis * 1_000)
+        SimDuration(millis.saturating_mul(1_000))
     }
 
-    /// Creates a duration from whole seconds.
+    /// Creates a duration from whole seconds, saturating at
+    /// [`SimDuration::MAX`].
     #[must_use]
     pub const fn from_secs(secs: u64) -> Self {
-        SimDuration(secs * 1_000_000)
+        SimDuration(secs.saturating_mul(1_000_000))
     }
 
     /// Creates a duration from fractional seconds, rounding to the nearest
@@ -302,6 +306,16 @@ mod tests {
         assert_eq!(SimDuration::from_millis(12).to_string(), "12.000ms");
         assert_eq!(SimDuration::from_secs(2).to_string(), "2.000s");
         assert_eq!(SimTime::from_millis(1500).to_string(), "t=1.500000s");
+    }
+
+    #[test]
+    fn constructors_saturate_instead_of_overflowing() {
+        assert_eq!(SimTime::from_millis(u64::MAX), SimTime::MAX);
+        assert_eq!(SimTime::from_secs(u64::MAX), SimTime::MAX);
+        assert_eq!(SimDuration::from_millis(u64::MAX), SimDuration::MAX);
+        assert_eq!(SimDuration::from_secs(u64::MAX), SimDuration::MAX);
+        assert_eq!(SimTime::MAX + SimDuration::MAX, SimTime::MAX);
+        assert_eq!(SimDuration::MAX * 7, SimDuration::MAX);
     }
 
     #[test]

@@ -80,6 +80,69 @@ fn strategies_share_the_environment_at_equal_rep() {
     }
 }
 
+/// Same seed, same chaos schedule, twice: the **full transmission traces**
+/// must be bit-identical, not just the aggregate metrics. This is the
+/// regression test backing the analyzer's determinism lints (DET001-003):
+/// a stray `HashMap` iteration or ambient RNG anywhere in the hot path
+/// shows up here as a digest mismatch long before it skews a figure.
+#[test]
+fn chaos_trace_digests_are_identical_across_reruns() {
+    use dcrd::core::{DcrdConfig, DcrdStrategy};
+    use dcrd::experiments::runner::{build_chaos, build_topology, build_workload};
+    use dcrd::experiments::scenario::{CrashSpec, GraySpec, PartitionSpec};
+    use dcrd::net::failure::{FailureModel, LinkFailureModel, LinkOutageModel};
+    use dcrd::net::loss::LossModel;
+    use dcrd::pubsub::runtime::{OverlayRuntime, RuntimeConfig};
+    use dcrd::sim::SimDuration;
+
+    let scenario = ScenarioBuilder::new()
+        .nodes(15)
+        .degree(5)
+        .failure_probability(0.02)
+        .partition(PartitionSpec {
+            fraction: 0.3,
+            window_secs: 10,
+            period_secs: 20,
+        })
+        .crashes(CrashSpec {
+            rate: 0.01,
+            mean_down_epochs: 2.0,
+        })
+        .gray_links(GraySpec {
+            fraction: 0.2,
+            extra_loss: 0.2,
+            delay_factor: 2.0,
+        })
+        .audit(true)
+        .dcrd(DcrdConfig::chaos_hardened())
+        .duration_secs(40)
+        .seed(77)
+        .build();
+
+    let traced_digest = || {
+        let topo = build_topology(&scenario, 0);
+        let workload = build_workload(&scenario, &topo, 0);
+        let links = LinkOutageModel::Epoch(LinkFailureModel::new(scenario.pf, 0xC4A0));
+        let failure = FailureModel::new(links, None).with_chaos(build_chaos(&scenario, 0));
+        let mut config = RuntimeConfig::paper(SimDuration::from_secs(40), 77);
+        config.capture_trace = true;
+        let runtime =
+            OverlayRuntime::new(&topo, &workload, failure, LossModel::PAPER_DEFAULT, config);
+        let mut strategy = DcrdStrategy::new(scenario.dcrd);
+        let log = runtime.run(&mut strategy);
+        let trace = log.trace.as_ref().expect("trace captured");
+        assert!(!trace.is_empty(), "chaos run produced no events");
+        trace.digest()
+    };
+
+    let first = traced_digest();
+    let second = traced_digest();
+    assert_eq!(
+        first, second,
+        "same-seed chaos runs diverged: event traces are not deterministic"
+    );
+}
+
 #[test]
 fn chaos_models_are_deterministic() {
     use dcrd::core::DcrdConfig;
