@@ -100,23 +100,25 @@ fn bench_propagation(c: &mut Criterion) {
 fn bench_codec(c: &mut Criterion) {
     use bytes::Bytes;
     use dcrd_pubsub::codec::{decode_packet, encode_packet};
-    use dcrd_pubsub::packet::{Packet, PacketId, PacketKind};
+    use dcrd_pubsub::packet::{Packet, PacketBody, PacketId, PacketKind};
     use dcrd_pubsub::topic::TopicId;
     use dcrd_sim::SimTime;
 
-    let packet = Packet {
-        id: PacketId::new(7),
-        topic: TopicId::new(2),
-        publisher: NodeId::new(0),
-        published_at: SimTime::from_millis(1234),
-        destinations: (1..9).map(NodeId::new).collect(),
-        path: (0..12).map(NodeId::new).collect(),
-        route: None,
-        tag: 42,
-        seq: 0,
-        kind: PacketKind::Data,
-        payload: Bytes::from(vec![0xAB; 256]),
-    };
+    let packet = Packet::from_body(
+        PacketBody::new(
+            PacketId::new(7),
+            TopicId::new(2),
+            NodeId::new(0),
+            SimTime::from_millis(1234),
+            0,
+            Bytes::from(vec![0xAB; 256]),
+        ),
+        PacketKind::Data,
+        (1..9).map(NodeId::new).collect(),
+        (0..12).map(NodeId::new).collect::<Vec<_>>().into(),
+        None,
+        42,
+    );
     let encoded = encode_packet(&packet);
     let mut group = c.benchmark_group("codec");
     group.bench_function("encode_8dest_12hop_256B", |b| {
@@ -150,6 +152,98 @@ fn bench_disjoint(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_path_membership(c: &mut Criterion) {
+    use dcrd_net::NodeSet;
+    use dcrd_pubsub::packet::PathRecord;
+
+    let mut group = c.benchmark_group("path_membership");
+    for n in [16u32, 64, 256] {
+        let nodes: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+        group.bench_with_input(
+            BenchmarkId::new("nodeset_insert_contains", n),
+            &nodes,
+            |b, nodes| {
+                b.iter(|| {
+                    let mut set = NodeSet::new();
+                    for &node in nodes {
+                        set.insert(node);
+                    }
+                    let mut hits = 0usize;
+                    for &node in nodes {
+                        hits += usize::from(set.contains(node));
+                    }
+                    black_box(hits)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("path_record_visited", n),
+            &nodes,
+            |b, nodes| {
+                let path: PathRecord = nodes.clone().into();
+                b.iter(|| {
+                    let mut hits = 0usize;
+                    for &node in nodes {
+                        hits += usize::from(path.contains(black_box(node)));
+                    }
+                    black_box(hits)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("path_record_merge", n),
+            &nodes,
+            |b, nodes| {
+                // Two half-overlapping paths: the merge has to skip the shared
+                // prefix and append only the novel suffix.
+                let ours: PathRecord = nodes[..nodes.len() / 2].to_vec().into();
+                let theirs: PathRecord = nodes[nodes.len() / 4..].to_vec().into();
+                b.iter_batched(
+                    || ours.clone(),
+                    |mut p| {
+                        p.merge(&theirs);
+                        black_box(p)
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fanout(c: &mut Criterion) {
+    use bytes::Bytes;
+    use dcrd_pubsub::packet::{Packet, PacketBody, PacketId, PacketKind};
+    use dcrd_pubsub::topic::TopicId;
+
+    let packet = Packet::from_body(
+        PacketBody::new(
+            PacketId::new(9),
+            TopicId::new(1),
+            NodeId::new(0),
+            SimTime::from_millis(50),
+            3,
+            Bytes::from(vec![0x5A; 1024]),
+        ),
+        PacketKind::Data,
+        (1..9).map(NodeId::new).collect(),
+        (0..12).map(NodeId::new).collect::<Vec<_>>().into(),
+        None,
+        7,
+    );
+    // Eight per-neighbor copies of a 1 KiB packet: the shared-body split
+    // means this clones headers only, never the payload.
+    c.bench_function("packet_fanout_8way_1KiB", |b| {
+        b.iter(|| {
+            let copies: Vec<Packet> = (1..9)
+                .map(|i| packet.forward(NodeId::new(0), vec![NodeId::new(i)], u64::from(i)))
+                .collect();
+            black_box(copies)
+        })
+    });
+}
+
 fn bench_event_queue(c: &mut Criterion) {
     c.bench_function("event_queue_push_pop_10k", |b| {
         b.iter(|| {
@@ -177,6 +271,8 @@ criterion_group!(
     bench_propagation,
     bench_codec,
     bench_disjoint,
+    bench_path_membership,
+    bench_fanout,
     bench_event_queue
 );
 criterion_main!(benches);

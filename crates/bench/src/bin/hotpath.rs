@@ -1,0 +1,206 @@
+//! Macro hot-path benchmark: end-to-end DCRD events/sec on a 64-broker
+//! random degree-k overlay.
+//!
+//! Unlike the criterion micro-benches this measures the whole event loop —
+//! queue, router, failure/loss models, ACK bookkeeping — and writes a
+//! machine-readable `BENCH_hotpath.json` so every PR leaves a throughput
+//! trajectory to compare against.
+//!
+//! ```text
+//! cargo run --release -p dcrd-bench --bin hotpath -- [--quick] \
+//!     [--out BENCH_hotpath.json] [--check BASELINE.json]
+//! ```
+//!
+//! `--check` fails the process (exit 1) when events/sec regresses more than
+//! 20% below the baseline file's value; CI runs `--quick --check` against
+//! the checked-in baseline.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use dcrd_core::{DcrdConfig, DcrdStrategy};
+use dcrd_net::failure::{FailureModel, LinkFailureModel, LinkOutageModel};
+use dcrd_net::loss::LossModel;
+use dcrd_net::topology::{random_connected, DelayRange};
+use dcrd_pubsub::runtime::{OverlayRuntime, RuntimeConfig};
+use dcrd_pubsub::workload::{Workload, WorkloadConfig};
+use dcrd_sim::rng::rng_for;
+use dcrd_sim::SimDuration;
+
+/// Global allocator that counts allocations (not bytes): the benchmark
+/// reports allocs/hop, the number the zero-copy fan-out is meant to shrink.
+struct CountingAlloc;
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; the counter is a relaxed atomic.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const NODES: usize = 64;
+const DEGREE: usize = 6;
+const TOPICS: usize = 16;
+const SEED: u64 = 4242;
+const PF: f64 = 0.05;
+const PL: f64 = 0.01;
+const REGRESSION_TOLERANCE: f64 = 0.20;
+
+struct RunStats {
+    events: u64,
+    hops: u64,
+    wall_ns: u128,
+    allocs: u64,
+}
+
+/// One full simulation of the fixed 64-broker scenario; `rep` varies the
+/// seeds so repetitions are independent but each is fully deterministic.
+fn run_rep(rep: u64, duration_secs: u64) -> RunStats {
+    let seed = SEED.wrapping_add(rep);
+    let topo = random_connected(NODES, DEGREE, DelayRange::PAPER, &mut rng_for(seed, "topo"));
+    let workload = Workload::generate(
+        &topo,
+        &WorkloadConfig {
+            num_topics: TOPICS,
+            ..WorkloadConfig::PAPER
+        },
+        &mut rng_for(seed, "workload"),
+    );
+    let links = LinkOutageModel::Epoch(LinkFailureModel::new(PF, seed ^ 0xF00D));
+    let failure = FailureModel::new(links, None);
+    let config = RuntimeConfig::paper(SimDuration::from_secs(duration_secs), seed);
+    let runtime = OverlayRuntime::new(&topo, &workload, failure, LossModel::new(PL), config);
+    let mut strategy = DcrdStrategy::new(DcrdConfig::default());
+
+    let allocs_before = ALLOC_COUNT.load(Ordering::Relaxed);
+    let start = Instant::now();
+    let log = runtime.run(&mut strategy);
+    let wall_ns = start.elapsed().as_nanos();
+    let allocs = ALLOC_COUNT.load(Ordering::Relaxed) - allocs_before;
+
+    assert!(log.messages_published > 0, "benchmark produced no traffic");
+    RunStats {
+        events: log.events_processed,
+        hops: log.data_sends,
+        wall_ns,
+        allocs,
+    }
+}
+
+/// Extracts `"key": <number>` from a flat JSON object without a JSON
+/// dependency (the baseline file is machine-written by this binary).
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = text.find(&needle)?;
+    let rest = text[at + needle.len()..].trim_start().strip_prefix(':')?;
+    let rest = rest.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_hotpath.json");
+    let mut check_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--check" => check_path = Some(args.next().expect("--check needs a path")),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let (reps, duration_secs) = if quick { (2, 10) } else { (5, 30) };
+    // Warm up caches and the allocator before the timed repetitions.
+    let _ = run_rep(999, 5);
+
+    let mut events = 0u64;
+    let mut hops = 0u64;
+    let mut wall_ns = 0u128;
+    let mut allocs = 0u64;
+    for rep in 0..reps {
+        let s = run_rep(rep, duration_secs);
+        events += s.events;
+        hops += s.hops;
+        wall_ns += s.wall_ns;
+        allocs += s.allocs;
+    }
+
+    let wall_secs = wall_ns as f64 / 1e9;
+    let events_per_sec = events as f64 / wall_secs;
+    let ns_per_hop = wall_ns as f64 / hops as f64;
+    let allocs_per_hop = allocs as f64 / hops as f64;
+
+    let json = format!(
+        "{{\n  \"bench\": \"hotpath\",\n  \"nodes\": {NODES},\n  \"degree\": {DEGREE},\n  \
+         \"topics\": {TOPICS},\n  \"mode\": \"{}\",\n  \"reps\": {reps},\n  \
+         \"sim_secs_per_rep\": {duration_secs},\n  \"events\": {events},\n  \
+         \"hops\": {hops},\n  \"wall_ms\": {:.3},\n  \"events_per_sec\": {:.1},\n  \
+         \"ns_per_hop\": {:.1},\n  \"allocs_per_hop\": {:.2}\n}}\n",
+        if quick { "quick" } else { "full" },
+        wall_ns as f64 / 1e6,
+        events_per_sec,
+        ns_per_hop,
+        allocs_per_hop,
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark output");
+    println!(
+        "hotpath: {events} events / {hops} hops in {:.1} ms -> {events_per_sec:.0} events/s, \
+         {ns_per_hop:.0} ns/hop, {allocs_per_hop:.2} allocs/hop -> {out_path}",
+        wall_ns as f64 / 1e6
+    );
+
+    if let Some(path) = check_path {
+        let baseline_text = std::fs::read_to_string(&path).expect("read baseline");
+        // Quick and full mode amortize the per-rep table build over very
+        // different sim durations; comparing across modes is meaningless.
+        let mode = if quick {
+            "\"mode\": \"quick\""
+        } else {
+            "\"mode\": \"full\""
+        };
+        assert!(
+            baseline_text.contains(mode),
+            "baseline {path} was not recorded in the current mode; \
+             regenerate it with the same --quick setting"
+        );
+        let baseline = json_number(&baseline_text, "events_per_sec").expect("baseline value");
+        let floor = baseline * (1.0 - REGRESSION_TOLERANCE);
+        if events_per_sec < floor {
+            eprintln!(
+                "REGRESSION: {events_per_sec:.0} events/s is more than 20% below the \
+                 baseline {baseline:.0} (floor {floor:.0})"
+            );
+            std::process::exit(1);
+        }
+        println!("within tolerance of baseline {baseline:.0} events/s (floor {floor:.0})");
+    }
+}

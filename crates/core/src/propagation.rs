@@ -17,10 +17,10 @@ use dcrd_net::paths::{dijkstra, Metric, ShortestPaths};
 use dcrd_net::{NodeId, Topology};
 use serde::{Deserialize, Serialize};
 
-use crate::config::{DcrdConfig, OrderingPolicy, PropagationConfig};
+use crate::config::{DcrdConfig, PropagationConfig};
 use crate::params::{Candidate, DrPair};
-use crate::reliability::m_transmission_stats;
-use crate::sending_list::{build_sending_list, node_params, NeighborInfo};
+use crate::reliability::{m_transmission_stats, LinkStats};
+use crate::sending_list::{build_sending_list_into, node_params, NeighborInfo};
 
 /// The converged routing state of every broker toward one subscription.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -111,6 +111,51 @@ pub fn compute_tables_with_distances(
     deadline_us: f64,
     config: &DcrdConfig,
 ) -> SubscriberTables {
+    let link_stats = link_transmission_stats(topo, estimates, m);
+    compute_tables_prepared(
+        topo,
+        &link_stats,
+        publisher,
+        dist_from_publisher,
+        subscriber,
+        deadline_us,
+        config,
+    )
+}
+
+/// Per-edge `m`-transmission statistics for the whole topology, indexed by
+/// edge id. Depends only on `(estimates, m)`, so one snapshot serves every
+/// subscription of a table rebuild — hoist it out of per-subscription loops.
+#[must_use]
+pub fn link_transmission_stats(
+    topo: &Topology,
+    estimates: &LinkEstimates,
+    m: u32,
+) -> Vec<LinkStats> {
+    topo.edge_ids()
+        .map(|e| {
+            let est = estimates.get(e);
+            m_transmission_stats(est.alpha.as_micros() as f64, est.gamma, m)
+        })
+        .collect()
+}
+
+/// [`compute_tables_with_distances`] with the per-edge link statistics
+/// precomputed by [`link_transmission_stats`].
+///
+/// # Panics
+///
+/// Panics if `dist_from_publisher` was not computed from `publisher`.
+#[must_use]
+pub fn compute_tables_prepared(
+    topo: &Topology,
+    link_stats: &[LinkStats],
+    publisher: NodeId,
+    dist_from_publisher: &ShortestPaths,
+    subscriber: NodeId,
+    deadline_us: f64,
+    config: &DcrdConfig,
+) -> SubscriberTables {
     assert_eq!(
         dist_from_publisher.source(),
         publisher,
@@ -127,14 +172,20 @@ pub fn compute_tables_with_distances(
         })
         .collect();
 
-    // Precompute per-edge m-transmission stats once.
-    let link_stats: Vec<crate::reliability::LinkStats> = topo
-        .edge_ids()
-        .map(|e| {
-            let est = estimates.get(e);
-            m_transmission_stats(est.alpha.as_micros() as f64, est.gamma, m)
+    // Static per-node adjacency snapshot `(neighbor, link stats)`: the
+    // gossip rounds below only vary in the neighbors' `⟨d, r⟩`, so the
+    // round loop can refresh two reusable buffers instead of walking the
+    // topology and allocating fresh vectors per node per round.
+    let adjacency: Vec<Vec<(NodeId, LinkStats)>> = (0..n)
+        .map(|i| {
+            topo.neighbors(NodeId::new(i as u32))
+                .iter()
+                .map(|&(nb, edge)| (nb, link_stats[edge.index()]))
+                .collect()
         })
         .collect();
+    let mut neigh_buf: Vec<NeighborInfo> = Vec::new();
+    let mut list_buf: Vec<Candidate> = Vec::new();
 
     let mut params: Vec<DrPair> = vec![DrPair::UNREACHABLE; n];
     params[subscriber.index()] = DrPair::SUBSCRIBER;
@@ -164,17 +215,14 @@ pub fn compute_tables_with_distances(
                         if node == subscriber {
                             return Vec::new();
                         }
-                        node_list(
-                            topo,
-                            &link_stats,
-                            &params,
-                            node,
+                        refresh_neighbors(&adjacency[i], &params, &mut neigh_buf);
+                        build_sending_list_into(
+                            &neigh_buf,
                             requirements[i],
                             config.ordering,
-                        )
-                        .iter()
-                        .map(|c| c.neighbor)
-                        .collect()
+                            &mut list_buf,
+                        );
+                        list_buf.iter().map(|c| c.neighbor).collect()
                     })
                     .collect(),
             );
@@ -187,18 +235,19 @@ pub fn compute_tables_with_distances(
                 scratch[i] = DrPair::SUBSCRIBER;
                 continue;
             }
-            let list = match &frozen {
-                None => node_list(
-                    topo,
-                    &link_stats,
-                    &params,
-                    node,
-                    requirements[i],
-                    config.ordering,
-                ),
-                Some(orders) => frozen_list(topo, &link_stats, &params, node, &orders[i]),
-            };
-            let p = node_params(&list);
+            match &frozen {
+                None => {
+                    refresh_neighbors(&adjacency[i], &params, &mut neigh_buf);
+                    build_sending_list_into(
+                        &neigh_buf,
+                        requirements[i],
+                        config.ordering,
+                        &mut list_buf,
+                    );
+                }
+                Some(orders) => frozen_list_into(&adjacency[i], &params, &orders[i], &mut list_buf),
+            }
+            let p = node_params(&list_buf);
             let (dd, dr) = delta(p, params[i]);
             max_dd = max_dd.max(dd);
             max_dr = max_dr.max(dr);
@@ -220,16 +269,18 @@ pub fn compute_tables_with_distances(
                 return Vec::new();
             }
             match &frozen {
-                None => node_list(
-                    topo,
-                    &link_stats,
-                    &params,
-                    node,
-                    requirements[i],
-                    config.ordering,
-                ),
-                Some(orders) => frozen_list(topo, &link_stats, &params, node, &orders[i]),
+                None => {
+                    refresh_neighbors(&adjacency[i], &params, &mut neigh_buf);
+                    build_sending_list_into(
+                        &neigh_buf,
+                        requirements[i],
+                        config.ordering,
+                        &mut list_buf,
+                    );
+                }
+                Some(orders) => frozen_list_into(&adjacency[i], &params, &orders[i], &mut list_buf),
             }
+            list_buf.clone()
         })
         .collect();
 
@@ -268,49 +319,41 @@ pub fn compute_tables(
     )
 }
 
-/// Rebuilds a sending list with *fixed* membership and order, refreshing
-/// only the Eq. 2 values from the current params.
-fn frozen_list(
-    topo: &Topology,
-    link_stats: &[crate::reliability::LinkStats],
+/// Refreshes the reusable neighbor buffer from an adjacency snapshot and
+/// the current round's `⟨d, r⟩` values.
+fn refresh_neighbors(
+    adjacency: &[(NodeId, LinkStats)],
     params: &[DrPair],
-    node: NodeId,
-    order: &[NodeId],
-) -> Vec<Candidate> {
-    order
-        .iter()
-        .filter_map(|&nb| {
-            let edge = topo.edge_between(node, nb);
-            debug_assert!(edge.is_some(), "frozen list entry n{nb:?} not a neighbor");
-            let stats = link_stats[edge?.index()];
-            Some(Candidate::from_link(
-                nb,
-                stats.alpha,
-                stats.gamma,
-                params[nb.index()],
-            ))
-        })
-        .collect()
+    out: &mut Vec<NeighborInfo>,
+) {
+    out.clear();
+    out.extend(adjacency.iter().map(|&(nb, link)| NeighborInfo {
+        neighbor: nb,
+        link,
+        params: params[nb.index()],
+    }));
 }
 
-fn node_list(
-    topo: &Topology,
-    link_stats: &[crate::reliability::LinkStats],
+/// Rebuilds a sending list with *fixed* membership and order, refreshing
+/// only the Eq. 2 values from the current params.
+fn frozen_list_into(
+    adjacency: &[(NodeId, LinkStats)],
     params: &[DrPair],
-    node: NodeId,
-    requirement: f64,
-    ordering: OrderingPolicy,
-) -> Vec<Candidate> {
-    let neighbors: Vec<NeighborInfo> = topo
-        .neighbors(node)
-        .iter()
-        .map(|&(nb, edge)| NeighborInfo {
-            neighbor: nb,
-            link: link_stats[edge.index()],
-            params: params[nb.index()],
-        })
-        .collect();
-    build_sending_list(&neighbors, requirement, ordering)
+    order: &[NodeId],
+    out: &mut Vec<Candidate>,
+) {
+    out.clear();
+    out.extend(order.iter().filter_map(|&nb| {
+        let found = adjacency.iter().find(|&&(n, _)| n == nb);
+        debug_assert!(found.is_some(), "frozen list entry {nb} not a neighbor");
+        let stats = found?.1;
+        Some(Candidate::from_link(
+            nb,
+            stats.alpha,
+            stats.gamma,
+            params[nb.index()],
+        ))
+    }));
 }
 
 /// Sanity helper for tests/benches: the default propagation settings.

@@ -20,7 +20,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use dcrd_net::estimate::LinkEstimates;
-use dcrd_net::{NodeId, Topology};
+use dcrd_net::{NodeId, NodeSet, Topology};
 use dcrd_pubsub::packet::{Packet, PacketId, PacketKind};
 use dcrd_pubsub::recovery::SequenceTracker;
 use dcrd_pubsub::strategy::{
@@ -32,7 +32,7 @@ use dcrd_sim::{SimDuration, SimTime};
 
 use crate::config::{DcrdConfig, DurabilityMode, PersistenceMode, TimeoutPolicy};
 use crate::journal::InFlightJournal;
-use crate::propagation::{compute_tables_with_distances, SubscriberTables};
+use crate::propagation::{compute_tables_prepared, link_transmission_stats, SubscriberTables};
 
 /// Tag space reserved for persistence-retry timers (top bit set).
 const PERSIST_TAG_BASE: u64 = 1 << 63;
@@ -117,10 +117,11 @@ struct NodeState {
     /// which it received this packet", §III).
     upstream: Option<NodeId>,
     /// Destinations fully handled at this broker (acked downstream,
-    /// delivered locally, or given up).
-    done: BTreeSet<NodeId>,
+    /// delivered locally, or given up). A bitset: membership is the hot
+    /// per-destination skip check.
+    done: NodeSet,
     /// Per-destination neighbors already tried and failed from here.
-    tried: BTreeMap<NodeId, BTreeSet<NodeId>>,
+    tried: BTreeMap<NodeId, NodeSet>,
     /// Outstanding sends keyed by tag.
     pending: BTreeMap<u64, Pending>,
     /// Transmissions spent by this broker on this packet.
@@ -136,19 +137,13 @@ impl NodeState {
         NodeState {
             packet,
             upstream,
-            done: BTreeSet::new(),
+            done: NodeSet::new(),
             tried: BTreeMap::new(),
             pending: BTreeMap::new(),
             attempts: 0,
             persist_retries: 0,
             parked: Vec::new(),
         }
-    }
-
-    fn covered_by_pending(&self, dest: NodeId) -> bool {
-        self.pending
-            .values()
-            .any(|p| p.packet.destinations.contains(&dest))
     }
 
     fn finished(&self) -> bool {
@@ -158,7 +153,7 @@ impl NodeState {
                 .packet
                 .destinations
                 .iter()
-                .all(|d| self.done.contains(d))
+                .all(|&d| self.done.contains(d))
     }
 }
 
@@ -211,6 +206,41 @@ pub struct DcrdStrategy {
     next_persist_tag: u64,
     next_journal_tag: u64,
     next_nack_id: u64,
+    /// Reusable buffers for the per-event fan-out in `process` — the hot
+    /// loop borrows these instead of allocating fresh vectors every call.
+    scratch: ScratchArena,
+}
+
+/// Scratch buffers recycled across [`DcrdStrategy::process`] calls. The
+/// fan-out runs once per arrival, ACK timeout and tick; without reuse each
+/// call allocates (and immediately frees) four vectors plus a membership
+/// probe per destination.
+#[derive(Debug, Default)]
+struct ScratchArena {
+    /// `(next hop, destinations, is_upstream)` assignments under
+    /// construction. The inner destination vectors are moved into the
+    /// forwarded packets, so only the outer vector's capacity is recycled.
+    assignments: Vec<(NodeId, Vec<NodeId>, bool)>,
+    /// Destinations this broker abandons this pass.
+    give_ups: Vec<NodeId>,
+    /// Destinations parked for a persistence retry this pass.
+    park: Vec<NodeId>,
+    /// Sends armed this pass, staged before the state re-borrow.
+    new_pendings: Vec<(u64, Pending, SimTime)>,
+    /// Destinations already handled (done ∪ pending ∪ parked), rebuilt
+    /// each pass for O(1) skip checks.
+    covered: NodeSet,
+}
+
+impl ScratchArena {
+    /// Empties every buffer, keeping capacity for the next pass.
+    fn reset(&mut self) {
+        self.assignments.clear();
+        self.give_ups.clear();
+        self.park.clear();
+        self.new_pendings.clear();
+        self.covered.clear();
+    }
 }
 
 impl DcrdStrategy {
@@ -237,6 +267,7 @@ impl DcrdStrategy {
             next_persist_tag: PERSIST_TAG_BASE,
             next_journal_tag: JOURNAL_TAG_BASE,
             next_nack_id: NACK_ID_BASE,
+            scratch: ScratchArena::default(),
         }
     }
 
@@ -296,9 +327,15 @@ impl DcrdStrategy {
         };
         self.tables.clear();
         self.toward_publisher.clear();
+        // One snapshot of per-edge m-transmission stats serves every
+        // subscription, and topics sharing a publisher share its
+        // shortest-path tree.
+        let link_stats = link_transmission_stats(topo, estimates, self.params.m);
+        let mut dist_cache: BTreeMap<NodeId, dcrd_net::paths::ShortestPaths> = BTreeMap::new();
         for spec in workload.topics() {
-            let dist =
-                dcrd_net::paths::dijkstra(topo, spec.publisher, dcrd_net::paths::Metric::Delay);
+            let dist = dist_cache.entry(spec.publisher).or_insert_with(|| {
+                dcrd_net::paths::dijkstra(topo, spec.publisher, dcrd_net::paths::Metric::Delay)
+            });
             // NACKs climb the shortest-delay tree rooted at the publisher:
             // each node's predecessor is its next hop toward the root.
             for i in 0..topo.num_nodes() {
@@ -308,12 +345,11 @@ impl DcrdStrategy {
                 }
             }
             for sub in &spec.subscriptions {
-                let tables = compute_tables_with_distances(
+                let tables = compute_tables_prepared(
                     topo,
-                    estimates,
-                    self.params.m,
+                    &link_stats,
                     spec.publisher,
-                    &dist,
+                    dist,
                     sub.subscriber,
                     sub.deadline.as_micros() as f64,
                     &self.config,
@@ -448,7 +484,7 @@ impl DcrdStrategy {
         let candidate = tables.sending_list(node).iter().find(|c| {
             c.neighbor != node
                 && !state.packet.visited(c.neighbor)
-                && !tried.is_some_and(|t| t.contains(&c.neighbor))
+                && !tried.is_some_and(|t| t.contains(c.neighbor))
                 && !self.is_demoted(node, c.neighbor, now)
         });
         if let Some(c) = candidate {
@@ -461,15 +497,27 @@ impl DcrdStrategy {
     }
 
     /// Algorithm 2's main loop: assign every unhandled destination a next
-    /// hop, merging destinations that share one.
+    /// hop, merging destinations that share one. Borrows the strategy's
+    /// [`ScratchArena`] for the pass so the hot loop stays allocation-free.
     fn process(&mut self, node: NodeId, id: PacketId, now: SimTime, out: &mut Actions) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.process_with(node, id, now, out, &mut scratch);
+        scratch.reset();
+        self.scratch = scratch;
+    }
+
+    fn process_with(
+        &mut self,
+        node: NodeId,
+        id: PacketId,
+        now: SimTime,
+        out: &mut Actions,
+        scratch: &mut ScratchArena,
+    ) {
         // Collect assignments first (immutable pass), then mutate.
         let Some(state) = self.inflight.get(&(id, node)) else {
             return;
         };
-        let mut assignments: Vec<(NodeId, Vec<NodeId>, bool)> = Vec::new(); // (next hop, dests, is_upstream)
-        let mut give_ups: Vec<NodeId> = Vec::new();
-        let mut park: Vec<NodeId> = Vec::new();
         let Some(num_nodes) = self.topology.as_ref().map(Topology::num_nodes) else {
             return;
         };
@@ -477,11 +525,20 @@ impl DcrdStrategy {
         let over_cap = state.attempts >= self.config.max_attempts_per_node
             || state.packet.path.len() >= path_budget;
 
+        // One O(pending destinations) sweep replaces a per-destination scan
+        // over every pending send.
+        scratch.covered.union_with(&state.done);
+        for p in state.pending.values() {
+            for &d in &p.packet.destinations {
+                scratch.covered.insert(d);
+            }
+        }
+        for &d in &state.parked {
+            scratch.covered.insert(d);
+        }
+
         for &dest in &state.packet.destinations {
-            if state.done.contains(&dest)
-                || state.covered_by_pending(dest)
-                || state.parked.contains(&dest)
-            {
+            if scratch.covered.contains(dest) {
                 continue;
             }
             // Park instead of giving up when the persistence extension has
@@ -494,28 +551,29 @@ impl DcrdStrategy {
             );
             if over_cap {
                 if can_park {
-                    park.push(dest);
+                    scratch.park.push(dest);
                 } else {
-                    give_ups.push(dest);
+                    scratch.give_ups.push(dest);
                 }
                 continue;
             }
             match self.choose_next_hop(node, state, dest, now) {
                 Some((hop, is_upstream)) => {
-                    if let Some(entry) = assignments
+                    if let Some(entry) = scratch
+                        .assignments
                         .iter_mut()
                         .find(|(h, _, up)| *h == hop && *up == is_upstream)
                     {
                         entry.1.push(dest);
                     } else {
-                        assignments.push((hop, vec![dest], is_upstream));
+                        scratch.assignments.push((hop, vec![dest], is_upstream));
                     }
                 }
                 None => {
                     if can_park {
-                        park.push(dest);
+                        scratch.park.push(dest);
                     } else {
-                        give_ups.push(dest);
+                        scratch.give_ups.push(dest);
                     }
                 }
             }
@@ -523,8 +581,14 @@ impl DcrdStrategy {
 
         // Mutate phase. The timeout needs `&self` while the state is
         // borrowed mutably, so compute it before re-borrowing the state.
-        let mut new_pendings: Vec<(u64, Pending, SimTime)> = Vec::new();
-        for (hop, dests, is_upstream) in assignments {
+        // The destination vectors move out of the scratch into the
+        // forwarded packets (they live on as `packet.destinations`).
+        for slot in 0..scratch.assignments.len() {
+            let (hop, is_upstream) = {
+                let entry = &scratch.assignments[slot];
+                (entry.0, entry.2)
+            };
+            let dests = std::mem::take(&mut scratch.assignments[slot].1);
             let tag = self.next_tag;
             self.next_tag += 1;
             let timeout = self.rto(node, hop);
@@ -533,7 +597,7 @@ impl DcrdStrategy {
             };
             let forwarded = state.packet.forward(node, dests, tag);
             state.attempts += 1;
-            new_pendings.push((
+            scratch.new_pendings.push((
                 tag,
                 Pending {
                     to: hop,
@@ -550,18 +614,18 @@ impl DcrdStrategy {
         let Some(state) = self.inflight.get_mut(&(id, node)) else {
             return;
         };
-        for (tag, pending, deadline) in new_pendings {
+        for (tag, pending, deadline) in scratch.new_pendings.drain(..) {
             out.send(pending.to, pending.packet.clone());
             out.set_timer(deadline, TimerKey { packet: id, tag });
             state.pending.insert(tag, pending);
         }
-        for dest in give_ups {
+        for dest in scratch.give_ups.drain(..) {
             state.done.insert(dest);
             self.journal.note_done(node, id, dest);
             out.give_up(id, dest);
         }
-        if !park.is_empty() {
-            state.parked.extend(park);
+        if !scratch.park.is_empty() {
+            state.parked.append(&mut scratch.park);
             state.persist_retries += 1;
             if let PersistenceMode::Retry { retry_after_ms, .. } = self.config.persistence {
                 let tag = self.next_persist_tag;
@@ -668,11 +732,12 @@ impl DcrdStrategy {
     /// the returning copy always is.
     fn derive_upstream(&self, node: NodeId, packet: &Packet, from: NodeId) -> Option<NodeId> {
         let topo = self.topology.as_ref()?;
-        let first = packet.path.iter().position(|&n| n == node);
-        let last = packet.path.iter().rposition(|&n| n == node);
+        let path = packet.path.as_slice();
+        let first = path.iter().position(|&n| n == node);
+        let last = path.iter().rposition(|&n| n == node);
         let candidates = [
-            first.and_then(|i| i.checked_sub(1)).map(|i| packet.path[i]),
-            last.and_then(|i| i.checked_sub(1)).map(|i| packet.path[i]),
+            first.and_then(|i| i.checked_sub(1)).map(|i| path[i]),
+            last.and_then(|i| i.checked_sub(1)).map(|i| path[i]),
             Some(from),
         ];
         candidates
@@ -725,7 +790,7 @@ impl DcrdStrategy {
                     if !state.packet.destinations.contains(&subscriber) {
                         state.packet.destinations.push(subscriber);
                     }
-                    state.done.remove(&subscriber);
+                    state.done.remove(subscriber);
                     state.tried.remove(&subscriber);
                     state.parked.retain(|&d| d != subscriber);
                     // Re-open the send budget: a state worn down by earlier
@@ -749,14 +814,6 @@ impl DcrdStrategy {
                     missing: unresolved,
                 };
                 out.send(hop, fwd);
-            }
-        }
-    }
-
-    fn merge_path(into: &mut Vec<NodeId>, from: &[NodeId]) {
-        for &n in from {
-            if !into.contains(&n) {
-                into.push(n);
             }
         }
     }
@@ -816,8 +873,7 @@ impl RoutingStrategy for DcrdStrategy {
                 // converging DUPLICATE (born upstream when an ACK was lost
                 // and both the timeout path and the original copy went on).
                 let returned = packet.visited(node);
-                let path = packet.path.clone();
-                Self::merge_path(&mut state.packet.path, &path);
+                state.packet.path.merge(&packet.path);
                 for dest in packet.destinations {
                     if !state.packet.destinations.contains(&dest) {
                         state.packet.destinations.push(dest);
@@ -827,7 +883,7 @@ impl RoutingStrategy for DcrdStrategy {
                     // duplicate must NOT resurrect destinations we already
                     // forwarded — that would amplify every duplicate.
                     if returned {
-                        state.done.remove(&dest);
+                        state.done.remove(dest);
                         self.journal.note_undone(node, id, dest);
                     }
                 }

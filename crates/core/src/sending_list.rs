@@ -33,13 +33,27 @@ pub fn build_sending_list(
     requirement: f64,
     policy: OrderingPolicy,
 ) -> Vec<Candidate> {
-    let mut list: Vec<Candidate> = neighbors
-        .iter()
-        .filter(|n| n.params.d < requirement)
-        .map(|n| Candidate::from_link(n.neighbor, n.link.alpha, n.link.gamma, n.params))
-        .collect();
-    policy.sort(&mut list);
+    let mut list = Vec::with_capacity(neighbors.len());
+    build_sending_list_into(neighbors, requirement, policy, &mut list);
     list
+}
+
+/// [`build_sending_list`] into a caller-owned buffer (cleared first), so
+/// the gossip iteration in `propagation` can run allocation-free.
+pub fn build_sending_list_into(
+    neighbors: &[NeighborInfo],
+    requirement: f64,
+    policy: OrderingPolicy,
+    out: &mut Vec<Candidate>,
+) {
+    out.clear();
+    out.extend(
+        neighbors
+            .iter()
+            .filter(|n| n.params.d < requirement)
+            .map(|n| Candidate::from_link(n.neighbor, n.link.alpha, n.link.gamma, n.params)),
+    );
+    policy.sort(out);
 }
 
 /// Algorithm 1 lines 10–11: the broker's own `⟨d_X, r_X⟩` from its sorted

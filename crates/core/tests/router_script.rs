@@ -209,7 +209,7 @@ fn diamond_timeout_fails_over_to_second_neighbor() {
     assert_eq!(s[0].1, NodeId::new(2), "second-best neighbor tried next");
     // The failed neighbor is NOT on the packet's path (it never handled the
     // packet) — exclusion comes from the tried set, which this proves.
-    assert!(!s[0].0.path.contains(&NodeId::new(1)));
+    assert!(!s[0].0.path.contains(NodeId::new(1)));
 }
 
 #[test]
@@ -250,7 +250,7 @@ fn returned_packet_is_retried_via_alternative() {
         NodeId::new(2),
         "the returned packet must take the untried alternative"
     );
-    assert!(s[0].0.path.contains(&NodeId::new(1)), "path history kept");
+    assert!(s[0].0.path.contains(NodeId::new(1)), "path history kept");
 }
 
 #[test]

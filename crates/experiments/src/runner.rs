@@ -234,8 +234,20 @@ where
 {
     let threads = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
-        .min(items.len().max(1));
+        .unwrap_or(4);
+    parallel_map_with(items, threads, f)
+}
+
+/// [`parallel_map`] with an explicit worker count. Results are in item
+/// order regardless of `threads`, so any worker count produces identical
+/// output — the deterministic-sweep tests pin this down.
+pub fn parallel_map_with<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = threads.min(items.len().max(1));
     if threads <= 1 {
         return items.into_iter().map(f).collect();
     }
@@ -348,6 +360,23 @@ mod tests {
         assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<u32>>());
         let empty: Vec<u32> = parallel_map(Vec::<u32>::new(), |x| x);
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn sweep_results_identical_across_thread_counts() {
+        // The whole experiments pipeline must not depend on scheduling:
+        // the same sweep run single-threaded and with a worker pool has to
+        // produce byte-identical results.
+        let s = tiny(0.06);
+        let jobs: Vec<(StrategyKind, u32)> = [StrategyKind::Dcrd, StrategyKind::DTree]
+            .into_iter()
+            .flat_map(|k| (0..s.repetitions).map(move |r| (k, r)))
+            .collect();
+        let serial: Vec<RunMetrics> =
+            parallel_map_with(jobs.clone(), 1, |(k, rep)| run_once(&s, k, rep));
+        let pooled: Vec<RunMetrics> = parallel_map_with(jobs, 4, |(k, rep)| run_once(&s, k, rep));
+        assert_eq!(serial, pooled);
+        assert_eq!(format!("{serial:?}"), format!("{pooled:?}"));
     }
 
     #[test]

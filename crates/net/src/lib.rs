@@ -50,7 +50,9 @@ pub mod estimate;
 pub mod failure;
 pub mod graph;
 pub mod loss;
+pub mod nodeset;
 pub mod paths;
 pub mod topology;
 
 pub use graph::{EdgeId, NodeId, Topology};
+pub use nodeset::NodeSet;

@@ -1,0 +1,224 @@
+//! Compact membership sets over dense [`NodeId`]s.
+//!
+//! The router's hot loop asks "has this packet visited node X?" and "is
+//! destination Y already covered?" thousands of times per simulated second.
+//! [`NodeSet`] answers in O(1) from a u64 bitset word: overlays at the
+//! paper's scale (≤64 brokers) fit in one inline word with zero heap
+//! allocation; larger topologies spill into extra words on demand.
+
+use crate::graph::NodeId;
+
+const WORD_BITS: usize = 64;
+
+/// A set of [`NodeId`]s backed by u64 bitset words.
+///
+/// Node indices `0..64` live in an inline word; indices `≥64` lazily
+/// allocate spill words. All operations are O(1) in the number of members
+/// (O(words) for [`clear`](NodeSet::clear) and equality).
+#[derive(Debug, Clone, Default)]
+pub struct NodeSet {
+    /// Bits for node indices `0..64` (covers the paper's topologies).
+    low: u64,
+    /// Spill words for indices `≥64`; word `w` holds indices
+    /// `64*(w+1) .. 64*(w+2)`. Empty until a large index is inserted.
+    high: Vec<u64>,
+}
+
+impl NodeSet {
+    /// Creates an empty set.
+    #[must_use]
+    pub const fn new() -> Self {
+        NodeSet {
+            low: 0,
+            high: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn split(node: NodeId) -> (usize, u64) {
+        let idx = node.index();
+        (idx / WORD_BITS, 1u64 << (idx % WORD_BITS))
+    }
+
+    /// Inserts a node; returns `true` if it was not already present.
+    #[inline]
+    pub fn insert(&mut self, node: NodeId) -> bool {
+        let (word, bit) = Self::split(node);
+        let slot = if word == 0 {
+            &mut self.low
+        } else {
+            if self.high.len() < word {
+                self.high.resize(word, 0);
+            }
+            &mut self.high[word - 1]
+        };
+        let fresh = *slot & bit == 0;
+        *slot |= bit;
+        fresh
+    }
+
+    /// Removes a node; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, node: NodeId) -> bool {
+        let (word, bit) = Self::split(node);
+        let slot = if word == 0 {
+            &mut self.low
+        } else if let Some(s) = self.high.get_mut(word - 1) {
+            s
+        } else {
+            return false;
+        };
+        let present = *slot & bit != 0;
+        *slot &= !bit;
+        present
+    }
+
+    /// Whether the node is in the set.
+    #[inline]
+    #[must_use]
+    pub fn contains(&self, node: NodeId) -> bool {
+        let (word, bit) = Self::split(node);
+        let slot = if word == 0 {
+            self.low
+        } else {
+            self.high.get(word - 1).copied().unwrap_or(0)
+        };
+        slot & bit != 0
+    }
+
+    /// Empties the set, keeping any spill capacity for reuse.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.low = 0;
+        for w in &mut self.high {
+            *w = 0;
+        }
+    }
+
+    /// Adds every member of `other` to `self`.
+    pub fn union_with(&mut self, other: &NodeSet) {
+        self.low |= other.low;
+        if self.high.len() < other.high.len() {
+            self.high.resize(other.high.len(), 0);
+        }
+        for (into, from) in self.high.iter_mut().zip(&other.high) {
+            *into |= *from;
+        }
+    }
+
+    /// Number of members.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        let spill: u32 = self.high.iter().map(|w| w.count_ones()).sum();
+        self.low.count_ones() as usize + spill as usize
+    }
+
+    /// Whether the set has no members.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.low == 0 && self.high.iter().all(|&w| w == 0)
+    }
+}
+
+/// Logical equality: trailing zero spill words are insignificant, so a set
+/// that grew and was cleared equals a freshly built one.
+impl PartialEq for NodeSet {
+    fn eq(&self, other: &Self) -> bool {
+        if self.low != other.low {
+            return false;
+        }
+        let (short, long) = if self.high.len() <= other.high.len() {
+            (&self.high, &other.high)
+        } else {
+            (&other.high, &self.high)
+        };
+        short.iter().zip(long.iter()).all(|(a, b)| a == b)
+            && long[short.len()..].iter().all(|&w| w == 0)
+    }
+}
+
+impl Eq for NodeSet {}
+
+impl FromIterator<NodeId> for NodeSet {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        let mut set = NodeSet::new();
+        for node in iter {
+            set.insert(node);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn inline_word_membership() {
+        let mut s = NodeSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(n(0)));
+        assert!(s.insert(n(63)));
+        assert!(!s.insert(n(63)), "re-insert reports already present");
+        assert!(s.contains(n(0)));
+        assert!(s.contains(n(63)));
+        assert!(!s.contains(n(7)));
+        assert_eq!(s.len(), 2);
+        assert!(s.high.is_empty(), "indices < 64 must not allocate");
+    }
+
+    #[test]
+    fn spill_words_cover_large_indices() {
+        let mut s = NodeSet::new();
+        assert!(s.insert(n(64)));
+        assert!(s.insert(n(1000)));
+        assert!(s.contains(n(64)));
+        assert!(s.contains(n(1000)));
+        assert!(!s.contains(n(999)));
+        assert!(!s.contains(n(65)));
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(n(1000)));
+        assert!(!s.remove(n(1000)));
+        assert!(!s.contains(n(1000)));
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut s: NodeSet = [n(1), n(70), n(130)].into_iter().collect();
+        assert_eq!(s.len(), 3);
+        assert!(s.remove(n(70)));
+        assert!(!s.contains(n(70)));
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(n(1)));
+        assert!(!s.contains(n(130)));
+    }
+
+    #[test]
+    fn equality_ignores_spill_capacity() {
+        let mut grown = NodeSet::new();
+        grown.insert(n(500));
+        grown.remove(n(500));
+        grown.insert(n(3));
+        let mut fresh = NodeSet::new();
+        fresh.insert(n(3));
+        assert_eq!(grown, fresh);
+        fresh.insert(n(80));
+        assert_ne!(grown, fresh);
+    }
+
+    #[test]
+    fn union_merges_both_ranges() {
+        let a: NodeSet = [n(1), n(65)].into_iter().collect();
+        let mut b: NodeSet = [n(2)].into_iter().collect();
+        b.union_with(&a);
+        for i in [1, 2, 65] {
+            assert!(b.contains(n(i)));
+        }
+        assert_eq!(b.len(), 3);
+    }
+}

@@ -24,7 +24,7 @@ use dcrd_net::NodeId;
 use dcrd_sim::SimTime;
 use std::fmt;
 
-use crate::packet::{Packet, PacketId, PacketKind};
+use crate::packet::{Packet, PacketBody, PacketId, PacketKind};
 use crate::topic::TopicId;
 
 const MAGIC: u8 = 0xDC;
@@ -200,19 +200,14 @@ pub fn decode_packet(data: &[u8]) -> Result<Packet, DecodePacketError> {
     if buf.has_remaining() {
         return Err(DecodePacketError::TrailingBytes(buf.remaining()));
     }
-    Ok(Packet {
-        id,
-        topic,
-        publisher,
-        published_at,
-        seq,
+    Ok(Packet::from_body(
+        PacketBody::new(id, topic, publisher, published_at, seq, payload),
         kind,
         destinations,
-        path,
+        path.into(),
         route,
         tag,
-        payload,
-    })
+    ))
 }
 
 #[cfg(test)]
@@ -221,19 +216,21 @@ mod tests {
     use proptest::prelude::*;
 
     fn sample_packet() -> Packet {
-        Packet {
-            id: PacketId::new(42),
-            topic: TopicId::new(3),
-            publisher: NodeId::new(7),
-            published_at: SimTime::from_millis(1234),
-            seq: 11,
-            kind: PacketKind::Data,
-            destinations: vec![NodeId::new(1), NodeId::new(2)],
-            path: vec![NodeId::new(7), NodeId::new(5)],
-            route: Some(vec![NodeId::new(7), NodeId::new(5), NodeId::new(1)]),
-            tag: 99,
-            payload: Bytes::from_static(b"position report"),
-        }
+        Packet::from_body(
+            PacketBody::new(
+                PacketId::new(42),
+                TopicId::new(3),
+                NodeId::new(7),
+                SimTime::from_millis(1234),
+                11,
+                Bytes::from_static(b"position report"),
+            ),
+            PacketKind::Data,
+            vec![NodeId::new(1), NodeId::new(2)],
+            vec![NodeId::new(7), NodeId::new(5)].into(),
+            Some(vec![NodeId::new(7), NodeId::new(5), NodeId::new(1)]),
+            99,
+        )
     }
 
     #[test]
@@ -345,25 +342,27 @@ mod tests {
             route in proptest::option::of(proptest::collection::vec(0u32..1000, 0..20)),
             payload in proptest::collection::vec(any::<u8>(), 0..256),
         ) {
-            let p = Packet {
-                id: PacketId::new(id),
-                topic: TopicId::new(topic),
-                publisher: NodeId::new(publisher),
-                published_at: SimTime::from_micros(at),
-                seq,
-                kind: match nack {
+            let p = Packet::from_body(
+                PacketBody::new(
+                    PacketId::new(id),
+                    TopicId::new(topic),
+                    NodeId::new(publisher),
+                    SimTime::from_micros(at),
+                    seq,
+                    Bytes::from(payload),
+                ),
+                match nack {
                     None => PacketKind::Data,
                     Some((sub, missing)) => PacketKind::Nack {
                         subscriber: NodeId::new(sub),
                         missing,
                     },
                 },
-                destinations: dests.into_iter().map(NodeId::new).collect(),
-                path: path.into_iter().map(NodeId::new).collect(),
-                route: route.map(|r| r.into_iter().map(NodeId::new).collect()),
+                dests.into_iter().map(NodeId::new).collect(),
+                path.into_iter().map(NodeId::new).collect::<Vec<_>>().into(),
+                route.map(|r| r.into_iter().map(NodeId::new).collect()),
                 tag,
-                payload: Bytes::from(payload),
-            };
+            );
             let decoded = decode_packet(&encode_packet(&p)).expect("round trip");
             prop_assert_eq!(decoded, p);
         }

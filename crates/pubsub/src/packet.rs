@@ -7,12 +7,25 @@
 //! the path) and upstream rerouting (a broker that exhausts its sending list
 //! reads its upstream hop out of the packet instead of keeping per-packet
 //! state).
+//!
+//! # Hot-path layout
+//!
+//! Forwarding fans one packet out into many per-hop copies, so [`Packet`]
+//! splits into an [`Arc`]-shared immutable [`PacketBody`] (message identity
+//! and payload — identical across every copy) and a small mutable per-copy
+//! header (destinations, path record, route, tag). [`Packet::forward`]
+//! bumps the body's refcount instead of cloning the payload, and the
+//! [`PathRecord`] keeps a bitset shadow of its nodes so loop checks are
+//! O(1) instead of a linear scan.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
 
 use bytes::Bytes;
-use dcrd_net::NodeId;
+use dcrd_net::{NodeId, NodeSet};
 use dcrd_sim::SimTime;
 use serde::{Deserialize, Serialize};
-use std::fmt;
 
 use crate::topic::TopicId;
 
@@ -63,12 +76,11 @@ pub enum PacketKind {
     },
 }
 
-/// One in-flight copy of a published message.
-///
-/// The runtime treats most of this as opaque strategy state; it only uses
-/// `id` (for the delivery log) and the `tag` echoed back in ACKs.
+/// The immutable identity of a published message, shared by every in-flight
+/// copy via [`Arc`]. Forwarding a packet clones the header around this body
+/// without touching the payload.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Packet {
+pub struct PacketBody {
     /// The logical message this copy belongs to.
     pub id: PacketId,
     /// Topic the message was published on.
@@ -82,22 +94,200 @@ pub struct Packet {
     /// Subscribers use it for gap detection and replay deduplication.
     #[serde(default)]
     pub seq: u64,
+    /// Application payload.
+    #[serde(skip)]
+    pub payload: Bytes,
+}
+
+impl PacketBody {
+    /// Assembles a body from its parts (codec decode, tests).
+    #[must_use]
+    pub fn new(
+        id: PacketId,
+        topic: TopicId,
+        publisher: NodeId,
+        published_at: SimTime,
+        seq: u64,
+        payload: Bytes,
+    ) -> Self {
+        PacketBody {
+            id,
+            topic,
+            publisher,
+            published_at,
+            seq,
+            payload,
+        }
+    }
+}
+
+/// A packet's routing-path record: the brokers that have carried this copy,
+/// in order (revisits re-append, consecutive duplicates collapse), shadowed
+/// by a [`NodeSet`] so membership queries — the router's loop-avoidance
+/// check — are O(1).
+///
+/// Serializes as the plain ordered node list; the bitset is rebuilt on
+/// deserialization.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[serde(from = "Vec<NodeId>", into = "Vec<NodeId>")]
+pub struct PathRecord {
+    nodes: Vec<NodeId>,
+    seen: NodeSet,
+}
+
+impl PathRecord {
+    /// An empty path.
+    #[must_use]
+    pub const fn new() -> Self {
+        PathRecord {
+            nodes: Vec::new(),
+            seen: NodeSet::new(),
+        }
+    }
+
+    /// Appends `node`, collapsing a consecutive duplicate (forwarding twice
+    /// in a row from one broker keeps a single entry).
+    pub fn push(&mut self, node: NodeId) {
+        if self.nodes.last() != Some(&node) {
+            self.nodes.push(node);
+        }
+        self.seen.insert(node);
+    }
+
+    /// Whether `node` appears anywhere on the path. O(1).
+    #[inline]
+    #[must_use]
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.seen.contains(node)
+    }
+
+    /// Appends every node of `other` not already on this path, preserving
+    /// `other`'s order. Linear in `other` thanks to the bitset shadow.
+    pub fn merge(&mut self, other: &PathRecord) {
+        for &node in &other.nodes {
+            if self.seen.insert(node) {
+                self.nodes.push(node);
+            }
+        }
+    }
+
+    /// The ordered node list.
+    #[inline]
+    #[must_use]
+    pub fn as_slice(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Iterates the ordered node list.
+    pub fn iter(&self) -> std::slice::Iter<'_, NodeId> {
+        self.nodes.iter()
+    }
+
+    /// The most recent path entry (the broker that physically sent this
+    /// copy).
+    #[must_use]
+    pub fn last(&self) -> Option<NodeId> {
+        self.nodes.last().copied()
+    }
+
+    /// Number of path entries (counting revisits).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the path has no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Empties the record, keeping allocated capacity.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.seen.clear();
+    }
+}
+
+/// Path equality is the ordered node list; the bitset shadow is derived.
+impl PartialEq for PathRecord {
+    fn eq(&self, other: &Self) -> bool {
+        self.nodes == other.nodes
+    }
+}
+
+impl Eq for PathRecord {}
+
+impl PartialEq<Vec<NodeId>> for PathRecord {
+    fn eq(&self, other: &Vec<NodeId>) -> bool {
+        &self.nodes == other
+    }
+}
+
+impl PartialEq<[NodeId]> for PathRecord {
+    fn eq(&self, other: &[NodeId]) -> bool {
+        self.nodes == other
+    }
+}
+
+/// Builds the record from an ordered node list **verbatim** (duplicates and
+/// all — wire decode must round-trip exactly).
+impl From<Vec<NodeId>> for PathRecord {
+    fn from(nodes: Vec<NodeId>) -> Self {
+        let seen = nodes.iter().copied().collect();
+        PathRecord { nodes, seen }
+    }
+}
+
+impl From<PathRecord> for Vec<NodeId> {
+    fn from(path: PathRecord) -> Self {
+        path.nodes
+    }
+}
+
+impl<'a> IntoIterator for &'a PathRecord {
+    type Item = &'a NodeId;
+    type IntoIter = std::slice::Iter<'a, NodeId>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.nodes.iter()
+    }
+}
+
+/// One in-flight copy of a published message: a shared [`PacketBody`] plus
+/// this copy's mutable routing header.
+///
+/// The runtime treats most of this as opaque strategy state; it only uses
+/// `id` (for the delivery log) and the `tag` echoed back in ACKs. The body
+/// fields read through [`Deref`], so `packet.id`, `packet.seq` etc. work as
+/// if they were inline; mutating the body goes through dedicated methods
+/// ([`Packet::with_seq`]) since it may be shared.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Packet {
+    /// The shared immutable message identity + payload.
+    pub body: Arc<PacketBody>,
     /// Data or recovery control (see [`PacketKind`]).
     #[serde(default)]
     pub kind: PacketKind,
     /// Subscribers this copy is responsible for reaching.
     pub destinations: Vec<NodeId>,
     /// Brokers that have been on this copy's routing path, in order.
-    pub path: Vec<NodeId>,
+    pub path: PathRecord,
     /// Optional pinned source route (used by Multipath and tree baselines);
     /// `None` for strategies that pick hops dynamically.
     pub route: Option<Vec<NodeId>>,
     /// Strategy-private cookie echoed back in ACKs (e.g. a send sequence
     /// number); opaque to the runtime.
     pub tag: u64,
-    /// Application payload.
-    #[serde(skip)]
-    pub payload: Bytes,
+}
+
+impl Deref for Packet {
+    type Target = PacketBody;
+
+    #[inline]
+    fn deref(&self) -> &PacketBody {
+        &self.body
+    }
 }
 
 impl Packet {
@@ -111,24 +301,47 @@ impl Packet {
         destinations: Vec<NodeId>,
     ) -> Self {
         Packet {
-            id,
-            topic,
-            publisher,
-            published_at,
-            seq: 0,
+            body: Arc::new(PacketBody::new(
+                id,
+                topic,
+                publisher,
+                published_at,
+                0,
+                Bytes::new(),
+            )),
             kind: PacketKind::Data,
             destinations,
-            path: Vec::new(),
+            path: PathRecord::new(),
             route: None,
             tag: 0,
-            payload: Bytes::new(),
         }
     }
 
-    /// Sets the publish sequence number (builder style).
+    /// Assembles a packet around an existing body (codec decode, tests).
+    #[must_use]
+    pub fn from_body(
+        body: PacketBody,
+        kind: PacketKind,
+        destinations: Vec<NodeId>,
+        path: PathRecord,
+        route: Option<Vec<NodeId>>,
+        tag: u64,
+    ) -> Self {
+        Packet {
+            body: Arc::new(body),
+            kind,
+            destinations,
+            path,
+            route,
+            tag,
+        }
+    }
+
+    /// Sets the publish sequence number (builder style). Copies the body
+    /// only if it is already shared (it never is on a fresh packet).
     #[must_use]
     pub fn with_seq(mut self, seq: u64) -> Self {
-        self.seq = seq;
+        Arc::make_mut(&mut self.body).seq = seq;
         self
     }
 
@@ -146,20 +359,15 @@ impl Packet {
         missing: Vec<u64>,
     ) -> Self {
         Packet {
-            id,
-            topic,
-            publisher,
-            published_at: now,
-            seq: 0,
+            body: Arc::new(PacketBody::new(id, topic, publisher, now, 0, Bytes::new())),
             kind: PacketKind::Nack {
                 subscriber,
                 missing,
             },
             destinations: vec![publisher],
-            path: Vec::new(),
+            path: PathRecord::new(),
             route: None,
             tag: 0,
-            payload: Bytes::new(),
         }
     }
 
@@ -169,10 +377,11 @@ impl Packet {
         matches!(self.kind, PacketKind::Nack { .. })
     }
 
-    /// Whether `node` has already been on this copy's routing path.
+    /// Whether `node` has already been on this copy's routing path. O(1).
+    #[inline]
     #[must_use]
     pub fn visited(&self, node: NodeId) -> bool {
-        self.path.contains(&node)
+        self.path.contains(node)
     }
 
     /// The upstream hop of `node` for this packet: the entry immediately
@@ -182,10 +391,13 @@ impl Packet {
     /// `node` opens the path.
     #[must_use]
     pub fn upstream_of(&self, node: NodeId) -> Option<NodeId> {
-        match self.path.iter().position(|&n| n == node) {
-            Some(0) => None,
-            Some(i) => Some(self.path[i - 1]),
-            None => self.path.last().copied(),
+        let path = self.path.as_slice();
+        if !self.path.contains(node) {
+            return path.last().copied();
+        }
+        match path.iter().position(|&n| n == node) {
+            Some(0) | None => None,
+            Some(i) => Some(path[i - 1]),
         }
     }
 
@@ -198,24 +410,19 @@ impl Packet {
     /// always be the broker that physically sent this copy, which is what
     /// receivers read their upstream hop from, while loop avoidance only
     /// needs set membership. Consecutive duplicates are collapsed.
+    ///
+    /// Zero-copy: the payload-bearing body is shared, not cloned.
     #[must_use]
     pub fn forward(&self, node: NodeId, destinations: Vec<NodeId>, tag: u64) -> Packet {
         let mut path = self.path.clone();
-        if path.last() != Some(&node) {
-            path.push(node);
-        }
+        path.push(node);
         Packet {
-            id: self.id,
-            topic: self.topic,
-            publisher: self.publisher,
-            published_at: self.published_at,
-            seq: self.seq,
+            body: Arc::clone(&self.body),
             kind: self.kind.clone(),
             destinations,
             path,
             route: self.route.clone(),
             tag,
-            payload: self.payload.clone(),
         }
     }
 }
@@ -257,6 +464,18 @@ mod tests {
     }
 
     #[test]
+    fn forward_shares_one_body() {
+        let p = base();
+        let f = p.forward(NodeId::new(0), vec![NodeId::new(5)], 7);
+        assert!(
+            Arc::ptr_eq(&p.body, &f.body),
+            "forward must share the body, not clone it"
+        );
+        let f2 = f.forward(NodeId::new(1), vec![NodeId::new(5)], 8);
+        assert!(Arc::ptr_eq(&p.body, &f2.body));
+    }
+
+    #[test]
     fn forward_reappends_on_revisit() {
         // 0 → 1 → back to 0 → 3: after the detour, 0 re-appends itself so
         // node 3 sees its physical sender (0) as the last path entry.
@@ -271,7 +490,7 @@ mod tests {
             back_at0.path,
             vec![NodeId::new(0), NodeId::new(1), NodeId::new(0)]
         );
-        assert_eq!(back_at0.path.last(), Some(&NodeId::new(0)));
+        assert_eq!(back_at0.path.last(), Some(NodeId::new(0)));
         // upstream_of keeps using the FIRST occurrence: 0 is the publisher.
         assert_eq!(back_at0.upstream_of(NodeId::new(0)), None);
     }
@@ -279,7 +498,7 @@ mod tests {
     #[test]
     fn upstream_follows_first_occurrence() {
         let mut p = base();
-        p.path = vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)];
+        p.path = vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)].into();
         // Node 2 first appears at index 2 → upstream is node 1.
         assert_eq!(p.upstream_of(NodeId::new(2)), Some(NodeId::new(1)));
         // Node 1 → node 0.
@@ -294,7 +513,7 @@ mod tests {
     fn upstream_stable_after_return_trip() {
         // 0 → 1 → 2, then 2 returns the packet to 1.
         let mut p = base();
-        p.path = vec![NodeId::new(0), NodeId::new(1)];
+        p.path = vec![NodeId::new(0), NodeId::new(1)].into();
         let at2 = p.forward(NodeId::new(2), vec![NodeId::new(5)], 0);
         assert_eq!(
             at2.path,
@@ -314,6 +533,46 @@ mod tests {
         assert_eq!(back_at1.upstream_of(NodeId::new(1)), Some(NodeId::new(0)));
         // Loop avoidance still sees 2 on the path.
         assert!(back_at1.visited(NodeId::new(2)));
+    }
+
+    #[test]
+    fn path_record_round_trips_verbatim() {
+        // Wire decode goes Vec → PathRecord → Vec and must be the identity,
+        // including duplicates (revisits) and consecutive duplicates.
+        let raw = vec![
+            NodeId::new(0),
+            NodeId::new(1),
+            NodeId::new(1),
+            NodeId::new(0),
+            NodeId::new(70),
+        ];
+        let rec: PathRecord = raw.clone().into();
+        assert_eq!(Vec::<NodeId>::from(rec.clone()), raw);
+        assert!(rec.contains(NodeId::new(70)));
+        assert!(rec.contains(NodeId::new(1)));
+        assert!(!rec.contains(NodeId::new(2)));
+        assert_eq!(rec.len(), 5);
+    }
+
+    #[test]
+    fn path_record_clear_resets_membership() {
+        let mut rec: PathRecord = vec![NodeId::new(3), NodeId::new(9)].into();
+        rec.clear();
+        assert!(rec.is_empty());
+        assert!(!rec.contains(NodeId::new(3)));
+        rec.push(NodeId::new(9));
+        assert_eq!(rec, vec![NodeId::new(9)]);
+    }
+
+    #[test]
+    fn path_record_merge_appends_only_novel_nodes() {
+        let mut into: PathRecord = vec![NodeId::new(0), NodeId::new(1)].into();
+        let from: PathRecord = vec![NodeId::new(1), NodeId::new(2), NodeId::new(0)].into();
+        into.merge(&from);
+        assert_eq!(into, vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
+        // Merging again is a no-op.
+        into.merge(&from);
+        assert_eq!(into.len(), 3);
     }
 
     #[test]
@@ -356,7 +615,7 @@ mod tests {
     #[test]
     fn visited_checks_path_membership() {
         let mut p = base();
-        p.path = vec![NodeId::new(3)];
+        p.path = vec![NodeId::new(3)].into();
         assert!(p.visited(NodeId::new(3)));
         assert!(!p.visited(NodeId::new(4)));
     }

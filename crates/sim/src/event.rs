@@ -90,6 +90,13 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Number of events the queue can hold without reallocating (at least
+    /// the `with_capacity` request).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// The current simulated time: the timestamp of the most recently popped
     /// event (or [`SimTime::ZERO`] before the first pop).
     #[must_use]
@@ -220,6 +227,15 @@ mod tests {
         q.schedule(SimTime::from_millis(10), ());
         q.pop();
         q.schedule(SimTime::from_millis(5), ());
+    }
+
+    #[test]
+    fn with_capacity_preallocates() {
+        let q: EventQueue<()> = EventQueue::with_capacity(1024);
+        assert!(q.capacity() >= 1024);
+        let q: EventQueue<()> = EventQueue::new();
+        // A fresh queue has no obligations beyond "some capacity".
+        assert!(q.is_empty());
     }
 
     #[test]

@@ -212,9 +212,10 @@ impl Ratio {
 /// Fixed-range linear-bucket histogram over `f64` samples, with an exact
 /// empirical-CDF query for the bucketed range.
 ///
-/// Values below the range clamp into the first bucket; values above clamp
-/// into an overflow bucket. Intended for bounded quantities like
-/// "actual delay ÷ deadline".
+/// Values below the range count into a dedicated underflow counter and
+/// values at or above the range into an overflow counter — neither skews
+/// the bucketed mass, but both participate in [`Histogram::count`] and the
+/// CDF. Intended for bounded quantities like "actual delay ÷ deadline".
 ///
 /// # Example
 ///
@@ -234,6 +235,9 @@ pub struct Histogram {
     hi: f64,
     buckets: Vec<u64>,
     overflow: u64,
+    /// Samples strictly below `lo` (absent in older serialized histograms).
+    #[serde(default)]
+    underflow: u64,
     count: u64,
 }
 
@@ -255,19 +259,27 @@ impl Histogram {
             hi,
             buckets: vec![0; buckets],
             overflow: 0,
+            underflow: 0,
             count: 0,
         }
     }
 
-    /// Adds one sample. Non-finite samples count into the overflow bucket.
+    /// Adds one sample. Non-finite samples count into the overflow bucket;
+    /// samples strictly below `lo` count into the underflow counter instead
+    /// of being clamped into the first bucket (which would fabricate
+    /// low-end mass at `lo`).
     pub fn push(&mut self, x: f64) {
         self.count += 1;
         if !x.is_finite() || x >= self.hi {
             self.overflow += 1;
             return;
         }
+        if x < self.lo {
+            self.underflow += 1;
+            return;
+        }
         let width = (self.hi - self.lo) / self.buckets.len() as f64;
-        let idx = ((x - self.lo) / width).floor().max(0.0) as usize;
+        let idx = ((x - self.lo) / width).floor() as usize;
         let idx = idx.min(self.buckets.len() - 1);
         self.buckets[idx] += 1;
     }
@@ -289,10 +301,11 @@ impl Histogram {
             *a += b;
         }
         self.overflow += other.overflow;
+        self.underflow += other.underflow;
         self.count += other.count;
     }
 
-    /// Total samples, including overflow.
+    /// Total samples, including underflow and overflow.
     #[must_use]
     pub fn count(&self) -> u64 {
         self.count
@@ -304,16 +317,24 @@ impl Histogram {
         self.overflow
     }
 
+    /// Samples that fell strictly below the lower bound.
+    #[must_use]
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
     /// Empirical CDF evaluated at `x`: fraction of samples `< x`
     /// (approximated at bucket granularity with linear interpolation inside
-    /// the containing bucket). Returns `0.0` when empty.
+    /// the containing bucket). Underflow samples are below every `x ≥ lo`,
+    /// so they contribute to the CDF everywhere in range. Returns `0.0`
+    /// when empty.
     #[must_use]
     pub fn cdf_at(&self, x: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
         }
         if x <= self.lo {
-            return 0.0;
+            return self.underflow as f64 / self.count as f64;
         }
         if x >= self.hi {
             return (self.count - self.overflow) as f64 / self.count as f64;
@@ -322,7 +343,8 @@ impl Histogram {
         let pos = (x - self.lo) / width;
         let full = pos.floor() as usize;
         let frac = pos - full as f64;
-        let mut below: f64 = self.buckets[..full].iter().map(|&c| c as f64).sum();
+        let mut below: f64 =
+            self.underflow as f64 + self.buckets[..full].iter().map(|&c| c as f64).sum::<f64>();
         if full < self.buckets.len() {
             below += self.buckets[full] as f64 * frac;
         }
@@ -330,45 +352,51 @@ impl Histogram {
     }
 
     /// The `(x, cdf)` series at every bucket boundary — ready for plotting.
+    /// The series starts at `(lo, underflow/count)`.
     #[must_use]
     pub fn cdf_series(&self) -> Vec<(f64, f64)> {
         let width = (self.hi - self.lo) / self.buckets.len() as f64;
         let mut out = Vec::with_capacity(self.buckets.len() + 1);
-        let mut acc = 0u64;
-        out.push((self.lo, 0.0));
-        for (i, &c) in self.buckets.iter().enumerate() {
-            acc += c;
-            let x = self.lo + width * (i + 1) as f64;
-            let y = if self.count == 0 {
+        let mut acc = self.underflow;
+        let y_of = |acc: u64| {
+            if self.count == 0 {
                 0.0
             } else {
                 acc as f64 / self.count as f64
-            };
-            out.push((x, y));
+            }
+        };
+        out.push((self.lo, y_of(acc)));
+        for (i, &c) in self.buckets.iter().enumerate() {
+            acc += c;
+            let x = self.lo + width * (i + 1) as f64;
+            out.push((x, y_of(acc)));
         }
         out
     }
 
     /// Approximate `q`-quantile (`q` in `[0,1]`) using bucket interpolation.
-    /// Returns `None` when empty or when the quantile lands in overflow.
+    /// Returns `None` when empty or when the quantile lands in underflow or
+    /// overflow — those samples' values are unknown, only their counts are.
     #[must_use]
     pub fn quantile(&self, q: f64) -> Option<f64> {
         if self.count == 0 || !(0.0..=1.0).contains(&q) {
             return None;
         }
         let target = q * self.count as f64;
+        if self.underflow > 0 && target <= self.underflow as f64 {
+            return None;
+        }
         let width = (self.hi - self.lo) / self.buckets.len() as f64;
-        let mut acc = 0u64;
+        let mut acc = self.underflow as f64;
         for (i, &c) in self.buckets.iter().enumerate() {
-            if (acc + c) as f64 >= target {
-                let within = if c == 0 {
-                    0.0
-                } else {
-                    (target - acc as f64) / c as f64
-                };
+            // Empty buckets can never contain the quantile: skipping them
+            // keeps e.g. `quantile(0.0)` from answering `lo` when all the
+            // mass actually sits in overflow.
+            if c > 0 && acc + c as f64 >= target {
+                let within = ((target - acc) / c as f64).max(0.0);
                 return Some(self.lo + width * (i as f64 + within));
             }
-            acc += c;
+            acc += c as f64;
         }
         None
     }
@@ -591,5 +619,72 @@ mod tests {
         h2.push(10.0); // only overflow
         assert_eq!(h2.quantile(0.9), None);
         assert_eq!(h2.quantile(2.0), None);
+    }
+
+    /// Regression: samples below `lo` used to be clamped into bucket 0,
+    /// fabricating mass at the low end of the range.
+    #[test]
+    fn histogram_underflow_does_not_pollute_first_bucket() {
+        let mut h = Histogram::new(1.0, 2.0, 10);
+        h.push(0.5); // strictly below lo → underflow
+        h.push(1.0); // exactly at lo → first bucket
+        h.push(2.0); // exactly at hi → overflow
+        h.push(1.55);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        // CDF at lo already accounts for the underflow sample...
+        assert!((h.cdf_at(1.0) - 0.25).abs() < 1e-12);
+        // ...and just above lo only adds the at-lo sample, not the 0.5 one.
+        assert!((h.cdf_at(1.1) - 0.5).abs() < 1e-12);
+        assert!((h.cdf_at(2.0) - 0.75).abs() < 1e-12);
+        // The series starts at the underflow mass, stays monotone.
+        let series = h.cdf_series();
+        assert!((series.first().unwrap().1 - 0.25).abs() < 1e-12);
+        for w in series.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    /// Regression: `quantile(0.0)` used to claim `Some(lo)` even when every
+    /// sample sat in the overflow bucket (or in empty-bucket prefixes).
+    #[test]
+    fn histogram_quantile_zero_with_only_overflow_is_none() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.push(5.0);
+        h.push(7.0);
+        assert_eq!(h.quantile(0.0), None);
+        assert_eq!(h.quantile(0.5), None);
+        // With real in-range mass the 0-quantile names the first nonempty
+        // bucket's start rather than blindly answering `lo`.
+        let mut h2 = Histogram::new(0.0, 1.0, 4);
+        h2.push(0.6); // third bucket [0.5, 0.75)
+        assert_eq!(h2.quantile(0.0), Some(0.5));
+    }
+
+    /// Quantiles landing in underflow mass are unanswerable: only the count
+    /// of below-range samples is known, not their values.
+    #[test]
+    fn histogram_quantile_in_underflow_is_none() {
+        let mut h = Histogram::new(1.0, 2.0, 4);
+        h.push(0.0);
+        h.push(0.2);
+        h.push(1.5);
+        h.push(1.5);
+        assert_eq!(h.quantile(0.1), None);
+        // Past the underflow mass the quantile resolves in-range.
+        assert!(h.quantile(0.9).is_some());
+    }
+
+    #[test]
+    fn histogram_merge_sums_underflow() {
+        let mut a = Histogram::new(0.0, 1.0, 4);
+        let mut b = Histogram::new(0.0, 1.0, 4);
+        a.push(-1.0);
+        b.push(-2.0);
+        b.push(0.5);
+        a.merge(&b);
+        assert_eq!(a.underflow(), 2);
+        assert_eq!(a.count(), 3);
     }
 }
