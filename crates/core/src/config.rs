@@ -99,6 +99,44 @@ impl Default for RecoveryConfig {
     }
 }
 
+/// How the router reacts to membership deltas (joins, leaves, confirmed
+/// deaths) reported by the failure detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RepairMode {
+    /// Ignore membership changes: routing tables keep naming departed
+    /// brokers (the paper's static-membership model). The baseline the
+    /// churn experiments measure against.
+    #[default]
+    None,
+    /// Localized repair: re-run shortest paths around the absent set, then
+    /// recompute `⟨d, r⟩` fixed-point state and sending lists **only** for
+    /// the subscriptions whose cost vectors actually changed, patching
+    /// upstream pointers from the new predecessors.
+    Incremental,
+    /// Rebuild every routing table from scratch on any membership change —
+    /// the correctness oracle incremental repair is tested against, and the
+    /// upper bound on repair cost.
+    GlobalRebuild,
+}
+
+/// Churn-survival knobs: repair policy, custody handoff, and whether
+/// crash-restarts ride the same repair path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MembershipConfig {
+    /// Routing-table repair policy on membership deltas.
+    #[serde(default)]
+    pub repair: RepairMode,
+    /// Re-custody in-flight journal entries owned by a confirmed-dead or
+    /// departed broker to its upstream (or the publisher), instead of
+    /// letting its custody die with it.
+    #[serde(default)]
+    pub handoff: bool,
+    /// Route crash-restart notifications through the membership repair
+    /// path as well (off keeps the pre-churn restart semantics).
+    #[serde(default)]
+    pub repair_on_restart: bool,
+}
+
 /// How a broker times out a hop-by-hop ACK.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub enum TimeoutPolicy {
@@ -224,6 +262,10 @@ pub struct DcrdConfig {
     /// behavior).
     #[serde(default)]
     pub recovery: Option<RecoveryConfig>,
+    /// Membership-churn survival: table repair, custody handoff
+    /// (static membership by default — the paper's model).
+    #[serde(default)]
+    pub membership: MembershipConfig,
 }
 
 impl Default for DcrdConfig {
@@ -239,6 +281,7 @@ impl Default for DcrdConfig {
             breaker: None,
             durability: DurabilityMode::default(),
             recovery: None,
+            membership: MembershipConfig::default(),
         }
     }
 }
@@ -272,6 +315,22 @@ impl DcrdConfig {
                 retry_after_ms: 500,
             },
             ..DcrdConfig::chaos_hardened()
+        }
+    }
+
+    /// The churn-survivable variant: everything in
+    /// [`recovery_hardened`](DcrdConfig::recovery_hardened) plus
+    /// incremental table repair on membership deltas, custody handoff away
+    /// from dead brokers, and restart repair through the membership path.
+    #[must_use]
+    pub fn churn_hardened() -> Self {
+        DcrdConfig {
+            membership: MembershipConfig {
+                repair: RepairMode::Incremental,
+                handoff: true,
+                repair_on_restart: true,
+            },
+            ..DcrdConfig::recovery_hardened()
         }
     }
 }
@@ -318,6 +377,23 @@ mod tests {
         assert_eq!(d.durability, DurabilityMode::Volatile);
         assert!(d.recovery.is_none());
         assert_eq!(DurabilityMode::Volatile.write_cost_ms(), None);
+    }
+
+    #[test]
+    fn churn_hardened_layers_on_recovery_hardened() {
+        let c = DcrdConfig::churn_hardened();
+        assert_eq!(c.membership.repair, RepairMode::Incremental);
+        assert!(c.membership.handoff);
+        assert!(c.membership.repair_on_restart);
+        // Everything below stays at the recovery-hardened settings.
+        assert_eq!(c.durability.write_cost_ms(), Some(1));
+        assert!(c.recovery.is_some());
+        assert!(matches!(c.timeout_policy, TimeoutPolicy::Adaptive(_)));
+        // The paper's defaults remain churn-oblivious.
+        let d = DcrdConfig::default();
+        assert_eq!(d.membership, MembershipConfig::default());
+        assert_eq!(d.membership.repair, RepairMode::None);
+        assert!(!d.membership.handoff);
     }
 
     #[test]

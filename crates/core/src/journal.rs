@@ -52,6 +52,9 @@ pub struct JournalStats {
     pub retires: u64,
     /// Entries replayed after crash-restarts.
     pub replays: u64,
+    /// Entries handed off to a new custodian after their holder was
+    /// confirmed dead or departed.
+    pub handoffs: u64,
 }
 
 /// The write-ahead journal for every broker's in-flight state.
@@ -149,6 +152,29 @@ impl InFlightJournal {
         hits
     }
 
+    /// Removes and returns every entry held by `holder` — custody handoff
+    /// when a broker is confirmed dead or departed. Unlike
+    /// [`replay_for`](InFlightJournal::replay_for) (the holder itself comes
+    /// back and resumes), the entries leave the journal: the caller
+    /// re-records them under their new custodian.
+    #[must_use]
+    pub fn take_for(&mut self, holder: NodeId) -> Vec<(PacketId, JournalEntry)> {
+        let keys: Vec<(PacketId, NodeId)> = self
+            .entries
+            .keys()
+            .filter(|(_, h)| *h == holder)
+            .copied()
+            .collect();
+        let mut hits = Vec::with_capacity(keys.len());
+        for key in keys {
+            if let Some(entry) = self.entries.remove(&key) {
+                hits.push((key.0, entry));
+            }
+        }
+        self.stats.handoffs += hits.len() as u64;
+        hits
+    }
+
     /// The journal entry for one `(packet, holder)` pair, if present.
     #[must_use]
     pub fn entry(&self, holder: NodeId, packet: PacketId) -> Option<&JournalEntry> {
@@ -213,6 +239,30 @@ mod tests {
             SimTime::ZERO,
             dests.iter().map(|&d| NodeId::new(d)).collect(),
         )
+    }
+
+    #[test]
+    fn take_for_removes_only_the_dead_holders_custody() {
+        let mut j = InFlightJournal::new();
+        let dead = NodeId::new(2);
+        let alive = NodeId::new(4);
+        j.record(dead, &packet(1, &[5]), Some(NodeId::new(0)));
+        j.record(dead, &packet(3, &[6]), None);
+        j.record(alive, &packet(1, &[5]), Some(dead));
+        let taken = j.take_for(dead);
+        assert_eq!(taken.len(), 2);
+        // Ascending packet-id order, entries intact.
+        assert_eq!(taken[0].0, PacketId::new(1));
+        assert_eq!(taken[1].0, PacketId::new(3));
+        assert_eq!(taken[0].1.upstream, Some(NodeId::new(0)));
+        // The dead broker's custody is gone; everyone else's survives.
+        assert!(j.entry(dead, PacketId::new(1)).is_none());
+        assert!(j.entry(alive, PacketId::new(1)).is_some());
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.stats().handoffs, 2);
+        // Re-taking finds nothing.
+        assert!(j.take_for(dead).is_empty());
+        assert_eq!(j.stats().handoffs, 2);
     }
 
     #[test]

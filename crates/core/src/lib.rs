@@ -64,8 +64,8 @@ pub mod router;
 pub mod sending_list;
 
 pub use config::{
-    AdaptiveTimeoutConfig, BreakerConfig, DcrdConfig, DurabilityMode, OrderingPolicy,
-    PersistenceMode, RecoveryConfig, TimeoutPolicy,
+    AdaptiveTimeoutConfig, BreakerConfig, DcrdConfig, DurabilityMode, MembershipConfig,
+    OrderingPolicy, PersistenceMode, RecoveryConfig, RepairMode, TimeoutPolicy,
 };
 pub use journal::{InFlightJournal, JournalEntry, JournalStats};
 pub use router::DcrdStrategy;

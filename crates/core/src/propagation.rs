@@ -14,7 +14,7 @@
 
 use dcrd_net::estimate::LinkEstimates;
 use dcrd_net::paths::{dijkstra, Metric, ShortestPaths};
-use dcrd_net::{NodeId, Topology};
+use dcrd_net::{NodeId, NodeSet, Topology};
 use serde::{Deserialize, Serialize};
 
 use crate::config::{DcrdConfig, PropagationConfig};
@@ -156,6 +156,44 @@ pub fn compute_tables_prepared(
     deadline_us: f64,
     config: &DcrdConfig,
 ) -> SubscriberTables {
+    compute_tables_prepared_masked(
+        topo,
+        link_stats,
+        publisher,
+        dist_from_publisher,
+        subscriber,
+        deadline_us,
+        config,
+        &NodeSet::new(),
+    )
+}
+
+/// [`compute_tables_prepared`] over the overlay minus the `absent` brokers
+/// (departed or confirmed dead): absent nodes contribute no candidates, get
+/// no sending lists, and carry `−∞` requirements. With an empty mask the
+/// result is **identical** to the unmasked computation — same float
+/// operation order, same freeze schedule — which is what lets incremental
+/// repair be oracle-checked against a from-scratch rebuild byte for byte.
+///
+/// `dist_from_publisher` should be computed with
+/// [`dijkstra_masked`](dcrd_net::paths::dijkstra_masked) over the same
+/// absent set so requirements reflect detours around the missing brokers.
+///
+/// # Panics
+///
+/// Panics if `dist_from_publisher` was not computed from `publisher`.
+#[must_use]
+#[allow(clippy::too_many_arguments)] // one value per paper parameter plus the mask
+pub fn compute_tables_prepared_masked(
+    topo: &Topology,
+    link_stats: &[LinkStats],
+    publisher: NodeId,
+    dist_from_publisher: &ShortestPaths,
+    subscriber: NodeId,
+    deadline_us: f64,
+    config: &DcrdConfig,
+    absent: &NodeSet,
+) -> SubscriberTables {
     assert_eq!(
         dist_from_publisher.source(),
         publisher,
@@ -165,6 +203,9 @@ pub fn compute_tables_prepared(
     let requirements: Vec<f64> = (0..n)
         .map(|i| {
             let node = NodeId::new(i as u32);
+            if absent.contains(node) {
+                return f64::NEG_INFINITY;
+            }
             match dist_from_publisher.cost_to(node) {
                 Some(c) => deadline_us - c as f64,
                 None => f64::NEG_INFINITY,
@@ -175,11 +216,14 @@ pub fn compute_tables_prepared(
     // Static per-node adjacency snapshot `(neighbor, link stats)`: the
     // gossip rounds below only vary in the neighbors' `⟨d, r⟩`, so the
     // round loop can refresh two reusable buffers instead of walking the
-    // topology and allocating fresh vectors per node per round.
+    // topology and allocating fresh vectors per node per round. Absent
+    // neighbors are dropped from the snapshot, so no round ever considers
+    // them as candidates.
     let adjacency: Vec<Vec<(NodeId, LinkStats)>> = (0..n)
         .map(|i| {
             topo.neighbors(NodeId::new(i as u32))
                 .iter()
+                .filter(|&&(nb, _)| !absent.contains(nb))
                 .map(|&(nb, edge)| (nb, link_stats[edge.index()]))
                 .collect()
         })
@@ -188,9 +232,14 @@ pub fn compute_tables_prepared(
     let mut list_buf: Vec<Candidate> = Vec::new();
 
     let mut params: Vec<DrPair> = vec![DrPair::UNREACHABLE; n];
-    params[subscriber.index()] = DrPair::SUBSCRIBER;
+    if !absent.contains(subscriber) {
+        params[subscriber.index()] = DrPair::SUBSCRIBER;
+    }
 
     let prop = config.propagation;
+    // An absent subscriber never anchors `⟨0, 1⟩`: every broker (correctly)
+    // converges to unreachable and all lists come out empty.
+    let subscriber_active = !absent.contains(subscriber);
     let mut rounds_used = 0;
     let mut converged = false;
     let mut scratch = params.clone();
@@ -212,7 +261,7 @@ pub fn compute_tables_prepared(
                 (0..n)
                     .map(|i| {
                         let node = NodeId::new(i as u32);
-                        if node == subscriber {
+                        if node == subscriber && subscriber_active {
                             return Vec::new();
                         }
                         refresh_neighbors(&adjacency[i], &params, &mut neigh_buf);
@@ -231,7 +280,7 @@ pub fn compute_tables_prepared(
         let mut max_dr = 0.0f64;
         for i in 0..n {
             let node = NodeId::new(i as u32);
-            if node == subscriber {
+            if node == subscriber && subscriber_active {
                 scratch[i] = DrPair::SUBSCRIBER;
                 continue;
             }
@@ -265,7 +314,7 @@ pub fn compute_tables_prepared(
     let lists: Vec<Vec<Candidate>> = (0..n)
         .map(|i| {
             let node = NodeId::new(i as u32);
-            if node == subscriber {
+            if node == subscriber && subscriber_active {
                 return Vec::new();
             }
             match &frozen {
@@ -594,6 +643,92 @@ mod tests {
             );
             assert!(t.converged(), "subscription to node {sub} did not converge");
             assert!(t.params(topo.node(0)).reachable());
+        }
+    }
+
+    #[test]
+    fn empty_mask_is_byte_identical() {
+        let mut rng = rng_for(11, "prop-mask");
+        let topo = random_connected(14, 4, DelayRange::PAPER, &mut rng);
+        let est = analytic_estimates(&topo, 0.05, 1e-4);
+        let stats = link_transmission_stats(&topo, &est, 1);
+        let dist = dijkstra(&topo, topo.node(0), Metric::Delay);
+        let plain = compute_tables_prepared(
+            &topo,
+            &stats,
+            topo.node(0),
+            &dist,
+            topo.node(9),
+            500.0 * MS,
+            &cfg(),
+        );
+        let masked = compute_tables_prepared_masked(
+            &topo,
+            &stats,
+            topo.node(0),
+            &dist,
+            topo.node(9),
+            500.0 * MS,
+            &cfg(),
+            &NodeSet::new(),
+        );
+        assert_eq!(plain, masked);
+    }
+
+    #[test]
+    fn masked_computation_routes_around_absent_broker() {
+        use dcrd_net::paths::dijkstra_masked;
+        // Ring 0-1-2-3-0, subscriber 2, publisher 0. With node 1 absent the
+        // only route is 0→3→2.
+        let topo = ring(4, SimDuration::from_millis(10));
+        let est = analytic_estimates(&topo, 0.0, 0.0);
+        let stats = link_transmission_stats(&topo, &est, 1);
+        let absent: NodeSet = [topo.node(1)].into_iter().collect();
+        let dist = dijkstra_masked(&topo, topo.node(0), Metric::Delay, &absent);
+        let t = compute_tables_prepared_masked(
+            &topo,
+            &stats,
+            topo.node(0),
+            &dist,
+            topo.node(2),
+            200.0 * MS,
+            &cfg(),
+            &absent,
+        );
+        assert!(t.converged());
+        // The dead broker is no candidate anywhere and has no list.
+        let l0 = t.sending_list(topo.node(0));
+        assert_eq!(l0.len(), 1);
+        assert_eq!(l0[0].neighbor, topo.node(3));
+        assert!(t.sending_list(topo.node(1)).is_empty());
+        assert_eq!(t.requirement(topo.node(1)), f64::NEG_INFINITY);
+        assert!(!t.params(topo.node(1)).reachable());
+        // Detour delay shows up in the requirement decay: 0 is 20ms from 2
+        // the surviving way.
+        assert!((t.requirement(topo.node(3)) - 190.0 * MS).abs() < 1.0);
+        assert!((t.params(topo.node(0)).d - 20.0 * MS).abs() < 1.0);
+    }
+
+    #[test]
+    fn masked_absent_subscriber_is_unreachable_everywhere() {
+        let topo = line(3, SimDuration::from_millis(10));
+        let est = analytic_estimates(&topo, 0.0, 0.0);
+        let stats = link_transmission_stats(&topo, &est, 1);
+        let absent: NodeSet = [topo.node(2)].into_iter().collect();
+        let dist = dijkstra(&topo, topo.node(0), Metric::Delay);
+        let t = compute_tables_prepared_masked(
+            &topo,
+            &stats,
+            topo.node(0),
+            &dist,
+            topo.node(2),
+            100.0 * MS,
+            &cfg(),
+            &absent,
+        );
+        for i in 0..3 {
+            assert!(t.sending_list(topo.node(i)).is_empty());
+            assert!(!t.params(topo.node(i)).reachable());
         }
     }
 

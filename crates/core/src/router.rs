@@ -20,6 +20,8 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use dcrd_net::estimate::LinkEstimates;
+use dcrd_net::membership::MembershipDelta;
+use dcrd_net::paths::ShortestPaths;
 use dcrd_net::{NodeId, NodeSet, Topology};
 use dcrd_pubsub::packet::{Packet, PacketId, PacketKind};
 use dcrd_pubsub::recovery::SequenceTracker;
@@ -30,9 +32,11 @@ use dcrd_pubsub::topic::TopicId;
 use dcrd_pubsub::workload::Workload;
 use dcrd_sim::{SimDuration, SimTime};
 
-use crate::config::{DcrdConfig, DurabilityMode, PersistenceMode, TimeoutPolicy};
-use crate::journal::InFlightJournal;
-use crate::propagation::{compute_tables_prepared, link_transmission_stats, SubscriberTables};
+use crate::config::{DcrdConfig, DurabilityMode, PersistenceMode, RepairMode, TimeoutPolicy};
+use crate::journal::{InFlightJournal, JournalEntry};
+use crate::propagation::{
+    compute_tables_prepared_masked, link_transmission_stats, SubscriberTables,
+};
 
 /// Tag space reserved for persistence-retry timers (top bit set).
 const PERSIST_TAG_BASE: u64 = 1 << 63;
@@ -202,6 +206,20 @@ pub struct DcrdStrategy {
     /// Next hop from each node toward each publisher (shortest delay
     /// path), rebuilt with the routing tables: how NACKs travel upstream.
     toward_publisher: BTreeMap<(NodeId, NodeId), NodeId>,
+    /// Brokers the membership layer currently believes are gone (confirmed
+    /// dead or gracefully departed). Every table computation masks them.
+    absent: NodeSet,
+    /// The per-publisher shortest-path trees the current tables were built
+    /// from — the incremental repair path diffs fresh masked trees against
+    /// these to scope recomputation to affected subscriptions.
+    dist_cache: BTreeMap<NodeId, ShortestPaths>,
+    /// Custody entries seized from a dead broker, queued under their new
+    /// custodian until that broker's next tick flushes them (handoff).
+    pending_handoff: BTreeMap<NodeId, Vec<(PacketId, JournalEntry)>>,
+    /// From-scratch `rebuild_tables` invocations (setup counts as one).
+    global_rebuilds: u64,
+    /// Incremental membership-repair passes taken instead of a rebuild.
+    incremental_repairs: u64,
     next_tag: u64,
     next_persist_tag: u64,
     next_journal_tag: u64,
@@ -263,6 +281,11 @@ impl DcrdStrategy {
             trackers: BTreeMap::new(),
             nack_counts: BTreeMap::new(),
             toward_publisher: BTreeMap::new(),
+            absent: NodeSet::new(),
+            dist_cache: BTreeMap::new(),
+            pending_handoff: BTreeMap::new(),
+            global_rebuilds: 0,
+            incremental_repairs: 0,
             next_tag: 0,
             next_persist_tag: PERSIST_TAG_BASE,
             next_journal_tag: JOURNAL_TAG_BASE,
@@ -317,6 +340,26 @@ impl DcrdStrategy {
         matches!(self.config.durability, DurabilityMode::Durable { .. })
     }
 
+    /// How many from-scratch [`rebuild_tables`](Self::on_monitor) passes
+    /// have run (the `setup` call counts as the first).
+    #[must_use]
+    pub fn global_rebuilds(&self) -> u64 {
+        self.global_rebuilds
+    }
+
+    /// How many incremental membership-repair passes have run instead of a
+    /// global rebuild.
+    #[must_use]
+    pub fn incremental_repairs(&self) -> u64 {
+        self.incremental_repairs
+    }
+
+    /// Brokers currently masked out of every table computation.
+    #[must_use]
+    pub fn absent_brokers(&self) -> &NodeSet {
+        &self.absent
+    }
+
     fn rebuild_tables(&mut self, estimates: &LinkEstimates) {
         debug_assert!(
             self.topology.is_some() && self.workload.is_some(),
@@ -325,16 +368,23 @@ impl DcrdStrategy {
         let (Some(topo), Some(workload)) = (self.topology.as_ref(), self.workload.as_ref()) else {
             return;
         };
+        self.global_rebuilds += 1;
         self.tables.clear();
         self.toward_publisher.clear();
+        self.dist_cache.clear();
         // One snapshot of per-edge m-transmission stats serves every
         // subscription, and topics sharing a publisher share its
-        // shortest-path tree.
+        // shortest-path tree. Absent brokers are masked out of both the
+        // trees and the `<d, r>` fixed point.
         let link_stats = link_transmission_stats(topo, estimates, self.params.m);
-        let mut dist_cache: BTreeMap<NodeId, dcrd_net::paths::ShortestPaths> = BTreeMap::new();
         for spec in workload.topics() {
-            let dist = dist_cache.entry(spec.publisher).or_insert_with(|| {
-                dcrd_net::paths::dijkstra(topo, spec.publisher, dcrd_net::paths::Metric::Delay)
+            let dist = self.dist_cache.entry(spec.publisher).or_insert_with(|| {
+                dcrd_net::paths::dijkstra_masked(
+                    topo,
+                    spec.publisher,
+                    dcrd_net::paths::Metric::Delay,
+                    &self.absent,
+                )
             });
             // NACKs climb the shortest-delay tree rooted at the publisher:
             // each node's predecessor is its next hop toward the root.
@@ -345,7 +395,7 @@ impl DcrdStrategy {
                 }
             }
             for sub in &spec.subscriptions {
-                let tables = compute_tables_prepared(
+                let tables = compute_tables_prepared_masked(
                     topo,
                     &link_stats,
                     spec.publisher,
@@ -353,10 +403,226 @@ impl DcrdStrategy {
                     sub.subscriber,
                     sub.deadline.as_micros() as f64,
                     &self.config,
+                    &self.absent,
                 );
                 self.tables
                     .insert((spec.topic, spec.publisher, sub.subscriber), tables);
             }
+        }
+    }
+
+    /// Incremental membership repair: re-derives each publisher's masked
+    /// shortest-path tree, diffs it against the cached one, and recomputes
+    /// only the subscriptions a delta node can actually influence — those
+    /// whose tree changed over live brokers, whose endpoints are delta
+    /// nodes, whose live sending lists mention a delta node, or whose
+    /// publisher can now reach a joined node. Everything else keeps its
+    /// tables byte-for-byte (the skip is sound because requirements,
+    /// candidate sets and link stats are then all unchanged, so the frozen
+    /// fixed point would replay identically).
+    fn repair_incremental(&mut self, changed: &[NodeId]) {
+        let (Some(topo), Some(workload), Some(estimates)) = (
+            self.topology.as_ref(),
+            self.workload.as_ref(),
+            self.estimates.as_ref(),
+        ) else {
+            return;
+        };
+        self.incremental_repairs += 1;
+        let link_stats = link_transmission_stats(topo, estimates, self.params.m);
+        for spec in workload.topics() {
+            let fresh = dcrd_net::paths::dijkstra_masked(
+                topo,
+                spec.publisher,
+                dcrd_net::paths::Metric::Delay,
+                &self.absent,
+            );
+            // The tree "changed" when any live broker's cost or parent
+            // moved; delta nodes themselves are expected to move and do not
+            // count (their rows are masked, not routed through).
+            let old = self.dist_cache.get(&spec.publisher);
+            let tree_changed = old.is_none()
+                || (0..topo.num_nodes()).any(|i| {
+                    let n = topo.node(i);
+                    !self.absent.contains(n)
+                        && old.is_some_and(|o| {
+                            o.cost_to(n) != fresh.cost_to(n)
+                                || o.predecessor(n).map(|(p, _)| p)
+                                    != fresh.predecessor(n).map(|(p, _)| p)
+                        })
+                });
+            let join_reaches = changed
+                .iter()
+                .any(|&n| !self.absent.contains(n) && fresh.cost_to(n).is_some());
+            for sub in &spec.subscriptions {
+                let key = (spec.topic, spec.publisher, sub.subscriber);
+                let affected = tree_changed
+                    || join_reaches
+                    || changed.contains(&spec.publisher)
+                    || changed.contains(&sub.subscriber)
+                    || self.tables.get(&key).is_none_or(|t| {
+                        (0..topo.num_nodes()).any(|i| {
+                            let n = topo.node(i);
+                            !self.absent.contains(n)
+                                && t.sending_list(n)
+                                    .iter()
+                                    .any(|c| changed.contains(&c.neighbor))
+                        })
+                    });
+                if !affected {
+                    continue;
+                }
+                let tables = compute_tables_prepared_masked(
+                    topo,
+                    &link_stats,
+                    spec.publisher,
+                    &fresh,
+                    sub.subscriber,
+                    sub.deadline.as_micros() as f64,
+                    &self.config,
+                    &self.absent,
+                );
+                self.tables.insert(key, tables);
+            }
+            // Patch the NACK climb tree for this publisher from the fresh
+            // predecessors (absent brokers lose their entry).
+            for i in 0..topo.num_nodes() {
+                let n = topo.node(i);
+                match fresh.predecessor(n) {
+                    Some((parent, _)) if !self.absent.contains(n) => {
+                        self.toward_publisher.insert((spec.publisher, n), parent);
+                    }
+                    _ => {
+                        self.toward_publisher.remove(&(spec.publisher, n));
+                    }
+                }
+            }
+            self.dist_cache.insert(spec.publisher, fresh);
+        }
+    }
+
+    /// Seizes every custody entry held by a confirmed-dead or departed
+    /// broker and queues each under its new custodian — the dead broker's
+    /// recorded upstream when it has one, the packet's publisher otherwise
+    /// (the custody chain's guaranteed terminus). The queue drains on the
+    /// new custodian's next tick.
+    fn handoff_custody(&mut self, dead: NodeId) {
+        for (id, entry) in self.journal.take_for(dead) {
+            let custodian = entry.upstream.unwrap_or(entry.packet.publisher);
+            if custodian == dead {
+                continue;
+            }
+            self.pending_handoff
+                .entry(custodian)
+                .or_default()
+                .push((id, entry));
+        }
+    }
+
+    /// Flushes custody entries handed to `node`, re-entering each packet's
+    /// unsettled, still-in-budget destinations into the sending-list
+    /// machinery — the same delay-cognizant filter restart replay uses.
+    fn flush_handoffs(&mut self, node: NodeId, now: SimTime, out: &mut Actions) {
+        let Some(entries) = self.pending_handoff.remove(&node) else {
+            return;
+        };
+        let Some(workload) = self.workload.clone() else {
+            return;
+        };
+        for (id, entry) in entries {
+            let mut packet = entry.packet.clone();
+            packet.path.clear();
+            packet.tag = 0;
+            let spec = workload
+                .topics()
+                .iter()
+                .find(|s| s.topic == packet.topic && s.publisher == packet.publisher);
+            let live: Vec<NodeId> = packet
+                .destinations
+                .iter()
+                .copied()
+                .filter(|&dest| {
+                    !entry.done.contains(&dest)
+                        && !self.absent.contains(dest)
+                        && spec
+                            .and_then(|s| s.deadline_of(dest))
+                            .is_some_and(|dl| now.saturating_since(packet.published_at) < dl)
+                })
+                .collect();
+            if live.is_empty() {
+                continue;
+            }
+            packet.destinations = live;
+            if self.durable() {
+                self.journal.record(node, &packet, None);
+            }
+            match self.inflight.get_mut(&(id, node)) {
+                Some(state) => {
+                    for &dest in &packet.destinations {
+                        if !state.packet.destinations.contains(&dest) {
+                            state.packet.destinations.push(dest);
+                        }
+                        state.done.remove(dest);
+                        state.tried.remove(&dest);
+                    }
+                }
+                None => {
+                    self.inflight
+                        .insert((id, node), NodeState::new(packet, None));
+                }
+            }
+            self.process(node, id, now, out);
+        }
+    }
+
+    /// Applies a batch of membership deltas: updates the absent mask, wipes
+    /// the dead brokers' volatile state, seizes their custody (when handoff
+    /// is enabled) and repairs the routing tables per the configured
+    /// [`RepairMode`].
+    fn apply_membership(&mut self, deltas: &[MembershipDelta]) {
+        let mut changed: Vec<NodeId> = Vec::new();
+        for delta in deltas {
+            match delta {
+                MembershipDelta::Join { node } => {
+                    if self.absent.contains(*node) {
+                        self.absent.remove(*node);
+                        changed.push(*node);
+                    }
+                }
+                MembershipDelta::Leave { node } | MembershipDelta::ConfirmDead { node } => {
+                    if !self.absent.contains(*node) {
+                        self.absent.insert(*node);
+                        changed.push(*node);
+                    }
+                }
+                MembershipDelta::Refute { .. } => {}
+            }
+        }
+        for delta in deltas {
+            if !delta.removes() {
+                continue;
+            }
+            let dead = delta.node();
+            // The broker is gone for good: reclaim its volatile state the
+            // way a crash wipe would.
+            self.inflight.retain(|&(_, holder), _| holder != dead);
+            self.rtt.retain(|&(from, _), _| from != dead);
+            self.suspicion.retain(|&(from, _), _| from != dead);
+            if self.config.membership.handoff {
+                self.handoff_custody(dead);
+            }
+        }
+        if changed.is_empty() {
+            return;
+        }
+        match self.config.membership.repair {
+            RepairMode::None => {}
+            RepairMode::GlobalRebuild => {
+                if let Some(estimates) = self.estimates.clone() {
+                    self.rebuild_tables(&estimates);
+                }
+            }
+            RepairMode::Incremental => self.repair_incremental(&changed),
         }
     }
 
@@ -1016,7 +1282,19 @@ impl RoutingStrategy for DcrdStrategy {
         self.rebuild_tables(&estimates);
     }
 
+    fn on_membership(&mut self, deltas: &[MembershipDelta], _now: SimTime) {
+        self.apply_membership(deltas);
+    }
+
     fn on_restart(&mut self, node: NodeId, now: SimTime, out: &mut Actions) {
+        // With `repair_on_restart`, a broker the membership layer had
+        // written off rejoins through the same repair path a detector-
+        // observed join takes, instead of waiting for the next probe
+        // round. A broker that was never masked repairs nothing, so the
+        // PR 3 recovery semantics are untouched.
+        if self.config.membership.repair_on_restart && self.absent.contains(node) {
+            self.apply_membership(&[MembershipDelta::Join { node }]);
+        }
         // A crash wipes the broker's volatile state: in-flight per-packet
         // forwarding state, RTT estimates and breaker bookkeeping. Stale
         // timers for the dropped state fire into the void (on_timer finds
@@ -1066,6 +1344,7 @@ impl RoutingStrategy for DcrdStrategy {
     }
 
     fn on_tick(&mut self, node: NodeId, now: SimTime, out: &mut Actions) {
+        self.flush_handoffs(node, now, out);
         let Some(rc) = self.config.recovery else {
             return;
         };

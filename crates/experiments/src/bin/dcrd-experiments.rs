@@ -5,7 +5,7 @@
 //!
 //! figures: fig2 fig3 fig4 fig5 fig6 fig7 fig8
 //!          ablation-ordering ablation-reroute ablation-timeout
-//!          ablation-monitor chaos recovery all
+//!          ablation-monitor chaos recovery churn all
 //! ```
 //!
 //! Without `--out`, tables print to stdout; with it, each figure also writes
@@ -28,7 +28,7 @@ use dcrd_experiments::scenario::Quality;
 use dcrd_metrics::plot::{figure_svg, render_svg, PlotConfig, PlotSeries};
 use dcrd_metrics::report::{render_cdf, FigureSeries, MetricKind};
 
-const FIGURES: [&str; 17] = [
+const FIGURES: [&str; 18] = [
     "fig2",
     "fig3",
     "fig4",
@@ -46,6 +46,7 @@ const FIGURES: [&str; 17] = [
     "ablation-monitor",
     "chaos",
     "recovery",
+    "churn",
 ];
 
 fn usage() -> ExitCode {
@@ -456,6 +457,26 @@ fn run_figure(name: &str, quality: Quality) -> FigureOutput {
                 csv: Some(report.series.render_csv()),
                 json: serde_json::to_string_pretty(&report.series).ok(),
                 svgs: vec![("crashes-delivery", svg)],
+            }
+        }
+        "churn" => {
+            let report = dcrd_experiments::churn::churn_report(quality);
+            let mut text = String::new();
+            for m in [MetricKind::Delivery, MetricKind::Qos] {
+                text.push_str(&report.series.render_table(m));
+                text.push('\n');
+            }
+            text.push_str(&format!(
+                "invariant auditor: {} violation(s) across the churn sweep\n\
+                 (incremental repair must track the global-rebuild oracle and beat no-repair)\n",
+                report.total_audit_violations
+            ));
+            let svg = figure_svg(&report.series, MetricKind::Delivery, false);
+            FigureOutput {
+                text,
+                csv: Some(report.series.render_csv()),
+                json: serde_json::to_string_pretty(&report.series).ok(),
+                svgs: vec![("rates-delivery", svg)],
             }
         }
         "ablation-multipath" => series_output(&figures::ablation_multipath(quality), &all),

@@ -1,0 +1,146 @@
+//! Churn study: membership survival under broker joins, leaves and deaths.
+//!
+//! One sweep over the broker-churn chaos model comparing three arms on
+//! **identical** repetitions (same topology, workload and churn
+//! schedule):
+//!
+//! * **DCRD-incremental** — the churn-hardened router: SWIM-detected
+//!   membership deltas drive localized table repair plus custody handoff
+//!   ([`DcrdConfig::churn_hardened`]); no global rebuild past setup.
+//! * **DCRD-global** — the same control plane, but every membership
+//!   delta batch triggers a from-scratch `rebuild_tables` on the masked
+//!   topology. This is the correctness oracle incremental repair must
+//!   stay within epsilon of.
+//! * **DCRD-no-repair** — the recovery-hardened router with membership
+//!   repair disabled: routing tables keep pointing at departed brokers
+//!   and only the dynamic per-hop fallback fights the rot.
+//!
+//! Links are clean (`Pf = Pl = 0`) and the topology is degree-bounded so
+//! relay brokers actually matter: membership churn is the *only*
+//! disturbance, and the gap between the arms isolates the repair path.
+//! Subscription windows are confined to each broker's presence interval
+//! (see `runner::confine_to_churn`), so every expected pair is
+//! deliverable in principle and the auditor can insist on zero
+//! violations across the whole sweep.
+
+use dcrd_core::{DcrdConfig, RepairMode};
+use dcrd_metrics::report::{FigureSeries, SeriesPoint};
+use dcrd_metrics::AggregateMetrics;
+
+use crate::runner::{run_labeled, StrategyKind};
+use crate::scenario::{BrokerChurnSpec, Quality, Scenario, ScenarioBuilder};
+
+/// Per-broker churn-probability sweep (fraction of unprotected brokers
+/// that join, leave or die during the run).
+pub const CHURN_RATE_SWEEP: [f64; 4] = [0.0, 0.1, 0.2, 0.3];
+
+/// The churn study: one degradation series over churn rate plus the
+/// pooled auditor verdict.
+#[derive(Debug, Clone)]
+pub struct ChurnReport {
+    /// `churn-rates`: delivery per churn rate, three arms per point.
+    pub series: FigureSeries,
+    /// Invariant violations summed over every run of the study.
+    pub total_audit_violations: u64,
+}
+
+/// Degree-bounded clean-link overlay: churn is the only loss mechanism
+/// and packets actually cross relay brokers that can churn away.
+fn base(quality: Quality) -> ScenarioBuilder {
+    ScenarioBuilder::new()
+        .nodes(12)
+        .degree(4)
+        .failure_probability(0.0)
+        .loss_rate(0.0)
+        .topics(4)
+        .quality(quality)
+        .audit(true)
+}
+
+/// The global-rebuild oracle arm: churn-hardened control plane, but every
+/// membership delta batch rebuilds all tables from scratch.
+#[must_use]
+pub fn global_rebuild_config() -> DcrdConfig {
+    let mut config = DcrdConfig::churn_hardened();
+    config.membership.repair = RepairMode::GlobalRebuild;
+    config
+}
+
+/// Runs the three contenders on identical repetitions of one scenario.
+fn contenders(scenario: Scenario) -> Vec<AggregateMetrics> {
+    let incremental = Scenario {
+        dcrd: DcrdConfig::churn_hardened(),
+        ..scenario
+    };
+    let global = Scenario {
+        dcrd: global_rebuild_config(),
+        ..scenario
+    };
+    let no_repair = Scenario {
+        dcrd: DcrdConfig::recovery_hardened(),
+        ..scenario
+    };
+    vec![
+        run_labeled(&incremental, StrategyKind::Dcrd, "DCRD-incremental"),
+        run_labeled(&global, StrategyKind::Dcrd, "DCRD-global"),
+        run_labeled(&no_repair, StrategyKind::Dcrd, "DCRD-no-repair"),
+    ]
+}
+
+/// Delivery degradation vs broker churn rate.
+#[must_use]
+pub fn churn_rates(quality: Quality) -> FigureSeries {
+    let mut series = FigureSeries::new("churn-rates", "Broker Churn Probability");
+    for rate in CHURN_RATE_SWEEP {
+        let scenario = base(quality).broker_churn(BrokerChurnSpec { rate }).build();
+        series.points.push(SeriesPoint {
+            x: rate,
+            strategies: contenders(scenario),
+        });
+    }
+    series
+}
+
+/// Runs the sweep and pools the auditor verdict.
+#[must_use]
+pub fn churn_report(quality: Quality) -> ChurnReport {
+    let series = churn_rates(quality);
+    let total_audit_violations = series
+        .points
+        .iter()
+        .flat_map(|p| &p.strategies)
+        .map(AggregateMetrics::audit_violations)
+        .sum();
+    ChurnReport {
+        series,
+        total_audit_violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The full-sweep acceptance test (clean audit, incremental ≥
+    // no-repair, within epsilon of the oracle) lives in
+    // `tests/churn.rs` so CI can run it by name in release mode.
+
+    #[test]
+    fn sweep_spans_the_acceptance_rates() {
+        assert_eq!(CHURN_RATE_SWEEP[0], 0.0);
+        assert!(CHURN_RATE_SWEEP.contains(&0.3));
+    }
+
+    #[test]
+    fn global_rebuild_config_differs_only_in_repair_mode() {
+        let oracle = global_rebuild_config();
+        let incremental = DcrdConfig::churn_hardened();
+        assert_eq!(oracle.membership.repair, RepairMode::GlobalRebuild);
+        assert_eq!(incremental.membership.repair, RepairMode::Incremental);
+        assert_eq!(oracle.membership.handoff, incremental.membership.handoff);
+        assert_eq!(
+            oracle.membership.repair_on_restart,
+            incremental.membership.repair_on_restart
+        );
+    }
+}

@@ -16,6 +16,9 @@
 //! * [`recovery`] — the recovery study: a harsh crash-rate sweep
 //!   comparing the durable custody journal + NACK recovery against the
 //!   volatile router, with the end-to-end sequence audit armed.
+//! * [`churn`] — the churn study: broker joins, graceful leaves and
+//!   permanent deaths mid-run, comparing incremental membership repair
+//!   against the global-rebuild oracle and a no-repair control.
 //!
 //! The `dcrd-experiments` binary exposes all of it on the command line:
 //!
@@ -28,12 +31,14 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod churn;
 pub mod figures;
 pub mod recovery;
 pub mod runner;
 pub mod scenario;
 
 pub use chaos::{chaos_report, ChaosReport};
+pub use churn::{churn_report, ChurnReport};
 pub use recovery::{recovery_report, RecoveryReport};
 pub use runner::{run_comparison, run_scenario, StrategyKind};
 pub use scenario::{Quality, Scenario, ScenarioBuilder, TopologyKind};

@@ -17,6 +17,7 @@ use dcrd_net::failure::{
     BurstFailureModel, FailureModel, LinkFailureModel, LinkOutageModel, NodeFailureModel,
 };
 use dcrd_net::loss::LossModel;
+use dcrd_net::membership::{BrokerChurnModel, ChurnEvent};
 use dcrd_net::topology::{full_mesh, random_connected, DelayRange};
 use dcrd_net::Topology;
 use dcrd_pubsub::runtime::{OverlayRuntime, RuntimeConfig};
@@ -24,6 +25,7 @@ use dcrd_pubsub::strategy::{RoutingStrategy, RunParams};
 use dcrd_pubsub::workload::{Workload, WorkloadConfig};
 use dcrd_pubsub::AuditConfig;
 use dcrd_sim::rng::{derive_seed_indexed, rng_for_indexed};
+use dcrd_sim::SimTime;
 use serde::{Deserialize, Serialize};
 
 use crate::scenario::{Scenario, TopologyKind};
@@ -141,11 +143,67 @@ pub fn build_chaos(scenario: &Scenario, rep: u32) -> ChaosModel {
     chaos
 }
 
+/// Builds the deterministic broker-churn schedule of one repetition, if
+/// the scenario asks for one. Every publisher and the first subscriber of
+/// each topic are protected: each topic keeps a live anchor whose delivery
+/// the sweep can meaningfully compare across repair strategies.
+#[must_use]
+pub fn build_broker_churn(
+    scenario: &Scenario,
+    workload: &Workload,
+    rep: u32,
+) -> Option<BrokerChurnModel> {
+    let spec = scenario.broker_churn?;
+    let horizon = (scenario.duration.as_micros() / 1_000_000).max(6);
+    let mut model = BrokerChurnModel::new(
+        spec.rate,
+        horizon,
+        derive_seed_indexed(scenario.seed, "broker-churn", u64::from(rep)),
+    );
+    for t in workload.topics() {
+        model = model.protect(t.publisher);
+        if let Some(s) = t.subscriptions.first() {
+            model = model.protect(s.subscriber);
+        }
+    }
+    Some(model)
+}
+
+/// Restricts every subscription window to its broker's churn presence
+/// interval: a subscriber that joins late only expects messages published
+/// after it joined, and one that departs stops expecting them at its
+/// exit. Without this, messages addressed to a broker scheduled to be
+/// absent would count as misses no repair strategy could prevent, and the
+/// sweep would measure the schedule instead of the repair path.
+#[must_use]
+pub fn confine_to_churn(workload: &Workload, churn: &BrokerChurnModel) -> Workload {
+    let mut topics = workload.topics().to_vec();
+    for topic in &mut topics {
+        for sub in &mut topic.subscriptions {
+            match churn.event(sub.subscriber) {
+                None => {}
+                Some(ChurnEvent::Join(e)) => {
+                    sub.active_from = sub.active_from.max(SimTime::from_secs(e));
+                }
+                Some(ChurnEvent::Leave(e)) | Some(ChurnEvent::Death(e)) => {
+                    sub.active_until = sub.active_until.min(SimTime::from_secs(e));
+                }
+            }
+        }
+    }
+    Workload::from_topics(topics)
+}
+
 /// Runs one `(scenario, strategy, repetition)` triple.
 #[must_use]
 pub fn run_once(scenario: &Scenario, kind: StrategyKind, rep: u32) -> RunMetrics {
     let topo = build_topology(scenario, rep);
     let workload = build_workload(scenario, &topo, rep);
+    let broker_churn = build_broker_churn(scenario, &workload, rep);
+    let workload = match &broker_churn {
+        Some(churn) => confine_to_churn(&workload, churn),
+        None => workload,
+    };
     let link_seed = derive_seed_indexed(scenario.seed, "failures", u64::from(rep));
     let links = match scenario.burst_mean_epochs {
         None => LinkOutageModel::Epoch(LinkFailureModel::new(scenario.pf, link_seed)),
@@ -157,7 +215,11 @@ pub fn run_once(scenario: &Scenario, kind: StrategyKind, rep: u32) -> RunMetrics
             derive_seed_indexed(scenario.seed, "node-failures", u64::from(rep)),
         )
     });
-    let failure = FailureModel::new(links, nodes).with_chaos(build_chaos(scenario, rep));
+    let mut chaos = build_chaos(scenario, rep);
+    if let Some(churn) = broker_churn {
+        chaos = chaos.with_churn(churn);
+    }
+    let failure = FailureModel::new(links, nodes).with_chaos(chaos);
     let loss = LossModel::new(scenario.pl);
     let config = RuntimeConfig {
         duration: scenario.duration,
@@ -469,6 +531,66 @@ mod tests {
     fn empty_chaos_model_is_dropped() {
         let s = tiny(0.0);
         assert!(build_chaos(&s, 0).is_empty());
+    }
+
+    #[test]
+    fn broker_churn_protects_publishers_and_anchor_subscribers() {
+        use crate::scenario::BrokerChurnSpec;
+        let s = ScenarioBuilder::new()
+            .nodes(12)
+            .degree(4)
+            .broker_churn(BrokerChurnSpec { rate: 1.0 })
+            .duration_secs(30)
+            .repetitions(1)
+            .seed(3)
+            .build();
+        let topo = build_topology(&s, 0);
+        let workload = build_workload(&s, &topo, 0);
+        let churn = build_broker_churn(&s, &workload, 0).expect("churn spec set");
+        for t in workload.topics() {
+            assert!(churn.is_protected(t.publisher), "{} churns", t.publisher);
+            let anchor = t.subscriptions[0].subscriber;
+            assert!(churn.is_protected(anchor), "anchor {anchor} churns");
+            assert!(churn.event(t.publisher).is_none());
+        }
+        assert!(build_broker_churn(&tiny(0.0), &workload, 0).is_none());
+    }
+
+    #[test]
+    fn confined_windows_sit_inside_broker_presence() {
+        use crate::scenario::BrokerChurnSpec;
+        // Large overlay, few topics: most brokers are unprotected churners,
+        // so some subscription window must get clamped at rate 1.0.
+        let s = ScenarioBuilder::new()
+            .nodes(24)
+            .degree(4)
+            .broker_churn(BrokerChurnSpec { rate: 1.0 })
+            .topics(3)
+            .duration_secs(30)
+            .repetitions(1)
+            .seed(3)
+            .build();
+        let topo = build_topology(&s, 0);
+        let workload = build_workload(&s, &topo, 0);
+        let churn = build_broker_churn(&s, &workload, 0).expect("churn spec set");
+        let confined = confine_to_churn(&workload, &churn);
+        let mut clamped = 0usize;
+        for t in confined.topics() {
+            for sub in &t.subscriptions {
+                match churn.event(sub.subscriber) {
+                    None => {}
+                    Some(ChurnEvent::Join(e)) => {
+                        assert!(sub.active_from >= SimTime::from_secs(e));
+                        clamped += 1;
+                    }
+                    Some(ChurnEvent::Leave(e)) | Some(ChurnEvent::Death(e)) => {
+                        assert!(sub.active_until <= SimTime::from_secs(e));
+                        clamped += 1;
+                    }
+                }
+            }
+        }
+        assert!(clamped > 0, "rate-1.0 churn clamped no windows");
     }
 
     #[test]

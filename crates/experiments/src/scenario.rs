@@ -102,6 +102,16 @@ pub struct GraySpec {
     pub delay_factor: f64,
 }
 
+/// Chaos: broker membership churn — brokers join late, leave gracefully
+/// or crash-die permanently mid-run (one transition per churner; see
+/// `dcrd_net::membership::BrokerChurnModel`). Publishers and one anchor
+/// subscriber per topic are protected automatically by the runner.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BrokerChurnSpec {
+    /// Probability that an unprotected broker churns during the run.
+    pub rate: f64,
+}
+
 /// One fully specified experimental setup.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
@@ -130,6 +140,9 @@ pub struct Scenario {
     /// Chaos: gray links (extension; `None` disables).
     #[serde(default)]
     pub gray: Option<GraySpec>,
+    /// Chaos: broker membership churn (extension; `None` disables).
+    #[serde(default)]
+    pub broker_churn: Option<BrokerChurnSpec>,
     /// Run the online invariant auditor during every run and attach its
     /// report to the metrics.
     #[serde(default)]
@@ -216,6 +229,7 @@ impl ScenarioBuilder {
                 partition: None,
                 crashes: None,
                 gray: None,
+                broker_churn: None,
                 audit: false,
                 audit_sequences: false,
                 pl: 1e-4,
@@ -303,6 +317,14 @@ impl ScenarioBuilder {
     #[must_use]
     pub fn gray_links(mut self, spec: GraySpec) -> Self {
         self.scenario.gray = Some(spec);
+        self
+    }
+
+    /// Enables broker membership churn: joins, graceful leaves and
+    /// permanent deaths mid-run (chaos extension).
+    #[must_use]
+    pub fn broker_churn(mut self, spec: BrokerChurnSpec) -> Self {
+        self.scenario.broker_churn = Some(spec);
         self
     }
 
@@ -465,6 +487,17 @@ impl ScenarioBuilder {
             );
             assert!(g.delay_factor >= 1.0, "gray delay factor must be ≥ 1");
         }
+        if let Some(b) = s.broker_churn {
+            assert!(
+                (0.0..=1.0).contains(&b.rate),
+                "broker churn rate {} out of range",
+                b.rate
+            );
+            assert!(
+                s.duration >= SimDuration::from_secs(6),
+                "broker churn needs a run of at least 6 epochs"
+            );
+        }
         s
     }
 }
@@ -547,6 +580,32 @@ mod tests {
         let plain = ScenarioBuilder::new().build();
         assert!(plain.partition.is_none() && plain.crashes.is_none() && plain.gray.is_none());
         assert!(!plain.audit);
+    }
+
+    #[test]
+    fn broker_churn_builder_sets_spec() {
+        let s = ScenarioBuilder::new()
+            .broker_churn(BrokerChurnSpec { rate: 0.25 })
+            .build();
+        assert!((s.broker_churn.unwrap().rate - 0.25).abs() < f64::EPSILON);
+        assert!(ScenarioBuilder::new().build().broker_churn.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "churn rate")]
+    fn rejects_broker_churn_rate_above_one() {
+        let _ = ScenarioBuilder::new()
+            .broker_churn(BrokerChurnSpec { rate: 1.5 })
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "6 epochs")]
+    fn rejects_broker_churn_on_too_short_runs() {
+        let _ = ScenarioBuilder::new()
+            .broker_churn(BrokerChurnSpec { rate: 0.2 })
+            .duration_secs(3)
+            .build();
     }
 
     #[test]

@@ -30,6 +30,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::failure::DEFAULT_EPOCH;
 use crate::graph::{EdgeId, NodeId, Topology};
+use crate::membership::BrokerChurnModel;
 
 #[inline]
 fn mix(mut z: u64) -> u64 {
@@ -391,13 +392,15 @@ impl GrayLinkModel {
     }
 }
 
-/// The combined chaos injector: any subset of partition, crash-restart, and
-/// gray-link models, queried together.
+/// The combined chaos injector: any subset of partition, crash-restart,
+/// gray-link, and broker-churn models, queried together.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct ChaosModel {
     partition: Option<PartitionModel>,
     crashes: Option<CrashRestartModel>,
     gray: Option<GrayLinkModel>,
+    #[serde(default)]
+    churn: Option<BrokerChurnModel>,
 }
 
 impl ChaosModel {
@@ -428,10 +431,21 @@ impl ChaosModel {
         self
     }
 
+    /// Adds broker membership churn (late joins, graceful leaves, crash
+    /// deaths). An empty schedule (rate 0) is normalized away.
+    #[must_use]
+    pub fn with_churn(mut self, churn: BrokerChurnModel) -> Self {
+        self.churn = (!churn.is_empty()).then_some(churn);
+        self
+    }
+
     /// Whether no chaos component is configured.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.partition.is_none() && self.crashes.is_none() && self.gray.is_none()
+        self.partition.is_none()
+            && self.crashes.is_none()
+            && self.gray.is_none()
+            && self.churn.is_none()
     }
 
     /// The partition component, if configured.
@@ -452,8 +466,15 @@ impl ChaosModel {
         self.gray.as_ref()
     }
 
+    /// The broker-churn component, if configured.
+    #[must_use]
+    pub fn churn(&self) -> Option<&BrokerChurnModel> {
+        self.churn.as_ref()
+    }
+
     /// Whether a transmission over `edge` at `at` is blocked by chaos: the
-    /// partition cuts it, or either endpoint is crash-down.
+    /// partition cuts it, either endpoint is crash-down, or either endpoint
+    /// has churned out of the overlay.
     #[must_use]
     pub fn edge_blocked(&self, topo: &Topology, edge: EdgeId, at: SimTime) -> bool {
         if let Some(p) = &self.partition {
@@ -467,14 +488,22 @@ impl ChaosModel {
                 return true;
             }
         }
+        if let Some(ch) = &self.churn {
+            let e = topo.edge(edge);
+            if ch.absent_at(e.a(), at) || ch.absent_at(e.b(), at) {
+                return true;
+            }
+        }
         false
     }
 
-    /// Whether `node` is crash-down at `at` (partitioned nodes are *not*
-    /// down — they are alive but unreachable).
+    /// Whether `node` is not operating at `at`: crash-down, or absent under
+    /// the churn schedule (not yet joined, left, or dead). Partitioned
+    /// nodes are *not* down — they are alive but unreachable.
     #[must_use]
     pub fn node_down(&self, node: NodeId, at: SimTime) -> bool {
         self.crashes.is_some_and(|c| c.is_down(node, at))
+            || self.churn.is_some_and(|ch| ch.absent_at(node, at))
     }
 
     /// Whether `node` restarts at the start of epoch `epoch` (losing its

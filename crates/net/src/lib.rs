@@ -22,6 +22,10 @@
 //! * [`chaos`] — correlated fault injection beyond the paper: recurring
 //!   network partitions, crash-restart brokers (volatile state lost on
 //!   restart), and asymmetric gray links — all seed-reproducible.
+//! * [`membership`] — a deterministic SWIM-style failure detector
+//!   (probe / indirect-probe / suspect / confirm with incarnation-number
+//!   refutation), the order-insensitive membership-view lattice it
+//!   converges on, and a seeded broker-churn schedule.
 //! * [`loss`] — per-transmission Bernoulli packet loss (`Pl`).
 //! * [`estimate`] — per-link quality estimates `⟨α, γ⟩` (expected one-way
 //!   delay and single-transmission delivery ratio), both analytic and via an
@@ -50,6 +54,7 @@ pub mod estimate;
 pub mod failure;
 pub mod graph;
 pub mod loss;
+pub mod membership;
 pub mod nodeset;
 pub mod paths;
 pub mod topology;

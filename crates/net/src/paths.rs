@@ -13,6 +13,7 @@ use dcrd_sim::SimDuration;
 use serde::{Deserialize, Serialize};
 
 use crate::graph::{EdgeId, NodeId, Topology};
+use crate::nodeset::NodeSet;
 
 /// The edge-weight metric used by a shortest-path computation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -174,6 +175,32 @@ impl ShortestPaths {
 #[must_use]
 pub fn dijkstra(topo: &Topology, source: NodeId, metric: Metric) -> ShortestPaths {
     dijkstra_filtered(topo, source, metric, |_| true)
+}
+
+/// Single-source Dijkstra over the overlay minus the `absent` brokers:
+/// edges touching an absent node are never traversed, so paths route
+/// around departed or confirmed-dead brokers. With an empty mask the
+/// result is identical to [`dijkstra`] (same traversal order, same
+/// predecessors). An absent source yields an all-unreachable result.
+#[must_use]
+pub fn dijkstra_masked(
+    topo: &Topology,
+    source: NodeId,
+    metric: Metric,
+    absent: &NodeSet,
+) -> ShortestPaths {
+    if absent.contains(source) {
+        let n = topo.num_nodes();
+        return ShortestPaths {
+            source,
+            dist: vec![None; n],
+            prev: vec![None; n],
+        };
+    }
+    dijkstra_filtered(topo, source, metric, |e| {
+        let edge = topo.edge(e);
+        !absent.contains(edge.a()) && !absent.contains(edge.b())
+    })
 }
 
 /// Single-source Dijkstra that only traverses edges for which `edge_ok`

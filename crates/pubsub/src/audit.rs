@@ -148,6 +148,23 @@ pub enum Violation {
         /// The message's per-(topic, publisher) sequence number.
         seq: u64,
     },
+    /// A message was delivered on a broker the churn model had already
+    /// removed from the overlay (departed or confirmed dead). Flagged by
+    /// the runtime's churn gate — a correct run never produces one.
+    DeliveryToDeparted {
+        /// The message.
+        packet: PacketId,
+        /// The departed broker that supposedly delivered.
+        node: NodeId,
+    },
+    /// A churn-absent broker originated a transmission — a routing loop or
+    /// stale forwarding state running through a dead broker.
+    RouteThroughDead {
+        /// The message.
+        packet: PacketId,
+        /// The absent broker that supposedly transmitted.
+        node: NodeId,
+    },
 }
 
 /// How many violations are kept verbatim; beyond this only the count grows.
@@ -229,6 +246,13 @@ impl InvariantAuditor {
         if self.report.violations.len() < MAX_RECORDED {
             self.report.violations.push(v);
         }
+    }
+
+    /// Records a violation detected by the runtime itself rather than by
+    /// the event-stream checks (e.g. the churn gate catching a delivery on
+    /// a departed broker).
+    pub fn flag(&mut self, v: Violation) {
+        self.violate(v);
     }
 
     /// Feeds one event through the invariant checks.
@@ -497,6 +521,29 @@ mod tests {
         let report = a.finish();
         assert!(report.is_clean());
         assert_eq!(report.replay_suppressions, 1);
+    }
+
+    #[test]
+    fn runtime_flagged_churn_violations_count() {
+        let mut a = InvariantAuditor::new(tight());
+        a.flag(Violation::DeliveryToDeparted {
+            packet: PacketId::new(1),
+            node: NodeId::new(4),
+        });
+        a.flag(Violation::RouteThroughDead {
+            packet: PacketId::new(2),
+            node: NodeId::new(4),
+        });
+        let report = a.finish();
+        assert_eq!(report.total_violations, 2);
+        assert!(matches!(
+            report.violations[0],
+            Violation::DeliveryToDeparted { .. }
+        ));
+        assert!(matches!(
+            report.violations[1],
+            Violation::RouteThroughDead { .. }
+        ));
     }
 
     #[test]

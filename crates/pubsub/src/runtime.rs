@@ -22,12 +22,13 @@ use std::collections::BTreeMap;
 use dcrd_net::estimate::{analytic_estimates, EwmaMonitor, LinkEstimate, LinkEstimates};
 use dcrd_net::failure::FailureModel;
 use dcrd_net::loss::LossModel;
+use dcrd_net::membership::{BrokerChurnModel, GroundTruth, SwimConfig, SwimDetector};
 use dcrd_net::{NodeId, Topology};
 use dcrd_sim::rng::rng_for;
 use dcrd_sim::{EventQueue, SimDuration, SimTime};
 use rand::rngs::SmallRng;
 
-use crate::audit::{AuditConfig, AuditReport, InvariantAuditor};
+use crate::audit::{AuditConfig, AuditReport, InvariantAuditor, Violation};
 use crate::error::{RuntimeError, MAX_RUNTIME_ERRORS};
 use crate::packet::{Packet, PacketId};
 use crate::strategy::{Action, Actions, RoutingStrategy, RunParams, SetupContext, TimerKey};
@@ -445,12 +446,32 @@ impl<'a> OverlayRuntime<'a> {
             queue.schedule(SimTime::ZERO + probe_interval, Event::Probe);
             queue.schedule(SimTime::ZERO + self.config.monitor_interval, Event::Monitor);
         }
-        // Crash-restart sweeps run at every epoch boundary (1 s, matching
-        // the chaos models' epoch) so restarted brokers lose their volatile
-        // router state at the moment they come back.
-        if self.failure.chaos().is_some_and(|c| c.crashes().is_some()) {
+        // Crash-restart and churn sweeps run at every epoch boundary (1 s,
+        // matching the chaos models' epoch) so restarted brokers lose their
+        // volatile router state at the moment they come back and the
+        // failure detector probes once per epoch.
+        if self
+            .failure
+            .chaos()
+            .is_some_and(|c| c.crashes().is_some() || c.churn().is_some())
+        {
             queue.schedule(SimTime::from_secs(1), Event::ChaosTick { epoch: 1 });
         }
+        // With broker churn, a SWIM-style failure detector turns ground-
+        // truth probe outcomes into membership deltas for the strategy.
+        // Absent from the start when churn is off, so crash-only runs are
+        // byte-identical to their pre-churn behavior.
+        let churn: Option<BrokerChurnModel> = self.failure.chaos().and_then(|c| c.churn()).copied();
+        let mut detector = churn.as_ref().map(|ch| {
+            SwimDetector::new(
+                self.topology.num_nodes(),
+                |n| ch.present_in_epoch(n, 0),
+                SwimConfig {
+                    seed: self.config.seed,
+                    ..SwimConfig::default()
+                },
+            )
+        });
 
         let hard_stop = SimTime::ZERO + self.config.duration + self.config.drain_grace;
         let mut out = Actions::new();
@@ -594,6 +615,13 @@ impl<'a> OverlayRuntime<'a> {
                     }
                 }
                 Event::Process { node, from, packet } => {
+                    // A broker that departed while the packet sat in its
+                    // service queue never processes it. (Crash-down brokers
+                    // already dropped the arrival; churn-absent brokers are
+                    // gone for good, so their queue dies with them.)
+                    if churn.as_ref().is_some_and(|ch| ch.absent_at(node, now)) {
+                        continue;
+                    }
                     strategy.on_packet(node, from, *packet, now, &mut out);
                     self.execute(
                         &mut out,
@@ -638,6 +666,12 @@ impl<'a> OverlayRuntime<'a> {
                     );
                 }
                 Event::Timer { node, key } => {
+                    // A departed broker's timers die with it. Crash-down
+                    // brokers keep their timers (PR 3 semantics: stale
+                    // timers fire into wiped state and no-op).
+                    if churn.as_ref().is_some_and(|ch| ch.absent_at(node, now)) {
+                        continue;
+                    }
                     strategy.on_timer(node, key, now, &mut out);
                     self.execute(
                         &mut out,
@@ -678,6 +712,26 @@ impl<'a> OverlayRuntime<'a> {
                     }
                 }
                 Event::ChaosTick { epoch } => {
+                    // Failure detection first: the detector probes the
+                    // epoch's ground truth and hands any membership deltas
+                    // to the strategy, so repair and custody handoff are in
+                    // place before restarts replay and ticks sweep.
+                    if let (Some(det), Some(ch)) = (detector.as_mut(), churn.as_ref()) {
+                        let deltas = det.tick(epoch, |n| {
+                            if ch.departed_in_epoch(n, epoch) {
+                                GroundTruth::Departed
+                            } else if !ch.present_in_epoch(n, epoch)
+                                || self.failure.chaos().is_some_and(|c| c.node_down(n, now))
+                            {
+                                GroundTruth::Down
+                            } else {
+                                GroundTruth::Up
+                            }
+                        });
+                        if !deltas.is_empty() {
+                            strategy.on_membership(&deltas, now);
+                        }
+                    }
                     // All restarts first: a broker that came back this epoch
                     // replays its custody before any node's housekeeping
                     // tick reacts to the new state.
@@ -804,6 +858,24 @@ impl<'a> OverlayRuntime<'a> {
         for action in staging.drain(..) {
             match action {
                 Action::Send { to, packet } => {
+                    // Churn invariant: a departed broker cannot transmit.
+                    // The event gates make this unreachable for a correct
+                    // strategy; if it fires anyway, the auditor records a
+                    // routing loop through a dead broker and the send dies.
+                    if self
+                        .failure
+                        .chaos()
+                        .and_then(|c| c.churn())
+                        .is_some_and(|ch| ch.absent_at(node, now))
+                    {
+                        if let Some(aud) = auditor {
+                            aud.flag(Violation::RouteThroughDead {
+                                packet: packet.id,
+                                node,
+                            });
+                        }
+                        continue;
+                    }
                     let Some(edge) = self.topology.edge_between(node, to) else {
                         log.invalid_sends += 1;
                         continue;
@@ -844,6 +916,18 @@ impl<'a> OverlayRuntime<'a> {
                     }
                 }
                 Action::Deliver { packet } => {
+                    // Churn invariant: no delivery on a departed subscriber.
+                    if self
+                        .failure
+                        .chaos()
+                        .and_then(|c| c.churn())
+                        .is_some_and(|ch| ch.absent_at(node, now))
+                    {
+                        if let Some(aud) = auditor {
+                            aud.flag(Violation::DeliveryToDeparted { packet, node });
+                        }
+                        continue;
+                    }
                     let Some(exp) = log.expectations.get_mut(&(packet, node)) else {
                         log.invalid_delivers += 1;
                         continue;

@@ -10,6 +10,7 @@
 
 use dcrd_net::estimate::LinkEstimates;
 use dcrd_net::failure::FailureModel;
+use dcrd_net::membership::MembershipDelta;
 use dcrd_net::{NodeId, Topology};
 use dcrd_sim::{SimDuration, SimTime};
 
@@ -220,6 +221,15 @@ pub trait RoutingStrategy {
     /// 5 minutes in the paper). Default: ignore.
     fn on_monitor(&mut self, estimates: &LinkEstimates, now: SimTime) {
         let _ = (estimates, now);
+    }
+
+    /// A batch of membership deltas from the runtime's failure detector
+    /// (broker churn only): joins, announced leaves, confirmed deaths and
+    /// refuted suspicions, in detection order. Membership-aware strategies
+    /// repair their routing state here; everyone else ignores it. Default:
+    /// ignore.
+    fn on_membership(&mut self, deltas: &[MembershipDelta], now: SimTime) {
+        let _ = (deltas, now);
     }
 
     /// Periodic housekeeping tick for broker `node` (driven by the chaos

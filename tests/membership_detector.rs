@@ -1,0 +1,210 @@
+//! SWIM failure-detector state machine: refutation, suspect/confirm
+//! races, and the determinism gate — any delivery order of the same
+//! membership records converges to the same view.
+
+use dcrd::net::membership::{
+    GroundTruth, MemberRecord, MemberStatus, MembershipDelta, MembershipView, SwimConfig,
+    SwimDetector,
+};
+use dcrd::net::NodeId;
+use proptest::prelude::*;
+
+fn n(i: u32) -> NodeId {
+    NodeId::new(i)
+}
+
+fn status_from(code: u8) -> MemberStatus {
+    match code % 4 {
+        0 => MemberStatus::Alive,
+        1 => MemberStatus::Suspect,
+        2 => MemberStatus::Dead,
+        _ => MemberStatus::Left,
+    }
+}
+
+/// A lossless detector: probes only fail when the target is actually
+/// down, so the state machine is exercised without false suspicions.
+fn lossless(num_nodes: usize) -> SwimDetector {
+    SwimDetector::new(
+        num_nodes,
+        |_| true,
+        SwimConfig {
+            probe_loss: 0.0,
+            ..SwimConfig::default()
+        },
+    )
+}
+
+/// A briefly unreachable broker is suspected, then refutes the suspicion
+/// with a bumped incarnation — it never gets confirmed dead.
+#[test]
+fn false_suspicion_is_refuted_by_incarnation_bump() {
+    let mut det = lossless(4);
+    let victim = n(2);
+    // Epoch 1: the victim misses every probe → suspected.
+    let deltas = det.tick(1, |node| {
+        if node == victim {
+            GroundTruth::Down
+        } else {
+            GroundTruth::Up
+        }
+    });
+    assert!(
+        deltas.is_empty(),
+        "suspicion alone is not a delta: {deltas:?}"
+    );
+    assert_eq!(
+        det.view().record(victim).expect("known").status,
+        MemberStatus::Suspect
+    );
+    assert!(det.view().is_present(victim), "suspects stay routable");
+    // Epoch 2: it answers again → refutation with a bumped incarnation.
+    let deltas = det.tick(2, |_| GroundTruth::Up);
+    assert_eq!(
+        deltas,
+        vec![MembershipDelta::Refute {
+            node: victim,
+            incarnation: 1,
+        }]
+    );
+    let record = det.view().record(victim).expect("known");
+    assert_eq!(record.status, MemberStatus::Alive);
+    assert_eq!(record.incarnation, 1, "refutation must bump incarnation");
+}
+
+/// A broker down past the suspicion window is confirmed dead; answering
+/// probes afterwards re-joins it at a higher incarnation.
+#[test]
+fn confirm_dead_then_rejoin() {
+    let mut det = lossless(4);
+    let victim = n(1);
+    let truth_down = |node: NodeId| {
+        if node == n(1) {
+            GroundTruth::Down
+        } else {
+            GroundTruth::Up
+        }
+    };
+    let mut confirmed_at = None;
+    for epoch in 1..=10 {
+        let deltas = det.tick(epoch, truth_down);
+        if deltas.contains(&MembershipDelta::ConfirmDead { node: victim }) {
+            confirmed_at = Some(epoch);
+            break;
+        }
+    }
+    let confirmed_at = confirmed_at.expect("suspicion window never expired");
+    assert!(
+        confirmed_at > 1,
+        "confirmation may not precede the suspicion window"
+    );
+    assert!(!det.view().is_present(victim));
+    // It comes back: a Join at a strictly higher incarnation dominates
+    // the Dead record in every view.
+    let deltas = det.tick(confirmed_at + 1, |_| GroundTruth::Up);
+    assert_eq!(deltas, vec![MembershipDelta::Join { node: victim }]);
+    let record = det.view().record(victim).expect("known");
+    assert_eq!(record.status, MemberStatus::Alive);
+    assert!(record.incarnation > 0);
+}
+
+/// An announced departure needs no suspicion window: the leave is
+/// reported the epoch it happens, and the broker is immediately absent.
+#[test]
+fn graceful_leave_skips_suspicion() {
+    let mut det = lossless(3);
+    let deltas = det.tick(1, |node| {
+        if node == n(0) {
+            GroundTruth::Departed
+        } else {
+            GroundTruth::Up
+        }
+    });
+    assert_eq!(deltas, vec![MembershipDelta::Leave { node: n(0) }]);
+    assert!(!det.view().is_present(n(0)));
+    assert!(det.view().absent_set().contains(n(0)));
+}
+
+/// The suspect/confirm race: one peer hears "suspect", another hears
+/// "confirmed dead" for the same incarnation, and they exchange records
+/// in opposite orders — the lattice resolves both to Dead.
+#[test]
+fn suspect_confirm_race_converges() {
+    let node = n(3);
+    let suspect = MemberRecord {
+        incarnation: 2,
+        status: MemberStatus::Suspect,
+    };
+    let dead = MemberRecord {
+        incarnation: 2,
+        status: MemberStatus::Dead,
+    };
+    let mut a = MembershipView::new();
+    a.apply(node, suspect);
+    a.apply(node, dead);
+    let mut b = MembershipView::new();
+    b.apply(node, dead);
+    assert!(!b.apply(node, suspect), "stale suspicion must not regress");
+    assert_eq!(a, b);
+    assert_eq!(a.record(node).expect("known").status, MemberStatus::Dead);
+    // A refutation at a higher incarnation still beats the death record.
+    let refute = MemberRecord {
+        incarnation: 3,
+        status: MemberStatus::Alive,
+    };
+    assert!(a.apply(node, refute));
+    assert!(a.is_present(node));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Determinism gate: applying any record set in delivery order and in
+    /// reverse (with duplicates) converges both views to the same state,
+    /// and merging is idempotent.
+    #[test]
+    fn any_record_order_converges_to_the_same_view(
+        records in proptest::collection::vec((0u32..8, 0u64..4, 0u8..4), 1..40),
+    ) {
+        let mut forward = MembershipView::new();
+        let mut backward = MembershipView::new();
+        for &(node, inc, code) in &records {
+            forward.apply(n(node), MemberRecord { incarnation: inc, status: status_from(code) });
+        }
+        for &(node, inc, code) in records.iter().rev() {
+            backward.apply(n(node), MemberRecord { incarnation: inc, status: status_from(code) });
+        }
+        prop_assert_eq!(&forward, &backward);
+        // Re-merging everything a second time changes nothing.
+        let mut twice = forward.clone();
+        twice.merge(&backward);
+        prop_assert_eq!(&twice, &forward);
+        prop_assert_eq!(forward.absent_set(), backward.absent_set());
+    }
+
+    /// Two detectors with the same seed observing the same ground truth
+    /// emit identical delta streams and end in identical views.
+    #[test]
+    fn same_seed_detectors_agree(
+        seed in 0u64..1_000_000,
+        down_mask in 0u32..256,
+        down_from in 1u64..6,
+    ) {
+        let config = SwimConfig { seed, ..SwimConfig::default() };
+        let truth = |node: NodeId, epoch: u64| {
+            if epoch >= down_from && down_mask & (1 << node.index()) != 0 {
+                GroundTruth::Down
+            } else {
+                GroundTruth::Up
+            }
+        };
+        let mut a = SwimDetector::new(8, |_| true, config);
+        let mut b = SwimDetector::new(8, |_| true, config);
+        for epoch in 1..=12 {
+            let da = a.tick(epoch, |node| truth(node, epoch));
+            let db = b.tick(epoch, |node| truth(node, epoch));
+            prop_assert_eq!(da, db, "deltas diverged at epoch {}", epoch);
+        }
+        prop_assert_eq!(a.view(), b.view());
+    }
+}

@@ -1,0 +1,168 @@
+//! Oracle equivalence for incremental membership repair: after an
+//! arbitrary scripted churn sequence, the incremental repair path must
+//! leave every **present** broker with byte-identical sending lists to a
+//! from-scratch `rebuild_tables` on the final topology.
+//!
+//! (Absent brokers' own table rows are non-normative — the runtime never
+//! lets an absent broker act — so the comparison quantifies over present
+//! brokers only.)
+
+use dcrd::core::{DcrdConfig, DcrdStrategy, RepairMode};
+use dcrd::experiments::runner::{build_topology, build_workload};
+use dcrd::experiments::scenario::{Scenario, ScenarioBuilder};
+use dcrd::net::estimate::analytic_estimates;
+use dcrd::net::failure::{FailureModel, LinkFailureModel, LinkOutageModel};
+use dcrd::net::membership::MembershipDelta;
+use dcrd::net::{NodeId, Topology};
+use dcrd::pubsub::strategy::{RoutingStrategy, RunParams, SetupContext};
+use dcrd::pubsub::workload::Workload;
+use dcrd::sim::SimTime;
+
+fn scenario(seed: u64) -> Scenario {
+    ScenarioBuilder::new()
+        .nodes(14)
+        .degree(4)
+        .failure_probability(0.05)
+        .topics(5)
+        .duration_secs(60)
+        .repetitions(1)
+        .seed(seed)
+        .build()
+}
+
+/// Sets up one strategy over the given environment.
+fn setup(topo: &Topology, workload: &Workload, config: DcrdConfig) -> DcrdStrategy {
+    let estimates = analytic_estimates(topo, 0.05, 1e-4);
+    let failure = FailureModel::new(LinkOutageModel::Epoch(LinkFailureModel::new(0.05, 1)), None);
+    let ctx = SetupContext {
+        topology: topo,
+        estimates: &estimates,
+        workload,
+        failure_oracle: &failure,
+        params: RunParams::default(),
+    };
+    let mut strategy = DcrdStrategy::new(config);
+    strategy.setup(&ctx);
+    strategy
+}
+
+/// The incremental arm and the global-rebuild oracle digest the same
+/// scripted churn; every present broker's sending list must match
+/// byte-for-byte at the end.
+fn assert_oracle_equivalence(seed: u64, script: impl Fn(&[NodeId]) -> Vec<Vec<MembershipDelta>>) {
+    let s = scenario(seed);
+    let topo = build_topology(&s, 0);
+    let workload = build_workload(&s, &topo, 0);
+    // Churn only non-publishers so every topic keeps its source.
+    let publishers: Vec<NodeId> = workload.topics().iter().map(|t| t.publisher).collect();
+    let churnable: Vec<NodeId> = topo
+        .nodes()
+        .filter(|node| !publishers.contains(node))
+        .collect();
+    assert!(
+        churnable.len() >= 3,
+        "need at least three churnable brokers"
+    );
+    let batches = script(&churnable);
+
+    let mut incremental = setup(&topo, &workload, DcrdConfig::churn_hardened());
+    let mut oracle_config = DcrdConfig::churn_hardened();
+    oracle_config.membership.repair = RepairMode::GlobalRebuild;
+    let mut oracle = setup(&topo, &workload, oracle_config);
+
+    let mut now = SimTime::from_secs(1);
+    for batch in &batches {
+        incremental.on_membership(batch, now);
+        oracle.on_membership(batch, now);
+        now += dcrd::sim::SimDuration::from_secs(1);
+    }
+
+    // The arms agree on who is gone, and only the oracle rebuilt.
+    assert_eq!(incremental.absent_brokers(), oracle.absent_brokers());
+    assert_eq!(incremental.global_rebuilds(), 1, "incremental arm rebuilt");
+    assert_eq!(incremental.incremental_repairs() as usize, batches.len());
+    assert!(oracle.global_rebuilds() > 1, "oracle never rebuilt");
+
+    let absent = incremental.absent_brokers().clone();
+    let mut compared = 0usize;
+    for t in workload.topics() {
+        for sub in &t.subscriptions {
+            let a = incremental.tables_for(t.topic, t.publisher, sub.subscriber);
+            let b = oracle.tables_for(t.topic, t.publisher, sub.subscriber);
+            let (a, b) = match (a, b) {
+                (Some(a), Some(b)) => (a, b),
+                (a, b) => {
+                    assert_eq!(a.is_some(), b.is_some(), "table existence diverged");
+                    continue;
+                }
+            };
+            for node in topo.nodes().filter(|&node| !absent.contains(node)) {
+                assert_eq!(
+                    a.sending_list(node),
+                    b.sending_list(node),
+                    "sending list of {node} diverged for {} {} → {}",
+                    t.topic,
+                    t.publisher,
+                    sub.subscriber
+                );
+                assert_eq!(
+                    a.requirement(node).to_bits(),
+                    b.requirement(node).to_bits(),
+                    "requirement of {node} diverged"
+                );
+                compared += 1;
+            }
+        }
+    }
+    assert!(compared > 0, "equivalence check compared nothing");
+}
+
+/// Deaths, graceful leaves, a rejoin, interleaved across batches.
+#[test]
+fn scripted_churn_matches_from_scratch_rebuild() {
+    assert_oracle_equivalence(0x0DC2D, |churnable| {
+        let (a, b, c) = (churnable[0], churnable[1], churnable[2]);
+        vec![
+            vec![MembershipDelta::ConfirmDead { node: a }],
+            vec![
+                MembershipDelta::Leave { node: b },
+                MembershipDelta::Refute {
+                    node: c,
+                    incarnation: 1,
+                },
+            ],
+            vec![MembershipDelta::Join { node: a }],
+            vec![MembershipDelta::ConfirmDead { node: c }],
+        ]
+    });
+}
+
+/// A mass casualty in a single batch: several brokers die at once.
+#[test]
+fn batched_mass_death_matches_from_scratch_rebuild() {
+    assert_oracle_equivalence(99, |churnable| {
+        vec![churnable
+            .iter()
+            .take(3)
+            .map(|&node| MembershipDelta::ConfirmDead { node })
+            .collect()]
+    });
+}
+
+/// Everyone churnable leaves, then everyone comes back: the final state
+/// must equal the initial full-membership tables by both routes.
+#[test]
+fn full_departure_and_return_matches_rebuild() {
+    assert_oracle_equivalence(7, |churnable| {
+        vec![
+            churnable
+                .iter()
+                .map(|&node| MembershipDelta::Leave { node })
+                .collect(),
+            churnable
+                .iter()
+                .map(|&node| MembershipDelta::Join { node })
+                .collect(),
+        ]
+    });
+}
