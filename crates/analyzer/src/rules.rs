@@ -65,6 +65,13 @@ pub const RULES: &[RuleInfo] = &[
                   construction; use the saturating/checked API",
         scope: "crates/sim, non-test code",
     },
+    RuleInfo {
+        id: "SAFE003",
+        summary: "no with_capacity/reserve in wire-codec files sized by an \
+                  unclamped (possibly attacker-controlled) length prefix; \
+                  clamp the hint with .min(..) against the bytes present",
+        scope: "codec files in sim-facing crates, non-test code",
+    },
 ];
 
 /// One finding: rule, location (1-based line/column) and the offending
@@ -209,6 +216,12 @@ pub fn scan_file(path: &str, original: &str, masked: &str) -> Vec<Diagnostic> {
         }
     }
 
+    if in_scope(path, SIM_FACING) && is_codec_file(path) {
+        for pos in safe003_positions(masked) {
+            push(&mut out, "SAFE003", path, original, masked, pos);
+        }
+    }
+
     out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
     out
 }
@@ -272,6 +285,52 @@ fn safe002_positions(masked: &str) -> Vec<usize> {
             if let Some(rel) = span.bytes().position(|b| matches!(b, b'+' | b'-' | b'*')) {
                 hits.push(open + 1 + rel);
             }
+        }
+    }
+    hits.sort_unstable();
+    hits.dedup();
+    hits
+}
+
+/// Whether `path` names a wire-codec source file (SAFE003 scope).
+fn is_codec_file(path: &str) -> bool {
+    path.rsplit('/')
+        .next()
+        .is_some_and(|file| file.contains("codec"))
+}
+
+/// SAFE003: a `with_capacity(..)` or `.reserve(..)` call in a wire-codec
+/// file whose argument is not visibly clamped. Lengths in codec files come
+/// off the wire, so an unclamped capacity hint lets a tiny hostile datagram
+/// demand a huge allocation. Spans whose argument contains `.min(` (clamped
+/// against the bytes actually present) or is a bare numeric literal are
+/// exempt.
+fn safe003_positions(masked: &str) -> Vec<usize> {
+    let mut hits = Vec::new();
+    for call in ["with_capacity", "reserve"] {
+        for pos in word_positions(masked, call) {
+            let open = pos + call.len();
+            if masked.as_bytes().get(open) != Some(&b'(') {
+                continue;
+            }
+            // `reserve` must be a method call; a fn named `reserve` being
+            // *defined* here is not an allocation site.
+            if call == "reserve" && (pos == 0 || masked.as_bytes()[pos - 1] != b'.') {
+                continue;
+            }
+            let close = match matching_paren(masked.as_bytes(), open) {
+                Some(c) => c,
+                None => masked.len(),
+            };
+            let span = &masked[open + 1..close.min(masked.len())];
+            let literal_only = !span.trim().is_empty()
+                && span
+                    .bytes()
+                    .all(|b| b.is_ascii_digit() || b == b'_' || b.is_ascii_whitespace());
+            if span.contains(".min(") || literal_only {
+                continue;
+            }
+            hits.push(pos);
         }
     }
     hits.sort_unstable();
@@ -356,6 +415,39 @@ mod tests {
         ] {
             assert!(scan("crates/sim/src/time.rs", good).is_empty(), "{good}");
         }
+    }
+
+    #[test]
+    fn safe003_flags_unclamped_capacity_in_codec_files() {
+        let bad = "let v: Vec<u32> = Vec::with_capacity(count);";
+        let hits = scan("crates/pubsub/src/codec.rs", bad);
+        assert_eq!(hits.iter().filter(|d| d.rule == "SAFE003").count(), 1);
+        let bad_reserve = "out.reserve(len * 4);";
+        let hits = scan("crates/pubsub/src/codec.rs", bad_reserve);
+        assert_eq!(hits.iter().filter(|d| d.rule == "SAFE003").count(), 1);
+    }
+
+    #[test]
+    fn safe003_exempts_clamped_and_literal_capacities() {
+        for good in [
+            "let v = Vec::with_capacity(count.min(buf.remaining() / 4));",
+            "let v: Vec<u8> = Vec::with_capacity(64);",
+            "fn reserve(n: usize) {}", // a definition, not a call site
+        ] {
+            assert!(
+                scan("crates/pubsub/src/codec.rs", good).is_empty(),
+                "{good}"
+            );
+        }
+    }
+
+    #[test]
+    fn safe003_is_scoped_to_codec_files_in_sim_facing_crates() {
+        let bad = "let v: Vec<u32> = Vec::with_capacity(count);";
+        // Same crate, non-codec file: quiet.
+        assert!(scan("crates/pubsub/src/packet.rs", bad).is_empty());
+        // Codec file outside the sim-facing crates: quiet.
+        assert!(scan("crates/experiments/src/codec.rs", bad).is_empty());
     }
 
     #[test]

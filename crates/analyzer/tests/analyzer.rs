@@ -139,6 +139,28 @@ fn safe002_ignores_saturating_and_checked_construction() {
     assert_quiet(&rules, "SAFE002", "safe002_neg.rs");
 }
 
+// --------------------------------------------------------------- SAFE003
+
+#[test]
+fn safe003_flags_unclamped_capacity_in_codec_files() {
+    let rules = scan("safe003_pos.rs", "crates/pubsub/src/codec.rs");
+    // One unclamped with_capacity + one unclamped reserve.
+    assert_fires(&rules, "SAFE003", 2, "safe003_pos.rs");
+}
+
+#[test]
+fn safe003_ignores_clamped_hints_and_constants() {
+    let rules = scan("safe003_neg.rs", "crates/pubsub/src/codec.rs");
+    assert_quiet(&rules, "SAFE003", "safe003_neg.rs");
+}
+
+#[test]
+fn safe003_is_scoped_to_codec_files() {
+    // The same bait elsewhere in the crate is out of scope.
+    let rules = scan("safe003_pos.rs", "crates/pubsub/src/runtime.rs");
+    assert_quiet(&rules, "SAFE003", "safe003_pos.rs (runtime scope)");
+}
+
 // ---------------------------------------------------- workspace smoke test
 
 fn workspace_root() -> PathBuf {

@@ -1,0 +1,18 @@
+// Fixture: SAFE003 must stay quiet — capacity hints clamped against the
+// bytes actually present, constant hints, and non-call-site uses.
+pub fn read_nodes(buf: &[u8], count: usize) -> Vec<u32> {
+    let mut nodes = Vec::with_capacity(count.min(buf.len() / 4));
+    for chunk in buf.chunks_exact(4).take(count) {
+        nodes.push(u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]));
+    }
+    nodes
+}
+
+pub fn scratch() -> Vec<u8> {
+    Vec::with_capacity(64)
+}
+
+pub fn reserve(slots: usize) -> usize {
+    // A function *named* reserve is not an allocation site.
+    slots
+}

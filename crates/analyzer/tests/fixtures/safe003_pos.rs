@@ -1,0 +1,13 @@
+// Fixture: SAFE003 must fire — capacity hints in a wire-codec file fed by
+// unclamped (wire-decoded) lengths.
+pub fn read_nodes(buf: &[u8], count: usize) -> Vec<u32> {
+    let mut nodes = Vec::with_capacity(count);
+    for chunk in buf.chunks_exact(4).take(count) {
+        nodes.push(u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]));
+    }
+    nodes
+}
+
+pub fn extend(out: &mut Vec<u8>, payload_len: usize) {
+    out.reserve(payload_len);
+}

@@ -305,6 +305,7 @@ mod tests {
                 topo.node(topo.num_nodes() - 1),
                 SimDuration::from_millis(deadline_ms),
             )],
+            burst: None,
         }])
     }
 

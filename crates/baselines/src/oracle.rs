@@ -158,6 +158,7 @@ mod tests {
             interval: SimDuration::from_secs(1),
             offset: SimDuration::ZERO,
             subscriptions: vec![Subscription::new(topo.node(2), SimDuration::from_secs(1))],
+            burst: None,
         }]);
         let failure = FailureModel::links_only(LinkFailureModel::new(0.3, 5));
         let rt = OverlayRuntime::new(
@@ -187,6 +188,7 @@ mod tests {
             interval: SimDuration::from_secs(1),
             offset: SimDuration::ZERO,
             subscriptions: vec![Subscription::new(topo.node(1), SimDuration::from_secs(1))],
+            burst: None,
         }]);
         let failure = FailureModel::links_only(LinkFailureModel::new(1.0, 1));
         let rt = OverlayRuntime::new(

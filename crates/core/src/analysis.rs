@@ -192,6 +192,7 @@ mod tests {
             interval: SimDuration::from_secs(1),
             offset: SimDuration::ZERO,
             subscriptions: vec![Subscription::new(topo.node(2), SimDuration::from_secs(1))],
+            burst: None,
         }]);
         let estimates = analytic_estimates(&topo, 0.0, 0.0);
         let predictions = predict_workload(&topo, &estimates, 1, &workload, &DcrdConfig::default());

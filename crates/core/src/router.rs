@@ -1435,6 +1435,7 @@ mod tests {
                 .iter()
                 .map(|&s| Subscription::new(topo.node(s), deadline))
                 .collect(),
+            burst: None,
         }])
     }
 

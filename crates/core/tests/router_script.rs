@@ -52,6 +52,7 @@ impl Harness {
                 .iter()
                 .map(|&s| Subscription::new(topo.node(s), SimDuration::from_millis(500)))
                 .collect(),
+            burst: None,
         }]);
         let mut harness = Harness {
             topo,
@@ -376,6 +377,7 @@ impl RecoveryRig {
                 .iter()
                 .map(|&(s, deadline)| Subscription::new(topo.node(s), deadline))
                 .collect(),
+            burst: None,
         }]);
         let estimates = analytic_estimates(&topo, 0.05, 0.0);
         let failure = FailureModel::links_only(LinkFailureModel::new(0.05, 1));

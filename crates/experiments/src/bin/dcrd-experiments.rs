@@ -5,7 +5,7 @@
 //!
 //! figures: fig2 fig3 fig4 fig5 fig6 fig7 fig8
 //!          ablation-ordering ablation-reroute ablation-timeout
-//!          ablation-monitor chaos recovery churn all
+//!          ablation-monitor chaos recovery churn hostile all
 //! ```
 //!
 //! Without `--out`, tables print to stdout; with it, each figure also writes
@@ -28,7 +28,7 @@ use dcrd_experiments::scenario::Quality;
 use dcrd_metrics::plot::{figure_svg, render_svg, PlotConfig, PlotSeries};
 use dcrd_metrics::report::{render_cdf, FigureSeries, MetricKind};
 
-const FIGURES: [&str; 18] = [
+const FIGURES: [&str; 19] = [
     "fig2",
     "fig3",
     "fig4",
@@ -47,6 +47,7 @@ const FIGURES: [&str; 18] = [
     "chaos",
     "recovery",
     "churn",
+    "hostile",
 ];
 
 fn usage() -> ExitCode {
@@ -477,6 +478,39 @@ fn run_figure(name: &str, quality: Quality) -> FigureOutput {
                 csv: Some(report.series.render_csv()),
                 json: serde_json::to_string_pretty(&report.series).ok(),
                 svgs: vec![("rates-delivery", svg)],
+            }
+        }
+        "hostile" => {
+            let report = dcrd_experiments::hostile::hostile_report(quality);
+            let mut text = String::new();
+            for m in [MetricKind::Delivery, MetricKind::Qos] {
+                text.push_str(&report.series.render_table(m));
+                text.push('\n');
+            }
+            text.push_str(&format!(
+                "invariant auditor: least-slack {} violation(s), unbounded {} violation(s) (both must be 0)\n\
+                 invariant auditor: tail-drop {} violation(s) (UnjustifiedShed expected under overload)\n\
+                 bounded queues shed {} packet(s) total\n",
+                report.least_slack_violations,
+                report.unbounded_violations,
+                report.tail_drop_violations,
+                report.total_sheds
+            ));
+            // The acceptance metric: delivery among still-satisfiable
+            // pairs for the least-slack arm at the 4x crowd (gate: 0.99).
+            if let Some(crowd) = report.series.points.iter().find(|p| p.x == 4.0) {
+                let arm = &crowd.strategies[0];
+                text.push_str(&format!(
+                    "least-slack in-slack delivery at 4x: {:.4} (gate: >= 0.99)\n",
+                    arm.in_slack_delivery_ratio()
+                ));
+            }
+            let svg = figure_svg(&report.series, MetricKind::Delivery, false);
+            FigureOutput {
+                text,
+                csv: Some(report.series.render_csv()),
+                json: serde_json::to_string_pretty(&report.series).ok(),
+                svgs: vec![("flash-crowd-delivery", svg)],
             }
         }
         "ablation-multipath" => series_output(&figures::ablation_multipath(quality), &all),

@@ -1,0 +1,213 @@
+//! Hostile study: overload survival under the adversarial scenario pack.
+//!
+//! One sweep over flash-crowd intensity comparing three arms on
+//! **identical** repetitions (same geo-tiered topology, Zipf workload and
+//! burst schedule):
+//!
+//! * **DCRD-least-slack** — bounded per-broker service queues with
+//!   delay-cognizant shedding: when a queue overflows, the packet with
+//!   the least remaining deadline slack (the one least worth carrying)
+//!   is dropped first.
+//! * **DCRD-tail-drop** — the same bounded queues, but the classic
+//!   slack-blind policy: the newest arrival is dropped.
+//! * **DCRD-unbounded** — no queue bound at all: nothing is shed, but
+//!   queueing delay grows without limit under the burst, so deliveries
+//!   slide past their deadlines instead.
+//!
+//! The scenario is deliberately adversarial everywhere else too: topic
+//! popularity is Zipf-skewed with a mega-topic almost every broker
+//! subscribes to, and the topology is geo-tiered — two regional meshes
+//! joined by a single gateway bridge, so the flash crowd converges on
+//! exactly the brokers that can least afford it.
+//!
+//! The invariant auditor runs over every arm. The least-slack arm and
+//! the unbounded control must come back clean; the tail-drop arm is
+//! *expected* to accumulate `UnjustifiedShed` violations under overload
+//! — the auditor catching the slack-blind policy red-handed is the
+//! ablation's result, not a test failure.
+//!
+//! Links are clean (`Pf = Pl = 0`): overload is the *only* disturbance,
+//! and the gap between the arms isolates the shedding policy. Upstream
+//! reroute is disabled in all three arms — a saturated gateway looks
+//! exactly like a dead one to the reroute heuristic, and the resulting
+//! ping-pong is a known pre-existing finding (see the chaos tests and
+//! the fuzz-harness module docs), not an overload effect.
+
+use dcrd_core::DcrdConfig;
+use dcrd_metrics::report::{FigureSeries, SeriesPoint};
+use dcrd_metrics::AggregateMetrics;
+use dcrd_pubsub::runtime::ShedPolicy;
+use dcrd_pubsub::workload::BurstConfig;
+use dcrd_sim::SimDuration;
+
+use crate::runner::{run_labeled, StrategyKind};
+use crate::scenario::{Quality, Scenario, ScenarioBuilder};
+
+/// Flash-crowd publish-rate multipliers swept (1 = nominal load; the
+/// acceptance gate lives at 4×).
+pub const BURST_MULTIPLIER_SWEEP: [u32; 4] = [1, 2, 3, 4];
+
+/// Per-broker service queue bound used by both bounded arms.
+pub const QUEUE_LIMIT: usize = 6;
+
+/// Per-packet broker service time.
+pub const SERVICE_TIME_MS: u64 = 60;
+
+/// The hostile study: one degradation series over burst intensity plus
+/// the per-arm auditor verdicts and shed tally.
+#[derive(Debug, Clone)]
+pub struct HostileReport {
+    /// `flash-crowd`: delivery per burst multiplier, three arms per point.
+    pub series: FigureSeries,
+    /// Violations in the least-slack arm (must be zero: delay-cognizant
+    /// shedding only ever drops doomed traffic).
+    pub least_slack_violations: u64,
+    /// Violations in the tail-drop arm. *Expected* nonzero under
+    /// overload: slack-blind shedding drops satisfiable packets while
+    /// doomed ones hold seats, which the auditor indicts as
+    /// `UnjustifiedShed` — that indictment is the ablation's result.
+    pub tail_drop_violations: u64,
+    /// Violations in the unbounded control (must be zero: nothing is
+    /// shed, so there is nothing to justify).
+    pub unbounded_violations: u64,
+    /// Packets shed summed over every bounded run of the study.
+    pub total_sheds: u64,
+}
+
+/// The shared adversarial base: geo-tiered overlay, Zipf workload with a
+/// mega-topic, clean links, flash crowd at `multiplier`, auditor on.
+#[must_use]
+pub fn hostile_scenario(quality: Quality, multiplier: u32) -> ScenarioBuilder {
+    let duration = quality.duration();
+    let mut b = ScenarioBuilder::new()
+        .geo_tiered(2, 6)
+        .failure_probability(0.0)
+        .loss_rate(0.0)
+        .topics(6)
+        .zipf_popularity(1.2, 0.9)
+        .service_time(SimDuration::from_millis(SERVICE_TIME_MS))
+        .quality(quality)
+        .audit(true);
+    if multiplier > 1 {
+        b = b.flash_crowd(BurstConfig {
+            at: duration / 4,
+            len: duration / 2,
+            multiplier,
+        });
+    }
+    b
+}
+
+/// The router used by every arm: the paper's defaults minus upstream
+/// reroute (see the module docs for why overload and reroute don't mix).
+#[must_use]
+pub fn hostile_config() -> DcrdConfig {
+    DcrdConfig {
+        reroute_upstream: false,
+        ..DcrdConfig::default()
+    }
+}
+
+/// Runs the three contenders on identical repetitions of one intensity.
+fn contenders(quality: Quality, multiplier: u32) -> Vec<AggregateMetrics> {
+    let arm = |b: ScenarioBuilder| Scenario {
+        dcrd: hostile_config(),
+        ..b.build()
+    };
+    let least_slack =
+        arm(hostile_scenario(quality, multiplier)
+            .bounded_queues(QUEUE_LIMIT, ShedPolicy::LeastSlack));
+    let tail_drop = arm(
+        hostile_scenario(quality, multiplier).bounded_queues(QUEUE_LIMIT, ShedPolicy::TailDrop)
+    );
+    let unbounded = arm(hostile_scenario(quality, multiplier));
+    vec![
+        run_labeled(&least_slack, StrategyKind::Dcrd, "DCRD-least-slack"),
+        run_labeled(&tail_drop, StrategyKind::Dcrd, "DCRD-tail-drop"),
+        run_labeled(&unbounded, StrategyKind::Dcrd, "DCRD-unbounded"),
+    ]
+}
+
+/// Delivery degradation vs flash-crowd intensity.
+#[must_use]
+pub fn flash_crowd(quality: Quality) -> FigureSeries {
+    let mut series = FigureSeries::new("flash-crowd", "Flash-Crowd Rate Multiplier");
+    for multiplier in BURST_MULTIPLIER_SWEEP {
+        series.points.push(SeriesPoint {
+            x: f64::from(multiplier),
+            strategies: contenders(quality, multiplier),
+        });
+    }
+    series
+}
+
+/// Runs the sweep and pools the per-arm auditor verdicts and shed tally.
+#[must_use]
+pub fn hostile_report(quality: Quality) -> HostileReport {
+    let series = flash_crowd(quality);
+    let arm_violations = |name: &str| -> u64 {
+        series
+            .points
+            .iter()
+            .flat_map(|p| &p.strategies)
+            .filter(|s| s.name() == name)
+            .map(AggregateMetrics::audit_violations)
+            .sum()
+    };
+    let least_slack_violations = arm_violations("DCRD-least-slack");
+    let tail_drop_violations = arm_violations("DCRD-tail-drop");
+    let unbounded_violations = arm_violations("DCRD-unbounded");
+    let total_sheds = series
+        .points
+        .iter()
+        .flat_map(|p| &p.strategies)
+        .map(AggregateMetrics::sheds)
+        .sum();
+    HostileReport {
+        series,
+        least_slack_violations,
+        tail_drop_violations,
+        unbounded_violations,
+        total_sheds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The full-sweep acceptance test (clean audit, sheds at 4×, in-slack
+    // delivery ≥ 0.99 for the least-slack arm, digest-identical reruns)
+    // lives in `tests/hostile.rs` so CI can run it by name in release
+    // mode.
+
+    #[test]
+    fn sweep_spans_nominal_to_the_acceptance_multiplier() {
+        assert_eq!(BURST_MULTIPLIER_SWEEP[0], 1);
+        assert!(BURST_MULTIPLIER_SWEEP.contains(&4));
+    }
+
+    #[test]
+    fn hostile_scenario_is_adversarial_but_clean_linked() {
+        let s = hostile_scenario(Quality::Smoke, 4).build();
+        assert_eq!(s.nodes, 12);
+        assert_eq!(s.pf, 0.0);
+        assert_eq!(s.pl, 0.0);
+        assert!(s.service_time.is_some());
+        assert!(s.audit);
+        let burst = s.burst.expect("4x scenario carries a flash crowd");
+        assert_eq!(burst.multiplier, 4);
+        // Nominal load carries no burst, so the 1x point is a true baseline.
+        assert!(hostile_scenario(Quality::Smoke, 1).build().burst.is_none());
+    }
+
+    #[test]
+    fn hostile_config_only_disables_reroute() {
+        let hostile = hostile_config();
+        let paper = DcrdConfig::default();
+        assert!(!hostile.reroute_upstream);
+        assert!(paper.reroute_upstream);
+        assert_eq!(hostile.ordering, paper.ordering);
+        assert_eq!(hostile.max_attempts_per_node, paper.max_attempts_per_node);
+    }
+}

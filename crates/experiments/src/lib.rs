@@ -19,6 +19,10 @@
 //! * [`churn`] — the churn study: broker joins, graceful leaves and
 //!   permanent deaths mid-run, comparing incremental membership repair
 //!   against the global-rebuild oracle and a no-repair control.
+//! * [`hostile`] — the hostile study: flash crowds on a Zipf-skewed,
+//!   geo-tiered overlay with bounded broker queues, comparing
+//!   delay-cognizant least-slack shedding against tail-drop and an
+//!   unbounded control.
 //!
 //! The `dcrd-experiments` binary exposes all of it on the command line:
 //!
@@ -33,12 +37,14 @@
 pub mod chaos;
 pub mod churn;
 pub mod figures;
+pub mod hostile;
 pub mod recovery;
 pub mod runner;
 pub mod scenario;
 
 pub use chaos::{chaos_report, ChaosReport};
 pub use churn::{churn_report, ChurnReport};
+pub use hostile::{hostile_report, HostileReport};
 pub use recovery::{recovery_report, RecoveryReport};
-pub use runner::{run_comparison, run_scenario, StrategyKind};
+pub use runner::{run_comparison, run_scenario, run_traced, StrategyKind};
 pub use scenario::{Quality, Scenario, ScenarioBuilder, TopologyKind};

@@ -18,14 +18,14 @@ use dcrd_net::failure::{
 };
 use dcrd_net::loss::LossModel;
 use dcrd_net::membership::{BrokerChurnModel, ChurnEvent};
-use dcrd_net::topology::{full_mesh, random_connected, DelayRange};
+use dcrd_net::topology::{full_mesh, geo_tiered, random_connected, DelayRange};
 use dcrd_net::Topology;
 use dcrd_pubsub::runtime::{OverlayRuntime, RuntimeConfig};
 use dcrd_pubsub::strategy::{RoutingStrategy, RunParams};
 use dcrd_pubsub::workload::{Workload, WorkloadConfig};
 use dcrd_pubsub::AuditConfig;
 use dcrd_sim::rng::{derive_seed_indexed, rng_for_indexed};
-use dcrd_sim::SimTime;
+use dcrd_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 use crate::scenario::{Scenario, TopologyKind};
@@ -94,6 +94,24 @@ pub fn build_topology(scenario: &Scenario, rep: u32) -> Topology {
         TopologyKind::RandomDegree(d) => {
             random_connected(scenario.nodes, d, DelayRange::PAPER, &mut rng)
         }
+        TopologyKind::GeoTiered {
+            regions,
+            per_region,
+        } => geo_tiered(
+            regions,
+            per_region,
+            // Fast intra-region links, slow inter-region gateways: a
+            // bimodal delay distribution bracketing the paper's range.
+            DelayRange {
+                min: SimDuration::from_millis(2),
+                max: SimDuration::from_millis(8),
+            },
+            DelayRange {
+                min: SimDuration::from_millis(60),
+                max: SimDuration::from_millis(120),
+            },
+            &mut rng,
+        ),
     }
 }
 
@@ -107,6 +125,8 @@ pub fn build_workload(scenario: &Scenario, topo: &Topology, rep: u32) -> Workloa
         ps_range: (0.2, 0.6),
         deadline_factor: scenario.deadline_factor,
         churn: scenario.churn,
+        popularity: scenario.popularity,
+        burst: scenario.burst,
     };
     Workload::generate(topo, &config, &mut rng)
 }
@@ -197,6 +217,23 @@ pub fn confine_to_churn(workload: &Workload, churn: &BrokerChurnModel) -> Worklo
 /// Runs one `(scenario, strategy, repetition)` triple.
 #[must_use]
 pub fn run_once(scenario: &Scenario, kind: StrategyKind, rep: u32) -> RunMetrics {
+    run_with(scenario, kind, rep, false).0
+}
+
+/// Like [`run_once`] but with trace capture on, returning the run's
+/// FNV-1a trace digest alongside the metrics. Determinism gates rerun a
+/// triple and require the digests byte-identical.
+#[must_use]
+pub fn run_traced(scenario: &Scenario, kind: StrategyKind, rep: u32) -> (RunMetrics, u64) {
+    run_with(scenario, kind, rep, true)
+}
+
+fn run_with(
+    scenario: &Scenario,
+    kind: StrategyKind,
+    rep: u32,
+    capture_trace: bool,
+) -> (RunMetrics, u64) {
     let topo = build_topology(scenario, rep);
     let workload = build_workload(scenario, &topo, rep);
     let broker_churn = build_broker_churn(scenario, &workload, rep);
@@ -231,6 +268,9 @@ pub fn run_once(scenario: &Scenario, kind: StrategyKind, rep: u32) -> RunMetrics
         seed: derive_seed_indexed(scenario.seed, "runtime", u64::from(rep)),
         monitoring: scenario.monitoring,
         ack_transit: scenario.ack_transit,
+        processing_time: scenario.service_time,
+        queue_limit: scenario.queue_limit,
+        shed_policy: scenario.shed_policy,
         audit: scenario.audit.then(|| {
             let cfg = AuditConfig::for_overlay(scenario.nodes, 64);
             if scenario.audit_sequences {
@@ -239,12 +279,14 @@ pub fn run_once(scenario: &Scenario, kind: StrategyKind, rep: u32) -> RunMetrics
                 cfg
             }
         }),
+        capture_trace,
         ..RuntimeConfig::paper(scenario.duration, 0)
     };
     let runtime = OverlayRuntime::new(&topo, &workload, failure, loss, config);
     let mut strategy = kind.instantiate(&scenario.dcrd);
     let log = runtime.run(strategy.as_mut());
-    RunMetrics::from_log(&log)
+    let digest = log.trace.as_ref().map_or(0, |t| t.digest());
+    (RunMetrics::from_log(&log), digest)
 }
 
 /// Runs all repetitions of one strategy and pools them.

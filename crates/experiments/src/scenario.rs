@@ -1,8 +1,8 @@
 //! Declarative experiment scenarios with the paper's defaults (§IV-A).
 
 use dcrd_core::DcrdConfig;
-use dcrd_pubsub::runtime::{AckTransit, Monitoring};
-use dcrd_pubsub::workload::ChurnConfig;
+use dcrd_pubsub::runtime::{AckTransit, Monitoring, ShedPolicy};
+use dcrd_pubsub::workload::{BurstConfig, ChurnConfig, TopicPopularity};
 use dcrd_sim::SimDuration;
 use serde::{Deserialize, Serialize};
 
@@ -14,6 +14,17 @@ pub enum TopologyKind {
     /// Connected random overlay with the given target node degree
     /// (Figs. 3–8).
     RandomDegree(usize),
+    /// Geo-tiered overlay (adversarial extension): `regions` regional
+    /// meshes of `per_region` brokers each with fast intra-region links,
+    /// joined by a slow inter-region gateway mesh — a bimodal link-delay
+    /// distribution that stresses delay-cognizant routing.
+    GeoTiered {
+        /// Number of regions (≥ 2).
+        regions: usize,
+        /// Brokers per region (≥ 2). Total nodes = `regions × per_region`;
+        /// the scenario's `nodes` field is ignored for this kind.
+        per_region: usize,
+    },
 }
 
 /// How much simulated time / how many repetitions to spend — trades
@@ -143,6 +154,25 @@ pub struct Scenario {
     /// Chaos: broker membership churn (extension; `None` disables).
     #[serde(default)]
     pub broker_churn: Option<BrokerChurnSpec>,
+    /// Topic popularity skew (adversarial extension; default: the paper's
+    /// uniform draw).
+    #[serde(default)]
+    pub popularity: TopicPopularity,
+    /// Flash-crowd publish burst (adversarial extension; `None` keeps the
+    /// constant rate).
+    #[serde(default)]
+    pub burst: Option<BurstConfig>,
+    /// Per-packet broker service time (overload extension; `None` keeps
+    /// the paper's zero-cost processing model).
+    #[serde(default)]
+    pub service_time: Option<SimDuration>,
+    /// Bounded per-broker service queue (overload extension; `None` keeps
+    /// queues unbounded). Requires `service_time`.
+    #[serde(default)]
+    pub queue_limit: Option<usize>,
+    /// Overload shedding policy when `queue_limit` is set.
+    #[serde(default)]
+    pub shed_policy: ShedPolicy,
     /// Run the online invariant auditor during every run and attach its
     /// report to the metrics.
     #[serde(default)]
@@ -230,6 +260,11 @@ impl ScenarioBuilder {
                 crashes: None,
                 gray: None,
                 broker_churn: None,
+                popularity: TopicPopularity::Uniform,
+                burst: None,
+                service_time: None,
+                queue_limit: None,
+                shed_policy: ShedPolicy::LeastSlack,
                 audit: false,
                 audit_sequences: false,
                 pl: 1e-4,
@@ -325,6 +360,51 @@ impl ScenarioBuilder {
     #[must_use]
     pub fn broker_churn(mut self, spec: BrokerChurnSpec) -> Self {
         self.scenario.broker_churn = Some(spec);
+        self
+    }
+
+    /// Uses a geo-tiered overlay: `regions` regional meshes of
+    /// `per_region` brokers joined through a slow gateway mesh
+    /// (adversarial extension).
+    #[must_use]
+    pub fn geo_tiered(mut self, regions: usize, per_region: usize) -> Self {
+        self.scenario.topology = TopologyKind::GeoTiered {
+            regions,
+            per_region,
+        };
+        self.scenario.nodes = regions * per_region;
+        self
+    }
+
+    /// Skews topic popularity with a Zipf law and a rank-0 mega-topic
+    /// (adversarial extension).
+    #[must_use]
+    pub fn zipf_popularity(mut self, exponent: f64, mega_ps: f64) -> Self {
+        self.scenario.popularity = TopicPopularity::Zipf { exponent, mega_ps };
+        self
+    }
+
+    /// Schedules a flash-crowd publish burst (adversarial extension).
+    #[must_use]
+    pub fn flash_crowd(mut self, burst: BurstConfig) -> Self {
+        self.scenario.burst = Some(burst);
+        self
+    }
+
+    /// Gives every broker a per-packet service time (overload extension).
+    #[must_use]
+    pub fn service_time(mut self, service: SimDuration) -> Self {
+        self.scenario.service_time = Some(service);
+        self
+    }
+
+    /// Bounds each broker's service queue at `limit` waiting packets,
+    /// shedding by `policy` on overflow (overload extension; requires
+    /// [`service_time`](Self::service_time)).
+    #[must_use]
+    pub fn bounded_queues(mut self, limit: usize, policy: ShedPolicy) -> Self {
+        self.scenario.queue_limit = Some(limit);
+        self.scenario.shed_policy = policy;
         self
     }
 
@@ -449,9 +529,53 @@ impl ScenarioBuilder {
                 s.nodes
             );
         }
+        if let TopologyKind::GeoTiered {
+            regions,
+            per_region,
+        } = s.topology
+        {
+            assert!(regions >= 2, "geo-tiered needs at least 2 regions");
+            assert!(
+                per_region >= 2,
+                "geo-tiered needs at least 2 brokers per region"
+            );
+            assert_eq!(
+                s.nodes,
+                regions * per_region,
+                "geo-tiered node count must equal regions × per_region"
+            );
+        }
         assert!(s.num_topics > 0, "need at least one topic");
         assert!(s.repetitions > 0, "need at least one repetition");
         assert!(s.m >= 1, "m must be at least 1");
+        if let TopicPopularity::Zipf { exponent, mega_ps } = s.popularity {
+            assert!(exponent > 0.0, "zipf exponent {exponent} must be positive");
+            assert!(
+                mega_ps > 0.0 && mega_ps <= 1.0,
+                "mega-topic Ps {mega_ps} must be in (0, 1]"
+            );
+        }
+        if let Some(b) = s.burst {
+            assert!(b.multiplier >= 1, "burst multiplier must be at least 1");
+            assert!(
+                b.len > SimDuration::ZERO,
+                "burst window must have positive length"
+            );
+            assert!(
+                b.at + b.len <= s.duration,
+                "burst window must end within the run"
+            );
+        }
+        if let Some(limit) = s.queue_limit {
+            assert!(limit >= 1, "queue limit must be at least 1");
+            assert!(
+                s.service_time.is_some(),
+                "a bounded queue requires a service time"
+            );
+        }
+        if let Some(service) = s.service_time {
+            assert!(service > SimDuration::ZERO, "service time must be positive");
+        }
         if let Some(p) = s.partition {
             assert!(
                 p.fraction > 0.0 && p.fraction < 1.0,
@@ -605,6 +729,78 @@ mod tests {
         let _ = ScenarioBuilder::new()
             .broker_churn(BrokerChurnSpec { rate: 0.2 })
             .duration_secs(3)
+            .build();
+    }
+
+    #[test]
+    fn adversarial_builders_set_knobs() {
+        let s = ScenarioBuilder::new()
+            .geo_tiered(3, 5)
+            .zipf_popularity(1.2, 0.9)
+            .flash_crowd(BurstConfig {
+                at: SimDuration::from_secs(10),
+                len: SimDuration::from_secs(5),
+                multiplier: 4,
+            })
+            .service_time(SimDuration::from_millis(2))
+            .bounded_queues(32, ShedPolicy::LeastSlack)
+            .build();
+        assert_eq!(
+            s.topology,
+            TopologyKind::GeoTiered {
+                regions: 3,
+                per_region: 5
+            }
+        );
+        assert_eq!(s.nodes, 15, "geo_tiered derives the node count");
+        assert_eq!(
+            s.popularity,
+            TopicPopularity::Zipf {
+                exponent: 1.2,
+                mega_ps: 0.9
+            }
+        );
+        assert_eq!(s.burst.unwrap().multiplier, 4);
+        assert_eq!(s.service_time, Some(SimDuration::from_millis(2)));
+        assert_eq!(s.queue_limit, Some(32));
+        assert_eq!(s.shed_policy, ShedPolicy::LeastSlack);
+
+        let plain = ScenarioBuilder::new().build();
+        assert_eq!(plain.popularity, TopicPopularity::Uniform);
+        assert!(plain.burst.is_none());
+        assert!(plain.service_time.is_none() && plain.queue_limit.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "regions × per_region")]
+    fn rejects_geo_tiered_node_count_mismatch() {
+        let _ = ScenarioBuilder::new().geo_tiered(3, 5).nodes(20).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "zipf exponent")]
+    fn rejects_non_positive_zipf_exponent() {
+        let _ = ScenarioBuilder::new().zipf_popularity(0.0, 0.5).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "must end within the run")]
+    fn rejects_burst_overrunning_the_horizon() {
+        let _ = ScenarioBuilder::new()
+            .duration_secs(10)
+            .flash_crowd(BurstConfig {
+                at: SimDuration::from_secs(8),
+                len: SimDuration::from_secs(5),
+                multiplier: 2,
+            })
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a service time")]
+    fn rejects_bounded_queue_without_service_time() {
+        let _ = ScenarioBuilder::new()
+            .bounded_queues(8, ShedPolicy::TailDrop)
             .build();
     }
 

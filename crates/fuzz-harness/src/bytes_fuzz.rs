@@ -1,0 +1,311 @@
+//! Arbitrary-byte fuzzing of the wire codec.
+//!
+//! Four input families keep the generator honest:
+//!
+//! 1. pure random bytes (exercises the magic/version rejections),
+//! 2. valid encodings of random packets (exercises the full Ok path),
+//! 3. valid encodings with random byte mutations — flips, truncations,
+//!    extensions, and deliberate length-prefix stomps (exercises every
+//!    validation branch), and
+//! 4. a valid fixed header followed by random tail bytes (gets past the
+//!    header so the length-prefixed readers see hostile counts).
+//!
+//! The oracle asserts three properties on every input:
+//!
+//! * **no panic** — any failure is a typed [`DecodePacketError`];
+//! * **canonical round-trip** — when decoding succeeds, re-encoding the
+//!   decoded packet reproduces the input byte-for-byte (the format has no
+//!   redundancy, so any divergence is a parser bug);
+//! * **no over-allocation** — every decoded collection is small enough
+//!   that the input bytes could actually have carried it, so a hostile
+//!   length prefix can never have sized an allocation.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use dcrd_net::NodeId;
+use dcrd_pubsub::codec::{decode_packet, encode_packet, DecodePacketError};
+use dcrd_pubsub::packet::{Packet, PacketBody, PacketId, PacketKind};
+use dcrd_pubsub::TopicId;
+use dcrd_sim::rng::rng_for_indexed;
+use dcrd_sim::SimTime;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::fmt;
+
+/// Tally of one byte-fuzz run. Every input lands in exactly one bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ByteFuzzReport {
+    /// Inputs fed to the decoder.
+    pub iterations: u64,
+    /// Inputs that decoded successfully (and passed the round-trip and
+    /// allocation oracles).
+    pub decoded_ok: u64,
+    /// Inputs rejected as truncated.
+    pub truncated: u64,
+    /// Inputs rejected on the magic byte.
+    pub bad_magic: u64,
+    /// Inputs rejected on the version byte.
+    pub bad_version: u64,
+    /// Inputs rejected on the packet-kind discriminant.
+    pub bad_kind: u64,
+    /// Inputs rejected for trailing bytes.
+    pub trailing: u64,
+    /// Inputs rejected on a non-canonical route-presence flag.
+    pub bad_route_flag: u64,
+}
+
+impl ByteFuzzReport {
+    /// Whether the generator reached every decoder outcome at least once —
+    /// a fuzz run that never decodes successfully (or never trips a given
+    /// rejection) is not exercising the surface it claims to.
+    #[must_use]
+    pub fn covered_all_outcomes(&self) -> bool {
+        self.decoded_ok > 0
+            && self.truncated > 0
+            && self.bad_magic > 0
+            && self.bad_version > 0
+            && self.bad_kind > 0
+            && self.trailing > 0
+    }
+}
+
+impl fmt::Display for ByteFuzzReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} inputs: {} ok, {} truncated, {} bad-magic, {} bad-version, {} bad-kind, {} trailing, {} bad-route-flag",
+            self.iterations,
+            self.decoded_ok,
+            self.truncated,
+            self.bad_magic,
+            self.bad_version,
+            self.bad_kind,
+            self.trailing,
+            self.bad_route_flag
+        )
+    }
+}
+
+/// Generates a random (valid, in-memory) packet covering data and NACK
+/// kinds, optional routes and payloads.
+#[must_use]
+pub fn random_packet(rng: &mut SmallRng) -> Packet {
+    let node = |rng: &mut SmallRng| NodeId::new(rng.gen_range(0..64u32));
+    let nodes = |rng: &mut SmallRng, max: usize| -> Vec<NodeId> {
+        let n = rng.gen_range(0..=max);
+        (0..n).map(|_| node(rng)).collect()
+    };
+    let kind = if rng.gen_bool(0.3) {
+        let n = rng.gen_range(0..8usize);
+        PacketKind::Nack {
+            subscriber: node(rng),
+            missing: (0..n).map(|_| rng.gen_range(0..1000u64)).collect(),
+        }
+    } else {
+        PacketKind::Data
+    };
+    let payload_len = rng.gen_range(0..48usize);
+    let payload: Vec<u8> = (0..payload_len).map(|_| rng.gen()).collect();
+    Packet::from_body(
+        PacketBody::new(
+            PacketId::new(rng.gen()),
+            TopicId::new(rng.gen_range(0..32u32)),
+            node(rng),
+            SimTime::from_micros(rng.gen_range(0..u64::MAX / 2)),
+            rng.gen_range(0..10_000),
+            Bytes::from(payload),
+        ),
+        kind,
+        nodes(rng, 8),
+        nodes(rng, 12).into(),
+        rng.gen_bool(0.4).then(|| nodes(rng, 8)),
+        rng.gen(),
+    )
+}
+
+/// Generates one fuzz input from the four families.
+#[must_use]
+pub fn arbitrary_input(rng: &mut SmallRng) -> Vec<u8> {
+    match rng.gen_range(0..10u32) {
+        // Pure noise (30%).
+        0..=2 => {
+            let len = rng.gen_range(0..256usize);
+            (0..len).map(|_| rng.gen()).collect()
+        }
+        // Valid encoding, untouched (20%).
+        3 | 4 => encode_packet(&random_packet(rng)).to_vec(),
+        // Valid fixed header + random tail (20%): reaches the
+        // length-prefixed readers with hostile counts.
+        5 | 6 => {
+            let mut b = BytesMut::new();
+            b.put_u8(0xDC);
+            b.put_u8(2);
+            let tail = rng.gen_range(0..96usize);
+            for _ in 0..tail {
+                b.put_u8(rng.gen());
+            }
+            b.to_vec()
+        }
+        // Mutated valid encoding (30%).
+        _ => {
+            let mut bytes = encode_packet(&random_packet(rng)).to_vec();
+            match rng.gen_range(0..4u32) {
+                // Byte flips.
+                0 => {
+                    for _ in 0..rng.gen_range(1..=8u32) {
+                        if bytes.is_empty() {
+                            break;
+                        }
+                        let i = rng.gen_range(0..bytes.len());
+                        bytes[i] ^= 1 << rng.gen_range(0..8u32);
+                    }
+                }
+                // Truncation.
+                1 => {
+                    let keep = rng.gen_range(0..=bytes.len());
+                    bytes.truncate(keep);
+                }
+                // Extension with garbage.
+                2 => {
+                    for _ in 0..rng.gen_range(1..32usize) {
+                        bytes.push(rng.gen());
+                    }
+                }
+                // Length-prefix stomp: overwrite a random aligned window
+                // with 0xFF — the classic attacker-controlled-count shape.
+                _ => {
+                    if bytes.len() > 4 {
+                        let width = if rng.gen_bool(0.5) { 2 } else { 4 };
+                        let i = rng.gen_range(0..bytes.len() - width);
+                        for b in &mut bytes[i..i + width] {
+                            *b = 0xFF;
+                        }
+                    }
+                }
+            }
+            bytes
+        }
+    }
+}
+
+/// Decodes one input and checks the oracles. Panics (with a description of
+/// the breach) on any violated invariant; the caller adds seed context.
+fn check_one(data: &[u8], report: &mut ByteFuzzReport) {
+    match decode_packet(data) {
+        Ok(packet) => {
+            report.decoded_ok += 1;
+            // No-over-allocation oracle: each decoded element consumed its
+            // wire width from the input, so element counts are bounded by
+            // the input length. A hostile length prefix that sized any of
+            // these collections would break the bound.
+            let wire_elems = 4 * (packet.destinations.len() + packet.path.len())
+                + packet.route.as_ref().map_or(0, |r| 4 * r.len())
+                + packet.payload.len();
+            assert!(
+                wire_elems <= data.len(),
+                "decoded collections claim {wire_elems} content bytes from a {}-byte input",
+                data.len()
+            );
+            if let PacketKind::Nack { missing, .. } = &packet.kind {
+                assert!(
+                    8 * missing.len() <= data.len(),
+                    "NACK decoded {} sequence entries from a {}-byte input",
+                    missing.len(),
+                    data.len()
+                );
+            }
+            // Canonical round-trip oracle.
+            let reencoded = encode_packet(&packet);
+            assert!(
+                reencoded.as_ref() == data,
+                "decode→encode diverged from the input on a {}-byte datagram",
+                data.len()
+            );
+        }
+        Err(DecodePacketError::Truncated { .. }) => report.truncated += 1,
+        Err(DecodePacketError::BadMagic(_)) => report.bad_magic += 1,
+        Err(DecodePacketError::BadVersion(_)) => report.bad_version += 1,
+        Err(DecodePacketError::BadKind(_)) => report.bad_kind += 1,
+        Err(DecodePacketError::TrailingBytes(_)) => report.trailing += 1,
+        Err(DecodePacketError::BadRouteFlag(_)) => report.bad_route_flag += 1,
+    }
+}
+
+/// Checks the decode oracles on one externally supplied input — the
+/// `cargo fuzz` entry point (`fuzz/fuzz_targets/decode_bytes.rs`). The
+/// in-tree runner generates its own inputs; this lets a coverage-guided
+/// engine supply them instead.
+pub fn check_decode(data: &[u8]) {
+    let mut report = ByteFuzzReport::default();
+    check_one(data, &mut report);
+}
+
+/// Feeds `iterations` generated inputs through the decoder.
+///
+/// # Panics
+///
+/// Panics on the first violated oracle, naming the `(seed, index)` pair
+/// that regenerates the offending input.
+#[must_use]
+pub fn run_byte_fuzz(seed: u64, iterations: u64) -> ByteFuzzReport {
+    let mut report = ByteFuzzReport::default();
+    for i in 0..iterations {
+        let mut rng = rng_for_indexed(seed, "byte-fuzz", i);
+        let input = arbitrary_input(&mut rng);
+        let before = report;
+        let guard = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut r = before;
+            check_one(&input, &mut r);
+            r
+        }));
+        match guard {
+            Ok(r) => report = r,
+            Err(cause) => {
+                let msg = cause
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| cause.downcast_ref::<&str>().copied())
+                    .unwrap_or("non-string panic");
+                panic!("byte-fuzz failure at seed={seed} index={i}: {msg}");
+            }
+        }
+        report.iterations += 1;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The acceptance gate: ≥ 100k arbitrary inputs with zero panics and
+    /// zero oracle breaches, reproducible from the printed seed.
+    #[test]
+    fn decoder_survives_100k_arbitrary_inputs() {
+        let seed = 1;
+        let report = run_byte_fuzz(seed, 100_000);
+        println!("byte-fuzz seed={seed}: {report}");
+        assert_eq!(report.iterations, 100_000);
+        assert!(
+            report.covered_all_outcomes(),
+            "generator missed a decoder outcome: {report}"
+        );
+    }
+
+    #[test]
+    fn byte_fuzz_is_deterministic() {
+        assert_eq!(run_byte_fuzz(7, 2_000), run_byte_fuzz(7, 2_000));
+        assert_ne!(run_byte_fuzz(7, 2_000), run_byte_fuzz(8, 2_000));
+    }
+
+    #[test]
+    fn valid_family_decodes_and_noise_family_rejects() {
+        // Family 3/4 inputs always decode; this pins the generator's
+        // families to their intent so a refactor can't silently turn the
+        // fuzzer into a rejection-only exerciser.
+        let mut rng = dcrd_sim::rng::rng_for(3, "pin");
+        let packet = random_packet(&mut rng);
+        let mut report = ByteFuzzReport::default();
+        check_one(&encode_packet(&packet), &mut report);
+        assert_eq!(report.decoded_ok, 1);
+    }
+}

@@ -1,0 +1,381 @@
+//! Seeded event-script fuzzing of the full router/runtime stack.
+//!
+//! A *script* here is an arbitrary-but-valid scenario: a random topology,
+//! workload (possibly Zipf-skewed, possibly with a flash-crowd burst,
+//! possibly with subscriber churn), link loss and failure epochs, chaos
+//! (crash-restarts, gray links, broker membership churn) and broker
+//! overload (bounded service queues with either shed policy). Running it
+//! end-to-end through [`OverlayRuntime`] exercises every event kind the
+//! router reacts to — publishes, arrivals, hop-by-hop ACKs and their
+//! timeouts, NACK recovery sweeps, duplicate and stale copies raced
+//! through lossy links, and membership deltas — in adversarial
+//! combinations no hand-written scenario enumerates.
+//!
+//! The oracle per script:
+//!
+//! * **no panic** anywhere in the stack;
+//! * **clean audit**: the full invariant auditor (loop bounds,
+//!   transmission budgets, duplicate deliveries, ACK discipline, churn
+//!   gates, shed justification) reports zero violations;
+//! * **deterministic**: a sampled subset of scripts is re-run and must
+//!   reproduce its trace digest byte-for-byte.
+//!
+//! Partitions are deliberately *outside* the generated envelope, and
+//! scripts with a sustained-unreachability mechanism — link-outage
+//! epochs, crash-restarts, or bounded queues that can shed every
+//! arrival — run with upstream reroute disabled: when a destination
+//! stays unreachable (trivially so when an outage severs the geo-tiered
+//! two-region bridge, or a one-slot queue sheds everything), the
+//! reroute ping-pong can exceed the auditor's edge budget with the
+//! paper's config (a known, pre-existing finding — see the repo's chaos
+//! tests), and a fuzzer that trips a known issue on every third script
+//! finds nothing new. Loss-only scripts keep upstream reroute on, so
+//! both sides of that switch stay covered across the corpus.
+
+use dcrd_core::{DcrdConfig, DcrdStrategy};
+use dcrd_experiments::runner::{
+    build_broker_churn, build_chaos, build_topology, build_workload, confine_to_churn,
+};
+use dcrd_experiments::scenario::{BrokerChurnSpec, CrashSpec, GraySpec, Scenario, ScenarioBuilder};
+use dcrd_net::failure::{FailureModel, LinkFailureModel, LinkOutageModel};
+use dcrd_net::loss::LossModel;
+use dcrd_pubsub::runtime::{OverlayRuntime, RuntimeConfig, ShedPolicy};
+use dcrd_pubsub::workload::BurstConfig;
+use dcrd_pubsub::{AckTransit, AuditConfig};
+use dcrd_sim::rng::{derive_seed_indexed, rng_for_indexed};
+use dcrd_sim::SimDuration;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::fmt;
+
+/// Tally of one script-fuzz run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScriptFuzzReport {
+    /// Scripts generated and run.
+    pub scripts: u64,
+    /// Messages published across all scripts.
+    pub messages: u64,
+    /// Data transmissions across all scripts.
+    pub sends: u64,
+    /// Packets shed by bounded queues across all scripts.
+    pub sheds: u64,
+    /// Scripts that were re-run for the digest-equality check.
+    pub digest_checks: u64,
+    /// Scripts that exercised chaos (crashes, gray links or broker churn).
+    pub chaotic_scripts: u64,
+}
+
+impl fmt::Display for ScriptFuzzReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} scripts ({} chaotic): {} messages, {} sends, {} sheds, {} digest re-runs",
+            self.scripts,
+            self.chaotic_scripts,
+            self.messages,
+            self.sends,
+            self.sheds,
+            self.digest_checks
+        )
+    }
+}
+
+/// One generated script: the scenario plus the matching router config.
+#[derive(Debug, Clone)]
+pub struct Script {
+    /// The generated scenario (topology, workload, chaos, overload knobs).
+    pub scenario: Scenario,
+    /// The router configuration paired with the scenario's hostility.
+    pub dcrd: DcrdConfig,
+    /// Whether any chaos dimension is active.
+    pub chaotic: bool,
+}
+
+/// Generates the script at `(seed, index)`. Same pair, same script.
+#[must_use]
+pub fn generate_script(seed: u64, index: u64) -> Script {
+    let mut rng: SmallRng = rng_for_indexed(seed, "script-gen", index);
+    let duration_secs = rng.gen_range(6..=10u64);
+    // Roughly half the corpus is loss-only (pf = 0); the other half
+    // carries link-outage epochs. See the module docs for why the two
+    // halves get different reroute settings.
+    let pf = if rng.gen_bool(0.4) {
+        0.0
+    } else {
+        rng.gen_range(0.005..0.06)
+    };
+    let mut b = ScenarioBuilder::new()
+        .seed(derive_seed_indexed(seed, "script-seed", index))
+        .duration_secs(duration_secs)
+        .repetitions(1)
+        .topics(rng.gen_range(1..=3))
+        .deadline_factor(rng.gen_range(2.0..5.0))
+        .loss_rate(rng.gen_range(0.0..0.05))
+        .failure_probability(pf)
+        .transmissions(rng.gen_range(1..=2));
+
+    // Topology family.
+    b = match rng.gen_range(0..3u32) {
+        0 => b.nodes(rng.gen_range(4..=10)).full_mesh(),
+        1 => {
+            let n = rng.gen_range(6..=10);
+            b.nodes(n).degree(3)
+        }
+        _ => b.geo_tiered(2, rng.gen_range(2..=4)),
+    };
+
+    // Adversarial workload extensions.
+    if rng.gen_bool(0.3) {
+        b = b.zipf_popularity(rng.gen_range(0.8..1.6), 0.9);
+    }
+    if rng.gen_bool(0.3) {
+        let at = duration_secs / 4;
+        b = b.flash_crowd(BurstConfig {
+            at: SimDuration::from_secs(at),
+            len: SimDuration::from_secs((duration_secs / 4).max(1)),
+            multiplier: rng.gen_range(2..=4),
+        });
+    }
+
+    // Broker overload.
+    let mut bounded = false;
+    if rng.gen_bool(0.3) {
+        bounded = true;
+        let policy = if rng.gen_bool(0.7) {
+            ShedPolicy::LeastSlack
+        } else {
+            ShedPolicy::TailDrop
+        };
+        b = b
+            .service_time(SimDuration::from_millis(rng.gen_range(1..=5)))
+            .bounded_queues(rng.gen_range(1..=6), policy);
+    }
+
+    // ACK transit model.
+    if rng.gen_bool(0.3) {
+        b = b.ack_transit(AckTransit::RoundTrip).ack_timeout_factor(2.5);
+    }
+
+    // Chaos envelope (no partitions — see module docs).
+    let mut chaotic = false;
+    let mut churny = false;
+    let mut crashy = false;
+    if rng.gen_bool(0.2) {
+        b = b.crashes(CrashSpec {
+            rate: rng.gen_range(0.005..0.04),
+            mean_down_epochs: rng.gen_range(1.0..3.0),
+        });
+        chaotic = true;
+        crashy = true;
+    }
+    if rng.gen_bool(0.2) {
+        b = b.gray_links(GraySpec {
+            fraction: rng.gen_range(0.1..0.3),
+            extra_loss: rng.gen_range(0.1..0.4),
+            delay_factor: rng.gen_range(1.5..3.0),
+        });
+        chaotic = true;
+    }
+    if rng.gen_bool(0.15) {
+        b = b.broker_churn(BrokerChurnSpec {
+            rate: rng.gen_range(0.1..0.4),
+        });
+        chaotic = true;
+        churny = true;
+    }
+    let scenario = b.audit(true).build();
+
+    // Pair the router hardening with the script's hostility, exactly as an
+    // operator would: churn needs the churn-survivable config, other chaos
+    // the chaos-hardened one, and calm runs the paper's defaults.
+    let mut dcrd = if churny {
+        DcrdConfig::churn_hardened()
+    } else if chaotic {
+        DcrdConfig::chaos_hardened()
+    } else {
+        DcrdConfig::default()
+    };
+    // Sustained unreachability of any flavor reproduces the known
+    // reroute ping-pong (see module docs); run such scripts without
+    // upstream reroute so the auditor gate stays meaningful for
+    // everything else.
+    if crashy || pf > 0.0 || bounded {
+        dcrd.reroute_upstream = false;
+    }
+    Script {
+        scenario,
+        dcrd,
+        chaotic,
+    }
+}
+
+/// The outcome of one script run, reduced to what the oracles compare.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScriptOutcome {
+    /// Trace digest (FNV-1a over the full event stream).
+    pub digest: u64,
+    /// Audit violations found (must be zero).
+    pub violations: u64,
+    /// Messages published.
+    pub messages: u64,
+    /// Data sends attempted.
+    pub sends: u64,
+    /// Packets shed by bounded queues.
+    pub sheds: u64,
+    /// Human-readable rendering of the first violations, for diagnostics.
+    pub violation_details: Vec<String>,
+}
+
+/// Runs one script end-to-end with the full auditor and trace capture.
+#[must_use]
+pub fn run_script(script: &Script) -> ScriptOutcome {
+    let scenario = &script.scenario;
+    let rep = 0;
+    let topo = build_topology(scenario, rep);
+    let workload = build_workload(scenario, &topo, rep);
+    let broker_churn = build_broker_churn(scenario, &workload, rep);
+    let workload = match &broker_churn {
+        Some(churn) => confine_to_churn(&workload, churn),
+        None => workload,
+    };
+    let link_seed = derive_seed_indexed(scenario.seed, "failures", u64::from(rep));
+    let links = LinkOutageModel::Epoch(LinkFailureModel::new(scenario.pf, link_seed));
+    let mut chaos = build_chaos(scenario, rep);
+    if let Some(churn) = broker_churn {
+        chaos = chaos.with_churn(churn);
+    }
+    let failure = FailureModel::new(links, None).with_chaos(chaos);
+    let loss = LossModel::new(scenario.pl);
+    let config = RuntimeConfig {
+        duration: scenario.duration,
+        seed: derive_seed_indexed(scenario.seed, "runtime", u64::from(rep)),
+        ack_transit: scenario.ack_transit,
+        processing_time: scenario.service_time,
+        queue_limit: scenario.queue_limit,
+        shed_policy: scenario.shed_policy,
+        capture_trace: true,
+        audit: Some(AuditConfig::for_overlay(scenario.nodes, 64)),
+        params: dcrd_pubsub::strategy::RunParams {
+            m: scenario.m,
+            ack_timeout_factor: scenario.ack_timeout_factor,
+            ..Default::default()
+        },
+        ..RuntimeConfig::paper(scenario.duration, 0)
+    };
+    let runtime = OverlayRuntime::new(&topo, &workload, failure, loss, config);
+    let mut strategy = DcrdStrategy::new(script.dcrd);
+    let log = runtime.run(&mut strategy);
+    let audit = log.audit.as_ref().expect("auditor was configured");
+    ScriptOutcome {
+        digest: log.trace.as_ref().map_or(0, |t| t.digest()),
+        violations: audit.total_violations,
+        messages: log.messages_published,
+        sends: log.data_sends,
+        sheds: log.sheds,
+        violation_details: audit
+            .violations
+            .iter()
+            .take(4)
+            .map(ToString::to_string)
+            .collect(),
+    }
+}
+
+/// Generates and runs the single script at `(seed, index)`, panicking on
+/// any audit violation — the `cargo fuzz` entry point
+/// (`fuzz/fuzz_targets/event_scripts.rs`), which derives the pair from
+/// the engine-supplied bytes.
+pub fn check_script(seed: u64, index: u64) -> ScriptOutcome {
+    let script = generate_script(seed, index);
+    let outcome = run_script(&script);
+    assert!(
+        outcome.violations == 0,
+        "script audit failure at seed={seed} index={index}: \
+         {} violation(s): {:?}\nscenario: {:?}",
+        outcome.violations,
+        outcome.violation_details,
+        script.scenario
+    );
+    outcome
+}
+
+/// Runs `scripts` generated scripts; every `digest_every`-th script is run
+/// twice and must reproduce its digest.
+///
+/// # Panics
+///
+/// Panics on the first audit violation or digest divergence, naming the
+/// `(seed, index)` pair that regenerates the offending script.
+#[must_use]
+pub fn run_script_fuzz(seed: u64, scripts: u64) -> ScriptFuzzReport {
+    let mut report = ScriptFuzzReport::default();
+    for i in 0..scripts {
+        let script = generate_script(seed, i);
+        let outcome = run_script(&script);
+        assert!(
+            outcome.violations == 0,
+            "script-fuzz audit failure at seed={seed} index={i}: \
+             {} violation(s): {:?}\nscenario: {:?}",
+            outcome.violations,
+            outcome.violation_details,
+            script.scenario
+        );
+        if i % 16 == 0 {
+            let again = run_script(&script);
+            assert!(
+                again == outcome,
+                "script-fuzz determinism failure at seed={seed} index={i}: \
+                 digest {:#018x} != {:#018x}",
+                outcome.digest,
+                again.digest
+            );
+            report.digest_checks += 1;
+        }
+        report.scripts += 1;
+        report.messages += outcome.messages;
+        report.sends += outcome.sends;
+        report.sheds += outcome.sheds;
+        report.chaotic_scripts += u64::from(script.chaotic);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The acceptance gate: ≥ 1k generated scripts with zero panics, zero
+    /// audit violations, and digest-identical sampled re-runs.
+    #[test]
+    fn router_survives_1k_event_scripts_under_the_auditor() {
+        let seed = 1;
+        let report = run_script_fuzz(seed, 1_000);
+        println!("script-fuzz seed={seed}: {report}");
+        assert_eq!(report.scripts, 1_000);
+        assert!(report.messages > 1_000, "scripts too quiet: {report}");
+        assert!(report.sends > report.messages, "no forwarding: {report}");
+        assert!(report.digest_checks >= 62);
+        assert!(
+            report.chaotic_scripts > 100,
+            "chaos envelope under-sampled: {report}"
+        );
+        assert!(report.sheds > 0, "overload envelope never shed: {report}");
+    }
+
+    #[test]
+    fn script_generation_is_deterministic() {
+        let a = generate_script(5, 17);
+        let b = generate_script(5, 17);
+        assert_eq!(a.scenario, b.scenario);
+        let c = generate_script(5, 18);
+        assert_ne!(a.scenario, c.scenario);
+    }
+
+    #[test]
+    fn script_outcomes_reproduce_from_their_seed_pair() {
+        for index in [0u64, 3, 7] {
+            let script = generate_script(2, index);
+            assert_eq!(run_script(&script), run_script(&script), "index {index}");
+        }
+    }
+}

@@ -22,6 +22,12 @@ pub struct RunMetrics {
     delay_ms: Welford,
     #[serde(default)]
     audit_violations: u64,
+    #[serde(default)]
+    sheds: u64,
+    #[serde(default)]
+    doomed_sheds: u64,
+    #[serde(default)]
+    in_slack: Ratio,
 }
 
 impl RunMetrics {
@@ -33,8 +39,15 @@ impl RunMetrics {
         let mut gave_up = 0;
         let mut lateness = Histogram::new(LATENESS_LO, LATENESS_HI, LATENESS_BUCKETS);
         let mut delay_ms = Welford::new();
+        let mut in_slack = Ratio::new();
         for (_, exp) in log.expectations() {
             delivered.record(exp.delivered.is_some());
+            // Pairs a broker shed after their requirement was already
+            // unsatisfiable leave the in-slack denominator; shedding a
+            // pair that still had slack counts as lost delivery.
+            if !(exp.shed_doomed && exp.delivered.is_none()) {
+                in_slack.record(exp.delivered.is_some());
+            }
             let hit = exp.on_time();
             on_time.record(hit);
             if exp.gave_up {
@@ -58,6 +71,9 @@ impl RunMetrics {
             lateness,
             delay_ms,
             audit_violations: log.audit.as_ref().map_or(0, |a| a.total_violations),
+            sheds: log.sheds,
+            doomed_sheds: log.doomed_sheds,
+            in_slack,
         }
     }
 
@@ -120,6 +136,27 @@ impl RunMetrics {
     pub fn lateness(&self) -> &Histogram {
         &self.lateness
     }
+
+    /// Packets shed by bounded service queues (0 with unbounded queues).
+    #[must_use]
+    pub fn sheds(&self) -> u64 {
+        self.sheds
+    }
+
+    /// Sheds that targeted already-doomed packets (past their slack).
+    #[must_use]
+    pub fn doomed_sheds(&self) -> u64 {
+        self.doomed_sheds
+    }
+
+    /// Delivery ratio over the pairs that still had slack: pairs shed
+    /// only after their requirement was unsatisfiable are excluded from
+    /// the denominator. Equals [`delivery_ratio`](Self::delivery_ratio)
+    /// when nothing was shed.
+    #[must_use]
+    pub fn in_slack_delivery_ratio(&self) -> f64 {
+        self.in_slack.value()
+    }
 }
 
 /// Metrics pooled over repetitions (the paper averages 10 topologies per
@@ -140,6 +177,12 @@ pub struct AggregateMetrics {
     traffic_spread: Welford,
     #[serde(default)]
     audit_violations: u64,
+    #[serde(default)]
+    sheds: u64,
+    #[serde(default)]
+    doomed_sheds: u64,
+    #[serde(default)]
+    in_slack: Ratio,
 }
 
 impl AggregateMetrics {
@@ -159,6 +202,9 @@ impl AggregateMetrics {
             qos_spread: Welford::new(),
             traffic_spread: Welford::new(),
             audit_violations: 0,
+            sheds: 0,
+            doomed_sheds: 0,
+            in_slack: Ratio::new(),
         }
     }
 
@@ -170,6 +216,9 @@ impl AggregateMetrics {
         self.data_sends += run.data_sends;
         self.gave_up += run.gave_up;
         self.audit_violations += run.audit_violations;
+        self.sheds += run.sheds;
+        self.doomed_sheds += run.doomed_sheds;
+        self.in_slack.merge(&run.in_slack);
         self.lateness.merge(&run.lateness);
         self.delay_ms.merge(&run.delay_ms);
         self.delivery_spread.push(run.delivery_ratio());
@@ -250,6 +299,25 @@ impl AggregateMetrics {
     #[must_use]
     pub fn audit_violations(&self) -> u64 {
         self.audit_violations
+    }
+
+    /// Total packets shed by bounded service queues across all runs.
+    #[must_use]
+    pub fn sheds(&self) -> u64 {
+        self.sheds
+    }
+
+    /// Total doomed-packet sheds across all runs.
+    #[must_use]
+    pub fn doomed_sheds(&self) -> u64 {
+        self.doomed_sheds
+    }
+
+    /// Pooled delivery ratio over pairs that still had slack (doomed
+    /// sheds excluded from the denominator).
+    #[must_use]
+    pub fn in_slack_delivery_ratio(&self) -> f64 {
+        self.in_slack.value()
     }
 }
 
@@ -335,6 +403,7 @@ mod tests {
                 topo.node(1),
                 SimDuration::from_millis(30),
             )],
+            burst: None,
         }]);
         let failure = FailureModel::links_only(LinkFailureModel::new(0.0, 1));
         let rt = OverlayRuntime::new(

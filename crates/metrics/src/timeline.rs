@@ -166,6 +166,7 @@ mod tests {
                 topo.node(1),
                 SimDuration::from_millis(50),
             )],
+            burst: None,
         }]);
         let failure = FailureModel::links_only(LinkFailureModel::new(pf, 13));
         let config = RuntimeConfig::paper(SimDuration::from_secs(secs), 2);

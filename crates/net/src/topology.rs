@@ -189,6 +189,59 @@ pub fn line(n: usize, delay: SimDuration) -> Topology {
     b.build()
 }
 
+/// Generates a geo-tiered overlay: `regions` regional full meshes of
+/// `per_region` brokers each with fast `intra` delays, joined through a
+/// full mesh of per-region gateways (node 0 of each region) with slow
+/// `inter` delays. The resulting link-delay distribution is bimodal —
+/// most links are fast, but every cross-region path pays at least one
+/// slow hop — which is exactly the regime where delay-cognizant routing
+/// and deadline pricing diverge from hop-count routing.
+///
+/// Node indexing: region `r` owns the contiguous block
+/// `[r × per_region, (r + 1) × per_region)`; the region's gateway is the
+/// first node of the block.
+///
+/// # Panics
+///
+/// Panics if `regions < 2` or `per_region < 2`.
+#[must_use]
+pub fn geo_tiered<R: Rng + ?Sized>(
+    regions: usize,
+    per_region: usize,
+    intra: DelayRange,
+    inter: DelayRange,
+    rng: &mut R,
+) -> Topology {
+    assert!(regions >= 2, "geo-tiered needs at least 2 regions");
+    assert!(
+        per_region >= 2,
+        "geo-tiered needs at least 2 brokers per region"
+    );
+    let n = regions * per_region;
+    let mut b = TopologyBuilder::new(n);
+    let nodes = b.nodes();
+    for r in 0..regions {
+        let base = r * per_region;
+        for i in 0..per_region {
+            for j in (i + 1)..per_region {
+                b.link(nodes[base + i], nodes[base + j], intra.sample(rng));
+            }
+        }
+    }
+    for r in 0..regions {
+        for s in (r + 1)..regions {
+            b.link(
+                nodes[r * per_region],
+                nodes[s * per_region],
+                inter.sample(rng),
+            );
+        }
+    }
+    let topo = b.build();
+    debug_assert!(topo.is_connected());
+    topo
+}
+
 /// Generates a star: node 0 is the hub, linked to every other node with
 /// fixed `delay`.
 ///
@@ -301,6 +354,72 @@ mod tests {
         assert_eq!(s.degree(s.node(0)), 4);
         assert_eq!(s.degree(s.node(3)), 1);
         assert!(s.is_connected());
+    }
+
+    #[test]
+    fn geo_tiered_shape_and_bimodal_delays() {
+        let mut rng = rng_for(4, "geo");
+        let intra = DelayRange {
+            min: SimDuration::from_millis(2),
+            max: SimDuration::from_millis(8),
+        };
+        let inter = DelayRange {
+            min: SimDuration::from_millis(60),
+            max: SimDuration::from_millis(120),
+        };
+        let regions = 4;
+        let per = 5;
+        let t = geo_tiered(regions, per, intra, inter, &mut rng);
+        assert_eq!(t.num_nodes(), regions * per);
+        assert!(t.is_connected());
+        // 4 regional meshes of C(5,2) links plus a C(4,2) gateway mesh.
+        let intra_edges = regions * per * (per - 1) / 2;
+        let inter_edges = regions * (regions - 1) / 2;
+        assert_eq!(t.num_edges(), intra_edges + inter_edges);
+        // Delays are bimodal: every link is either fast-intra or slow-inter,
+        // with nothing in the gap between the two modes.
+        let mut fast = 0usize;
+        let mut slow = 0usize;
+        for e in t.edge_ids() {
+            let d = t.delay(e);
+            if d <= intra.max {
+                assert!(d >= intra.min);
+                fast += 1;
+            } else {
+                assert!(d >= inter.min, "link delay {d} falls between modes");
+                assert!(d <= inter.max);
+                slow += 1;
+            }
+        }
+        assert_eq!(fast, intra_edges);
+        assert_eq!(slow, inter_edges);
+        // Gateways (first node of each block) carry the inter-region links:
+        // degree per-region mesh (per-1) plus gateway mesh (regions-1).
+        for r in 0..regions {
+            let gw = t.node(r * per);
+            assert_eq!(t.degree(gw), (per - 1) + (regions - 1));
+        }
+        // Non-gateway brokers only see their own region.
+        assert_eq!(t.degree(t.node(1)), per - 1);
+    }
+
+    #[test]
+    fn geo_tiered_is_deterministic_per_seed() {
+        let intra = DelayRange::fixed(SimDuration::from_millis(5));
+        let inter = DelayRange {
+            min: SimDuration::from_millis(60),
+            max: SimDuration::from_millis(120),
+        };
+        let a = geo_tiered(3, 4, intra, inter, &mut rng_for(9, "geo"));
+        let b = geo_tiered(3, 4, intra, inter, &mut rng_for(9, "geo"));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 regions")]
+    fn geo_tiered_rejects_single_region() {
+        let mut rng = rng_for(0, "geo");
+        let _ = geo_tiered(1, 4, DelayRange::PAPER, DelayRange::PAPER, &mut rng);
     }
 
     #[test]

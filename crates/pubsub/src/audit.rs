@@ -42,6 +42,7 @@
 //! [`Trace`]: crate::trace::Trace
 
 use std::collections::BTreeMap;
+use std::fmt;
 
 use dcrd_net::NodeId;
 use serde::{Deserialize, Serialize};
@@ -100,7 +101,12 @@ impl Default for AuditConfig {
 }
 
 /// One invariant violation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Variants order by severity class in declaration order (the derived
+/// `Ord`): traffic bounds first, delivery correctness next, churn and
+/// overload gates last. Reports keep detection order; sorting a violation
+/// list groups it by kind and is stable across runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Violation {
     /// A message crossed one directed link beyond the loop bound.
     LoopBound {
@@ -165,6 +171,87 @@ pub enum Violation {
         /// The absent broker that supposedly transmitted.
         node: NodeId,
     },
+    /// An overloaded broker shed a packet whose delay requirement was still
+    /// satisfiable (some destination could still have been reached within
+    /// its deadline) while a packet that was already doomed stayed in the
+    /// queue. Flagged by the runtime's overload gate: the delay-cognizant
+    /// least-slack policy never produces one; a naive tail-drop policy
+    /// under overload does.
+    UnjustifiedShed {
+        /// The message that was shed.
+        packet: PacketId,
+        /// The overloaded broker that shed it.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Violation::LoopBound {
+                packet,
+                from,
+                to,
+                uses,
+            } => write!(
+                f,
+                "loop bound: packet {} crossed link {}->{} {} times",
+                packet.raw(),
+                from.index(),
+                to.index(),
+                uses
+            ),
+            Violation::TransmissionBudget { packet, sends } => write!(
+                f,
+                "transmission budget: packet {} sent {} times",
+                packet.raw(),
+                sends
+            ),
+            Violation::DuplicateDelivery { packet, node } => write!(
+                f,
+                "duplicate delivery: packet {} delivered again at node {}",
+                packet.raw(),
+                node.index()
+            ),
+            Violation::AckWithoutArrival { packet, from, to } => write!(
+                f,
+                "ack without arrival: packet {} acked {}->{}",
+                packet.raw(),
+                from.index(),
+                to.index()
+            ),
+            Violation::SequenceGap {
+                packet,
+                subscriber,
+                seq,
+            } => write!(
+                f,
+                "sequence gap: packet {} (seq {}) never delivered to node {}",
+                packet.raw(),
+                seq,
+                subscriber.index()
+            ),
+            Violation::DeliveryToDeparted { packet, node } => write!(
+                f,
+                "delivery to departed: packet {} delivered on departed node {}",
+                packet.raw(),
+                node.index()
+            ),
+            Violation::RouteThroughDead { packet, node } => write!(
+                f,
+                "route through dead: packet {} transmitted by absent node {}",
+                packet.raw(),
+                node.index()
+            ),
+            Violation::UnjustifiedShed { packet, node } => write!(
+                f,
+                "unjustified shed: node {} shed still-satisfiable packet {} \
+                 while keeping doomed traffic",
+                node.index(),
+                packet.raw()
+            ),
+        }
+    }
 }
 
 /// How many violations are kept verbatim; beyond this only the count grows.
@@ -184,6 +271,12 @@ pub struct AuditReport {
     /// violation.
     #[serde(default)]
     pub replay_suppressions: u64,
+    /// Packets shed by overloaded brokers under the bounded service queue.
+    /// Informational: a shed is only a violation when it abandons a
+    /// still-satisfiable packet over a doomed one
+    /// ([`Violation::UnjustifiedShed`]).
+    #[serde(default)]
+    pub sheds_observed: u64,
 }
 
 impl AuditReport {
@@ -309,6 +402,9 @@ impl InvariantAuditor {
             TraceEvent::Suppress { .. } => {
                 self.report.replay_suppressions += 1;
             }
+            TraceEvent::Shed { .. } => {
+                self.report.sheds_observed += 1;
+            }
             TraceEvent::GiveUp { .. } => {}
         }
     }
@@ -375,6 +471,108 @@ mod tests {
             max_sends_per_packet: 4,
             sequence_check: false,
         }
+    }
+
+    /// One violation of every variant, in declaration (severity-class)
+    /// order.
+    fn one_of_each() -> Vec<Violation> {
+        let p = PacketId::new(7);
+        let n = NodeId::new(3);
+        vec![
+            Violation::LoopBound {
+                packet: p,
+                from: NodeId::new(1),
+                to: NodeId::new(2),
+                uses: 9,
+            },
+            Violation::TransmissionBudget {
+                packet: p,
+                sends: 99,
+            },
+            Violation::DuplicateDelivery { packet: p, node: n },
+            Violation::AckWithoutArrival {
+                packet: p,
+                from: NodeId::new(1),
+                to: NodeId::new(2),
+            },
+            Violation::SequenceGap {
+                packet: p,
+                subscriber: n,
+                seq: 4,
+            },
+            Violation::DeliveryToDeparted { packet: p, node: n },
+            Violation::RouteThroughDead { packet: p, node: n },
+            Violation::UnjustifiedShed { packet: p, node: n },
+        ]
+    }
+
+    #[test]
+    fn violation_display_names_the_kind_and_the_actors() {
+        let expected_kind = [
+            "loop bound",
+            "transmission budget",
+            "duplicate delivery",
+            "ack without arrival",
+            "sequence gap",
+            "delivery to departed",
+            "route through dead",
+            "unjustified shed",
+        ];
+        let all = one_of_each();
+        assert_eq!(all.len(), expected_kind.len());
+        for (v, kind) in all.iter().zip(expected_kind) {
+            let s = v.to_string();
+            assert!(s.starts_with(kind), "{s:?} should start with {kind:?}");
+            // Every message names the offending packet; per-variant detail
+            // fields (counts, link endpoints, sequence numbers) surface too.
+            assert!(s.contains('7'), "{s:?} should name packet 7");
+        }
+        let loop_bound = all[0].to_string();
+        assert!(loop_bound.contains("1->2") && loop_bound.contains("9 times"));
+        assert!(all[1].to_string().contains("99"));
+        assert!(all[4].to_string().contains("seq 4"));
+    }
+
+    #[test]
+    fn violation_ordering_follows_severity_class_declaration_order() {
+        let canonical = one_of_each();
+        // Sorting a reversed list restores declaration order: the derived
+        // `Ord` groups by kind, so reports sort stably across runs.
+        let mut shuffled: Vec<Violation> = canonical.iter().rev().copied().collect();
+        shuffled.sort();
+        assert_eq!(shuffled, canonical);
+        // Idempotent: already-sorted input is a fixed point.
+        let mut again = shuffled.clone();
+        again.sort();
+        assert_eq!(again, shuffled);
+        // Within one kind, fields order the instances deterministically.
+        let a = Violation::UnjustifiedShed {
+            packet: PacketId::new(1),
+            node: NodeId::new(0),
+        };
+        let b = Violation::UnjustifiedShed {
+            packet: PacketId::new(2),
+            node: NodeId::new(0),
+        };
+        assert!(a < b);
+        assert!(
+            canonical[0] < a,
+            "traffic bounds sort before overload gates"
+        );
+    }
+
+    #[test]
+    fn sheds_are_counted_but_not_violations() {
+        let mut a = InvariantAuditor::new(tight());
+        a.observe(&send(0, 1, 7, TxOutcome::Arrived));
+        a.observe(&TraceEvent::Shed {
+            at: SimTime::ZERO,
+            node: NodeId::new(1),
+            packet: PacketId::new(7),
+        });
+        let report = a.finish();
+        assert_eq!(report.sheds_observed, 1);
+        assert!(report.is_clean());
     }
 
     #[test]

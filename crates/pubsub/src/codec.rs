@@ -18,6 +18,24 @@
 //! Decoding validates the header and every length, so a truncated or
 //! corrupted datagram produces a typed [`DecodePacketError`] instead of a
 //! garbage packet.
+//!
+//! ## Hostile-input discipline
+//!
+//! Every length prefix on the wire is attacker-controlled, so the decoder
+//! never trusts one when sizing an allocation. Each length-prefixed read
+//! follows the same two-step pattern:
+//!
+//! 1. validate the advertised element count against the bytes actually
+//!    remaining ([`need`], with `saturating_mul` so a hostile count cannot
+//!    overflow the byte math), then
+//! 2. clamp the capacity hint to `count.min(remaining / elem_size)` anyway,
+//!    so even if a future edit dropped the guard the allocation could never
+//!    exceed the datagram length.
+//!
+//! A 10-byte datagram claiming `2^32` nodes therefore yields
+//! `Truncated`, not a multi-gigabyte `Vec`. The analyzer rule `SAFE003`
+//! enforces the clamp lexically: any `with_capacity`/`reserve` in a codec
+//! file whose argument is not visibly clamped with `.min(..)` is flagged.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use dcrd_net::NodeId;
@@ -46,6 +64,11 @@ pub enum DecodePacketError {
     TrailingBytes(usize),
     /// Unknown packet-kind discriminant.
     BadKind(u8),
+    /// Route-presence flag other than 0 or 1. Rejected rather than
+    /// interpreted so that every accepted datagram re-encodes to exactly
+    /// the bytes it arrived as (canonical form — found by the byte
+    /// fuzzer's round-trip oracle).
+    BadRouteFlag(u8),
 }
 
 impl fmt::Display for DecodePacketError {
@@ -58,25 +81,44 @@ impl fmt::Display for DecodePacketError {
             DecodePacketError::BadVersion(v) => write!(f, "unsupported packet version {v}"),
             DecodePacketError::TrailingBytes(n) => write!(f, "{n} trailing bytes after packet"),
             DecodePacketError::BadKind(k) => write!(f, "unknown packet kind {k}"),
+            DecodePacketError::BadRouteFlag(b) => write!(f, "bad route-presence flag {b}"),
         }
     }
 }
 
 impl std::error::Error for DecodePacketError {}
 
+/// Largest sensible single-allocation hint while encoding. The buffer still
+/// grows to fit genuinely large packets; the clamp only stops a corrupted
+/// in-memory length from turning the *hint* into a giant eager allocation.
+const MAX_ENCODE_HINT: usize = 1 << 20;
+
 /// Encodes `packet` into a fresh buffer.
+///
+/// # Panics
+///
+/// Panics (debug builds) if a list field exceeds the wire format's `u16`
+/// count range; release builds would otherwise silently truncate the count.
 #[must_use]
 pub fn encode_packet(packet: &Packet) -> Bytes {
+    debug_assert!(packet.destinations.len() <= u16::MAX as usize);
+    debug_assert!(packet.path.len() <= u16::MAX as usize);
+    if let PacketKind::Nack { missing, .. } = &packet.kind {
+        debug_assert!(missing.len() <= u16::MAX as usize);
+    }
+    if let Some(route) = &packet.route {
+        debug_assert!(route.len() <= u16::MAX as usize);
+    }
     let kind_len = match &packet.kind {
         PacketKind::Data => 0,
         PacketKind::Nack { missing, .. } => 6 + 8 * missing.len(),
     };
-    let mut buf = BytesMut::with_capacity(
-        49 + kind_len
-            + 4 * (packet.destinations.len() + packet.path.len())
-            + packet.route.as_ref().map_or(0, |r| 2 + 4 * r.len())
-            + packet.payload.len(),
-    );
+    let hint = 49
+        + kind_len
+        + 4 * (packet.destinations.len() + packet.path.len())
+        + packet.route.as_ref().map_or(0, |r| 2 + 4 * r.len())
+        + packet.payload.len();
+    let mut buf = BytesMut::with_capacity(hint.min(MAX_ENCODE_HINT));
     buf.put_u8(MAGIC);
     buf.put_u8(VERSION);
     buf.put_u64_le(packet.id.raw());
@@ -132,9 +174,28 @@ fn need(buf: &impl Buf, n: usize) -> Result<(), DecodePacketError> {
     }
 }
 
+/// Reads a length-prefixed node list whose advertised `count` came off the
+/// wire. The count is validated against the remaining bytes *before* any
+/// allocation, and the capacity hint is additionally clamped by the buffer
+/// length so the guard and the clamp are each independently sufficient.
 fn read_nodes(buf: &mut impl Buf, count: usize) -> Result<Vec<NodeId>, DecodePacketError> {
-    need(buf, 4 * count)?;
-    Ok((0..count).map(|_| NodeId::new(buf.get_u32_le())).collect())
+    need(buf, count.saturating_mul(4))?;
+    let mut nodes = Vec::with_capacity(count.min(buf.remaining() / 4));
+    for _ in 0..count {
+        nodes.push(NodeId::new(buf.get_u32_le()));
+    }
+    Ok(nodes)
+}
+
+/// Reads a length-prefixed `u64` list (NACK missing-sequence numbers) under
+/// the same validate-then-clamp discipline as [`read_nodes`].
+fn read_seqs(buf: &mut impl Buf, count: usize) -> Result<Vec<u64>, DecodePacketError> {
+    need(buf, count.saturating_mul(8))?;
+    let mut seqs = Vec::with_capacity(count.min(buf.remaining() / 8));
+    for _ in 0..count {
+        seqs.push(buf.get_u64_le());
+    }
+    Ok(seqs)
 }
 
 /// Decodes one packet from `data`, requiring the buffer to contain exactly
@@ -168,8 +229,7 @@ pub fn decode_packet(data: &[u8]) -> Result<Packet, DecodePacketError> {
             need(&buf, 4 + 2)?;
             let subscriber = NodeId::new(buf.get_u32_le());
             let count = buf.get_u16_le() as usize;
-            need(&buf, 8 * count)?;
-            let missing = (0..count).map(|_| buf.get_u64_le()).collect();
+            let missing = read_seqs(&mut buf, count)?;
             PacketKind::Nack {
                 subscriber,
                 missing,
@@ -186,6 +246,7 @@ pub fn decode_packet(data: &[u8]) -> Result<Packet, DecodePacketError> {
     need(&buf, 1)?;
     let route = match buf.get_u8() {
         0 => None,
+        b if b != 1 => return Err(DecodePacketError::BadRouteFlag(b)),
         _ => {
             need(&buf, 2)?;
             let len = buf.get_u16_le() as usize;
@@ -281,6 +342,20 @@ mod tests {
     }
 
     #[test]
+    fn non_canonical_route_flag_rejected() {
+        let bytes = encode_packet(&sample_packet()).to_vec();
+        // Data kind, 2 dests, 2 path hops: the route flag sits at
+        // 43 + (2 + 8) + (2 + 8) = 63.
+        assert_eq!(bytes[63], 1);
+        let mut bad = bytes;
+        bad[63] = 0xff;
+        assert_eq!(
+            decode_packet(&bad),
+            Err(DecodePacketError::BadRouteFlag(0xff))
+        );
+    }
+
+    #[test]
     fn bad_magic_rejected() {
         let mut bytes = encode_packet(&sample_packet()).to_vec();
         bytes[0] = 0xAB;
@@ -316,6 +391,74 @@ mod tests {
         assert_eq!(
             decode_packet(&bytes),
             Err(DecodePacketError::TrailingBytes(1))
+        );
+    }
+
+    /// The 42-byte fixed header (magic, version, id, topic, publisher,
+    /// published_at, tag, seq) shared by the hostile-length tests below.
+    fn fixed_header() -> BytesMut {
+        let mut b = BytesMut::new();
+        b.put_u8(MAGIC);
+        b.put_u8(VERSION);
+        b.put_u64_le(1); // id
+        b.put_u32_le(0); // topic
+        b.put_u32_le(0); // publisher
+        b.put_u64_le(0); // published_at
+        b.put_u64_le(0); // tag
+        b.put_u64_le(0); // seq
+        b
+    }
+
+    #[test]
+    fn tiny_buffer_claiming_max_nack_count_is_rejected() {
+        // A 49-byte datagram advertising 65535 missing-sequence entries
+        // (524 KiB of content) must fail with `Truncated`, not allocate.
+        let mut b = fixed_header();
+        b.put_u8(1); // kind = NACK
+        b.put_u32_le(3); // subscriber
+        b.put_u16_le(u16::MAX); // claimed missing count, no entries follow
+        assert_eq!(
+            decode_packet(&b),
+            Err(DecodePacketError::Truncated {
+                needed: 8 * u16::MAX as usize
+            })
+        );
+    }
+
+    #[test]
+    fn tiny_buffer_claiming_max_dest_count_is_rejected() {
+        let mut b = fixed_header();
+        b.put_u8(0); // kind = data
+        b.put_u16_le(u16::MAX); // claimed destination count
+        b.put_u32_le(7); // one lonely destination actually present
+        assert_eq!(
+            decode_packet(&b),
+            Err(DecodePacketError::Truncated {
+                needed: 4 * u16::MAX as usize - 4
+            })
+        );
+    }
+
+    #[test]
+    fn tiny_buffer_claiming_four_gigabyte_payload_is_rejected() {
+        // Overwrite a minimal packet's trailing payload length with
+        // u32::MAX: the decoder must report the missing ~4 GiB instead of
+        // eagerly allocating for it.
+        let p = Packet::new(
+            PacketId::new(0),
+            TopicId::new(0),
+            NodeId::new(0),
+            SimTime::ZERO,
+            vec![],
+        );
+        let mut bytes = encode_packet(&p).to_vec();
+        let n = bytes.len();
+        bytes[n - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            decode_packet(&bytes),
+            Err(DecodePacketError::Truncated {
+                needed: u32::MAX as usize
+            })
         );
     }
 

@@ -23,6 +23,7 @@ use dcrd_net::estimate::{analytic_estimates, EwmaMonitor, LinkEstimate, LinkEsti
 use dcrd_net::failure::FailureModel;
 use dcrd_net::loss::LossModel;
 use dcrd_net::membership::{BrokerChurnModel, GroundTruth, SwimConfig, SwimDetector};
+use dcrd_net::paths::{dijkstra, Metric, ShortestPaths};
 use dcrd_net::{NodeId, Topology};
 use dcrd_sim::rng::rng_for;
 use dcrd_sim::{EventQueue, SimDuration, SimTime};
@@ -66,6 +67,25 @@ pub enum AckTransit {
     RoundTrip,
 }
 
+/// How an overloaded broker picks the victim when its bounded service
+/// queue exceeds budget ([`RuntimeConfig::queue_limit`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShedPolicy {
+    /// Delay-cognizant shedding: drop the queued packet with the least
+    /// remaining delay slack — `deadline − (service + best-case remaining
+    /// transit)` maximized over its undelivered destinations — so traffic
+    /// that is already doomed absorbs the overload and still-satisfiable
+    /// packets keep their seats. This extends the paper's delay-cognizance
+    /// from path selection to queue management.
+    #[default]
+    LeastSlack,
+    /// Naive tail drop: the newest arrival is shed regardless of slack.
+    /// Kept as an ablation; under overload it sheds satisfiable packets
+    /// while doomed ones hold seats, which the auditor flags as
+    /// [`Violation::UnjustifiedShed`].
+    TailDrop,
+}
+
 /// Runtime configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RuntimeConfig {
@@ -98,6 +118,20 @@ pub struct RuntimeConfig {
     /// Run the online invariant auditor over the transmission stream and
     /// attach its [`AuditReport`] to the log. Off by default.
     pub audit: Option<AuditConfig>,
+    /// Bounded per-broker service queue: at most this many packets may wait
+    /// for service at one broker (the packet in service is not counted).
+    /// Requires [`processing_time`](RuntimeConfig::processing_time); when
+    /// the budget is exceeded a packet is shed per
+    /// [`shed_policy`](RuntimeConfig::shed_policy). `None` (default) keeps
+    /// the unbounded queue of the paper's congestion-free model.
+    ///
+    /// Note the hop-by-hop ACK fires at arrival, *before* queueing
+    /// (Algorithm 2 line 2), so a shed is silent to the upstream sender —
+    /// which is exactly why the default policy targets only traffic whose
+    /// delay requirement is already unsatisfiable.
+    pub queue_limit: Option<usize>,
+    /// Victim selection when the bounded queue overflows.
+    pub shed_policy: ShedPolicy,
 }
 
 impl RuntimeConfig {
@@ -117,6 +151,8 @@ impl RuntimeConfig {
             capture_trace: false,
             processing_time: None,
             audit: None,
+            queue_limit: None,
+            shed_policy: ShedPolicy::default(),
         }
     }
 }
@@ -132,6 +168,12 @@ pub struct Expectation {
     pub delivered: Option<SimTime>,
     /// Whether the strategy explicitly gave up on this pair.
     pub gave_up: bool,
+    /// Whether an overloaded broker shed a copy of this message at a point
+    /// where this pair's requirement was already unsatisfiable (even
+    /// immediate service plus best-case remaining transit would miss the
+    /// deadline). Such pairs are excluded from
+    /// [`DeliveryLog::in_slack_delivery_ratio`].
+    pub shed_doomed: bool,
 }
 
 impl Expectation {
@@ -189,6 +231,17 @@ pub struct DeliveryLog {
     pub runtime_errors: u64,
     /// The first [`MAX_RUNTIME_ERRORS`] runtime errors, in detection order.
     pub errors: Vec<RuntimeError>,
+    /// Packets shed by overloaded brokers (bounded service queues only).
+    pub sheds: u64,
+    /// Sheds per broker, indexed by node (empty unless
+    /// [`RuntimeConfig::queue_limit`] is set).
+    pub sheds_by_node: Vec<u64>,
+    /// Sheds whose every undelivered destination was already past help —
+    /// the traffic delay-cognizant shedding is *supposed* to drop.
+    pub doomed_sheds: u64,
+    /// Deepest any broker's bounded service queue got (post-shed, so never
+    /// above the configured budget). Zero without a queue limit.
+    pub max_queue_depth: usize,
     /// Whether the run hit the event cap and was truncated.
     pub truncated: bool,
     /// Total simulation events processed by the run loop (the macro
@@ -250,6 +303,33 @@ impl DeliveryLog {
         hit as f64 / self.expectations.len() as f64
     }
 
+    /// Fraction of *in-slack* pairs delivered: pairs whose requirement was
+    /// still satisfiable whenever overload shedding touched them. A pair a
+    /// broker shed while it was already doomed (deadline unreachable even
+    /// with immediate service and best-case transit) leaves the
+    /// denominator; shedding a pair that still had slack keeps it counted
+    /// and so shows up as lost delivery. Equals
+    /// [`delivery_ratio`](DeliveryLog::delivery_ratio) when nothing was
+    /// shed.
+    #[must_use]
+    pub fn in_slack_delivery_ratio(&self) -> f64 {
+        let mut pairs = 0usize;
+        let mut hit = 0usize;
+        for e in self.expectations.values() {
+            if e.shed_doomed && e.delivered.is_none() {
+                continue;
+            }
+            pairs += 1;
+            if e.delivered.is_some() {
+                hit += 1;
+            }
+        }
+        if pairs == 0 {
+            return 0.0;
+        }
+        hit as f64 / pairs as f64
+    }
+
     /// Data transmissions per `(message, subscriber)` pair — the paper's
     /// "Packets Sent / Subscribers".
     #[must_use]
@@ -259,6 +339,74 @@ impl DeliveryLog {
         }
         self.data_sends as f64 / self.expectations.len() as f64
     }
+}
+
+/// A queued packet's remaining delay slack at a broker, in microseconds:
+/// `deadline − (now + service + best-case remaining transit)`, maximized
+/// over its undelivered destinations. Positive means some destination can
+/// still be reached in time. Packets carrying no live expectation (control
+/// traffic such as NACKs) price at `i128::MAX` so they are shed only as a
+/// last resort — silently dropping recovery traffic costs more than the
+/// seat it frees.
+fn shed_slack(
+    log: &DeliveryLog,
+    sp: &ShortestPaths,
+    packet: &Packet,
+    now: SimTime,
+    service: SimDuration,
+) -> i128 {
+    let eta_base = now.as_micros() as i128 + service.as_micros() as i128;
+    let mut best: Option<i128> = None;
+    for &d in &packet.destinations {
+        let Some(exp) = log.expectations.get(&(packet.id, d)) else {
+            continue;
+        };
+        if exp.delivered.is_some() {
+            continue;
+        }
+        let deadline_at = exp.published.as_micros() as i128 + exp.deadline.as_micros() as i128;
+        let slack = match sp.cost_to(d) {
+            Some(cost) => deadline_at - eta_base - cost as i128,
+            // Unreachable destination: fully doomed for this pair.
+            None => i128::MIN / 2,
+        };
+        best = Some(best.map_or(slack, |b| b.max(slack)));
+    }
+    best.unwrap_or(i128::MAX)
+}
+
+/// Marks the shed packet's undelivered pairs that were already past help
+/// (deadline unreachable even with immediate service and best-case
+/// transit). Returns `(had_live_pairs, any_still_satisfiable)`.
+fn mark_shed_pairs(
+    log: &mut DeliveryLog,
+    sp: &ShortestPaths,
+    packet: &Packet,
+    now: SimTime,
+    service: SimDuration,
+) -> (bool, bool) {
+    let eta_base = now.as_micros() as i128 + service.as_micros() as i128;
+    let mut had_pairs = false;
+    let mut any_sat = false;
+    for &d in &packet.destinations {
+        let Some(exp) = log.expectations.get_mut(&(packet.id, d)) else {
+            continue;
+        };
+        if exp.delivered.is_some() {
+            continue;
+        }
+        had_pairs = true;
+        let deadline_at = exp.published.as_micros() as i128 + exp.deadline.as_micros() as i128;
+        let sat = sp
+            .cost_to(d)
+            .is_some_and(|cost| deadline_at >= eta_base + cost as i128);
+        if sat {
+            any_sat = true;
+        } else {
+            exp.shed_doomed = true;
+        }
+    }
+    (had_pairs, any_sat)
 }
 
 enum Event {
@@ -338,6 +486,7 @@ enum Event {
 ///     interval: SimDuration::from_secs(1),
 ///     offset: SimDuration::ZERO,
 ///     subscriptions: vec![Subscription::new(topo.node(1), SimDuration::from_millis(50))],
+///     burst: None,
 /// }]);
 /// let failure = FailureModel::links_only(LinkFailureModel::new(0.0, 1));
 /// let config = RuntimeConfig::paper(SimDuration::from_secs(5), 1);
@@ -479,6 +628,24 @@ impl<'a> OverlayRuntime<'a> {
         let mut staging: Vec<Action> = Vec::new();
         let mut node_free: Vec<SimTime> = vec![SimTime::ZERO; self.topology.num_nodes()];
 
+        // Overload mode (bounded service queues): per-broker FIFO of
+        // waiting packets, an in-service flag, and a lazy per-broker
+        // shortest-path cache that prices best-case remaining transit when
+        // computing shed slack. All Vec-indexed by node: deterministic.
+        let overload = match (self.config.processing_time, self.config.queue_limit) {
+            (Some(service), Some(limit)) => Some((service, limit)),
+            _ => None,
+        };
+        let mut pending: Vec<Vec<(NodeId, Box<Packet>)>> = Vec::new();
+        let mut in_service: Vec<bool> = Vec::new();
+        let mut sp_cache: Vec<Option<ShortestPaths>> = Vec::new();
+        if overload.is_some() {
+            pending.resize_with(self.topology.num_nodes(), Vec::new);
+            in_service.resize(self.topology.num_nodes(), false);
+            sp_cache.resize_with(self.topology.num_nodes(), || None);
+            log.sheds_by_node = vec![0; self.topology.num_nodes()];
+        }
+
         while let Some((now, event)) = queue.pop() {
             if now > hard_stop {
                 break;
@@ -504,6 +671,7 @@ impl<'a> OverlayRuntime<'a> {
                                 deadline: sub.deadline,
                                 delivered: None,
                                 gave_up: false,
+                                shed_doomed: false,
                             },
                         );
                     }
@@ -582,8 +750,8 @@ impl<'a> OverlayRuntime<'a> {
                             },
                         );
                     }
-                    match self.config.processing_time {
-                        None => {
+                    match (self.config.processing_time, overload) {
+                        (None, _) => {
                             strategy.on_packet(to, from, *packet, now, &mut out);
                             self.execute(
                                 &mut out,
@@ -596,7 +764,7 @@ impl<'a> OverlayRuntime<'a> {
                                 &mut staging,
                             );
                         }
-                        Some(service) => {
+                        (Some(service), None) => {
                             // Serial per-broker service: the packet waits
                             // for the broker to free up, then takes
                             // `service` before the routing logic runs.
@@ -612,6 +780,82 @@ impl<'a> OverlayRuntime<'a> {
                                 },
                             );
                         }
+                        (Some(_), Some((service, limit))) => {
+                            // Bounded queue: enqueue, shed the policy's
+                            // victim on overflow, start service if idle.
+                            let q = &mut pending[to.index()];
+                            q.push((from, packet));
+                            if q.len() > limit {
+                                let sp = sp_cache[to.index()].get_or_insert_with(|| {
+                                    dijkstra(self.topology, to, Metric::Delay)
+                                });
+                                let slacks: Vec<i128> = q
+                                    .iter()
+                                    .map(|(_, p)| shed_slack(&log, sp, p, now, service))
+                                    .collect();
+                                let victim = match self.config.shed_policy {
+                                    // Newest arrival, regardless of slack.
+                                    ShedPolicy::TailDrop => q.len() - 1,
+                                    // First index of minimum slack: ties
+                                    // break toward the oldest arrival.
+                                    ShedPolicy::LeastSlack => {
+                                        let mut best = 0;
+                                        for (i, s) in slacks.iter().enumerate() {
+                                            if *s < slacks[best] {
+                                                best = i;
+                                            }
+                                        }
+                                        best
+                                    }
+                                };
+                                let (_, shed) = q.remove(victim);
+                                let kept_doomed = slacks
+                                    .iter()
+                                    .enumerate()
+                                    .any(|(i, s)| i != victim && *s < 0);
+                                let (_, any_sat) =
+                                    mark_shed_pairs(&mut log, sp, &shed, now, service);
+                                log.sheds += 1;
+                                log.sheds_by_node[to.index()] += 1;
+                                if !any_sat {
+                                    log.doomed_sheds += 1;
+                                }
+                                let ev = TraceEvent::Shed {
+                                    at: now,
+                                    node: to,
+                                    packet: shed.id,
+                                };
+                                if let Some(trace) = &mut log.trace {
+                                    trace.record(ev);
+                                }
+                                if let Some(aud) = &mut auditor {
+                                    aud.observe(&ev);
+                                    // Delay-cognizance gate: overload may
+                                    // only claim traffic that is past help
+                                    // while doomed packets hold seats.
+                                    if any_sat && kept_doomed {
+                                        aud.flag(Violation::UnjustifiedShed {
+                                            packet: shed.id,
+                                            node: to,
+                                        });
+                                    }
+                                }
+                            }
+                            let depth = pending[to.index()].len();
+                            log.max_queue_depth = log.max_queue_depth.max(depth);
+                            if !in_service[to.index()] && !pending[to.index()].is_empty() {
+                                let (f, p) = pending[to.index()].remove(0);
+                                in_service[to.index()] = true;
+                                queue.schedule(
+                                    now + service,
+                                    Event::Process {
+                                        node: to,
+                                        from: f,
+                                        packet: p,
+                                    },
+                                );
+                            }
+                        }
                     }
                 }
                 Event::Process { node, from, packet } => {
@@ -620,6 +864,13 @@ impl<'a> OverlayRuntime<'a> {
                     // already dropped the arrival; churn-absent brokers are
                     // gone for good, so their queue dies with them.)
                     if churn.as_ref().is_some_and(|ch| ch.absent_at(node, now)) {
+                        if overload.is_some() {
+                            // Bounded mode: the departed broker's waiting
+                            // room dies with it too (churn loss, not an
+                            // overload shed).
+                            pending[node.index()].clear();
+                            in_service[node.index()] = false;
+                        }
                         continue;
                     }
                     strategy.on_packet(node, from, *packet, now, &mut out);
@@ -633,6 +884,22 @@ impl<'a> OverlayRuntime<'a> {
                         &mut auditor,
                         &mut staging,
                     );
+                    if let Some((service, _)) = overload {
+                        // Serve the next waiting packet, FIFO.
+                        if pending[node.index()].is_empty() {
+                            in_service[node.index()] = false;
+                        } else {
+                            let (f, p) = pending[node.index()].remove(0);
+                            queue.schedule(
+                                now + service,
+                                Event::Process {
+                                    node,
+                                    from: f,
+                                    packet: p,
+                                },
+                            );
+                        }
+                    }
                 }
                 Event::AckArrival { at, to, packet } => {
                     // An ACK addressed to a crash-down sender dies with its
@@ -1062,6 +1329,7 @@ mod tests {
                 topo.node(1),
                 SimDuration::from_millis(30),
             )],
+            burst: None,
         };
         (topo, Workload::from_topics(vec![spec]))
     }
@@ -1169,6 +1437,7 @@ mod tests {
             deadline: SimDuration::from_millis(100),
             delivered: Some(SimTime::from_secs(1) + SimDuration::from_millis(150)),
             gave_up: false,
+            shed_doomed: false,
         };
         assert!(!exp.on_time());
         assert!((exp.lateness_ratio().unwrap() - 1.5).abs() < 1e-9);
@@ -1329,6 +1598,7 @@ mod tests {
             interval: SimDuration::from_secs(10),
             offset: SimDuration::ZERO,
             subscriptions: vec![Subscription::new(topo.node(0), SimDuration::from_secs(1))],
+            burst: None,
         };
         let wl = Workload::from_topics(vec![mk(0, 1), mk(1, 2)]);
         let failure = FailureModel::links_only(LinkFailureModel::new(0.0, 1));
@@ -1346,6 +1616,211 @@ mod tests {
         // queues, served 50–90ms.
         assert_eq!(times[0], SimTime::from_millis(50));
         assert_eq!(times[1], SimTime::from_millis(90));
+    }
+
+    /// Star overload fixture: `n` leaves each publish one message at t = 0
+    /// to the hub (node 0). Links are 10 ms, service 40 ms, so all arrivals
+    /// land at t = 10 ms and queue behind one another. `deadlines[i]` is
+    /// topic i's hub deadline.
+    fn star_overload(deadlines: &[u64]) -> (Topology, Workload) {
+        use dcrd_net::topology::star;
+        let topo = star(deadlines.len() + 1, SimDuration::from_millis(10));
+        let specs = deadlines
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| TopicSpec {
+                topic: TopicId::new(i as u32),
+                publisher: topo.node(i + 1),
+                interval: SimDuration::from_secs(10),
+                offset: SimDuration::ZERO,
+                subscriptions: vec![Subscription::new(topo.node(0), SimDuration::from_millis(d))],
+                burst: None,
+            })
+            .collect();
+        let wl = Workload::from_topics(specs);
+        (topo, wl)
+    }
+
+    fn overload_config(policy: ShedPolicy) -> RuntimeConfig {
+        let mut config = RuntimeConfig::paper(SimDuration::from_secs(1), 1);
+        config.processing_time = Some(SimDuration::from_millis(40));
+        config.queue_limit = Some(2);
+        config.shed_policy = policy;
+        config.audit = Some(AuditConfig::default());
+        config
+    }
+
+    /// Rogue strategy: acts on every publish even when the publishing
+    /// broker has churned out of the overlay — exactly the misbehavior the
+    /// execute()-side churn gates exist to catch and neutralize.
+    struct DeadHand {
+        peer: NodeId,
+    }
+
+    impl RoutingStrategy for DeadHand {
+        fn name(&self) -> &'static str {
+            "dead-hand"
+        }
+        fn setup(&mut self, _ctx: &SetupContext<'_>) {}
+        fn on_publish(&mut self, node: NodeId, packet: Packet, _now: SimTime, out: &mut Actions) {
+            out.deliver(packet.id);
+            out.send(
+                self.peer,
+                packet.forward(node, packet.destinations.clone(), 0),
+            );
+        }
+        fn on_packet(
+            &mut self,
+            _node: NodeId,
+            _from: NodeId,
+            _packet: Packet,
+            _now: SimTime,
+            _out: &mut Actions,
+        ) {
+        }
+        fn on_ack(
+            &mut self,
+            _node: NodeId,
+            _to: NodeId,
+            _packet: &Packet,
+            _now: SimTime,
+            _out: &mut Actions,
+        ) {
+        }
+        fn on_timer(&mut self, _node: NodeId, _key: TimerKey, _now: SimTime, _out: &mut Actions) {}
+    }
+
+    #[test]
+    fn churn_gates_flag_rogue_deliver_and_send_from_departed_broker() {
+        use dcrd_net::chaos::ChaosModel;
+        use dcrd_net::membership::{BrokerChurnModel, ChurnEvent};
+
+        // Find a seed whose schedule removes node 0 (the publisher) mid-run
+        // so a publish scheduled in the final third fires while it is
+        // absent. Pure hash queries: the scan is cheap and deterministic.
+        let horizon = 6u64;
+        let churn = (0..256)
+            .map(|seed| BrokerChurnModel::new(1.0, horizon, seed))
+            .find(|ch| {
+                matches!(
+                    ch.event(NodeId::new(0)),
+                    Some(ChurnEvent::Leave(_) | ChurnEvent::Death(_))
+                )
+            })
+            .expect("some seed departs node 0");
+
+        let topo = line(2, SimDuration::from_millis(10));
+        let publisher = topo.node(0);
+        let subscriber = topo.node(1);
+        let wl = Workload::from_topics(vec![TopicSpec {
+            topic: TopicId::new(0),
+            publisher,
+            // One publish at 5 s — inside the recovery third, after the
+            // publisher's departure epoch (middle third of 6 epochs).
+            interval: SimDuration::from_secs(60),
+            offset: SimDuration::from_secs(5),
+            subscriptions: vec![Subscription::new(subscriber, SimDuration::from_secs(1))],
+            burst: None,
+        }]);
+        let failure = FailureModel::links_only(LinkFailureModel::new(0.0, 1))
+            .with_chaos(ChaosModel::none().with_churn(churn));
+        let mut config = RuntimeConfig::paper(SimDuration::from_secs(horizon), 1);
+        config.audit = Some(AuditConfig::default());
+        let rt = OverlayRuntime::new(&topo, &wl, failure, LossModel::new(0.0), config);
+        let log = rt.run(&mut DeadHand { peer: subscriber });
+        let report = log.audit.as_ref().expect("audit enabled");
+        assert!(report.violations.iter().any(
+            |v| matches!(v, Violation::DeliveryToDeparted { node, .. } if *node == publisher)
+        ));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::RouteThroughDead { node, .. } if *node == publisher)));
+        // Both actions died at the gate: nothing was sent or delivered.
+        assert_eq!(log.data_sends, 0);
+        assert!(log.expectations().all(|(_, e)| e.delivered.is_none()));
+    }
+
+    #[test]
+    fn least_slack_shedding_claims_only_doomed_traffic() {
+        // Topics 0-2 have 1 s deadlines and arrive first, filling the
+        // service slot and both queue seats. Topics 3-5 have 15 ms
+        // deadlines: already past help on arrival (10 ms transit +
+        // 40 ms service > 15 ms), so least-slack sheds exactly them.
+        let (topo, wl) = star_overload(&[1000, 1000, 1000, 15, 15, 15]);
+        let failure = FailureModel::links_only(LinkFailureModel::new(0.0, 1));
+        let rt = OverlayRuntime::new(
+            &topo,
+            &wl,
+            failure,
+            LossModel::new(0.0),
+            overload_config(ShedPolicy::LeastSlack),
+        );
+        let log = rt.run(&mut Flood::new());
+        // Six arrivals into budget 2 + one in service: three sheds, all of
+        // them doomed short-deadline packets.
+        assert_eq!(log.sheds, 3);
+        assert_eq!(log.doomed_sheds, 3);
+        assert_eq!(log.sheds_by_node[0], 3);
+        assert!(log.max_queue_depth <= 2, "depth {}", log.max_queue_depth);
+        // Every pair that still had slack was delivered.
+        assert!((log.in_slack_delivery_ratio() - 1.0).abs() < 1e-12);
+        assert!((log.delivery_ratio() - 0.5).abs() < 1e-12);
+        // Delay-cognizant sheds are not violations.
+        let report = log.audit.as_ref().expect("audit enabled");
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+        assert_eq!(report.sheds_observed, 3);
+    }
+
+    #[test]
+    fn tail_drop_shedding_trips_the_unjustified_shed_audit() {
+        // Doomed packets arrive first and hold their seats; tail drop then
+        // sheds the satisfiable newcomers — exactly what the delay-
+        // cognizance gate exists to catch.
+        let (topo, wl) = star_overload(&[15, 15, 15, 1000, 1000, 1000]);
+        let failure = FailureModel::links_only(LinkFailureModel::new(0.0, 1));
+        let rt = OverlayRuntime::new(
+            &topo,
+            &wl,
+            failure,
+            LossModel::new(0.0),
+            overload_config(ShedPolicy::TailDrop),
+        );
+        let log = rt.run(&mut Flood::new());
+        assert_eq!(log.sheds, 3);
+        let report = log.audit.as_ref().expect("audit enabled");
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::UnjustifiedShed { .. })),
+            "expected UnjustifiedShed, got {:?}",
+            report.violations
+        );
+        // The naive policy loses satisfiable traffic.
+        assert!(log.in_slack_delivery_ratio() < 1.0);
+    }
+
+    #[test]
+    fn bounded_queue_matches_unbounded_when_never_full() {
+        // A generous budget never sheds, and delivery matches the
+        // unbounded serial-service path.
+        let (topo, wl) = star_overload(&[1000, 1000]);
+        let failure = FailureModel::links_only(LinkFailureModel::new(0.0, 1));
+        let mut unbounded = overload_config(ShedPolicy::LeastSlack);
+        unbounded.queue_limit = None;
+        let mut roomy = overload_config(ShedPolicy::LeastSlack);
+        roomy.queue_limit = Some(64);
+        let a = OverlayRuntime::new(&topo, &wl, failure, LossModel::new(0.0), unbounded)
+            .run(&mut Flood::new());
+        let b = OverlayRuntime::new(&topo, &wl, failure, LossModel::new(0.0), roomy)
+            .run(&mut Flood::new());
+        assert_eq!(b.sheds, 0);
+        assert_eq!(a.delivery_ratio(), b.delivery_ratio());
+        let at: Vec<_> = a.expectations().map(|(_, e)| e.delivered).collect();
+        let bt: Vec<_> = b.expectations().map(|(_, e)| e.delivered).collect();
+        assert_eq!(at, bt);
+        assert!((b.in_slack_delivery_ratio() - b.delivery_ratio()).abs() < 1e-12);
     }
 
     #[test]
@@ -1387,6 +1862,7 @@ mod tests {
                 topo.node(2),
                 SimDuration::from_millis(100),
             )],
+            burst: None,
         };
         let wl = Workload::from_topics(vec![spec]);
         let failure = FailureModel::links_only(LinkFailureModel::new(0.0, 1));

@@ -86,6 +86,17 @@ pub enum TraceEvent {
         /// The message.
         packet: PacketId,
     },
+    /// An overloaded broker shed a queued packet copy because its bounded
+    /// service queue exceeded budget (delay-cognizant load shedding; see
+    /// `RuntimeConfig::queue_limit`).
+    Shed {
+        /// When the packet was shed.
+        at: SimTime,
+        /// The overloaded broker.
+        node: NodeId,
+        /// The message.
+        packet: PacketId,
+    },
 }
 
 impl TraceEvent {
@@ -97,7 +108,8 @@ impl TraceEvent {
             | TraceEvent::Deliver { packet, .. }
             | TraceEvent::GiveUp { packet, .. }
             | TraceEvent::Suppress { packet, .. }
-            | TraceEvent::Ack { packet, .. } => packet,
+            | TraceEvent::Ack { packet, .. }
+            | TraceEvent::Shed { packet, .. } => packet,
         }
     }
 
@@ -109,7 +121,8 @@ impl TraceEvent {
             | TraceEvent::Deliver { at, .. }
             | TraceEvent::GiveUp { at, .. }
             | TraceEvent::Suppress { at, .. }
-            | TraceEvent::Ack { at, .. } => at,
+            | TraceEvent::Ack { at, .. }
+            | TraceEvent::Shed { at, .. } => at,
         }
     }
 }
@@ -266,6 +279,12 @@ impl Trace {
                     mix(at.as_micros());
                     mix(from.index() as u64);
                     mix(to.index() as u64);
+                    mix(packet.raw());
+                }
+                TraceEvent::Shed { at, node, packet } => {
+                    mix(6);
+                    mix(at.as_micros());
+                    mix(node.index() as u64);
                     mix(packet.raw());
                 }
             }

@@ -60,6 +60,7 @@ fn main() {
             interval: SimDuration::from_secs(1), // ADS-B position rate
             offset: SimDuration::from_micros(rng.gen_range(0..1_000_000)),
             subscriptions,
+            burst: None,
         });
     }
     let workload = Workload::from_topics(topics);

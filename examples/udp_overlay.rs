@@ -76,6 +76,7 @@ fn main() {
                 Subscription::new(topo.node(n - 1), SimDuration::from_secs(1)),
                 Subscription::new(topo.node(n - 2), SimDuration::from_secs(1)),
             ],
+            burst: None,
         },
         TopicSpec {
             topic: TopicId::new(1),
@@ -86,6 +87,7 @@ fn main() {
                 topo.node(n - 1),
                 SimDuration::from_secs(1),
             )],
+            burst: None,
         },
     ]);
 

@@ -1,0 +1,11 @@
+//! Coverage-guided variant of the byte fuzzer: the engine supplies the
+//! datagram, the harness checks the decode oracles (no panic, canonical
+//! round-trip, no over-allocation).
+
+#![no_main]
+
+use libfuzzer_sys::fuzz_target;
+
+fuzz_target!(|data: &[u8]| {
+    dcrd_fuzz_harness::check_decode(data);
+});

@@ -1,0 +1,16 @@
+//! Coverage-guided variant of the event-script fuzzer: the engine's bytes
+//! pick the `(seed, index)` pair, the harness generates and runs the
+//! script under the full invariant auditor.
+
+#![no_main]
+
+use libfuzzer_sys::fuzz_target;
+
+fuzz_target!(|data: &[u8]| {
+    if data.len() < 16 {
+        return;
+    }
+    let seed = u64::from_le_bytes(data[..8].try_into().unwrap());
+    let index = u64::from_le_bytes(data[8..16].try_into().unwrap());
+    let _ = dcrd_fuzz_harness::check_script(seed, index);
+});

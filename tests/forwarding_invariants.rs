@@ -118,6 +118,7 @@ fn multipath_edge_reuse_bounded_by_two_per_subscriber() {
                     topo.node(14 - i as usize),
                     SimDuration::from_millis(300),
                 )],
+                burst: None,
             })
             .collect(),
     );

@@ -41,6 +41,7 @@ fn shared_topic_workload(topo: &Topology) -> Workload {
                         Subscription::new(node, SimDuration::from_micros(base).mul_f64(3.0))
                     })
                     .collect(),
+                burst: None,
             }
         })
         .collect();

@@ -29,6 +29,7 @@ fn windowed_subscriber_receives_only_in_window_messages() {
             SimTime::from_secs(10),
             SimTime::from_secs(20),
         )],
+        burst: None,
     }]);
     let failure = FailureModel::links_only(LinkFailureModel::new(0.0, 1));
     let config = RuntimeConfig::paper(SimDuration::from_secs(29), 1);
