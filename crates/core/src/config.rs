@@ -224,6 +224,10 @@ impl Default for PropagationConfig {
     }
 }
 
+fn default_upstream_retry_cap() -> u32 {
+    2
+}
+
 /// Full DCRD configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DcrdConfig {
@@ -233,6 +237,15 @@ pub struct DcrdConfig {
     /// to its upstream node (§III-D). Disabling this (ablation) makes DCRD
     /// a "try my neighbors then drop" scheme.
     pub reroute_upstream: bool,
+    /// Reroute hysteresis: how many times the upstream hop may exhaust its
+    /// `m` transmissions for one packet at one broker before that broker
+    /// stops offering the upstream for it (durably — the verdict survives
+    /// state resurrection). The upstream link is exempt from the
+    /// per-destination tried set, so without this damping two brokers at a
+    /// sustained-unreachability boundary ping-pong a packet until the
+    /// attempts cap burns out.
+    #[serde(default = "default_upstream_retry_cap")]
+    pub upstream_retry_cap: u32,
     /// Safety cap on transmissions one broker spends on one packet; beyond
     /// it the broker gives up on the remaining destinations. Prevents
     /// livelock when the overlay is partitioned for a long time.
@@ -273,6 +286,7 @@ impl Default for DcrdConfig {
         DcrdConfig {
             ordering: OrderingPolicy::RatioOptimal,
             reroute_upstream: true,
+            upstream_retry_cap: default_upstream_retry_cap(),
             max_attempts_per_node: 64,
             max_path_factor: 4,
             persistence: PersistenceMode::Disabled,
@@ -344,6 +358,7 @@ mod tests {
         let c = DcrdConfig::default();
         assert_eq!(c.ordering, OrderingPolicy::RatioOptimal);
         assert!(c.reroute_upstream);
+        assert!(c.upstream_retry_cap >= 1, "hysteresis must allow one retry");
         assert_eq!(c.persistence, PersistenceMode::Disabled);
         assert!(c.max_attempts_per_node >= 16);
         assert!(c.propagation.max_rounds >= 10);

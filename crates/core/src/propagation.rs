@@ -36,6 +36,12 @@ pub struct SubscriberTables {
     params: Vec<DrPair>,
     rounds_used: u32,
     converged: bool,
+    /// Monotone control-plane version of this entry: bumped by the owning
+    /// strategy on every recomputation so the gossip layer can summarize
+    /// and reconcile divergent table state by `(subscription, version)`
+    /// digests instead of comparing full tables.
+    #[serde(default)]
+    version: u64,
 }
 
 impl SubscriberTables {
@@ -79,6 +85,19 @@ impl SubscriberTables {
     #[must_use]
     pub fn converged(&self) -> bool {
         self.converged
+    }
+
+    /// The control-plane version of this entry (0 until the owning
+    /// strategy stamps its first recomputation).
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Stamps the control-plane version (set by the owning strategy on
+    /// every build or repair of this entry).
+    pub fn set_version(&mut self, version: u64) {
+        self.version = version;
     }
 }
 
@@ -341,6 +360,7 @@ pub fn compute_tables_prepared_masked(
         params,
         rounds_used,
         converged,
+        version: 0,
     }
 }
 

@@ -49,6 +49,12 @@ const JOURNAL_TAG_BASE: u64 = 1 << 62;
 /// packet ids count up from zero, so the spaces never collide.
 const NACK_ID_BASE: u64 = 1 << 63;
 
+/// Most `(packet, broker)` pairs remembered by the upstream bounce ledger
+/// before the oldest entries are evicted. The ledger only has to outlive
+/// the handful of packets still in flight at once; the cap is a safety
+/// valve against unbounded growth on very long runs.
+const BOUNCED_LEDGER_CAP: usize = 4096;
+
 /// ACK-timeout α used if a timeout is computed for a link the strategy
 /// has no estimate for (a bug caught by debug assertions; release builds
 /// degrade to this conservative paper-regime upper bound instead).
@@ -216,10 +222,26 @@ pub struct DcrdStrategy {
     /// Custody entries seized from a dead broker, queued under their new
     /// custodian until that broker's next tick flushes them (handoff).
     pending_handoff: BTreeMap<NodeId, Vec<(PacketId, JournalEntry)>>,
-    /// From-scratch `rebuild_tables` invocations (setup counts as one).
+    /// Upstream reroutes taken per `(packet, broker)` — the reroute
+    /// hysteresis ledger. An upstream bounce usually *succeeds* hop-by-hop
+    /// (the unreachability is beyond the pair), so the counter must track
+    /// reroutes taken, not timeouts; and it lives on the strategy, not the
+    /// per-packet [`NodeState`], because every successful bounce concludes
+    /// the sender's state and the returning copy resurrects a fresh one
+    /// with zeroed counters — two brokers at an unreachability boundary
+    /// would otherwise ping-pong the packet forever. Bounded by
+    /// [`BOUNCED_LEDGER_CAP`] (oldest packets evicted first).
+    upstream_reroutes: BTreeMap<PacketId, BTreeMap<NodeId, u32>>,
+    /// From-scratch `rebuild_tables` passes taken after setup. The initial
+    /// construction in `setup` is not counted — it is table construction,
+    /// not a repair — so a run that heals purely through incremental
+    /// repair and gossip reports zero.
     global_rebuilds: u64,
     /// Incremental membership-repair passes taken instead of a rebuild.
     incremental_repairs: u64,
+    /// Monotone control-plane version stamped onto every recomputed
+    /// [`SubscriberTables`] entry: bumped once per rebuild or repair pass.
+    table_version: u64,
     next_tag: u64,
     next_persist_tag: u64,
     next_journal_tag: u64,
@@ -284,8 +306,10 @@ impl DcrdStrategy {
             absent: NodeSet::new(),
             dist_cache: BTreeMap::new(),
             pending_handoff: BTreeMap::new(),
+            upstream_reroutes: BTreeMap::new(),
             global_rebuilds: 0,
             incremental_repairs: 0,
+            table_version: 0,
             next_tag: 0,
             next_persist_tag: PERSIST_TAG_BASE,
             next_journal_tag: JOURNAL_TAG_BASE,
@@ -341,10 +365,19 @@ impl DcrdStrategy {
     }
 
     /// How many from-scratch [`rebuild_tables`](Self::on_monitor) passes
-    /// have run (the `setup` call counts as the first).
+    /// have run after setup. The initial table construction in `setup` is
+    /// not counted, so this is exactly the number of times the strategy
+    /// fell back to a global rebuild instead of healing incrementally.
     #[must_use]
     pub fn global_rebuilds(&self) -> u64 {
         self.global_rebuilds
+    }
+
+    /// The monotone control-plane version the most recent table
+    /// recomputation was stamped with (zero until `setup` runs).
+    #[must_use]
+    pub fn table_version(&self) -> u64 {
+        self.table_version
     }
 
     /// How many incremental membership-repair passes have run instead of a
@@ -369,6 +402,8 @@ impl DcrdStrategy {
             return;
         };
         self.global_rebuilds += 1;
+        self.table_version += 1;
+        let version = self.table_version;
         self.tables.clear();
         self.toward_publisher.clear();
         self.dist_cache.clear();
@@ -395,7 +430,7 @@ impl DcrdStrategy {
                 }
             }
             for sub in &spec.subscriptions {
-                let tables = compute_tables_prepared_masked(
+                let mut tables = compute_tables_prepared_masked(
                     topo,
                     &link_stats,
                     spec.publisher,
@@ -405,6 +440,7 @@ impl DcrdStrategy {
                     &self.config,
                     &self.absent,
                 );
+                tables.set_version(version);
                 self.tables
                     .insert((spec.topic, spec.publisher, sub.subscriber), tables);
             }
@@ -429,6 +465,8 @@ impl DcrdStrategy {
             return;
         };
         self.incremental_repairs += 1;
+        self.table_version += 1;
+        let version = self.table_version;
         let link_stats = link_transmission_stats(topo, estimates, self.params.m);
         for spec in workload.topics() {
             let fresh = dcrd_net::paths::dijkstra_masked(
@@ -472,7 +510,7 @@ impl DcrdStrategy {
                 if !affected {
                     continue;
                 }
-                let tables = compute_tables_prepared_masked(
+                let mut tables = compute_tables_prepared_masked(
                     topo,
                     &link_stats,
                     spec.publisher,
@@ -482,6 +520,7 @@ impl DcrdStrategy {
                     &self.config,
                     &self.absent,
                 );
+                tables.set_version(version);
                 self.tables.insert(key, tables);
             }
             // Patch the NACK climb tree for this publisher from the fresh
@@ -499,6 +538,30 @@ impl DcrdStrategy {
             }
             self.dist_cache.insert(spec.publisher, fresh);
         }
+    }
+
+    /// Counts one upstream reroute of packet `id` taken at `node` in the
+    /// durable hysteresis ledger; evicts the oldest packets past the
+    /// ledger cap.
+    fn note_upstream_reroute(&mut self, id: PacketId, node: NodeId) {
+        *self
+            .upstream_reroutes
+            .entry(id)
+            .or_default()
+            .entry(node)
+            .or_insert(0) += 1;
+        while self.upstream_reroutes.len() > BOUNCED_LEDGER_CAP {
+            self.upstream_reroutes.pop_first();
+        }
+    }
+
+    /// Upstream reroutes packet `id` has already taken at `node`.
+    fn upstream_reroutes_taken(&self, id: PacketId, node: NodeId) -> u32 {
+        self.upstream_reroutes
+            .get(&id)
+            .and_then(|m| m.get(&node))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Seizes every custody entry held by a confirmed-dead or departed
@@ -759,6 +822,16 @@ impl DcrdStrategy {
         if !self.config.reroute_upstream {
             return None;
         }
+        // Reroute hysteresis: an upstream bounce is ACKed hop-by-hop even
+        // when the destination is unreachable beyond the pair, so each
+        // bounce concludes this broker's state and the returning copy
+        // resurrects a fresh one — without a durable budget two brokers at
+        // an unreachability boundary ping-pong the packet until the run
+        // ends. Stop offering the upstream once this broker has spent its
+        // reroute budget for this packet, across all state incarnations.
+        if self.upstream_reroutes_taken(state.packet.id, node) >= self.config.upstream_retry_cap {
+            return None;
+        }
         state.upstream.map(|up| (up, true))
     }
 
@@ -858,6 +931,13 @@ impl DcrdStrategy {
             let tag = self.next_tag;
             self.next_tag += 1;
             let timeout = self.rto(node, hop);
+            if is_upstream {
+                // Every upstream send spends reroute budget the moment it
+                // is armed: bounces are ACKed (so no timeout ever fires for
+                // them) and conclude this state, which makes this the only
+                // point that survives to see every incarnation.
+                self.note_upstream_reroute(id, node);
+            }
             let Some(state) = self.inflight.get_mut(&(id, node)) else {
                 return;
             };
@@ -1097,6 +1177,10 @@ impl RoutingStrategy for DcrdStrategy {
         self.workload = Some(ctx.workload.clone());
         let estimates = ctx.estimates.clone();
         self.rebuild_tables(&estimates);
+        // Setup is table *construction*, not a repair: the rebuild counter
+        // only measures from-scratch passes the control plane fell back to
+        // after the run started.
+        self.global_rebuilds = 0;
     }
 
     fn on_publish(&mut self, node: NodeId, mut packet: Packet, now: SimTime, out: &mut Actions) {
@@ -1283,6 +1367,13 @@ impl RoutingStrategy for DcrdStrategy {
     }
 
     fn on_membership(&mut self, deltas: &[MembershipDelta], _now: SimTime) {
+        self.apply_membership(deltas);
+    }
+
+    fn on_gossip(&mut self, deltas: &[MembershipDelta], _now: SimTime) {
+        // Gossip-disseminated deltas mean exactly what detector-broadcast
+        // ones do; only their arrival time differs (post-convergence). The
+        // same incremental-repair machinery applies them.
         self.apply_membership(deltas);
     }
 

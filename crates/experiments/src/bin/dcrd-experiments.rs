@@ -5,7 +5,7 @@
 //!
 //! figures: fig2 fig3 fig4 fig5 fig6 fig7 fig8
 //!          ablation-ordering ablation-reroute ablation-timeout
-//!          ablation-monitor chaos recovery churn hostile all
+//!          ablation-monitor chaos recovery churn gossip hostile all
 //! ```
 //!
 //! Without `--out`, tables print to stdout; with it, each figure also writes
@@ -28,7 +28,7 @@ use dcrd_experiments::scenario::Quality;
 use dcrd_metrics::plot::{figure_svg, render_svg, PlotConfig, PlotSeries};
 use dcrd_metrics::report::{render_cdf, FigureSeries, MetricKind};
 
-const FIGURES: [&str; 19] = [
+const FIGURES: [&str; 20] = [
     "fig2",
     "fig3",
     "fig4",
@@ -47,6 +47,7 @@ const FIGURES: [&str; 19] = [
     "chaos",
     "recovery",
     "churn",
+    "gossip",
     "hostile",
 ];
 
@@ -472,12 +473,39 @@ fn run_figure(name: &str, quality: Quality) -> FigureOutput {
                  (incremental repair must track the global-rebuild oracle and beat no-repair)\n",
                 report.total_audit_violations
             ));
+            text.push_str(&control_plane_counters(&report.series));
             let svg = figure_svg(&report.series, MetricKind::Delivery, false);
             FigureOutput {
                 text,
                 csv: Some(report.series.render_csv()),
                 json: serde_json::to_string_pretty(&report.series).ok(),
                 svgs: vec![("rates-delivery", svg)],
+            }
+        }
+        "gossip" => {
+            let report = dcrd_experiments::gossip::gossip_report(quality);
+            let mut text = String::new();
+            for m in [MetricKind::Delivery, MetricKind::Qos] {
+                text.push_str(&report.series.render_table(m));
+                text.push('\n');
+            }
+            text.push_str(&format!(
+                "invariant auditor: {} violation(s) across the gossip sweep (staleness clause armed)\n\
+                 (gossip must track the oracle control plane; the static arm shows the cost of no dissemination)\n\
+                 control plane: {} rumor(s) pushed, {} anti-entropy round(s), \
+                 {} delta(s) applied, {} stale reconciliation(s)\n",
+                report.total_audit_violations,
+                report.rumors_sent,
+                report.anti_entropy_rounds,
+                report.gossip_deltas_applied,
+                report.stale_reconciliations
+            ));
+            let svg = figure_svg(&report.series, MetricKind::Delivery, false);
+            FigureOutput {
+                text,
+                csv: Some(report.series.render_csv()),
+                json: serde_json::to_string_pretty(&report.series).ok(),
+                svgs: vec![("loss-delivery", svg)],
             }
         }
         "hostile" => {
@@ -520,6 +548,21 @@ fn run_figure(name: &str, quality: Quality) -> FigureOutput {
         "ablation-monitor" => series_output(&figures::ablation_monitor(quality), &qos),
         _ => unreachable!("validated above"),
     }
+}
+
+/// Sums the gossip control-plane counters over every arm of a series
+/// (all zero under the oracle control plane — the line still prints so
+/// the figures are comparable across control planes).
+fn control_plane_counters(series: &FigureSeries) -> String {
+    let all = || series.points.iter().flat_map(|p| &p.strategies);
+    format!(
+        "control plane: {} rumor(s) pushed, {} anti-entropy round(s), \
+         {} delta(s) applied, {} stale reconciliation(s)\n",
+        all().map(|a| a.rumors_sent()).sum::<u64>(),
+        all().map(|a| a.anti_entropy_rounds()).sum::<u64>(),
+        all().map(|a| a.gossip_deltas_applied()).sum::<u64>(),
+        all().map(|a| a.stale_reconciliations()).sum::<u64>(),
+    )
 }
 
 /// Thins a dense CDF series for terminal display (keep every 8th point).

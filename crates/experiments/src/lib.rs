@@ -19,6 +19,9 @@
 //! * [`churn`] — the churn study: broker joins, graceful leaves and
 //!   permanent deaths mid-run, comparing incremental membership repair
 //!   against the global-rebuild oracle and a no-repair control.
+//! * [`gossip`] — the gossip study: epidemic membership dissemination
+//!   under partitions and control-plane loss, comparing gossip against
+//!   the oracle control plane and a no-dissemination control.
 //! * [`hostile`] — the hostile study: flash crowds on a Zipf-skewed,
 //!   geo-tiered overlay with bounded broker queues, comparing
 //!   delay-cognizant least-slack shedding against tail-drop and an
@@ -37,6 +40,7 @@
 pub mod chaos;
 pub mod churn;
 pub mod figures;
+pub mod gossip;
 pub mod hostile;
 pub mod recovery;
 pub mod runner;
@@ -44,6 +48,7 @@ pub mod scenario;
 
 pub use chaos::{chaos_report, ChaosReport};
 pub use churn::{churn_report, ChurnReport};
+pub use gossip::{gossip_report, GossipReport};
 pub use hostile::{hostile_report, HostileReport};
 pub use recovery::{recovery_report, RecoveryReport};
 pub use runner::{run_comparison, run_scenario, run_traced, StrategyKind};

@@ -16,11 +16,12 @@ use dcrd_net::chaos::{ChaosModel, CrashRestartModel, GrayLinkModel, PartitionMod
 use dcrd_net::failure::{
     BurstFailureModel, FailureModel, LinkFailureModel, LinkOutageModel, NodeFailureModel,
 };
+use dcrd_net::gossip::GossipConfig;
 use dcrd_net::loss::LossModel;
 use dcrd_net::membership::{BrokerChurnModel, ChurnEvent};
 use dcrd_net::topology::{full_mesh, geo_tiered, random_connected, DelayRange};
 use dcrd_net::Topology;
-use dcrd_pubsub::runtime::{OverlayRuntime, RuntimeConfig};
+use dcrd_pubsub::runtime::{Dissemination, OverlayRuntime, RuntimeConfig};
 use dcrd_pubsub::strategy::{RoutingStrategy, RunParams};
 use dcrd_pubsub::workload::{Workload, WorkloadConfig};
 use dcrd_pubsub::AuditConfig;
@@ -28,7 +29,7 @@ use dcrd_sim::rng::{derive_seed_indexed, rng_for_indexed};
 use dcrd_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
-use crate::scenario::{Scenario, TopologyKind};
+use crate::scenario::{ControlPlane, Scenario, TopologyKind};
 
 /// The strategies under comparison.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -271,6 +272,15 @@ fn run_with(
         processing_time: scenario.service_time,
         queue_limit: scenario.queue_limit,
         shed_policy: scenario.shed_policy,
+        dissemination: match scenario.control_plane {
+            ControlPlane::Oracle => Dissemination::Oracle,
+            ControlPlane::Gossip { loss } => Dissemination::Gossip(GossipConfig {
+                loss,
+                seed: derive_seed_indexed(scenario.seed, "gossip", u64::from(rep)),
+                ..GossipConfig::default()
+            }),
+            ControlPlane::None => Dissemination::None,
+        },
         audit: scenario.audit.then(|| {
             let cfg = AuditConfig::for_overlay(scenario.nodes, 64);
             if scenario.audit_sequences {

@@ -123,6 +123,28 @@ pub struct BrokerChurnSpec {
     pub rate: f64,
 }
 
+/// How the control plane disseminates membership changes to routing
+/// strategies (gossip extension; the paper assumes an oracle).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum ControlPlane {
+    /// Omniscient oracle: failure-detector output reaches every strategy
+    /// the same epoch it is produced (the pre-gossip behavior).
+    #[default]
+    Oracle,
+    /// Epidemic dissemination: deltas spread by eager-push rumors plus
+    /// periodic anti-entropy, and reach the strategy only once every
+    /// present broker has learned them. Partitions stall convergence;
+    /// anti-entropy completes it after they heal.
+    Gossip {
+        /// Per-hop rumor loss probability (control-plane message loss,
+        /// independent of the data plane's `Pl`).
+        loss: f64,
+    },
+    /// No dissemination at all: detector output is dropped on the floor
+    /// (ablation arm — routing state goes permanently stale).
+    None,
+}
+
 /// One fully specified experimental setup.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
@@ -154,6 +176,10 @@ pub struct Scenario {
     /// Chaos: broker membership churn (extension; `None` disables).
     #[serde(default)]
     pub broker_churn: Option<BrokerChurnSpec>,
+    /// How membership changes reach the strategies (gossip extension;
+    /// default: the oracle the paper assumes).
+    #[serde(default)]
+    pub control_plane: ControlPlane,
     /// Topic popularity skew (adversarial extension; default: the paper's
     /// uniform draw).
     #[serde(default)]
@@ -260,6 +286,7 @@ impl ScenarioBuilder {
                 crashes: None,
                 gray: None,
                 broker_churn: None,
+                control_plane: ControlPlane::Oracle,
                 popularity: TopicPopularity::Uniform,
                 burst: None,
                 service_time: None,
@@ -360,6 +387,14 @@ impl ScenarioBuilder {
     #[must_use]
     pub fn broker_churn(mut self, spec: BrokerChurnSpec) -> Self {
         self.scenario.broker_churn = Some(spec);
+        self
+    }
+
+    /// Selects the membership control plane (gossip extension; the
+    /// default is the paper's omniscient oracle).
+    #[must_use]
+    pub fn control_plane(mut self, plane: ControlPlane) -> Self {
+        self.scenario.control_plane = plane;
         self
     }
 
@@ -622,6 +657,24 @@ impl ScenarioBuilder {
                 "broker churn needs a run of at least 6 epochs"
             );
         }
+        if let ControlPlane::Gossip { loss } = s.control_plane {
+            assert!(
+                (0.0..1.0).contains(&loss),
+                "gossip loss {loss} must be in [0, 1)"
+            );
+            assert!(
+                s.crashes.is_some() || s.broker_churn.is_some(),
+                "a non-oracle control plane needs a failure detector \
+                 (enable crashes or broker churn)"
+            );
+        }
+        if s.control_plane == ControlPlane::None {
+            assert!(
+                s.crashes.is_some() || s.broker_churn.is_some(),
+                "a non-oracle control plane needs a failure detector \
+                 (enable crashes or broker churn)"
+            );
+        }
         s
     }
 }
@@ -713,6 +766,36 @@ mod tests {
             .build();
         assert!((s.broker_churn.unwrap().rate - 0.25).abs() < f64::EPSILON);
         assert!(ScenarioBuilder::new().build().broker_churn.is_none());
+    }
+
+    #[test]
+    fn control_plane_builder_sets_plane() {
+        let s = ScenarioBuilder::new()
+            .broker_churn(BrokerChurnSpec { rate: 0.3 })
+            .control_plane(ControlPlane::Gossip { loss: 0.1 })
+            .build();
+        assert_eq!(s.control_plane, ControlPlane::Gossip { loss: 0.1 });
+        assert_eq!(
+            ScenarioBuilder::new().build().control_plane,
+            ControlPlane::Oracle
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "gossip loss")]
+    fn rejects_gossip_loss_of_one() {
+        let _ = ScenarioBuilder::new()
+            .broker_churn(BrokerChurnSpec { rate: 0.3 })
+            .control_plane(ControlPlane::Gossip { loss: 1.0 })
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "failure detector")]
+    fn rejects_non_oracle_control_plane_without_detector() {
+        let _ = ScenarioBuilder::new()
+            .control_plane(ControlPlane::None)
+            .build();
     }
 
     #[test]

@@ -20,17 +20,14 @@
 //! * **deterministic**: a sampled subset of scripts is re-run and must
 //!   reproduce its trace digest byte-for-byte.
 //!
-//! Partitions are deliberately *outside* the generated envelope, and
-//! scripts with a sustained-unreachability mechanism — link-outage
-//! epochs, crash-restarts, or bounded queues that can shed every
-//! arrival — run with upstream reroute disabled: when a destination
-//! stays unreachable (trivially so when an outage severs the geo-tiered
-//! two-region bridge, or a one-slot queue sheds everything), the
-//! reroute ping-pong can exceed the auditor's edge budget with the
-//! paper's config (a known, pre-existing finding — see the repo's chaos
-//! tests), and a fuzzer that trips a known issue on every third script
-//! finds nothing new. Loss-only scripts keep upstream reroute on, so
-//! both sides of that switch stay covered across the corpus.
+//! Partitions are deliberately *outside* the generated envelope (the
+//! partition/heal schedules have their own acceptance suite). Every
+//! script runs with upstream reroute **on**: the historical reroute
+//! ping-pong — two brokers at a sustained-unreachability boundary
+//! bouncing a packet until the attempts cap burned out, blowing the
+//! auditor's edge budget — is fixed by the router's reroute hysteresis
+//! (`upstream_retry_cap` plus the durable bounce ledger), and this
+//! corpus is the regression gate that keeps it fixed.
 
 use dcrd_core::{DcrdConfig, DcrdStrategy};
 use dcrd_experiments::runner::{
@@ -97,8 +94,8 @@ pub fn generate_script(seed: u64, index: u64) -> Script {
     let mut rng: SmallRng = rng_for_indexed(seed, "script-gen", index);
     let duration_secs = rng.gen_range(6..=10u64);
     // Roughly half the corpus is loss-only (pf = 0); the other half
-    // carries link-outage epochs. See the module docs for why the two
-    // halves get different reroute settings.
+    // carries link-outage epochs, so sustained unreachability and the
+    // reroute hysteresis both stay well sampled.
     let pf = if rng.gen_bool(0.4) {
         0.0
     } else {
@@ -138,9 +135,7 @@ pub fn generate_script(seed: u64, index: u64) -> Script {
     }
 
     // Broker overload.
-    let mut bounded = false;
     if rng.gen_bool(0.3) {
-        bounded = true;
         let policy = if rng.gen_bool(0.7) {
             ShedPolicy::LeastSlack
         } else {
@@ -159,14 +154,12 @@ pub fn generate_script(seed: u64, index: u64) -> Script {
     // Chaos envelope (no partitions — see module docs).
     let mut chaotic = false;
     let mut churny = false;
-    let mut crashy = false;
     if rng.gen_bool(0.2) {
         b = b.crashes(CrashSpec {
             rate: rng.gen_range(0.005..0.04),
             mean_down_epochs: rng.gen_range(1.0..3.0),
         });
         chaotic = true;
-        crashy = true;
     }
     if rng.gen_bool(0.2) {
         b = b.gray_links(GraySpec {
@@ -187,21 +180,17 @@ pub fn generate_script(seed: u64, index: u64) -> Script {
 
     // Pair the router hardening with the script's hostility, exactly as an
     // operator would: churn needs the churn-survivable config, other chaos
-    // the chaos-hardened one, and calm runs the paper's defaults.
-    let mut dcrd = if churny {
+    // the chaos-hardened one, and calm runs the paper's defaults. Upstream
+    // reroute stays on everywhere — the reroute hysteresis keeps sustained
+    // unreachability (crashes, outage epochs, shedding queues) from
+    // ping-ponging packets past the auditor's budgets.
+    let dcrd = if churny {
         DcrdConfig::churn_hardened()
     } else if chaotic {
         DcrdConfig::chaos_hardened()
     } else {
         DcrdConfig::default()
     };
-    // Sustained unreachability of any flavor reproduces the known
-    // reroute ping-pong (see module docs); run such scripts without
-    // upstream reroute so the auditor gate stays meaningful for
-    // everything else.
-    if crashy || pf > 0.0 || bounded {
-        dcrd.reroute_upstream = false;
-    }
     Script {
         scenario,
         dcrd,

@@ -28,6 +28,14 @@ pub struct RunMetrics {
     doomed_sheds: u64,
     #[serde(default)]
     in_slack: Ratio,
+    #[serde(default)]
+    rumors_sent: u64,
+    #[serde(default)]
+    anti_entropy_rounds: u64,
+    #[serde(default)]
+    gossip_deltas_applied: u64,
+    #[serde(default)]
+    stale_reconciliations: u64,
 }
 
 impl RunMetrics {
@@ -74,6 +82,10 @@ impl RunMetrics {
             sheds: log.sheds,
             doomed_sheds: log.doomed_sheds,
             in_slack,
+            rumors_sent: log.rumors_sent,
+            anti_entropy_rounds: log.anti_entropy_rounds,
+            gossip_deltas_applied: log.gossip_deltas_applied,
+            stale_reconciliations: log.stale_reconciliations,
         }
     }
 
@@ -157,6 +169,33 @@ impl RunMetrics {
     pub fn in_slack_delivery_ratio(&self) -> f64 {
         self.in_slack.value()
     }
+
+    /// Membership rumors pushed by the gossip control plane (0 under the
+    /// oracle).
+    #[must_use]
+    pub fn rumors_sent(&self) -> u64 {
+        self.rumors_sent
+    }
+
+    /// Anti-entropy digest exchanges run by the gossip control plane.
+    #[must_use]
+    pub fn anti_entropy_rounds(&self) -> u64 {
+        self.anti_entropy_rounds
+    }
+
+    /// Membership deltas that reached convergence and were applied to
+    /// routing state via the gossip path.
+    #[must_use]
+    pub fn gossip_deltas_applied(&self) -> u64 {
+        self.gossip_deltas_applied
+    }
+
+    /// Anti-entropy reconciliations that closed a stale gap (a broker
+    /// missing rumors its peers already held).
+    #[must_use]
+    pub fn stale_reconciliations(&self) -> u64 {
+        self.stale_reconciliations
+    }
 }
 
 /// Metrics pooled over repetitions (the paper averages 10 topologies per
@@ -183,6 +222,14 @@ pub struct AggregateMetrics {
     doomed_sheds: u64,
     #[serde(default)]
     in_slack: Ratio,
+    #[serde(default)]
+    rumors_sent: u64,
+    #[serde(default)]
+    anti_entropy_rounds: u64,
+    #[serde(default)]
+    gossip_deltas_applied: u64,
+    #[serde(default)]
+    stale_reconciliations: u64,
 }
 
 impl AggregateMetrics {
@@ -205,6 +252,10 @@ impl AggregateMetrics {
             sheds: 0,
             doomed_sheds: 0,
             in_slack: Ratio::new(),
+            rumors_sent: 0,
+            anti_entropy_rounds: 0,
+            gossip_deltas_applied: 0,
+            stale_reconciliations: 0,
         }
     }
 
@@ -219,6 +270,10 @@ impl AggregateMetrics {
         self.sheds += run.sheds;
         self.doomed_sheds += run.doomed_sheds;
         self.in_slack.merge(&run.in_slack);
+        self.rumors_sent += run.rumors_sent;
+        self.anti_entropy_rounds += run.anti_entropy_rounds;
+        self.gossip_deltas_applied += run.gossip_deltas_applied;
+        self.stale_reconciliations += run.stale_reconciliations;
         self.lateness.merge(&run.lateness);
         self.delay_ms.merge(&run.delay_ms);
         self.delivery_spread.push(run.delivery_ratio());
@@ -318,6 +373,31 @@ impl AggregateMetrics {
     #[must_use]
     pub fn in_slack_delivery_ratio(&self) -> f64 {
         self.in_slack.value()
+    }
+
+    /// Total membership rumors pushed across all runs (0 under the
+    /// oracle control plane).
+    #[must_use]
+    pub fn rumors_sent(&self) -> u64 {
+        self.rumors_sent
+    }
+
+    /// Total anti-entropy digest exchanges across all runs.
+    #[must_use]
+    pub fn anti_entropy_rounds(&self) -> u64 {
+        self.anti_entropy_rounds
+    }
+
+    /// Total converged membership deltas applied via gossip.
+    #[must_use]
+    pub fn gossip_deltas_applied(&self) -> u64 {
+        self.gossip_deltas_applied
+    }
+
+    /// Total stale gaps closed by anti-entropy reconciliation.
+    #[must_use]
+    pub fn stale_reconciliations(&self) -> u64 {
+        self.stale_reconciliations
     }
 }
 

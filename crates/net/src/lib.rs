@@ -26,6 +26,10 @@
 //!   (probe / indirect-probe / suspect / confirm with incarnation-number
 //!   refutation), the order-insensitive membership-view lattice it
 //!   converges on, and a seeded broker-churn schedule.
+//! * [`gossip`] — the dissemination half of the membership control plane:
+//!   deterministic epidemic rumor spread (bounded partial views, eager
+//!   push, anti-entropy digest reconciliation) with convergence gating
+//!   and bounded-staleness reporting.
 //! * [`loss`] — per-transmission Bernoulli packet loss (`Pl`).
 //! * [`estimate`] — per-link quality estimates `⟨α, γ⟩` (expected one-way
 //!   delay and single-transmission delivery ratio), both analytic and via an
@@ -52,6 +56,7 @@ pub mod diagnostics;
 pub mod disjoint;
 pub mod estimate;
 pub mod failure;
+pub mod gossip;
 pub mod graph;
 pub mod loss;
 pub mod membership;

@@ -183,6 +183,18 @@ pub enum Violation {
         /// The overloaded broker that shed it.
         node: NodeId,
     },
+    /// A broker was still routing on pre-partition membership state more
+    /// than the configured number of gossip rounds after the control
+    /// plane healed: the dissemination layer failed to spread a
+    /// membership rumor within its staleness bound even though nothing
+    /// blocked it. Flagged by the runtime's gossip wiring — a working
+    /// epidemic never produces one.
+    StaleRouteAfterConvergence {
+        /// The broker that has not learned the membership delta.
+        node: NodeId,
+        /// Connected-but-unconverged gossip rounds accumulated.
+        rounds: u64,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -249,6 +261,13 @@ impl fmt::Display for Violation {
                  while keeping doomed traffic",
                 node.index(),
                 packet.raw()
+            ),
+            Violation::StaleRouteAfterConvergence { node, rounds } => write!(
+                f,
+                "stale route after convergence: node {} still on stale \
+                 membership {} rounds after the control plane healed",
+                node.index(),
+                rounds
             ),
         }
     }
@@ -503,6 +522,10 @@ mod tests {
             Violation::DeliveryToDeparted { packet: p, node: n },
             Violation::RouteThroughDead { packet: p, node: n },
             Violation::UnjustifiedShed { packet: p, node: n },
+            Violation::StaleRouteAfterConvergence {
+                node: n,
+                rounds: 47,
+            },
         ]
     }
 
@@ -517,14 +540,16 @@ mod tests {
             "delivery to departed",
             "route through dead",
             "unjustified shed",
+            "stale route after convergence",
         ];
         let all = one_of_each();
         assert_eq!(all.len(), expected_kind.len());
         for (v, kind) in all.iter().zip(expected_kind) {
             let s = v.to_string();
             assert!(s.starts_with(kind), "{s:?} should start with {kind:?}");
-            // Every message names the offending packet; per-variant detail
-            // fields (counts, link endpoints, sequence numbers) surface too.
+            // Every message names the offending packet (round count 47 for
+            // the packet-less staleness clause); per-variant detail fields
+            // (counts, link endpoints, sequence numbers) surface too.
             assert!(s.contains('7'), "{s:?} should name packet 7");
         }
         let loop_bound = all[0].to_string();

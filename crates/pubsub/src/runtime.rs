@@ -21,8 +21,11 @@ use std::collections::BTreeMap;
 
 use dcrd_net::estimate::{analytic_estimates, EwmaMonitor, LinkEstimate, LinkEstimates};
 use dcrd_net::failure::FailureModel;
+use dcrd_net::gossip::{GossipConfig, GossipOverlay};
 use dcrd_net::loss::LossModel;
-use dcrd_net::membership::{BrokerChurnModel, GroundTruth, SwimConfig, SwimDetector};
+use dcrd_net::membership::{
+    BrokerChurnModel, GroundTruth, MembershipDelta, SwimConfig, SwimDetector,
+};
 use dcrd_net::paths::{dijkstra, Metric, ShortestPaths};
 use dcrd_net::{NodeId, Topology};
 use dcrd_sim::rng::rng_for;
@@ -65,6 +68,30 @@ pub enum AckTransit {
     /// The ACK physically traverses the link back: the sender learns after
     /// `2α`. Use `ack_timeout_factor ≥ 2` with this model.
     RoundTrip,
+}
+
+/// How membership deltas emitted by the runtime's failure detector reach
+/// the strategy (broker churn only — without churn there is no detector
+/// and none of these arms do anything).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Dissemination {
+    /// Every delta reaches the strategy the instant the detector emits it
+    /// (via [`RoutingStrategy::on_membership`]) — the instantaneous
+    /// "global broadcast" idealization all pre-gossip runs used.
+    #[default]
+    Oracle,
+    /// Deltas spread epidemically through a [`GossipOverlay`]: each one
+    /// becomes a rumor at its witness broker and reaches the strategy
+    /// (via [`RoutingStrategy::on_gossip`]) only once every present
+    /// broker has learned it. Partitions stall convergence; anti-entropy
+    /// completes it after the partition heals. Rumors that stay
+    /// unconverged too long after the control plane reconnects are
+    /// flagged as [`Violation::StaleRouteAfterConvergence`].
+    Gossip(GossipConfig),
+    /// Detector output is dropped on the floor — the ablation arm that
+    /// shows what routing state costs when membership changes are never
+    /// disseminated at all.
+    None,
 }
 
 /// How an overloaded broker picks the victim when its bounded service
@@ -132,6 +159,10 @@ pub struct RuntimeConfig {
     pub queue_limit: Option<usize>,
     /// Victim selection when the bounded queue overflows.
     pub shed_policy: ShedPolicy,
+    /// How detector membership deltas reach the strategy (broker churn
+    /// only). Default [`Dissemination::Oracle`] keeps every pre-gossip
+    /// run byte-identical.
+    pub dissemination: Dissemination,
 }
 
 impl RuntimeConfig {
@@ -153,6 +184,7 @@ impl RuntimeConfig {
             audit: None,
             queue_limit: None,
             shed_policy: ShedPolicy::default(),
+            dissemination: Dissemination::Oracle,
         }
     }
 }
@@ -242,6 +274,20 @@ pub struct DeliveryLog {
     /// Deepest any broker's bounded service queue got (post-shed, so never
     /// above the configured budget). Zero without a queue limit.
     pub max_queue_depth: usize,
+    /// Gossip dissemination only: eager rumor pushes attempted by the
+    /// membership gossip overlay (lost and blocked pushes included).
+    pub rumors_sent: u64,
+    /// Gossip dissemination only: anti-entropy digest-exchange rounds run
+    /// by the gossip overlay.
+    pub anti_entropy_rounds: u64,
+    /// Gossip dissemination only: membership deltas whose rumors finished
+    /// their epidemic spread and were applied via
+    /// [`RoutingStrategy::on_gossip`].
+    pub gossip_deltas_applied: u64,
+    /// Gossip dissemination only: rumors transferred by anti-entropy to a
+    /// broker the eager push had missed — each one a stale-entry
+    /// reconciliation that pure rumor spreading would have left divergent.
+    pub stale_reconciliations: u64,
     /// Whether the run hit the event cap and was truncated.
     pub truncated: bool,
     /// Total simulation events processed by the run loop (the macro
@@ -621,6 +667,14 @@ impl<'a> OverlayRuntime<'a> {
                 },
             )
         });
+        // Gossip dissemination interposes an epidemic overlay between the
+        // detector and the strategy; Oracle and None need no state.
+        let mut gossip: Option<GossipOverlay> = match self.config.dissemination {
+            Dissemination::Gossip(cfg) if detector.is_some() => {
+                Some(GossipOverlay::new(self.topology.num_nodes(), cfg))
+            }
+            _ => None,
+        };
 
         let hard_stop = SimTime::ZERO + self.config.duration + self.config.drain_grace;
         let mut out = Actions::new();
@@ -995,9 +1049,57 @@ impl<'a> OverlayRuntime<'a> {
                                 GroundTruth::Up
                             }
                         });
-                        if !deltas.is_empty() {
+                        if let Some(overlay) = gossip.as_mut() {
+                            // Epidemic dissemination: each delta becomes a
+                            // rumor at its witness broker. Self-announced
+                            // events (joins, leaves, refutations) start at
+                            // the node they are about; a confirmed death
+                            // needs a live spokesbroker — the lowest-index
+                            // up-and-present broker other than the corpse.
+                            let chaos = self.failure.chaos();
+                            let up = |x: NodeId| !chaos.is_some_and(|c| c.node_down(x, now));
+                            for &d in &deltas {
+                                let witness = match d {
+                                    MembershipDelta::ConfirmDead { .. } => {
+                                        (0..self.topology.num_nodes())
+                                            .map(|i| self.topology.node(i))
+                                            .find(|&x| x != d.node() && up(x))
+                                            .unwrap_or_else(|| d.node())
+                                    }
+                                    _ => d.node(),
+                                };
+                                overlay.submit(d, witness, epoch);
+                            }
+                            // Control-plane connectivity: two brokers can
+                            // exchange gossip when both are up and no
+                            // active partition separates them. Partitions
+                            // therefore stall convergence until they heal.
+                            let n = self.topology.num_nodes();
+                            let split = |a: NodeId, b: NodeId| {
+                                chaos.and_then(|c| c.partition()).is_some_and(|p| {
+                                    p.is_isolated(a, now, n) != p.is_isolated(b, now, n)
+                                })
+                            };
+                            let tick =
+                                overlay.tick(epoch, |a, b| up(a) && up(b) && !split(a, b), up);
+                            if !tick.converged.is_empty() {
+                                strategy.on_gossip(&tick.converged, now);
+                            }
+                            if let Some(aud) = &mut auditor {
+                                for s in &tick.stale {
+                                    aud.flag(Violation::StaleRouteAfterConvergence {
+                                        node: s.node,
+                                        rounds: s.rounds,
+                                    });
+                                }
+                            }
+                        } else if self.config.dissemination == Dissemination::Oracle
+                            && !deltas.is_empty()
+                        {
                             strategy.on_membership(&deltas, now);
                         }
+                        // Dissemination::None drops detector output: the
+                        // strategy routes on stale membership forever.
                     }
                     // All restarts first: a broker that came back this epoch
                     // replays its custody before any node's housekeeping
@@ -1048,6 +1150,12 @@ impl<'a> OverlayRuntime<'a> {
                     }
                 }
             }
+        }
+        if let Some(overlay) = &gossip {
+            log.rumors_sent = overlay.rumors_sent();
+            log.anti_entropy_rounds = overlay.anti_entropy_rounds();
+            log.gossip_deltas_applied = overlay.deltas_converged();
+            log.stale_reconciliations = overlay.stale_reconciliations();
         }
         log.events_processed = queue.events_processed();
         log.audit = auditor.map(InvariantAuditor::finish);

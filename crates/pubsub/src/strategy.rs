@@ -232,6 +232,18 @@ pub trait RoutingStrategy {
         let _ = (deltas, now);
     }
 
+    /// A batch of membership deltas whose rumors finished their epidemic
+    /// spread: with gossip dissemination armed, the runtime routes
+    /// detector output through the gossip overlay and delivers it here
+    /// only once every present broker has learned it (convergence
+    /// gating), in rumor-submission order. Strategies apply them exactly
+    /// like [`on_membership`](Self::on_membership) deltas — the
+    /// difference is *when* they arrive, not what they mean. Default:
+    /// ignore.
+    fn on_gossip(&mut self, deltas: &[MembershipDelta], now: SimTime) {
+        let _ = (deltas, now);
+    }
+
     /// Periodic housekeeping tick for broker `node` (driven by the chaos
     /// epoch clock, once per epoch per live node). Recovery-capable
     /// strategies run their gap-detection sweep here; everyone else ignores

@@ -1,0 +1,208 @@
+//! Randomized convergence properties of the gossip delta path: applying a
+//! set of membership deltas for **distinct** brokers through `on_gossip`
+//! must be order-insensitive (any permutation leaves identical routing
+//! state), and the incremental result must match a from-scratch global
+//! rebuild over the brokers still present.
+//!
+//! This is what makes epidemic dissemination safe: gossip gives no
+//! ordering guarantee across brokers, so two brokers may learn the same
+//! converged deltas in different interleavings — the routing state they
+//! end up with must not depend on which interleaving they saw.
+//!
+//! (Deltas for the *same* broker are ordered by the dissemination layer —
+//! a `Join` after a `ConfirmDead` is a different history than the reverse
+//! — so the property quantifies over one delta per broker, which is what
+//! a single converged gossip round carries.)
+
+use dcrd::core::{DcrdConfig, DcrdStrategy, RepairMode};
+use dcrd::experiments::runner::{build_topology, build_workload};
+use dcrd::experiments::scenario::{Scenario, ScenarioBuilder};
+use dcrd::net::estimate::analytic_estimates;
+use dcrd::net::failure::{FailureModel, LinkFailureModel, LinkOutageModel};
+use dcrd::net::membership::MembershipDelta;
+use dcrd::net::{NodeId, Topology};
+use dcrd::pubsub::strategy::{RoutingStrategy, RunParams, SetupContext};
+use dcrd::pubsub::workload::Workload;
+use dcrd::sim::rng::derive_seed_indexed;
+use dcrd::sim::{SimDuration, SimTime};
+use proptest::collection;
+use proptest::prelude::*;
+
+fn scenario(seed: u64) -> Scenario {
+    ScenarioBuilder::new()
+        .nodes(14)
+        .degree(4)
+        .failure_probability(0.05)
+        .topics(5)
+        .duration_secs(60)
+        .repetitions(1)
+        .seed(seed)
+        .build()
+}
+
+fn setup(topo: &Topology, workload: &Workload, config: DcrdConfig) -> DcrdStrategy {
+    let estimates = analytic_estimates(topo, 0.05, 1e-4);
+    let failure = FailureModel::new(LinkOutageModel::Epoch(LinkFailureModel::new(0.05, 1)), None);
+    let ctx = SetupContext {
+        topology: topo,
+        estimates: &estimates,
+        workload,
+        failure_oracle: &failure,
+        params: RunParams::default(),
+    };
+    let mut strategy = DcrdStrategy::new(config);
+    strategy.setup(&ctx);
+    strategy
+}
+
+/// Feeds `deltas` one at a time (gossip converges rumors independently,
+/// so each arrives as its own `on_gossip` call) in the order given by
+/// `order`.
+fn apply_in_order(strategy: &mut DcrdStrategy, deltas: &[MembershipDelta], order: &[usize]) {
+    let mut now = SimTime::from_secs(1);
+    for &i in order {
+        strategy.on_gossip(std::slice::from_ref(&deltas[i]), now);
+        now += SimDuration::from_secs(1);
+    }
+}
+
+/// The `⟨d, r⟩` fixed point iterates until the per-round change drops
+/// below `PropagationConfig`'s `tolerance_d` (1 µs) / `tolerance_r`
+/// (1e-9), so a table frozen by the incremental skip and one recomputed
+/// from scratch agree only to within those tolerances — a still-present
+/// broker may have sat in *provisional* sending lists during early
+/// rounds of the old computation without surviving into the final list
+/// the skip check inspects. Equality is therefore asserted at the
+/// tolerance the estimator itself promises.
+fn close_d(a: f64, b: f64) -> bool {
+    a == b || (a - b).abs() <= 1.0
+}
+
+fn close_r(a: f64, b: f64) -> bool {
+    a == b || (a - b).abs() <= 1e-8
+}
+
+/// Asserts structurally identical sending lists (same neighbors, same
+/// order, delay/reliability equal to float noise) and requirements for
+/// every present broker across two strategies.
+fn assert_tables_match(
+    a: &DcrdStrategy,
+    b: &DcrdStrategy,
+    topo: &Topology,
+    workload: &Workload,
+    label: &str,
+) {
+    assert_eq!(
+        a.absent_brokers(),
+        b.absent_brokers(),
+        "{label}: absent sets"
+    );
+    let absent = a.absent_brokers().clone();
+    let mut compared = 0usize;
+    for t in workload.topics() {
+        for sub in &t.subscriptions {
+            let ta = a.tables_for(t.topic, t.publisher, sub.subscriber);
+            let tb = b.tables_for(t.topic, t.publisher, sub.subscriber);
+            let (ta, tb) = match (ta, tb) {
+                (Some(ta), Some(tb)) => (ta, tb),
+                (ta, tb) => {
+                    assert_eq!(ta.is_some(), tb.is_some(), "{label}: table existence");
+                    continue;
+                }
+            };
+            for node in topo.nodes().filter(|&node| !absent.contains(node)) {
+                let (la, lb) = (ta.sending_list(node), tb.sending_list(node));
+                assert_eq!(
+                    la.len(),
+                    lb.len(),
+                    "{label}: sending-list length of {node} diverged for {} {} -> {}",
+                    t.topic,
+                    t.publisher,
+                    sub.subscriber
+                );
+                for (ca, cb) in la.iter().zip(lb) {
+                    assert_eq!(
+                        ca.neighbor, cb.neighbor,
+                        "{label}: neighbor order of {node} diverged"
+                    );
+                    assert!(
+                        close_d(ca.d, cb.d) && close_r(ca.r, cb.r),
+                        "{label}: candidate {} of {node} diverged: \
+                         d {} vs {}, r {} vs {}",
+                        ca.neighbor,
+                        ca.d,
+                        cb.d,
+                        ca.r,
+                        cb.r
+                    );
+                }
+                assert!(
+                    close_r(ta.requirement(node), tb.requirement(node)),
+                    "{label}: requirement of {node} diverged"
+                );
+                compared += 1;
+            }
+        }
+    }
+    assert!(compared > 0, "{label}: equivalence check compared nothing");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For an arbitrary one-delta-per-broker set, every application order
+    /// yields the same routing state, and that state equals a from-scratch
+    /// global rebuild on the surviving membership.
+    #[test]
+    fn gossip_delta_application_is_order_insensitive_and_matches_rebuild(
+        seed in 0u64..64,
+        perm_seed in any::<u64>(),
+        kinds in collection::vec(any::<bool>(), 3..7),
+    ) {
+        let s = scenario(seed);
+        let topo = build_topology(&s, 0);
+        let workload = build_workload(&s, &topo, 0);
+        // Churn only non-publishers so every topic keeps its source.
+        let publishers: Vec<NodeId> = workload.topics().iter().map(|t| t.publisher).collect();
+        let churnable: Vec<NodeId> = topo
+            .nodes()
+            .filter(|node| !publishers.contains(node))
+            .collect();
+        let deltas: Vec<MembershipDelta> = churnable
+            .iter()
+            .zip(&kinds)
+            .map(|(&node, &dead)| {
+                if dead {
+                    MembershipDelta::ConfirmDead { node }
+                } else {
+                    MembershipDelta::Leave { node }
+                }
+            })
+            .collect();
+        prop_assert!(deltas.len() >= 3, "not enough churnable brokers");
+
+        let forward: Vec<usize> = (0..deltas.len()).collect();
+        let mut permuted = forward.clone();
+        permuted.sort_by_key(|&i| derive_seed_indexed(perm_seed, "perm", i as u64));
+
+        let mut in_order = setup(&topo, &workload, DcrdConfig::churn_hardened());
+        let mut shuffled = setup(&topo, &workload, DcrdConfig::churn_hardened());
+        apply_in_order(&mut in_order, &deltas, &forward);
+        apply_in_order(&mut shuffled, &deltas, &permuted);
+
+        let mut oracle_config = DcrdConfig::churn_hardened();
+        oracle_config.membership.repair = RepairMode::GlobalRebuild;
+        let mut oracle = setup(&topo, &workload, oracle_config);
+        apply_in_order(&mut oracle, &deltas, &forward);
+
+        // The gossip path never falls back to a rebuild; the oracle is
+        // nothing but rebuilds.
+        prop_assert_eq!(in_order.global_rebuilds(), 0);
+        prop_assert_eq!(shuffled.global_rebuilds(), 0);
+        prop_assert_eq!(in_order.incremental_repairs() as usize, deltas.len());
+        prop_assert!(oracle.global_rebuilds() > 0);
+
+        assert_tables_match(&in_order, &shuffled, &topo, &workload, "permutation");
+        assert_tables_match(&in_order, &oracle, &topo, &workload, "rebuild-oracle");
+    }
+}

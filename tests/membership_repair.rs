@@ -77,11 +77,12 @@ fn assert_oracle_equivalence(seed: u64, script: impl Fn(&[NodeId]) -> Vec<Vec<Me
         now += dcrd::sim::SimDuration::from_secs(1);
     }
 
-    // The arms agree on who is gone, and only the oracle rebuilt.
+    // The arms agree on who is gone, and only the oracle rebuilt (the
+    // counter excludes setup's initial construction).
     assert_eq!(incremental.absent_brokers(), oracle.absent_brokers());
-    assert_eq!(incremental.global_rebuilds(), 1, "incremental arm rebuilt");
+    assert_eq!(incremental.global_rebuilds(), 0, "incremental arm rebuilt");
     assert_eq!(incremental.incremental_repairs() as usize, batches.len());
-    assert!(oracle.global_rebuilds() > 1, "oracle never rebuilt");
+    assert!(oracle.global_rebuilds() > 0, "oracle never rebuilt");
 
     let absent = incremental.absent_brokers().clone();
     let mut compared = 0usize;
