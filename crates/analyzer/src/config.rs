@@ -1,13 +1,22 @@
-//! `analyzer.toml`: the checked-in violation baseline.
+//! `analyzer.toml`: the checked-in violation baseline plus v2 policy.
 //!
-//! The file is a list of `[[allow]]` entries, each naming a rule, a file,
-//! a distinguishing substring of the offending line, and a reason. Entries
-//! are line-content based (not line-number based) so unrelated edits above
-//! a suppressed site do not invalidate the baseline.
+//! The file holds three kinds of sections:
 //!
-//! The parser is a deliberate TOML subset (array-of-tables of string
-//! key/values) so the analyzer stays dependency-free; `--write-baseline`
-//! emits exactly this subset.
+//! * `[[allow]]` — the violation baseline: each entry names a rule, a
+//!   file, a distinguishing substring of the offending line, and a
+//!   reason. Entries are line-content based (not line-number based) so
+//!   unrelated edits above a suppressed site do not invalidate them.
+//! * `[layers]` — the crate layering (`LAYER001`): an `order` string of
+//!   crate directory names from lowest to highest layer, `<` separating
+//!   layers and `|` separating same-layer peers. A crate may only depend
+//!   on crates in strictly lower layers.
+//! * `[pure]` — sans-io exemptions (`PURE001-003`): `exempt` lists
+//!   `,`-separated workspace-relative path prefixes (e.g. the future
+//!   real-transport crate) where ambient IO is sanctioned.
+//!
+//! The parser is a deliberate TOML subset (array-of-tables and tables of
+//! string key/values) so the analyzer stays dependency-free;
+//! `--write-baseline` emits exactly the `[[allow]]` subset.
 
 use crate::rules::Diagnostic;
 
@@ -39,47 +48,106 @@ pub struct Baseline {
     pub allows: Vec<AllowEntry>,
 }
 
-impl Baseline {
+/// The fully parsed `analyzer.toml`: baseline plus v2 policy sections.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AnalyzerConfig {
+    /// The `[[allow]]` baseline.
+    pub baseline: Baseline,
+    /// `[layers] order` parsed into groups, lowest layer first. Empty
+    /// when the section is absent (disables `LAYER001`).
+    pub layer_order: Vec<Vec<String>>,
+    /// `[pure] exempt` path prefixes where the purity rules stay quiet.
+    pub pure_exempt: Vec<String>,
+}
+
+#[derive(PartialEq)]
+enum Section {
+    None,
+    Allow,
+    Layers,
+    Pure,
+}
+
+impl AnalyzerConfig {
     /// Parses the `analyzer.toml` subset. Errors name the offending line.
-    pub fn parse(text: &str) -> Result<Baseline, String> {
-        let mut allows: Vec<AllowEntry> = Vec::new();
-        let mut in_allow = false;
+    pub fn parse(text: &str) -> Result<AnalyzerConfig, String> {
+        let mut cfg = AnalyzerConfig::default();
+        let mut section = Section::None;
         for (idx, raw) in text.lines().enumerate() {
             let line = raw.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            if line == "[[allow]]" {
-                allows.push(AllowEntry::default());
-                in_allow = true;
-                continue;
-            }
-            if line.starts_with('[') {
-                return Err(format!("line {}: unknown section `{line}`", idx + 1));
+            match line {
+                "[[allow]]" => {
+                    cfg.baseline.allows.push(AllowEntry::default());
+                    section = Section::Allow;
+                    continue;
+                }
+                "[layers]" => {
+                    section = Section::Layers;
+                    continue;
+                }
+                "[pure]" => {
+                    section = Section::Pure;
+                    continue;
+                }
+                _ if line.starts_with('[') => {
+                    return Err(format!("line {}: unknown section `{line}`", idx + 1));
+                }
+                _ => {}
             }
             let Some((key, value)) = line.split_once('=') else {
                 return Err(format!("line {}: expected `key = \"value\"`", idx + 1));
             };
-            if !in_allow {
-                return Err(format!("line {}: key outside [[allow]]", idx + 1));
-            }
             let value = value.trim();
             let value = value
                 .strip_prefix('"')
                 .and_then(|v| v.strip_suffix('"'))
                 .ok_or_else(|| format!("line {}: value must be a quoted string", idx + 1))?;
-            let entry = allows.last_mut().ok_or("no open [[allow]] entry")?;
-            match key.trim() {
-                "rule" => entry.rule = value.to_string(),
-                "path" => entry.path = value.to_string(),
-                "contains" => entry.contains = value.to_string(),
-                "reason" => entry.reason = value.to_string(),
-                other => {
+            match (&section, key.trim()) {
+                (Section::Allow, "rule" | "path" | "contains" | "reason") => {
+                    let entry = cfg
+                        .baseline
+                        .allows
+                        .last_mut()
+                        .ok_or("no open [[allow]] entry")?;
+                    match key.trim() {
+                        "rule" => entry.rule = value.to_string(),
+                        "path" => entry.path = value.to_string(),
+                        "contains" => entry.contains = value.to_string(),
+                        _ => entry.reason = value.to_string(),
+                    }
+                }
+                (Section::Layers, "order") => {
+                    cfg.layer_order = value
+                        .split('<')
+                        .map(|layer| {
+                            layer
+                                .split('|')
+                                .map(|c| c.trim().to_string())
+                                .filter(|c| !c.is_empty())
+                                .collect::<Vec<_>>()
+                        })
+                        .filter(|l: &Vec<String>| !l.is_empty())
+                        .collect();
+                }
+                (Section::Pure, "exempt") => {
+                    cfg.pure_exempt = value
+                        .split(',')
+                        .map(|p| p.trim().to_string())
+                        .filter(|p| !p.is_empty())
+                        .collect();
+                }
+                (Section::None, other) => {
+                    return Err(format!("line {}: key `{other}` outside a section", idx + 1));
+                }
+                (_, other) => {
                     return Err(format!("line {}: unknown key `{other}`", idx + 1));
                 }
             }
         }
-        for (i, e) in allows.iter().enumerate() {
+        for (i, e) in cfg.baseline.allows.iter().enumerate() {
             if e.rule.is_empty() || e.path.is_empty() || e.contains.is_empty() {
                 return Err(format!(
                     "allow entry {} is missing rule/path/contains",
@@ -87,7 +155,22 @@ impl Baseline {
                 ));
             }
         }
-        Ok(Baseline { allows })
+        Ok(cfg)
+    }
+
+    /// The layer index of crate directory `krate`, if listed.
+    #[must_use]
+    pub fn layer_of(&self, krate: &str) -> Option<usize> {
+        self.layer_order
+            .iter()
+            .position(|layer| layer.iter().any(|c| c == krate))
+    }
+}
+
+impl Baseline {
+    /// Parses just the `[[allow]]` baseline out of an `analyzer.toml`.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        AnalyzerConfig::parse(text).map(|c| c.baseline)
     }
 
     /// Renders diagnostics as `[[allow]]` entries (`--write-baseline`).
@@ -116,6 +199,7 @@ mod tests {
             line: 1,
             col: 1,
             snippet: snippet.to_string(),
+            note: String::new(),
         }
     }
 

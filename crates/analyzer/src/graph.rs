@@ -1,0 +1,724 @@
+//! The workspace symbol graph: modules, functions, calls, reachability.
+//!
+//! Built from [`crate::items`] output across every scanned file, the graph
+//! gives the v2 rules what the per-file lexer cannot: *which function* a
+//! pattern lives in and *whether the hot path can reach it*. Three layers:
+//!
+//! 1. **Crate table** — one entry per workspace crate (directory under
+//!    `crates/` plus the root facade), with its `dcrd-*` dependency edges
+//!    parsed from `Cargo.toml` (used by `LAYER001` and to bound call
+//!    resolution).
+//! 2. **Function table** — every parsed `fn`, keyed by
+//!    `(crate, owner type, name)`, with its file, span and per-function
+//!    *panic sources* (panicking macros, `unwrap`/`expect`, indexing).
+//! 3. **Call graph** — name-resolved edges between functions. Resolution
+//!    is deliberately an **over-approximation**: a call edge is added to
+//!    every plausible target (same crate plus transitive dependencies),
+//!    so panic-reachability (`PANIC001`) errs toward flagging. Function
+//!    *references* passed as values (`iter.map(Self::cost)`) are the one
+//!    known under-approximation; the lexical `SAFE001` rule stays active
+//!    in the hot-path crates as the belt-and-braces for that gap.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::items::{FileItems, FnItem};
+
+/// How a function can panic at a given site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PanicKind {
+    /// `panic!`, `unreachable!`, `todo!`, `unimplemented!`, `assert!`,
+    /// `assert_eq!`, `assert_ne!` (but not `debug_assert*`, which release
+    /// builds compile out).
+    Macro,
+    /// `.unwrap()` on `Option`/`Result`.
+    Unwrap,
+    /// `.expect(..)` on `Option`/`Result`.
+    Expect,
+    /// Slice/array/map indexing `x[i]` (including panicking range forms);
+    /// the full-range `x[..]` is exempt.
+    Index,
+}
+
+impl PanicKind {
+    /// Human-readable label for diagnostics.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            PanicKind::Macro => "panicking macro",
+            PanicKind::Unwrap => "unwrap()",
+            PanicKind::Expect => "expect()",
+            PanicKind::Index => "indexing",
+        }
+    }
+}
+
+/// One potential panic site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PanicSite {
+    /// Byte offset in the file's masked source.
+    pub offset: usize,
+    /// What kind of panic.
+    pub kind: PanicKind,
+}
+
+/// One call site inside a function body, before resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum CallSite {
+    /// `name(..)` — a free function call (possibly module-qualified).
+    Free(String),
+    /// `recv.name(..)` — a method call on an unknown receiver.
+    Method(String),
+    /// `Type::name(..)` — a qualified associated call.
+    Qualified(String, String),
+    /// `self.name(..)` / `Self::name(..)` — a call on the enclosing type.
+    OnSelf(String),
+}
+
+/// One function node in the graph.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// Crate key (directory name under `crates/`, or `dcrd` for the root).
+    pub krate: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// The parsed item.
+    pub item: FnItem,
+    /// Potential panic sites in the body.
+    pub panics: Vec<PanicSite>,
+    /// Unresolved call sites in the body.
+    calls: Vec<CallSite>,
+}
+
+impl FnNode {
+    /// `Owner::name` or `name`, for chain rendering.
+    #[must_use]
+    pub fn qualified_name(&self) -> String {
+        match &self.item.owner {
+            Some(o) => format!("{o}::{}", self.item.name),
+            None => self.item.name.clone(),
+        }
+    }
+}
+
+/// The assembled workspace graph.
+#[derive(Debug, Default)]
+pub struct SymbolGraph {
+    /// All function nodes, in deterministic (file, offset) order.
+    pub fns: Vec<FnNode>,
+    /// Crate → direct `dcrd-*` dependency crates (dir-name keys).
+    pub crate_deps: BTreeMap<String, BTreeSet<String>>,
+    /// Resolved call edges, caller index → callee indices (sorted).
+    pub edges: Vec<Vec<usize>>,
+    /// Per-file parsed items (module graph inputs), keyed by path.
+    pub files: BTreeMap<String, FileItems>,
+}
+
+/// The crate key for a workspace-relative path: `crates/core/src/x.rs` →
+/// `core`; anything under the root `src/` belongs to the `dcrd` facade.
+#[must_use]
+pub fn crate_of(path: &str) -> Option<String> {
+    if let Some(rest) = path.strip_prefix("crates/") {
+        return rest.split('/').next().map(str::to_string);
+    }
+    path.starts_with("src/").then(|| "dcrd".to_string())
+}
+
+impl SymbolGraph {
+    /// Builds the graph from `(path, masked_source)` pairs plus the
+    /// crate-dependency table (see [`parse_cargo_deps`]).
+    #[must_use]
+    pub fn build(
+        files: &[(String, String)],
+        crate_deps: BTreeMap<String, BTreeSet<String>>,
+    ) -> SymbolGraph {
+        let mut graph = SymbolGraph {
+            crate_deps,
+            ..SymbolGraph::default()
+        };
+        for (path, masked) in files {
+            let Some(krate) = crate_of(path) else {
+                continue;
+            };
+            let items = crate::items::parse_items(masked);
+            for f in &items.fns {
+                let (panics, calls) = match f.body {
+                    Some((open, close)) => scan_body(masked, open, close),
+                    None => (Vec::new(), Vec::new()),
+                };
+                graph.fns.push(FnNode {
+                    krate: krate.clone(),
+                    file: path.clone(),
+                    item: f.clone(),
+                    panics,
+                    calls,
+                });
+            }
+            graph.files.insert(path.clone(), items);
+        }
+        graph.resolve();
+        graph
+    }
+
+    /// Name-resolves every call site into edges.
+    fn resolve(&mut self) {
+        // name → fn indices, split by free fns vs methods, plus
+        // (owner, name) → indices for qualified calls.
+        let mut free: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut methods: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut owned: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        for (i, f) in self.fns.iter().enumerate() {
+            match &f.item.owner {
+                Some(o) => {
+                    methods.entry(&f.item.name).or_default().push(i);
+                    owned.entry((o, &f.item.name)).or_default().push(i);
+                }
+                None => free.entry(&f.item.name).or_default().push(i),
+            }
+        }
+        // Transitive dependency closure per crate.
+        let closures: BTreeMap<&String, BTreeSet<&String>> = self
+            .crate_deps
+            .keys()
+            .map(|k| (k, dep_closure(&self.crate_deps, k)))
+            .collect();
+
+        let mut edges: Vec<Vec<usize>> = Vec::with_capacity(self.fns.len());
+        for f in &self.fns {
+            let visible = |idx: &usize| -> bool {
+                let target = &self.fns[*idx];
+                target.krate == f.krate
+                    || closures
+                        .get(&f.krate)
+                        .is_some_and(|c| c.contains(&target.krate))
+            };
+            let mut out: Vec<usize> = Vec::new();
+            for call in &f.calls {
+                match call {
+                    CallSite::Free(name) => {
+                        // A free call may also be a tuple-struct ctor or a
+                        // std fn; unknown names simply resolve to nothing.
+                        if let Some(v) = free.get(name.as_str()) {
+                            out.extend(v.iter().filter(|i| visible(i)));
+                        }
+                    }
+                    CallSite::Method(name) => {
+                        if let Some(v) = methods.get(name.as_str()) {
+                            out.extend(v.iter().filter(|i| visible(i)));
+                        }
+                    }
+                    CallSite::Qualified(ty, name) => {
+                        if let Some(v) = owned.get(&(ty.as_str(), name.as_str())) {
+                            out.extend(v.iter().filter(|i| visible(i)));
+                        }
+                    }
+                    CallSite::OnSelf(name) => {
+                        if let Some(o) = &f.item.owner {
+                            if let Some(v) = owned.get(&(o.as_str(), name.as_str())) {
+                                out.extend(v.iter().filter(|i| visible(i)));
+                            }
+                        }
+                    }
+                }
+            }
+            out.sort_unstable();
+            out.dedup();
+            edges.push(out);
+        }
+        self.edges = edges;
+    }
+
+    /// Indices of functions matching `(crate, owner, name)`; `owner = None`
+    /// matches free functions only.
+    #[must_use]
+    pub fn find(&self, krate: &str, owner: Option<&str>, name: &str) -> Vec<usize> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| {
+                f.krate == krate && f.item.name == name && f.item.owner.as_deref() == owner
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// BFS over call edges from `roots`; returns, for every reached
+    /// function, the index of its BFS parent (roots map to themselves).
+    /// Deterministic: roots and edge lists are processed in sorted order.
+    #[must_use]
+    pub fn reachable_from(&self, roots: &[usize]) -> BTreeMap<usize, usize> {
+        let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut frontier: Vec<usize> = Vec::new();
+        let mut sorted_roots = roots.to_vec();
+        sorted_roots.sort_unstable();
+        for &r in &sorted_roots {
+            if parent.insert(r, r).is_none() {
+                frontier.push(r);
+            }
+        }
+        while let Some(cur) = frontier.pop() {
+            for &next in self.edges.get(cur).map_or(&[][..], Vec::as_slice) {
+                if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(next) {
+                    e.insert(cur);
+                    frontier.push(next);
+                }
+            }
+        }
+        parent
+    }
+
+    /// Renders a short `entry → … → target` chain from a BFS parent map
+    /// (at most 8 frames; longer chains elide the middle with `…`).
+    #[must_use]
+    pub fn chain(&self, parents: &BTreeMap<usize, usize>, target: usize) -> String {
+        let mut names: Vec<String> = Vec::new();
+        let mut cur = target;
+        loop {
+            names.push(self.fns[cur].qualified_name());
+            match parents.get(&cur) {
+                Some(&p) if p != cur && names.len() < 8 => cur = p,
+                Some(&p) if p != cur => {
+                    names.push("…".to_string());
+                    break;
+                }
+                _ => break,
+            }
+        }
+        names.reverse();
+        names.join(" → ")
+    }
+}
+
+/// Transitive `dcrd-*` dependency closure of `krate`.
+fn dep_closure<'a>(
+    deps: &'a BTreeMap<String, BTreeSet<String>>,
+    krate: &str,
+) -> BTreeSet<&'a String> {
+    let mut seen: BTreeSet<&'a String> = BTreeSet::new();
+    let mut stack: Vec<&'a String> = deps
+        .get(krate)
+        .map(|d| d.iter().collect())
+        .unwrap_or_default();
+    while let Some(k) = stack.pop() {
+        if seen.insert(k) {
+            if let Some(next) = deps.get(k) {
+                stack.extend(next.iter());
+            }
+        }
+    }
+    seen
+}
+
+/// Parses the `dcrd-*` entries of one `Cargo.toml`'s `[dependencies]`
+/// section into dir-name keys (`dcrd-sim` → `sim`). Dev-dependencies are
+/// ignored: test-only edges do not constrain the architecture.
+#[must_use]
+pub fn parse_cargo_deps(toml: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let mut in_deps = false;
+    for line in toml.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_deps = line == "[dependencies]";
+            continue;
+        }
+        if !in_deps {
+            continue;
+        }
+        if let Some(name) = line.split(['=', '.']).next() {
+            let name = name.trim();
+            if let Some(dir) = name.strip_prefix("dcrd-") {
+                out.insert(dir.to_string());
+            }
+        }
+    }
+    out
+}
+
+const KEYWORDS: &[&str] = &[
+    "if", "else", "match", "while", "for", "loop", "return", "break", "continue", "let", "mut",
+    "ref", "move", "unsafe", "as", "in", "fn", "impl", "dyn", "where", "use", "pub", "mod",
+    "struct", "enum", "trait", "type", "const", "static", "await", "async", "box", "yield",
+];
+
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Previous non-whitespace byte before `i`, with its index.
+fn prev_significant(bytes: &[u8], i: usize) -> Option<(u8, usize)> {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        if !bytes[j].is_ascii_whitespace() {
+            return Some((bytes[j], j));
+        }
+    }
+    None
+}
+
+/// The identifier ending at byte `end` (exclusive), if any.
+fn ident_ending_at(masked: &str, end: usize) -> Option<&str> {
+    let bytes = masked.as_bytes();
+    if end == 0 || !is_ident(bytes[end - 1]) {
+        return None;
+    }
+    let mut start = end;
+    while start > 0 && is_ident(bytes[start - 1]) {
+        start -= 1;
+    }
+    Some(&masked[start..end])
+}
+
+/// Scans one function body (masked bytes `open..close`) for panic sites
+/// and call sites.
+fn scan_body(masked: &str, open: usize, close: usize) -> (Vec<PanicSite>, Vec<CallSite>) {
+    let bytes = masked.as_bytes();
+    let close = close.min(bytes.len());
+    let mut panics = Vec::new();
+    let mut calls = Vec::new();
+    let mut i = open;
+    while i < close {
+        let b = bytes[i];
+        if is_ident(b) && (i == 0 || !is_ident(bytes[i - 1])) {
+            let start = i;
+            while i < close && is_ident(bytes[i]) {
+                i += 1;
+            }
+            let word = &masked[start..i];
+            if KEYWORDS.contains(&word) {
+                continue;
+            }
+            // Macro invocation?
+            if bytes.get(i) == Some(&b'!') {
+                if PANIC_MACROS.contains(&word) {
+                    panics.push(PanicSite {
+                        offset: start,
+                        kind: PanicKind::Macro,
+                    });
+                }
+                continue;
+            }
+            // A call requires `(` after optional whitespace / turbofish.
+            let mut j = i;
+            while j < close && bytes[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if bytes.get(j) == Some(&b':') && bytes.get(j + 1) == Some(&b':') {
+                if bytes.get(j + 2) == Some(&b'<') {
+                    // Turbofish: skip the balanced angle list.
+                    let mut depth = 0i32;
+                    let mut k = j + 2;
+                    while k < close {
+                        match bytes[k] {
+                            b'<' => depth += 1,
+                            b'>' => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    j = k + 1;
+                } else {
+                    // `word::next` — the call name is further right; this
+                    // segment is handled when the final segment is read.
+                    continue;
+                }
+            }
+            if bytes.get(j) != Some(&b'(') {
+                continue;
+            }
+            // Classify by what precedes the identifier.
+            match prev_significant(bytes, start) {
+                Some((b'.', _)) => {
+                    if word == "unwrap"
+                        && bytes
+                            .get(j + 1)
+                            .copied()
+                            .map(|b| b == b')')
+                            .unwrap_or(false)
+                    {
+                        panics.push(PanicSite {
+                            offset: start,
+                            kind: PanicKind::Unwrap,
+                        });
+                    } else if word == "expect" {
+                        panics.push(PanicSite {
+                            offset: start,
+                            kind: PanicKind::Expect,
+                        });
+                    }
+                    calls.push(CallSite::Method(word.to_string()));
+                }
+                Some((b':', colon)) if colon > 0 && bytes[colon - 1] == b':' => {
+                    // `Seg::word(` — find the qualifying segment.
+                    match ident_ending_at(masked, colon - 1) {
+                        Some("Self") => calls.push(CallSite::OnSelf(word.to_string())),
+                        Some(seg) if seg.chars().next().is_some_and(|c| c.is_ascii_uppercase()) => {
+                            calls.push(CallSite::Qualified(seg.to_string(), word.to_string()));
+                        }
+                        // `module::word(` or `>::word(`: resolve by name.
+                        _ => calls.push(CallSite::Free(word.to_string())),
+                    }
+                }
+                _ => calls.push(CallSite::Free(word.to_string())),
+            }
+            continue;
+        }
+        if b == b'[' {
+            if let Some(site) = index_site(masked, i, close) {
+                panics.push(site);
+            }
+        }
+        i += 1;
+    }
+    // `self.method(..)` was classified as Method; sharpen it: a method
+    // call whose receiver is literally `self` is OnSelf. Re-scan cheaply.
+    let mut sharpened = Vec::with_capacity(calls.len());
+    let mut seen_self: BTreeSet<String> = BTreeSet::new();
+    for pos in find_all(&masked[open..close], "self.") {
+        let abs = open + pos;
+        if abs > 0 && is_ident(bytes[abs - 1]) {
+            continue;
+        }
+        let after = abs + "self.".len();
+        if let Some((name, end)) = read_ident_at(masked, after) {
+            let mut j = end;
+            while j < close && bytes[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if bytes.get(j) == Some(&b'(') {
+                seen_self.insert(name);
+            }
+        }
+    }
+    for c in calls {
+        match c {
+            CallSite::Method(name) if seen_self.contains(&name) => {
+                // Keep both: the self-edge is precise, but the same name
+                // may also be called on other receivers in this body.
+                sharpened.push(CallSite::OnSelf(name.clone()));
+                sharpened.push(CallSite::Method(name));
+            }
+            other => sharpened.push(other),
+        }
+    }
+    (panics, sharpened)
+}
+
+fn read_ident_at(masked: &str, at: usize) -> Option<(String, usize)> {
+    let bytes = masked.as_bytes();
+    let mut end = at;
+    while end < bytes.len() && is_ident(bytes[end]) {
+        end += 1;
+    }
+    (end > at).then(|| (masked[at..end].to_string(), end))
+}
+
+fn find_all(haystack: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = haystack[from..].find(needle) {
+        out.push(from + rel);
+        from += rel + 1;
+    }
+    out
+}
+
+/// Classifies the `[` at `i` as a panicking index expression, or not.
+///
+/// Indexing requires an expression on the left: the previous significant
+/// byte must be an identifier char, `)`, or `]`, and the identifier (if
+/// any) must not be a keyword (`let [a, b] =` is a pattern) or a macro
+/// bang (`vec![..]`). The full-range `[..]` never panics and is exempt.
+fn index_site(masked: &str, i: usize, close: usize) -> Option<PanicSite> {
+    let bytes = masked.as_bytes();
+    let (prev, prev_idx) = prev_significant(bytes, i)?;
+    let is_expr = match prev {
+        b')' | b']' => true,
+        b if is_ident(b) => ident_ending_at(masked, prev_idx + 1)
+            .map(|w| !KEYWORDS.contains(&w))
+            .unwrap_or(true),
+        _ => false,
+    };
+    if !is_expr {
+        return None;
+    }
+    // Find the matching `]` and inspect the content.
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < close {
+        match bytes[j] {
+            b'[' => depth += 1,
+            b']' => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    let content = masked[i + 1..j.min(masked.len())].trim();
+    if content == ".." {
+        return None;
+    }
+    Some(PanicSite {
+        offset: i,
+        kind: PanicKind::Index,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mask::{mask_source, strip_test_regions};
+
+    fn build(files: &[(&str, &str)]) -> SymbolGraph {
+        let masked: Vec<(String, String)> = files
+            .iter()
+            .map(|(p, s)| (p.to_string(), strip_test_regions(&mask_source(s))))
+            .collect();
+        let mut deps = BTreeMap::new();
+        deps.insert("core".to_string(), BTreeSet::from(["net".to_string()]));
+        deps.insert("net".to_string(), BTreeSet::new());
+        SymbolGraph::build(&masked, deps)
+    }
+
+    #[test]
+    fn free_calls_resolve_within_crate_and_deps() {
+        let g = build(&[
+            (
+                "crates/core/src/a.rs",
+                "pub fn entry() { helper(); remote(); }\nfn helper() {}",
+            ),
+            ("crates/net/src/b.rs", "pub fn remote() { hidden(); }"),
+            // Not a dependency of core: never resolved from core.
+            ("crates/sim/src/c.rs", "pub fn helper() {}"),
+        ]);
+        let entry = g.find("core", None, "entry")[0];
+        let reach = g.reachable_from(&[entry]);
+        let names: Vec<String> = reach.keys().map(|&i| g.fns[i].qualified_name()).collect();
+        assert!(names.contains(&"helper".to_string()));
+        assert!(names.contains(&"remote".to_string()));
+        // Only the core helper, not the sim one.
+        assert_eq!(
+            reach
+                .keys()
+                .filter(|&&i| g.fns[i].item.name == "helper")
+                .map(|&i| g.fns[i].krate.clone())
+                .collect::<Vec<_>>(),
+            vec!["core".to_string()]
+        );
+    }
+
+    #[test]
+    fn method_and_qualified_calls_resolve() {
+        let g = build(&[(
+            "crates/core/src/a.rs",
+            "struct R; impl R { pub fn process(&mut self) { self.step(); } \
+             fn step(&self) { Helper::go(); } }\n\
+             struct Helper; impl Helper { fn go() { x.boom() } fn unrelated() {} }\n\
+             struct Other; impl Other { fn boom(&self) { panic!(\"\") } }",
+        )]);
+        let entry = g.find("core", Some("R"), "process")[0];
+        let reach = g.reachable_from(&[entry]);
+        let reached: Vec<String> = reach.keys().map(|&i| g.fns[i].qualified_name()).collect();
+        assert!(reached.contains(&"R::step".to_string()));
+        assert!(reached.contains(&"Helper::go".to_string()));
+        // `.boom()` on an unknown receiver over-approximates to any impl.
+        assert!(reached.contains(&"Other::boom".to_string()));
+        assert!(!reached.contains(&"Helper::unrelated".to_string()));
+    }
+
+    #[test]
+    fn panic_sites_are_classified() {
+        let g = build(&[(
+            "crates/core/src/a.rs",
+            "fn f(v: &[u32], o: Option<u32>) -> u32 {\n\
+                 let a = o.unwrap();\n\
+                 let b = o.expect(\"msg\");\n\
+                 let c = v[0];\n\
+                 let d = &v[..];\n\
+                 if a > b { panic!(\"no\") }\n\
+                 a + b + c + d.len() as u32\n\
+             }",
+        )]);
+        let kinds: Vec<PanicKind> = g.fns[0].panics.iter().map(|p| p.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                PanicKind::Unwrap,
+                PanicKind::Expect,
+                PanicKind::Index,
+                PanicKind::Macro
+            ]
+        );
+    }
+
+    #[test]
+    fn index_detection_skips_patterns_macros_attributes_and_types() {
+        let g = build(&[(
+            "crates/core/src/a.rs",
+            "#[derive(Debug)]\nfn f(xs: &[u32; 4]) {\n\
+                 let [a, b] = [1u32, 2];\n\
+                 let v = vec![0u32; 4];\n\
+                 let t: [u8; 2] = [0; 2];\n\
+                 let w = xs[a as usize];\n\
+             }",
+        )]);
+        let kinds: Vec<PanicKind> = g.fns[0].panics.iter().map(|p| p.kind).collect();
+        assert_eq!(kinds, vec![PanicKind::Index], "only `xs[..]` indexes");
+    }
+
+    #[test]
+    fn debug_asserts_and_unwrap_or_are_not_panic_sites() {
+        let g = build(&[(
+            "crates/core/src/a.rs",
+            "fn f(o: Option<u32>) -> u32 {\n\
+                 debug_assert!(o.is_some());\n\
+                 debug_assert_eq!(1, 1);\n\
+                 o.unwrap_or(0) + o.unwrap_or_default()\n\
+             }",
+        )]);
+        assert!(g.fns[0].panics.is_empty(), "{:?}", g.fns[0].panics);
+    }
+
+    #[test]
+    fn chains_render_from_the_entry_point() {
+        let g = build(&[(
+            "crates/core/src/a.rs",
+            "pub fn entry() { mid() } fn mid() { deep() } fn deep() { panic!() }",
+        )]);
+        let entry = g.find("core", None, "entry")[0];
+        let deep = g.find("core", None, "deep")[0];
+        let reach = g.reachable_from(&[entry]);
+        assert_eq!(g.chain(&reach, deep), "entry → mid → deep");
+    }
+
+    #[test]
+    fn cargo_deps_parse_both_styles() {
+        let toml = "[package]\nname = \"x\"\n[dependencies]\n\
+                    dcrd-sim.workspace = true\n\
+                    dcrd-net = { path = \"../net\" }\n\
+                    rand = \"0.8\"\n\
+                    [dev-dependencies]\n\
+                    dcrd-metrics.workspace = true\n";
+        let deps = parse_cargo_deps(toml);
+        assert_eq!(deps, BTreeSet::from(["sim".to_string(), "net".to_string()]));
+    }
+}

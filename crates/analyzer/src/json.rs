@@ -1,0 +1,141 @@
+//! `--format json`: machine-readable report output.
+//!
+//! Hand-rolled serialization (the analyzer is dependency-free by
+//! charter). The schema is versioned and covered by a golden-file test;
+//! bump `SCHEMA_VERSION` on any shape change so downstream consumers
+//! (the CI annotation step, dashboards) fail loudly instead of
+//! misparsing.
+
+use crate::config::AllowEntry;
+use crate::rules::Diagnostic;
+
+/// Version of the JSON report shape.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Renders the full report: fresh violations, baseline-suppressed ones,
+/// and stale baseline entries, plus summary counts.
+#[must_use]
+pub fn render_report(
+    fresh: &[Diagnostic],
+    suppressed: &[Diagnostic],
+    stale: &[AllowEntry],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
+    out.push_str("  \"tool\": \"dcrd-analyzer\",\n");
+    out.push_str("  \"violations\": [");
+    render_diags(&mut out, fresh);
+    out.push_str("],\n");
+    out.push_str("  \"suppressed\": [");
+    render_diags(&mut out, suppressed);
+    out.push_str("],\n");
+    out.push_str("  \"stale_allows\": [");
+    for (i, a) in stale.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": {}, \"path\": {}, \"contains\": {}}}",
+            escape(&a.rule),
+            escape(&a.path),
+            escape(&a.contains)
+        ));
+    }
+    if !stale.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n");
+    out.push_str(&format!(
+        "  \"counts\": {{\"new\": {}, \"suppressed\": {}, \"stale_allows\": {}}}\n",
+        fresh.len(),
+        suppressed.len(),
+        stale.len()
+    ));
+    out.push_str("}\n");
+    out
+}
+
+fn render_diags(out: &mut String, diags: &[Diagnostic]) {
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"col\": {}, \
+             \"snippet\": {}, \"note\": {}}}",
+            escape(d.rule),
+            escape(&d.path),
+            d.line,
+            d.col,
+            escape(&d.snippet),
+            escape(&d.note)
+        ));
+    }
+    if !diags.is_empty() {
+        out.push_str("\n  ");
+    }
+}
+
+/// JSON string escaping per RFC 8259: quotes, backslashes, and control
+/// characters; everything else passes through as UTF-8.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &'static str, snippet: &str, note: &str) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: "crates/core/src/x.rs".to_string(),
+            line: 3,
+            col: 7,
+            snippet: snippet.to_string(),
+            note: note.to_string(),
+        }
+    }
+
+    #[test]
+    fn report_shape_is_stable() {
+        let fresh = vec![diag("PANIC001", "let x = v[0];", "indexing via f → g")];
+        let text = render_report(&fresh, &[], &[]);
+        assert!(text.contains("\"schema_version\": 1"));
+        assert!(text.contains("\"tool\": \"dcrd-analyzer\""));
+        assert!(text.contains("\"counts\": {\"new\": 1, \"suppressed\": 0, \"stale_allows\": 0}"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let fresh = vec![diag("DET001", "let s = \"a\\\"b\";\ttab", "")];
+        let text = render_report(&fresh, &[], &[]);
+        assert!(text.contains("\\\"a\\\\\\\"b\\\";\\ttab"));
+        // Control characters never appear raw inside a JSON string.
+        assert!(!text
+            .lines()
+            .any(|l| l.contains('\t') && l.contains("snippet")));
+    }
+
+    #[test]
+    fn empty_report_is_valid() {
+        let text = render_report(&[], &[], &[]);
+        assert!(text.contains("\"violations\": [],"));
+        assert!(text.contains("\"counts\": {\"new\": 0, \"suppressed\": 0, \"stale_allows\": 0}"));
+    }
+}

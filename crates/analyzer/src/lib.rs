@@ -12,25 +12,43 @@
 //! | `DET002` | ambient clocks/RNGs outside `dcrd_sim::rng` |
 //! | `DET003` | `partial_cmp` inside sort comparators |
 //! | `SAFE001` | `unwrap()`/`expect()` in hot-path crates |
-//! | `SAFE002` | unchecked arithmetic in `SimTime` construction |
+//! | `SAFE002` | unchecked arithmetic in `SimTime` construction and counters |
+//! | `SAFE003` | unclamped capacity hints in wire-codec files |
+//! | `PURE001` | ambient IO/threads/async runtimes in the sans-io crates |
+//! | `PURE002` | wall clocks and `std::io` in the sans-io crates |
+//! | `PURE003` | `std::sync` shared-mutation primitives (Arc is allowed) |
+//! | `PANIC001` | panic sources reachable from the hot-path entry points |
+//! | `LAYER001` | crate dependencies against the `[layers]` order |
 //!
 //! Violations are reported as `file:line:col` diagnostics. Legacy debt is
 //! suppressed through the checked-in `analyzer.toml` baseline so new
 //! violations fail CI (`--deny-new`) while the debt stays visible.
+//!
+//! The v1 rules are per-file lexical scans. The v2 passes (`PURE`,
+//! `PANIC`, `LAYER`) ride on a workspace symbol graph: a lightweight item
+//! parser ([`items`]) extracts functions, impl owners, `use` declarations
+//! and modules from the masked source, and [`graph`] resolves a
+//! deliberately over-approximate intra-workspace call graph on top
+//! (see `DESIGN.md` §15 for semantics and known gaps).
 //!
 //! The scanner is a hand-rolled lexer rather than a `syn` walk so the
 //! crate has **zero dependencies** — it must build before anything else,
 //! including in offline bootstrap environments.
 
 pub mod config;
+pub mod graph;
+pub mod items;
+pub mod json;
 pub mod mask;
 pub mod rules;
+pub mod rules_v2;
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-pub use config::{AllowEntry, Baseline};
+pub use config::{AllowEntry, AnalyzerConfig, Baseline};
 pub use rules::{Diagnostic, RuleInfo, RULES};
 
 /// Directory names never scanned: build output, scratch space, VCS, and
@@ -47,13 +65,32 @@ pub fn analyze_source(path: &str, source: &str) -> Vec<Diagnostic> {
     rules::scan_file(path, source, &masked)
 }
 
-/// Walks the workspace under `root` and scans every non-test `.rs` file.
+/// Loads the root `analyzer.toml` (all sections); a missing file yields
+/// the default (empty) config.
+pub fn load_config(root: &Path) -> io::Result<AnalyzerConfig> {
+    let path = root.join("analyzer.toml");
+    if !path.exists() {
+        return Ok(AnalyzerConfig::default());
+    }
+    let text = fs::read_to_string(&path)?;
+    AnalyzerConfig::parse(&text)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("analyzer.toml: {e}")))
+}
+
+/// Walks the workspace under `root` and runs every pass: the per-file
+/// lexical rules over each non-test `.rs` file, then the graph passes
+/// (`PANIC001` over the symbol graph, `LAYER001` over the manifests).
 /// Diagnostics come back sorted by `(path, line, col, rule)`.
 pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let cfg = load_config(root)?;
     let mut files: Vec<PathBuf> = Vec::new();
-    collect_rs_files(root, &mut files)?;
+    collect_files(root, &mut files)?;
     files.sort();
     let mut diags = Vec::new();
+    // path → (original, masked) for every scanned `.rs` file; the graph
+    // passes reuse the masking work done for the lexical rules.
+    let mut texts: BTreeMap<String, (String, String)> = BTreeMap::new();
+    let mut manifests: BTreeMap<String, String> = BTreeMap::new();
     for file in files {
         let Ok(source) = fs::read_to_string(&file) else {
             continue; // Non-UTF-8 file: nothing lexical to scan.
@@ -63,13 +100,46 @@ pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
             .unwrap_or(&file)
             .to_string_lossy()
             .replace('\\', "/");
-        diags.extend(analyze_source(&rel, &source));
+        if rel.ends_with("Cargo.toml") {
+            manifests.insert(rel, source);
+            continue;
+        }
+        let masked = mask::strip_test_regions(&mask::mask_source(&source));
+        let mut file_diags = rules::scan_file(&rel, &source, &masked);
+        if cfg.pure_exempt.iter().any(|p| rel.starts_with(p.as_str())) {
+            file_diags.retain(|d| !d.rule.starts_with("PURE"));
+        }
+        diags.extend(file_diags);
+        texts.insert(rel, (source, masked));
     }
+
+    let masked_files: Vec<(String, String)> = texts
+        .iter()
+        .map(|(p, (_, m))| (p.clone(), m.clone()))
+        .collect();
+    let crate_deps: BTreeMap<String, BTreeSet<String>> = manifests
+        .iter()
+        .filter_map(|(path, toml)| {
+            let krate = if let Some(rest) = path.strip_prefix("crates/") {
+                rest.split('/').next()?.to_string()
+            } else if path == "Cargo.toml" {
+                "dcrd".to_string()
+            } else {
+                return None;
+            };
+            Some((krate, graph::parse_cargo_deps(toml)))
+        })
+        .collect();
+    let symbol_graph = graph::SymbolGraph::build(&masked_files, crate_deps);
+    diags.extend(rules_v2::panic_reachability(&symbol_graph, &texts));
+    diags.extend(rules_v2::layering(&manifests, &cfg));
+
     diags.sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
     Ok(diags)
 }
 
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+/// Collects the `.rs` sources and `Cargo.toml` manifests the passes need.
+fn collect_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     for entry in fs::read_dir(dir)? {
         let entry = entry?;
         let path = entry.path();
@@ -79,8 +149,8 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
             if SKIP_DIRS.contains(&name.as_ref()) {
                 continue;
             }
-            collect_rs_files(&path, out)?;
-        } else if name.ends_with(".rs") {
+            collect_files(&path, out)?;
+        } else if name.ends_with(".rs") || name == "Cargo.toml" {
             out.push(path);
         }
     }

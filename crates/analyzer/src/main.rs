@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run -p dcrd-analyzer --             # report everything
 //! cargo run -p dcrd-analyzer -- --deny-new  # CI gate: exit 1 on new hits
+//! cargo run -p dcrd-analyzer -- --format json   # machine-readable report
 //! cargo run -p dcrd-analyzer -- --write-baseline > analyzer.toml
 //! cargo run -p dcrd-analyzer -- --list-rules
 //! ```
@@ -14,13 +15,20 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use dcrd_analyzer::{analyze_workspace, partition, Baseline, RULES};
+use dcrd_analyzer::{analyze_workspace, json, partition, Baseline, RULES};
+
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
 
 struct Options {
     root: Option<PathBuf>,
     deny_new: bool,
     write_baseline: bool,
     list_rules: bool,
+    format: Format,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -29,6 +37,7 @@ fn parse_args() -> Result<Options, String> {
         deny_new: false,
         write_baseline: false,
         list_rules: false,
+        format: Format::Text,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -40,9 +49,18 @@ fn parse_args() -> Result<Options, String> {
                 let path = args.next().ok_or("--root requires a path")?;
                 opts.root = Some(PathBuf::from(path));
             }
+            "--format" => {
+                let fmt = args.next().ok_or("--format requires `text` or `json`")?;
+                opts.format = match fmt.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}`")),
+                };
+            }
             "--help" | "-h" => {
                 println!(
-                    "dcrd-analyzer [--root PATH] [--deny-new] [--write-baseline] [--list-rules]"
+                    "dcrd-analyzer [--root PATH] [--deny-new] [--format text|json] \
+                     [--write-baseline] [--list-rules]"
                 );
                 std::process::exit(0);
             }
@@ -114,14 +132,25 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    for d in &fresh {
-        println!("{}:{}:{}: {}: {}", d.path, d.line, d.col, d.rule, d.snippet);
-    }
-    for a in &unused {
-        eprintln!(
-            "warning: stale baseline entry ({} in {} matching \"{}\") — delete it",
-            a.rule, a.path, a.contains
-        );
+    if opts.format == Format::Json {
+        print!("{}", json::render_report(&fresh, &suppressed, &unused));
+    } else {
+        for d in &fresh {
+            if d.note.is_empty() {
+                println!("{}:{}:{}: {}: {}", d.path, d.line, d.col, d.rule, d.snippet);
+            } else {
+                println!(
+                    "{}:{}:{}: {}: {} [{}]",
+                    d.path, d.line, d.col, d.rule, d.snippet, d.note
+                );
+            }
+        }
+        for a in &unused {
+            eprintln!(
+                "warning: stale baseline entry ({} in {} matching \"{}\") — delete it",
+                a.rule, a.path, a.contains
+            );
+        }
     }
     eprintln!(
         "dcrd-analyzer: {} new violation(s), {} suppressed by baseline, {} stale baseline entr(y/ies)",

@@ -21,6 +21,20 @@ pub const HOT_PATH: &[&str] = &["crates/core", "crates/pubsub"];
 /// The one module allowed to touch raw entropy: the seeded RNG factory.
 pub const DET002_EXEMPT: &[&str] = &["crates/sim/src/rng.rs"];
 
+/// Crates that must stay sans-io: the protocol logic the transport split
+/// will lift behind a driver. Purity violations here would leak ambient
+/// environment effects into code the simulator must fully control.
+pub const PURE_SCOPE: &[&str] = &["crates/core", "crates/pubsub", "crates/sim", "crates/net"];
+
+/// Files where the SAFE002 counter extension applies: metrics histogram
+/// bucket math and gossip round counters, where a wrap corrupts a whole
+/// sweep's statistics silently.
+pub const SAFE002_COUNTER_SCOPE: &[&str] = &[
+    "crates/metrics",
+    "crates/net/src/gossip.rs",
+    "crates/sim/src/stats.rs",
+];
+
 /// One rule's identity and rationale (`--list-rules` output).
 #[derive(Debug, Clone, Copy)]
 pub struct RuleInfo {
@@ -62,8 +76,11 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "SAFE002",
         summary: "no unchecked integer arithmetic inside SimTime/SimDuration \
-                  construction; use the saturating/checked API",
-        scope: "crates/sim, non-test code",
+                  construction, and no bare `+=` on struct-field counters \
+                  (histogram buckets, gossip rounds); use the \
+                  saturating/checked API",
+        scope: "crates/sim; counters also in crates/metrics, \
+                net/src/gossip.rs, sim/src/stats.rs",
     },
     RuleInfo {
         id: "SAFE003",
@@ -71,6 +88,42 @@ pub const RULES: &[RuleInfo] = &[
                   unclamped (possibly attacker-controlled) length prefix; \
                   clamp the hint with .min(..) against the bytes present",
         scope: "codec files in sim-facing crates, non-test code",
+    },
+    RuleInfo {
+        id: "PURE001",
+        summary: "no ambient IO, threads or async runtimes (std::{net,thread,\
+                  fs,process}, tokio, async-std, mio) in the sans-io crates; \
+                  effects belong behind the transport driver",
+        scope: "crates/{core,pubsub,sim,net} minus [pure] exempt paths",
+    },
+    RuleInfo {
+        id: "PURE002",
+        summary: "no wall clocks or blocking IO traits (std::io, \
+                  std::time::Instant, SystemTime) in the sans-io crates; \
+                  time flows only through SimTime",
+        scope: "crates/{core,pubsub,sim,net} minus [pure] exempt paths",
+    },
+    RuleInfo {
+        id: "PURE003",
+        summary: "no std::sync primitives (Mutex, RwLock, Condvar, mpsc, \
+                  atomics, parking_lot/crossbeam/rayon) in the sans-io \
+                  crates; Arc is allowed, shared mutation is not",
+        scope: "crates/{core,pubsub,sim,net} minus [pure] exempt paths",
+    },
+    RuleInfo {
+        id: "PANIC001",
+        summary: "no panic source (panic-family macro, unwrap/expect, \
+                  indexing) transitively reachable from Router::process, \
+                  OverlayRuntime::tick, or the codec entry points, by \
+                  call-graph over-approximation",
+        scope: "workspace call graph from the hot-path entry points",
+    },
+    RuleInfo {
+        id: "LAYER001",
+        summary: "crate dependencies must point strictly down the [layers] \
+                  order in analyzer.toml; sim-facing crates may not depend \
+                  on experiment/CLI crates",
+        scope: "every workspace Cargo.toml [dependencies] section",
     },
 ];
 
@@ -88,6 +141,9 @@ pub struct Diagnostic {
     pub col: usize,
     /// The trimmed original source line.
     pub snippet: String,
+    /// Optional extra context (e.g. a PANIC001 reachability chain);
+    /// empty when there is none.
+    pub note: String,
 }
 
 fn in_scope(path: &str, scope: &[&str]) -> bool {
@@ -138,6 +194,28 @@ fn snippet_of(original: &str, line: usize) -> String {
         .to_string()
 }
 
+/// Builds one diagnostic at a byte offset of the masked source (masking
+/// is length-preserving, so the offset maps 1:1 onto `original`).
+#[must_use]
+pub fn diagnostic_at(
+    rule: &'static str,
+    path: &str,
+    original: &str,
+    masked: &str,
+    offset: usize,
+    note: String,
+) -> Diagnostic {
+    let (line, col) = line_col(masked, offset);
+    Diagnostic {
+        rule,
+        path: path.to_string(),
+        line,
+        col,
+        snippet: snippet_of(original, line),
+        note,
+    }
+}
+
 fn push(
     out: &mut Vec<Diagnostic>,
     rule: &'static str,
@@ -146,14 +224,14 @@ fn push(
     masked: &str,
     offset: usize,
 ) {
-    let (line, col) = line_col(masked, offset);
-    out.push(Diagnostic {
+    out.push(diagnostic_at(
         rule,
-        path: path.to_string(),
-        line,
-        col,
-        snippet: snippet_of(original, line),
-    });
+        path,
+        original,
+        masked,
+        offset,
+        String::new(),
+    ));
 }
 
 /// Runs every rule over one file. `path` is workspace-relative and
@@ -213,6 +291,18 @@ pub fn scan_file(path: &str, original: &str, masked: &str) -> Vec<Diagnostic> {
     if path.starts_with("crates/sim") {
         for pos in safe002_positions(masked) {
             push(&mut out, "SAFE002", path, original, masked, pos);
+        }
+    }
+
+    if in_scope(path, SAFE002_COUNTER_SCOPE) {
+        for pos in safe002_counter_positions(masked) {
+            push(&mut out, "SAFE002", path, original, masked, pos);
+        }
+    }
+
+    if in_scope(path, PURE_SCOPE) {
+        for (rule, pos) in pure_positions(masked) {
+            push(&mut out, rule, path, original, masked, pos);
         }
     }
 
@@ -289,6 +379,137 @@ fn safe002_positions(masked: &str) -> Vec<usize> {
     }
     hits.sort_unstable();
     hits.dedup();
+    hits
+}
+
+/// SAFE002 counter extension: `field.path += <int literal>` (or `-=`) on a
+/// struct field. A wrap in a long sweep silently corrupts statistics, so
+/// counters must go through `saturating_add`. Bare locals (`salt += 1`)
+/// are exempt: they live and die inside one function and overflow panics
+/// surface immediately in debug runs.
+fn safe002_counter_positions(masked: &str) -> Vec<usize> {
+    let bytes = masked.as_bytes();
+    let mut hits = Vec::new();
+    for op in 0..bytes.len().saturating_sub(1) {
+        // `+=` increments and `-=` decrements (underflow → u64::MAX).
+        if !matches!(bytes[op], b'+' | b'-') || bytes[op + 1] != b'=' {
+            continue;
+        }
+        // LHS: walk back over an expression path (`self.buckets[idx]`).
+        let mut start = op;
+        while start > 0 {
+            let b = bytes[start - 1];
+            if is_ident(b) || matches!(b, b'.' | b'[' | b']' | b' ') {
+                start -= 1;
+            } else {
+                break;
+            }
+        }
+        let lhs = masked[start..op].trim();
+        if !lhs.contains('.') || lhs.contains("..") {
+            continue; // bare local, or a range expression — not a counter
+        }
+        // RHS must be a plain integer literal (`+= 1`, `+= 1_000`).
+        let mut r = op + 2;
+        while r < bytes.len() && bytes[r] == b' ' {
+            r += 1;
+        }
+        let rhs_start = r;
+        while r < bytes.len() && (bytes[r].is_ascii_digit() || bytes[r] == b'_') {
+            r += 1;
+        }
+        let rhs_is_int = r > rhs_start && bytes.get(r).is_none_or(|&b| !is_ident(b) && b != b'.');
+        if rhs_is_int {
+            hits.push(op);
+        }
+    }
+    hits.sort_unstable();
+    hits.dedup();
+    hits
+}
+
+/// Occurrences of a qualified path pattern like `std::net` or `tokio::`:
+/// the first segment must sit on a word boundary and the match must not
+/// continue into a longer identifier (`std::fsync` never matches
+/// `std::fs`).
+fn qualified_positions(masked: &str, pat: &str) -> Vec<usize> {
+    let first = pat.split(':').next().unwrap_or(pat);
+    word_positions(masked, first)
+        .into_iter()
+        .filter(|&pos| {
+            if !masked[pos..].starts_with(pat) {
+                return false;
+            }
+            let end = pos + pat.len();
+            pat.ends_with(':') || end >= masked.len() || !is_ident(masked.as_bytes()[end])
+        })
+        .collect()
+}
+
+/// PURE003 type names: the `std::sync` (and ecosystem) shared-mutation
+/// primitives. `Arc` is deliberately absent — refcounted sharing of
+/// immutable protocol state is sanctioned; locks, channels and atomics
+/// are not.
+const PURE003_WORDS: &[&str] = &[
+    "Mutex",
+    "RwLock",
+    "Condvar",
+    "Barrier",
+    "OnceLock",
+    "LazyLock",
+    "mpsc",
+    "parking_lot",
+    "crossbeam",
+    "rayon",
+];
+
+/// The sans-io purity scans (PURE001–003) over one masked file.
+fn pure_positions(masked: &str) -> Vec<(&'static str, usize)> {
+    let mut hits: Vec<(&'static str, usize)> = Vec::new();
+    for pat in [
+        "std::net",
+        "std::thread",
+        "std::fs",
+        "std::process",
+        "tokio::",
+        "async_std::",
+        "mio::",
+    ] {
+        for pos in qualified_positions(masked, pat) {
+            hits.push(("PURE001", pos));
+        }
+    }
+    for pos in qualified_positions(masked, "std::io") {
+        hits.push(("PURE002", pos));
+    }
+    for word in ["Instant", "SystemTime"] {
+        for pos in word_positions(masked, word) {
+            hits.push(("PURE002", pos));
+        }
+    }
+    for word in PURE003_WORDS {
+        for pos in word_positions(masked, word) {
+            hits.push(("PURE003", pos));
+        }
+    }
+    // Atomics: any `Atomic`-prefixed type name (AtomicU64, AtomicBool, …).
+    let bytes = masked.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if is_ident(bytes[i]) && (i == 0 || !is_ident(bytes[i - 1])) {
+            let start = i;
+            while i < bytes.len() && is_ident(bytes[i]) {
+                i += 1;
+            }
+            let word = &masked[start..i];
+            if word.len() > "Atomic".len() && word.starts_with("Atomic") {
+                hits.push(("PURE003", start));
+            }
+        } else {
+            i += 1;
+        }
+    }
+    hits.sort_unstable_by_key(|&(_, pos)| pos);
     hits
 }
 

@@ -7,9 +7,13 @@
 //! itself is excluded from real workspace scans, so the bait never shows
 //! up in `--deny-new` runs.
 
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
-use dcrd_analyzer::{analyze_source, analyze_workspace, partition, Baseline};
+use dcrd_analyzer::graph::SymbolGraph;
+use dcrd_analyzer::{
+    analyze_source, analyze_workspace, json, mask, partition, AllowEntry, Baseline, Diagnostic,
+};
 
 fn fixture(name: &str) -> String {
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -159,6 +163,194 @@ fn safe003_is_scoped_to_codec_files() {
     // The same bait elsewhere in the crate is out of scope.
     let rules = scan("safe003_pos.rs", "crates/pubsub/src/runtime.rs");
     assert_quiet(&rules, "SAFE003", "safe003_pos.rs (runtime scope)");
+}
+
+// ------------------------------------------------- masking regressions
+
+#[test]
+fn masking_ignores_bait_in_raw_strings() {
+    let rules = scan("mask_raw_strings.rs", "crates/core/src/fixture.rs");
+    for rule in ["SAFE001", "DET001", "DET002"] {
+        assert_quiet(&rules, rule, "mask_raw_strings.rs");
+    }
+}
+
+#[test]
+fn masking_ignores_bait_in_nested_block_comments() {
+    let rules = scan("mask_nested_comments.rs", "crates/core/src/fixture.rs");
+    for rule in ["SAFE001", "DET001", "DET002", "PURE002"] {
+        assert_quiet(&rules, rule, "mask_nested_comments.rs");
+    }
+}
+
+#[test]
+fn masking_ignores_expect_in_doc_comments() {
+    let rules = scan("mask_doc_comments.rs", "crates/core/src/fixture.rs");
+    assert_quiet(&rules, "SAFE001", "mask_doc_comments.rs");
+}
+
+// --------------------------------------------------------------- PURE00x
+
+#[test]
+fn pure_rules_flag_io_clocks_and_sync_in_scope() {
+    let rules = scan("pure_pos.rs", "crates/core/src/fixture.rs");
+    // std::{net, fs, thread, process}.
+    assert_fires(&rules, "PURE001", 4, "pure_pos.rs");
+    // std::io + Instant + SystemTime.
+    assert_fires(&rules, "PURE002", 3, "pure_pos.rs");
+    // Mutex.
+    assert_fires(&rules, "PURE003", 1, "pure_pos.rs");
+}
+
+#[test]
+fn pure_rules_allow_owned_state_and_arc() {
+    let rules = scan("pure_neg.rs", "crates/core/src/fixture.rs");
+    for rule in ["PURE001", "PURE002", "PURE003"] {
+        assert_quiet(&rules, rule, "pure_neg.rs");
+    }
+}
+
+#[test]
+fn pure_rules_are_scoped_to_the_sans_io_core() {
+    // The experiment driver writes real files; sans-io rules stay out.
+    let rules = scan("pure_pos.rs", "crates/experiments/src/fixture.rs");
+    for rule in ["PURE001", "PURE002", "PURE003"] {
+        assert_quiet(&rules, rule, "pure_pos.rs (experiments scope)");
+    }
+}
+
+// ----------------------------------- fixture workspace: the graph passes
+
+fn fixture_workspace() -> Vec<Diagnostic> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws_v2");
+    analyze_workspace(&root).expect("fixture workspace scans")
+}
+
+/// The seeded violation: `DcrdStrategy::process` → `helper` → `deep_util`
+/// which indexes a slice. PANIC001 must walk the chain and say so.
+#[test]
+fn fixture_workspace_catches_seeded_transitive_panic() {
+    let diags = fixture_workspace();
+    let hits: Vec<_> = diags.iter().filter(|d| d.rule == "PANIC001").collect();
+    assert!(
+        hits.iter().any(|d| d.path == "crates/core/src/lib.rs"
+            && d.note.contains("DcrdStrategy::process")
+            && d.note.contains("deep_util")),
+        "seeded transitive panic not caught via its chain: {hits:?}"
+    );
+}
+
+#[test]
+fn fixture_workspace_flags_upward_layer_dependency() {
+    let diags = fixture_workspace();
+    assert!(
+        diags.iter().any(|d| d.rule == "LAYER001"
+            && d.path == "crates/net/Cargo.toml"
+            && d.snippet.contains("dcrd-core")),
+        "net -> core upward dependency not flagged: {diags:?}"
+    );
+    assert!(
+        !diags
+            .iter()
+            .any(|d| d.rule == "LAYER001" && d.path == "crates/core/Cargo.toml"),
+        "downward dependencies wrongly flagged"
+    );
+}
+
+#[test]
+fn fixture_workspace_honours_pure_exempt_paths() {
+    let diags = fixture_workspace();
+    assert!(
+        !diags
+            .iter()
+            .any(|d| d.rule.starts_with("PURE") && d.path.starts_with("crates/net/")),
+        "exempt path still produced PURE diagnostics"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == "PURE001" && d.path == "crates/core/src/lib.rs"),
+        "non-exempt socket bait did not fire PURE001"
+    );
+}
+
+// ----------------------------------------------- JSON schema golden file
+
+#[test]
+fn json_report_matches_the_golden_file() {
+    let fresh = vec![Diagnostic {
+        rule: "PANIC001",
+        path: "crates/core/src/router.rs".to_string(),
+        line: 12,
+        col: 5,
+        snippet: "let x = v[0];".to_string(),
+        note: "indexing reachable via DcrdStrategy::process → deep_util".to_string(),
+    }];
+    let suppressed = vec![Diagnostic {
+        rule: "SAFE001",
+        path: "crates/pubsub/src/codec.rs".to_string(),
+        line: 40,
+        col: 9,
+        snippet: "len.unwrap()".to_string(),
+        note: String::new(),
+    }];
+    let stale = vec![AllowEntry {
+        rule: "DET001".to_string(),
+        path: "crates/core/src/router.rs".to_string(),
+        contains: "HashMap".to_string(),
+        reason: "legacy".to_string(),
+    }];
+    let rendered = json::render_report(&fresh, &suppressed, &stale);
+    let golden = fixture("report_golden.json");
+    assert_eq!(
+        rendered, golden,
+        "JSON report shape drifted — bump json::SCHEMA_VERSION and regenerate the golden file"
+    );
+}
+
+// ------------------------------------------- core symbol-graph coverage
+
+/// Every `pub fn` the item parser finds in dcrd-core must be resolvable
+/// through the graph's lookup — i.e. the call-graph index covers the
+/// crate's whole public surface, not a sample of it.
+#[test]
+fn graph_resolves_every_pub_fn_in_core() {
+    let src = workspace_root().join("crates/core/src");
+    let mut files = Vec::new();
+    for entry in std::fs::read_dir(&src).expect("core src readable") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "rs") {
+            let source = std::fs::read_to_string(&path).expect("core source readable");
+            let masked = mask::strip_test_regions(&mask::mask_source(&source));
+            let name = path
+                .file_name()
+                .expect("file name")
+                .to_string_lossy()
+                .into_owned();
+            files.push((format!("crates/core/src/{name}"), masked));
+        }
+    }
+    files.sort();
+    assert!(
+        files.len() >= 5,
+        "expected the full core crate, got {files:?}"
+    );
+    let graph = SymbolGraph::build(&files, BTreeMap::new());
+    let pubs: Vec<_> = graph.fns.iter().filter(|f| f.item.is_pub).collect();
+    assert!(
+        pubs.len() >= 20,
+        "expected a rich public surface, found {} pub fns",
+        pubs.len()
+    );
+    for f in &pubs {
+        let found = graph.find("core", f.item.owner.as_deref(), &f.item.name);
+        assert!(
+            !found.is_empty(),
+            "graph cannot resolve pub fn {} ({})",
+            f.qualified_name(),
+            f.file
+        );
+    }
 }
 
 // ---------------------------------------------------- workspace smoke test

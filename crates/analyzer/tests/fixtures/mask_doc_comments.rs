@@ -1,0 +1,12 @@
+//! Masking bait: `expect(` and friends mentioned in doc comments are
+//! documentation, not violations.
+
+/// Never call `.expect("broker table missing")` on the hot path; prefer
+/// `.unwrap_or_default()` — even spelling out value.unwrap() here is fine.
+pub fn documented() -> u32 {
+    1
+}
+
+mod inner {
+    //! Inner docs may also mention value.expect("gone") freely.
+}

@@ -1,0 +1,8 @@
+//! Masking bait: Rust block comments nest, and the masker must track
+//! depth — bait at any nesting level stays invisible.
+
+/* outer /* inner value.unwrap() */ still comment: HashMap::new() */
+pub fn nested() -> u32 {
+    /* depth1 /* depth2 /* depth3 Instant::now() */ */ thread_rng() */
+    7
+}

@@ -1,0 +1,9 @@
+//! Masking bait: panic- and hash-looking text inside raw strings must
+//! never fire — the masker replaces string contents with spaces.
+
+pub fn raw_strings() -> usize {
+    let a = r"plain raw: value.unwrap() inside";
+    let b = r#"hash containers: HashMap::new() and thread_rng()"#;
+    let c = r##"nested quote "# then value.expect("boom") more"##;
+    a.len() + b.len() + c.len()
+}

@@ -1,0 +1,10 @@
+//! Clean sans-io code: owned state, injected time, and Arc'd immutable
+//! snapshots (explicitly allowed — sharing data is not a side effect).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+pub fn pure(now: u64, table: &BTreeMap<u32, u32>) -> u64 {
+    let shared: Arc<BTreeMap<u32, u32>> = Arc::new(table.clone());
+    now + shared.len() as u64
+}

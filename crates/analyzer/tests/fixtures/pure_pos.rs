@@ -1,0 +1,16 @@
+//! Sans-io bait: ambient I/O, wall clocks, and shared-state sync — all
+//! forbidden inside the deterministic simulation core.
+
+use std::net::TcpStream;
+use std::sync::Mutex;
+
+pub fn impure() {
+    let _ = std::fs::read_to_string("/etc/hosts");
+    let _ = std::thread::spawn(|| 7);
+    let _t = std::time::Instant::now();
+    let _s: Option<std::time::SystemTime> = None;
+    let _m: Mutex<u32> = Mutex::new(0);
+    let _out = std::io::stdout();
+    let _conn: Option<TcpStream> = None;
+    std::process::abort();
+}

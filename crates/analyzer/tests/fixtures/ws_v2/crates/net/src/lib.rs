@@ -1,0 +1,6 @@
+//! Exempt path: `analyzer.toml [pure] exempt` covers this crate, so the
+//! socket here must NOT produce a PURE001 diagnostic.
+
+pub fn listen() {
+    let _ = std::net::TcpListener::bind("127.0.0.1:0");
+}

@@ -1,0 +1,3 @@
+//! Bottom layer: nothing for the analyzer to report.
+
+pub fn tick() {}

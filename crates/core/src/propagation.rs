@@ -57,10 +57,10 @@ impl SubscriberTables {
         self.publisher
     }
 
-    /// The sorted sending list of `node`.
+    /// The sorted sending list of `node` (empty for an unknown node).
     #[must_use]
     pub fn sending_list(&self, node: NodeId) -> &[Candidate] {
-        &self.lists[node.index()]
+        self.lists.get(node.index()).map_or(&[], Vec::as_slice)
     }
 
     /// The `⟨d, r⟩` parameters of `node`.

@@ -923,11 +923,11 @@ impl DcrdStrategy {
         // The destination vectors move out of the scratch into the
         // forwarded packets (they live on as `packet.destinations`).
         for slot in 0..scratch.assignments.len() {
-            let (hop, is_upstream) = {
-                let entry = &scratch.assignments[slot];
-                (entry.0, entry.2)
+            let Some(entry) = scratch.assignments.get_mut(slot) else {
+                continue;
             };
-            let dests = std::mem::take(&mut scratch.assignments[slot].1);
+            let (hop, is_upstream) = (entry.0, entry.2);
+            let dests = std::mem::take(&mut entry.1);
             let tag = self.next_tag;
             self.next_tag += 1;
             let timeout = self.rto(node, hop);

@@ -235,10 +235,15 @@ pub struct Scenario {
     pub ack_transit: AckTransit,
 }
 
+// Referenced only through the `#[serde(default = "...")]` attributes
+// above, which the vendored serde stub does not expand — keep the
+// functions (real serde needs them) without tripping dead-code lints.
+#[allow(dead_code)]
 fn default_duration() -> SimDuration {
     Quality::Quick.duration()
 }
 
+#[allow(dead_code)]
 fn default_monitoring() -> Monitoring {
     Monitoring::Analytic
 }
@@ -304,7 +309,7 @@ impl ScenarioBuilder {
                 seed: 0x0DC2D,
                 dcrd: DcrdConfig::default(),
                 monitoring: Monitoring::Analytic,
-                ack_transit: AckTransit::Instant,
+                ack_transit: AckTransit::Immediate,
             },
         }
     }

@@ -261,7 +261,7 @@ impl AggregateMetrics {
 
     /// Adds one run.
     pub fn add(&mut self, run: &RunMetrics) {
-        self.runs += 1;
+        self.runs = self.runs.saturating_add(1);
         self.delivered.merge(&run.delivered);
         self.on_time.merge(&run.on_time);
         self.data_sends += run.data_sends;

@@ -66,10 +66,18 @@ impl LinkEstimates {
         LinkEstimates { estimates }
     }
 
-    /// The estimate for `edge`.
+    /// The estimate for `edge`. An unknown edge reads as dead
+    /// (`γ = 0`, zero delay) — the pessimistic default for an id the
+    /// monitor never covered.
     #[must_use]
     pub fn get(&self, edge: EdgeId) -> LinkEstimate {
-        self.estimates[edge.index()]
+        self.estimates
+            .get(edge.index())
+            .copied()
+            .unwrap_or(LinkEstimate {
+                alpha: SimDuration::ZERO,
+                gamma: 0.0,
+            })
     }
 
     /// Number of edges covered.
@@ -166,15 +174,22 @@ impl EwmaMonitor {
     /// success with its measured one-way delay, `None` for a loss.
     pub fn observe(&mut self, edge: EdgeId, outcome: Option<SimDuration>) {
         let i = edge.index();
-        self.samples[i] += 1;
+        let (Some(samples), Some(gamma), Some(alpha_us)) = (
+            self.samples.get_mut(i),
+            self.gamma.get_mut(i),
+            self.alpha_us.get_mut(i),
+        ) else {
+            return; // probe for an edge this monitor does not cover
+        };
+        *samples = samples.saturating_add(1);
         let w = self.weight;
         match outcome {
             Some(delay) => {
-                self.gamma[i] = (1.0 - w) * self.gamma[i] + w;
-                self.alpha_us[i] = (1.0 - w) * self.alpha_us[i] + w * delay.as_micros() as f64;
+                *gamma = (1.0 - w) * *gamma + w;
+                *alpha_us = (1.0 - w) * *alpha_us + w * delay.as_micros() as f64;
             }
             None => {
-                self.gamma[i] *= 1.0 - w;
+                *gamma *= 1.0 - w;
             }
         }
     }

@@ -280,7 +280,7 @@ impl GossipOverlay {
     /// `witness` (the broker that observed the change) as of `epoch`.
     pub fn submit(&mut self, delta: MembershipDelta, witness: NodeId, _epoch: u64) {
         let id = self.next_rumor;
-        self.next_rumor += 1;
+        self.next_rumor = self.next_rumor.saturating_add(1);
         let mut infected = NodeSet::new();
         infected.insert(witness);
         self.rumors.insert(
@@ -339,7 +339,7 @@ impl GossipOverlay {
                         % view.len();
                 for k in 0..self.config.fanout.min(view.len()) {
                     let v = view[(start + k) % view.len()];
-                    self.rumors_sent += 1;
+                    self.rumors_sent = self.rumors_sent.saturating_add(1);
                     if !reachable(u, v) || !present_set.contains(v) {
                         continue;
                     }
@@ -364,7 +364,7 @@ impl GossipOverlay {
         // partitions and absent peers.
         let interval = self.config.anti_entropy_interval;
         if interval > 0 && epoch.is_multiple_of(interval) && n >= 2 {
-            self.anti_entropy_rounds += 1;
+            self.anti_entropy_rounds = self.anti_entropy_rounds.saturating_add(1);
             for i in 0..n {
                 let u = NodeId::new(i as u32);
                 let v = NodeId::new(((i + 1) % n) as u32);
@@ -379,7 +379,7 @@ impl GossipOverlay {
                     let (at_u, at_v) = (r.infected.contains(u), r.infected.contains(v));
                     if at_u != at_v {
                         r.infected.insert(if at_u { v } else { u });
-                        self.reconciliations += 1;
+                        self.reconciliations = self.reconciliations.saturating_add(1);
                     }
                 }
             }
@@ -400,7 +400,7 @@ impl GossipOverlay {
         }
         for id in &done {
             self.rumors.remove(id);
-            self.deltas_converged += 1;
+            self.deltas_converged = self.deltas_converged.saturating_add(1);
         }
 
         // Staleness: a surviving rumor whose infected set can reach every
@@ -421,7 +421,7 @@ impl GossipOverlay {
                 r.connected_rounds = 0;
                 continue;
             }
-            r.connected_rounds += 1;
+            r.connected_rounds = r.connected_rounds.saturating_add(1);
             if r.connected_rounds > self.config.staleness_rounds && !r.flagged {
                 r.flagged = true;
                 for i in 0..n {

@@ -67,6 +67,16 @@ pub struct Edge {
     delay: SimDuration,
 }
 
+/// Fallback for out-of-range edge lookups: a zero-delay self-loop on node
+/// 0, an edge no routing logic will ever traverse. Reachable only through
+/// a bogus `EdgeId` (a caller bug); returning it keeps the accessors
+/// panic-free on the hot path.
+const DEGENERATE_EDGE: Edge = Edge {
+    a: NodeId(0),
+    b: NodeId(0),
+    delay: SimDuration::ZERO,
+};
+
 impl Edge {
     /// One endpoint.
     #[must_use]
@@ -146,14 +156,12 @@ impl Topology {
         self.edges.len()
     }
 
-    /// The node with dense index `index`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `index >= num_nodes()`.
+    /// The node with dense index `index`. An out-of-range index is a
+    /// caller bug; it yields an id no adjacency lookup will resolve
+    /// (debug builds assert).
     #[must_use]
     pub fn node(&self, index: usize) -> NodeId {
-        assert!(index < self.num_nodes(), "node index {index} out of range");
+        debug_assert!(index < self.num_nodes(), "node index {index} out of range");
         NodeId(index as u32)
     }
 
@@ -167,38 +175,41 @@ impl Topology {
         (0..self.edges.len() as u32).map(EdgeId)
     }
 
-    /// The edge with the given id.
+    /// The edge with the given id. A bogus id resolves to
+    /// [`DEGENERATE_EDGE`] rather than panicking: the hot path treats a
+    /// zero-delay self-loop as an edge nothing traverses.
     #[must_use]
     pub fn edge(&self, id: EdgeId) -> &Edge {
-        &self.edges[id.index()]
+        self.edges.get(id.index()).unwrap_or(&DEGENERATE_EDGE)
     }
 
-    /// One-way propagation delay of the given link.
+    /// One-way propagation delay of the given link (zero for a bogus id).
     #[must_use]
     pub fn delay(&self, id: EdgeId) -> SimDuration {
-        self.edges[id.index()].delay
+        self.edges
+            .get(id.index())
+            .map_or(SimDuration::ZERO, |e| e.delay)
     }
 
     /// Neighbors of `node` as `(neighbor, connecting edge)` pairs, sorted by
-    /// neighbor id.
+    /// neighbor id (empty for an unknown node).
     #[must_use]
     pub fn neighbors(&self, node: NodeId) -> &[(NodeId, EdgeId)] {
-        &self.adjacency[node.index()]
+        self.adjacency.get(node.index()).map_or(&[], Vec::as_slice)
     }
 
     /// Number of links incident to `node`.
     #[must_use]
     pub fn degree(&self, node: NodeId) -> usize {
-        self.adjacency[node.index()].len()
+        self.adjacency.get(node.index()).map_or(0, Vec::len)
     }
 
     /// The edge connecting `a` and `b`, if one exists.
     #[must_use]
     pub fn edge_between(&self, a: NodeId, b: NodeId) -> Option<EdgeId> {
-        self.adjacency[a.index()]
-            .binary_search_by_key(&b, |&(n, _)| n)
-            .ok()
-            .map(|i| self.adjacency[a.index()][i].1)
+        let adj = self.adjacency.get(a.index())?;
+        let i = adj.binary_search_by_key(&b, |&(n, _)| n).ok()?;
+        adj.get(i).map(|&(_, e)| e)
     }
 
     /// Whether every node can reach every other node.

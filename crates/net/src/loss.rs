@@ -31,17 +31,16 @@ impl LossModel {
     /// The paper's default loss rate (`10⁻⁴`).
     pub const PAPER_DEFAULT: LossModel = LossModel { pl: 1e-4 };
 
-    /// Creates a loss model with per-transmission loss probability `pl`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `pl` is outside `[0, 1]`.
+    /// Creates a loss model with per-transmission loss probability `pl`,
+    /// clamped into `[0, 1]` (NaN reads as lossless; debug builds assert
+    /// the input was already in range).
     #[must_use]
     pub fn new(pl: f64) -> Self {
-        assert!(
+        debug_assert!(
             (0.0..=1.0).contains(&pl),
             "loss probability out of range: {pl}"
         );
+        let pl = if pl.is_nan() { 0.0 } else { pl.clamp(0.0, 1.0) };
         LossModel { pl }
     }
 

@@ -526,7 +526,9 @@ impl BrokerChurnModel {
     #[must_use]
     pub fn is_protected(&self, node: NodeId) -> bool {
         let idx = node.index();
-        idx < 256 && self.protected[idx / 64] & (1u64 << (idx % 64)) != 0
+        self.protected
+            .get(idx / 64)
+            .is_some_and(|w| w & (1u64 << (idx % 64)) != 0)
     }
 
     /// The per-broker churn probability.

@@ -50,7 +50,11 @@ impl NodeSet {
             if self.high.len() < word {
                 self.high.resize(word, 0);
             }
-            &mut self.high[word - 1]
+            match self.high.get_mut(word - 1) {
+                Some(s) => s,
+                // Unreachable: the resize above guarantees the slot.
+                None => return false,
+            }
         };
         let fresh = *slot & bit == 0;
         *slot |= bit;

@@ -135,17 +135,18 @@ impl ShortestPaths {
         self.source
     }
 
-    /// Cost from the source to `node`, or `None` if unreachable.
+    /// Cost from the source to `node`, or `None` if unreachable (or the
+    /// node is unknown to the computation).
     #[must_use]
     pub fn cost_to(&self, node: NodeId) -> Option<u64> {
-        self.dist[node.index()]
+        self.dist.get(node.index()).copied().flatten()
     }
 
     /// The predecessor `(node, edge)` of `node` on its shortest path, or
     /// `None` for the source and unreachable nodes.
     #[must_use]
     pub fn predecessor(&self, node: NodeId) -> Option<(NodeId, EdgeId)> {
-        self.prev[node.index()]
+        self.prev.get(node.index()).copied().flatten()
     }
 
     /// Reconstructs the full path from the source to `dst`, or `None` if
@@ -220,12 +221,14 @@ where
     let mut dist: Vec<Option<u64>> = vec![None; n];
     let mut prev: Vec<Option<(NodeId, EdgeId)>> = vec![None; n];
     let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
-    dist[source.index()] = Some(0);
+    if let Some(d0) = dist.get_mut(source.index()) {
+        *d0 = Some(0);
+    }
     heap.push(Reverse((0, source.index() as u32)));
 
     while let Some(Reverse((d, idx))) = heap.pop() {
         let node = NodeId::new(idx);
-        if dist[node.index()] != Some(d) {
+        if dist.get(node.index()).copied().flatten() != Some(d) {
             continue; // stale entry
         }
         for &(next, edge) in topo.neighbors(node) {
@@ -233,9 +236,18 @@ where
                 continue;
             }
             let nd = d + metric.cost(topo, edge);
-            if dist[next.index()].is_none_or(|old| nd < old) {
-                dist[next.index()] = Some(nd);
-                prev[next.index()] = Some((node, edge));
+            if dist
+                .get(next.index())
+                .copied()
+                .flatten()
+                .is_none_or(|old| nd < old)
+            {
+                if let Some(slot) = dist.get_mut(next.index()) {
+                    *slot = Some(nd);
+                }
+                if let Some(slot) = prev.get_mut(next.index()) {
+                    *slot = Some((node, edge));
+                }
                 heap.push(Reverse((nd, next.index() as u32)));
             }
         }

@@ -64,7 +64,7 @@ pub enum AckTransit {
     /// works if the ACK itself takes no extra time). The ACK is still
     /// subject to reverse-direction failure and loss.
     #[default]
-    Instant,
+    Immediate,
     /// The ACK physically traverses the link back: the sender learns after
     /// `2α`. Use `ack_timeout_factor ≥ 2` with this model.
     RoundTrip,
@@ -175,7 +175,7 @@ impl RuntimeConfig {
             params: RunParams::default(),
             seed,
             monitoring: Monitoring::Analytic,
-            ack_transit: AckTransit::Instant,
+            ack_transit: AckTransit::Immediate,
             monitor_interval: SimDuration::from_secs(300),
             drain_grace: SimDuration::from_secs(120),
             max_events: 500_000_000,
@@ -491,6 +491,31 @@ enum Event {
     },
 }
 
+/// The mutable state of one run, threaded through every
+/// [`OverlayRuntime::tick`] call: the event queue, the delivery log under
+/// construction, the optional chaos/gossip machinery, and the per-broker
+/// service/overload bookkeeping. One named struct keeps the per-event hot
+/// path a single function the analyzer can anchor on.
+struct RunState {
+    rng: SmallRng,
+    log: DeliveryLog,
+    auditor: Option<InvariantAuditor>,
+    queue: EventQueue<Event>,
+    next_packet_id: u64,
+    monitor: Option<EwmaMonitor>,
+    churn: Option<BrokerChurnModel>,
+    detector: Option<SwimDetector>,
+    gossip: Option<GossipOverlay>,
+    hard_stop: SimTime,
+    out: Actions,
+    staging: Vec<Action>,
+    node_free: Vec<SimTime>,
+    overload: Option<(SimDuration, usize)>,
+    pending: Vec<Vec<(NodeId, Box<Packet>)>>,
+    in_service: Vec<bool>,
+    sp_cache: Vec<Option<ShortestPaths>>,
+}
+
 /// Runs one strategy over one topology + workload and returns the delivery
 /// log.
 ///
@@ -576,17 +601,17 @@ impl<'a> OverlayRuntime<'a> {
     /// [`DeliveryLog::invalid_sends`] / [`DeliveryLog::invalid_delivers`]
     /// rather than aborting the run.
     pub fn run<S: RoutingStrategy + ?Sized>(&self, strategy: &mut S) -> DeliveryLog {
-        let mut rng = rng_for(self.config.seed, "runtime");
+        let rng = rng_for(self.config.seed, "runtime");
         let mut log = DeliveryLog {
             trace: self.config.capture_trace.then(Trace::new),
             ..DeliveryLog::default()
         };
-        let mut auditor = self.config.audit.map(InvariantAuditor::new);
+        let auditor = self.config.audit.map(InvariantAuditor::new);
         let mut queue: EventQueue<Event> = EventQueue::with_capacity(self.estimated_queue_len());
-        let mut next_packet_id: u64 = 0;
+        let next_packet_id: u64 = 0;
 
         let initial_estimates = self.initial_estimates();
-        let mut monitor = match self.config.monitoring {
+        let monitor = match self.config.monitoring {
             Monitoring::Analytic => None,
             Monitoring::Probing { ewma_weight, .. } => {
                 // The prior assumes healthy links with their configured
@@ -657,7 +682,7 @@ impl<'a> OverlayRuntime<'a> {
         // Absent from the start when churn is off, so crash-only runs are
         // byte-identical to their pre-churn behavior.
         let churn: Option<BrokerChurnModel> = self.failure.chaos().and_then(|c| c.churn()).copied();
-        let mut detector = churn.as_ref().map(|ch| {
+        let detector = churn.as_ref().map(|ch| {
             SwimDetector::new(
                 self.topology.num_nodes(),
                 |n| ch.present_in_epoch(n, 0),
@@ -669,7 +694,7 @@ impl<'a> OverlayRuntime<'a> {
         });
         // Gossip dissemination interposes an epidemic overlay between the
         // detector and the strategy; Oracle and None need no state.
-        let mut gossip: Option<GossipOverlay> = match self.config.dissemination {
+        let gossip: Option<GossipOverlay> = match self.config.dissemination {
             Dissemination::Gossip(cfg) if detector.is_some() => {
                 Some(GossipOverlay::new(self.topology.num_nodes(), cfg))
             }
@@ -677,10 +702,10 @@ impl<'a> OverlayRuntime<'a> {
         };
 
         let hard_stop = SimTime::ZERO + self.config.duration + self.config.drain_grace;
-        let mut out = Actions::new();
+        let out = Actions::new();
         // Recycled across events by `execute` (see there).
-        let mut staging: Vec<Action> = Vec::new();
-        let mut node_free: Vec<SimTime> = vec![SimTime::ZERO; self.topology.num_nodes()];
+        let staging: Vec<Action> = Vec::new();
+        let node_free: Vec<SimTime> = vec![SimTime::ZERO; self.topology.num_nodes()];
 
         // Overload mode (bounded service queues): per-broker FIFO of
         // waiting packets, an in-service flag, and a lazy per-broker
@@ -700,457 +725,42 @@ impl<'a> OverlayRuntime<'a> {
             log.sheds_by_node = vec![0; self.topology.num_nodes()];
         }
 
-        while let Some((now, event)) = queue.pop() {
-            if now > hard_stop {
+        let mut st = RunState {
+            rng,
+            log,
+            auditor,
+            queue,
+            next_packet_id,
+            monitor,
+            churn,
+            detector,
+            gossip,
+            hard_stop,
+            out,
+            staging,
+            node_free,
+            overload,
+            pending,
+            in_service,
+            sp_cache,
+        };
+        while let Some((now, event)) = st.queue.pop() {
+            if now > st.hard_stop {
                 break;
             }
-            if queue.events_processed() > self.config.max_events {
-                log.truncated = true;
+            if st.queue.events_processed() > self.config.max_events {
+                st.log.truncated = true;
                 break;
             }
-            match event {
-                Event::Publish { topic_index, round } => {
-                    let spec = &self.workload.topics()[topic_index];
-                    let id = PacketId::new(next_packet_id);
-                    next_packet_id += 1;
-                    log.messages_published += 1;
-                    // Churn extension: only subscriptions active at publish
-                    // time receive (and are accounted for) this message.
-                    let active = spec.active_subscriptions(now);
-                    for sub in &active {
-                        log.expectations.insert(
-                            (id, sub.subscriber),
-                            Expectation {
-                                published: now,
-                                deadline: sub.deadline,
-                                delivered: None,
-                                gave_up: false,
-                                shed_doomed: false,
-                            },
-                        );
-                    }
-                    if !active.is_empty() {
-                        // The publish round doubles as the per-(topic,
-                        // publisher) sequence number subscribers use for gap
-                        // detection.
-                        let packet = Packet::new(
-                            id,
-                            spec.topic,
-                            spec.publisher,
-                            now,
-                            active.iter().map(|s| s.subscriber).collect(),
-                        )
-                        .with_seq(round);
-                        if let Some(aud) = &mut auditor {
-                            aud.observe_publish(&packet);
-                        }
-                        strategy.on_publish(spec.publisher, packet, now, &mut out);
-                        self.execute(
-                            &mut out,
-                            spec.publisher,
-                            now,
-                            &mut queue,
-                            &mut rng,
-                            &mut log,
-                            &mut auditor,
-                            &mut staging,
-                        );
-                    }
-
-                    let next = spec.publish_time(round + 1);
-                    if next.saturating_since(SimTime::ZERO) <= self.config.duration {
-                        queue.schedule(
-                            next,
-                            Event::Publish {
-                                topic_index,
-                                round: round + 1,
-                            },
-                        );
-                    }
-                }
-                Event::Arrival { to, from, packet } => {
-                    // A broker that crashed while the packet was in flight
-                    // loses it: no ACK, no processing. (The epoch-failure
-                    // node model only blocks transmissions at send time;
-                    // the crash model also eats arrivals.)
-                    if self.failure.chaos().is_some_and(|c| c.node_down(to, now)) {
-                        continue;
-                    }
-                    // Hop-by-hop ACK, generated before processing
-                    // (Algorithm 2 line 2). Subject to the same link rules.
-                    let Some(edge) = self.topology.edge_between(to, from) else {
-                        log.note_error(RuntimeError::ArrivalWithoutLink {
-                            from,
-                            to,
-                            packet: packet.id,
-                        });
-                        continue;
-                    };
-                    let blocked = self.failure.edge_blocked(self.topology, edge, now);
-                    if !blocked
-                        && !self.loss.drops(&mut rng)
-                        && !self.gray_drops(edge, to, &mut rng)
-                    {
-                        let ack_at = match self.config.ack_transit {
-                            AckTransit::Instant => now,
-                            AckTransit::RoundTrip => now + self.gray_delay(edge, to),
-                        };
-                        queue.schedule(
-                            ack_at,
-                            Event::AckArrival {
-                                at: from,
-                                to,
-                                packet: packet.clone(),
-                            },
-                        );
-                    }
-                    match (self.config.processing_time, overload) {
-                        (None, _) => {
-                            strategy.on_packet(to, from, *packet, now, &mut out);
-                            self.execute(
-                                &mut out,
-                                to,
-                                now,
-                                &mut queue,
-                                &mut rng,
-                                &mut log,
-                                &mut auditor,
-                                &mut staging,
-                            );
-                        }
-                        (Some(service), None) => {
-                            // Serial per-broker service: the packet waits
-                            // for the broker to free up, then takes
-                            // `service` before the routing logic runs.
-                            let start = node_free[to.index()].max(now);
-                            let done = start + service;
-                            node_free[to.index()] = done;
-                            queue.schedule(
-                                done,
-                                Event::Process {
-                                    node: to,
-                                    from,
-                                    packet,
-                                },
-                            );
-                        }
-                        (Some(_), Some((service, limit))) => {
-                            // Bounded queue: enqueue, shed the policy's
-                            // victim on overflow, start service if idle.
-                            let q = &mut pending[to.index()];
-                            q.push((from, packet));
-                            if q.len() > limit {
-                                let sp = sp_cache[to.index()].get_or_insert_with(|| {
-                                    dijkstra(self.topology, to, Metric::Delay)
-                                });
-                                let slacks: Vec<i128> = q
-                                    .iter()
-                                    .map(|(_, p)| shed_slack(&log, sp, p, now, service))
-                                    .collect();
-                                let victim = match self.config.shed_policy {
-                                    // Newest arrival, regardless of slack.
-                                    ShedPolicy::TailDrop => q.len() - 1,
-                                    // First index of minimum slack: ties
-                                    // break toward the oldest arrival.
-                                    ShedPolicy::LeastSlack => {
-                                        let mut best = 0;
-                                        for (i, s) in slacks.iter().enumerate() {
-                                            if *s < slacks[best] {
-                                                best = i;
-                                            }
-                                        }
-                                        best
-                                    }
-                                };
-                                let (_, shed) = q.remove(victim);
-                                let kept_doomed = slacks
-                                    .iter()
-                                    .enumerate()
-                                    .any(|(i, s)| i != victim && *s < 0);
-                                let (_, any_sat) =
-                                    mark_shed_pairs(&mut log, sp, &shed, now, service);
-                                log.sheds += 1;
-                                log.sheds_by_node[to.index()] += 1;
-                                if !any_sat {
-                                    log.doomed_sheds += 1;
-                                }
-                                let ev = TraceEvent::Shed {
-                                    at: now,
-                                    node: to,
-                                    packet: shed.id,
-                                };
-                                if let Some(trace) = &mut log.trace {
-                                    trace.record(ev);
-                                }
-                                if let Some(aud) = &mut auditor {
-                                    aud.observe(&ev);
-                                    // Delay-cognizance gate: overload may
-                                    // only claim traffic that is past help
-                                    // while doomed packets hold seats.
-                                    if any_sat && kept_doomed {
-                                        aud.flag(Violation::UnjustifiedShed {
-                                            packet: shed.id,
-                                            node: to,
-                                        });
-                                    }
-                                }
-                            }
-                            let depth = pending[to.index()].len();
-                            log.max_queue_depth = log.max_queue_depth.max(depth);
-                            if !in_service[to.index()] && !pending[to.index()].is_empty() {
-                                let (f, p) = pending[to.index()].remove(0);
-                                in_service[to.index()] = true;
-                                queue.schedule(
-                                    now + service,
-                                    Event::Process {
-                                        node: to,
-                                        from: f,
-                                        packet: p,
-                                    },
-                                );
-                            }
-                        }
-                    }
-                }
-                Event::Process { node, from, packet } => {
-                    // A broker that departed while the packet sat in its
-                    // service queue never processes it. (Crash-down brokers
-                    // already dropped the arrival; churn-absent brokers are
-                    // gone for good, so their queue dies with them.)
-                    if churn.as_ref().is_some_and(|ch| ch.absent_at(node, now)) {
-                        if overload.is_some() {
-                            // Bounded mode: the departed broker's waiting
-                            // room dies with it too (churn loss, not an
-                            // overload shed).
-                            pending[node.index()].clear();
-                            in_service[node.index()] = false;
-                        }
-                        continue;
-                    }
-                    strategy.on_packet(node, from, *packet, now, &mut out);
-                    self.execute(
-                        &mut out,
-                        node,
-                        now,
-                        &mut queue,
-                        &mut rng,
-                        &mut log,
-                        &mut auditor,
-                        &mut staging,
-                    );
-                    if let Some((service, _)) = overload {
-                        // Serve the next waiting packet, FIFO.
-                        if pending[node.index()].is_empty() {
-                            in_service[node.index()] = false;
-                        } else {
-                            let (f, p) = pending[node.index()].remove(0);
-                            queue.schedule(
-                                now + service,
-                                Event::Process {
-                                    node,
-                                    from: f,
-                                    packet: p,
-                                },
-                            );
-                        }
-                    }
-                }
-                Event::AckArrival { at, to, packet } => {
-                    // An ACK addressed to a crash-down sender dies with its
-                    // in-flight state.
-                    if self.failure.chaos().is_some_and(|c| c.node_down(at, now)) {
-                        continue;
-                    }
-                    log.acks_delivered += 1;
-                    let ev = TraceEvent::Ack {
-                        at: now,
-                        from: to,
-                        to: at,
-                        packet: packet.id,
-                    };
-                    if let Some(trace) = &mut log.trace {
-                        trace.record(ev);
-                    }
-                    if let Some(aud) = &mut auditor {
-                        aud.observe(&ev);
-                    }
-                    strategy.on_ack(at, to, &packet, now, &mut out);
-                    self.execute(
-                        &mut out,
-                        at,
-                        now,
-                        &mut queue,
-                        &mut rng,
-                        &mut log,
-                        &mut auditor,
-                        &mut staging,
-                    );
-                }
-                Event::Timer { node, key } => {
-                    // A departed broker's timers die with it. Crash-down
-                    // brokers keep their timers (PR 3 semantics: stale
-                    // timers fire into wiped state and no-op).
-                    if churn.as_ref().is_some_and(|ch| ch.absent_at(node, now)) {
-                        continue;
-                    }
-                    strategy.on_timer(node, key, now, &mut out);
-                    self.execute(
-                        &mut out,
-                        node,
-                        now,
-                        &mut queue,
-                        &mut rng,
-                        &mut log,
-                        &mut auditor,
-                        &mut staging,
-                    );
-                }
-                Event::Probe => {
-                    let (Monitoring::Probing { probe_interval, .. }, Some(mon)) =
-                        (self.config.monitoring, monitor.as_mut())
-                    else {
-                        log.note_error(RuntimeError::MonitorMissing);
-                        continue;
-                    };
-                    for e in self.topology.edge_ids() {
-                        let blocked = self.failure.edge_blocked(self.topology, e, now);
-                        let outcome = (!blocked && !self.loss.drops(&mut rng))
-                            .then(|| self.topology.delay(e));
-                        mon.observe(e, outcome);
-                    }
-                    if now.saturating_since(SimTime::ZERO) < self.config.duration {
-                        queue.schedule(now + probe_interval, Event::Probe);
-                    }
-                }
-                Event::Monitor => {
-                    let Some(mon) = monitor.as_ref() else {
-                        log.note_error(RuntimeError::MonitorMissing);
-                        continue;
-                    };
-                    strategy.on_monitor(&mon.estimates(), now);
-                    if now.saturating_since(SimTime::ZERO) < self.config.duration {
-                        queue.schedule(now + self.config.monitor_interval, Event::Monitor);
-                    }
-                }
-                Event::ChaosTick { epoch } => {
-                    // Failure detection first: the detector probes the
-                    // epoch's ground truth and hands any membership deltas
-                    // to the strategy, so repair and custody handoff are in
-                    // place before restarts replay and ticks sweep.
-                    if let (Some(det), Some(ch)) = (detector.as_mut(), churn.as_ref()) {
-                        let deltas = det.tick(epoch, |n| {
-                            if ch.departed_in_epoch(n, epoch) {
-                                GroundTruth::Departed
-                            } else if !ch.present_in_epoch(n, epoch)
-                                || self.failure.chaos().is_some_and(|c| c.node_down(n, now))
-                            {
-                                GroundTruth::Down
-                            } else {
-                                GroundTruth::Up
-                            }
-                        });
-                        if let Some(overlay) = gossip.as_mut() {
-                            // Epidemic dissemination: each delta becomes a
-                            // rumor at its witness broker. Self-announced
-                            // events (joins, leaves, refutations) start at
-                            // the node they are about; a confirmed death
-                            // needs a live spokesbroker — the lowest-index
-                            // up-and-present broker other than the corpse.
-                            let chaos = self.failure.chaos();
-                            let up = |x: NodeId| !chaos.is_some_and(|c| c.node_down(x, now));
-                            for &d in &deltas {
-                                let witness = match d {
-                                    MembershipDelta::ConfirmDead { .. } => {
-                                        (0..self.topology.num_nodes())
-                                            .map(|i| self.topology.node(i))
-                                            .find(|&x| x != d.node() && up(x))
-                                            .unwrap_or_else(|| d.node())
-                                    }
-                                    _ => d.node(),
-                                };
-                                overlay.submit(d, witness, epoch);
-                            }
-                            // Control-plane connectivity: two brokers can
-                            // exchange gossip when both are up and no
-                            // active partition separates them. Partitions
-                            // therefore stall convergence until they heal.
-                            let n = self.topology.num_nodes();
-                            let split = |a: NodeId, b: NodeId| {
-                                chaos.and_then(|c| c.partition()).is_some_and(|p| {
-                                    p.is_isolated(a, now, n) != p.is_isolated(b, now, n)
-                                })
-                            };
-                            let tick =
-                                overlay.tick(epoch, |a, b| up(a) && up(b) && !split(a, b), up);
-                            if !tick.converged.is_empty() {
-                                strategy.on_gossip(&tick.converged, now);
-                            }
-                            if let Some(aud) = &mut auditor {
-                                for s in &tick.stale {
-                                    aud.flag(Violation::StaleRouteAfterConvergence {
-                                        node: s.node,
-                                        rounds: s.rounds,
-                                    });
-                                }
-                            }
-                        } else if self.config.dissemination == Dissemination::Oracle
-                            && !deltas.is_empty()
-                        {
-                            strategy.on_membership(&deltas, now);
-                        }
-                        // Dissemination::None drops detector output: the
-                        // strategy routes on stale membership forever.
-                    }
-                    // All restarts first: a broker that came back this epoch
-                    // replays its custody before any node's housekeeping
-                    // tick reacts to the new state.
-                    for i in 0..self.topology.num_nodes() {
-                        let node = self.topology.node(i);
-                        let restarted = self
-                            .failure
-                            .chaos()
-                            .is_some_and(|c| c.restarted_at_epoch(node, epoch));
-                        if restarted {
-                            strategy.on_restart(node, now, &mut out);
-                            self.execute(
-                                &mut out,
-                                node,
-                                now,
-                                &mut queue,
-                                &mut rng,
-                                &mut log,
-                                &mut auditor,
-                                &mut staging,
-                            );
-                        }
-                    }
-                    // Then one housekeeping tick per live broker (recovery
-                    // strategies run their gap-detection sweep here). A
-                    // crashed broker cannot sweep.
-                    for i in 0..self.topology.num_nodes() {
-                        let node = self.topology.node(i);
-                        if self.failure.chaos().is_some_and(|c| c.node_down(node, now)) {
-                            continue;
-                        }
-                        strategy.on_tick(node, now, &mut out);
-                        self.execute(
-                            &mut out,
-                            node,
-                            now,
-                            &mut queue,
-                            &mut rng,
-                            &mut log,
-                            &mut auditor,
-                            &mut staging,
-                        );
-                    }
-                    let next = SimTime::from_secs(epoch + 1);
-                    if next <= hard_stop {
-                        queue.schedule(next, Event::ChaosTick { epoch: epoch + 1 });
-                    }
-                }
-            }
+            self.tick(&mut st, strategy, now, event);
         }
+        let RunState {
+            mut log,
+            auditor,
+            queue,
+            gossip,
+            ..
+        } = st;
         if let Some(overlay) = &gossip {
             log.rumors_sent = overlay.rumors_sent();
             log.anti_entropy_rounds = overlay.anti_entropy_rounds();
@@ -1160,6 +770,486 @@ impl<'a> OverlayRuntime<'a> {
         log.events_processed = queue.events_processed();
         log.audit = auditor.map(InvariantAuditor::finish);
         log
+    }
+
+    /// Processes one event: the body of [`OverlayRuntime::run`]'s event
+    /// loop, factored out so the per-event hot path is one named function
+    /// the analyzer's `PANIC001` pass anchors its reachability walk on.
+    fn tick<S: RoutingStrategy + ?Sized>(
+        &self,
+        st: &mut RunState,
+        strategy: &mut S,
+        now: SimTime,
+        event: Event,
+    ) {
+        match event {
+            Event::Publish { topic_index, round } => {
+                let Some(spec) = self.workload.topics().get(topic_index) else {
+                    return; // unreachable: publishes are scheduled per topic
+                };
+                let id = PacketId::new(st.next_packet_id);
+                st.next_packet_id += 1;
+                st.log.messages_published += 1;
+                // Churn extension: only subscriptions active at publish
+                // time receive (and are accounted for) this message.
+                let active = spec.active_subscriptions(now);
+                for sub in &active {
+                    st.log.expectations.insert(
+                        (id, sub.subscriber),
+                        Expectation {
+                            published: now,
+                            deadline: sub.deadline,
+                            delivered: None,
+                            gave_up: false,
+                            shed_doomed: false,
+                        },
+                    );
+                }
+                if !active.is_empty() {
+                    // The publish round doubles as the per-(topic,
+                    // publisher) sequence number subscribers use for gap
+                    // detection.
+                    let packet = Packet::new(
+                        id,
+                        spec.topic,
+                        spec.publisher,
+                        now,
+                        active.iter().map(|s| s.subscriber).collect(),
+                    )
+                    .with_seq(round);
+                    if let Some(aud) = &mut st.auditor {
+                        aud.observe_publish(&packet);
+                    }
+                    strategy.on_publish(spec.publisher, packet, now, &mut st.out);
+                    self.execute(
+                        &mut st.out,
+                        spec.publisher,
+                        now,
+                        &mut st.queue,
+                        &mut st.rng,
+                        &mut st.log,
+                        &mut st.auditor,
+                        &mut st.staging,
+                    );
+                }
+
+                let next = spec.publish_time(round + 1);
+                if next.saturating_since(SimTime::ZERO) <= self.config.duration {
+                    st.queue.schedule(
+                        next,
+                        Event::Publish {
+                            topic_index,
+                            round: round + 1,
+                        },
+                    );
+                }
+            }
+            Event::Arrival { to, from, packet } => {
+                // A broker that crashed while the packet was in flight
+                // loses it: no ACK, no processing. (The epoch-failure
+                // node model only blocks transmissions at send time;
+                // the crash model also eats arrivals.)
+                if self.failure.chaos().is_some_and(|c| c.node_down(to, now)) {
+                    return;
+                }
+                // Hop-by-hop ACK, generated before processing
+                // (Algorithm 2 line 2). Subject to the same link rules.
+                let Some(edge) = self.topology.edge_between(to, from) else {
+                    st.log.note_error(RuntimeError::ArrivalWithoutLink {
+                        from,
+                        to,
+                        packet: packet.id,
+                    });
+                    return;
+                };
+                let blocked = self.failure.edge_blocked(self.topology, edge, now);
+                if !blocked
+                    && !self.loss.drops(&mut st.rng)
+                    && !self.gray_drops(edge, to, &mut st.rng)
+                {
+                    let ack_at = match self.config.ack_transit {
+                        AckTransit::Immediate => now,
+                        AckTransit::RoundTrip => now + self.gray_delay(edge, to),
+                    };
+                    st.queue.schedule(
+                        ack_at,
+                        Event::AckArrival {
+                            at: from,
+                            to,
+                            packet: packet.clone(),
+                        },
+                    );
+                }
+                match (self.config.processing_time, st.overload) {
+                    (None, _) => {
+                        strategy.on_packet(to, from, *packet, now, &mut st.out);
+                        self.execute(
+                            &mut st.out,
+                            to,
+                            now,
+                            &mut st.queue,
+                            &mut st.rng,
+                            &mut st.log,
+                            &mut st.auditor,
+                            &mut st.staging,
+                        );
+                    }
+                    (Some(service), None) => {
+                        // Serial per-broker service: the packet waits
+                        // for the broker to free up, then takes
+                        // `service` before the routing logic runs.
+                        let Some(free) = st.node_free.get_mut(to.index()) else {
+                            return; // unreachable: sized to num_nodes
+                        };
+                        let start = (*free).max(now);
+                        let done = start + service;
+                        *free = done;
+                        st.queue.schedule(
+                            done,
+                            Event::Process {
+                                node: to,
+                                from,
+                                packet,
+                            },
+                        );
+                    }
+                    (Some(_), Some((service, limit))) => {
+                        // Bounded queue: enqueue, shed the policy's
+                        // victim on overflow, start service if idle.
+                        let Some(q) = st.pending.get_mut(to.index()) else {
+                            return; // unreachable: sized to num_nodes
+                        };
+                        q.push((from, packet));
+                        if q.len() > limit {
+                            let Some(cache) = st.sp_cache.get_mut(to.index()) else {
+                                return;
+                            };
+                            let sp = cache
+                                .get_or_insert_with(|| dijkstra(self.topology, to, Metric::Delay));
+                            let slacks: Vec<i128> = q
+                                .iter()
+                                .map(|(_, p)| shed_slack(&st.log, sp, p, now, service))
+                                .collect();
+                            let victim = match self.config.shed_policy {
+                                // Newest arrival, regardless of slack.
+                                ShedPolicy::TailDrop => q.len() - 1,
+                                // First index of minimum slack: ties
+                                // break toward the oldest arrival.
+                                ShedPolicy::LeastSlack => {
+                                    let mut best = 0;
+                                    let mut best_slack = i128::MAX;
+                                    for (i, s) in slacks.iter().enumerate() {
+                                        if *s < best_slack {
+                                            best = i;
+                                            best_slack = *s;
+                                        }
+                                    }
+                                    best
+                                }
+                            };
+                            let (_, shed) = q.remove(victim);
+                            let kept_doomed = slacks
+                                .iter()
+                                .enumerate()
+                                .any(|(i, s)| i != victim && *s < 0);
+                            let (_, any_sat) =
+                                mark_shed_pairs(&mut st.log, sp, &shed, now, service);
+                            st.log.sheds += 1;
+                            if let Some(n) = st.log.sheds_by_node.get_mut(to.index()) {
+                                *n += 1;
+                            }
+                            if !any_sat {
+                                st.log.doomed_sheds += 1;
+                            }
+                            let ev = TraceEvent::Shed {
+                                at: now,
+                                node: to,
+                                packet: shed.id,
+                            };
+                            if let Some(trace) = &mut st.log.trace {
+                                trace.record(ev);
+                            }
+                            if let Some(aud) = &mut st.auditor {
+                                aud.observe(&ev);
+                                // Delay-cognizance gate: overload may
+                                // only claim traffic that is past help
+                                // while doomed packets hold seats.
+                                if any_sat && kept_doomed {
+                                    aud.flag(Violation::UnjustifiedShed {
+                                        packet: shed.id,
+                                        node: to,
+                                    });
+                                }
+                            }
+                        }
+                        let depth = q.len();
+                        st.log.max_queue_depth = st.log.max_queue_depth.max(depth);
+                        let Some(busy) = st.in_service.get_mut(to.index()) else {
+                            return;
+                        };
+                        if !*busy && !q.is_empty() {
+                            let (f, p) = q.remove(0);
+                            *busy = true;
+                            st.queue.schedule(
+                                now + service,
+                                Event::Process {
+                                    node: to,
+                                    from: f,
+                                    packet: p,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+            Event::Process { node, from, packet } => {
+                // A broker that departed while the packet sat in its
+                // service queue never processes it. (Crash-down brokers
+                // already dropped the arrival; churn-absent brokers are
+                // gone for good, so their queue dies with them.)
+                if st.churn.as_ref().is_some_and(|ch| ch.absent_at(node, now)) {
+                    if st.overload.is_some() {
+                        // Bounded mode: the departed broker's waiting
+                        // room dies with it too (churn loss, not an
+                        // overload shed).
+                        if let Some(q) = st.pending.get_mut(node.index()) {
+                            q.clear();
+                        }
+                        if let Some(busy) = st.in_service.get_mut(node.index()) {
+                            *busy = false;
+                        }
+                    }
+                    return;
+                }
+                strategy.on_packet(node, from, *packet, now, &mut st.out);
+                self.execute(
+                    &mut st.out,
+                    node,
+                    now,
+                    &mut st.queue,
+                    &mut st.rng,
+                    &mut st.log,
+                    &mut st.auditor,
+                    &mut st.staging,
+                );
+                if let Some((service, _)) = st.overload {
+                    // Serve the next waiting packet, FIFO.
+                    let Some(q) = st.pending.get_mut(node.index()) else {
+                        return; // unreachable: sized to num_nodes
+                    };
+                    if q.is_empty() {
+                        if let Some(busy) = st.in_service.get_mut(node.index()) {
+                            *busy = false;
+                        }
+                    } else {
+                        let (f, p) = q.remove(0);
+                        st.queue.schedule(
+                            now + service,
+                            Event::Process {
+                                node,
+                                from: f,
+                                packet: p,
+                            },
+                        );
+                    }
+                }
+            }
+            Event::AckArrival { at, to, packet } => {
+                // An ACK addressed to a crash-down sender dies with its
+                // in-flight state.
+                if self.failure.chaos().is_some_and(|c| c.node_down(at, now)) {
+                    return;
+                }
+                st.log.acks_delivered += 1;
+                let ev = TraceEvent::Ack {
+                    at: now,
+                    from: to,
+                    to: at,
+                    packet: packet.id,
+                };
+                if let Some(trace) = &mut st.log.trace {
+                    trace.record(ev);
+                }
+                if let Some(aud) = &mut st.auditor {
+                    aud.observe(&ev);
+                }
+                strategy.on_ack(at, to, &packet, now, &mut st.out);
+                self.execute(
+                    &mut st.out,
+                    at,
+                    now,
+                    &mut st.queue,
+                    &mut st.rng,
+                    &mut st.log,
+                    &mut st.auditor,
+                    &mut st.staging,
+                );
+            }
+            Event::Timer { node, key } => {
+                // A departed broker's timers die with it. Crash-down
+                // brokers keep their timers (PR 3 semantics: stale
+                // timers fire into wiped state and no-op).
+                if st.churn.as_ref().is_some_and(|ch| ch.absent_at(node, now)) {
+                    return;
+                }
+                strategy.on_timer(node, key, now, &mut st.out);
+                self.execute(
+                    &mut st.out,
+                    node,
+                    now,
+                    &mut st.queue,
+                    &mut st.rng,
+                    &mut st.log,
+                    &mut st.auditor,
+                    &mut st.staging,
+                );
+            }
+            Event::Probe => {
+                let (Monitoring::Probing { probe_interval, .. }, Some(mon)) =
+                    (self.config.monitoring, st.monitor.as_mut())
+                else {
+                    st.log.note_error(RuntimeError::MonitorMissing);
+                    return;
+                };
+                for e in self.topology.edge_ids() {
+                    let blocked = self.failure.edge_blocked(self.topology, e, now);
+                    let outcome =
+                        (!blocked && !self.loss.drops(&mut st.rng)).then(|| self.topology.delay(e));
+                    mon.observe(e, outcome);
+                }
+                if now.saturating_since(SimTime::ZERO) < self.config.duration {
+                    st.queue.schedule(now + probe_interval, Event::Probe);
+                }
+            }
+            Event::Monitor => {
+                let Some(mon) = st.monitor.as_ref() else {
+                    st.log.note_error(RuntimeError::MonitorMissing);
+                    return;
+                };
+                strategy.on_monitor(&mon.estimates(), now);
+                if now.saturating_since(SimTime::ZERO) < self.config.duration {
+                    st.queue
+                        .schedule(now + self.config.monitor_interval, Event::Monitor);
+                }
+            }
+            Event::ChaosTick { epoch } => {
+                // Failure detection first: the detector probes the
+                // epoch's ground truth and hands any membership deltas
+                // to the strategy, so repair and custody handoff are in
+                // place before restarts replay and ticks sweep.
+                if let (Some(det), Some(ch)) = (st.detector.as_mut(), st.churn.as_ref()) {
+                    let deltas = det.tick(epoch, |n| {
+                        if ch.departed_in_epoch(n, epoch) {
+                            GroundTruth::Departed
+                        } else if !ch.present_in_epoch(n, epoch)
+                            || self.failure.chaos().is_some_and(|c| c.node_down(n, now))
+                        {
+                            GroundTruth::Down
+                        } else {
+                            GroundTruth::Up
+                        }
+                    });
+                    if let Some(overlay) = st.gossip.as_mut() {
+                        // Epidemic dissemination: each delta becomes a
+                        // rumor at its witness broker. Self-announced
+                        // events (joins, leaves, refutations) start at
+                        // the node they are about; a confirmed death
+                        // needs a live spokesbroker — the lowest-index
+                        // up-and-present broker other than the corpse.
+                        let chaos = self.failure.chaos();
+                        let up = |x: NodeId| !chaos.is_some_and(|c| c.node_down(x, now));
+                        for &d in &deltas {
+                            let witness = match d {
+                                MembershipDelta::ConfirmDead { .. } => {
+                                    (0..self.topology.num_nodes())
+                                        .map(|i| self.topology.node(i))
+                                        .find(|&x| x != d.node() && up(x))
+                                        .unwrap_or_else(|| d.node())
+                                }
+                                _ => d.node(),
+                            };
+                            overlay.submit(d, witness, epoch);
+                        }
+                        // Control-plane connectivity: two brokers can
+                        // exchange gossip when both are up and no
+                        // active partition separates them. Partitions
+                        // therefore stall convergence until they heal.
+                        let n = self.topology.num_nodes();
+                        let split = |a: NodeId, b: NodeId| {
+                            chaos.and_then(|c| c.partition()).is_some_and(|p| {
+                                p.is_isolated(a, now, n) != p.is_isolated(b, now, n)
+                            })
+                        };
+                        let tick = overlay.tick(epoch, |a, b| up(a) && up(b) && !split(a, b), up);
+                        if !tick.converged.is_empty() {
+                            strategy.on_gossip(&tick.converged, now);
+                        }
+                        if let Some(aud) = &mut st.auditor {
+                            for s in &tick.stale {
+                                aud.flag(Violation::StaleRouteAfterConvergence {
+                                    node: s.node,
+                                    rounds: s.rounds,
+                                });
+                            }
+                        }
+                    } else if self.config.dissemination == Dissemination::Oracle
+                        && !deltas.is_empty()
+                    {
+                        strategy.on_membership(&deltas, now);
+                    }
+                    // Dissemination::None drops detector output: the
+                    // strategy routes on stale membership forever.
+                }
+                // All restarts first: a broker that came back this epoch
+                // replays its custody before any node's housekeeping
+                // tick reacts to the new state.
+                for i in 0..self.topology.num_nodes() {
+                    let node = self.topology.node(i);
+                    let restarted = self
+                        .failure
+                        .chaos()
+                        .is_some_and(|c| c.restarted_at_epoch(node, epoch));
+                    if restarted {
+                        strategy.on_restart(node, now, &mut st.out);
+                        self.execute(
+                            &mut st.out,
+                            node,
+                            now,
+                            &mut st.queue,
+                            &mut st.rng,
+                            &mut st.log,
+                            &mut st.auditor,
+                            &mut st.staging,
+                        );
+                    }
+                }
+                // Then one housekeeping tick per live broker (recovery
+                // strategies run their gap-detection sweep here). A
+                // crashed broker cannot sweep.
+                for i in 0..self.topology.num_nodes() {
+                    let node = self.topology.node(i);
+                    if self.failure.chaos().is_some_and(|c| c.node_down(node, now)) {
+                        continue;
+                    }
+                    strategy.on_tick(node, now, &mut st.out);
+                    self.execute(
+                        &mut st.out,
+                        node,
+                        now,
+                        &mut st.queue,
+                        &mut st.rng,
+                        &mut st.log,
+                        &mut st.auditor,
+                        &mut st.staging,
+                    );
+                }
+                let next = SimTime::from_secs(epoch + 1);
+                if next <= st.hard_stop {
+                    st.queue
+                        .schedule(next, Event::ChaosTick { epoch: epoch + 1 });
+                }
+            }
+        }
     }
 
     /// Initial event-queue capacity, sized from the workload and topology

@@ -124,16 +124,16 @@ impl<E> EventQueue<E> {
 
     /// Schedules `event` at absolute time `at`.
     ///
-    /// # Panics
-    ///
-    /// Panics if `at` is earlier than the current simulated time: scheduling
-    /// into the past would silently corrupt causality.
+    /// Scheduling into the past would silently corrupt causality, so `at`
+    /// is clamped to the current simulated time (debug builds assert the
+    /// caller never asked for that).
     pub fn schedule(&mut self, at: SimTime, event: E) {
-        assert!(
+        debug_assert!(
             at >= self.now,
             "cannot schedule event in the past: {at} < now {now}",
             now = self.now
         );
+        let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { at, seq, event });

@@ -47,7 +47,7 @@ impl Welford {
 
     /// Adds one observation.
     pub fn push(&mut self, x: f64) {
-        self.count += 1;
+        self.count = self.count.saturating_add(1);
         let delta = x - self.mean;
         self.mean += delta / self.count as f64;
         self.m2 += delta * (x - self.mean);
@@ -163,9 +163,9 @@ impl Ratio {
 
     /// Records one trial; `hit` marks it a success.
     pub fn record(&mut self, hit: bool) {
-        self.total += 1;
+        self.total = self.total.saturating_add(1);
         if hit {
-            self.hits += 1;
+            self.hits = self.hits.saturating_add(1);
         }
     }
 
@@ -269,19 +269,21 @@ impl Histogram {
     /// of being clamped into the first bucket (which would fabricate
     /// low-end mass at `lo`).
     pub fn push(&mut self, x: f64) {
-        self.count += 1;
+        self.count = self.count.saturating_add(1);
         if !x.is_finite() || x >= self.hi {
-            self.overflow += 1;
+            self.overflow = self.overflow.saturating_add(1);
             return;
         }
         if x < self.lo {
-            self.underflow += 1;
+            self.underflow = self.underflow.saturating_add(1);
             return;
         }
         let width = (self.hi - self.lo) / self.buckets.len() as f64;
         let idx = ((x - self.lo) / width).floor() as usize;
-        let idx = idx.min(self.buckets.len() - 1);
-        self.buckets[idx] += 1;
+        let idx = idx.min(self.buckets.len().saturating_sub(1));
+        if let Some(b) = self.buckets.get_mut(idx) {
+            *b = b.saturating_add(1);
+        }
     }
 
     /// Merges another histogram with identical configuration.

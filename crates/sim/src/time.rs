@@ -141,17 +141,19 @@ impl SimDuration {
     }
 
     /// Scales the duration by a non-negative float, rounding to the nearest
-    /// microsecond.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `factor` is negative or NaN.
+    /// microsecond. A negative, NaN, or infinite factor is sanitized to
+    /// zero (debug builds assert the caller never passes one).
     #[must_use]
     pub fn mul_f64(self, factor: f64) -> Self {
-        assert!(
+        debug_assert!(
             factor >= 0.0 && factor.is_finite(),
             "duration scale factor must be finite and non-negative, got {factor}"
         );
+        let factor = if factor.is_finite() && factor >= 0.0 {
+            factor
+        } else {
+            0.0
+        };
         SimDuration((self.0 as f64 * factor).round() as u64)
     }
 }
