@@ -1,5 +1,5 @@
-//! Macro hot-path benchmark: end-to-end DCRD events/sec on a 64-broker
-//! random degree-k overlay.
+//! Macro hot-path benchmark: end-to-end DCRD events/sec on random
+//! degree-k overlays, in two tiers (64 and 1024 brokers).
 //!
 //! Unlike the criterion micro-benches this measures the whole event loop —
 //! queue, router, failure/loss models, ACK bookkeeping — and writes a
@@ -8,12 +8,12 @@
 //!
 //! ```text
 //! cargo run --release -p dcrd-bench --bin hotpath -- [--quick] \
-//!     [--out BENCH_hotpath.json] [--check BASELINE.json]
+//!     [--tier 64|1k] [--out BENCH_hotpath.json] [--check BASELINE.json]
 //! ```
 //!
-//! `--check` fails the process (exit 1) when events/sec regresses more than
-//! 20% below the baseline file's value; CI runs `--quick --check` against
-//! the checked-in baseline.
+//! `--check` fails the process (exit 1) when any tier's events/sec
+//! regresses more than 20% below the same tier in the baseline file; CI
+//! runs `--quick --check` against the checked-in baseline.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -59,13 +59,56 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
-const NODES: usize = 64;
-const DEGREE: usize = 6;
-const TOPICS: usize = 16;
 const SEED: u64 = 4242;
 const PF: f64 = 0.05;
 const PL: f64 = 0.01;
 const REGRESSION_TOLERANCE: f64 = 0.20;
+
+/// The 1k tier's events/sec measured on the map-adjacency / binary-heap
+/// engine (the commit preceding the CSR + struct-of-arrays + timer-wheel
+/// rebuild), full mode, on the reference machine. The refactor's
+/// acceptance bar is ≥ 2× this number; the value is recorded into the
+/// JSON so the ratio travels with every run.
+const MAP_BASELINE_1K_EPS: f64 = 36561.0;
+
+/// One benchmark tier: a fixed scenario shape at a given broker count.
+struct Tier {
+    name: &'static str,
+    nodes: usize,
+    degree: usize,
+    topics: usize,
+    /// (reps, simulated seconds per rep) in full mode.
+    full: (u64, u64),
+    /// (reps, simulated seconds per rep) in quick mode.
+    quick: (u64, u64),
+    /// Simulated seconds of the untimed warm-up rep (0 = skip).
+    warmup_secs: u64,
+    /// Pre-refactor map-based engine baseline, when one was recorded.
+    map_baseline_eps: Option<f64>,
+}
+
+const TIERS: &[Tier] = &[
+    Tier {
+        name: "64",
+        nodes: 64,
+        degree: 6,
+        topics: 16,
+        full: (5, 30),
+        quick: (2, 10),
+        warmup_secs: 5,
+        map_baseline_eps: None,
+    },
+    Tier {
+        name: "1k",
+        nodes: 1024,
+        degree: 8,
+        topics: 16,
+        full: (2, 10),
+        quick: (1, 5),
+        warmup_secs: 0,
+        map_baseline_eps: Some(MAP_BASELINE_1K_EPS),
+    },
+];
 
 struct RunStats {
     events: u64,
@@ -74,15 +117,20 @@ struct RunStats {
     allocs: u64,
 }
 
-/// One full simulation of the fixed 64-broker scenario; `rep` varies the
-/// seeds so repetitions are independent but each is fully deterministic.
-fn run_rep(rep: u64, duration_secs: u64) -> RunStats {
+/// One full simulation of a tier's fixed scenario; `rep` varies the seeds
+/// so repetitions are independent but each is fully deterministic.
+fn run_rep(tier: &Tier, rep: u64, duration_secs: u64) -> RunStats {
     let seed = SEED.wrapping_add(rep);
-    let topo = random_connected(NODES, DEGREE, DelayRange::PAPER, &mut rng_for(seed, "topo"));
+    let topo = random_connected(
+        tier.nodes,
+        tier.degree,
+        DelayRange::PAPER,
+        &mut rng_for(seed, "topo"),
+    );
     let workload = Workload::generate(
         &topo,
         &WorkloadConfig {
-            num_topics: TOPICS,
+            num_topics: tier.topics,
             ..WorkloadConfig::PAPER
         },
         &mut rng_for(seed, "workload"),
@@ -108,11 +156,11 @@ fn run_rep(rep: u64, duration_secs: u64) -> RunStats {
     }
 }
 
-/// Extracts `"key": <number>` from a flat JSON object without a JSON
-/// dependency (the baseline file is machine-written by this binary).
-fn json_number(text: &str, key: &str) -> Option<f64> {
+/// Extracts `"key": <number>` from JSON text starting at `from`, without a
+/// JSON dependency (the baseline file is machine-written by this binary).
+fn json_number_at(text: &str, key: &str, from: usize) -> Option<f64> {
     let needle = format!("\"{key}\"");
-    let at = text.find(&needle)?;
+    let at = from + text[from..].find(&needle)?;
     let rest = text[at + needle.len()..].trim_start().strip_prefix(':')?;
     let rest = rest.trim_start();
     let end = rest
@@ -121,16 +169,26 @@ fn json_number(text: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// Extracts a per-tier number: finds the `"tier": "<name>"` marker and
+/// reads the first `"key"` after it.
+fn tier_number(text: &str, tier: &str, key: &str) -> Option<f64> {
+    let marker = format!("\"tier\": \"{tier}\"");
+    let at = text.find(&marker)?;
+    json_number_at(text, key, at)
+}
+
 fn main() {
     let mut quick = false;
     let mut out_path = String::from("BENCH_hotpath.json");
     let mut check_path: Option<String> = None;
+    let mut only_tier: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--out" => out_path = args.next().expect("--out needs a path"),
             "--check" => check_path = Some(args.next().expect("--check needs a path")),
+            "--tier" => only_tier = Some(args.next().expect("--tier needs a name")),
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
@@ -138,69 +196,102 @@ fn main() {
         }
     }
 
-    let (reps, duration_secs) = if quick { (2, 10) } else { (5, 30) };
-    // Warm up caches and the allocator before the timed repetitions.
-    let _ = run_rep(999, 5);
+    let mode = if quick { "quick" } else { "full" };
+    let mut tier_jsons: Vec<String> = Vec::new();
+    let mut results: Vec<(&'static str, f64)> = Vec::new();
 
-    let mut events = 0u64;
-    let mut hops = 0u64;
-    let mut wall_ns = 0u128;
-    let mut allocs = 0u64;
-    for rep in 0..reps {
-        let s = run_rep(rep, duration_secs);
-        events += s.events;
-        hops += s.hops;
-        wall_ns += s.wall_ns;
-        allocs += s.allocs;
+    for tier in TIERS {
+        if only_tier.as_ref().is_some_and(|t| t != tier.name) {
+            continue;
+        }
+        let (reps, duration_secs) = if quick { tier.quick } else { tier.full };
+        if tier.warmup_secs > 0 {
+            // Warm up caches and the allocator before the timed reps.
+            let _ = run_rep(tier, 999, tier.warmup_secs);
+        }
+
+        let mut events = 0u64;
+        let mut hops = 0u64;
+        let mut wall_ns = 0u128;
+        let mut allocs = 0u64;
+        for rep in 0..reps {
+            let s = run_rep(tier, rep, duration_secs);
+            events += s.events;
+            hops += s.hops;
+            wall_ns += s.wall_ns;
+            allocs += s.allocs;
+        }
+
+        let wall_secs = wall_ns as f64 / 1e9;
+        let events_per_sec = events as f64 / wall_secs;
+        let ns_per_hop = wall_ns as f64 / hops as f64;
+        let allocs_per_hop = allocs as f64 / hops as f64;
+
+        let baseline_field = tier
+            .map_baseline_eps
+            .map(|b| format!(",\n      \"map_baseline_events_per_sec\": {b:.1}"))
+            .unwrap_or_default();
+        tier_jsons.push(format!(
+            "    {{\n      \"tier\": \"{}\",\n      \"nodes\": {},\n      \"degree\": {},\n      \
+             \"topics\": {},\n      \"reps\": {reps},\n      \
+             \"sim_secs_per_rep\": {duration_secs},\n      \"events\": {events},\n      \
+             \"hops\": {hops},\n      \"wall_ms\": {:.3},\n      \
+             \"events_per_sec\": {events_per_sec:.1},\n      \"ns_per_hop\": {ns_per_hop:.1},\n      \
+             \"allocs_per_hop\": {allocs_per_hop:.2}{baseline_field}\n    }}",
+            tier.name,
+            tier.nodes,
+            tier.degree,
+            tier.topics,
+            wall_ns as f64 / 1e6,
+        ));
+        results.push((tier.name, events_per_sec));
+        println!(
+            "hotpath[{}]: {events} events / {hops} hops in {:.1} ms -> {events_per_sec:.0} \
+             events/s, {ns_per_hop:.0} ns/hop, {allocs_per_hop:.2} allocs/hop",
+            tier.name,
+            wall_ns as f64 / 1e6
+        );
     }
 
-    let wall_secs = wall_ns as f64 / 1e9;
-    let events_per_sec = events as f64 / wall_secs;
-    let ns_per_hop = wall_ns as f64 / hops as f64;
-    let allocs_per_hop = allocs as f64 / hops as f64;
-
     let json = format!(
-        "{{\n  \"bench\": \"hotpath\",\n  \"nodes\": {NODES},\n  \"degree\": {DEGREE},\n  \
-         \"topics\": {TOPICS},\n  \"mode\": \"{}\",\n  \"reps\": {reps},\n  \
-         \"sim_secs_per_rep\": {duration_secs},\n  \"events\": {events},\n  \
-         \"hops\": {hops},\n  \"wall_ms\": {:.3},\n  \"events_per_sec\": {:.1},\n  \
-         \"ns_per_hop\": {:.1},\n  \"allocs_per_hop\": {:.2}\n}}\n",
-        if quick { "quick" } else { "full" },
-        wall_ns as f64 / 1e6,
-        events_per_sec,
-        ns_per_hop,
-        allocs_per_hop,
+        "{{\n  \"bench\": \"hotpath\",\n  \"mode\": \"{mode}\",\n  \"tiers\": [\n{}\n  ]\n}}\n",
+        tier_jsons.join(",\n")
     );
     std::fs::write(&out_path, &json).expect("write benchmark output");
-    println!(
-        "hotpath: {events} events / {hops} hops in {:.1} ms -> {events_per_sec:.0} events/s, \
-         {ns_per_hop:.0} ns/hop, {allocs_per_hop:.2} allocs/hop -> {out_path}",
-        wall_ns as f64 / 1e6
-    );
+    println!("wrote {out_path}");
 
     if let Some(path) = check_path {
         let baseline_text = std::fs::read_to_string(&path).expect("read baseline");
         // Quick and full mode amortize the per-rep table build over very
         // different sim durations; comparing across modes is meaningless.
-        let mode = if quick {
-            "\"mode\": \"quick\""
-        } else {
-            "\"mode\": \"full\""
-        };
+        let mode_marker = format!("\"mode\": \"{mode}\"");
         assert!(
-            baseline_text.contains(mode),
+            baseline_text.contains(&mode_marker),
             "baseline {path} was not recorded in the current mode; \
              regenerate it with the same --quick setting"
         );
-        let baseline = json_number(&baseline_text, "events_per_sec").expect("baseline value");
-        let floor = baseline * (1.0 - REGRESSION_TOLERANCE);
-        if events_per_sec < floor {
-            eprintln!(
-                "REGRESSION: {events_per_sec:.0} events/s is more than 20% below the \
-                 baseline {baseline:.0} (floor {floor:.0})"
-            );
+        let mut failed = false;
+        for (name, events_per_sec) in &results {
+            let Some(baseline) = tier_number(&baseline_text, name, "events_per_sec") else {
+                println!("tier {name}: no baseline entry, skipping gate");
+                continue;
+            };
+            let floor = baseline * (1.0 - REGRESSION_TOLERANCE);
+            if *events_per_sec < floor {
+                eprintln!(
+                    "REGRESSION[{name}]: {events_per_sec:.0} events/s is more than 20% below \
+                     the baseline {baseline:.0} (floor {floor:.0})"
+                );
+                failed = true;
+            } else {
+                println!(
+                    "tier {name}: within tolerance of baseline {baseline:.0} events/s \
+                     (floor {floor:.0})"
+                );
+            }
+        }
+        if failed {
             std::process::exit(1);
         }
-        println!("within tolerance of baseline {baseline:.0} events/s (floor {floor:.0})");
     }
 }

@@ -33,11 +33,48 @@ impl OrderingPolicy {
     /// inconsistent comparator.
     pub fn sort(self, candidates: &mut [Candidate]) {
         match self {
-            OrderingPolicy::RatioOptimal => candidates.sort_by(|a, b| {
-                a.ratio()
-                    .total_cmp(&b.ratio())
-                    .then_with(|| a.neighbor.cmp(&b.neighbor))
-            }),
+            OrderingPolicy::RatioOptimal => {
+                // `ratio()` divides, and `sort_by` re-evaluates it on every
+                // comparison. Sending lists are degree-sized, so for short
+                // slices precompute each ratio as a sort key — `total_cmp`
+                // is by definition a signed compare of sign-folded IEEE
+                // bits, so after flipping the top bit the key orders as a
+                // plain u64 — and run an insertion sort over (key, id)
+                // pairs. The comparator is a strict total order (distinct
+                // neighbor ids break every tie), so the sorted permutation
+                // is unique and the fast path returns exactly what
+                // `sort_by` would.
+                const STACK: usize = 16;
+                let len = candidates.len();
+                if len <= STACK {
+                    let mut keys = [0u64; STACK];
+                    for (k, c) in keys.iter_mut().zip(candidates.iter()) {
+                        let bits = c.ratio().to_bits() as i64;
+                        *k = (bits ^ ((((bits >> 63) as u64) >> 1) as i64)) as u64
+                            ^ 0x8000_0000_0000_0000;
+                    }
+                    for i in 1..len {
+                        let key = keys[i];
+                        let cand = candidates[i];
+                        let mut j = i;
+                        while j > 0
+                            && (keys[j - 1], candidates[j - 1].neighbor) > (key, cand.neighbor)
+                        {
+                            keys[j] = keys[j - 1];
+                            candidates[j] = candidates[j - 1];
+                            j -= 1;
+                        }
+                        keys[j] = key;
+                        candidates[j] = cand;
+                    }
+                } else {
+                    candidates.sort_by(|a, b| {
+                        a.ratio()
+                            .total_cmp(&b.ratio())
+                            .then_with(|| a.neighbor.cmp(&b.neighbor))
+                    });
+                }
+            }
             OrderingPolicy::ByDelay => candidates.sort_by(|a, b| {
                 a.d.total_cmp(&b.d)
                     .then_with(|| a.neighbor.cmp(&b.neighbor))
@@ -240,7 +277,7 @@ mod tests {
                 policy.sort(&mut other);
                 let d_other = combine(&other).d;
                 prop_assert!(d_opt <= d_other + 1e-6 * d_other.abs().max(1.0),
-                    "{policy:?} beat the optimal order: {d_other} < {d_opt}");
+                    "{:?} beat the optimal order: {} < {}", policy, d_other, d_opt);
             }
         }
     }

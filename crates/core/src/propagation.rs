@@ -18,9 +18,152 @@ use dcrd_net::{NodeId, NodeSet, Topology};
 use serde::{Deserialize, Serialize};
 
 use crate::config::{DcrdConfig, PropagationConfig};
+use crate::ordering::OrderingPolicy;
 use crate::params::{Candidate, DrPair};
 use crate::reliability::{m_transmission_stats, LinkStats};
-use crate::sending_list::{build_sending_list_into, node_params, NeighborInfo};
+use crate::sending_list::{build_sending_list_from_row, node_params};
+
+/// Degree bound for the fused stack-buffer node step; wider rows take the
+/// general list-building path.
+const FUSED_STACK: usize = 16;
+
+/// Fused live-round step for one broker under `RatioOptimal` ordering:
+/// Algorithm 1's filter, Theorem 1's sort, and Eq. 3's fold, entirely on
+/// stack buffers. This produces the same result as
+/// `build_sending_list_from_row` + `node_params` — same candidate set,
+/// same `d = α + dᵢ` / `r = γ·rᵢ`, the sort's unique permutation
+/// (`total_cmp` on `d/r`, ties by neighbor id, here as sign-folded bit
+/// keys), and the same sequential Eq. 3 fold — so the returned `⟨d, r⟩`
+/// is bit-identical while the candidate list itself is never
+/// materialized.
+///
+/// `order` is this node's persistent visit permutation over `row`'s
+/// slots, carried across gossip rounds: candidates are gathered in last
+/// round's sorted order, so the insertion sort sees nearly-sorted input
+/// and its inner loop stays branch-predictable (`⟨d, r⟩` drifts a little
+/// every round, but ranks rarely swap). This is *exact*: the gathered
+/// multiset is visit-order-independent, the comparator is a strict total
+/// order (distinct neighbor ids break every tie), and insertion sort
+/// from any starting arrangement yields the unique sorted permutation.
+/// On return `order` holds the new sorted member slots followed by the
+/// filtered-out slots.
+struct FusedRow {
+    ids: [u32; FUSED_STACK],
+    ds: [f64; FUSED_STACK],
+    rs: [f64; FUSED_STACK],
+    len: usize,
+}
+
+/// The shared gather + filter + sort half of the fused step: member
+/// candidates land in `ids`/`ds`/`rs` `[0, len)` in ascending `(d/r, id)`
+/// order, and `order` is rewritten for the next round.
+#[inline(always)]
+fn gather_sorted(
+    row: &[(NodeId, LinkStats)],
+    params: &[DrPair],
+    requirement: f64,
+    order: &mut [u8],
+) -> FusedRow {
+    let mut keys = [0u64; FUSED_STACK];
+    let mut ids = [0u32; FUSED_STACK];
+    let mut ds = [0.0f64; FUSED_STACK];
+    let mut rs = [0.0f64; FUSED_STACK];
+    let mut slots = [0u8; FUSED_STACK];
+    let mut rejects = [0u8; FUSED_STACK];
+    let mut len = 0usize;
+    let mut rejected = 0usize;
+    for &slot in order.iter() {
+        let (nb, link) = row[slot as usize];
+        let p = params[nb.index()];
+        // Branchless filter: compute and store unconditionally (harmless
+        // for failing slots — `∞` arithmetic is well-defined and the slot
+        // is overwritten or ignored), advance `len` by the filter bit.
+        // Membership flips between rounds would otherwise mispredict.
+        let d = link.alpha + p.d;
+        let r = link.gamma * p.r;
+        let ratio = if r <= 0.0 { f64::INFINITY } else { d / r };
+        let bits = ratio.to_bits() as i64;
+        keys[len] = (bits ^ ((((bits >> 63) as u64) >> 1) as i64)) as u64 ^ 0x8000_0000_0000_0000;
+        ids[len] = nb.index() as u32;
+        ds[len] = d;
+        rs[len] = r;
+        slots[len] = slot;
+        rejects[rejected] = slot;
+        let pass = p.d < requirement;
+        len += pass as usize;
+        rejected += !pass as usize;
+    }
+    for i in 1..len {
+        let (key, id, d, r, s) = (keys[i], ids[i], ds[i], rs[i], slots[i]);
+        let mut j = i;
+        while j > 0 && (keys[j - 1], ids[j - 1]) > (key, id) {
+            keys[j] = keys[j - 1];
+            ids[j] = ids[j - 1];
+            ds[j] = ds[j - 1];
+            rs[j] = rs[j - 1];
+            slots[j] = slots[j - 1];
+            j -= 1;
+        }
+        keys[j] = key;
+        ids[j] = id;
+        ds[j] = d;
+        rs[j] = r;
+        slots[j] = s;
+    }
+    order[..len].copy_from_slice(&slots[..len]);
+    order[len..].copy_from_slice(&rejects[..rejected]);
+    FusedRow { ids, ds, rs, len }
+}
+
+#[inline]
+fn node_step_ratio(
+    row: &[(NodeId, LinkStats)],
+    params: &[DrPair],
+    requirement: f64,
+    order: &mut [u8],
+) -> DrPair {
+    let FusedRow { ds, rs, len, .. } = gather_sorted(row, params, requirement, order);
+    let mut numerator = 0.0;
+    let mut prefix_delay = 0.0;
+    let mut fail_all = 1.0;
+    for k in 0..len {
+        if ds[k].is_infinite() {
+            debug_assert!(rs[k] <= 0.0, "finite-r candidate with infinite d");
+            continue;
+        }
+        prefix_delay += ds[k];
+        numerator += prefix_delay * (rs[k] * fail_all);
+        fail_all *= 1.0 - rs[k];
+    }
+    let r = 1.0 - fail_all;
+    if r <= 0.0 {
+        DrPair::UNREACHABLE
+    } else {
+        DrPair {
+            d: numerator / r,
+            r,
+        }
+    }
+}
+
+/// The final-pass variant: materializes the sorted sending list itself,
+/// appended to `out`. Identical candidates in the identical order to
+/// `build_sending_list_from_row` under `RatioOptimal`.
+#[inline]
+fn extend_sorted_candidates(
+    row: &[(NodeId, LinkStats)],
+    params: &[DrPair],
+    requirement: f64,
+    order: &mut [u8],
+    out: &mut Vec<Candidate>,
+) {
+    let FusedRow { ids, ds, rs, len } = gather_sorted(row, params, requirement, order);
+    out.extend((0..len).map(|k| Candidate {
+        neighbor: NodeId::new(ids[k]),
+        d: ds[k],
+        r: rs[k],
+    }));
+}
 
 /// The converged routing state of every broker toward one subscription.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -30,8 +173,13 @@ pub struct SubscriberTables {
     /// Per-node delay requirement `D_XS` in µs (may be ≤ 0 for brokers too
     /// far from the publisher).
     requirements: Vec<f64>,
-    /// Per-node sorted sending list.
-    lists: Vec<Vec<Candidate>>,
+    /// Per-node sorted sending lists in CSR form: node `v`'s list is
+    /// `list_cands[list_offsets[v] .. list_offsets[v + 1]]`. One flat
+    /// allocation per table instead of one `Vec` per broker — at 1k
+    /// brokers the nested form put millions of small allocations on every
+    /// rebuild pass.
+    list_offsets: Vec<u32>,
+    list_cands: Vec<Candidate>,
     /// Per-node `⟨d, r⟩`.
     params: Vec<DrPair>,
     rounds_used: u32,
@@ -60,7 +208,12 @@ impl SubscriberTables {
     /// The sorted sending list of `node` (empty for an unknown node).
     #[must_use]
     pub fn sending_list(&self, node: NodeId) -> &[Candidate] {
-        self.lists.get(node.index()).map_or(&[], Vec::as_slice)
+        let i = node.index();
+        let (Some(&lo), Some(&hi)) = (self.list_offsets.get(i), self.list_offsets.get(i + 1))
+        else {
+            return &[];
+        };
+        self.list_cands.get(lo as usize..hi as usize).unwrap_or(&[])
     }
 
     /// The `⟨d, r⟩` parameters of `node`.
@@ -187,12 +340,132 @@ pub fn compute_tables_prepared(
     )
 }
 
+/// Per-node `(neighbor, link stats)` adjacency minus the absent brokers, in
+/// CSR form: one flat pair array plus per-node offsets.
+///
+/// The snapshot depends only on `(topology, link stats, absent set)` — none
+/// of which vary across the subscriptions of one table rebuild — so build
+/// it **once per rebuild pass** and share it across every
+/// `(publisher, subscriber)` pair. At 1k brokers the per-call construction
+/// it replaces dominated rebuild time: thousands of subscription passes
+/// each allocating a thousand per-node vectors.
+#[derive(Debug, Clone)]
+pub struct AdjacencySnapshot {
+    /// Node `v`'s row lives at `pairs[offsets[v] .. offsets[v + 1]]`.
+    offsets: Vec<u32>,
+    /// Flat `(neighbor, link stats)` pairs in topology neighbor order —
+    /// the same order the per-call construction produced, which keeps the
+    /// `⟨d, r⟩` float operation sequence byte-identical.
+    pairs: Vec<(NodeId, LinkStats)>,
+}
+
+impl AdjacencySnapshot {
+    /// Builds the snapshot for one rebuild pass.
+    #[must_use]
+    pub fn build(topo: &Topology, link_stats: &[LinkStats], absent: &NodeSet) -> Self {
+        let n = topo.num_nodes();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut pairs = Vec::with_capacity(2 * topo.num_edges());
+        offsets.push(0);
+        for i in 0..n {
+            pairs.extend(
+                topo.neighbors(NodeId::new(i as u32))
+                    .iter()
+                    .filter(|&&(nb, _)| !absent.contains(nb))
+                    .map(|&(nb, edge)| (nb, link_stats[edge.index()])),
+            );
+            offsets.push(pairs.len() as u32);
+        }
+        AdjacencySnapshot { offsets, pairs }
+    }
+
+    /// Number of nodes the snapshot covers.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The live `(neighbor, link stats)` row of node `i`.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[(NodeId, LinkStats)] {
+        &self.pairs[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Total number of live `(neighbor, link stats)` pairs.
+    #[must_use]
+    pub fn num_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Shortest α-distance in µs from `source` to every node over the live
+    /// rows — the cheapest conditional delay any `⟨d, r⟩` value can ever
+    /// reach, since Eq. 2 adds a full link α per hop and Eq. 3's expectation
+    /// never undercuts its fastest candidate.
+    ///
+    /// Rebuild loops compute this once per subscriber (it depends only on
+    /// the snapshot and the source) and feed it to
+    /// [`compute_tables_snapshot`] as the pruning bound.
+    #[must_use]
+    pub fn alpha_distances_from(&self, source: NodeId) -> Vec<f64> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let n = self.num_nodes();
+        let mut dist = vec![f64::INFINITY; n];
+        // Non-negative finite f64 bit patterns order like the values, so
+        // the heap can key on raw bits without a float wrapper type.
+        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+        if source.index() < n {
+            dist[source.index()] = 0.0;
+            heap.push(Reverse((0, source.index() as u32)));
+        }
+        while let Some(Reverse((dbits, u))) = heap.pop() {
+            let d = f64::from_bits(dbits);
+            if d > dist[u as usize] {
+                continue;
+            }
+            for &(nb, stats) in self.row(u as usize) {
+                if !stats.alpha.is_finite() {
+                    continue;
+                }
+                let nd = d + stats.alpha;
+                if nd < dist[nb.index()] {
+                    dist[nb.index()] = nd;
+                    heap.push(Reverse((nd.to_bits(), nb.index() as u32)));
+                }
+            }
+        }
+        dist
+    }
+
+    /// For every node, the minimum of `values` over its live neighbors
+    /// (`∞` for isolated nodes). One O(E) pass over
+    /// [`alpha_distances_from`](Self::alpha_distances_from)`(subscriber)`
+    /// turns the per-pair "does any neighbor beat the requirement?"
+    /// ellipse scan into an O(1) lookup per node — rebuild loops cache
+    /// the result per subscriber and hand it to
+    /// [`compute_tables_snapshot`] as the pruning bound.
+    #[must_use]
+    pub fn neighbor_min(&self, values: &[f64]) -> Vec<f64> {
+        (0..self.num_nodes())
+            .map(|i| {
+                self.row(i)
+                    .iter()
+                    .fold(f64::INFINITY, |m, &(nb, _)| m.min(values[nb.index()]))
+            })
+            .collect()
+    }
+}
+
 /// [`compute_tables_prepared`] over the overlay minus the `absent` brokers
 /// (departed or confirmed dead): absent nodes contribute no candidates, get
 /// no sending lists, and carry `−∞` requirements. With an empty mask the
 /// result is **identical** to the unmasked computation — same float
 /// operation order, same freeze schedule — which is what lets incremental
 /// repair be oracle-checked against a from-scratch rebuild byte for byte.
+///
+/// Builds a throwaway [`AdjacencySnapshot`]; rebuild loops that recompute
+/// many subscriptions against one absent set should build the snapshot once
+/// and call [`compute_tables_snapshot`] instead.
 ///
 /// `dist_from_publisher` should be computed with
 /// [`dijkstra_masked`](dcrd_net::paths::dijkstra_masked) over the same
@@ -213,12 +486,111 @@ pub fn compute_tables_prepared_masked(
     config: &DcrdConfig,
     absent: &NodeSet,
 ) -> SubscriberTables {
+    let snapshot = AdjacencySnapshot::build(topo, link_stats, absent);
+    let spd = snapshot.alpha_distances_from(subscriber);
+    let spd_bound = snapshot.neighbor_min(&spd);
+    compute_tables_snapshot(
+        &snapshot,
+        publisher,
+        dist_from_publisher,
+        subscriber,
+        &spd_bound,
+        deadline_us,
+        config,
+        absent,
+    )
+}
+
+/// [`compute_tables_prepared_masked`] against a prebuilt
+/// [`AdjacencySnapshot`] — the hot entry point for table rebuild loops.
+///
+/// `spd_bound_from_subscriber` must be
+/// [`neighbor_min`](AdjacencySnapshot::neighbor_min) over
+/// [`alpha_distances_from`](AdjacencySnapshot::alpha_distances_from)`(subscriber)`
+/// on the same snapshot; rebuild loops cache it per subscriber.
+///
+/// # Panics
+///
+/// Panics if `dist_from_publisher` was not computed from `publisher`, or
+/// if `spd_bound_from_subscriber` does not cover every node.
+#[must_use]
+#[allow(clippy::too_many_arguments)] // one value per paper parameter plus the mask
+pub fn compute_tables_snapshot(
+    snapshot: &AdjacencySnapshot,
+    publisher: NodeId,
+    dist_from_publisher: &ShortestPaths,
+    subscriber: NodeId,
+    spd_bound_from_subscriber: &[f64],
+    deadline_us: f64,
+    config: &DcrdConfig,
+    absent: &NodeSet,
+) -> SubscriberTables {
+    let mut ws = TableWorkspace::default();
+    compute_tables_snapshot_ws(
+        snapshot,
+        publisher,
+        dist_from_publisher,
+        subscriber,
+        spd_bound_from_subscriber,
+        deadline_us,
+        config,
+        absent,
+        &mut ws,
+    )
+}
+
+/// Reusable scratch buffers for [`compute_tables_snapshot_ws`]. A rebuild
+/// pass computes tables for thousands of (topic, subscriber) pairs against
+/// one snapshot; sharing one workspace across those calls replaces ~10
+/// allocations (some past the allocator's mmap threshold) per pair with
+/// `clear`/`resize` on already-warm buffers.
+#[derive(Debug, Default)]
+pub struct TableWorkspace {
+    list_buf: Vec<Candidate>,
+    scratch: Vec<DrPair>,
+    stamp: Vec<u32>,
+    active: Vec<bool>,
+    actives: Vec<u32>,
+    frozen_offsets: Vec<u32>,
+    frozen_flat: Vec<(NodeId, LinkStats)>,
+    /// Total sending-list entries produced by the previous call — the
+    /// capacity hint for the next table's candidate buffer.
+    cands_estimate: usize,
+    /// Per-node persistent visit permutations for the fused step, in CSR
+    /// form (`order[order_offsets[i] .. order_offsets[i + 1]]`, row slots
+    /// capped at [`FUSED_STACK`]). Any permutation is a valid starting
+    /// arrangement, so the buffers survive across pairs — and a prior
+    /// pair's converged order is itself a good warm start.
+    order: Vec<u8>,
+    order_offsets: Vec<u32>,
+}
+
+/// [`compute_tables_snapshot`] with caller-owned scratch — the innermost
+/// entry point for rebuild loops.
+#[must_use]
+#[allow(clippy::too_many_arguments)] // one value per paper parameter plus the mask
+pub fn compute_tables_snapshot_ws(
+    snapshot: &AdjacencySnapshot,
+    publisher: NodeId,
+    dist_from_publisher: &ShortestPaths,
+    subscriber: NodeId,
+    spd_bound_from_subscriber: &[f64],
+    deadline_us: f64,
+    config: &DcrdConfig,
+    absent: &NodeSet,
+    ws: &mut TableWorkspace,
+) -> SubscriberTables {
     assert_eq!(
         dist_from_publisher.source(),
         publisher,
         "distance tree must be rooted at the publisher"
     );
-    let n = topo.num_nodes();
+    assert_eq!(
+        spd_bound_from_subscriber.len(),
+        snapshot.num_nodes(),
+        "subscriber distance bound must cover every node"
+    );
+    let n = snapshot.num_nodes();
     let requirements: Vec<f64> = (0..n)
         .map(|i| {
             let node = NodeId::new(i as u32);
@@ -232,23 +604,48 @@ pub fn compute_tables_prepared_masked(
         })
         .collect();
 
-    // Static per-node adjacency snapshot `(neighbor, link stats)`: the
-    // gossip rounds below only vary in the neighbors' `⟨d, r⟩`, so the
-    // round loop can refresh two reusable buffers instead of walking the
-    // topology and allocating fresh vectors per node per round. Absent
-    // neighbors are dropped from the snapshot, so no round ever considers
-    // them as candidates.
-    let adjacency: Vec<Vec<(NodeId, LinkStats)>> = (0..n)
-        .map(|i| {
-            topo.neighbors(NodeId::new(i as u32))
-                .iter()
-                .filter(|&&(nb, _)| !absent.contains(nb))
-                .map(|&(nb, edge)| (nb, link_stats[edge.index()]))
-                .collect()
-        })
-        .collect();
-    let mut neigh_buf: Vec<NeighborInfo> = Vec::new();
-    let mut list_buf: Vec<Candidate> = Vec::new();
+    // The gossip rounds below only vary in the neighbors' `⟨d, r⟩`, so the
+    // round loop rebuilds one reusable candidate buffer straight from the
+    // static snapshot rows instead of walking the topology per node per
+    // round. Absent neighbors were dropped at snapshot build time, so no
+    // round ever considers them as candidates.
+    let TableWorkspace {
+        list_buf,
+        scratch,
+        stamp,
+        active,
+        actives,
+        frozen_offsets,
+        frozen_flat,
+        cands_estimate,
+        order,
+        order_offsets,
+    } = ws;
+    list_buf.clear();
+
+    // (Re)shape the persistent visit permutations when the snapshot's row
+    // structure differs from what the workspace holds. Matching shapes keep
+    // their contents: every entry is a permutation of its row's slots, which
+    // is all the fused step requires.
+    let shape_ok = order_offsets.len() == n + 1
+        && (0..n).all(|i| {
+            (order_offsets[i + 1] - order_offsets[i]) as usize
+                == snapshot.row(i).len().min(FUSED_STACK)
+        });
+    if !shape_ok {
+        order.clear();
+        order_offsets.clear();
+        let mut off = 0u32;
+        for i in 0..n {
+            order_offsets.push(off);
+            let len = snapshot.row(i).len().min(FUSED_STACK);
+            for s in 0..len {
+                order.push(s as u8);
+            }
+            off += len as u32;
+        }
+        order_offsets.push(off);
+    }
 
     let mut params: Vec<DrPair> = vec![DrPair::UNREACHABLE; n];
     if !absent.contains(subscriber) {
@@ -259,9 +656,32 @@ pub fn compute_tables_prepared_masked(
     // An absent subscriber never anchors `⟨0, 1⟩`: every broker (correctly)
     // converges to unreachable and all lists come out empty.
     let subscriber_active = !absent.contains(subscriber);
+
+    // Ellipse pruning: a neighbor's `⟨d, r⟩` can never report a `d` below
+    // its shortest α-distance to the subscriber, so a broker whose
+    // requirement undercuts that bound for *every* neighbor provably holds
+    // an empty sending list in every round and stays `UNREACHABLE` — the
+    // exact values the full iteration would produce. The survivors form the
+    // deadline ellipse around the publisher→subscriber axis
+    // (`dist(P→X) + spd(X→S) ≲ deadline`), which shrinks sharply for
+    // close pairs and tight deadlines.
+    active.clear();
+    active.resize(n, false);
+    actives.clear();
+    for i in 0..n {
+        let node = NodeId::new(i as u32);
+        if node == subscriber && subscriber_active {
+            continue;
+        }
+        if spd_bound_from_subscriber[i] < requirements[i] {
+            active[i] = true;
+            actives.push(i as u32);
+        }
+    }
     let mut rounds_used = 0;
     let mut converged = false;
-    let mut scratch = params.clone();
+    scratch.clear();
+    scratch.extend_from_slice(&params);
     // The deadline filter and the value-dependent sort make the iteration a
     // *discrete* dynamical system: a neighbor whose `d` sits near a
     // requirement boundary can flap in and out of sending lists (and lists
@@ -272,56 +692,123 @@ pub fn compute_tables_prepared_masked(
     // the `⟨d, r⟩` values, which then converge like an absorption-time
     // system.
     let warmup = (prop.max_rounds / 2).max(8);
-    let mut frozen: Option<Vec<Vec<NodeId>>> = None;
+    // Frozen list membership and order, in CSR form (node `i`'s order is
+    // `frozen_flat[frozen_offsets[i] .. frozen_offsets[i + 1]]`): two flat
+    // buffers instead of one `Vec` per broker. Each entry carries its
+    // link's static stats so frozen rounds recompute Eq. 2 without
+    // re-searching the row.
+    let mut have_frozen = false;
+    frozen_offsets.clear();
+    frozen_flat.clear();
+    // Frontier tracking: a node's update reads only its *neighbors'*
+    // `⟨d, r⟩` — the requirement and link stats are static — so a node
+    // whose neighbors all held bit-identical values last round would
+    // recompute exactly the value it already has. Skipping it leaves every
+    // computed value (and the convergence maxima) bit-for-bit unchanged
+    // while collapsing each round to the active wavefront around the
+    // subscriber. `stamp[i] >= round` means "recompute `i` this round";
+    // stamps only grow, so no per-round clearing pass is needed.
+    stamp.clear();
+    stamp.resize(n, 1);
+    let fused = config.ordering == OrderingPolicy::RatioOptimal;
     for round in 1..=prop.max_rounds {
         rounds_used = round;
-        if round > warmup && frozen.is_none() {
-            frozen = Some(
-                (0..n)
-                    .map(|i| {
-                        let node = NodeId::new(i as u32);
-                        if node == subscriber && subscriber_active {
-                            return Vec::new();
-                        }
-                        refresh_neighbors(&adjacency[i], &params, &mut neigh_buf);
-                        build_sending_list_into(
-                            &neigh_buf,
-                            requirements[i],
-                            config.ordering,
-                            &mut list_buf,
-                        );
-                        list_buf.iter().map(|c| c.neighbor).collect()
-                    })
-                    .collect(),
-            );
+        let mut freeze_round = false;
+        if round > warmup && !have_frozen {
+            freeze_round = true;
+            frozen_offsets.push(0);
+            for i in 0..n {
+                if active[i] {
+                    let row = snapshot.row(i);
+                    build_sending_list_from_row(
+                        row,
+                        &params,
+                        requirements[i],
+                        config.ordering,
+                        list_buf,
+                    );
+                    // Every candidate was gathered from `row`, so the find
+                    // always succeeds; a miss would mean a corrupted list,
+                    // and the degraded path drops that entry.
+                    frozen_flat.extend(
+                        list_buf
+                            .iter()
+                            .filter_map(|c| row.iter().find(|&&(nb, _)| nb == c.neighbor).copied()),
+                    );
+                }
+                frozen_offsets.push(frozen_flat.len() as u32);
+            }
+            have_frozen = true;
         }
         let mut max_dd = 0.0f64;
         let mut max_dr = 0.0f64;
-        for i in 0..n {
-            let node = NodeId::new(i as u32);
-            if node == subscriber && subscriber_active {
-                scratch[i] = DrPair::SUBSCRIBER;
+        for &iu in actives.iter() {
+            let i = iu as usize;
+            // The freeze transition switches every node to the frozen
+            // evaluation path; run it as a full round so the skip only
+            // ever compares like against like.
+            if stamp[i] < round && !freeze_round {
+                scratch[i] = params[i];
                 continue;
             }
-            match &frozen {
-                None => {
-                    refresh_neighbors(&adjacency[i], &params, &mut neigh_buf);
-                    build_sending_list_into(
-                        &neigh_buf,
+            let p = if !have_frozen {
+                let row = snapshot.row(i);
+                if fused && row.len() <= FUSED_STACK {
+                    let off = order_offsets[i] as usize;
+                    node_step_ratio(
+                        row,
+                        &params,
+                        requirements[i],
+                        &mut order[off..off + row.len()],
+                    )
+                } else {
+                    build_sending_list_from_row(
+                        row,
+                        &params,
                         requirements[i],
                         config.ordering,
-                        &mut list_buf,
+                        list_buf,
                     );
+                    node_params(list_buf)
                 }
-                Some(orders) => frozen_list_into(&adjacency[i], &params, &orders[i], &mut list_buf),
-            }
-            let p = node_params(&list_buf);
+            } else {
+                frozen_list_from_entries(
+                    &frozen_flat[frozen_offsets[i] as usize..frozen_offsets[i + 1] as usize],
+                    &params,
+                    list_buf,
+                );
+                node_params(list_buf)
+            };
             let (dd, dr) = delta(p, params[i]);
             max_dd = max_dd.max(dd);
             max_dr = max_dr.max(dr);
+            if p.d.to_bits() != params[i].d.to_bits() || p.r.to_bits() != params[i].r.to_bits() {
+                // A changed `⟨d, r⟩` at `i` only perturbs a neighbor whose
+                // sending list can actually see `i`. Live rounds re-filter
+                // membership by `d < requirement`, so if `i` fails the
+                // neighbor's filter both before and after the change, that
+                // neighbor's candidate set and every input to it are
+                // untouched — leaving it asleep is exact. Frozen rounds pin
+                // membership from freeze time (a member's `d` may since
+                // have drifted past the requirement), so they wake every
+                // neighbor.
+                let old_d = params[i].d;
+                if !have_frozen {
+                    for &(nb, _) in snapshot.row(i) {
+                        let t = nb.index();
+                        if p.d < requirements[t] || old_d < requirements[t] {
+                            stamp[t] = round + 1;
+                        }
+                    }
+                } else {
+                    for &(nb, _) in snapshot.row(i) {
+                        stamp[nb.index()] = round + 1;
+                    }
+                }
+            }
             scratch[i] = p;
         }
-        std::mem::swap(&mut params, &mut scratch);
+        std::mem::swap(&mut params, scratch);
         if max_dd <= prop.tolerance_d && max_dr <= prop.tolerance_r {
             converged = true;
             break;
@@ -329,34 +816,56 @@ pub fn compute_tables_prepared_masked(
     }
 
     // Final lists from the converged parameters (honoring the freeze, so
-    // the returned lists are consistent with the returned values).
-    let lists: Vec<Vec<Candidate>> = (0..n)
-        .map(|i| {
-            let node = NodeId::new(i as u32);
-            if node == subscriber && subscriber_active {
-                return Vec::new();
-            }
-            match &frozen {
-                None => {
-                    refresh_neighbors(&adjacency[i], &params, &mut neigh_buf);
-                    build_sending_list_into(
-                        &neigh_buf,
+    // the returned lists are consistent with the returned values), built
+    // directly into the table's own CSR buffers — sized from the previous
+    // pair's total, so the common case is one allocation and no copy.
+    // Fused-eligible rows reuse the persistent visit order exactly like
+    // the round step, keeping the final sort nearly-sorted too.
+    let mut list_offsets: Vec<u32> = Vec::with_capacity(n + 1);
+    let mut list_cands: Vec<Candidate> = Vec::with_capacity(*cands_estimate);
+    list_offsets.push(0);
+    for i in 0..n {
+        if active[i] {
+            if !have_frozen {
+                let row = snapshot.row(i);
+                if fused && row.len() <= FUSED_STACK {
+                    let off = order_offsets[i] as usize;
+                    extend_sorted_candidates(
+                        row,
+                        &params,
+                        requirements[i],
+                        &mut order[off..off + row.len()],
+                        &mut list_cands,
+                    );
+                } else {
+                    build_sending_list_from_row(
+                        row,
+                        &params,
                         requirements[i],
                         config.ordering,
-                        &mut list_buf,
+                        list_buf,
                     );
+                    list_cands.extend_from_slice(list_buf);
                 }
-                Some(orders) => frozen_list_into(&adjacency[i], &params, &orders[i], &mut list_buf),
+            } else {
+                frozen_list_from_entries(
+                    &frozen_flat[frozen_offsets[i] as usize..frozen_offsets[i + 1] as usize],
+                    &params,
+                    list_buf,
+                );
+                list_cands.extend_from_slice(list_buf);
             }
-            list_buf.clone()
-        })
-        .collect();
+        }
+        list_offsets.push(list_cands.len() as u32);
+    }
+    *cands_estimate = list_cands.len();
 
     SubscriberTables {
         subscriber,
         publisher,
         requirements,
-        lists,
+        list_offsets,
+        list_cands,
         params,
         rounds_used,
         converged,
@@ -388,40 +897,18 @@ pub fn compute_tables(
     )
 }
 
-/// Refreshes the reusable neighbor buffer from an adjacency snapshot and
-/// the current round's `⟨d, r⟩` values.
-fn refresh_neighbors(
-    adjacency: &[(NodeId, LinkStats)],
-    params: &[DrPair],
-    out: &mut Vec<NeighborInfo>,
-) {
-    out.clear();
-    out.extend(adjacency.iter().map(|&(nb, link)| NeighborInfo {
-        neighbor: nb,
-        link,
-        params: params[nb.index()],
-    }));
-}
-
 /// Rebuilds a sending list with *fixed* membership and order, refreshing
-/// only the Eq. 2 values from the current params.
-fn frozen_list_into(
-    adjacency: &[(NodeId, LinkStats)],
+/// only the Eq. 2 values from the current params. The entries carry the
+/// link stats captured at freeze time, so this is a straight map with no
+/// per-entry row search.
+fn frozen_list_from_entries(
+    entries: &[(NodeId, LinkStats)],
     params: &[DrPair],
-    order: &[NodeId],
     out: &mut Vec<Candidate>,
 ) {
     out.clear();
-    out.extend(order.iter().filter_map(|&nb| {
-        let found = adjacency.iter().find(|&&(n, _)| n == nb);
-        debug_assert!(found.is_some(), "frozen list entry {nb} not a neighbor");
-        let stats = found?.1;
-        Some(Candidate::from_link(
-            nb,
-            stats.alpha,
-            stats.gamma,
-            params[nb.index()],
-        ))
+    out.extend(entries.iter().map(|&(nb, stats)| {
+        Candidate::from_link(nb, stats.alpha, stats.gamma, params[nb.index()])
     }));
 }
 

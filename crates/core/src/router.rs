@@ -17,12 +17,13 @@
 //! Destinations whose current next hop coincides are merged into a single
 //! transmission (Algorithm 2 lines 13–19).
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 use dcrd_net::estimate::LinkEstimates;
 use dcrd_net::membership::MembershipDelta;
 use dcrd_net::paths::ShortestPaths;
 use dcrd_net::{NodeId, NodeSet, Topology};
+use dcrd_pubsub::hotstate::{NodeMap, PacketNodeMap, PacketNodeSet};
 use dcrd_pubsub::packet::{Packet, PacketId, PacketKind};
 use dcrd_pubsub::recovery::SequenceTracker;
 use dcrd_pubsub::strategy::{
@@ -35,7 +36,8 @@ use dcrd_sim::{SimDuration, SimTime};
 use crate::config::{DcrdConfig, DurabilityMode, PersistenceMode, RepairMode, TimeoutPolicy};
 use crate::journal::{InFlightJournal, JournalEntry};
 use crate::propagation::{
-    compute_tables_prepared_masked, link_transmission_stats, SubscriberTables,
+    compute_tables_snapshot_ws, link_transmission_stats, AdjacencySnapshot, SubscriberTables,
+    TableWorkspace,
 };
 
 /// Tag space reserved for persistence-retry timers (top bit set).
@@ -189,7 +191,7 @@ pub struct DcrdStrategy {
     /// publisher-qualified so one topic may have several publishers
     /// (many-to-many pub/sub), each with its own deadline geometry.
     tables: BTreeMap<(TopicId, NodeId, NodeId), SubscriberTables>,
-    inflight: BTreeMap<(PacketId, NodeId), NodeState>,
+    inflight: PacketNodeMap<NodeState>,
     /// Measured ACK round trips per directed link (adaptive timeouts only).
     rtt: BTreeMap<(NodeId, NodeId), RttEstimate>,
     /// Circuit-breaker state per directed link (breaker enabled only).
@@ -198,7 +200,7 @@ pub struct DcrdStrategy {
     /// the durable subscriber-side delivery log that makes local delivery
     /// idempotent even when duplicate copies converge (lost ACKs, crash
     /// recovery).
-    delivered: BTreeSet<(PacketId, NodeId)>,
+    delivered: PacketNodeSet,
     /// Write-ahead custody journal ([`DurabilityMode::Durable`] only;
     /// stays empty when volatile). Like `delivered`, it models per-broker
     /// durable storage, so it survives `on_restart` wipes.
@@ -218,7 +220,7 @@ pub struct DcrdStrategy {
     /// The per-publisher shortest-path trees the current tables were built
     /// from — the incremental repair path diffs fresh masked trees against
     /// these to scope recomputation to affected subscriptions.
-    dist_cache: BTreeMap<NodeId, ShortestPaths>,
+    dist_cache: NodeMap<ShortestPaths>,
     /// Custody entries seized from a dead broker, queued under their new
     /// custodian until that broker's next tick flushes them (handoff).
     pending_handoff: BTreeMap<NodeId, Vec<(PacketId, JournalEntry)>>,
@@ -295,16 +297,16 @@ impl DcrdStrategy {
             estimates: None,
             workload: None,
             tables: BTreeMap::new(),
-            inflight: BTreeMap::new(),
+            inflight: PacketNodeMap::new(),
             rtt: BTreeMap::new(),
             suspicion: BTreeMap::new(),
-            delivered: BTreeSet::new(),
+            delivered: PacketNodeSet::new(),
             journal: InFlightJournal::new(),
             trackers: BTreeMap::new(),
             nack_counts: BTreeMap::new(),
             toward_publisher: BTreeMap::new(),
             absent: NodeSet::new(),
-            dist_cache: BTreeMap::new(),
+            dist_cache: NodeMap::new(),
             pending_handoff: BTreeMap::new(),
             upstream_reroutes: BTreeMap::new(),
             global_rebuilds: 0,
@@ -407,13 +409,19 @@ impl DcrdStrategy {
         self.tables.clear();
         self.toward_publisher.clear();
         self.dist_cache.clear();
-        // One snapshot of per-edge m-transmission stats serves every
-        // subscription, and topics sharing a publisher share its
-        // shortest-path tree. Absent brokers are masked out of both the
-        // trees and the `<d, r>` fixed point.
+        // One snapshot of per-edge m-transmission stats and one masked
+        // adjacency snapshot serve every subscription, and topics sharing a
+        // publisher share its shortest-path tree. Absent brokers are masked
+        // out of the trees, the adjacency, and the `<d, r>` fixed point.
         let link_stats = link_transmission_stats(topo, estimates, self.params.m);
+        let snapshot = AdjacencySnapshot::build(topo, &link_stats, &self.absent);
+        // Subscriber-rooted α-distances bound the gossip's active set; a
+        // subscriber listening on several topics shares one Dijkstra pass.
+        let mut spd_cache: std::collections::BTreeMap<NodeId, Vec<f64>> =
+            std::collections::BTreeMap::new();
+        let mut ws = TableWorkspace::default();
         for spec in workload.topics() {
-            let dist = self.dist_cache.entry(spec.publisher).or_insert_with(|| {
+            let dist = self.dist_cache.get_or_insert_with(spec.publisher, || {
                 dcrd_net::paths::dijkstra_masked(
                     topo,
                     spec.publisher,
@@ -430,15 +438,20 @@ impl DcrdStrategy {
                 }
             }
             for sub in &spec.subscriptions {
-                let mut tables = compute_tables_prepared_masked(
-                    topo,
-                    &link_stats,
+                let spd_bound = spd_cache.entry(sub.subscriber).or_insert_with(|| {
+                    let spd = snapshot.alpha_distances_from(sub.subscriber);
+                    snapshot.neighbor_min(&spd)
+                });
+                let mut tables = compute_tables_snapshot_ws(
+                    &snapshot,
                     spec.publisher,
                     dist,
                     sub.subscriber,
+                    spd_bound,
                     sub.deadline.as_micros() as f64,
                     &self.config,
                     &self.absent,
+                    &mut ws,
                 );
                 tables.set_version(version);
                 self.tables
@@ -468,6 +481,10 @@ impl DcrdStrategy {
         self.table_version += 1;
         let version = self.table_version;
         let link_stats = link_transmission_stats(topo, estimates, self.params.m);
+        let snapshot = AdjacencySnapshot::build(topo, &link_stats, &self.absent);
+        let mut spd_cache: std::collections::BTreeMap<NodeId, Vec<f64>> =
+            std::collections::BTreeMap::new();
+        let mut ws = TableWorkspace::default();
         for spec in workload.topics() {
             let fresh = dcrd_net::paths::dijkstra_masked(
                 topo,
@@ -478,7 +495,7 @@ impl DcrdStrategy {
             // The tree "changed" when any live broker's cost or parent
             // moved; delta nodes themselves are expected to move and do not
             // count (their rows are masked, not routed through).
-            let old = self.dist_cache.get(&spec.publisher);
+            let old = self.dist_cache.get(spec.publisher);
             let tree_changed = old.is_none()
                 || (0..topo.num_nodes()).any(|i| {
                     let n = topo.node(i);
@@ -510,15 +527,20 @@ impl DcrdStrategy {
                 if !affected {
                     continue;
                 }
-                let mut tables = compute_tables_prepared_masked(
-                    topo,
-                    &link_stats,
+                let spd_bound = spd_cache.entry(sub.subscriber).or_insert_with(|| {
+                    let spd = snapshot.alpha_distances_from(sub.subscriber);
+                    snapshot.neighbor_min(&spd)
+                });
+                let mut tables = compute_tables_snapshot_ws(
+                    &snapshot,
                     spec.publisher,
                     &fresh,
                     sub.subscriber,
+                    spd_bound,
                     sub.deadline.as_micros() as f64,
                     &self.config,
                     &self.absent,
+                    &mut ws,
                 );
                 tables.set_version(version);
                 self.tables.insert(key, tables);
@@ -668,7 +690,7 @@ impl DcrdStrategy {
             let dead = delta.node();
             // The broker is gone for good: reclaim its volatile state the
             // way a crash wipe would.
-            self.inflight.retain(|&(_, holder), _| holder != dead);
+            self.inflight.retain(|holder, _| holder != dead);
             self.rtt.retain(|&(from, _), _| from != dead);
             self.suspicion.retain(|&(from, _), _| from != dead);
             if self.config.membership.handoff {
@@ -1391,7 +1413,7 @@ impl RoutingStrategy for DcrdStrategy {
         // timers for the dropped state fire into the void (on_timer finds
         // nothing and returns). The subscriber delivery log (`delivered`)
         // and the routing tables are durable and survive.
-        self.inflight.retain(|&(_, holder), _| holder != node);
+        self.inflight.retain(|holder, _| holder != node);
         self.rtt.retain(|&(from, _), _| from != node);
         self.suspicion.retain(|&(from, _), _| from != node);
         if !self.durable() {

@@ -56,6 +56,24 @@ pub fn build_sending_list_into(
     policy.sort(out);
 }
 
+/// [`build_sending_list_into`] fed directly from an adjacency row and the
+/// round's per-node `⟨d, r⟩` array — the gossip iteration's form, which
+/// skips materializing a [`NeighborInfo`] per neighbor per round.
+pub fn build_sending_list_from_row(
+    row: &[(NodeId, LinkStats)],
+    params: &[crate::params::DrPair],
+    requirement: f64,
+    policy: OrderingPolicy,
+    out: &mut Vec<Candidate>,
+) {
+    out.clear();
+    out.extend(row.iter().filter_map(|&(nb, link)| {
+        let p = params[nb.index()];
+        (p.d < requirement).then(|| Candidate::from_link(nb, link.alpha, link.gamma, p))
+    }));
+    policy.sort(out);
+}
+
 /// Algorithm 1 lines 10–11: the broker's own `⟨d_X, r_X⟩` from its sorted
 /// sending list (Eq. 3).
 #[must_use]

@@ -105,7 +105,7 @@ fn heavy_crashes_leave_no_gaps_and_no_duplicates() {
     let undelivered: Vec<_> = log
         .expectations()
         .filter(|(_, e)| e.delivered.is_none())
-        .map(|(k, _)| *k)
+        .map(|(k, _)| k)
         .collect();
     assert!(undelivered.is_empty(), "undelivered pairs: {undelivered:?}");
     // The journal actually worked for a living: entries were written and
@@ -136,7 +136,7 @@ fn recovery_runs_are_deterministic() {
     let scenario = crash_scenario(0.25, 42);
     let snapshot = |log: &DeliveryLog, strategy: &DcrdStrategy| {
         let mut pairs: Vec<((PacketId, NodeId), Option<SimTime>)> =
-            log.expectations().map(|(k, e)| (*k, e.delivered)).collect();
+            log.expectations().map(|(k, e)| (k, e.delivered)).collect();
         pairs.sort();
         (
             pairs,

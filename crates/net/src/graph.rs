@@ -120,6 +120,12 @@ impl Edge {
 /// [`topology`](crate::topology). Node and edge ids are dense indices so
 /// per-node/per-edge state can live in plain vectors.
 ///
+/// Adjacency is stored in compressed-sparse-row (CSR) form: one flat
+/// `(neighbor, edge)` array plus per-node offsets into it. A neighbor scan
+/// is a contiguous slice read — no per-node `Vec` headers, no pointer
+/// chasing — which is what Dijkstra and table repair spend their time on at
+/// 1k-broker scale.
+///
 /// # Example
 ///
 /// ```
@@ -136,18 +142,104 @@ impl Edge {
 /// assert!(topo.is_connected());
 /// assert_eq!(topo.degree(n[1]), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Topology {
     edges: Vec<Edge>,
-    /// adjacency[node] = (neighbor, edge) pairs, sorted by neighbor id.
-    adjacency: Vec<Vec<(NodeId, EdgeId)>>,
+    /// CSR row offsets: node `v`'s neighbors live at
+    /// `csr_pairs[csr_offsets[v] .. csr_offsets[v + 1]]`. Length is
+    /// `num_nodes + 1`; the final entry equals `csr_pairs.len()`.
+    csr_offsets: Vec<u32>,
+    /// Flat `(neighbor, edge)` pairs, each node's segment sorted by
+    /// neighbor id. Length is `2 * num_edges`.
+    csr_pairs: Vec<(NodeId, EdgeId)>,
+}
+
+/// Builds the CSR arrays from an edge list: degree count, prefix-sum
+/// offsets, scatter, then an in-segment sort by neighbor id (the invariant
+/// [`Topology::edge_between`]'s binary search relies on).
+fn build_csr(num_nodes: usize, edges: &[Edge]) -> (Vec<u32>, Vec<(NodeId, EdgeId)>) {
+    let mut offsets = vec![0u32; num_nodes + 1];
+    for e in edges {
+        offsets[e.a.index() + 1] += 1;
+        offsets[e.b.index() + 1] += 1;
+    }
+    for i in 1..offsets.len() {
+        offsets[i] += offsets[i - 1];
+    }
+    let mut pairs = vec![(NodeId(0), EdgeId(0)); edges.len() * 2];
+    let mut cursor: Vec<u32> = offsets[..num_nodes].to_vec();
+    for (i, e) in edges.iter().enumerate() {
+        let id = EdgeId(i as u32);
+        let slot_a = cursor[e.a.index()];
+        pairs[slot_a as usize] = (e.b, id);
+        cursor[e.a.index()] = slot_a + 1;
+        let slot_b = cursor[e.b.index()];
+        pairs[slot_b as usize] = (e.a, id);
+        cursor[e.b.index()] = slot_b + 1;
+    }
+    for v in 0..num_nodes {
+        pairs[offsets[v] as usize..offsets[v + 1] as usize].sort_unstable_by_key(|&(n, _)| n);
+    }
+    (offsets, pairs)
+}
+
+/// Wire form of [`Topology`]: the CSR arrays are derived state, so only the
+/// edge list and node count travel. [`Topology::from_wire`] validates the
+/// edges and rebuilds the CSR, so a persisted topology can never smuggle in
+/// a malformed adjacency.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TopologyWire {
+    /// Number of broker nodes (edges may not reference ids at or above it).
+    pub num_nodes: usize,
+    /// The undirected edge list; edge `i` has id `EdgeId(i)`.
+    pub edges: Vec<Edge>,
+}
+
+// The offline serde stub is marker-only, so `Topology`'s own impls carry no
+// behavior; real persistence goes through the explicit [`TopologyWire`]
+// conversion below.
+impl Serialize for Topology {}
+impl<'de> Deserialize<'de> for Topology {}
+
+impl Topology {
+    /// The compact wire form: edge list plus node count, CSR omitted.
+    #[must_use]
+    pub fn to_wire(&self) -> TopologyWire {
+        TopologyWire {
+            num_nodes: self.num_nodes(),
+            edges: self.edges.clone(),
+        }
+    }
+
+    /// Rebuilds a topology (including its CSR adjacency) from the wire
+    /// form, rejecting edges that reference nodes outside `0..num_nodes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first out-of-range edge.
+    pub fn from_wire(wire: TopologyWire) -> Result<Topology, String> {
+        for e in &wire.edges {
+            if e.a.index() >= wire.num_nodes || e.b.index() >= wire.num_nodes {
+                return Err(format!(
+                    "edge {}-{} references a node outside 0..{}",
+                    e.a, e.b, wire.num_nodes
+                ));
+            }
+        }
+        let (csr_offsets, csr_pairs) = build_csr(wire.num_nodes, &wire.edges);
+        Ok(Topology {
+            edges: wire.edges,
+            csr_offsets,
+            csr_pairs,
+        })
+    }
 }
 
 impl Topology {
     /// Number of broker nodes.
     #[must_use]
     pub fn num_nodes(&self) -> usize {
-        self.adjacency.len()
+        self.csr_offsets.len() - 1
     }
 
     /// Number of undirected links.
@@ -167,7 +259,7 @@ impl Topology {
 
     /// Iterator over all node ids.
     pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
-        (0..self.adjacency.len() as u32).map(NodeId)
+        (0..self.num_nodes() as u32).map(NodeId)
     }
 
     /// Iterator over all edge ids.
@@ -195,19 +287,23 @@ impl Topology {
     /// neighbor id (empty for an unknown node).
     #[must_use]
     pub fn neighbors(&self, node: NodeId) -> &[(NodeId, EdgeId)] {
-        self.adjacency.get(node.index()).map_or(&[], Vec::as_slice)
+        let v = node.index();
+        let (Some(&lo), Some(&hi)) = (self.csr_offsets.get(v), self.csr_offsets.get(v + 1)) else {
+            return &[];
+        };
+        self.csr_pairs.get(lo as usize..hi as usize).unwrap_or(&[])
     }
 
     /// Number of links incident to `node`.
     #[must_use]
     pub fn degree(&self, node: NodeId) -> usize {
-        self.adjacency.get(node.index()).map_or(0, Vec::len)
+        self.neighbors(node).len()
     }
 
     /// The edge connecting `a` and `b`, if one exists.
     #[must_use]
     pub fn edge_between(&self, a: NodeId, b: NodeId) -> Option<EdgeId> {
-        let adj = self.adjacency.get(a.index())?;
+        let adj = self.neighbors(a);
         let i = adj.binary_search_by_key(&b, |&(n, _)| n).ok()?;
         adj.get(i).map(|&(_, e)| e)
     }
@@ -245,11 +341,23 @@ impl Topology {
     }
 }
 
+/// Orders an undirected endpoint pair canonically for set membership.
+fn normalized(a: NodeId, b: NodeId) -> (u32, u32) {
+    let (x, y) = (a.index() as u32, b.index() as u32);
+    (x.min(y), x.max(y))
+}
+
 /// Incremental builder for [`Topology`].
 #[derive(Debug, Clone)]
 pub struct TopologyBuilder {
     num_nodes: usize,
     edges: Vec<Edge>,
+    /// Normalized `(min, max)` endpoint pairs of every added link, so the
+    /// `has_link` queries random generators issue per candidate edge are a
+    /// set lookup instead of an `O(E)` scan.
+    pairs: std::collections::BTreeSet<(u32, u32)>,
+    /// Per-node link count, maintained incrementally.
+    degrees: Vec<u32>,
 }
 
 impl TopologyBuilder {
@@ -265,6 +373,8 @@ impl TopologyBuilder {
         TopologyBuilder {
             num_nodes,
             edges: Vec::new(),
+            pairs: std::collections::BTreeSet::new(),
+            degrees: vec![0; num_nodes],
         }
     }
 
@@ -277,18 +387,13 @@ impl TopologyBuilder {
     /// Whether a link between `a` and `b` has already been added.
     #[must_use]
     pub fn has_link(&self, a: NodeId, b: NodeId) -> bool {
-        self.edges
-            .iter()
-            .any(|e| (e.a == a && e.b == b) || (e.a == b && e.b == a))
+        self.pairs.contains(&normalized(a, b))
     }
 
     /// Current number of links incident to `node`.
     #[must_use]
     pub fn degree(&self, node: NodeId) -> usize {
-        self.edges
-            .iter()
-            .filter(|e| e.a == node || e.b == node)
-            .count()
+        self.degrees.get(node.index()).copied().unwrap_or(0) as usize
     }
 
     /// Adds an undirected link between `a` and `b` with one-way delay
@@ -307,24 +412,20 @@ impl TopologyBuilder {
         assert!(!self.has_link(a, b), "duplicate link {a}-{b}");
         let id = EdgeId(self.edges.len() as u32);
         self.edges.push(Edge { a, b, delay });
+        self.pairs.insert(normalized(a, b));
+        self.degrees[a.index()] += 1;
+        self.degrees[b.index()] += 1;
         id
     }
 
     /// Finalizes the topology.
     #[must_use]
     pub fn build(self) -> Topology {
-        let mut adjacency = vec![Vec::new(); self.num_nodes];
-        for (i, e) in self.edges.iter().enumerate() {
-            let id = EdgeId(i as u32);
-            adjacency[e.a.index()].push((e.b, id));
-            adjacency[e.b.index()].push((e.a, id));
-        }
-        for adj in &mut adjacency {
-            adj.sort_unstable_by_key(|&(n, _)| n);
-        }
+        let (csr_offsets, csr_pairs) = build_csr(self.num_nodes, &self.edges);
         Topology {
             edges: self.edges,
-            adjacency,
+            csr_offsets,
+            csr_pairs,
         }
     }
 }
@@ -416,6 +517,57 @@ mod tests {
         let t = triangle();
         let e = t.edge_between(t.node(0), t.node(1)).unwrap();
         let _ = t.edge(e).other(t.node(2));
+    }
+
+    #[test]
+    fn csr_layout_matches_edge_list() {
+        let t = triangle();
+        // Offsets are a proper prefix sum over degrees and the pair array
+        // holds both directions of every edge.
+        assert_eq!(t.csr_offsets.len(), t.num_nodes() + 1);
+        assert_eq!(t.csr_pairs.len(), 2 * t.num_edges());
+        assert_eq!(*t.csr_offsets.last().unwrap() as usize, t.csr_pairs.len());
+        for node in t.nodes() {
+            for &(next, e) in t.neighbors(node) {
+                assert_eq!(t.edge(e).other(node), next);
+            }
+        }
+        // Unknown nodes resolve to an empty segment, not a panic.
+        assert!(t.neighbors(NodeId::new(99)).is_empty());
+        assert_eq!(t.degree(NodeId::new(99)), 0);
+    }
+
+    #[test]
+    fn wire_roundtrip_rebuilds_csr() {
+        let t = triangle();
+        let back = Topology::from_wire(t.to_wire()).expect("round-trip");
+        assert_eq!(back, t);
+        assert_eq!(back.csr_offsets, t.csr_offsets);
+        assert_eq!(back.csr_pairs, t.csr_pairs);
+
+        // A node with no links still round-trips (trailing empty CSR row).
+        let mut b = TopologyBuilder::new(3);
+        let n = b.nodes();
+        b.link(n[0], n[1], SimDuration::from_millis(5));
+        let sparse = b.build();
+        let back = Topology::from_wire(sparse.to_wire()).expect("round-trip");
+        assert_eq!(back, sparse);
+        assert_eq!(back.num_nodes(), 3);
+        assert!(back.neighbors(n[2]).is_empty());
+    }
+
+    #[test]
+    fn wire_rejects_out_of_range_edges() {
+        let wire = TopologyWire {
+            num_nodes: 2,
+            edges: vec![Edge {
+                a: NodeId::new(0),
+                b: NodeId::new(5),
+                delay: SimDuration::from_millis(1),
+            }],
+        };
+        let err = Topology::from_wire(wire).unwrap_err();
+        assert!(err.contains("outside"), "got: {err}");
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! allocation; larger topologies spill into extra words on demand.
 
 use crate::graph::NodeId;
+use std::cmp::Ordering;
+use std::hash::{Hash, Hasher};
 
 const WORD_BITS: usize = 64;
 
@@ -128,20 +130,52 @@ impl NodeSet {
 /// that grew and was cleared equals a freshly built one.
 impl PartialEq for NodeSet {
     fn eq(&self, other: &Self) -> bool {
-        if self.low != other.low {
-            return false;
-        }
-        let (short, long) = if self.high.len() <= other.high.len() {
-            (&self.high, &other.high)
-        } else {
-            (&other.high, &self.high)
-        };
-        short.iter().zip(long.iter()).all(|(a, b)| a == b)
-            && long[short.len()..].iter().all(|&w| w == 0)
+        self.low == other.low && self.significant_high() == other.significant_high()
     }
 }
 
 impl Eq for NodeSet {}
+
+impl NodeSet {
+    /// Spill words with insignificant trailing zeros trimmed — the canonical
+    /// form that [`PartialEq`], [`Ord`] and [`Hash`] all agree on.
+    #[inline]
+    fn significant_high(&self) -> &[u64] {
+        let mut end = self.high.len();
+        while end > 0 && self.high[end - 1] == 0 {
+            end -= 1;
+        }
+        &self.high[..end]
+    }
+}
+
+/// Total order consistent with the capacity-ignoring [`PartialEq`]: sets
+/// compare by inline word, then by trimmed spill words (shorter-with-zeros
+/// equals longer). The order itself is arbitrary but deterministic, so
+/// `NodeSet` can key a `BTreeMap` without spill capacity leaking into
+/// iteration order.
+impl Ord for NodeSet {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.low
+            .cmp(&other.low)
+            .then_with(|| self.significant_high().cmp(other.significant_high()))
+    }
+}
+
+impl PartialOrd for NodeSet {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Hash over the canonical (capacity-trimmed) form, so `a == b` implies
+/// equal hashes even when one set grew spill words and was cleared.
+impl Hash for NodeSet {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.low.hash(state);
+        self.significant_high().hash(state);
+    }
+}
 
 impl FromIterator<NodeId> for NodeSet {
     fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
@@ -213,6 +247,47 @@ mod tests {
         assert_eq!(grown, fresh);
         fresh.insert(n(80));
         assert_ne!(grown, fresh);
+    }
+
+    /// Regression (PR 10): `Ord` and `Hash` must agree with the
+    /// capacity-ignoring `Eq`. A set that grew spill words and was cleared
+    /// used to be `==` to a fresh set while any future `Ord`/`Hash` derive
+    /// would have seen the capacity difference — keeping sets with identical
+    /// membership apart in a `BTreeMap`/`HashSet`.
+    #[test]
+    fn ord_and_hash_ignore_spill_capacity() {
+        use std::collections::hash_map::DefaultHasher;
+
+        fn fingerprint(s: &NodeSet) -> u64 {
+            let mut h = DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        }
+
+        let mut grown = NodeSet::new();
+        grown.insert(n(500)); // allocates spill words...
+        grown.remove(n(500)); // ...then leaves them as zeroed capacity
+        grown.insert(n(3));
+        grown.insert(n(70));
+        let fresh: NodeSet = [n(3), n(70)].into_iter().collect();
+        assert_eq!(grown, fresh);
+        assert_eq!(grown.cmp(&fresh), Ordering::Equal);
+        assert_eq!(grown.partial_cmp(&fresh), Some(Ordering::Equal));
+        assert_eq!(fingerprint(&grown), fingerprint(&fresh));
+
+        // Unequal sets order deterministically regardless of which side
+        // carries the spare capacity.
+        let bigger: NodeSet = [n(3), n(71)].into_iter().collect();
+        assert_ne!(grown, bigger);
+        assert_eq!(grown.cmp(&bigger), Ordering::Less);
+        assert_eq!(bigger.cmp(&grown), Ordering::Greater);
+
+        // Membership confined to the inline word still compares against a
+        // spill-capacity set without reading past the trimmed prefix.
+        let inline_only: NodeSet = [n(3)].into_iter().collect();
+        assert_ne!(inline_only, grown);
+        assert_eq!(inline_only.cmp(&grown), Ordering::Less);
+        assert_ne!(fingerprint(&inline_only), fingerprint(&grown));
     }
 
     #[test]

@@ -45,6 +45,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use dcrd_net::NodeId;
+use dcrd_sim::SimTime;
 use serde::{Deserialize, Serialize};
 
 use crate::packet::{Packet, PacketId};
@@ -195,6 +196,20 @@ pub enum Violation {
         /// Connected-but-unconverged gossip rounds accumulated.
         rounds: u64,
     },
+    /// A strategy timer asked for an instant strictly before the current
+    /// simulated time and was clamped to `now` by the event queue. Flagged
+    /// by the runtime's `SetTimer` gate: the caller computed a stale
+    /// deadline, and without the clamp the event would have reordered
+    /// causality. `at == now` (a `now + 0` timer) is legitimate and never
+    /// flagged.
+    PastEventClamp {
+        /// The broker whose timer was clamped.
+        node: NodeId,
+        /// The requested (past) instant.
+        at: SimTime,
+        /// The simulated time at which the request was made.
+        now: SimTime,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -268,6 +283,13 @@ impl fmt::Display for Violation {
                  membership {} rounds after the control plane healed",
                 node.index(),
                 rounds
+            ),
+            Violation::PastEventClamp { node, at, now } => write!(
+                f,
+                "past-event clamp: node {} armed a timer for {at}, already \
+                 {} behind the clock at {now}",
+                node.index(),
+                now.saturating_since(at),
             ),
         }
     }

@@ -38,6 +38,7 @@
 pub mod audit;
 pub mod codec;
 pub mod error;
+pub mod hotstate;
 pub mod packet;
 pub mod recovery;
 pub mod runtime;

@@ -17,8 +17,6 @@
 //! time, plus traffic counters. The metrics crate turns the log into the
 //! paper's three metrics.
 
-use std::collections::BTreeMap;
-
 use dcrd_net::estimate::{analytic_estimates, EwmaMonitor, LinkEstimate, LinkEstimates};
 use dcrd_net::failure::FailureModel;
 use dcrd_net::gossip::{GossipConfig, GossipOverlay};
@@ -34,6 +32,7 @@ use rand::rngs::SmallRng;
 
 use crate::audit::{AuditConfig, AuditReport, InvariantAuditor, Violation};
 use crate::error::{RuntimeError, MAX_RUNTIME_ERRORS};
+use crate::hotstate::PacketNodeMap;
 use crate::packet::{Packet, PacketId};
 use crate::strategy::{Action, Actions, RoutingStrategy, RunParams, SetupContext, TimerKey};
 use crate::trace::{Trace, TraceEvent, TxOutcome};
@@ -230,7 +229,7 @@ impl Expectation {
 /// The complete record of one run.
 #[derive(Debug, Clone, Default)]
 pub struct DeliveryLog {
-    expectations: BTreeMap<(PacketId, NodeId), Expectation>,
+    expectations: PacketNodeMap<Expectation>,
     /// Number of published messages.
     pub messages_published: u64,
     /// Data-packet transmissions attempted (the paper's traffic metric
@@ -293,6 +292,16 @@ pub struct DeliveryLog {
     /// Total simulation events processed by the run loop (the macro
     /// benchmark's throughput denominator).
     pub events_processed: u64,
+    /// Events whose requested timestamp lay strictly in the past and were
+    /// clamped to the clock by the event queue. A correct run reports
+    /// zero; anything else is a scheduling caller computing stale
+    /// deadlines (also an auditor [`Violation::PastEventClamp`] when the
+    /// clamped event was a strategy timer).
+    pub clamped_events: u64,
+    /// High-water mark of the central event queue — what
+    /// [`OverlayRuntime::estimated_queue_len`] must stay at or above for
+    /// the pre-sizing to prevent mid-run reallocation.
+    pub peak_queue_len: usize,
     /// Full transmission trace (only with `capture_trace`).
     pub trace: Option<Trace>,
     /// Invariant-audit outcome (only with [`RuntimeConfig::audit`]).
@@ -308,8 +317,9 @@ impl DeliveryLog {
         }
     }
 
-    /// Iterates over all `(message, subscriber)` expectations.
-    pub fn expectations(&self) -> impl Iterator<Item = (&(PacketId, NodeId), &Expectation)> {
+    /// Iterates over all `(message, subscriber)` expectations in ascending
+    /// key order.
+    pub fn expectations(&self) -> impl Iterator<Item = ((PacketId, NodeId), &Expectation)> {
         self.expectations.iter()
     }
 
@@ -768,6 +778,8 @@ impl<'a> OverlayRuntime<'a> {
             log.stale_reconciliations = overlay.stale_reconciliations();
         }
         log.events_processed = queue.events_processed();
+        log.clamped_events = queue.clamped();
+        log.peak_queue_len = queue.peak_len();
         log.audit = auditor.map(InvariantAuditor::finish);
         log
     }
@@ -1257,16 +1269,33 @@ impl<'a> OverlayRuntime<'a> {
     /// arrival + ACK + timer triple per in-flight `(message, subscriber)`
     /// pair plus per-node housekeeping, so large sweeps start near their
     /// working set instead of growing the heap through repeated doublings.
+    /// A flash-crowd burst multiplies a topic's publish rate, so the
+    /// in-flight working set scales with the largest configured burst —
+    /// without this factor the estimate undersized exactly the burst
+    /// scenarios the allocs-per-hop gate runs, and the mid-run queue
+    /// reallocation was billed to the router.
     #[must_use]
     pub fn estimated_queue_len(&self) -> usize {
+        // The timer wheel's slot directory; counted once so tiny runs
+        // still start with the ready lane covering a cascade burst.
+        const WHEEL_SLOTS: usize = 64 * 7;
         let subscriptions: usize = self
             .workload
             .topics()
             .iter()
             .map(|t| t.subscriptions.len())
             .sum();
+        let burst_mult = self
+            .workload
+            .topics()
+            .iter()
+            .filter_map(|t| t.burst.as_ref())
+            .map(|b| b.multiplier as usize)
+            .max()
+            .unwrap_or(1)
+            .max(1);
         let nodes = self.topology.num_nodes();
-        (64 + 4 * nodes + 8 * subscriptions).min(1 << 20)
+        (64 + WHEEL_SLOTS + 4 * nodes + 8 * subscriptions * burst_mult).min(1 << 20)
     }
 
     fn initial_estimates(&self) -> LinkEstimates {
@@ -1415,10 +1444,16 @@ impl<'a> OverlayRuntime<'a> {
                     }
                 }
                 Action::SetTimer { at, key } => {
-                    // Clamp timers that would land in the past (can happen
-                    // when a strategy computes `now + 0`).
-                    let at = at.max(now);
-                    queue.schedule(at, Event::Timer { node, key });
+                    // The queue clamps a strictly-past instant to `now` and
+                    // reports it; a `now + 0` timer is legitimate and does
+                    // not trip the clamp. A flagged clamp means a strategy
+                    // computed a stale deadline — an auditor violation, not
+                    // a silent reorder.
+                    if queue.schedule(at, Event::Timer { node, key }) {
+                        if let Some(aud) = auditor {
+                            aud.flag(Violation::PastEventClamp { node, at, now });
+                        }
+                    }
                 }
                 Action::Suppress { packet } => {
                     log.suppressed += 1;
@@ -1586,9 +1621,56 @@ mod tests {
         // At least the floor plus the per-node share, never past the cap.
         assert!(est >= 64 + 4 * 2, "estimate too small: {est}");
         assert!(est <= 1 << 20);
-        // A processed run records how many events went through the queue.
+        // A processed run records how many events went through the queue,
+        // and the pre-sizing must cover the observed high-water mark.
         let log = rt.run(&mut Flood::new());
         assert!(log.events_processed > 0);
+        assert!(
+            est >= log.peak_queue_len,
+            "estimate {est} below observed peak {}",
+            log.peak_queue_len
+        );
+        assert_eq!(log.clamped_events, 0);
+    }
+
+    #[test]
+    fn queue_estimate_covers_burst_peak() {
+        // A flash crowd multiplies the publish rate 4x during the window;
+        // the pre-burst-fix heuristic ignored the multiplier and undersized
+        // exactly this shape.
+        let topo = line(2, SimDuration::from_millis(10));
+        let spec = TopicSpec {
+            topic: TopicId::new(0),
+            publisher: topo.node(0),
+            interval: SimDuration::from_millis(100),
+            offset: SimDuration::ZERO,
+            subscriptions: vec![Subscription::new(
+                topo.node(1),
+                SimDuration::from_millis(90),
+            )],
+            burst: Some(crate::workload::BurstConfig {
+                at: SimDuration::from_secs(1),
+                len: SimDuration::from_secs(2),
+                multiplier: 4,
+            }),
+        };
+        let wl = Workload::from_topics(vec![spec]);
+        let failure = FailureModel::links_only(LinkFailureModel::new(0.0, 1));
+        let config = RuntimeConfig::paper(SimDuration::from_secs(5), 1);
+        let rt = OverlayRuntime::new(&topo, &wl, failure, LossModel::new(0.0), config);
+        let est = rt.estimated_queue_len();
+        // floor + wheel slots + 4·nodes + 8·subscriptions·burst multiplier.
+        assert_eq!(
+            est,
+            64 + 64 * 7 + 4 * 2 + 8 * 4,
+            "burst multiplier must scale the estimate"
+        );
+        let log = rt.run(&mut Flood::new());
+        assert!(
+            est >= log.peak_queue_len,
+            "estimate {est} below observed burst peak {}",
+            log.peak_queue_len
+        );
     }
 
     #[test]

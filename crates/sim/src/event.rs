@@ -5,39 +5,14 @@
 //! Ties are broken by insertion order (FIFO), which makes simulation runs
 //! fully deterministic for a given seed — a property the test suite and the
 //! paper-reproduction experiments rely on.
-
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+//!
+//! The backing store is a hierarchical [`TimerWheel`]: O(1) amortized
+//! insertion and expiry instead of the former `BinaryHeap`'s per-event
+//! `O(log n)` sift, with byte-identical pop order (see the wheel's module
+//! docs for the determinism argument).
 
 use crate::time::{SimDuration, SimTime};
-
-/// A pending event: reversed ordering so `BinaryHeap` acts as a min-heap.
-struct Entry<E> {
-    at: SimTime,
-    seq: u64,
-    event: E,
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: earliest time (then lowest sequence number) is "greatest".
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
+use crate::wheel::TimerWheel;
 
 /// A deterministic min-priority queue of timestamped events.
 ///
@@ -57,10 +32,11 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!(order, vec!['a', 'b', 'c']);
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
-    next_seq: u64,
+    wheel: TimerWheel<E>,
     now: SimTime,
     popped: u64,
+    clamped: u64,
+    peak_len: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -74,10 +50,11 @@ impl<E> EventQueue<E> {
     #[must_use]
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
+            wheel: TimerWheel::new(),
             now: SimTime::ZERO,
             popped: 0,
+            clamped: 0,
+            peak_len: 0,
         }
     }
 
@@ -85,7 +62,7 @@ impl<E> EventQueue<E> {
     #[must_use]
     pub fn with_capacity(cap: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::with_capacity(cap),
+            wheel: TimerWheel::with_capacity(cap),
             ..Self::new()
         }
     }
@@ -94,7 +71,7 @@ impl<E> EventQueue<E> {
     /// the `with_capacity` request).
     #[must_use]
     pub fn capacity(&self) -> usize {
-        self.heap.capacity()
+        self.wheel.capacity()
     }
 
     /// The current simulated time: the timestamp of the most recently popped
@@ -110,33 +87,50 @@ impl<E> EventQueue<E> {
         self.popped
     }
 
+    /// Number of events whose requested timestamp lay in the past and were
+    /// clamped to the current time. Anything non-zero means a scheduling
+    /// caller computed a stale deadline — observable instead of silently
+    /// reordering causality.
+    #[must_use]
+    pub fn clamped(&self) -> u64 {
+        self.clamped
+    }
+
+    /// The largest number of simultaneously pending events seen so far —
+    /// what [`with_capacity`](Self::with_capacity) should have asked for.
+    #[must_use]
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
+    }
+
     /// Number of events still pending.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.wheel.len()
     }
 
     /// Returns `true` if no events are pending.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.wheel.is_empty()
     }
 
     /// Schedules `event` at absolute time `at`.
     ///
     /// Scheduling into the past would silently corrupt causality, so `at`
-    /// is clamped to the current simulated time (debug builds assert the
-    /// caller never asked for that).
-    pub fn schedule(&mut self, at: SimTime, event: E) {
-        debug_assert!(
-            at >= self.now,
-            "cannot schedule event in the past: {at} < now {now}",
-            now = self.now
-        );
+    /// is clamped to the current simulated time. Returns `true` when the
+    /// clamp engaged — i.e. the caller asked for a timestamp strictly
+    /// before `now` — so the runtime can surface the bug instead of
+    /// burying it ([`clamped`](Self::clamped) counts every occurrence).
+    pub fn schedule(&mut self, at: SimTime, event: E) -> bool {
+        let clamped = at < self.now;
+        if clamped {
+            self.clamped += 1;
+        }
         let at = at.max(self.now);
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Entry { at, seq, event });
+        self.wheel.insert(at.as_micros(), event);
+        self.peak_len = self.peak_len.max(self.wheel.len());
+        clamped
     }
 
     /// Schedules `event` after `delay` relative to the current time.
@@ -147,21 +141,22 @@ impl<E> EventQueue<E> {
     /// Timestamp of the next pending event, if any.
     #[must_use]
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        self.wheel.peek_time().map(SimTime::from_micros)
     }
 
     /// Pops the next event, advancing the simulated clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let entry = self.heap.pop()?;
-        debug_assert!(entry.at >= self.now, "event queue time went backwards");
-        self.now = entry.at;
+        let (at_us, event) = self.wheel.pop()?;
+        let at = SimTime::from_micros(at_us);
+        debug_assert!(at >= self.now, "event queue time went backwards");
+        self.now = at;
         self.popped += 1;
-        Some((entry.at, entry.event))
+        Some((at, event))
     }
 
     /// Drops all pending events without advancing the clock.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        self.wheel.clear();
     }
 }
 
@@ -169,8 +164,9 @@ impl<E: std::fmt::Debug> std::fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventQueue")
             .field("now", &self.now)
-            .field("pending", &self.heap.len())
+            .field("pending", &self.wheel.len())
             .field("processed", &self.popped)
+            .field("clamped", &self.clamped)
             .finish()
     }
 }
@@ -221,12 +217,35 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cannot schedule event in the past")]
-    fn scheduling_in_the_past_panics() {
+    fn scheduling_in_the_past_clamps_and_counts() {
         let mut q = EventQueue::new();
-        q.schedule(SimTime::from_millis(10), ());
+        q.schedule(SimTime::from_millis(10), 1);
         q.pop();
-        q.schedule(SimTime::from_millis(5), ());
+        assert_eq!(q.clamped(), 0);
+        // Strictly past: clamped to now and counted.
+        assert!(q.schedule(SimTime::from_millis(5), 2));
+        assert_eq!(q.clamped(), 1);
+        // Exactly now is legitimate (`now + 0` timers), not a clamp.
+        assert!(!q.schedule(SimTime::from_millis(10), 3));
+        assert_eq!(q.clamped(), 1);
+        let (t, e) = q.pop().unwrap();
+        assert_eq!((t, e), (SimTime::from_millis(10), 2));
+        let (t, e) = q.pop().unwrap();
+        assert_eq!((t, e), (SimTime::from_millis(10), 3));
+    }
+
+    #[test]
+    fn peak_len_tracks_high_water_mark() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peak_len(), 0);
+        for i in 0..10 {
+            q.schedule(SimTime::from_millis(i), i);
+        }
+        assert_eq!(q.peak_len(), 10);
+        while q.pop().is_some() {}
+        assert_eq!(q.peak_len(), 10, "peak survives draining");
+        q.schedule(SimTime::from_millis(100), 0);
+        assert_eq!(q.peak_len(), 10);
     }
 
     #[test]
@@ -286,6 +305,39 @@ mod tests {
                     last = at;
                 }
                 prop_assert_eq!(q.events_processed(), times.len() as u64);
+            }
+
+            /// Interleaving schedules between pops (including at the exact
+            /// current instant) still pops sorted with stable ties — the
+            /// wheel's ready-lane and cascade paths agree with a stable
+            /// heap.
+            #[test]
+            fn interleaved_schedules_stay_sorted(
+                initial in proptest::collection::vec(0u64..5000, 1..50),
+                chased in proptest::collection::vec(0u64..5000, 1..50),
+            ) {
+                let mut q = EventQueue::new();
+                let mut seq = 0usize;
+                let mut expected: Vec<(u64, usize)> = Vec::new();
+                for &t in &initial {
+                    q.schedule(SimTime::from_micros(t), seq);
+                    expected.push((t, seq));
+                    seq += 1;
+                }
+                let mut feed = chased.iter();
+                let mut popped = Vec::new();
+                while let Some((at, i)) = q.pop() {
+                    popped.push((at.as_micros(), i));
+                    if let Some(&extra) = feed.next() {
+                        // Relative offsets keep the request at or after now.
+                        let t = at.as_micros() + extra;
+                        q.schedule(SimTime::from_micros(t), seq);
+                        expected.push((t, seq));
+                        seq += 1;
+                    }
+                }
+                expected.sort();
+                prop_assert_eq!(popped, expected);
             }
         }
     }

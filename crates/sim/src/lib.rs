@@ -38,6 +38,8 @@ pub mod event;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod wheel;
 
 pub use event::EventQueue;
 pub use time::{SimDuration, SimTime};
+pub use wheel::TimerWheel;

@@ -1,0 +1,78 @@
+//! Refactor-equivalence pins: the CSR adjacency + hierarchical timer wheel
+//! engine must reproduce the pre-refactor map/heap implementation byte for
+//! byte.
+//!
+//! The digest constants below were recorded by running these exact seeded
+//! chaos scenarios on the map-adjacency/binary-heap engine (the tree as of
+//! the commit preceding the CSR/timer-wheel rebuild) with
+//! `DCRD_PRINT_DIGESTS=1`. Any divergence — a neighbor order change in the
+//! CSR layout, a tie-break change in the wheel, an iteration-order change
+//! in the struct-of-arrays router state — shows up here as a digest
+//! mismatch long before it skews a figure.
+
+use dcrd::core::{DcrdConfig, DcrdStrategy};
+use dcrd::net::chaos::{ChaosModel, CrashRestartModel, GrayLinkModel};
+use dcrd::net::failure::{FailureModel, LinkFailureModel, LinkOutageModel};
+use dcrd::net::loss::LossModel;
+use dcrd::net::topology::{random_connected, DelayRange};
+use dcrd::pubsub::runtime::{OverlayRuntime, RuntimeConfig};
+use dcrd::pubsub::workload::{Workload, WorkloadConfig};
+use dcrd::sim::rng::rng_for;
+use dcrd::sim::SimDuration;
+
+/// Trace digest of the seeded chaos scenario at `nodes` brokers.
+fn chaos_digest(nodes: usize, degree: usize, duration_secs: u64, seed: u64) -> (u64, u64) {
+    let topo = random_connected(nodes, degree, DelayRange::PAPER, &mut rng_for(seed, "topo"));
+    let workload = Workload::generate(
+        &topo,
+        &WorkloadConfig {
+            num_topics: 12,
+            ..WorkloadConfig::PAPER
+        },
+        &mut rng_for(seed, "workload"),
+    );
+    let chaos = ChaosModel::none()
+        .with_crashes(CrashRestartModel::new(0.02, 2.0, seed ^ 0xC4A5))
+        .with_gray(GrayLinkModel::new(0.15, 0.2, 2.0, seed ^ 0x6EA7));
+    let links = LinkOutageModel::Epoch(LinkFailureModel::new(0.05, seed ^ 0xF00D));
+    let failure = FailureModel::new(links, None).with_chaos(chaos);
+    let mut config = RuntimeConfig::paper(SimDuration::from_secs(duration_secs), seed);
+    config.capture_trace = true;
+    let runtime = OverlayRuntime::new(&topo, &workload, failure, LossModel::new(0.01), config);
+    let mut strategy = DcrdStrategy::new(DcrdConfig::chaos_hardened());
+    let log = runtime.run(&mut strategy);
+    let trace = log.trace.as_ref().expect("trace captured");
+    assert!(!trace.is_empty(), "chaos run produced no events");
+    (trace.digest(), log.clamped_events)
+}
+
+const DIGEST_64: u64 = 0xb072_25e5_c9a0_e3a8;
+const DIGEST_256: u64 = 0x7692_914d_2b2d_84d0;
+
+#[test]
+fn csr_wheel_engine_matches_map_heap_digest_64_brokers() {
+    let (digest, clamped) = chaos_digest(64, 6, 20, 20_011);
+    if std::env::var("DCRD_PRINT_DIGESTS").is_ok() {
+        println!("DIGEST_64 = {digest:#018x}");
+        return;
+    }
+    assert_eq!(
+        digest, DIGEST_64,
+        "64-broker chaos digest diverged from the pre-refactor map/heap engine"
+    );
+    assert_eq!(clamped, 0, "chaos scenario clamped past-scheduled events");
+}
+
+#[test]
+fn csr_wheel_engine_matches_map_heap_digest_256_brokers() {
+    let (digest, clamped) = chaos_digest(256, 8, 8, 20_012);
+    if std::env::var("DCRD_PRINT_DIGESTS").is_ok() {
+        println!("DIGEST_256 = {digest:#018x}");
+        return;
+    }
+    assert_eq!(
+        digest, DIGEST_256,
+        "256-broker chaos digest diverged from the pre-refactor map/heap engine"
+    );
+    assert_eq!(clamped, 0, "chaos scenario clamped past-scheduled events");
+}

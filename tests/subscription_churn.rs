@@ -41,7 +41,7 @@ fn windowed_subscriber_receives_only_in_window_messages() {
     assert_eq!(log.num_expectations(), 10);
     assert!((log.delivery_ratio() - 1.0).abs() < 1e-12);
     for ((_, sub), exp) in log.expectations() {
-        assert_eq!(*sub, topo.node(1));
+        assert_eq!(sub, topo.node(1));
         assert!(exp.published >= SimTime::from_secs(10));
         assert!(exp.published < SimTime::from_secs(20));
     }
